@@ -1,0 +1,228 @@
+//! Criterion micro-benchmarks for the numerical substrates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cirstag_circuit::{generate_circuit, CellLibrary, GeneratorConfig, StaEngine, TimingGraph};
+use cirstag_embed::{knn_graph, spectral_embedding, KnnConfig, KnnMethod, SpectralConfig};
+use cirstag_gnn::{Activation, GnnModel, GraphContext, LayerSpec};
+use cirstag_graph::Graph;
+use cirstag_linalg::DenseMatrix;
+use cirstag_pgm::{learn_manifold, PgmConfig};
+use cirstag_solver::{
+    lanczos_largest, CgOptions, CsrOperator, LaplacianSolver, ResistanceEstimator,
+};
+
+fn grid(side: usize) -> Graph {
+    let mut edges = Vec::new();
+    for i in 0..side {
+        for j in 0..side {
+            let id = i * side + j;
+            if j + 1 < side {
+                edges.push((id, id + 1, 1.0 + ((id * 7) % 5) as f64));
+            }
+            if i + 1 < side {
+                edges.push((id, id + side, 1.0));
+            }
+        }
+    }
+    Graph::from_edges(side * side, &edges).expect("grid")
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    group.sample_size(30);
+    for side in [32usize, 64] {
+        let g = grid(side);
+        let lap = g.laplacian();
+        let x: Vec<f64> = (0..lap.nrows()).map(|i| (i % 13) as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &side, |b, _| {
+            let mut y = vec![0.0; lap.nrows()];
+            b.iter(|| lap.mul_vec_into(black_box(&x), &mut y));
+        });
+    }
+    group.finish();
+}
+
+fn bench_laplacian_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("laplacian_solve");
+    group.sample_size(10);
+    let g = grid(48);
+    let n = g.num_nodes();
+    let mut b_vec: Vec<f64> = (0..n).map(|i| (i % 17) as f64 - 8.0).collect();
+    cirstag_linalg::vecops::center(&mut b_vec);
+    let opts = CgOptions {
+        tol: 1e-8,
+        max_iter: 5000,
+    };
+    let jacobi = LaplacianSolver::with_options(&g, opts).expect("jacobi solver");
+    group.bench_function("jacobi_pcg", |b| {
+        b.iter(|| jacobi.solve(black_box(&b_vec)).expect("solve"))
+    });
+    let tree = LaplacianSolver::with_tree_preconditioner(&g, opts).expect("tree solver");
+    group.bench_function("tree_pcg", |b| {
+        b.iter(|| tree.solve(black_box(&b_vec)).expect("solve"))
+    });
+    group.finish();
+}
+
+fn bench_eigensolver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lanczos");
+    group.sample_size(10);
+    let g = grid(40);
+    let lap = g.laplacian();
+    group.bench_function("largest8_grid1600", |b| {
+        b.iter(|| {
+            let op = CsrOperator::new(&lap);
+            lanczos_largest(&op, 8, 120, 1e-8, 1).expect("lanczos")
+        })
+    });
+    group.bench_function("spectral_embedding_m8", |b| {
+        b.iter(|| spectral_embedding(&g, 8, &SpectralConfig::default()).expect("embedding"))
+    });
+    group.finish();
+}
+
+fn bench_resistance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("effective_resistance");
+    group.sample_size(10);
+    let g = grid(32);
+    group.bench_function("sketch_build_48probes", |b| {
+        b.iter(|| ResistanceEstimator::sketched(black_box(&g), 48, 3).expect("sketch"))
+    });
+    let est = ResistanceEstimator::sketched(&g, 48, 3).expect("sketch");
+    group.bench_function("sketch_query", |b| {
+        b.iter(|| est.query(black_box(10), black_box(900)).expect("query"))
+    });
+    group.finish();
+}
+
+fn bench_knn_and_pgm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manifold");
+    group.sample_size(10);
+    let g = grid(40);
+    let u = spectral_embedding(&g, 8, &SpectralConfig::default()).expect("embedding");
+    group.bench_function("knn_exact_1600", |b| {
+        b.iter(|| knn_graph(black_box(&u), 8, &KnnConfig::default()).expect("knn"))
+    });
+    let approx = KnnConfig {
+        method: KnnMethod::RpForest {
+            num_trees: 6,
+            leaf_size: 48,
+        },
+        ..KnnConfig::default()
+    };
+    group.bench_function("knn_rpforest_1600", |b| {
+        b.iter(|| knn_graph(black_box(&u), 8, &approx).expect("knn"))
+    });
+    let dense = knn_graph(&u, 8, &KnnConfig::default()).expect("knn");
+    group.bench_function("pgm_sparsify_1600", |b| {
+        b.iter(|| learn_manifold(black_box(&dense), &PgmConfig::default()).expect("pgm"))
+    });
+    group.finish();
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sta");
+    group.sample_size(20);
+    let library = CellLibrary::standard();
+    for gates in [500usize, 2000] {
+        let netlist = generate_circuit(
+            &library,
+            &GeneratorConfig {
+                num_gates: gates,
+                ..Default::default()
+            },
+            1,
+        )
+        .expect("generate");
+        let timing = TimingGraph::new(&netlist, &library).expect("timing");
+        group.bench_with_input(BenchmarkId::from_parameter(gates), &gates, |b, _| {
+            b.iter(|| StaEngine::new(black_box(&timing)))
+        });
+        // Incremental retime after a single-pin change.
+        let base = StaEngine::new(&timing);
+        let mut caps = timing.pin_caps();
+        let victim = timing.num_pins() / 2;
+        caps[victim] *= 5.0;
+        group.bench_with_input(BenchmarkId::new("retime_1pin", gates), &gates, |b, _| {
+            b.iter(|| base.retime_with_caps(black_box(&timing), &caps))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gnn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gnn");
+    group.sample_size(10);
+    let library = CellLibrary::standard();
+    let netlist = generate_circuit(
+        &library,
+        &GeneratorConfig {
+            num_gates: 500,
+            ..Default::default()
+        },
+        2,
+    )
+    .expect("generate");
+    let timing = TimingGraph::new(&netlist, &library).expect("timing");
+    let graph = timing.to_undirected_graph().expect("graph");
+    let arcs: Vec<(usize, usize)> = timing.arcs().iter().map(|&(f, t, _)| (f, t)).collect();
+    let ctx = GraphContext::with_dag(&graph, &arcs).expect("ctx");
+    let n = graph.num_nodes();
+    let x = DenseMatrix::from_rows(
+        &(0..n)
+            .map(|i| vec![(i % 7) as f64 * 0.1, (i % 3) as f64])
+            .collect::<Vec<_>>(),
+    )
+    .expect("features");
+    let mut gcn = GnnModel::new(
+        2,
+        &[
+            LayerSpec::Gcn {
+                dim: 32,
+                activation: Activation::Relu,
+            },
+            LayerSpec::Linear {
+                dim: 1,
+                activation: Activation::Identity,
+            },
+        ],
+        1,
+    )
+    .expect("model");
+    group.bench_function("gcn32_forward", |b| {
+        b.iter(|| gcn.forward(&ctx, black_box(&x), false).expect("forward"))
+    });
+    let mut dag = GnnModel::new(
+        2,
+        &[
+            LayerSpec::DagProp {
+                dim: 32,
+                activation: Activation::Relu,
+            },
+            LayerSpec::Linear {
+                dim: 1,
+                activation: Activation::Identity,
+            },
+        ],
+        1,
+    )
+    .expect("model");
+    group.bench_function("dagprop32_forward", |b| {
+        b.iter(|| dag.forward(&ctx, black_box(&x), false).expect("forward"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spmv,
+    bench_laplacian_solve,
+    bench_eigensolver,
+    bench_resistance,
+    bench_knn_and_pgm,
+    bench_sta,
+    bench_gnn
+);
+criterion_main!(benches);

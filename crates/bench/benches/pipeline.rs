@@ -1,0 +1,107 @@
+//! End-to-end criterion benchmark of the CirSTAG pipeline (Algorithm 1) on
+//! synthetic circuit graphs of increasing size — the criterion companion to
+//! the Fig. 5 runtime study.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cirstag::{CirStag, CirStagConfig};
+use cirstag_circuit::{
+    extract_features, generate_circuit, CellLibrary, FeatureConfig, GeneratorConfig, TimingGraph,
+};
+use cirstag_gnn::{Activation, GnnModel, GraphContext, LayerSpec};
+use cirstag_graph::Graph;
+use cirstag_linalg::DenseMatrix;
+
+struct Prepared {
+    graph: Graph,
+    features: DenseMatrix,
+    embedding: DenseMatrix,
+}
+
+fn prepare(num_gates: usize, seed: u64) -> Prepared {
+    let library = CellLibrary::standard();
+    let netlist = generate_circuit(
+        &library,
+        &GeneratorConfig {
+            num_gates,
+            ..Default::default()
+        },
+        seed,
+    )
+    .expect("generate");
+    let timing = TimingGraph::new(&netlist, &library).expect("timing");
+    let graph = timing.to_undirected_graph().expect("graph");
+    let arcs: Vec<(usize, usize)> = timing.arcs().iter().map(|&(f, t, _)| (f, t)).collect();
+    let ctx = GraphContext::with_dag(&graph, &arcs).expect("ctx");
+    let features = extract_features(
+        &timing,
+        &netlist,
+        &library,
+        &timing.pin_caps(),
+        &FeatureConfig::default(),
+    )
+    .expect("features");
+    let mut model = GnnModel::new(
+        features.ncols(),
+        &[
+            LayerSpec::Linear {
+                dim: 32,
+                activation: Activation::Relu,
+            },
+            LayerSpec::DagProp {
+                dim: 32,
+                activation: Activation::Relu,
+            },
+            LayerSpec::Linear {
+                dim: 16,
+                activation: Activation::Relu,
+            },
+            LayerSpec::Linear {
+                dim: 1,
+                activation: Activation::Identity,
+            },
+        ],
+        seed,
+    )
+    .expect("model");
+    let embedding = model.embeddings(&ctx, &features).expect("embedding");
+    Prepared {
+        graph,
+        features,
+        embedding,
+    }
+}
+
+fn bench_cirstag_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cirstag_pipeline");
+    group.sample_size(10);
+    for gates in [150usize, 400] {
+        let prepared = prepare(gates, 11);
+        let config = CirStagConfig {
+            embedding_dim: 12,
+            knn_k: 8,
+            num_eigenpairs: 10,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(prepared.graph.num_nodes()),
+            &gates,
+            |b, _| {
+                b.iter(|| {
+                    CirStag::new(config)
+                        .analyze(
+                            black_box(&prepared.graph),
+                            Some(&prepared.features),
+                            &prepared.embedding,
+                        )
+                        .expect("analyze")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cirstag_end_to_end);
+criterion_main!(benches);

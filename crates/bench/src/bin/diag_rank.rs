@@ -1,0 +1,91 @@
+//! Diagnostic: how well do CirSTAG scores track true per-pin GNN sensitivity?
+//! Not part of the paper reproduction; used to calibrate the Case-A protocol.
+
+use cirstag::CirStagConfig;
+use cirstag_bench::case_a::{TimingCase, TimingCaseConfig};
+
+fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    fn ranks(v: &[f64]) -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&x, &y| v[x].partial_cmp(&v[y]).unwrap());
+        let mut r = vec![0.0; v.len()];
+        for (rank, &i) in idx.iter().enumerate() {
+            r[i] = rank as f64;
+        }
+        r
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    let n = a.len() as f64;
+    let ma = ra.iter().sum::<f64>() / n;
+    let mb = rb.iter().sum::<f64>() / n;
+    let cov: f64 = ra.iter().zip(&rb).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = ra.iter().map(|x| (x - ma) * (x - ma)).sum();
+    let vb: f64 = rb.iter().map(|y| (y - mb) * (y - mb)).sum();
+    cov / (va.sqrt() * vb.sqrt()).max(1e-30)
+}
+
+fn main() {
+    let mut case = TimingCase::build(
+        "diag",
+        &TimingCaseConfig {
+            num_gates: 300,
+            seed: 101,
+            epochs: 260,
+            hidden: 32,
+        },
+    )
+    .unwrap();
+    eprintln!("R2 = {:.4}", case.r2);
+    let eligible = case.eligible();
+    let n = case.timing.num_pins();
+
+    // Ground truth: per-pin sensitivity = mean |Δpred| over POs when that
+    // pin's cap is scaled 10x.
+    let mut truth = vec![0.0f64; n];
+    for p in 0..n {
+        if !eligible[p] {
+            continue;
+        }
+        let o = case.perturb_outcome(&[p], 10.0).unwrap();
+        truth[p] = o.mean();
+    }
+
+    for (label, m, s_pairs, k) in [
+        ("m16 s12 k10", 16usize, 12usize, 10usize),
+        ("m16 s25 k10", 16, 25, 10),
+        ("m32 s25 k10", 32, 25, 10),
+        ("m16 s50 k10", 16, 50, 10),
+        ("m16 s25 k15", 16, 25, 15),
+        ("m8  s12 k6 ", 8, 12, 6),
+    ] {
+        let cfg = CirStagConfig {
+            feature_weight: 0.0,
+            embedding_dim: m,
+            num_eigenpairs: s_pairs,
+            knn_k: k,
+            ..Default::default()
+        };
+        let report = case.stability(cfg).unwrap();
+        let el_scores: Vec<f64> = (0..n)
+            .filter(|&p| eligible[p])
+            .map(|p| report.node_scores[p])
+            .collect();
+        let el_truth: Vec<f64> = (0..n).filter(|&p| eligible[p]).map(|p| truth[p]).collect();
+        let rho = spearman(&el_scores, &el_truth);
+        // Top-decile overlap.
+        let top_s = cirstag::top_fraction(&report.node_scores, 0.10, Some(&eligible));
+        let top_t = cirstag::top_fraction(&truth, 0.10, Some(&eligible));
+        let overlap =
+            top_s.iter().filter(|i| top_t.contains(i)).count() as f64 / top_s.len().max(1) as f64;
+        // Separation using truth values of chosen sets.
+        let bot_s = cirstag::bottom_fraction(&report.node_scores, 0.10, Some(&eligible));
+        let mean_t =
+            |set: &[usize]| set.iter().map(|&i| truth[i]).sum::<f64>() / set.len().max(1) as f64;
+        println!(
+            "{label:>10}: spearman {rho:+.3} | top10% overlap {overlap:.2} | truth(top) {:.4} vs truth(bottom) {:.4}",
+            mean_t(&top_s),
+            mean_t(&bot_s)
+        );
+    }
+}

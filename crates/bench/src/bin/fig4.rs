@@ -1,0 +1,82 @@
+//! Regenerates Fig. 4 (ablation): the same distribution as Fig. 3 but with
+//! the Phase-1 dimensionality reduction *skipped* — the raw circuit graph is
+//! used as the input manifold. The paper finds the unstable/stable contrast
+//! collapses; this binary quantifies the collapse as the ratio of unstable
+//! to stable mean changes for both variants.
+//!
+//! Usage: `cargo run -p cirstag-bench --release --bin fig4`
+
+use cirstag::CirStagConfig;
+use cirstag_bench::case_a::{TimingCase, TimingCaseConfig};
+use cirstag_bench::report::render_histogram;
+
+fn main() {
+    let mut case = TimingCase::build(
+        "syn_ctl300",
+        &TimingCaseConfig {
+            num_gates: 300,
+            seed: 101,
+            epochs: 260,
+            hidden: 32,
+        },
+    )
+    .expect("benchmark construction");
+    eprintln!("[fig4] GNN R² = {:.4}", case.r2);
+
+    let mut ratios = Vec::new();
+    for (label, skip) in [
+        ("with dim. reduction", false),
+        ("WITHOUT dim. reduction", true),
+    ] {
+        let cfg = CirStagConfig {
+            embedding_dim: 16,
+            num_eigenpairs: 25,
+            knn_k: 10,
+            feature_weight: 0.0,
+            skip_dimension_reduction: skip,
+            ..Default::default()
+        };
+        let report = case.stability(cfg).expect("cirstag");
+        let eligible = case.eligible();
+        let unstable = cirstag::top_fraction(&report.node_scores, 0.10, Some(&eligible));
+        let stable = cirstag::bottom_fraction(&report.node_scores, 0.10, Some(&eligible));
+        let u = case
+            .perturb_outcome(&unstable, 10.0)
+            .expect("perturb unstable");
+        let s = case.perturb_outcome(&stable, 10.0).expect("perturb stable");
+        let hi = u
+            .per_output
+            .iter()
+            .chain(&s.per_output)
+            .fold(0.0f64, |a, &b| a.max(b))
+            .max(1e-6);
+        println!("\n=== {label} ===");
+        println!(
+            "{}",
+            render_histogram("unstable nodes perturbed", &u.per_output, 0.0, hi, 12)
+        );
+        println!(
+            "{}",
+            render_histogram("stable nodes perturbed", &s.per_output, 0.0, hi, 12)
+        );
+        let ratio = u.mean() / s.mean().max(1e-12);
+        println!(
+            "summary: unstable mean {:.4} vs stable mean {:.4} → separation {:.2}x",
+            u.mean(),
+            s.mean(),
+            ratio
+        );
+        ratios.push(ratio);
+    }
+    println!(
+        "\nshape check: separation collapses without dimensionality reduction \
+         ({:.2}x → {:.2}x): {}",
+        ratios[0],
+        ratios[1],
+        if ratios[1] < ratios[0] {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+}

@@ -1,0 +1,422 @@
+//! Case Study A: circuit-delay stability under pin-capacitance perturbations.
+//!
+//! Mirrors Section V-A of the paper: a GNN is trained to mimic pre-routing
+//! STA arrival times on a synthetic benchmark, CirSTAG ranks pin stability,
+//! and perturbing unstable-vs-stable pin capacitances quantifies the ranking
+//! through the relative change of the GNN's primary-output predictions.
+
+use cirstag::{CirStag, CirStagConfig, StabilityReport};
+use cirstag_circuit::{
+    extract_features, generate_circuit, CellLibrary, CircuitError, FeatureConfig, GeneratorConfig,
+    Netlist, PinRole, StaEngine, TimingGraph,
+};
+use cirstag_gnn::{r2_score, Activation, GnnError, GnnModel, GraphContext, LayerSpec, TrainConfig};
+use cirstag_graph::Graph;
+use cirstag_linalg::DenseMatrix;
+
+/// Error type for the case-study harnesses.
+#[derive(Debug)]
+pub enum CaseError {
+    /// Circuit substrate failure.
+    Circuit(CircuitError),
+    /// GNN failure.
+    Gnn(GnnError),
+    /// CirSTAG pipeline failure.
+    CirStag(cirstag::CirStagError),
+}
+
+impl std::fmt::Display for CaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaseError::Circuit(e) => write!(f, "circuit error: {e}"),
+            CaseError::Gnn(e) => write!(f, "gnn error: {e}"),
+            CaseError::CirStag(e) => write!(f, "cirstag error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CaseError {}
+
+impl From<CircuitError> for CaseError {
+    fn from(e: CircuitError) -> Self {
+        CaseError::Circuit(e)
+    }
+}
+impl From<GnnError> for CaseError {
+    fn from(e: GnnError) -> Self {
+        CaseError::Gnn(e)
+    }
+}
+impl From<cirstag::CirStagError> for CaseError {
+    fn from(e: cirstag::CirStagError) -> Self {
+        CaseError::CirStag(e)
+    }
+}
+
+/// A fully prepared timing case: benchmark + trained GNN + graph context.
+pub struct TimingCase {
+    /// Benchmark name.
+    pub name: String,
+    /// The netlist.
+    pub netlist: Netlist,
+    /// Pin-level timing graph.
+    pub timing: TimingGraph,
+    /// Undirected pin graph (CirSTAG input).
+    pub graph: Graph,
+    /// Cell library.
+    pub library: CellLibrary,
+    /// GNN message-passing context.
+    pub ctx: GraphContext,
+    /// Nominal feature matrix.
+    pub features: DenseMatrix,
+    /// Normalized arrival-time targets (arrival / critical).
+    pub targets: DenseMatrix,
+    /// The trained arrival-time regressor.
+    pub model: GnnModel,
+    /// Training-set R² of the regressor.
+    pub r2: f64,
+    feature_config: FeatureConfig,
+}
+
+/// Options for [`TimingCase::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct TimingCaseConfig {
+    /// Gate count of the synthetic benchmark.
+    pub num_gates: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// GNN training epochs.
+    pub epochs: usize,
+    /// GNN hidden width.
+    pub hidden: usize,
+}
+
+impl Default for TimingCaseConfig {
+    fn default() -> Self {
+        TimingCaseConfig {
+            num_gates: 600,
+            seed: 42,
+            epochs: 260,
+            hidden: 32,
+        }
+    }
+}
+
+impl TimingCase {
+    /// Generates the benchmark, runs STA, and trains the timing GNN.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate failures; training divergence surfaces as
+    /// [`CaseError::Gnn`].
+    pub fn build(name: &str, config: &TimingCaseConfig) -> Result<Self, CaseError> {
+        let library = CellLibrary::standard();
+        let netlist = generate_circuit(
+            &library,
+            &GeneratorConfig {
+                num_gates: config.num_gates,
+                ..Default::default()
+            },
+            config.seed,
+        )?;
+        let timing = TimingGraph::new(&netlist, &library)?;
+        let graph = timing.to_undirected_graph()?;
+        // DAG context: the GNN propagates along the timing arcs exactly like
+        // the pre-routing timing GNN of [17], so a single DagProp layer has a
+        // full source-to-sink receptive field.
+        let arcs: Vec<(usize, usize)> = timing.arcs().iter().map(|&(f, t, _)| (f, t)).collect();
+        let ctx = GraphContext::with_dag(&graph, &arcs)?;
+        let feature_config = FeatureConfig::default();
+        let features = extract_features(
+            &timing,
+            &netlist,
+            &library,
+            &timing.pin_caps(),
+            &feature_config,
+        )?;
+        let sta = StaEngine::new(&timing);
+        let critical = sta.critical_arrival().max(1e-12);
+        let targets = DenseMatrix::from_rows(
+            &sta.arrival_times()
+                .iter()
+                .map(|&a| vec![a / critical])
+                .collect::<Vec<_>>(),
+        )
+        .expect("uniform rows");
+
+        let mut model = GnnModel::new(
+            features.ncols(),
+            &[
+                LayerSpec::Linear {
+                    dim: config.hidden,
+                    activation: Activation::Relu,
+                },
+                LayerSpec::DagProp {
+                    dim: config.hidden,
+                    activation: Activation::Relu,
+                },
+                LayerSpec::Linear {
+                    dim: config.hidden / 2,
+                    activation: Activation::Relu,
+                },
+                LayerSpec::Linear {
+                    dim: 1,
+                    activation: Activation::Identity,
+                },
+            ],
+            config.seed ^ 0x6a11,
+        )?;
+        let train = TrainConfig {
+            epochs: config.epochs,
+            learning_rate: 8e-3,
+            weight_decay: 1e-5,
+            clip_norm: 5.0,
+            ..TrainConfig::default()
+        };
+        model.fit_regression(&ctx, &features, &targets, None, &train)?;
+        let pred = model.forward(&ctx, &features, false)?;
+        let r2 = r2_score(&pred, &targets);
+
+        Ok(TimingCase {
+            name: name.to_string(),
+            netlist,
+            timing,
+            graph,
+            library,
+            ctx,
+            features,
+            targets,
+            model,
+            r2,
+            feature_config,
+        })
+    }
+
+    /// Pins eligible for perturbation: positive capacitance, not a primary
+    /// output (the paper excludes output pins).
+    pub fn eligible(&self) -> Vec<bool> {
+        (0..self.timing.num_pins())
+            .map(|p| {
+                self.timing.pin(p).capacitance > 0.0
+                    && self.timing.pin(p).role != PinRole::PrimaryOutput
+            })
+            .collect()
+    }
+
+    /// Runs CirSTAG on the pin graph with the nominal features.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline failures.
+    pub fn stability(&mut self, config: CirStagConfig) -> Result<StabilityReport, CaseError> {
+        let embedding = self.model.embeddings(&self.ctx, &self.features)?;
+        Ok(CirStag::new(config).analyze(&self.graph, Some(&self.features), &embedding)?)
+    }
+
+    /// Perturbs the capacitance of `pins` by `scale`, re-runs the GNN, and
+    /// returns the relative change of the arrival prediction at each primary
+    /// output: `|pred' − pred| / |pred|`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate failures.
+    pub fn perturb_outcome(
+        &mut self,
+        pins: &[usize],
+        scale: f64,
+    ) -> Result<PerturbOutcome, CaseError> {
+        let base_pred = self.model.forward(&self.ctx, &self.features, false)?;
+        let perturbation = cirstag_circuit::CapPerturbation::new(pins.to_vec(), scale)?;
+        let caps = cirstag_circuit::perturb_pin_caps(&self.timing, &perturbation)?;
+        let features = extract_features(
+            &self.timing,
+            &self.netlist,
+            &self.library,
+            &caps,
+            &self.feature_config,
+        )?;
+        let pred = self.model.forward(&self.ctx, &features, false)?;
+        // Denominator floor: a few POs sit right behind primary inputs and
+        // have near-zero arrivals, which would make relative changes there
+        // meaninglessly explode; clamp at 5% of the worst base arrival.
+        let floor = self
+            .timing
+            .po_pins()
+            .iter()
+            .map(|&po| base_pred.get(po, 0).abs())
+            .fold(0.0f64, f64::max)
+            * 0.05;
+        let mut rel = Vec::with_capacity(self.timing.po_pins().len());
+        for &po in self.timing.po_pins() {
+            let b = base_pred.get(po, 0);
+            let p = pred.get(po, 0);
+            let denom = b.abs().max(floor).max(1e-9);
+            rel.push((p - b).abs() / denom);
+        }
+        // Ground truth for comparison: STA with perturbed caps.
+        let base_sta = StaEngine::new(&self.timing);
+        let pert_sta = StaEngine::with_caps(&self.timing, &caps);
+        let mut sta_rel = Vec::with_capacity(rel.len());
+        for &po in self.timing.po_pins() {
+            let b = base_sta.arrival(po).max(1e-12);
+            sta_rel.push((pert_sta.arrival(po) - base_sta.arrival(po)).abs() / b);
+        }
+        Ok(PerturbOutcome {
+            per_output: rel,
+            sta_per_output: sta_rel,
+        })
+    }
+}
+
+/// Result of a perturbation experiment.
+#[derive(Debug, Clone)]
+pub struct PerturbOutcome {
+    /// Relative GNN prediction change per primary output.
+    pub per_output: Vec<f64>,
+    /// Relative ground-truth (STA) arrival change per primary output.
+    pub sta_per_output: Vec<f64>,
+}
+
+impl PerturbOutcome {
+    /// Mean relative prediction change.
+    pub fn mean(&self) -> f64 {
+        mean(&self.per_output)
+    }
+
+    /// Maximum relative prediction change.
+    pub fn max(&self) -> f64 {
+        self.per_output.iter().fold(0.0f64, |a, &b| a.max(b))
+    }
+
+    /// Mean relative STA (ground-truth) change.
+    pub fn sta_mean(&self) -> f64 {
+        mean(&self.sta_per_output)
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// One Table-I cell: unstable-vs-stable outcome for a (scale, fraction)
+/// setting.
+#[derive(Debug, Clone)]
+pub struct TableCell {
+    /// Perturbed node fraction.
+    pub fraction: f64,
+    /// Capacitance scale factor.
+    pub scale: f64,
+    /// Outcome when perturbing the most-unstable nodes.
+    pub unstable: PerturbOutcome,
+    /// Outcome when perturbing the most-stable nodes.
+    pub stable: PerturbOutcome,
+}
+
+/// Runs the full Table-I protocol for one benchmark: CirSTAG ranking once,
+/// then unstable/stable perturbations over the fraction × scale grid.
+///
+/// # Errors
+///
+/// Propagates harness failures.
+pub fn table1_row(
+    case: &mut TimingCase,
+    cirstag_config: CirStagConfig,
+    fractions: &[f64],
+    scales: &[f64],
+) -> Result<Vec<TableCell>, CaseError> {
+    let report = case.stability(cirstag_config)?;
+    let eligible = case.eligible();
+    let mut cells = Vec::new();
+    for &scale in scales {
+        for &fraction in fractions {
+            let unstable_pins =
+                cirstag::top_fraction(&report.node_scores, fraction, Some(&eligible));
+            let stable_pins =
+                cirstag::bottom_fraction(&report.node_scores, fraction, Some(&eligible));
+            let unstable = case.perturb_outcome(&unstable_pins, scale)?;
+            let stable = case.perturb_outcome(&stable_pins, scale)?;
+            cells.push(TableCell {
+                fraction,
+                scale,
+                unstable,
+                stable,
+            });
+        }
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_case() -> TimingCase {
+        TimingCase::build(
+            "unit",
+            &TimingCaseConfig {
+                num_gates: 120,
+                seed: 5,
+                epochs: 150,
+                hidden: 16,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn gnn_fits_arrival_times() {
+        let case = small_case();
+        assert!(case.r2 > 0.9, "r2 = {}", case.r2);
+    }
+
+    #[test]
+    fn eligible_excludes_pos_and_zero_cap() {
+        let case = small_case();
+        let eligible = case.eligible();
+        for &po in case.timing.po_pins() {
+            assert!(!eligible[po]);
+        }
+        for &pi in case.timing.pi_pins() {
+            assert!(!eligible[pi]); // PI pins have zero capacitance
+        }
+        assert!(eligible.iter().any(|&e| e));
+    }
+
+    #[test]
+    fn perturbation_moves_predictions() {
+        let mut case = small_case();
+        let eligible = case.eligible();
+        let pins: Vec<usize> = (0..case.timing.num_pins())
+            .filter(|&p| eligible[p])
+            .collect();
+        let outcome = case.perturb_outcome(&pins, 10.0).unwrap();
+        assert!(outcome.mean() > 0.0);
+        assert!(outcome.max() >= outcome.mean());
+        assert!(outcome.sta_mean() > 0.0);
+    }
+
+    #[test]
+    fn empty_perturbation_is_identity() {
+        let mut case = small_case();
+        let outcome = case.perturb_outcome(&[], 10.0).unwrap();
+        assert_eq!(outcome.mean(), 0.0);
+        assert_eq!(outcome.max(), 0.0);
+    }
+
+    #[test]
+    fn stability_report_covers_all_pins() {
+        let mut case = small_case();
+        let cfg = cirstag::CirStagConfig {
+            embedding_dim: 6,
+            knn_k: 6,
+            num_eigenpairs: 5,
+            ..Default::default()
+        };
+        let report = case.stability(cfg).unwrap();
+        assert_eq!(report.node_scores.len(), case.timing.num_pins());
+    }
+}

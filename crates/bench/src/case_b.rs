@@ -1,0 +1,309 @@
+//! Case Study B: stability under circuit-topology perturbations.
+//!
+//! Mirrors Section V-B: a GAT classifies gates of an interconnected netlist
+//! into sub-circuit classes; CirSTAG ranks gate stability from the gate
+//! graph and the GAT's embeddings; rewiring the inputs of unstable-vs-stable
+//! gates quantifies the ranking through embedding cosine similarity and
+//! F1-macro degradation.
+
+use crate::case_a::CaseError;
+use cirstag::{CirStag, CirStagConfig, StabilityReport};
+use cirstag_gnn::{
+    accuracy, f1_macro, mean_row_cosine, Activation, GnnModel, GraphContext, LayerSpec, TrainConfig,
+};
+use cirstag_linalg::DenseMatrix;
+use cirstag_reveng::{
+    build_interconnected, functionality_features, gate_graph, rewire_gate_inputs,
+    InterconnectedConfig, LabeledDataset, NeighborhoodConfig, NUM_CLASSES,
+};
+
+/// A fully prepared reverse-engineering case: dataset + trained GAT.
+pub struct RevengCase {
+    /// The labelled dataset (netlist, labels, gate graph).
+    pub dataset: LabeledDataset,
+    /// Message-passing context over the gate graph.
+    pub ctx: GraphContext,
+    /// Functionality features.
+    pub features: DenseMatrix,
+    /// The trained classifier.
+    pub model: GnnModel,
+    /// Accuracy on the full gate set.
+    pub accuracy: f64,
+    /// F1-macro on the full gate set.
+    pub f1: f64,
+    /// Accuracy on the held-out gates only (1.0 when `train_fraction = 1`).
+    pub test_accuracy: f64,
+    /// Training mask used (true = gate seen during training).
+    pub train_mask: Vec<bool>,
+    neighborhood: NeighborhoodConfig,
+}
+
+/// Options for [`RevengCase::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct RevengCaseConfig {
+    /// Number of stitched modules.
+    pub num_modules: usize,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Per-head hidden width.
+    pub head_dim: usize,
+    /// Fraction of gates used for training (the rest are held out for the
+    /// transductive test metric, as in the paper's evaluation protocol).
+    pub train_fraction: f64,
+}
+
+impl Default for RevengCaseConfig {
+    fn default() -> Self {
+        RevengCaseConfig {
+            num_modules: 42,
+            seed: 17,
+            epochs: 260,
+            heads: 2,
+            head_dim: 12,
+            train_fraction: 0.8,
+        }
+    }
+}
+
+impl RevengCase {
+    /// Builds the dataset and trains the GAT classifier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate/training failures.
+    pub fn build(config: &RevengCaseConfig) -> Result<Self, CaseError> {
+        let dataset = build_interconnected(
+            &InterconnectedConfig {
+                num_modules: config.num_modules,
+                ..Default::default()
+            },
+            config.seed,
+        )?;
+        let ctx = GraphContext::new(&dataset.gate_graph);
+        let neighborhood = NeighborhoodConfig::default();
+        let features = functionality_features(
+            &dataset.netlist,
+            &dataset.library,
+            &dataset.gate_graph,
+            &neighborhood,
+        )?;
+        let mut model = GnnModel::new(
+            features.ncols(),
+            &[
+                LayerSpec::Gat {
+                    head_dim: config.head_dim,
+                    num_heads: config.heads,
+                    activation: Activation::Elu,
+                },
+                LayerSpec::Gat {
+                    head_dim: config.head_dim,
+                    num_heads: config.heads,
+                    activation: Activation::Elu,
+                },
+                LayerSpec::Linear {
+                    dim: NUM_CLASSES,
+                    activation: Activation::Identity,
+                },
+            ],
+            config.seed ^ 0xB417,
+        )?;
+        let train = TrainConfig {
+            epochs: config.epochs,
+            learning_rate: 8e-3,
+            weight_decay: 1e-5,
+            clip_norm: 5.0,
+            ..TrainConfig::default()
+        };
+        // Deterministic transductive split: every k-th gate is held out,
+        // with k = round(1 / (1 − train_fraction)).
+        let n = dataset.netlist.num_cells();
+        let frac = config.train_fraction.clamp(0.05, 1.0);
+        let train_mask: Vec<bool> = if frac >= 1.0 {
+            vec![true; n]
+        } else {
+            let k = ((1.0 / (1.0 - frac)).round() as usize).max(2);
+            (0..n).map(|g| g % k != 0).collect()
+        };
+        let mask_opt = if frac >= 1.0 {
+            None
+        } else {
+            Some(&train_mask[..])
+        };
+        model.fit_classification(&ctx, &features, &dataset.labels, mask_opt, &train)?;
+        let logits = model.forward(&ctx, &features, false)?;
+        let acc = accuracy(&logits, &dataset.labels);
+        let f1 = f1_macro(&logits, &dataset.labels);
+        // Held-out accuracy.
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for g in 0..n {
+            if !train_mask[g] {
+                total += 1;
+                let row = (0..logits.ncols())
+                    .max_by(|&a, &b| {
+                        logits
+                            .get(g, a)
+                            .partial_cmp(&logits.get(g, b))
+                            .expect("finite logits")
+                    })
+                    .expect("nonempty row");
+                if row == dataset.labels[g] {
+                    correct += 1;
+                }
+            }
+        }
+        let test_accuracy = if total == 0 {
+            1.0
+        } else {
+            correct as f64 / total as f64
+        };
+        Ok(RevengCase {
+            dataset,
+            ctx,
+            features,
+            model,
+            accuracy: acc,
+            f1,
+            test_accuracy,
+            train_mask,
+            neighborhood,
+        })
+    }
+
+    /// Runs CirSTAG on the gate graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline failures.
+    pub fn stability(&mut self, config: CirStagConfig) -> Result<StabilityReport, CaseError> {
+        let embedding = self.model.embeddings(&self.ctx, &self.features)?;
+        Ok(CirStag::new(config).analyze(
+            &self.dataset.gate_graph,
+            Some(&self.features),
+            &embedding,
+        )?)
+    }
+
+    /// Rewires the inputs of `gates`, rebuilds the graph/features, and
+    /// measures the impact: cosine similarity between old and new embeddings
+    /// and the new F1-macro / accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate failures.
+    pub fn rewire_outcome(
+        &mut self,
+        gates: &[usize],
+        seed: u64,
+    ) -> Result<RewireOutcome, CaseError> {
+        let base_embedding = self.model.embeddings(&self.ctx, &self.features)?;
+        let rewired = rewire_gate_inputs(&self.dataset.netlist, gates, seed)?;
+        let new_graph = gate_graph(&rewired)?;
+        let new_ctx = GraphContext::new(&new_graph);
+        let new_features = functionality_features(
+            &rewired,
+            &self.dataset.library,
+            &new_graph,
+            &self.neighborhood,
+        )?;
+        let new_embedding = self.model.embeddings(&new_ctx, &new_features)?;
+        let logits = self.model.forward(&new_ctx, &new_features, false)?;
+        // Metrics restricted to the rewired gates themselves: the natural
+        // reading of the paper's protocol — the perturbed sub-circuits are
+        // the ones whose classification is at stake.
+        let mut sub_rows = Vec::with_capacity(gates.len());
+        let mut sub_labels = Vec::with_capacity(gates.len());
+        for &g in gates {
+            sub_rows.push(logits.row(g).to_vec());
+            sub_labels.push(self.dataset.labels[g]);
+        }
+        let (f1_perturbed, accuracy_perturbed) = if sub_rows.is_empty() {
+            (1.0, 1.0)
+        } else {
+            let sub = DenseMatrix::from_rows(&sub_rows).expect("uniform rows");
+            (f1_macro(&sub, &sub_labels), accuracy(&sub, &sub_labels))
+        };
+        Ok(RewireOutcome {
+            cosine: mean_row_cosine(&base_embedding, &new_embedding),
+            f1: f1_macro(&logits, &self.dataset.labels),
+            accuracy: accuracy(&logits, &self.dataset.labels),
+            f1_perturbed,
+            accuracy_perturbed,
+        })
+    }
+}
+
+/// Impact of a topology perturbation.
+#[derive(Debug, Clone, Copy)]
+pub struct RewireOutcome {
+    /// Mean per-gate cosine similarity between unperturbed and perturbed
+    /// embeddings (1.0 = unchanged).
+    pub cosine: f64,
+    /// F1-macro of the classifier on the perturbed topology against the
+    /// original labels (all gates).
+    pub f1: f64,
+    /// Accuracy on the perturbed topology (all gates).
+    pub accuracy: f64,
+    /// F1-macro restricted to the rewired gates themselves.
+    pub f1_perturbed: f64,
+    /// Accuracy restricted to the rewired gates themselves.
+    pub accuracy_perturbed: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_case() -> RevengCase {
+        RevengCase::build(&RevengCaseConfig {
+            num_modules: 10,
+            seed: 3,
+            epochs: 120,
+            heads: 2,
+            head_dim: 8,
+            train_fraction: 0.8,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn classifier_learns_subcircuits() {
+        let case = small_case();
+        assert!(case.accuracy > 0.8, "accuracy {}", case.accuracy);
+        assert!(case.f1 > 0.7, "f1 {}", case.f1);
+    }
+
+    #[test]
+    fn stability_scores_cover_gates() {
+        let mut case = small_case();
+        let cfg = CirStagConfig {
+            embedding_dim: 6,
+            knn_k: 6,
+            num_eigenpairs: 5,
+            ..Default::default()
+        };
+        let report = case.stability(cfg).unwrap();
+        assert_eq!(report.node_scores.len(), case.dataset.netlist.num_cells());
+    }
+
+    #[test]
+    fn rewiring_degrades_metrics() {
+        let mut case = small_case();
+        let all: Vec<usize> = (0..case.dataset.netlist.num_cells()).collect();
+        let outcome = case.rewire_outcome(&all, 1).unwrap();
+        assert!(outcome.cosine < 0.999);
+        assert!(outcome.f1 <= case.f1 + 1e-9);
+    }
+
+    #[test]
+    fn no_rewiring_is_identity() {
+        let mut case = small_case();
+        let outcome = case.rewire_outcome(&[], 1).unwrap();
+        assert!((outcome.cosine - 1.0).abs() < 1e-9);
+        assert!((outcome.f1 - case.f1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,114 @@
+//! Plain-text table and histogram rendering for the experiment binaries.
+
+/// Renders a fixed-width table: `headers` then one row per entry.
+///
+/// # Panics
+///
+/// Panics if any row length differs from the header length.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for r in rows {
+        assert_eq!(r.len(), headers.len(), "table row width mismatch");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (w, cell) in widths.iter_mut().zip(r) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {c:>w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&"-".repeat(w + 2));
+        sep.push('|');
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for r in rows {
+        out.push_str(&fmt_row(r, &widths));
+    }
+    out
+}
+
+/// Renders an ASCII histogram of `values` over `bins` equal-width buckets
+/// between `lo` and `hi` (values outside are clamped into the end buckets).
+pub fn render_histogram(title: &str, values: &[f64], lo: f64, hi: f64, bins: usize) -> String {
+    let bins = bins.max(1);
+    let mut counts = vec![0usize; bins];
+    let span = (hi - lo).max(1e-300);
+    for &v in values {
+        let t = ((v - lo) / span).clamp(0.0, 1.0);
+        let b = ((t * bins as f64) as usize).min(bins - 1);
+        counts[b] += 1;
+    }
+    let max_count = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = format!("{title} (n = {})\n", values.len());
+    for (i, &c) in counts.iter().enumerate() {
+        let b_lo = lo + span * i as f64 / bins as f64;
+        let b_hi = lo + span * (i + 1) as f64 / bins as f64;
+        let bar = "#".repeat((c * 50).div_ceil(max_count).min(50));
+        out.push_str(&format!("[{b_lo:8.4}, {b_hi:8.4}) {c:6} {bar}\n"));
+    }
+    out
+}
+
+/// Formats a pair as the paper's "unstable/stable" cell, e.g. `0.3125/0.0012`.
+pub fn pair_cell(unstable: f64, stable: f64) -> String {
+    format!("{unstable:.4}/{stable:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".to_string(), "1.0".to_string()],
+                vec!["long_name".to_string(), "2.25".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[3].len());
+        assert!(t.contains("long_name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn ragged_rows_panic() {
+        let _ = render_table(&["a"], &[vec!["1".to_string(), "2".to_string()]]);
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let h = render_histogram("test", &[0.1, 0.1, 0.9], 0.0, 1.0, 2);
+        assert!(h.contains("n = 3"));
+        let lines: Vec<&str> = h.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("2"));
+        assert!(lines[2].contains("1"));
+    }
+
+    #[test]
+    fn histogram_clamps_outliers() {
+        let h = render_histogram("clamp", &[-5.0, 10.0], 0.0, 1.0, 2);
+        assert!(h.contains("n = 2"));
+    }
+
+    #[test]
+    fn pair_cell_format() {
+        assert_eq!(pair_cell(0.3125, 0.0012), "0.3125/0.0012");
+    }
+}

@@ -1,0 +1,316 @@
+//! Standard-cell library with a linear delay model.
+
+use crate::CircuitError;
+
+/// Index of a cell within a [`CellLibrary`].
+pub type CellId = usize;
+
+/// Logical function family of a cell, used for feature one-hots and for the
+/// Boolean bookkeeping in the reverse-engineering case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CellKind {
+    /// Non-inverting buffer.
+    Buf,
+    /// Inverter.
+    Inv,
+    /// 2-input AND.
+    And2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer (inputs: a, b, select).
+    Mux2,
+    /// 3-input AND-OR-invert (inputs: a, b, c) computing `!(a·b + c)`.
+    Aoi21,
+    /// Full-adder majority (carry) gate, 3 inputs.
+    Maj3,
+}
+
+impl CellKind {
+    /// All kinds in library order.
+    pub const ALL: [CellKind; 11] = [
+        CellKind::Buf,
+        CellKind::Inv,
+        CellKind::And2,
+        CellKind::Nand2,
+        CellKind::Or2,
+        CellKind::Nor2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Mux2,
+        CellKind::Aoi21,
+        CellKind::Maj3,
+    ];
+
+    /// Canonical cell name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CellKind::Buf => "BUF",
+            CellKind::Inv => "INV",
+            CellKind::And2 => "AND2",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Or2 => "OR2",
+            CellKind::Nor2 => "NOR2",
+            CellKind::Xor2 => "XOR2",
+            CellKind::Xnor2 => "XNOR2",
+            CellKind::Mux2 => "MUX2",
+            CellKind::Aoi21 => "AOI21",
+            CellKind::Maj3 => "MAJ3",
+        }
+    }
+
+    /// Parses a canonical cell name.
+    pub fn from_name(name: &str) -> Option<CellKind> {
+        CellKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// Evaluates the cell's Boolean function (used by the reverse-engineering
+    /// substrate to derive functionality features).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` does not match the cell arity.
+    pub fn evaluate(&self, inputs: &[bool]) -> bool {
+        match self {
+            CellKind::Buf => inputs[0],
+            CellKind::Inv => !inputs[0],
+            CellKind::And2 => inputs[0] && inputs[1],
+            CellKind::Nand2 => !(inputs[0] && inputs[1]),
+            CellKind::Or2 => inputs[0] || inputs[1],
+            CellKind::Nor2 => !(inputs[0] || inputs[1]),
+            CellKind::Xor2 => inputs[0] ^ inputs[1],
+            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellKind::Mux2 => {
+                if inputs[2] {
+                    inputs[1]
+                } else {
+                    inputs[0]
+                }
+            }
+            CellKind::Aoi21 => !((inputs[0] && inputs[1]) || inputs[2]),
+            CellKind::Maj3 => {
+                // Majority: at least two of the three inputs are high.
+                inputs.iter().filter(|&&b| b).count() >= 2
+            }
+        }
+    }
+
+    /// Number of input pins.
+    pub fn arity(&self) -> usize {
+        match self {
+            CellKind::Buf | CellKind::Inv => 1,
+            CellKind::Mux2 | CellKind::Aoi21 | CellKind::Maj3 => 3,
+            _ => 2,
+        }
+    }
+}
+
+/// A library cell with a linear (load-dependent) delay model:
+/// `delay = intrinsic_delay + drive_resistance × load_capacitance`.
+///
+/// Units are arbitrary but consistent: delays in nanoseconds, capacitance in
+/// picofarads, resistance in kΩ (so kΩ·pF = ns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Function family.
+    pub kind: CellKind,
+    /// Fixed delay component (ns).
+    pub intrinsic_delay: f64,
+    /// Output drive resistance (kΩ).
+    pub drive_resistance: f64,
+    /// Input-pin capacitances, one per input pin (pF).
+    pub input_caps: Vec<f64>,
+    /// Parasitic capacitance of the output pin itself (pF).
+    pub output_cap: f64,
+}
+
+impl Cell {
+    /// Number of input pins.
+    pub fn arity(&self) -> usize {
+        self.input_caps.len()
+    }
+
+    /// Gate delay for the given load capacitance.
+    pub fn delay(&self, load_cap: f64) -> f64 {
+        self.intrinsic_delay + self.drive_resistance * load_cap
+    }
+}
+
+/// A standard-cell library.
+///
+/// # Example
+///
+/// ```
+/// use cirstag_circuit::{CellKind, CellLibrary};
+///
+/// let lib = CellLibrary::standard();
+/// let nand = lib.by_kind(CellKind::Nand2).expect("standard library has NAND2");
+/// assert_eq!(lib.cell(nand).arity(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellLibrary {
+    cells: Vec<Cell>,
+}
+
+impl CellLibrary {
+    /// Builds a library from explicit cells.
+    pub fn new(cells: Vec<Cell>) -> Self {
+        CellLibrary { cells }
+    }
+
+    /// The default 11-cell library with 45 nm-flavoured characteristics:
+    /// inverting gates are fast with low input capacitance, complex gates
+    /// (XOR/MUX/MAJ) are slower and heavier, matching the relative ordering
+    /// of open PDKs.
+    pub fn standard() -> Self {
+        fn cell(kind: CellKind, d: f64, r: f64, cin: f64) -> Cell {
+            Cell {
+                kind,
+                intrinsic_delay: d,
+                drive_resistance: r,
+                input_caps: vec![cin; kind.arity()],
+                output_cap: 0.2 * cin,
+            }
+        }
+        CellLibrary::new(vec![
+            cell(CellKind::Buf, 0.030, 1.8, 0.0015),
+            cell(CellKind::Inv, 0.015, 1.4, 0.0016),
+            cell(CellKind::And2, 0.045, 2.2, 0.0018),
+            cell(CellKind::Nand2, 0.025, 1.8, 0.0017),
+            cell(CellKind::Or2, 0.050, 2.4, 0.0018),
+            cell(CellKind::Nor2, 0.030, 2.0, 0.0017),
+            cell(CellKind::Xor2, 0.070, 3.0, 0.0026),
+            cell(CellKind::Xnor2, 0.072, 3.0, 0.0026),
+            cell(CellKind::Mux2, 0.065, 2.6, 0.0022),
+            cell(CellKind::Aoi21, 0.040, 2.3, 0.0019),
+            cell(CellKind::Maj3, 0.080, 3.2, 0.0024),
+        ])
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` when the library holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Borrows cell `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds; use [`CellLibrary::get`] for a
+    /// fallible lookup.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id]
+    }
+
+    /// Fallible lookup of cell `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownCell`] when `id` is out of bounds.
+    pub fn get(&self, id: CellId) -> Result<&Cell, CircuitError> {
+        self.cells.get(id).ok_or_else(|| CircuitError::UnknownCell {
+            name: format!("#{id}"),
+        })
+    }
+
+    /// Finds the first cell of the given kind.
+    pub fn by_kind(&self, kind: CellKind) -> Option<CellId> {
+        self.cells.iter().position(|c| c.kind == kind)
+    }
+
+    /// Finds a cell by canonical name.
+    pub fn by_name(&self, name: &str) -> Option<CellId> {
+        CellKind::from_name(name).and_then(|k| self.by_kind(k))
+    }
+
+    /// Iterates over `(id, cell)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells.iter().enumerate()
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_covers_all_kinds() {
+        let lib = CellLibrary::standard();
+        assert_eq!(lib.len(), CellKind::ALL.len());
+        for kind in CellKind::ALL {
+            let id = lib.by_kind(kind).expect("kind present");
+            assert_eq!(lib.cell(id).kind, kind);
+            assert_eq!(lib.cell(id).arity(), kind.arity());
+        }
+    }
+
+    #[test]
+    fn delay_model_is_affine_in_load() {
+        let lib = CellLibrary::standard();
+        let inv = lib.cell(lib.by_kind(CellKind::Inv).unwrap());
+        let d0 = inv.delay(0.0);
+        let d1 = inv.delay(1.0);
+        let d2 = inv.delay(2.0);
+        assert!((d2 - d1 - (d1 - d0)).abs() < 1e-12);
+        assert_eq!(d0, inv.intrinsic_delay);
+    }
+
+    #[test]
+    fn boolean_functions_truth_tables() {
+        assert!(CellKind::Nand2.evaluate(&[true, false]));
+        assert!(!CellKind::Nand2.evaluate(&[true, true]));
+        assert!(CellKind::Xor2.evaluate(&[true, false]));
+        assert!(!CellKind::Xor2.evaluate(&[true, true]));
+        assert!(CellKind::Mux2.evaluate(&[false, true, true])); // selects b
+        assert!(!CellKind::Mux2.evaluate(&[false, true, false])); // selects a
+        assert!(CellKind::Maj3.evaluate(&[true, true, false]));
+        assert!(!CellKind::Maj3.evaluate(&[true, false, false]));
+        assert!(!CellKind::Aoi21.evaluate(&[true, true, false]));
+        assert!(CellKind::Aoi21.evaluate(&[false, true, false]));
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for kind in CellKind::ALL {
+            assert_eq!(CellKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(CellKind::from_name("BOGUS"), None);
+    }
+
+    #[test]
+    fn library_lookup() {
+        let lib = CellLibrary::standard();
+        assert!(lib.by_name("XOR2").is_some());
+        assert!(lib.by_name("NOPE").is_none());
+        assert!(lib.get(999).is_err());
+        assert!(!lib.is_empty());
+    }
+
+    #[test]
+    fn inverting_gates_are_faster_than_complex_gates() {
+        let lib = CellLibrary::standard();
+        let nand = lib.cell(lib.by_kind(CellKind::Nand2).unwrap());
+        let xor = lib.cell(lib.by_kind(CellKind::Xor2).unwrap());
+        assert!(nand.intrinsic_delay < xor.intrinsic_delay);
+        assert!(nand.input_caps[0] < xor.input_caps[0]);
+    }
+}

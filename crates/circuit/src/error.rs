@@ -1,0 +1,121 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for circuit construction, parsing and analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A cell id was not present in the library.
+    UnknownCell {
+        /// The offending cell name or id description.
+        name: String,
+    },
+    /// A net id exceeded the netlist's net count.
+    NetOutOfBounds {
+        /// The offending net id.
+        net: usize,
+        /// Number of nets.
+        num_nets: usize,
+    },
+    /// A gate's input count does not match its library cell.
+    ArityMismatch {
+        /// Cell name.
+        cell: String,
+        /// Expected input count.
+        expected: usize,
+        /// Supplied input count.
+        actual: usize,
+    },
+    /// A net has no driver or several drivers.
+    BadDriver {
+        /// The offending net id.
+        net: usize,
+        /// Number of drivers found.
+        drivers: usize,
+    },
+    /// The netlist contains a combinational cycle.
+    CombinationalCycle,
+    /// Parsing a netlist file failed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An argument was invalid.
+    InvalidArgument {
+        /// Description of the violated requirement.
+        reason: String,
+    },
+    /// An underlying graph operation failed.
+    Graph(cirstag_graph::GraphError),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::UnknownCell { name } => write!(f, "unknown cell: {name}"),
+            CircuitError::NetOutOfBounds { net, num_nets } => {
+                write!(
+                    f,
+                    "net {net} out of bounds for netlist with {num_nets} nets"
+                )
+            }
+            CircuitError::ArityMismatch {
+                cell,
+                expected,
+                actual,
+            } => write!(f, "cell {cell} expects {expected} inputs, got {actual}"),
+            CircuitError::BadDriver { net, drivers } => {
+                write!(f, "net {net} has {drivers} drivers (exactly one required)")
+            }
+            CircuitError::CombinationalCycle => write!(f, "netlist contains a combinational cycle"),
+            CircuitError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            CircuitError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+            CircuitError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for CircuitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CircuitError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cirstag_graph::GraphError> for CircuitError {
+    fn from(e: cirstag_graph::GraphError) -> Self {
+        CircuitError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        let e = CircuitError::ArityMismatch {
+            cell: "NAND2".to_string(),
+            expected: 2,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("NAND2"));
+        let p = CircuitError::Parse {
+            line: 7,
+            message: "bad token".to_string(),
+        };
+        assert!(p.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

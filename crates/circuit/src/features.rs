@@ -1,0 +1,170 @@
+//! GNN node-feature extraction from timing graphs.
+
+use crate::{CellKind, CellLibrary, CircuitError, Netlist, PinRole, TimingGraph};
+use cirstag_linalg::DenseMatrix;
+
+/// Options for [`extract_features`].
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureConfig {
+    /// Scale applied to pin capacitances so they land near O(1)
+    /// (default `1 / 0.002` — the PO load).
+    pub cap_scale: f64,
+    /// Include the 11-way cell-kind one-hot (zeros for IO pins).
+    pub cell_onehot: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            cap_scale: 500.0,
+            cell_onehot: true,
+        }
+    }
+}
+
+/// Number of base (non-one-hot) features.
+const BASE_FEATURES: usize = 7;
+
+/// Builds the per-pin feature matrix for the timing GNN.
+///
+/// Columns:
+/// 0. scaled pin capacitance (the perturbed feature of Case Study A)
+/// 1. log1p(driver fanout)
+/// 2. normalized topological level
+/// 3. – 6. role one-hot (PI, PO, cell input, cell output)
+/// 7. … cell-kind one-hot (optional)
+///
+/// `pin_caps` allows evaluating perturbed capacitances without rebuilding
+/// the graph (pass `&timing.pin_caps()` for the nominal design).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidArgument`] when `pin_caps` has the wrong
+/// length.
+pub fn extract_features(
+    timing: &TimingGraph,
+    netlist: &Netlist,
+    library: &CellLibrary,
+    pin_caps: &[f64],
+    config: &FeatureConfig,
+) -> Result<DenseMatrix, CircuitError> {
+    let n = timing.num_pins();
+    if pin_caps.len() != n {
+        return Err(CircuitError::InvalidArgument {
+            reason: format!("pin_caps has {} entries for {n} pins", pin_caps.len()),
+        });
+    }
+    let width = BASE_FEATURES
+        + if config.cell_onehot {
+            CellKind::ALL.len()
+        } else {
+            0
+        };
+    let max_level = timing.levels().iter().copied().max().unwrap_or(1).max(1) as f64;
+    let mut x = DenseMatrix::zeros(n, width);
+    for p in 0..n {
+        let info = timing.pin(p);
+        x.set(p, 0, pin_caps[p] * config.cap_scale);
+        x.set(p, 1, (1.0 + timing.driver_fanout(p) as f64).ln());
+        x.set(p, 2, timing.levels()[p] as f64 / max_level);
+        let (role_idx, cell) = match info.role {
+            PinRole::PrimaryInput => (0, None),
+            PinRole::PrimaryOutput => (1, None),
+            PinRole::CellInput { cell, .. } => (2, Some(cell)),
+            PinRole::CellOutput { cell } => (3, Some(cell)),
+        };
+        x.set(p, 3 + role_idx, 1.0);
+        if config.cell_onehot {
+            if let Some(ci) = cell {
+                let kind = library.cell(netlist.cells[ci].cell).kind;
+                let k = CellKind::ALL
+                    .iter()
+                    .position(|&kk| kk == kind)
+                    .expect("kind in ALL");
+                x.set(p, BASE_FEATURES + k, 1.0);
+            }
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_circuit, GeneratorConfig};
+
+    fn setup() -> (CellLibrary, Netlist, TimingGraph) {
+        let lib = CellLibrary::standard();
+        let n = generate_circuit(
+            &lib,
+            &GeneratorConfig {
+                num_gates: 40,
+                ..Default::default()
+            },
+            9,
+        )
+        .unwrap();
+        let tg = TimingGraph::new(&n, &lib).unwrap();
+        (lib, n, tg)
+    }
+
+    #[test]
+    fn shape_and_finiteness() {
+        let (lib, n, tg) = setup();
+        let x = extract_features(&tg, &n, &lib, &tg.pin_caps(), &FeatureConfig::default()).unwrap();
+        assert_eq!(x.nrows(), tg.num_pins());
+        assert_eq!(x.ncols(), BASE_FEATURES + CellKind::ALL.len());
+        assert!(x.all_finite());
+    }
+
+    #[test]
+    fn no_onehot_shrinks_width() {
+        let (lib, n, tg) = setup();
+        let x = extract_features(
+            &tg,
+            &n,
+            &lib,
+            &tg.pin_caps(),
+            &FeatureConfig {
+                cell_onehot: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(x.ncols(), BASE_FEATURES);
+    }
+
+    #[test]
+    fn role_onehot_is_exclusive() {
+        let (lib, n, tg) = setup();
+        let x = extract_features(&tg, &n, &lib, &tg.pin_caps(), &FeatureConfig::default()).unwrap();
+        for p in 0..tg.num_pins() {
+            let ones: f64 = (3..7).map(|j| x.get(p, j)).sum();
+            assert_eq!(ones, 1.0, "pin {p} role one-hot");
+        }
+    }
+
+    #[test]
+    fn cap_column_reflects_perturbation() {
+        let (lib, n, tg) = setup();
+        let mut caps = tg.pin_caps();
+        let victim = tg.net_sink_pins(tg.pin(tg.pi_pins()[0]).net)[0];
+        caps[victim] *= 10.0;
+        let cfg = FeatureConfig::default();
+        let base = extract_features(&tg, &n, &lib, &tg.pin_caps(), &cfg).unwrap();
+        let pert = extract_features(&tg, &n, &lib, &caps, &cfg).unwrap();
+        assert!((pert.get(victim, 0) - 10.0 * base.get(victim, 0)).abs() < 1e-9);
+        // All other rows unchanged.
+        for p in 0..tg.num_pins() {
+            if p != victim {
+                assert_eq!(pert.get(p, 0), base.get(p, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_cap_length_rejected() {
+        let (lib, n, tg) = setup();
+        assert!(extract_features(&tg, &n, &lib, &[0.0], &FeatureConfig::default()).is_err());
+    }
+}

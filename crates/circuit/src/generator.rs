@@ -1,0 +1,340 @@
+//! Synthetic benchmark-circuit generation.
+//!
+//! Substitutes for the paper's proprietary benchmark designs: a seeded
+//! generator emits layered combinational DAGs with realistic fanin locality
+//! and fanout distributions, and [`benchmark_suite`] reproduces a nine-design
+//! ladder of graded sizes for Table I / Fig. 5.
+
+use crate::{CellKind, CellLibrary, CircuitError, Netlist};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Options for [`generate_circuit`].
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// Number of gates to instantiate.
+    pub num_gates: usize,
+    /// Number of primary inputs (0 = auto: `max(4, num_gates / 12)`).
+    pub num_primary_inputs: usize,
+    /// Probability that a gate input connects to a *recent* net (locality),
+    /// which controls circuit depth.
+    pub locality: f64,
+    /// Window of recent nets considered "local".
+    pub locality_window: usize,
+    /// Wire-capacitance range `(min, max)` in pF (wireload model).
+    pub wire_cap_range: (f64, f64),
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            num_gates: 1000,
+            num_primary_inputs: 0,
+            locality: 0.75,
+            locality_window: 64,
+            wire_cap_range: (0.0005, 0.003),
+        }
+    }
+}
+
+/// Generates a random combinational netlist.
+///
+/// The construction adds gates in topological order, wiring each input
+/// either to a recent net (probability `locality`) or to a uniformly random
+/// existing net, which yields the long-critical-path / high-fanout structure
+/// typical of synthesized logic. Every net left unread becomes a primary
+/// output. Deterministic in `(config, seed)`.
+///
+/// # Errors
+///
+/// - [`CircuitError::InvalidArgument`] for a zero gate count or an invalid
+///   locality/capacitance range.
+/// - Propagates netlist validation failures (should not occur).
+pub fn generate_circuit(
+    library: &CellLibrary,
+    config: &GeneratorConfig,
+    seed: u64,
+) -> Result<Netlist, CircuitError> {
+    if config.num_gates == 0 {
+        return Err(CircuitError::InvalidArgument {
+            reason: "num_gates must be positive".to_string(),
+        });
+    }
+    if !(0.0..=1.0).contains(&config.locality) {
+        return Err(CircuitError::InvalidArgument {
+            reason: format!("locality {} must be in [0, 1]", config.locality),
+        });
+    }
+    let (cap_lo, cap_hi) = config.wire_cap_range;
+    if !(cap_lo > 0.0 && cap_hi >= cap_lo && cap_hi.is_finite()) {
+        return Err(CircuitError::InvalidArgument {
+            reason: "wire_cap_range must be positive and ordered".to_string(),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_pis = if config.num_primary_inputs == 0 {
+        (config.num_gates / 12).max(4)
+    } else {
+        config.num_primary_inputs
+    };
+
+    // Gate-kind mix loosely follows synthesized-netlist statistics: mostly
+    // NAND/NOR/INV, some buffers, a sprinkle of complex cells.
+    let kind_weights: &[(CellKind, f64)] = &[
+        (CellKind::Nand2, 0.22),
+        (CellKind::Nor2, 0.14),
+        (CellKind::Inv, 0.16),
+        (CellKind::Buf, 0.06),
+        (CellKind::And2, 0.10),
+        (CellKind::Or2, 0.08),
+        (CellKind::Xor2, 0.07),
+        (CellKind::Xnor2, 0.04),
+        (CellKind::Mux2, 0.06),
+        (CellKind::Aoi21, 0.04),
+        (CellKind::Maj3, 0.03),
+    ];
+    let total_weight: f64 = kind_weights.iter().map(|&(_, w)| w).sum();
+
+    let mut netlist = Netlist::new(format!("synth_{}g_s{}", config.num_gates, seed));
+    for i in 0..num_pis {
+        let cap = rng.random_range(cap_lo..=cap_hi);
+        let id = netlist.add_net(format!("pi{i}"), cap);
+        netlist.primary_inputs.push(id);
+    }
+
+    for gi in 0..config.num_gates {
+        // Pick a kind by weight.
+        let mut pick = rng.random_range(0.0..total_weight);
+        let mut kind = CellKind::Nand2;
+        for &(k, w) in kind_weights {
+            if pick < w {
+                kind = k;
+                break;
+            }
+            pick -= w;
+        }
+        let cell_id = library
+            .by_kind(kind)
+            .ok_or_else(|| CircuitError::UnknownCell {
+                name: kind.name().to_string(),
+            })?;
+        let arity = kind.arity();
+        let available = netlist.num_nets();
+        let mut inputs = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let n = if rng.random_range(0.0..1.0) < config.locality {
+                let lo = available.saturating_sub(config.locality_window);
+                rng.random_range(lo..available)
+            } else {
+                rng.random_range(0..available)
+            };
+            inputs.push(n);
+        }
+        let cap = rng.random_range(cap_lo..=cap_hi);
+        let out = netlist.add_net(format!("n{gi}"), cap);
+        netlist.add_cell(format!("g{gi}"), cell_id, inputs, out)?;
+    }
+
+    // Every unread net becomes a primary output — including unread primary
+    // inputs, which turn into feed-throughs so no pin is left floating.
+    let sinks = netlist.net_sinks();
+    for (net, s) in sinks.iter().enumerate() {
+        if s.is_empty() {
+            netlist.primary_outputs.push(net);
+        }
+    }
+    if netlist.primary_outputs.is_empty() {
+        netlist.primary_outputs.push(netlist.num_nets() - 1);
+    }
+    netlist.validate(library)?;
+    Ok(netlist)
+}
+
+/// One entry of the nine-benchmark ladder.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSpec {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Gate count.
+    pub num_gates: usize,
+    /// Generator seed (distinct per design so structures differ).
+    pub seed: u64,
+}
+
+/// The nine synthetic benchmarks standing in for the paper's nine designs
+/// (sizes ladder from ~300 to ~32k gates; pin counts roughly 4×).
+pub fn benchmark_suite() -> Vec<BenchmarkSpec> {
+    vec![
+        BenchmarkSpec {
+            name: "syn_ctl300",
+            num_gates: 300,
+            seed: 101,
+        },
+        BenchmarkSpec {
+            name: "syn_alu600",
+            num_gates: 600,
+            seed: 102,
+        },
+        BenchmarkSpec {
+            name: "syn_dsp1k",
+            num_gates: 1200,
+            seed: 103,
+        },
+        BenchmarkSpec {
+            name: "syn_if2k",
+            num_gates: 2200,
+            seed: 104,
+        },
+        BenchmarkSpec {
+            name: "syn_core4k",
+            num_gates: 4000,
+            seed: 105,
+        },
+        BenchmarkSpec {
+            name: "syn_noc7k",
+            num_gates: 7000,
+            seed: 106,
+        },
+        BenchmarkSpec {
+            name: "syn_mem12k",
+            num_gates: 12000,
+            seed: 107,
+        },
+        BenchmarkSpec {
+            name: "syn_cpu20k",
+            num_gates: 20000,
+            seed: 108,
+        },
+        BenchmarkSpec {
+            name: "syn_soc32k",
+            num_gates: 32000,
+            seed: 109,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{StaEngine, TimingGraph};
+
+    #[test]
+    fn generated_netlist_is_valid_and_sized() {
+        let lib = CellLibrary::standard();
+        let cfg = GeneratorConfig {
+            num_gates: 200,
+            ..Default::default()
+        };
+        let n = generate_circuit(&lib, &cfg, 3).unwrap();
+        assert_eq!(n.num_cells(), 200);
+        n.validate(&lib).unwrap();
+        assert!(!n.primary_outputs.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let lib = CellLibrary::standard();
+        let cfg = GeneratorConfig {
+            num_gates: 100,
+            ..Default::default()
+        };
+        let a = generate_circuit(&lib, &cfg, 7).unwrap();
+        let b = generate_circuit(&lib, &cfg, 7).unwrap();
+        assert_eq!(a, b);
+        let c = generate_circuit(&lib, &cfg, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn locality_controls_depth() {
+        let lib = CellLibrary::standard();
+        let deep = generate_circuit(
+            &lib,
+            &GeneratorConfig {
+                num_gates: 400,
+                locality: 0.95,
+                locality_window: 8,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        let shallow = generate_circuit(
+            &lib,
+            &GeneratorConfig {
+                num_gates: 400,
+                locality: 0.0,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        let d_deep = *deep.logic_depths().unwrap().iter().max().unwrap();
+        let d_shallow = *shallow.logic_depths().unwrap().iter().max().unwrap();
+        assert!(d_deep > d_shallow, "{d_deep} vs {d_shallow}");
+    }
+
+    #[test]
+    fn generated_circuit_times_cleanly() {
+        let lib = CellLibrary::standard();
+        let n = generate_circuit(
+            &lib,
+            &GeneratorConfig {
+                num_gates: 150,
+                ..Default::default()
+            },
+            11,
+        )
+        .unwrap();
+        let tg = TimingGraph::new(&n, &lib).unwrap();
+        let sta = StaEngine::new(&tg);
+        assert!(sta.critical_arrival() > 0.0);
+        assert!(sta.arrival_times().iter().all(|a| a.is_finite()));
+    }
+
+    #[test]
+    fn suite_has_nine_increasing_benchmarks() {
+        let suite = benchmark_suite();
+        assert_eq!(suite.len(), 9);
+        for w in suite.windows(2) {
+            assert!(w[0].num_gates < w[1].num_gates);
+        }
+        // Names are unique.
+        let mut names: Vec<_> = suite.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let lib = CellLibrary::standard();
+        assert!(generate_circuit(
+            &lib,
+            &GeneratorConfig {
+                num_gates: 0,
+                ..Default::default()
+            },
+            0
+        )
+        .is_err());
+        assert!(generate_circuit(
+            &lib,
+            &GeneratorConfig {
+                locality: 1.5,
+                ..Default::default()
+            },
+            0
+        )
+        .is_err());
+        assert!(generate_circuit(
+            &lib,
+            &GeneratorConfig {
+                wire_cap_range: (0.0, 1.0),
+                ..Default::default()
+            },
+            0
+        )
+        .is_err());
+    }
+}

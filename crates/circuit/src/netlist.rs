@@ -1,0 +1,366 @@
+//! Gate-level netlists.
+
+use crate::{CellId, CellLibrary, CircuitError};
+
+/// Index of a net within a [`Netlist`].
+pub type NetId = usize;
+
+/// An instantiated library cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellInstance {
+    /// Library cell.
+    pub cell: CellId,
+    /// Instance name (unique within the netlist).
+    pub name: String,
+    /// Input nets, one per cell input pin.
+    pub inputs: Vec<NetId>,
+    /// Output net.
+    pub output: NetId,
+}
+
+/// A net: one driver (a cell output or a primary input) and its estimated
+/// pre-routing wire capacitance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    /// Estimated wire capacitance (pF), from a wireload model.
+    pub wire_cap: f64,
+}
+
+/// A gate-level netlist over a [`CellLibrary`].
+///
+/// Invariants enforced by [`Netlist::validate`]:
+/// - every cell's input count matches its library arity;
+/// - every net has exactly one driver (a cell output or a primary input);
+/// - the combinational graph is acyclic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Netlist {
+    /// Design name.
+    pub name: String,
+    /// All nets.
+    pub nets: Vec<Net>,
+    /// All cell instances.
+    pub cells: Vec<CellInstance>,
+    /// Nets driven by primary inputs.
+    pub primary_inputs: Vec<NetId>,
+    /// Nets observed by primary outputs.
+    pub primary_outputs: Vec<NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            ..Netlist::default()
+        }
+    }
+
+    /// Adds a net and returns its id.
+    pub fn add_net(&mut self, name: impl Into<String>, wire_cap: f64) -> NetId {
+        let id = self.nets.len();
+        self.nets.push(Net {
+            name: name.into(),
+            wire_cap,
+        });
+        id
+    }
+
+    /// Adds a cell instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::NetOutOfBounds`] for invalid net references.
+    /// (Arity against the library is checked by [`Netlist::validate`].)
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        cell: CellId,
+        inputs: Vec<NetId>,
+        output: NetId,
+    ) -> Result<usize, CircuitError> {
+        for &n in inputs.iter().chain(std::iter::once(&output)) {
+            if n >= self.nets.len() {
+                return Err(CircuitError::NetOutOfBounds {
+                    net: n,
+                    num_nets: self.nets.len(),
+                });
+            }
+        }
+        let id = self.cells.len();
+        self.cells.push(CellInstance {
+            cell,
+            name: name.into(),
+            inputs,
+            output,
+        });
+        Ok(id)
+    }
+
+    /// Number of gates.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// For each net, the indices of cells that read it, plus whether it feeds
+    /// a primary output.
+    pub fn net_sinks(&self) -> Vec<Vec<usize>> {
+        let mut sinks = vec![Vec::new(); self.nets.len()];
+        for (ci, cell) in self.cells.iter().enumerate() {
+            for &n in &cell.inputs {
+                sinks[n].push(ci);
+            }
+        }
+        sinks
+    }
+
+    /// For each net, the index of the cell driving it (`None` when driven by
+    /// a primary input).
+    pub fn net_drivers(&self) -> Vec<Option<usize>> {
+        let mut drivers = vec![None; self.nets.len()];
+        for (ci, cell) in self.cells.iter().enumerate() {
+            drivers[cell.output] = Some(ci);
+        }
+        drivers
+    }
+
+    /// Checks all structural invariants against `library`.
+    ///
+    /// # Errors
+    ///
+    /// - [`CircuitError::UnknownCell`] for out-of-library cell ids.
+    /// - [`CircuitError::ArityMismatch`] for wrong input counts.
+    /// - [`CircuitError::BadDriver`] for multiply- or un-driven nets.
+    /// - [`CircuitError::CombinationalCycle`] when the gate graph is cyclic.
+    pub fn validate(&self, library: &CellLibrary) -> Result<(), CircuitError> {
+        // Arity and cell ids.
+        for inst in &self.cells {
+            let cell = library.get(inst.cell)?;
+            if cell.arity() != inst.inputs.len() {
+                return Err(CircuitError::ArityMismatch {
+                    cell: inst.name.clone(),
+                    expected: cell.arity(),
+                    actual: inst.inputs.len(),
+                });
+            }
+        }
+        // Single driver per net.
+        let mut drive_count = vec![0usize; self.nets.len()];
+        for cell in &self.cells {
+            drive_count[cell.output] += 1;
+        }
+        for &pi in &self.primary_inputs {
+            if pi >= self.nets.len() {
+                return Err(CircuitError::NetOutOfBounds {
+                    net: pi,
+                    num_nets: self.nets.len(),
+                });
+            }
+            drive_count[pi] += 1;
+        }
+        for (net, &c) in drive_count.iter().enumerate() {
+            if c != 1 {
+                return Err(CircuitError::BadDriver { net, drivers: c });
+            }
+        }
+        for &po in &self.primary_outputs {
+            if po >= self.nets.len() {
+                return Err(CircuitError::NetOutOfBounds {
+                    net: po,
+                    num_nets: self.nets.len(),
+                });
+            }
+        }
+        // Acyclicity via Kahn's algorithm on the cell graph.
+        self.topological_order()?;
+        Ok(())
+    }
+
+    /// Topological order of cell indices (inputs before outputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::CombinationalCycle`] when the graph is cyclic.
+    pub fn topological_order(&self) -> Result<Vec<usize>, CircuitError> {
+        let drivers = self.net_drivers();
+        let mut indegree = vec![0usize; self.cells.len()];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); self.cells.len()];
+        for (ci, cell) in self.cells.iter().enumerate() {
+            for &n in &cell.inputs {
+                if let Some(d) = drivers.get(n).copied().flatten() {
+                    indegree[ci] += 1;
+                    dependents[d].push(ci);
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..self.cells.len())
+            .filter(|&c| indegree[c] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.cells.len());
+        while let Some(c) = queue.pop() {
+            order.push(c);
+            for &d in &dependents[c] {
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    queue.push(d);
+                }
+            }
+        }
+        if order.len() != self.cells.len() {
+            return Err(CircuitError::CombinationalCycle);
+        }
+        Ok(order)
+    }
+
+    /// Logic depth of each cell (longest gate path from any primary input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::CombinationalCycle`] when the graph is cyclic.
+    pub fn logic_depths(&self) -> Result<Vec<usize>, CircuitError> {
+        let order = self.topological_order()?;
+        let drivers = self.net_drivers();
+        let mut depth = vec![0usize; self.cells.len()];
+        for &ci in &order {
+            let d = self.cells[ci]
+                .inputs
+                .iter()
+                .filter_map(|&n| drivers[n].map(|dc| depth[dc] + 1))
+                .max()
+                .unwrap_or(0);
+            depth[ci] = d;
+        }
+        Ok(depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellKind;
+
+    /// y = NAND(a, b) through an inverter chain.
+    fn small() -> (CellLibrary, Netlist) {
+        let lib = CellLibrary::standard();
+        let nand = lib.by_kind(CellKind::Nand2).unwrap();
+        let inv = lib.by_kind(CellKind::Inv).unwrap();
+        let mut n = Netlist::new("small");
+        let a = n.add_net("a", 0.001);
+        let b = n.add_net("b", 0.001);
+        let t = n.add_net("t", 0.001);
+        let y = n.add_net("y", 0.001);
+        n.primary_inputs = vec![a, b];
+        n.primary_outputs = vec![y];
+        n.add_cell("g0", nand, vec![a, b], t).unwrap();
+        n.add_cell("g1", inv, vec![t], y).unwrap();
+        (lib, n)
+    }
+
+    #[test]
+    fn valid_netlist_passes() {
+        let (lib, n) = small();
+        n.validate(&lib).unwrap();
+        assert_eq!(n.num_cells(), 2);
+        assert_eq!(n.num_nets(), 4);
+    }
+
+    #[test]
+    fn net_bookkeeping() {
+        let (_, n) = small();
+        let sinks = n.net_sinks();
+        assert_eq!(sinks[0], vec![0]); // net a read by g0
+        assert_eq!(sinks[2], vec![1]); // net t read by g1
+        let drivers = n.net_drivers();
+        assert_eq!(drivers[2], Some(0));
+        assert_eq!(drivers[0], None); // primary input
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let lib = CellLibrary::standard();
+        let nand = lib.by_kind(CellKind::Nand2).unwrap();
+        let mut n = Netlist::new("bad");
+        let a = n.add_net("a", 0.0);
+        let y = n.add_net("y", 0.0);
+        n.primary_inputs = vec![a];
+        n.add_cell("g0", nand, vec![a], y).unwrap(); // NAND2 with one input
+        assert!(matches!(
+            n.validate(&lib),
+            Err(CircuitError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_drivers_detected() {
+        let lib = CellLibrary::standard();
+        let inv = lib.by_kind(CellKind::Inv).unwrap();
+        let mut n = Netlist::new("bad");
+        let a = n.add_net("a", 0.0);
+        let y = n.add_net("y", 0.0);
+        n.primary_inputs = vec![a];
+        n.add_cell("g0", inv, vec![a], y).unwrap();
+        n.add_cell("g1", inv, vec![a], y).unwrap(); // second driver on y
+        assert!(matches!(
+            n.validate(&lib),
+            Err(CircuitError::BadDriver { .. })
+        ));
+    }
+
+    #[test]
+    fn undriven_net_detected() {
+        let lib = CellLibrary::standard();
+        let inv = lib.by_kind(CellKind::Inv).unwrap();
+        let mut n = Netlist::new("bad");
+        let a = n.add_net("a", 0.0); // never driven
+        let y = n.add_net("y", 0.0);
+        n.add_cell("g0", inv, vec![a], y).unwrap();
+        assert!(matches!(
+            n.validate(&lib),
+            Err(CircuitError::BadDriver { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let lib = CellLibrary::standard();
+        let inv = lib.by_kind(CellKind::Inv).unwrap();
+        let mut n = Netlist::new("cyc");
+        let a = n.add_net("a", 0.0);
+        let b = n.add_net("b", 0.0);
+        n.add_cell("g0", inv, vec![a], b).unwrap();
+        n.add_cell("g1", inv, vec![b], a).unwrap();
+        assert!(matches!(
+            n.validate(&lib),
+            Err(CircuitError::CombinationalCycle)
+        ));
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let (_, n) = small();
+        let order = n.topological_order().unwrap();
+        let pos0 = order.iter().position(|&c| c == 0).unwrap();
+        let pos1 = order.iter().position(|&c| c == 1).unwrap();
+        assert!(pos0 < pos1);
+    }
+
+    #[test]
+    fn logic_depths_increase_along_chain() {
+        let (_, n) = small();
+        let depths = n.logic_depths().unwrap();
+        assert_eq!(depths, vec![0, 1]);
+    }
+
+    #[test]
+    fn bad_net_reference_rejected_eagerly() {
+        let mut n = Netlist::new("bad");
+        let a = n.add_net("a", 0.0);
+        assert!(n.add_cell("g0", 0, vec![a], 99).is_err());
+    }
+}

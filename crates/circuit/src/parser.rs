@@ -1,0 +1,286 @@
+//! A BLIF-flavoured text format for netlists.
+//!
+//! ```text
+//! .model adder4
+//! .inputs a b cin
+//! .outputs sum cout
+//! .wirecap n1 0.0012
+//! .gate NAND2 a b n1
+//! .gate INV n1 sum
+//! .end
+//! ```
+//!
+//! Each `.gate` line is `KIND in1 … inK out`. `.wirecap` lines are optional
+//! (default 0.001 pF) and may appear before or after the nets they name are
+//! first used.
+
+use crate::{CellLibrary, CircuitError, Netlist};
+use std::collections::HashMap;
+
+/// Serializes a netlist to the text format (see module docs).
+pub fn write_netlist(netlist: &Netlist, library: &CellLibrary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(".model {}\n", netlist.name));
+    let names: Vec<&str> = netlist.nets.iter().map(|n| n.name.as_str()).collect();
+    out.push_str(".inputs");
+    for &pi in &netlist.primary_inputs {
+        out.push(' ');
+        out.push_str(names[pi]);
+    }
+    out.push('\n');
+    // Emit `.wirecap` for every net, in net-id order, *before* `.outputs`:
+    // the parser interns nets at first mention, so this ordering makes
+    // parse(write(n)) reproduce the original net ids exactly.
+    for net in &netlist.nets {
+        out.push_str(&format!(".wirecap {} {}\n", net.name, net.wire_cap));
+    }
+    out.push_str(".outputs");
+    for &po in &netlist.primary_outputs {
+        out.push(' ');
+        out.push_str(names[po]);
+    }
+    out.push('\n');
+    for cell in &netlist.cells {
+        let kind = library.cell(cell.cell).kind.name();
+        out.push_str(&format!(".gate {kind}"));
+        for &i in &cell.inputs {
+            out.push(' ');
+            out.push_str(names[i]);
+        }
+        out.push(' ');
+        out.push_str(names[cell.output]);
+        out.push('\n');
+    }
+    out.push_str(".end\n");
+    out
+}
+
+/// Parses the text format produced by [`write_netlist`].
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Parse`] with a line number for malformed input,
+/// and propagates [`Netlist::validate`] failures for structurally invalid
+/// designs.
+pub fn parse_netlist(text: &str, library: &CellLibrary) -> Result<Netlist, CircuitError> {
+    let mut netlist = Netlist::new("unnamed");
+    let mut net_ids: HashMap<String, usize> = HashMap::new();
+    let mut pending_caps: HashMap<String, f64> = HashMap::new();
+    let mut gate_counter = 0usize;
+    let mut saw_end = false;
+
+    let intern = |netlist: &mut Netlist,
+                  net_ids: &mut HashMap<String, usize>,
+                  pending: &HashMap<String, f64>,
+                  name: &str| {
+        if let Some(&id) = net_ids.get(name) {
+            return id;
+        }
+        let cap = pending.get(name).copied().unwrap_or(0.001);
+        let id = netlist.add_net(name, cap);
+        net_ids.insert(name.to_string(), id);
+        id
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if saw_end {
+            return Err(CircuitError::Parse {
+                line: lineno,
+                message: "content after .end".to_string(),
+            });
+        }
+        let mut tokens = line.split_whitespace();
+        let head = tokens.next().expect("non-empty line has a token");
+        match head {
+            ".model" => {
+                netlist.name = tokens.next().unwrap_or("unnamed").to_string();
+            }
+            ".inputs" => {
+                for t in tokens {
+                    let id = intern(&mut netlist, &mut net_ids, &pending_caps, t);
+                    netlist.primary_inputs.push(id);
+                }
+            }
+            ".outputs" => {
+                for t in tokens {
+                    let id = intern(&mut netlist, &mut net_ids, &pending_caps, t);
+                    netlist.primary_outputs.push(id);
+                }
+            }
+            ".wirecap" => {
+                let name = tokens.next().ok_or_else(|| CircuitError::Parse {
+                    line: lineno,
+                    message: ".wirecap needs a net name".to_string(),
+                })?;
+                let cap: f64 = tokens.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                    CircuitError::Parse {
+                        line: lineno,
+                        message: ".wirecap needs a numeric value".to_string(),
+                    }
+                })?;
+                pending_caps.insert(name.to_string(), cap);
+                let id = intern(&mut netlist, &mut net_ids, &pending_caps, name);
+                netlist.nets[id].wire_cap = cap;
+            }
+            ".gate" => {
+                let kind_name = tokens.next().ok_or_else(|| CircuitError::Parse {
+                    line: lineno,
+                    message: ".gate needs a cell kind".to_string(),
+                })?;
+                let cell_id = library
+                    .by_name(kind_name)
+                    .ok_or_else(|| CircuitError::Parse {
+                        line: lineno,
+                        message: format!("unknown cell kind {kind_name}"),
+                    })?;
+                let nets: Vec<&str> = tokens.collect();
+                let arity = library.cell(cell_id).arity();
+                if nets.len() != arity + 1 {
+                    return Err(CircuitError::Parse {
+                        line: lineno,
+                        message: format!(
+                            "{kind_name} needs {arity} inputs + 1 output, got {} nets",
+                            nets.len()
+                        ),
+                    });
+                }
+                let ids: Vec<usize> = nets
+                    .iter()
+                    .map(|t| intern(&mut netlist, &mut net_ids, &pending_caps, t))
+                    .collect();
+                let output = *ids.last().expect("arity + 1 nets");
+                let inputs = ids[..ids.len() - 1].to_vec();
+                netlist.add_cell(format!("g{gate_counter}"), cell_id, inputs, output)?;
+                gate_counter += 1;
+            }
+            ".end" => {
+                saw_end = true;
+            }
+            other => {
+                return Err(CircuitError::Parse {
+                    line: lineno,
+                    message: format!("unknown directive {other}"),
+                });
+            }
+        }
+    }
+    netlist.validate(library)?;
+    Ok(netlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_circuit, GeneratorConfig};
+
+    const SAMPLE: &str = "\
+.model tiny
+.inputs a b
+.outputs y
+.wirecap t 0.005
+.gate NAND2 a b t
+.gate INV t y
+.end
+";
+
+    #[test]
+    fn parses_sample() {
+        let lib = CellLibrary::standard();
+        let n = parse_netlist(SAMPLE, &lib).unwrap();
+        assert_eq!(n.name, "tiny");
+        assert_eq!(n.num_cells(), 2);
+        assert_eq!(n.primary_inputs.len(), 2);
+        assert_eq!(n.primary_outputs.len(), 1);
+        // Wirecap applied even though declared before first use.
+        let t = n.nets.iter().find(|nt| nt.name == "t").unwrap();
+        assert_eq!(t.wire_cap, 0.005);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let lib = CellLibrary::standard();
+        let original = generate_circuit(
+            &lib,
+            &GeneratorConfig {
+                num_gates: 60,
+                ..Default::default()
+            },
+            5,
+        )
+        .unwrap();
+        let text = write_netlist(&original, &lib);
+        let parsed = parse_netlist(&text, &lib).unwrap();
+        assert_eq!(parsed.num_cells(), original.num_cells());
+        assert_eq!(parsed.num_nets(), original.num_nets());
+        assert_eq!(parsed.primary_inputs.len(), original.primary_inputs.len());
+        assert_eq!(parsed.primary_outputs.len(), original.primary_outputs.len());
+        for (a, b) in parsed.cells.iter().zip(&original.cells) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.inputs, b.inputs);
+            assert_eq!(a.output, b.output);
+        }
+        for (a, b) in parsed.nets.iter().zip(&original.nets) {
+            assert!((a.wire_cap - b.wire_cap).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let lib = CellLibrary::standard();
+        let bad = ".model x\n.inputs a\n.gate BOGUS a y\n.end\n";
+        match parse_netlist(bad, &lib) {
+            Err(CircuitError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_gate_arity_rejected() {
+        let lib = CellLibrary::standard();
+        let bad = ".model x\n.inputs a\n.gate NAND2 a y\n.end\n";
+        assert!(matches!(
+            parse_netlist(bad, &lib),
+            Err(CircuitError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn content_after_end_rejected() {
+        let lib = CellLibrary::standard();
+        let bad = ".model x\n.end\n.inputs a\n";
+        assert!(matches!(
+            parse_netlist(bad, &lib),
+            Err(CircuitError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let lib = CellLibrary::standard();
+        let text = format!("# header comment\n\n{SAMPLE}");
+        assert!(parse_netlist(&text, &lib).is_ok());
+    }
+
+    #[test]
+    fn structurally_invalid_parse_fails_validation() {
+        let lib = CellLibrary::standard();
+        // Net y driven twice.
+        let bad = "\
+.model x
+.inputs a
+.outputs y
+.gate INV a y
+.gate BUF a y
+.end
+";
+        assert!(matches!(
+            parse_netlist(bad, &lib),
+            Err(CircuitError::BadDriver { .. })
+        ));
+    }
+}

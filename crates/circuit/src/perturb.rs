@@ -1,0 +1,130 @@
+//! Capacitance perturbations for stability studies (Case Study A).
+
+use crate::{CircuitError, PinId, PinRole, TimingGraph};
+
+/// A multiplicative pin-capacitance perturbation: the capacitance of every
+/// listed pin is scaled by `scale` (the paper uses 5× and 10×).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapPerturbation {
+    /// Pins whose capacitance is scaled.
+    pub pins: Vec<PinId>,
+    /// Multiplicative factor (e.g. `5.0`, `10.0`).
+    pub scale: f64,
+}
+
+impl CapPerturbation {
+    /// Creates a perturbation after validating the scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidArgument`] for non-positive or
+    /// non-finite scales.
+    pub fn new(pins: Vec<PinId>, scale: f64) -> Result<Self, CircuitError> {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(CircuitError::InvalidArgument {
+                reason: format!("scale {scale} must be positive and finite"),
+            });
+        }
+        Ok(CapPerturbation { pins, scale })
+    }
+}
+
+/// Applies a perturbation to the graph's base capacitances, returning the
+/// perturbed vector.
+///
+/// Primary-output pins are silently skipped, matching the paper's protocol
+/// ("nodes representing output pins were excluded, as they do not directly
+/// affect internal timing dynamics").
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidArgument`] when a pin id is out of range.
+pub fn perturb_pin_caps(
+    timing: &TimingGraph,
+    perturbation: &CapPerturbation,
+) -> Result<Vec<f64>, CircuitError> {
+    let mut caps = timing.pin_caps();
+    for &p in &perturbation.pins {
+        if p >= caps.len() {
+            return Err(CircuitError::InvalidArgument {
+                reason: format!("pin {p} out of range for {} pins", caps.len()),
+            });
+        }
+        if timing.pin(p).role == PinRole::PrimaryOutput {
+            continue;
+        }
+        caps[p] *= perturbation.scale;
+    }
+    Ok(caps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_circuit, CellLibrary, GeneratorConfig, StaEngine, TimingGraph};
+
+    fn setup() -> TimingGraph {
+        let lib = CellLibrary::standard();
+        let n = generate_circuit(
+            &lib,
+            &GeneratorConfig {
+                num_gates: 60,
+                ..Default::default()
+            },
+            4,
+        )
+        .unwrap();
+        TimingGraph::new(&n, &lib).unwrap()
+    }
+
+    #[test]
+    fn scales_selected_pins_only() {
+        let tg = setup();
+        // Pick a couple of cell-input pins.
+        let victims: Vec<usize> = (0..tg.num_pins())
+            .filter(|&p| matches!(tg.pin(p).role, crate::PinRole::CellInput { .. }))
+            .take(3)
+            .collect();
+        let pert = CapPerturbation::new(victims.clone(), 5.0).unwrap();
+        let caps = perturb_pin_caps(&tg, &pert).unwrap();
+        let base = tg.pin_caps();
+        for p in 0..tg.num_pins() {
+            if victims.contains(&p) {
+                assert!((caps[p] - 5.0 * base[p]).abs() < 1e-15);
+            } else {
+                assert_eq!(caps[p], base[p]);
+            }
+        }
+    }
+
+    #[test]
+    fn primary_outputs_are_skipped() {
+        let tg = setup();
+        let po = tg.po_pins()[0];
+        let pert = CapPerturbation::new(vec![po], 10.0).unwrap();
+        let caps = perturb_pin_caps(&tg, &pert).unwrap();
+        assert_eq!(caps[po], tg.pin_caps()[po]);
+    }
+
+    #[test]
+    fn perturbation_increases_critical_delay() {
+        let tg = setup();
+        let base = StaEngine::new(&tg).critical_arrival();
+        let victims: Vec<usize> = (0..tg.num_pins())
+            .filter(|&p| matches!(tg.pin(p).role, crate::PinRole::CellInput { .. }))
+            .collect();
+        let pert = CapPerturbation::new(victims, 10.0).unwrap();
+        let caps = perturb_pin_caps(&tg, &pert).unwrap();
+        let perturbed = StaEngine::with_caps(&tg, &caps).critical_arrival();
+        assert!(perturbed > base, "{perturbed} vs {base}");
+    }
+
+    #[test]
+    fn validation() {
+        let tg = setup();
+        assert!(CapPerturbation::new(vec![0], 0.0).is_err());
+        assert!(CapPerturbation::new(vec![0], f64::NAN).is_err());
+        let pert = CapPerturbation::new(vec![999_999], 2.0).unwrap();
+        assert!(perturb_pin_caps(&tg, &pert).is_err());
+    }
+}

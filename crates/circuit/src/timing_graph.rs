@@ -1,0 +1,416 @@
+//! Pin-level timing graphs derived from gate-level netlists.
+
+use crate::{CellLibrary, CircuitError, NetId, Netlist};
+use cirstag_graph::Graph;
+
+/// Index of a pin within a [`TimingGraph`].
+pub type PinId = usize;
+
+/// What a pin is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinRole {
+    /// A primary-input driver pin.
+    PrimaryInput,
+    /// A primary-output load pin.
+    PrimaryOutput,
+    /// Input pin `pin` of cell instance `cell`.
+    CellInput {
+        /// Cell-instance index in the netlist.
+        cell: usize,
+        /// Input-pin position within the cell.
+        pin: usize,
+    },
+    /// Output pin of cell instance `cell`.
+    CellOutput {
+        /// Cell-instance index in the netlist.
+        cell: usize,
+    },
+}
+
+/// Static information about one pin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PinInfo {
+    /// Role of the pin.
+    pub role: PinRole,
+    /// Pin capacitance (pF) — the node feature perturbed in Case Study A.
+    pub capacitance: f64,
+    /// The net the pin touches.
+    pub net: NetId,
+}
+
+/// A timing arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArcKind {
+    /// Intra-cell arc (input pin → output pin of the same cell instance).
+    Cell {
+        /// Cell-instance index.
+        cell: usize,
+    },
+    /// Net arc (driver pin → sink pin).
+    Net {
+        /// Net index.
+        net: NetId,
+    },
+}
+
+/// The pin-level DAG used for STA and as CirSTAG's circuit graph: nodes are
+/// cell pins (plus primary-IO pins), edges are net connections and internal
+/// cell arcs — the graph convention of the pre-routing timing GNN \[17\].
+#[derive(Debug, Clone)]
+pub struct TimingGraph {
+    pins: Vec<PinInfo>,
+    arcs: Vec<(PinId, PinId, ArcKind)>,
+    fanin: Vec<Vec<usize>>,
+    fanout: Vec<Vec<usize>>,
+    topo: Vec<PinId>,
+    pi_pins: Vec<PinId>,
+    po_pins: Vec<PinId>,
+    /// Per-cell output-pin id.
+    cell_output_pin: Vec<PinId>,
+    /// Per-net driver pin id.
+    net_driver_pin: Vec<PinId>,
+    /// Per-net sink pin ids.
+    net_sink_pins: Vec<Vec<PinId>>,
+    /// Per-net wire capacitance (copied from the netlist).
+    wire_caps: Vec<f64>,
+    /// Per-cell (intrinsic delay, drive resistance) from the library.
+    cell_timing: Vec<(f64, f64)>,
+    levels: Vec<usize>,
+}
+
+/// External load attached to each primary output (pF).
+pub const PO_LOAD_CAP: f64 = 0.002;
+
+impl TimingGraph {
+    /// Builds the pin graph for a validated netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Netlist::validate`] failures.
+    pub fn new(netlist: &Netlist, library: &CellLibrary) -> Result<Self, CircuitError> {
+        netlist.validate(library)?;
+        let mut pins: Vec<PinInfo> = Vec::new();
+        let mut net_driver_pin = vec![usize::MAX; netlist.num_nets()];
+        let mut net_sink_pins: Vec<Vec<PinId>> = vec![Vec::new(); netlist.num_nets()];
+
+        let mut pi_pins = Vec::new();
+        for &net in &netlist.primary_inputs {
+            let pin = pins.len();
+            pins.push(PinInfo {
+                role: PinRole::PrimaryInput,
+                capacitance: 0.0,
+                net,
+            });
+            net_driver_pin[net] = pin;
+            pi_pins.push(pin);
+        }
+
+        let mut cell_output_pin = vec![usize::MAX; netlist.num_cells()];
+        let mut cell_input_pins: Vec<Vec<PinId>> = vec![Vec::new(); netlist.num_cells()];
+        let mut cell_timing = Vec::with_capacity(netlist.num_cells());
+        for (ci, inst) in netlist.cells.iter().enumerate() {
+            let cell = library.get(inst.cell)?;
+            for (k, &net) in inst.inputs.iter().enumerate() {
+                let pin = pins.len();
+                pins.push(PinInfo {
+                    role: PinRole::CellInput { cell: ci, pin: k },
+                    capacitance: cell.input_caps[k],
+                    net,
+                });
+                net_sink_pins[net].push(pin);
+                cell_input_pins[ci].push(pin);
+            }
+            let pin = pins.len();
+            pins.push(PinInfo {
+                role: PinRole::CellOutput { cell: ci },
+                capacitance: cell.output_cap,
+                net: inst.output,
+            });
+            net_driver_pin[inst.output] = pin;
+            cell_output_pin[ci] = pin;
+            cell_timing.push((cell.intrinsic_delay, cell.drive_resistance));
+        }
+
+        let mut po_pins = Vec::new();
+        for &net in &netlist.primary_outputs {
+            let pin = pins.len();
+            pins.push(PinInfo {
+                role: PinRole::PrimaryOutput,
+                capacitance: PO_LOAD_CAP,
+                net,
+            });
+            net_sink_pins[net].push(pin);
+            po_pins.push(pin);
+        }
+
+        // Arcs.
+        let mut arcs: Vec<(PinId, PinId, ArcKind)> = Vec::new();
+        for (ci, inputs) in cell_input_pins.iter().enumerate() {
+            for &ip in inputs {
+                arcs.push((ip, cell_output_pin[ci], ArcKind::Cell { cell: ci }));
+            }
+        }
+        for net in 0..netlist.num_nets() {
+            let d = net_driver_pin[net];
+            for &s in &net_sink_pins[net] {
+                arcs.push((d, s, ArcKind::Net { net }));
+            }
+        }
+
+        let n = pins.len();
+        let mut fanin: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ai, &(from, to, _)) in arcs.iter().enumerate() {
+            fanout[from].push(ai);
+            fanin[to].push(ai);
+        }
+
+        // Topological order over pins (Kahn).
+        let mut indegree: Vec<usize> = fanin.iter().map(Vec::len).collect();
+        let mut queue: Vec<PinId> = (0..n).filter(|&p| indegree[p] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut levels = vec![0usize; n];
+        while let Some(p) = queue.pop() {
+            topo.push(p);
+            for &ai in &fanout[p] {
+                let to = arcs[ai].1;
+                levels[to] = levels[to].max(levels[p] + 1);
+                indegree[to] -= 1;
+                if indegree[to] == 0 {
+                    queue.push(to);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(CircuitError::CombinationalCycle);
+        }
+
+        Ok(TimingGraph {
+            pins,
+            arcs,
+            fanin,
+            fanout,
+            topo,
+            pi_pins,
+            po_pins,
+            cell_output_pin,
+            net_driver_pin,
+            net_sink_pins,
+            wire_caps: netlist.nets.iter().map(|nt| nt.wire_cap).collect(),
+            cell_timing,
+            levels,
+        })
+    }
+
+    /// Number of pins (graph nodes).
+    pub fn num_pins(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Number of timing arcs (directed edges).
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Pin metadata.
+    pub fn pin(&self, p: PinId) -> &PinInfo {
+        &self.pins[p]
+    }
+
+    /// All pins.
+    pub fn pins(&self) -> &[PinInfo] {
+        &self.pins
+    }
+
+    /// All arcs as `(from, to, kind)`.
+    pub fn arcs(&self) -> &[(PinId, PinId, ArcKind)] {
+        &self.arcs
+    }
+
+    /// Primary-input pins.
+    pub fn pi_pins(&self) -> &[PinId] {
+        &self.pi_pins
+    }
+
+    /// Primary-output pins.
+    pub fn po_pins(&self) -> &[PinId] {
+        &self.po_pins
+    }
+
+    /// Topological pin order (sources first).
+    pub fn topological_order(&self) -> &[PinId] {
+        &self.topo
+    }
+
+    /// Longest-path level of each pin.
+    pub fn levels(&self) -> &[usize] {
+        &self.levels
+    }
+
+    /// Indices into [`TimingGraph::arcs`] entering `p`.
+    pub fn fanin_arcs(&self, p: PinId) -> &[usize] {
+        &self.fanin[p]
+    }
+
+    /// Indices into [`TimingGraph::arcs`] leaving `p`.
+    pub fn fanout_arcs(&self, p: PinId) -> &[usize] {
+        &self.fanout[p]
+    }
+
+    /// Per-cell `(intrinsic delay, drive resistance)`.
+    pub fn cell_timing(&self) -> &[(f64, f64)] {
+        &self.cell_timing
+    }
+
+    /// Output pin of cell `ci`.
+    pub fn cell_output_pin(&self, ci: usize) -> PinId {
+        self.cell_output_pin[ci]
+    }
+
+    /// Driver pin of `net`.
+    pub fn net_driver_pin(&self, net: NetId) -> PinId {
+        self.net_driver_pin[net]
+    }
+
+    /// Sink pins of `net`.
+    pub fn net_sink_pins(&self, net: NetId) -> &[PinId] {
+        &self.net_sink_pins[net]
+    }
+
+    /// Wire capacitance of `net`.
+    pub fn wire_cap(&self, net: NetId) -> f64 {
+        self.wire_caps[net]
+    }
+
+    /// Base pin capacitances in pin order (the default feature vector).
+    pub fn pin_caps(&self) -> Vec<f64> {
+        self.pins.iter().map(|p| p.capacitance).collect()
+    }
+
+    /// Fanout count of the *net* a driver pin drives (0 for sink pins).
+    pub fn driver_fanout(&self, p: PinId) -> usize {
+        let info = &self.pins[p];
+        match info.role {
+            PinRole::PrimaryInput | PinRole::CellOutput { .. } => {
+                self.net_sink_pins[info.net].len()
+            }
+            _ => 0,
+        }
+    }
+
+    /// The undirected view of the pin graph (unit edge weights) used as
+    /// CirSTAG's input graph `G`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction failures (cannot occur for a valid
+    /// timing graph).
+    pub fn to_undirected_graph(&self) -> Result<Graph, CircuitError> {
+        let mut g = Graph::new(self.num_pins());
+        for &(from, to, _) in &self.arcs {
+            g.add_edge(from, to, 1.0)?;
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellKind, CellLibrary, Netlist};
+
+    fn chain() -> (CellLibrary, Netlist) {
+        // a -> INV -> INV -> y
+        let lib = CellLibrary::standard();
+        let inv = lib.by_kind(CellKind::Inv).unwrap();
+        let mut n = Netlist::new("chain");
+        let a = n.add_net("a", 0.001);
+        let t = n.add_net("t", 0.001);
+        let y = n.add_net("y", 0.001);
+        n.primary_inputs = vec![a];
+        n.primary_outputs = vec![y];
+        n.add_cell("g0", inv, vec![a], t).unwrap();
+        n.add_cell("g1", inv, vec![t], y).unwrap();
+        (lib, n)
+    }
+
+    #[test]
+    fn pin_count_and_roles() {
+        let (lib, n) = chain();
+        let tg = TimingGraph::new(&n, &lib).unwrap();
+        // 1 PI + 2*(1 input + 1 output) + 1 PO = 6 pins.
+        assert_eq!(tg.num_pins(), 6);
+        assert_eq!(tg.pi_pins().len(), 1);
+        assert_eq!(tg.po_pins().len(), 1);
+        assert_eq!(tg.pin(tg.pi_pins()[0]).role, PinRole::PrimaryInput);
+        assert_eq!(tg.pin(tg.po_pins()[0]).role, PinRole::PrimaryOutput);
+    }
+
+    #[test]
+    fn arc_count() {
+        let (lib, n) = chain();
+        let tg = TimingGraph::new(&n, &lib).unwrap();
+        // Cell arcs: 2. Net arcs: a->g0.in, t->g1.in, y->PO = 3.
+        assert_eq!(tg.num_arcs(), 5);
+    }
+
+    #[test]
+    fn topological_order_is_complete_and_causal() {
+        let (lib, n) = chain();
+        let tg = TimingGraph::new(&n, &lib).unwrap();
+        let order = tg.topological_order();
+        assert_eq!(order.len(), tg.num_pins());
+        let mut pos = vec![0usize; tg.num_pins()];
+        for (i, &p) in order.iter().enumerate() {
+            pos[p] = i;
+        }
+        for &(from, to, _) in tg.arcs() {
+            assert!(pos[from] < pos[to], "arc {from}->{to} violates order");
+        }
+    }
+
+    #[test]
+    fn levels_increase_along_arcs() {
+        let (lib, n) = chain();
+        let tg = TimingGraph::new(&n, &lib).unwrap();
+        for &(from, to, _) in tg.arcs() {
+            assert!(tg.levels()[to] > tg.levels()[from]);
+        }
+        assert_eq!(tg.levels()[tg.po_pins()[0]], 5); // PI →net→ in →cell→ out →net→ in →cell→ out →net→ PO
+    }
+
+    #[test]
+    fn driver_fanout_counts_sinks() {
+        let (lib, n) = chain();
+        let tg = TimingGraph::new(&n, &lib).unwrap();
+        let pi = tg.pi_pins()[0];
+        assert_eq!(tg.driver_fanout(pi), 1);
+        // A sink pin has no driver fanout.
+        let sink = tg.net_sink_pins(0)[0];
+        assert_eq!(tg.driver_fanout(sink), 0);
+    }
+
+    #[test]
+    fn undirected_view_is_connected() {
+        let (lib, n) = chain();
+        let tg = TimingGraph::new(&n, &lib).unwrap();
+        let g = tg.to_undirected_graph().unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.num_nodes(), tg.num_pins());
+        assert_eq!(g.num_edges(), tg.num_arcs());
+    }
+
+    #[test]
+    fn fanin_fanout_indices_consistent() {
+        let (lib, n) = chain();
+        let tg = TimingGraph::new(&n, &lib).unwrap();
+        for p in 0..tg.num_pins() {
+            for &ai in tg.fanout_arcs(p) {
+                assert_eq!(tg.arcs()[ai].0, p);
+            }
+            for &ai in tg.fanin_arcs(p) {
+                assert_eq!(tg.arcs()[ai].1, p);
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Hand-rolled argument parsing.
+
+use crate::CliError;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `cirstag generate --gates N [--seed S] <out.cir>`
+    Generate {
+        /// Gate count.
+        gates: usize,
+        /// Generator seed.
+        seed: u64,
+        /// Output netlist path.
+        out: String,
+    },
+    /// `cirstag sta <netlist>`
+    Sta {
+        /// Netlist path.
+        netlist: String,
+    },
+    /// `cirstag analyze <netlist> [--out report.json] [--epochs N] [--top F]`
+    Analyze {
+        /// Netlist path.
+        netlist: String,
+        /// Optional JSON report destination.
+        out: Option<String>,
+        /// GNN training epochs.
+        epochs: usize,
+        /// Fraction reported as "most unstable".
+        top: f64,
+    },
+    /// `cirstag dot <netlist> [--scores report.json]`
+    Dot {
+        /// Netlist path.
+        netlist: String,
+        /// Optional JSON report whose scores drive the heat map.
+        scores: Option<String>,
+    },
+    /// `cirstag help` or `--help`.
+    Help,
+}
+
+/// Usage text shown by `help` and on parse errors.
+pub const USAGE: &str = "\
+cirstag — circuit stability analysis on graph-based manifolds
+
+USAGE:
+  cirstag generate --gates N [--seed S] <out.cir>   write a synthetic benchmark
+  cirstag sta <netlist>                             pre-routing timing report
+  cirstag analyze <netlist> [--out report.json]     CirSTAG stability scores
+                            [--epochs N] [--top F]
+  cirstag dot <netlist> [--scores report.json]      Graphviz DOT of the pin graph
+  cirstag help                                      this message
+";
+
+/// Parses `args` (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a usage hint for unknown subcommands, missing
+/// values or unparsable numbers.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+    let rest: Vec<&String> = it.collect();
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let mut gates = None;
+            let mut seed = 1u64;
+            let mut out = None;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--gates" => {
+                        gates =
+                            Some(value(&rest, &mut i, "--gates")?.parse().map_err(|_| {
+                                CliError::new("--gates expects a positive integer")
+                            })?);
+                    }
+                    "--seed" => {
+                        seed = value(&rest, &mut i, "--seed")?
+                            .parse()
+                            .map_err(|_| CliError::new("--seed expects an integer"))?;
+                    }
+                    other if !other.starts_with("--") => {
+                        out = Some(other.to_string());
+                    }
+                    other => return Err(CliError::new(format!("unknown flag {other}\n{USAGE}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Generate {
+                gates: gates
+                    .ok_or_else(|| CliError::new(format!("--gates is required\n{USAGE}")))?,
+                seed,
+                out: out
+                    .ok_or_else(|| CliError::new(format!("output path is required\n{USAGE}")))?,
+            })
+        }
+        "sta" => {
+            let netlist = rest
+                .first()
+                .ok_or_else(|| CliError::new(format!("netlist path is required\n{USAGE}")))?;
+            Ok(Command::Sta {
+                netlist: netlist.to_string(),
+            })
+        }
+        "analyze" => {
+            let mut netlist = None;
+            let mut out = None;
+            let mut epochs = 200usize;
+            let mut top = 0.10f64;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--out" => out = Some(value(&rest, &mut i, "--out")?.to_string()),
+                    "--epochs" => {
+                        epochs = value(&rest, &mut i, "--epochs")?
+                            .parse()
+                            .map_err(|_| CliError::new("--epochs expects an integer"))?;
+                    }
+                    "--top" => {
+                        top = value(&rest, &mut i, "--top")?
+                            .parse()
+                            .map_err(|_| CliError::new("--top expects a fraction in (0, 1]"))?;
+                        if !(top > 0.0 && top <= 1.0) {
+                            return Err(CliError::new("--top must lie in (0, 1]"));
+                        }
+                    }
+                    other if !other.starts_with("--") => netlist = Some(other.to_string()),
+                    other => return Err(CliError::new(format!("unknown flag {other}\n{USAGE}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Analyze {
+                netlist: netlist
+                    .ok_or_else(|| CliError::new(format!("netlist path is required\n{USAGE}")))?,
+                out,
+                epochs,
+                top,
+            })
+        }
+        "dot" => {
+            let mut netlist = None;
+            let mut scores = None;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--scores" => scores = Some(value(&rest, &mut i, "--scores")?.to_string()),
+                    other if !other.starts_with("--") => netlist = Some(other.to_string()),
+                    other => return Err(CliError::new(format!("unknown flag {other}\n{USAGE}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Dot {
+                netlist: netlist
+                    .ok_or_else(|| CliError::new(format!("netlist path is required\n{USAGE}")))?,
+                scores,
+            })
+        }
+        other => Err(CliError::new(format!(
+            "unknown subcommand {other}\n{USAGE}"
+        ))),
+    }
+}
+
+fn value<'a>(rest: &'a [&'a String], i: &mut usize, flag: &str) -> Result<&'a str, CliError> {
+    *i += 1;
+    rest.get(*i)
+        .map(|s| s.as_str())
+        .ok_or_else(|| CliError::new(format!("{flag} expects a value")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = parse_args(&strs(&[
+            "generate", "--gates", "500", "--seed", "7", "o.cir",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                gates: 500,
+                seed: 7,
+                out: "o.cir".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn generate_requires_gates_and_out() {
+        assert!(parse_args(&strs(&["generate", "o.cir"])).is_err());
+        assert!(parse_args(&strs(&["generate", "--gates", "10"])).is_err());
+    }
+
+    #[test]
+    fn parses_analyze_with_defaults() {
+        let cmd = parse_args(&strs(&["analyze", "d.cir"])).unwrap();
+        match cmd {
+            Command::Analyze {
+                netlist,
+                out,
+                epochs,
+                top,
+            } => {
+                assert_eq!(netlist, "d.cir");
+                assert!(out.is_none());
+                assert_eq!(epochs, 200);
+                assert!((top - 0.10).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn analyze_validates_top() {
+        assert!(parse_args(&strs(&["analyze", "d.cir", "--top", "1.5"])).is_err());
+        assert!(parse_args(&strs(&["analyze", "d.cir", "--top", "0"])).is_err());
+    }
+
+    #[test]
+    fn parses_sta_and_dot() {
+        assert_eq!(
+            parse_args(&strs(&["sta", "d.cir"])).unwrap(),
+            Command::Sta {
+                netlist: "d.cir".to_string()
+            }
+        );
+        assert_eq!(
+            parse_args(&strs(&["dot", "d.cir", "--scores", "r.json"])).unwrap(),
+            Command::Dot {
+                netlist: "d.cir".to_string(),
+                scores: Some("r.json".to_string())
+            }
+        );
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&strs(&["--help"])).unwrap(), Command::Help);
+        assert!(parse_args(&strs(&["bogus"])).is_err());
+        assert!(parse_args(&strs(&["analyze", "d.cir", "--bad-flag", "x"])).is_err());
+    }
+
+    #[test]
+    fn missing_flag_value_rejected() {
+        assert!(parse_args(&strs(&["generate", "--gates"])).is_err());
+        assert!(parse_args(&strs(&["analyze", "d.cir", "--out"])).is_err());
+    }
+}

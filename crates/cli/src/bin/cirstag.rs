@@ -1,0 +1,25 @@
+//! The `cirstag` command-line tool (thin shim over `cirstag_cli`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match cirstag_cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    match cirstag_cli::run(&command, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        // A closed stdout (`cirstag sta … | head`) is normal Unix pipeline
+        // behavior, not an error.
+        Err(e) if e.message.contains("Broken pipe") => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

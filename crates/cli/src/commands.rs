@@ -1,0 +1,348 @@
+//! Subcommand implementations.
+
+use crate::args::USAGE;
+use crate::{CliError, Command};
+use cirstag::{CirStag, CirStagConfig, ReportExport};
+use cirstag_circuit::{
+    extract_features, generate_circuit, parse_netlist, write_netlist, CellLibrary, FeatureConfig,
+    GeneratorConfig, Netlist, PinRole, StaEngine, TimingGraph,
+};
+use cirstag_embed::KnnMethod;
+use cirstag_gnn::{r2_score, Activation, GnnModel, GraphContext, LayerSpec, TrainConfig};
+use cirstag_graph::{heat_colors, to_dot, DotOptions};
+use cirstag_linalg::DenseMatrix;
+
+/// Runs a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on I/O, parse or analysis failures; the message is
+/// meant for direct display.
+pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    match command {
+        Command::Help => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Command::Generate {
+            gates,
+            seed,
+            out: path,
+        } => generate(*gates, *seed, path, out),
+        Command::Sta { netlist } => sta(netlist, out),
+        Command::Analyze {
+            netlist,
+            out: report_path,
+            epochs,
+            top,
+        } => analyze(netlist, report_path.as_deref(), *epochs, *top, out),
+        Command::Dot { netlist, scores } => dot(netlist, scores.as_deref(), out),
+    }
+}
+
+fn load(path: &str) -> Result<(CellLibrary, Netlist), CliError> {
+    let library = CellLibrary::standard();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
+    let netlist = parse_netlist(&text, &library)?;
+    Ok((library, netlist))
+}
+
+fn generate(
+    gates: usize,
+    seed: u64,
+    path: &str,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let library = CellLibrary::standard();
+    let netlist = generate_circuit(
+        &library,
+        &GeneratorConfig {
+            num_gates: gates,
+            ..Default::default()
+        },
+        seed,
+    )?;
+    std::fs::write(path, write_netlist(&netlist, &library))
+        .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
+    writeln!(
+        out,
+        "wrote {path}: {} gates, {} nets, {} primary inputs, {} primary outputs",
+        netlist.num_cells(),
+        netlist.num_nets(),
+        netlist.primary_inputs.len(),
+        netlist.primary_outputs.len()
+    )?;
+    Ok(())
+}
+
+fn sta(path: &str, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (library, netlist) = load(path)?;
+    let timing = TimingGraph::new(&netlist, &library)?;
+    let engine = StaEngine::new(&timing);
+    writeln!(
+        out,
+        "design {}: {} pins, {} arcs",
+        netlist.name,
+        timing.num_pins(),
+        timing.num_arcs()
+    )?;
+    writeln!(out, "critical arrival: {:.4} ns", engine.critical_arrival())?;
+    // Worst five endpoints.
+    let mut pos: Vec<usize> = timing.po_pins().to_vec();
+    pos.sort_by(|&a, &b| {
+        engine
+            .arrival(b)
+            .partial_cmp(&engine.arrival(a))
+            .expect("finite arrivals")
+    });
+    writeln!(out, "worst endpoints:")?;
+    for &po in pos.iter().take(5) {
+        let net = timing.pin(po).net;
+        writeln!(
+            out,
+            "  {:<16} arrival {:.4} ns",
+            netlist.nets[net].name,
+            engine.arrival(po)
+        )?;
+    }
+    Ok(())
+}
+
+fn analyze(
+    path: &str,
+    report_path: Option<&str>,
+    epochs: usize,
+    top: f64,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let (library, netlist) = load(path)?;
+    let timing = TimingGraph::new(&netlist, &library)?;
+    let graph = timing.to_undirected_graph()?;
+    let arcs: Vec<(usize, usize)> = timing.arcs().iter().map(|&(f, t, _)| (f, t)).collect();
+    let ctx = GraphContext::with_dag(&graph, &arcs)?;
+    let features = extract_features(
+        &timing,
+        &netlist,
+        &library,
+        &timing.pin_caps(),
+        &FeatureConfig::default(),
+    )?;
+    let engine = StaEngine::new(&timing);
+    let critical = engine.critical_arrival().max(1e-12);
+    let targets = DenseMatrix::from_rows(
+        &engine
+            .arrival_times()
+            .iter()
+            .map(|&a| vec![a / critical])
+            .collect::<Vec<_>>(),
+    )?;
+    writeln!(
+        out,
+        "training timing GNN ({epochs} epochs) on {} pins…",
+        timing.num_pins()
+    )?;
+    let mut model = GnnModel::new(
+        features.ncols(),
+        &[
+            LayerSpec::Linear {
+                dim: 32,
+                activation: Activation::Relu,
+            },
+            LayerSpec::DagProp {
+                dim: 32,
+                activation: Activation::Relu,
+            },
+            LayerSpec::Linear {
+                dim: 16,
+                activation: Activation::Relu,
+            },
+            LayerSpec::Linear {
+                dim: 1,
+                activation: Activation::Identity,
+            },
+        ],
+        0xC11,
+    )?;
+    model.fit_regression(
+        &ctx,
+        &features,
+        &targets,
+        None,
+        &TrainConfig {
+            epochs,
+            learning_rate: 8e-3,
+            weight_decay: 1e-5,
+            clip_norm: 5.0,
+            ..TrainConfig::default()
+        },
+    )?;
+    let pred = model.forward(&ctx, &features, false)?;
+    writeln!(out, "GNN R² = {:.4}", r2_score(&pred, &targets))?;
+
+    let embedding = model.embeddings(&ctx, &features)?;
+    let mut config = CirStagConfig {
+        embedding_dim: 16,
+        num_eigenpairs: 25,
+        knn_k: 10,
+        ..Default::default()
+    };
+    if graph.num_nodes() > 3000 {
+        config.knn.method = KnnMethod::RpForest {
+            num_trees: 6,
+            leaf_size: 48,
+        };
+    }
+    let report = CirStag::new(config).analyze(&graph, Some(&features), &embedding)?;
+    let eligible: Vec<bool> = (0..timing.num_pins())
+        .map(|p| timing.pin(p).capacitance > 0.0 && timing.pin(p).role != PinRole::PrimaryOutput)
+        .collect();
+    let unstable = cirstag::top_fraction(&report.node_scores, top, Some(&eligible));
+    writeln!(
+        out,
+        "\nmost unstable {:.0}% of pins ({} pins):",
+        top * 100.0,
+        unstable.len()
+    )?;
+    for &p in unstable.iter().take(15) {
+        let info = timing.pin(p);
+        writeln!(
+            out,
+            "  pin {:<7} net {:<16} score {:.4e}",
+            p, netlist.nets[info.net].name, report.node_scores[p]
+        )?;
+    }
+    if unstable.len() > 15 {
+        writeln!(out, "  … ({} more)", unstable.len() - 15)?;
+    }
+    if let Some(rp) = report_path {
+        std::fs::write(rp, report.to_json()?)
+            .map_err(|e| CliError::new(format!("cannot write {rp}: {e}")))?;
+        writeln!(out, "\nfull report written to {rp}")?;
+    }
+    Ok(())
+}
+
+fn dot(
+    path: &str,
+    scores_path: Option<&str>,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let (library, netlist) = load(path)?;
+    let timing = TimingGraph::new(&netlist, &library)?;
+    let graph = timing.to_undirected_graph()?;
+    let node_colors = match scores_path {
+        None => None,
+        Some(sp) => {
+            let text = std::fs::read_to_string(sp)
+                .map_err(|e| CliError::new(format!("cannot read {sp}: {e}")))?;
+            let report = ReportExport::from_json(&text)?;
+            if report.node_scores.len() != graph.num_nodes() {
+                return Err(CliError::new(format!(
+                    "report covers {} nodes but the design has {}",
+                    report.node_scores.len(),
+                    graph.num_nodes()
+                )));
+            }
+            Some(heat_colors(&report.node_scores))
+        }
+    };
+    let text = to_dot(
+        &graph,
+        &DotOptions {
+            name: netlist.name.clone(),
+            node_colors,
+            ..Default::default()
+        },
+    );
+    out.write_all(text.as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(cmd: &Command) -> Result<String, CliError> {
+        let mut buf = Vec::new();
+        run(cmd, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_to_string(&Command::Help).unwrap();
+        assert!(text.contains("USAGE"));
+    }
+
+    #[test]
+    fn generate_sta_dot_roundtrip() {
+        let dir = std::env::temp_dir().join("cirstag_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.cir");
+        let path_str = path.to_str().unwrap().to_string();
+        let gen_out = run_to_string(&Command::Generate {
+            gates: 40,
+            seed: 3,
+            out: path_str.clone(),
+        })
+        .unwrap();
+        assert!(gen_out.contains("40 gates"));
+
+        let sta_out = run_to_string(&Command::Sta {
+            netlist: path_str.clone(),
+        })
+        .unwrap();
+        assert!(sta_out.contains("critical arrival"));
+
+        let dot_out = run_to_string(&Command::Dot {
+            netlist: path_str,
+            scores: None,
+        })
+        .unwrap();
+        assert!(dot_out.contains("graph"));
+        assert!(dot_out.contains("--"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_reports_cleanly() {
+        let err = run_to_string(&Command::Sta {
+            netlist: "/nonexistent/x.cir".to_string(),
+        })
+        .unwrap_err();
+        assert!(err.message.contains("cannot read"));
+    }
+
+    #[test]
+    fn analyze_small_design_end_to_end() {
+        let dir = std::env::temp_dir().join("cirstag_cli_analyze");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cir = dir.join("a.cir");
+        let json = dir.join("a.json");
+        run_to_string(&Command::Generate {
+            gates: 60,
+            seed: 5,
+            out: cir.to_str().unwrap().to_string(),
+        })
+        .unwrap();
+        let text = run_to_string(&Command::Analyze {
+            netlist: cir.to_str().unwrap().to_string(),
+            out: Some(json.to_str().unwrap().to_string()),
+            epochs: 60,
+            top: 0.10,
+        })
+        .unwrap();
+        assert!(text.contains("most unstable"));
+        let report = ReportExport::from_json(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert!(!report.node_scores.is_empty());
+        // Heat-mapped DOT from the saved report.
+        let dot_text = run_to_string(&Command::Dot {
+            netlist: cir.to_str().unwrap().to_string(),
+            scores: Some(json.to_str().unwrap().to_string()),
+        })
+        .unwrap();
+        assert!(dot_text.contains("fillcolor"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,131 @@
+//! JSON export of stability reports for downstream tooling.
+
+use crate::{CirStagError, StabilityReport};
+use serde::{Deserialize, Serialize};
+
+/// Serializable form of a [`StabilityReport`] (scores, rankings and run
+/// metadata — the manifold graphs are omitted as they are cheap to
+/// recompute and large to store).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ReportExport {
+    /// Per-node stability score (Eq. 9).
+    pub node_scores: Vec<f64>,
+    /// Node ids sorted most-unstable first.
+    pub ranking: Vec<usize>,
+    /// Per-edge DMD scores over the input manifold as `(p, q, score)`.
+    pub edge_scores: Vec<(usize, usize, f64)>,
+    /// The generalized eigenvalues `ζ₁ ≥ … ≥ ζ_s`.
+    pub eigenvalues: Vec<f64>,
+    /// Phase wall-clock times in seconds `(phase1, phase2, phase3)`.
+    pub phase_seconds: (f64, f64, f64),
+}
+
+impl ReportExport {
+    /// Builds the export form of a report.
+    pub fn from_report(report: &StabilityReport) -> Self {
+        ReportExport {
+            node_scores: report.node_scores.clone(),
+            ranking: report.ranking(),
+            edge_scores: report.edge_scores.clone(),
+            eigenvalues: report.eigenvalues.clone(),
+            phase_seconds: (
+                report.timings.phase1.as_secs_f64(),
+                report.timings.phase2.as_secs_f64(),
+                report.timings.phase3.as_secs_f64(),
+            ),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirStagError::InvalidArgument`] when serialization fails
+    /// (unreachable for finite scores).
+    pub fn to_json(&self) -> Result<String, CirStagError> {
+        serde_json::to_string_pretty(self).map_err(|e| CirStagError::InvalidArgument {
+            reason: format!("report serialization failed: {e}"),
+        })
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirStagError::InvalidArgument`] for malformed input.
+    pub fn from_json(text: &str) -> Result<Self, CirStagError> {
+        serde_json::from_str(text).map_err(|e| CirStagError::InvalidArgument {
+            reason: format!("report deserialization failed: {e}"),
+        })
+    }
+}
+
+impl StabilityReport {
+    /// Convenience: export this report straight to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReportExport::to_json`].
+    pub fn to_json(&self) -> Result<String, CirStagError> {
+        ReportExport::from_report(self).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CirStag, CirStagConfig};
+    use cirstag_graph::Graph;
+    use cirstag_linalg::DenseMatrix;
+
+    fn sample_report() -> StabilityReport {
+        let n = 16;
+        let g = Graph::from_edges(
+            n,
+            &(0..n).map(|i| (i, (i + 1) % n, 1.0)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let emb = DenseMatrix::from_rows(
+            &(0..n)
+                .map(|i| {
+                    let t = i as f64 / n as f64 * std::f64::consts::TAU;
+                    vec![t.cos(), t.sin()]
+                })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        CirStag::new(CirStagConfig {
+            embedding_dim: 4,
+            knn_k: 4,
+            num_eigenpairs: 3,
+            ..Default::default()
+        })
+        .analyze(&g, None, &emb)
+        .unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let report = sample_report();
+        let json = report.to_json().unwrap();
+        let parsed = ReportExport::from_json(&json).unwrap();
+        assert_eq!(parsed.node_scores, report.node_scores);
+        assert_eq!(parsed.ranking, report.ranking());
+        assert_eq!(parsed.eigenvalues, report.eigenvalues);
+        assert_eq!(parsed.edge_scores.len(), report.edge_scores.len());
+    }
+
+    #[test]
+    fn ranking_is_embedded_consistently() {
+        let report = sample_report();
+        let export = ReportExport::from_report(&report);
+        for w in export.ranking.windows(2) {
+            assert!(export.node_scores[w[0]] >= export.node_scores[w[1]]);
+        }
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(ReportExport::from_json("nope").is_err());
+    }
+}

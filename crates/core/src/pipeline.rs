@@ -1,0 +1,512 @@
+//! The three-phase CirSTAG pipeline (Algorithm 1 of the paper).
+
+use crate::CirStagError;
+use cirstag_embed::{
+    augment_with_features, knn_graph, spectral_embedding, KnnConfig, SpectralConfig,
+};
+use cirstag_graph::Graph;
+use cirstag_linalg::DenseMatrix;
+use cirstag_pgm::{learn_manifold, random_prune, PgmConfig};
+use cirstag_solver::{generalized_lanczos, CgOptions, LaplacianSolver};
+use std::time::{Duration, Instant};
+
+/// Configuration for the [`CirStag`] analyzer.
+#[derive(Debug, Clone, Copy)]
+pub struct CirStagConfig {
+    /// Input spectral-embedding dimension `M` (Eq. 4).
+    pub embedding_dim: usize,
+    /// `k` for the dense kNN graphs of Phase 2.
+    pub knn_k: usize,
+    /// kNN construction options (method, connectivity backbone, …).
+    pub knn: KnnConfig,
+    /// PGM sparsification options (Phase 2).
+    pub pgm: PgmConfig,
+    /// Number of generalized eigenpairs `s` for the DMD subspace (Phase 3).
+    pub num_eigenpairs: usize,
+    /// Weight for concatenating node features onto the input embedding.
+    /// The default `0.0` is the paper's Eq. 4 — structure-only input
+    /// manifold; feature perturbation sensitivity enters through the GNN's
+    /// output embeddings. (Empirically, letting features dominate the input
+    /// manifold *degrades* the instability ranking — see EXPERIMENTS.md.)
+    pub feature_weight: f64,
+    /// Ablation (paper Fig. 4): skip Phase-1 dimensionality reduction and
+    /// use the raw circuit graph as the input manifold.
+    pub skip_dimension_reduction: bool,
+    /// Ablation: keep the dense kNN graphs as manifolds (skip the PGM
+    /// sparsification of Phase 2).
+    pub skip_manifold_sparsification: bool,
+    /// Ablation (A1): prune the kNN graphs to the same budget but with
+    /// uniformly random edge selection instead of the η criterion of Eq. 8.
+    pub random_prune: bool,
+    /// Eigensolver options for the spectral embedding.
+    pub spectral: SpectralConfig,
+    /// Lanczos budget for the Phase-3 generalized eigensolver.
+    pub geig_max_iter: usize,
+    /// Master seed, XOR-mixed into every stochastic stage (spectral start
+    /// vectors, kNN projection trees, tree/sketch randomness, Phase-3
+    /// Lanczos). The default `0` leaves each sub-config's own seed in
+    /// effect; any nonzero value re-randomizes the whole pipeline at once.
+    pub seed: u64,
+}
+
+impl Default for CirStagConfig {
+    fn default() -> Self {
+        CirStagConfig {
+            embedding_dim: 10,
+            knn_k: 10,
+            knn: KnnConfig::default(),
+            pgm: PgmConfig::default(),
+            num_eigenpairs: 10,
+            feature_weight: 0.0,
+            skip_dimension_reduction: false,
+            skip_manifold_sparsification: false,
+            random_prune: false,
+            spectral: SpectralConfig::default(),
+            geig_max_iter: 80,
+            seed: 0,
+        }
+    }
+}
+
+/// Wall-clock timings of the three phases.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Phase 1: embeddings.
+    pub phase1: Duration,
+    /// Phase 2: manifold (PGM) construction.
+    pub phase2: Duration,
+    /// Phase 3: generalized eigenproblem + scores.
+    pub phase3: Duration,
+}
+
+impl PhaseTimings {
+    /// Total pipeline time.
+    pub fn total(&self) -> Duration {
+        self.phase1 + self.phase2 + self.phase3
+    }
+}
+
+/// Output of a CirSTAG analysis.
+#[derive(Debug, Clone)]
+pub struct StabilityReport {
+    /// Per-node stability score (Eq. 9) — larger means more unstable.
+    pub node_scores: Vec<f64>,
+    /// Per-edge DMD scores `(p, q, ‖V_sᵀe_pq‖²)` over the input manifold.
+    pub edge_scores: Vec<(usize, usize, f64)>,
+    /// The `s` largest generalized eigenvalues `ζ₁ ≥ … ≥ ζ_s` of `L_Y⁺L_X`.
+    pub eigenvalues: Vec<f64>,
+    /// The learned input manifold `G_X`.
+    pub input_manifold: Graph,
+    /// The learned output manifold `G_Y`.
+    pub output_manifold: Graph,
+    /// Phase timings (Fig. 5 scalability data).
+    pub timings: PhaseTimings,
+}
+
+impl StabilityReport {
+    /// Node indices sorted most-unstable first.
+    pub fn ranking(&self) -> Vec<usize> {
+        crate::rank_descending(&self.node_scores)
+    }
+}
+
+/// The CirSTAG analyzer.
+///
+/// Construct once with a [`CirStagConfig`] and call
+/// [`CirStag::analyze`] per (graph, embedding) pair; the analyzer is
+/// stateless across calls and fully deterministic in its seed.
+#[derive(Debug, Clone, Default)]
+pub struct CirStag {
+    config: CirStagConfig,
+}
+
+impl CirStag {
+    /// Creates an analyzer with the given configuration.
+    pub fn new(config: CirStagConfig) -> Self {
+        CirStag { config }
+    }
+
+    /// Borrows the configuration.
+    pub fn config(&self) -> &CirStagConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 1.
+    ///
+    /// * `input_graph` — the circuit graph `G` (pins or gates as nodes).
+    /// * `node_features` — optional per-node features (e.g. pin
+    ///   capacitances); concatenated onto the input embedding with
+    ///   [`CirStagConfig::feature_weight`].
+    /// * `output_embedding` — the GNN's node embeddings `Y` (rows = nodes).
+    ///
+    /// # Errors
+    ///
+    /// - [`CirStagError::InvalidArgument`] on dimension mismatches or
+    ///   degenerate sizes (fewer than 4 nodes).
+    /// - Propagates failures from the embedding, PGM and eigensolver stages.
+    pub fn analyze(
+        &self,
+        input_graph: &Graph,
+        node_features: Option<&DenseMatrix>,
+        output_embedding: &DenseMatrix,
+    ) -> Result<StabilityReport, CirStagError> {
+        let n = input_graph.num_nodes();
+        if n < 4 {
+            return Err(CirStagError::InvalidArgument {
+                reason: format!("need at least 4 nodes, got {n}"),
+            });
+        }
+        if output_embedding.nrows() != n {
+            return Err(CirStagError::InvalidArgument {
+                reason: format!(
+                    "output embedding has {} rows but the graph has {n} nodes",
+                    output_embedding.nrows()
+                ),
+            });
+        }
+        if let Some(f) = node_features {
+            if f.nrows() != n {
+                return Err(CirStagError::InvalidArgument {
+                    reason: format!(
+                        "node features have {} rows but the graph has {n} nodes",
+                        f.nrows()
+                    ),
+                });
+            }
+        }
+        // Mix the master seed into every stochastic sub-stage so that
+        // varying `seed` alone re-randomizes the whole pipeline.
+        let mut cfg = self.config;
+        cfg.spectral.seed ^= cfg.seed;
+        cfg.knn.seed ^= cfg.seed;
+        cfg.pgm.seed ^= cfg.seed;
+        let cfg = &cfg;
+
+        // ---- Phase 1: input/output embedding matrices -------------------
+        let t0 = Instant::now();
+        let input_data: Option<DenseMatrix> = if cfg.skip_dimension_reduction {
+            None // raw graph becomes the manifold directly
+        } else {
+            let m = cfg.embedding_dim.min(n - 1).max(1);
+            let u = spectral_embedding(input_graph, m, &cfg.spectral)?;
+            let u = match node_features {
+                Some(f) if cfg.feature_weight > 0.0 => {
+                    augment_with_features(&u, f, cfg.feature_weight)?
+                }
+                _ => u,
+            };
+            Some(u)
+        };
+        let phase1 = t0.elapsed();
+
+        // ---- Phase 2: graph-based manifolds via PGMs ---------------------
+        let t1 = Instant::now();
+        let k = cfg.knn_k.min(n - 1).max(1);
+        let input_manifold = match &input_data {
+            None => input_graph.clone(),
+            Some(u) => {
+                let dense = knn_graph(u, k, &cfg.knn)?;
+                sparsify(&dense, cfg)?
+            }
+        };
+        let dense_y = knn_graph(output_embedding, k, &cfg.knn)?;
+        let output_manifold = sparsify(&dense_y, cfg)?;
+        let phase2 = t1.elapsed();
+
+        // ---- Phase 3: DMD stability scores -------------------------------
+        let t2 = Instant::now();
+        let lx = input_manifold.laplacian();
+        // Ranking-grade solver options: manifold Laplacians mix weights
+        // spanning ~1/ε, so the default 1e-10 tolerance is unnecessarily
+        // strict for eigen-subspace estimation and can fail to converge.
+        let ly_solver = LaplacianSolver::with_tree_preconditioner(
+            &output_manifold,
+            CgOptions {
+                tol: 1e-6,
+                max_iter: 10_000,
+            },
+        )?;
+        let s = cfg.num_eigenpairs.min(n.saturating_sub(2)).max(1);
+        let geig = generalized_lanczos(&lx, &ly_solver, s, cfg.geig_max_iter, cfg.seed)?;
+
+        // Edge scores ‖V_sᵀe_pq‖² = Σ_i ζ_i (v_i[p] − v_i[q])² over E_X.
+        let zetas: Vec<f64> = geig.eigenvalues.iter().map(|&z| z.max(0.0)).collect();
+        let vs = &geig.eigenvectors;
+        let mut edge_scores = Vec::with_capacity(input_manifold.num_edges());
+        let mut node_acc = vec![0.0f64; n];
+        let mut node_count = vec![0usize; n];
+        for e in input_manifold.edges() {
+            let mut score = 0.0;
+            for (i, &z) in zetas.iter().enumerate() {
+                let d = vs.get(e.u, i) - vs.get(e.v, i);
+                score += z * d * d;
+            }
+            edge_scores.push((e.u, e.v, score));
+            node_acc[e.u] += score;
+            node_acc[e.v] += score;
+            node_count[e.u] += 1;
+            node_count[e.v] += 1;
+        }
+        let node_scores: Vec<f64> = node_acc
+            .iter()
+            .zip(&node_count)
+            .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+            .collect();
+        let phase3 = t2.elapsed();
+
+        Ok(StabilityReport {
+            node_scores,
+            edge_scores,
+            eigenvalues: geig.eigenvalues,
+            input_manifold,
+            output_manifold,
+            timings: PhaseTimings {
+                phase1,
+                phase2,
+                phase3,
+            },
+        })
+    }
+}
+
+/// Applies the configured Phase-2 sparsification variant.
+fn sparsify(dense: &Graph, cfg: &CirStagConfig) -> Result<Graph, CirStagError> {
+    if cfg.skip_manifold_sparsification {
+        Ok(dense.clone())
+    } else if cfg.random_prune {
+        Ok(random_prune(dense, &cfg.pgm)?.graph)
+    } else {
+        Ok(learn_manifold(dense, &cfg.pgm)?.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Graph {
+        Graph::from_edges(
+            n,
+            &(0..n).map(|i| (i, (i + 1) % n, 1.0)).collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    /// An embedding that maps the ring to a circle but violently stretches a
+    /// contiguous block of nodes — those nodes should score unstable.
+    fn distorted_embedding(n: usize, hot: std::ops::Range<usize>) -> DenseMatrix {
+        DenseMatrix::from_rows(
+            &(0..n)
+                .map(|i| {
+                    let t = i as f64 / n as f64 * std::f64::consts::TAU;
+                    let stretch = if hot.contains(&i) { 12.0 } else { 1.0 };
+                    vec![stretch * t.cos(), stretch * t.sin()]
+                })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    fn small_config() -> CirStagConfig {
+        CirStagConfig {
+            embedding_dim: 4,
+            knn_k: 4,
+            num_eigenpairs: 3,
+            feature_weight: 0.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn report_shapes_and_finiteness() {
+        let n = 30;
+        let g = ring(n);
+        let emb = distorted_embedding(n, 0..5);
+        let report = CirStag::new(small_config())
+            .analyze(&g, None, &emb)
+            .unwrap();
+        assert_eq!(report.node_scores.len(), n);
+        assert!(report
+            .node_scores
+            .iter()
+            .all(|s| s.is_finite() && *s >= 0.0));
+        assert!(!report.edge_scores.is_empty());
+        assert_eq!(report.eigenvalues.len(), 3);
+        // Eigenvalues sorted descending.
+        for w in report.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn distorted_region_ranks_unstable() {
+        let n = 40;
+        let g = ring(n);
+        let emb = distorted_embedding(n, 0..6);
+        let report = CirStag::new(small_config())
+            .analyze(&g, None, &emb)
+            .unwrap();
+        let ranking = report.ranking();
+        // Count how many of the 8 most-unstable nodes fall in (or adjacent
+        // to) the distorted block 0..6.
+        let hot: Vec<usize> = ranking[..8].to_vec();
+        let in_block = hot
+            .iter()
+            .filter(|&&i| i <= 7 || i >= n - 2) // block plus its boundary
+            .count();
+        assert!(
+            in_block >= 5,
+            "top unstable {hot:?} not concentrated in distorted region"
+        );
+    }
+
+    #[test]
+    fn identity_like_embedding_is_uniform() {
+        // Output embedding = the ring's own geometry → no strong distortion;
+        // score spread should be modest compared to the distorted case.
+        let n = 36;
+        let g = ring(n);
+        let clean = distorted_embedding(n, 0..0);
+        let dirty = distorted_embedding(n, 0..6);
+        let cs = CirStag::new(small_config());
+        let rc = cs.analyze(&g, None, &clean).unwrap();
+        let rd = cs.analyze(&g, None, &dirty).unwrap();
+        let spread = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            let max = v.iter().fold(0.0f64, |a, &b| a.max(b));
+            max / m.max(1e-12)
+        };
+        assert!(
+            spread(&rd.node_scores) > spread(&rc.node_scores),
+            "distorted embedding should concentrate scores"
+        );
+    }
+
+    #[test]
+    fn ablation_skip_dimension_reduction_runs() {
+        let n = 30;
+        let g = ring(n);
+        let emb = distorted_embedding(n, 0..5);
+        let cfg = CirStagConfig {
+            skip_dimension_reduction: true,
+            ..small_config()
+        };
+        let report = CirStag::new(cfg).analyze(&g, None, &emb).unwrap();
+        // Input manifold is the raw graph itself.
+        assert_eq!(report.input_manifold.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn ablation_skip_sparsification_keeps_dense_knn() {
+        let n = 30;
+        let g = ring(n);
+        let emb = distorted_embedding(n, 0..5);
+        let sparse = CirStag::new(small_config())
+            .analyze(&g, None, &emb)
+            .unwrap();
+        let cfg = CirStagConfig {
+            skip_manifold_sparsification: true,
+            ..small_config()
+        };
+        let dense = CirStag::new(cfg).analyze(&g, None, &emb).unwrap();
+        assert!(dense.output_manifold.num_edges() >= sparse.output_manifold.num_edges());
+    }
+
+    #[test]
+    fn feature_augmentation_changes_scores() {
+        let n = 30;
+        let g = ring(n);
+        let emb = distorted_embedding(n, 0..5);
+        // A feature that singles out nodes 10..15.
+        let feats = DenseMatrix::from_rows(
+            &(0..n)
+                .map(|i| vec![if (10..15).contains(&i) { 5.0 } else { 0.0 }])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let plain = CirStag::new(small_config())
+            .analyze(&g, None, &emb)
+            .unwrap();
+        let cfg = CirStagConfig {
+            feature_weight: 1.0,
+            ..small_config()
+        };
+        let with_features = CirStag::new(cfg).analyze(&g, Some(&feats), &emb).unwrap();
+        let diff: f64 = plain
+            .node_scores
+            .iter()
+            .zip(&with_features.node_scores)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-9, "features had no effect");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let n = 24;
+        let g = ring(n);
+        let emb = distorted_embedding(n, 0..4);
+        let cs = CirStag::new(small_config());
+        let a = cs.analyze(&g, None, &emb).unwrap();
+        let b = cs.analyze(&g, None, &emb).unwrap();
+        assert_eq!(a.node_scores, b.node_scores);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let g = ring(3);
+        let emb = DenseMatrix::zeros(3, 2);
+        assert!(CirStag::new(small_config())
+            .analyze(&g, None, &emb)
+            .is_err());
+        let g = ring(10);
+        let bad_emb = DenseMatrix::zeros(5, 2);
+        assert!(CirStag::new(small_config())
+            .analyze(&g, None, &bad_emb)
+            .is_err());
+        let emb = DenseMatrix::zeros(10, 2);
+        let bad_feats = DenseMatrix::zeros(3, 1);
+        assert!(CirStag::new(small_config())
+            .analyze(&g, Some(&bad_feats), &emb)
+            .is_err());
+    }
+
+    #[test]
+    fn permutation_equivariance_of_scores() {
+        // Reversing node labels of the ring + permuting embedding rows must
+        // permute scores accordingly.
+        let n = 20;
+        let g1 = ring(n);
+        // Reversed ring: node i maps to n-1-i.
+        let g2 = Graph::from_edges(
+            n,
+            &(0..n)
+                .map(|i| (n - 1 - i, n - 1 - (i + 1) % n, 1.0))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let e1 = distorted_embedding(n, 0..4);
+        let e2 = DenseMatrix::from_rows(
+            &(0..n)
+                .map(|i| e1.row(n - 1 - i).to_vec())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let cs = CirStag::new(small_config());
+        let r1 = cs.analyze(&g1, None, &e1).unwrap();
+        let r2 = cs.analyze(&g2, None, &e2).unwrap();
+        // The randomized stages (seeded Lanczos starts, resistance sketches,
+        // tree perturbations) are not label-equivariant point-wise, but the
+        // *ranking* must agree: the mapped top-quartile sets should overlap.
+        let top1 = crate::top_fraction(&r1.node_scores, 0.25, None);
+        let top2: Vec<usize> = crate::top_fraction(&r2.node_scores, 0.25, None)
+            .into_iter()
+            .map(|i| n - 1 - i)
+            .collect();
+        let overlap = top1.iter().filter(|i| top2.contains(i)).count();
+        assert!(
+            overlap * 2 >= top1.len(),
+            "top sets diverge: {top1:?} vs {top2:?}"
+        );
+    }
+}

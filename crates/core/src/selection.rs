@@ -1,0 +1,124 @@
+//! Ranking helpers for stability scores.
+
+/// Returns node indices sorted by descending score (most unstable first).
+/// Ties break by index for determinism.
+///
+/// # Panics
+///
+/// Panics if any score is NaN.
+pub fn rank_descending(scores: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("scores must not be NaN")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Selects the most-unstable `fraction` of the *eligible* nodes (e.g. the
+/// paper's "top 10% unstable nodes", excluding primary-output pins).
+///
+/// `eligible` is `None` for all nodes. At least one node is returned for a
+/// positive fraction with a non-empty eligible set.
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `[0, 1]`, lengths mismatch, or scores are
+/// NaN.
+pub fn top_fraction(scores: &[f64], fraction: f64, eligible: Option<&[bool]>) -> Vec<usize> {
+    select(scores, fraction, eligible, true)
+}
+
+/// Selects the most-*stable* `fraction` of the eligible nodes (the paper's
+/// control group).
+///
+/// # Panics
+///
+/// Same conditions as [`top_fraction`].
+pub fn bottom_fraction(scores: &[f64], fraction: f64, eligible: Option<&[bool]>) -> Vec<usize> {
+    select(scores, fraction, eligible, false)
+}
+
+fn select(scores: &[f64], fraction: f64, eligible: Option<&[bool]>, top: bool) -> Vec<usize> {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
+    if let Some(e) = eligible {
+        assert_eq!(e.len(), scores.len(), "eligibility mask length mismatch");
+    }
+    let mut idx: Vec<usize> = (0..scores.len())
+        .filter(|&i| eligible.is_none_or(|e| e[i]))
+        .collect();
+    idx.sort_by(|&a, &b| {
+        let ord = scores[b]
+            .partial_cmp(&scores[a])
+            .expect("scores must not be NaN");
+        if top {
+            ord.then(a.cmp(&b))
+        } else {
+            ord.reverse().then(a.cmp(&b))
+        }
+    });
+    if fraction == 0.0 || idx.is_empty() {
+        return Vec::new();
+    }
+    let count = ((idx.len() as f64 * fraction).round() as usize).clamp(1, idx.len());
+    idx.truncate(count);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_descending_orders_scores() {
+        let s = [0.1, 0.9, 0.5];
+        assert_eq!(rank_descending(&s), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn rank_breaks_ties_by_index() {
+        let s = [0.5, 0.5, 0.5];
+        assert_eq!(rank_descending(&s), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn top_and_bottom_are_disjoint_extremes() {
+        let s: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let top = top_fraction(&s, 0.2, None);
+        let bottom = bottom_fraction(&s, 0.2, None);
+        assert_eq!(top, vec![9, 8]);
+        assert_eq!(bottom, vec![0, 1]);
+    }
+
+    #[test]
+    fn eligibility_mask_filters() {
+        let s = [10.0, 9.0, 8.0, 7.0];
+        let eligible = [false, true, true, true];
+        let top = top_fraction(&s, 0.34, Some(&eligible));
+        assert_eq!(top, vec![1]);
+    }
+
+    #[test]
+    fn at_least_one_selected_for_positive_fraction() {
+        let s = [1.0, 2.0, 3.0];
+        assert_eq!(top_fraction(&s, 0.01, None).len(), 1);
+        assert!(top_fraction(&s, 0.0, None).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn invalid_fraction_panics() {
+        let _ = top_fraction(&[1.0], 1.5, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_scores_panic() {
+        let _ = rank_descending(&[1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for embedding and kNN construction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EmbedError {
+    /// An underlying solver operation failed.
+    Solver(cirstag_solver::SolverError),
+    /// An underlying graph operation failed.
+    Graph(cirstag_graph::GraphError),
+    /// An argument was invalid.
+    InvalidArgument {
+        /// Description of the violated requirement.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbedError::Solver(e) => write!(f, "solver error: {e}"),
+            EmbedError::Graph(e) => write!(f, "graph error: {e}"),
+            EmbedError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+        }
+    }
+}
+
+impl Error for EmbedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EmbedError::Solver(e) => Some(e),
+            EmbedError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cirstag_solver::SolverError> for EmbedError {
+    fn from(e: cirstag_solver::SolverError) -> Self {
+        EmbedError::Solver(e)
+    }
+}
+
+impl From<cirstag_graph::GraphError> for EmbedError {
+    fn from(e: cirstag_graph::GraphError) -> Self {
+        EmbedError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e: EmbedError = cirstag_graph::GraphError::Disconnected.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EmbedError>();
+    }
+}

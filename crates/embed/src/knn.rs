@@ -1,0 +1,485 @@
+//! k-nearest-neighbor graph construction over embedding rows.
+
+use crate::EmbedError;
+use cirstag_graph::Graph;
+use cirstag_linalg::{vecops, DenseMatrix};
+use std::collections::HashMap;
+
+/// Neighbor-search strategy for [`knn_graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnnMethod {
+    /// Exact all-pairs search, `O(n²·d)`. Use for < ~5k points or in tests.
+    Exact,
+    /// Approximate search with a forest of random-projection trees
+    /// (annoy-style splits on the direction between two random points).
+    /// `O(n log n)` construction, recall controlled by `num_trees`.
+    RpForest {
+        /// Number of trees; more trees = higher recall.
+        num_trees: usize,
+        /// Maximum leaf size; candidates are leaf co-members.
+        leaf_size: usize,
+    },
+}
+
+/// Options for [`knn_graph`].
+#[derive(Debug, Clone, Copy)]
+pub struct KnnConfig {
+    /// Search strategy.
+    pub method: KnnMethod,
+    /// Seed for the deterministic random-projection splits.
+    pub seed: u64,
+    /// Small constant added to *median-normalized* squared distances before
+    /// inversion, so duplicate points get a large-but-finite weight and the
+    /// weight ratio across the graph stays bounded by `~1/ε` (keeping the
+    /// manifold Laplacian well-conditioned for the solvers downstream).
+    pub weight_epsilon: f64,
+    /// When `true` (default), a minimum-spanning backbone over component
+    /// representatives is added so the resulting manifold graph is connected
+    /// — required by the effective-resistance machinery downstream.
+    pub ensure_connected: bool,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        KnnConfig {
+            method: KnnMethod::Exact,
+            seed: 0x6E4E,
+            weight_epsilon: 1e-3,
+            ensure_connected: true,
+        }
+    }
+}
+
+/// Builds the symmetrized kNN graph of the rows of `points`.
+///
+/// Edge `(p, q)` is present when `q` is among `p`'s `k` nearest neighbors
+/// *or* vice versa, with weight `w_pq = 1 / (d²_pq / d²_med + ε)`, where
+/// `d²_med` is the median squared neighbor distance. Up to the global
+/// `d²_med` scaling this is the inverse-squared-distance weight for which
+/// the PGM gradient identity of Eq. (7), `∂F₂/∂w_pq = ‖Xᵀe_pq‖² = 1/w_pq`,
+/// holds; the scaling leaves the spectral-distortion scores `η = w·R^eff`
+/// and all DMD rankings unchanged while keeping the manifold Laplacian
+/// well-conditioned.
+///
+/// # Errors
+///
+/// Returns [`EmbedError::InvalidArgument`] when `k == 0`, `k ≥ n`, or the
+/// input contains non-finite values.
+pub fn knn_graph(points: &DenseMatrix, k: usize, config: &KnnConfig) -> Result<Graph, EmbedError> {
+    let n = points.nrows();
+    if n == 0 {
+        return Ok(Graph::new(0));
+    }
+    if k == 0 || k >= n {
+        return Err(EmbedError::InvalidArgument {
+            reason: format!("k = {k} must be in 1..{n}"),
+        });
+    }
+    if !points.all_finite() {
+        return Err(EmbedError::InvalidArgument {
+            reason: "points contain non-finite values".to_string(),
+        });
+    }
+    let neighbor_lists = match config.method {
+        KnnMethod::Exact => exact_knn(points, k),
+        KnnMethod::RpForest {
+            num_trees,
+            leaf_size,
+        } => rp_forest_knn(
+            points,
+            k,
+            num_trees.max(1),
+            leaf_size.max(k + 1),
+            config.seed,
+        ),
+    };
+
+    // Median squared neighbor distance for scale normalization.
+    let mut all_d2: Vec<f64> = neighbor_lists
+        .iter()
+        .flat_map(|l| l.iter().map(|&(_, d2)| d2))
+        .filter(|&d2| d2 > 0.0)
+        .collect();
+    let med = if all_d2.is_empty() {
+        1.0
+    } else {
+        let mid = all_d2.len() / 2;
+        all_d2.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("finite distances"));
+        all_d2[mid]
+    };
+    // Symmetrize as a union, deduplicating before insertion so the
+    // parallel-edge merging of `Graph` does not double weights.
+    let mut edges: HashMap<(usize, usize), f64> = HashMap::new();
+    for (p, list) in neighbor_lists.iter().enumerate() {
+        for &(q, d2) in list {
+            let key = if p < q { (p, q) } else { (q, p) };
+            // Clamp the normalized distance so the weight range stays within
+            // [~1e-2, 1/ε]: enough resolution for the η ranking, bounded
+            // conditioning for the solvers.
+            let x = (d2 / med).min(1e2);
+            let w = 1.0 / (x + config.weight_epsilon);
+            edges.entry(key).or_insert(w);
+        }
+    }
+    let mut g = Graph::new(n);
+    let mut sorted: Vec<_> = edges.into_iter().collect();
+    sorted.sort_by_key(|a| a.0); // deterministic edge ordering
+    for ((u, v), w) in sorted {
+        g.add_edge(u, v, w)?;
+    }
+
+    if config.ensure_connected && !g.is_connected() {
+        connect_components(&mut g, points, med, config.weight_epsilon)?;
+    }
+    Ok(g)
+}
+
+fn exact_knn(points: &DenseMatrix, k: usize) -> Vec<Vec<(usize, f64)>> {
+    let n = points.nrows();
+    (0..n)
+        .map(|p| {
+            let mut dists: Vec<(usize, f64)> = (0..n)
+                .filter(|&q| q != p)
+                .map(|q| (q, vecops::dist2_sq(points.row(p), points.row(q))))
+                .collect();
+            // Select the k nearest in O(n), then order just those k.
+            if dists.len() > k {
+                dists.select_nth_unstable_by(k - 1, |a, b| {
+                    a.1.partial_cmp(&b.1).expect("finite distances")
+                });
+                dists.truncate(k);
+            }
+            dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+            dists
+        })
+        .collect()
+}
+
+struct Splitter {
+    state: u64,
+}
+
+impl Splitter {
+    fn new(seed: u64) -> Self {
+        Splitter {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15 | 1,
+        }
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        self.state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Recursively partitions `items` by annoy-style hyperplanes; leaves become
+/// candidate pools.
+fn rp_split(
+    points: &DenseMatrix,
+    items: &mut Vec<usize>,
+    leaf_size: usize,
+    rng: &mut Splitter,
+    leaves: &mut Vec<Vec<usize>>,
+    depth: usize,
+) {
+    if items.len() <= leaf_size || depth > 40 {
+        leaves.push(std::mem::take(items));
+        return;
+    }
+    // Direction between two random distinct points.
+    let a = items[rng.pick(items.len())];
+    let mut b = items[rng.pick(items.len())];
+    let mut guard = 0;
+    while b == a && guard < 8 {
+        b = items[rng.pick(items.len())];
+        guard += 1;
+    }
+    if a == b {
+        leaves.push(std::mem::take(items));
+        return;
+    }
+    let dir: Vec<f64> = points
+        .row(a)
+        .iter()
+        .zip(points.row(b))
+        .map(|(x, y)| x - y)
+        .collect();
+    let mut proj: Vec<(usize, f64)> = items
+        .iter()
+        .map(|&i| (i, vecops::dot(points.row(i), &dir)))
+        .collect();
+    proj.sort_by(|x, y| x.1.partial_cmp(&y.1).expect("finite projections"));
+    let mid = proj.len() / 2;
+    if mid == 0 || mid == proj.len() {
+        leaves.push(std::mem::take(items));
+        return;
+    }
+    let mut left: Vec<usize> = proj[..mid].iter().map(|&(i, _)| i).collect();
+    let mut right: Vec<usize> = proj[mid..].iter().map(|&(i, _)| i).collect();
+    items.clear();
+    rp_split(points, &mut left, leaf_size, rng, leaves, depth + 1);
+    rp_split(points, &mut right, leaf_size, rng, leaves, depth + 1);
+}
+
+fn rp_forest_knn(
+    points: &DenseMatrix,
+    k: usize,
+    num_trees: usize,
+    leaf_size: usize,
+    seed: u64,
+) -> Vec<Vec<(usize, f64)>> {
+    let n = points.nrows();
+    let mut candidates: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for t in 0..num_trees {
+        let mut rng = Splitter::new(seed.wrapping_add(t as u64 * 0x1234_5677));
+        let mut all: Vec<usize> = (0..n).collect();
+        let mut leaves = Vec::new();
+        rp_split(points, &mut all, leaf_size, &mut rng, &mut leaves, 0);
+        for leaf in leaves {
+            for &i in &leaf {
+                for &j in &leaf {
+                    if i != j {
+                        candidates[i].push(j);
+                    }
+                }
+            }
+        }
+    }
+    candidates
+        .into_iter()
+        .enumerate()
+        .map(|(p, mut cand)| {
+            cand.sort_unstable();
+            cand.dedup();
+            let mut dists: Vec<(usize, f64)> = cand
+                .into_iter()
+                .map(|q| (q, vecops::dist2_sq(points.row(p), points.row(q))))
+                .collect();
+            dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+            dists.truncate(k);
+            dists
+        })
+        .collect()
+}
+
+/// Adds a minimum-spanning backbone over component representatives so the
+/// graph becomes connected. Representatives are the first node of each
+/// component; backbone edges get the usual inverse-squared-distance weight.
+fn connect_components(
+    g: &mut Graph,
+    points: &DenseMatrix,
+    med: f64,
+    eps: f64,
+) -> Result<(), EmbedError> {
+    let labels = cirstag_graph::connected_components(g);
+    let num_comps = labels.iter().copied().max().map_or(0, |m| m + 1);
+    if num_comps <= 1 {
+        return Ok(());
+    }
+    let mut reps: Vec<usize> = vec![usize::MAX; num_comps];
+    for (node, &c) in labels.iter().enumerate() {
+        if reps[c] == usize::MAX {
+            reps[c] = node;
+        }
+    }
+    // Prim's over the complete representative graph (num_comps is small).
+    let mut in_tree = vec![false; num_comps];
+    in_tree[0] = true;
+    for _ in 1..num_comps {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for a in 0..num_comps {
+            if !in_tree[a] {
+                continue;
+            }
+            for b in 0..num_comps {
+                if in_tree[b] {
+                    continue;
+                }
+                let d2 = vecops::dist2_sq(points.row(reps[a]), points.row(reps[b]));
+                if best.is_none_or(|(_, _, bd)| d2 < bd) {
+                    best = Some((a, b, d2));
+                }
+            }
+        }
+        let (a, b, d2) = best.expect("at least one component outside the tree");
+        g.add_edge(reps[a], reps[b], 1.0 / ((d2 / med).min(1e2) + eps))?;
+        in_tree[b] = true;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Points on a line: 0, 1, 2, ..., n-1.
+    fn line_points(n: usize) -> DenseMatrix {
+        DenseMatrix::from_rows(&(0..n).map(|i| vec![i as f64]).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn exact_knn_on_line_links_neighbors() {
+        let pts = line_points(6);
+        let g = knn_graph(&pts, 1, &KnnConfig::default()).unwrap();
+        // Every node links to an adjacent node; union symmetrization keeps
+        // the chain connected.
+        assert!(g.is_connected());
+        assert!(g.edge_weight(0, 1).is_some());
+        assert!(g.edge_weight(0, 2).is_none());
+    }
+
+    #[test]
+    fn weight_ratios_follow_inverse_squared_distance() {
+        let pts = DenseMatrix::from_rows(&[vec![0.0], vec![2.0], vec![10.0]]).unwrap();
+        let cfg = KnnConfig {
+            weight_epsilon: 0.0,
+            ensure_connected: false,
+            ..KnnConfig::default()
+        };
+        let g = knn_graph(&pts, 1, &cfg).unwrap();
+        // d²(0,1) = 4 and d²(1,2) = 64: the weight ratio must be 16
+        // regardless of the median normalization.
+        let ratio = g.edge_weight(0, 1).unwrap() / g.edge_weight(1, 2).unwrap();
+        assert!((ratio - 16.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn duplicate_points_get_finite_weight() {
+        let pts = DenseMatrix::from_rows(&[vec![1.0], vec![1.0], vec![5.0]]).unwrap();
+        let g = knn_graph(&pts, 1, &KnnConfig::default()).unwrap();
+        let w = g.edge_weight(0, 1).unwrap();
+        // Duplicates hit the ε floor: weight ≈ 1/ε, large but bounded.
+        assert!(w.is_finite() && w > 100.0);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let pts = line_points(4);
+        assert!(knn_graph(&pts, 0, &KnnConfig::default()).is_err());
+        assert!(knn_graph(&pts, 4, &KnnConfig::default()).is_err());
+    }
+
+    #[test]
+    fn non_finite_points_rejected() {
+        let pts = DenseMatrix::from_rows(&[vec![0.0], vec![f64::NAN]]).unwrap();
+        assert!(knn_graph(&pts, 1, &KnnConfig::default()).is_err());
+    }
+
+    #[test]
+    fn two_clusters_connected_by_backbone() {
+        // Two well-separated clusters with k=1: disconnected without the
+        // backbone, connected with it.
+        let mut rows = Vec::new();
+        for i in 0..4 {
+            rows.push(vec![i as f64 * 0.01, 0.0]);
+        }
+        for i in 0..4 {
+            rows.push(vec![100.0 + i as f64 * 0.01, 0.0]);
+        }
+        let pts = DenseMatrix::from_rows(&rows).unwrap();
+        let disconnected = knn_graph(
+            &pts,
+            1,
+            &KnnConfig {
+                ensure_connected: false,
+                ..KnnConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!disconnected.is_connected());
+        let connected = knn_graph(&pts, 1, &KnnConfig::default()).unwrap();
+        assert!(connected.is_connected());
+    }
+
+    #[test]
+    fn rp_forest_matches_exact_on_small_input() {
+        // With enough trees on a tiny input, recall should be perfect.
+        let pts = line_points(30);
+        let exact = knn_graph(
+            &pts,
+            2,
+            &KnnConfig {
+                ensure_connected: false,
+                ..KnnConfig::default()
+            },
+        )
+        .unwrap();
+        let approx = knn_graph(
+            &pts,
+            2,
+            &KnnConfig {
+                method: KnnMethod::RpForest {
+                    num_trees: 8,
+                    leaf_size: 8,
+                },
+                ensure_connected: false,
+                ..KnnConfig::default()
+            },
+        )
+        .unwrap();
+        // Recall: fraction of exact edges recovered.
+        let mut hit = 0;
+        for e in exact.edges() {
+            if approx.edge_weight(e.u, e.v).is_some() {
+                hit += 1;
+            }
+        }
+        let recall = hit as f64 / exact.num_edges() as f64;
+        assert!(recall >= 0.9, "recall {recall}");
+    }
+
+    #[test]
+    fn rp_forest_scales_and_stays_connected() {
+        // 2-D grid of points; approximate kNN + backbone must be connected.
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                rows.push(vec![i as f64, j as f64]);
+            }
+        }
+        let pts = DenseMatrix::from_rows(&rows).unwrap();
+        let g = knn_graph(
+            &pts,
+            4,
+            &KnnConfig {
+                method: KnnMethod::RpForest {
+                    num_trees: 6,
+                    leaf_size: 16,
+                },
+                ..KnnConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(g.is_connected());
+        assert!(g.num_edges() >= 400); // at least ~kn/2 edges
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = line_points(40);
+        let cfg = KnnConfig {
+            method: KnnMethod::RpForest {
+                num_trees: 4,
+                leaf_size: 8,
+            },
+            ..KnnConfig::default()
+        };
+        let a = knn_graph(&pts, 3, &cfg).unwrap();
+        let b = knn_graph(&pts, 3, &cfg).unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+        for (ea, eb) in a.edges().iter().zip(b.edges()) {
+            assert_eq!((ea.u, ea.v), (eb.u, eb.v));
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_graph() {
+        let pts = DenseMatrix::zeros(0, 0);
+        let g = knn_graph(&pts, 1, &KnnConfig::default()).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+    }
+}

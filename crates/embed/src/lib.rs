@@ -1,0 +1,38 @@
+//! Phase-1 machinery: spectral node embeddings and kNN graph construction.
+//!
+//! - [`spectral_embedding`] computes the weighted Laplacian-eigenmap
+//!   embedding of Eq. (4) of the paper:
+//!   `U_M = [√|1−λ̃₁| ũ₁, …, √|1−λ̃_M| ũ_M]` from the first `M` eigenpairs of
+//!   the normalized Laplacian.
+//! - [`knn_graph`] turns any embedding matrix (rows = nodes) into the initial
+//!   dense graph of Phase 2, with inverse-squared-distance weights so that
+//!   `1/w_pq = ‖Xᵀe_pq‖²` matches the PGM gradient identity of Eq. (7).
+//!   Exact (`O(n²)`) and random-projection-tree approximate flavours are
+//!   provided.
+//!
+//! # Example
+//!
+//! ```
+//! use cirstag_embed::{knn_graph, spectral_embedding, KnnConfig, SpectralConfig};
+//! use cirstag_graph::Graph;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = Graph::from_edges(6, &[(0,1,1.0),(1,2,1.0),(2,3,1.0),(3,4,1.0),(4,5,1.0),(5,0,1.0)])?;
+//! let u = spectral_embedding(&g, 3, &SpectralConfig::default())?;
+//! assert_eq!(u.shape(), (6, 3));
+//! let manifold = knn_graph(&u, 2, &KnnConfig::default())?;
+//! assert!(manifold.num_edges() >= 6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod knn;
+mod spectral;
+
+pub use error::EmbedError;
+pub use knn::{knn_graph, KnnConfig, KnnMethod};
+pub use spectral::{augment_with_features, spectral_embedding, SpectralConfig};

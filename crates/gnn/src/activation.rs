@@ -1,0 +1,152 @@
+use cirstag_linalg::DenseMatrix;
+
+/// Element-wise activation functions used by the layers.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Activation {
+    /// `f(x) = x` — used for output/regression heads.
+    #[default]
+    Identity,
+    /// Rectified linear unit, `max(0, x)`.
+    Relu,
+    /// Leaky ReLU with the given negative slope (GAT convention is 0.2).
+    LeakyRelu(f64),
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Exponential linear unit with α = 1.
+    Elu,
+}
+
+impl Activation {
+    /// Applies the activation element-wise, returning a new matrix.
+    pub fn forward(&self, z: &DenseMatrix) -> DenseMatrix {
+        let mut out = z.clone();
+        for v in out.as_mut_slice() {
+            *v = self.scalar(*v);
+        }
+        out
+    }
+
+    /// Applies the activation to a scalar.
+    #[inline]
+    pub fn scalar(&self, x: f64) -> f64 {
+        match *self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu(slope) => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    slope * x
+                }
+            }
+            Activation::Tanh => x.tanh(),
+            Activation::Elu => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    x.exp() - 1.0
+                }
+            }
+        }
+    }
+
+    /// Derivative evaluated at pre-activation `x`.
+    #[inline]
+    pub fn derivative(&self, x: f64) -> f64 {
+        match *self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu(slope) => {
+                if x >= 0.0 {
+                    1.0
+                } else {
+                    slope
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Elu => {
+                if x >= 0.0 {
+                    1.0
+                } else {
+                    x.exp()
+                }
+            }
+        }
+    }
+
+    /// Multiplies `grad` element-wise by the derivative at pre-activation
+    /// `z`, in place — the chain-rule step shared by all layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn backward_inplace(&self, z: &DenseMatrix, grad: &mut DenseMatrix) {
+        assert_eq!(z.shape(), grad.shape(), "activation backward shape");
+        if *self == Activation::Identity {
+            return;
+        }
+        for (g, x) in grad.as_mut_slice().iter_mut().zip(z.as_slice()) {
+            *g *= self.derivative(*x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff(act: Activation, x: f64) -> f64 {
+        let h = 1e-6;
+        (act.scalar(x + h) - act.scalar(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let acts = [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::LeakyRelu(0.2),
+            Activation::Tanh,
+            Activation::Elu,
+        ];
+        for act in acts {
+            for &x in &[-2.0, -0.5, 0.3, 1.7] {
+                let fd = finite_diff(act, x);
+                let an = act.derivative(x);
+                assert!((fd - an).abs() < 1e-5, "{act:?} at {x}: {an} vs {fd}");
+            }
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let z = DenseMatrix::from_rows(&[vec![-1.0, 2.0]]).unwrap();
+        let out = Activation::Relu.forward(&z);
+        assert_eq!(out.row(0), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_inplace_applies_chain_rule() {
+        let z = DenseMatrix::from_rows(&[vec![-1.0, 2.0]]).unwrap();
+        let mut g = DenseMatrix::from_rows(&[vec![3.0, 3.0]]).unwrap();
+        Activation::Relu.backward_inplace(&z, &mut g);
+        assert_eq!(g.row(0), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_backward_is_noop() {
+        let z = DenseMatrix::from_rows(&[vec![-1.0]]).unwrap();
+        let mut g = DenseMatrix::from_rows(&[vec![7.0]]).unwrap();
+        Activation::Identity.backward_inplace(&z, &mut g);
+        assert_eq!(g.get(0, 0), 7.0);
+    }
+}

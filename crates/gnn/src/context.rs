@@ -1,0 +1,212 @@
+use crate::GnnError;
+use cirstag_graph::Graph;
+use cirstag_linalg::{CooMatrix, CsrMatrix};
+
+/// Directed-DAG structure for [`crate::DagPropLayer`]: topological order and
+/// per-node fanin lists.
+#[derive(Debug, Clone)]
+pub struct DagInfo {
+    /// Node ids in topological order (sources first).
+    pub topo: Vec<usize>,
+    /// `fanin[p]` = direct predecessors of `p`.
+    pub fanin: Vec<Vec<usize>>,
+}
+
+/// Pre-computed message-passing structures for a fixed graph.
+///
+/// Building the context once and sharing it across layers/epochs keeps the
+/// per-iteration cost at one sparse product per layer:
+///
+/// - `norm_adj` is the GCN propagation matrix
+///   `Â = D̃^{-1/2} (A + I) D̃^{-1/2}` (self-loops added, symmetric).
+/// - `mean_adj` is the row-normalized adjacency `D^{-1} A` used by the
+///   GraphSAGE mean aggregator (no self-loops; the layer has a separate
+///   self-weight).
+/// - `neighbors` are adjacency lists *including self-loops*, used by the
+///   attention (GAT) layer.
+#[derive(Debug, Clone)]
+pub struct GraphContext {
+    num_nodes: usize,
+    norm_adj: CsrMatrix,
+    mean_adj: CsrMatrix,
+    neighbors: Vec<Vec<usize>>,
+    dag: Option<DagInfo>,
+}
+
+impl GraphContext {
+    /// Builds the context for `g` (edge weights are honoured in all three
+    /// structures).
+    pub fn new(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        // Â with self-loops.
+        let mut deg = vec![1.0f64; n]; // self-loop contributes 1
+        for e in g.edges() {
+            deg[e.u] += e.weight;
+            deg[e.v] += e.weight;
+        }
+        let inv_sqrt: Vec<f64> = deg.iter().map(|d| 1.0 / d.sqrt()).collect();
+        let mut coo = CooMatrix::with_capacity(n, n, n + 2 * g.num_edges());
+        for i in 0..n {
+            coo.push(i, i, inv_sqrt[i] * inv_sqrt[i]).expect("diag");
+        }
+        for e in g.edges() {
+            let w = e.weight * inv_sqrt[e.u] * inv_sqrt[e.v];
+            coo.push(e.u, e.v, w).expect("edge");
+            coo.push(e.v, e.u, w).expect("edge");
+        }
+        let norm_adj = coo.to_csr();
+
+        // Row-normalized adjacency (mean aggregator).
+        let mut coo = CooMatrix::with_capacity(n, n, 2 * g.num_edges());
+        for i in 0..n {
+            let d = g.degree(i);
+            if d > 0.0 {
+                for (j, w) in g.neighbors(i) {
+                    coo.push(i, j, w / d).expect("edge");
+                }
+            }
+        }
+        let mean_adj = coo.to_csr();
+
+        // Attention adjacency lists with self-loops.
+        let mut neighbors: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        for e in g.edges() {
+            neighbors[e.u].push(e.v);
+            neighbors[e.v].push(e.u);
+        }
+
+        GraphContext {
+            num_nodes: n,
+            norm_adj,
+            mean_adj,
+            neighbors,
+            dag: None,
+        }
+    }
+
+    /// Builds the context *with* directed-DAG structure so that
+    /// [`crate::DagPropLayer`] can propagate along `arcs` (e.g. timing arcs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::InvalidArgument`] when an arc endpoint is out of
+    /// bounds or the arcs contain a cycle.
+    pub fn with_dag(g: &Graph, arcs: &[(usize, usize)]) -> Result<Self, GnnError> {
+        let mut ctx = GraphContext::new(g);
+        let n = ctx.num_nodes;
+        let mut fanin: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(from, to) in arcs {
+            if from >= n || to >= n {
+                return Err(GnnError::InvalidArgument {
+                    reason: format!("arc ({from}, {to}) out of bounds for {n} nodes"),
+                });
+            }
+            fanin[to].push(from);
+            fanout[from].push(to);
+        }
+        // Kahn topological sort.
+        let mut indegree: Vec<usize> = fanin.iter().map(Vec::len).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&p| indegree[p] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(p) = queue.pop() {
+            topo.push(p);
+            for &t in &fanout[p] {
+                indegree[t] -= 1;
+                if indegree[t] == 0 {
+                    queue.push(t);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(GnnError::InvalidArgument {
+                reason: "dag arcs contain a cycle".to_string(),
+            });
+        }
+        ctx.dag = Some(DagInfo { topo, fanin });
+        Ok(ctx)
+    }
+
+    /// The DAG structure, when built with [`GraphContext::with_dag`].
+    pub fn dag(&self) -> Option<&DagInfo> {
+        self.dag.as_ref()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The symmetric GCN propagation matrix `Â`.
+    #[inline]
+    pub fn norm_adj(&self) -> &CsrMatrix {
+        &self.norm_adj
+    }
+
+    /// The row-normalized mean-aggregation matrix `D⁻¹A`.
+    #[inline]
+    pub fn mean_adj(&self) -> &CsrMatrix {
+        &self.mean_adj
+    }
+
+    /// Adjacency lists including self-loops (for attention layers).
+    #[inline]
+    pub fn neighbors(&self) -> &[Vec<usize>] {
+        &self.neighbors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn norm_adj_is_symmetric_with_unit_spectral_radius() {
+        let ctx = GraphContext::new(&path3());
+        assert!(ctx.norm_adj().is_symmetric(1e-12));
+        // Spectral radius of Â is 1: after convergence the power-iteration
+        // growth ratio must not exceed 1.
+        let mut x = vec![1.0, 0.7, 0.4];
+        for _ in 0..30 {
+            x = ctx.norm_adj().mul_vec(&x);
+        }
+        let before: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let after: f64 = {
+            let y = ctx.norm_adj().mul_vec(&x);
+            y.iter().map(|v| v * v).sum::<f64>().sqrt()
+        };
+        assert!(after <= before * (1.0 + 1e-9), "ratio {}", after / before);
+    }
+
+    #[test]
+    fn mean_adj_rows_sum_to_one() {
+        let ctx = GraphContext::new(&path3());
+        for i in 0..3 {
+            let (_, vals) = ctx.mean_adj().row(i);
+            let s: f64 = vals.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn neighbors_include_self() {
+        let ctx = GraphContext::new(&path3());
+        assert!(ctx.neighbors()[0].contains(&0));
+        assert!(ctx.neighbors()[0].contains(&1));
+        assert_eq!(ctx.neighbors()[1].len(), 3); // self + two neighbors
+    }
+
+    #[test]
+    fn isolated_node_handled() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0)]).unwrap();
+        let ctx = GraphContext::new(&g);
+        assert_eq!(ctx.neighbors()[2], vec![2]);
+        let y = ctx.norm_adj().mul_vec(&[0.0, 0.0, 1.0]);
+        assert!((y[2] - 1.0).abs() < 1e-12); // self-loop only
+    }
+}

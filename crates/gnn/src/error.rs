@@ -1,0 +1,91 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for GNN construction and training.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GnnError {
+    /// An underlying linear-algebra operation failed.
+    Linalg(cirstag_linalg::LinalgError),
+    /// Input/layer dimensions disagree.
+    DimensionMismatch {
+        /// What was being computed.
+        context: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+    },
+    /// Training diverged (non-finite loss or parameters).
+    Diverged {
+        /// Epoch at which divergence was detected.
+        epoch: usize,
+    },
+    /// An argument was invalid.
+    InvalidArgument {
+        /// Description of the violated requirement.
+        reason: String,
+    },
+    /// `backward` was called before `forward` on a layer.
+    BackwardBeforeForward {
+        /// Name of the offending layer.
+        layer: &'static str,
+    },
+}
+
+impl fmt::Display for GnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GnnError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            GnnError::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            GnnError::Diverged { epoch } => write!(f, "training diverged at epoch {epoch}"),
+            GnnError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+            GnnError::BackwardBeforeForward { layer } => {
+                write!(f, "backward called before forward on {layer} layer")
+            }
+        }
+    }
+}
+
+impl Error for GnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GnnError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cirstag_linalg::LinalgError> for GnnError {
+    fn from(e: cirstag_linalg::LinalgError) -> Self {
+        GnnError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = GnnError::DimensionMismatch {
+            context: "gcn forward",
+            expected: 8,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("gcn forward"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GnnError>();
+    }
+}

@@ -1,0 +1,281 @@
+use crate::layers::Layer;
+use crate::{Activation, GnnError, GraphContext, Param};
+use cirstag_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+
+/// A DAG-propagation layer in the style of pre-routing timing GNNs
+/// (TimingGCN \[17\]): nodes are processed in topological order and each node
+/// aggregates the *already-updated* states of its fanins,
+///
+/// `h_p = act(x_p·W_self + mean_{q ∈ fanin(p)} h_q·W_agg + b)`,
+///
+/// so one layer's receptive field spans entire source-to-sink paths —
+/// exactly the long-range dependence of arrival-time propagation that plain
+/// k-layer GCNs (k-hop receptive field) cannot express.
+///
+/// Requires a [`GraphContext`] built with [`GraphContext::with_dag`].
+#[derive(Debug, Clone)]
+pub struct DagPropLayer {
+    w_self: Param,
+    w_agg: Param,
+    bias: Param,
+    activation: Activation,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    input: DenseMatrix,
+    /// Aggregated fanin states per node (`mean h_q`), pre-`W_agg`.
+    agg: DenseMatrix,
+    pre_activation: DenseMatrix,
+}
+
+impl DagPropLayer {
+    /// Creates a Glorot-initialized layer mapping `in_dim → out_dim`.
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        let mut w_agg = Param::glorot(out_dim, out_dim, rng);
+        // Slightly contract the recurrent weight so products along deep
+        // paths neither vanish nor explode at initialization.
+        for v in w_agg.value.as_mut_slice() {
+            *v *= 0.8;
+        }
+        DagPropLayer {
+            w_self: Param::glorot(in_dim, out_dim, rng),
+            w_agg,
+            bias: Param::zeros(1, out_dim),
+            activation,
+            cache: None,
+        }
+    }
+
+    fn in_dim(&self) -> usize {
+        self.w_self.value.nrows()
+    }
+
+    fn out_dim(&self) -> usize {
+        self.w_self.value.ncols()
+    }
+}
+
+impl Layer for DagPropLayer {
+    fn forward(
+        &mut self,
+        input: &DenseMatrix,
+        ctx: &GraphContext,
+        _training: bool,
+    ) -> Result<DenseMatrix, GnnError> {
+        let dag = ctx.dag().ok_or(GnnError::InvalidArgument {
+            reason: "dagprop layer requires a GraphContext built with_dag".to_string(),
+        })?;
+        if input.ncols() != self.in_dim() {
+            return Err(GnnError::DimensionMismatch {
+                context: "dagprop forward",
+                expected: self.in_dim(),
+                actual: input.ncols(),
+            });
+        }
+        let n = ctx.num_nodes();
+        if input.nrows() != n {
+            return Err(GnnError::DimensionMismatch {
+                context: "dagprop forward (nodes)",
+                expected: n,
+                actual: input.nrows(),
+            });
+        }
+        let d = self.out_dim();
+        let xw = input.matmul(&self.w_self.value)?;
+        let mut h = DenseMatrix::zeros(n, d);
+        let mut agg = DenseMatrix::zeros(n, d);
+        let mut z = DenseMatrix::zeros(n, d);
+        for &p in &dag.topo {
+            let fanin = &dag.fanin[p];
+            if !fanin.is_empty() {
+                let inv = 1.0 / fanin.len() as f64;
+                // agg_p = mean over fanin of h_q.
+                let mut acc = vec![0.0f64; d];
+                for &q in fanin {
+                    for (a, v) in acc.iter_mut().zip(h.row(q)) {
+                        *a += v;
+                    }
+                }
+                for (k, a) in acc.iter().enumerate() {
+                    agg.set(p, k, a * inv);
+                }
+            }
+            // z_p = xw_p + agg_p · W_agg + b.
+            for k in 0..d {
+                let mut v = xw.get(p, k) + self.bias.value.get(0, k);
+                for j in 0..d {
+                    v += agg.get(p, j) * self.w_agg.value.get(j, k);
+                }
+                z.set(p, k, v);
+                h.set(p, k, self.activation.scalar(v));
+            }
+        }
+        self.cache = Some(Cache {
+            input: input.clone(),
+            agg,
+            pre_activation: z,
+        });
+        Ok(h)
+    }
+
+    fn backward(
+        &mut self,
+        grad_output: &DenseMatrix,
+        ctx: &GraphContext,
+    ) -> Result<DenseMatrix, GnnError> {
+        let dag = ctx.dag().ok_or(GnnError::InvalidArgument {
+            reason: "dagprop layer requires a GraphContext built with_dag".to_string(),
+        })?;
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(GnnError::BackwardBeforeForward { layer: "dagprop" })?;
+        let n = ctx.num_nodes();
+        let d = self.out_dim();
+        // dh accumulates both the external gradient and the recurrent
+        // contribution from downstream nodes; process in reverse topological
+        // order so every dh_p is complete before converting to dz_p.
+        let mut dh = grad_output.clone();
+        let mut dz = DenseMatrix::zeros(n, d);
+        for &p in dag.topo.iter().rev() {
+            // dz_p = dh_p ⊙ act'(z_p).
+            for k in 0..d {
+                let g = dh.get(p, k) * self.activation.derivative(cache.pre_activation.get(p, k));
+                dz.set(p, k, g);
+            }
+            let fanin = &dag.fanin[p];
+            if !fanin.is_empty() {
+                let inv = 1.0 / fanin.len() as f64;
+                // dh_q += inv · dz_p · W_aggᵀ  for each fanin q.
+                let mut push = vec![0.0f64; d];
+                for (j, pj) in push.iter_mut().enumerate() {
+                    let mut v = 0.0;
+                    for k in 0..d {
+                        v += dz.get(p, k) * self.w_agg.value.get(j, k);
+                    }
+                    *pj = v * inv;
+                }
+                for &q in fanin {
+                    for (k, &pv) in push.iter().enumerate() {
+                        let cur = dh.get(q, k);
+                        dh.set(q, k, cur + pv);
+                    }
+                }
+            }
+        }
+        // Parameter gradients from the assembled dZ.
+        let dw_self = cache.input.transpose().matmul(&dz)?;
+        self.w_self.grad = self.w_self.grad.add(&dw_self)?;
+        let dw_agg = cache.agg.transpose().matmul(&dz)?;
+        self.w_agg.grad = self.w_agg.grad.add(&dw_agg)?;
+        for i in 0..n {
+            for k in 0..d {
+                let cur = self.bias.grad.get(0, k);
+                self.bias.grad.set(0, k, cur + dz.get(i, k));
+            }
+        }
+        Ok(dz.matmul(&self.w_self.value.transpose())?)
+    }
+
+    fn parameters(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w_self, &mut self.w_agg, &mut self.bias]
+    }
+
+    fn output_dim(&self) -> usize {
+        self.w_self.value.ncols()
+    }
+
+    fn name(&self) -> &'static str {
+        "dagprop"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{check_input_gradient, check_param_gradients};
+    use cirstag_graph::Graph;
+    use rand::SeedableRng;
+
+    /// Chain DAG 0 → 1 → 2 → 3.
+    fn chain_ctx() -> GraphContext {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        GraphContext::with_dag(&g, &[(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn requires_dag_context() {
+        let g = Graph::from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let ctx = GraphContext::new(&g);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = DagPropLayer::new(1, 2, Activation::Identity, &mut rng);
+        let x = DenseMatrix::zeros(2, 1);
+        assert!(layer.forward(&x, &ctx, false).is_err());
+    }
+
+    #[test]
+    fn information_reaches_full_depth() {
+        // With identity-ish weights, a signal at node 0 must influence node 3
+        // through a single layer (unlike a 1-hop GCN).
+        let ctx = chain_ctx();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = DagPropLayer::new(1, 1, Activation::Identity, &mut rng);
+        layer.w_self.value.set(0, 0, 1.0);
+        layer.w_agg.value.set(0, 0, 1.0);
+        let x0 = DenseMatrix::from_rows(&[vec![0.0], vec![0.0], vec![0.0], vec![0.0]]).unwrap();
+        let x1 = DenseMatrix::from_rows(&[vec![1.0], vec![0.0], vec![0.0], vec![0.0]]).unwrap();
+        let h0 = layer.forward(&x0, &ctx, false).unwrap();
+        let h1 = layer.forward(&x1, &ctx, false).unwrap();
+        assert!((h1.get(3, 0) - h0.get(3, 0)).abs() > 0.99);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_chain() {
+        let ctx = chain_ctx();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = DagPropLayer::new(2, 3, Activation::Tanh, &mut rng);
+        let x = DenseMatrix::from_rows(&[
+            vec![0.5, -0.2],
+            vec![0.1, 0.9],
+            vec![-0.7, 0.3],
+            vec![0.2, 0.2],
+        ])
+        .unwrap();
+        check_input_gradient(&mut layer, &ctx, &x, 5e-4);
+        check_param_gradients(&mut layer, &ctx, &x, 5e-4);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_diamond() {
+        // Diamond DAG: 0 → {1, 2} → 3 (node 3 averages two fanins).
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)]).unwrap();
+        let ctx = GraphContext::with_dag(&g, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = DagPropLayer::new(2, 2, Activation::Relu, &mut rng);
+        let x = DenseMatrix::from_rows(&[
+            vec![0.6, -0.1],
+            vec![0.4, 0.5],
+            vec![-0.3, 0.8],
+            vec![0.2, -0.6],
+        ])
+        .unwrap();
+        check_input_gradient(&mut layer, &ctx, &x, 5e-4);
+        check_param_gradients(&mut layer, &ctx, &x, 5e-4);
+    }
+
+    #[test]
+    fn source_nodes_use_self_term_only() {
+        let ctx = chain_ctx();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut layer = DagPropLayer::new(1, 1, Activation::Identity, &mut rng);
+        layer.w_self.value.set(0, 0, 2.0);
+        layer.bias.value.set(0, 0, 0.25);
+        let x = DenseMatrix::from_rows(&[vec![1.0], vec![0.0], vec![0.0], vec![0.0]]).unwrap();
+        let h = layer.forward(&x, &ctx, false).unwrap();
+        assert!((h.get(0, 0) - 2.25).abs() < 1e-12);
+    }
+}

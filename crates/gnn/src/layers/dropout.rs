@@ -1,0 +1,153 @@
+use crate::layers::Layer;
+use crate::{GnnError, GraphContext, Param};
+use cirstag_linalg::DenseMatrix;
+
+/// Inverted dropout: during training each entry is zeroed with probability
+/// `p` and survivors are scaled by `1/(1−p)`; at inference the layer is the
+/// identity. The mask stream is deterministic in the seed, so training runs
+/// are reproducible.
+#[derive(Debug, Clone)]
+pub struct DropoutLayer {
+    p: f64,
+    state: u64,
+    mask: Option<DenseMatrix>,
+    dim: usize,
+}
+
+impl DropoutLayer {
+    /// Creates a dropout layer for width `dim` with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn new(dim: usize, p: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
+        DropoutLayer {
+            p,
+            state: seed ^ 0x9e37_79b9_7f4a_7c15 | 1,
+            mask: None,
+            dim,
+        }
+    }
+
+    fn next_uniform(&mut self) -> f64 {
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        (self.state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Layer for DropoutLayer {
+    fn forward(
+        &mut self,
+        input: &DenseMatrix,
+        _ctx: &GraphContext,
+        training: bool,
+    ) -> Result<DenseMatrix, GnnError> {
+        if !training || self.p == 0.0 {
+            self.mask = None;
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.p;
+        let mut mask = DenseMatrix::zeros(input.nrows(), input.ncols());
+        for v in mask.as_mut_slice() {
+            *v = if self.next_uniform() < self.p {
+                0.0
+            } else {
+                1.0 / keep
+            };
+        }
+        let mut out = input.clone();
+        for (o, m) in out.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+            *o *= m;
+        }
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(
+        &mut self,
+        grad_output: &DenseMatrix,
+        _ctx: &GraphContext,
+    ) -> Result<DenseMatrix, GnnError> {
+        match &self.mask {
+            None => Ok(grad_output.clone()),
+            Some(mask) => {
+                let mut g = grad_output.clone();
+                for (o, m) in g.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                    *o *= m;
+                }
+                Ok(g)
+            }
+        }
+    }
+
+    fn parameters(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirstag_graph::Graph;
+
+    fn ctx() -> GraphContext {
+        GraphContext::new(&Graph::from_edges(2, &[(0, 1, 1.0)]).unwrap())
+    }
+
+    #[test]
+    fn identity_at_inference() {
+        let c = ctx();
+        let mut layer = DropoutLayer::new(3, 0.5, 1);
+        let x = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let out = layer.forward(&x, &c, false).unwrap();
+        assert_eq!(out, x);
+    }
+
+    #[test]
+    fn training_zeroes_roughly_p_fraction() {
+        let c = ctx();
+        let mut layer = DropoutLayer::new(100, 0.4, 2);
+        let x = DenseMatrix::from_vec(2, 100, vec![1.0; 200]).unwrap();
+        let out = layer.forward(&x, &c, true).unwrap();
+        let zeros = out.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!((zeros as f64 / 200.0 - 0.4).abs() < 0.12, "{zeros} zeros");
+        // Survivors are scaled by 1/(1-p).
+        let survivor = out.as_slice().iter().find(|&&v| v != 0.0).unwrap();
+        assert!((survivor - 1.0 / 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let c = ctx();
+        let mut layer = DropoutLayer::new(4, 0.5, 3);
+        let x = DenseMatrix::from_vec(2, 4, vec![1.0; 8]).unwrap();
+        let out = layer.forward(&x, &c, true).unwrap();
+        let g = layer
+            .backward(&DenseMatrix::from_vec(2, 4, vec![1.0; 8]).unwrap(), &c)
+            .unwrap();
+        // Gradient is zero exactly where the output was zeroed.
+        for (o, gi) in out.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*o == 0.0, *gi == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let _ = DropoutLayer::new(2, 1.0, 0);
+    }
+}

@@ -1,0 +1,375 @@
+use crate::layers::Layer;
+use crate::{Activation, GnnError, GraphContext, Param};
+use cirstag_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+
+const ATTN_SLOPE: f64 = 0.2;
+
+/// A graph attention layer (Veličković et al.) with multi-head concatenation.
+///
+/// For each head: `e_ij = LeakyReLU(a_srcᵀ W h_i + a_dstᵀ W h_j)` over
+/// `j ∈ N(i) ∪ {i}`, `α_i· = softmax(e_i·)`, `z_i = Σ_j α_ij W h_j`, and the
+/// heads' activated outputs are concatenated column-wise.
+#[derive(Debug, Clone)]
+pub struct GatLayer {
+    heads: Vec<Head>,
+    activation: Activation,
+    in_dim: usize,
+    head_dim: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Head {
+    weight: Param,
+    attn_src: Param,
+    attn_dst: Param,
+    cache: Option<HeadCache>,
+}
+
+#[derive(Debug, Clone)]
+struct HeadCache {
+    input: DenseMatrix,
+    wh: DenseMatrix,
+    /// `s_i = a_srcᵀ Wh_i`, `t_i = a_dstᵀ Wh_i`.
+    s: Vec<f64>,
+    t: Vec<f64>,
+    /// `alphas[i][k]` pairs with `ctx.neighbors()[i][k]`.
+    alphas: Vec<Vec<f64>>,
+    pre_activation: DenseMatrix,
+}
+
+impl GatLayer {
+    /// Creates a Glorot-initialized GAT layer mapping
+    /// `in_dim → num_heads · head_dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_heads == 0`.
+    pub fn new(
+        in_dim: usize,
+        head_dim: usize,
+        num_heads: usize,
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(num_heads > 0, "a GAT layer needs at least one head");
+        let heads = (0..num_heads)
+            .map(|_| Head {
+                weight: Param::glorot(in_dim, head_dim, rng),
+                attn_src: Param::glorot(head_dim, 1, rng),
+                attn_dst: Param::glorot(head_dim, 1, rng),
+                cache: None,
+            })
+            .collect();
+        GatLayer {
+            heads,
+            activation,
+            in_dim,
+            head_dim,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn num_heads(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Attention coefficients of head `h` after the latest forward pass:
+    /// `alphas[i][k]` pairs with `ctx.neighbors()[i][k]`. `None` before any
+    /// forward pass.
+    pub fn attention(&self, h: usize) -> Option<&Vec<Vec<f64>>> {
+        self.heads
+            .get(h)
+            .and_then(|head| head.cache.as_ref())
+            .map(|c| &c.alphas)
+    }
+}
+
+fn head_forward(
+    head: &mut Head,
+    input: &DenseMatrix,
+    ctx: &GraphContext,
+    activation: Activation,
+) -> Result<DenseMatrix, GnnError> {
+    let n = ctx.num_nodes();
+    let wh = input.matmul(&head.weight.value)?;
+    let d = wh.ncols();
+    let s: Vec<f64> = (0..n)
+        .map(|i| {
+            wh.row(i)
+                .iter()
+                .zip(head.attn_src.value.column(0).iter())
+                .map(|(a, b)| a * b)
+                .sum()
+        })
+        .collect();
+    let t: Vec<f64> = (0..n)
+        .map(|i| {
+            wh.row(i)
+                .iter()
+                .zip(head.attn_dst.value.column(0).iter())
+                .map(|(a, b)| a * b)
+                .sum()
+        })
+        .collect();
+    let lrelu = Activation::LeakyRelu(ATTN_SLOPE);
+    let mut alphas = Vec::with_capacity(n);
+    let mut z = DenseMatrix::zeros(n, d);
+    for (i, nbrs) in ctx.neighbors().iter().enumerate() {
+        let logits: Vec<f64> = nbrs.iter().map(|&j| lrelu.scalar(s[i] + t[j])).collect();
+        let m = logits.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let mut exps: Vec<f64> = logits.iter().map(|&l| (l - m).exp()).collect();
+        let total: f64 = exps.iter().sum();
+        for e in &mut exps {
+            *e /= total;
+        }
+        for (&j, &a) in nbrs.iter().zip(&exps) {
+            let src = wh.row(j).to_vec();
+            let dst = z.row_mut(i);
+            for (o, v) in dst.iter_mut().zip(&src) {
+                *o += a * v;
+            }
+        }
+        alphas.push(exps);
+    }
+    let out = activation.forward(&z);
+    head.cache = Some(HeadCache {
+        input: input.clone(),
+        wh,
+        s,
+        t,
+        alphas,
+        pre_activation: z,
+    });
+    Ok(out)
+}
+
+fn head_backward(
+    head: &mut Head,
+    grad_output: &DenseMatrix,
+    ctx: &GraphContext,
+    activation: Activation,
+) -> Result<DenseMatrix, GnnError> {
+    let cache = head
+        .cache
+        .as_ref()
+        .ok_or(GnnError::BackwardBeforeForward { layer: "gat" })?;
+    let n = ctx.num_nodes();
+    let d = cache.wh.ncols();
+    let mut dz = grad_output.clone();
+    activation.backward_inplace(&cache.pre_activation, &mut dz);
+
+    let lrelu = Activation::LeakyRelu(ATTN_SLOPE);
+    let a_src = head.attn_src.value.column(0);
+    let a_dst = head.attn_dst.value.column(0);
+
+    let mut dwh = DenseMatrix::zeros(n, d);
+    let mut ds = vec![0.0; n];
+    let mut dt = vec![0.0; n];
+    for (i, nbrs) in ctx.neighbors().iter().enumerate() {
+        let alphas = &cache.alphas[i];
+        // dα_ik = dz_i · Wh_{j_k}; dWh_j += α dz_i.
+        let dzi = dz.row(i).to_vec();
+        let mut dalpha = Vec::with_capacity(nbrs.len());
+        for (&j, &a) in nbrs.iter().zip(alphas) {
+            let whj = cache.wh.row(j);
+            let da: f64 = dzi.iter().zip(whj).map(|(x, y)| x * y).sum();
+            dalpha.push(da);
+            let dst = dwh.row_mut(j);
+            for (o, x) in dst.iter_mut().zip(&dzi) {
+                *o += a * x;
+            }
+        }
+        // Softmax backward: de_k = α_k (dα_k − Σ α dα).
+        let dot: f64 = alphas.iter().zip(&dalpha).map(|(a, da)| a * da).sum();
+        for ((&j, &a), &da) in nbrs.iter().zip(alphas).zip(&dalpha) {
+            let de = a * (da - dot);
+            let dpre = de * lrelu.derivative(cache.s[i] + cache.t[j]);
+            ds[i] += dpre;
+            dt[j] += dpre;
+        }
+    }
+    // s_i = a_src · Wh_i, t_i = a_dst · Wh_i.
+    for i in 0..n {
+        let whi = cache.wh.row(i).to_vec();
+        {
+            let dst = dwh.row_mut(i);
+            for k in 0..d {
+                dst[k] += ds[i] * a_src[k] + dt[i] * a_dst[k];
+            }
+        }
+        for k in 0..d {
+            let cur = head.attn_src.grad.get(k, 0);
+            head.attn_src.grad.set(k, 0, cur + ds[i] * whi[k]);
+            let cur = head.attn_dst.grad.get(k, 0);
+            head.attn_dst.grad.set(k, 0, cur + dt[i] * whi[k]);
+        }
+    }
+    let dw = cache.input.transpose().matmul(&dwh)?;
+    head.weight.grad = head.weight.grad.add(&dw)?;
+    Ok(dwh.matmul(&head.weight.value.transpose())?)
+}
+
+impl Layer for GatLayer {
+    fn forward(
+        &mut self,
+        input: &DenseMatrix,
+        ctx: &GraphContext,
+        _training: bool,
+    ) -> Result<DenseMatrix, GnnError> {
+        if input.ncols() != self.in_dim {
+            return Err(GnnError::DimensionMismatch {
+                context: "gat forward",
+                expected: self.in_dim,
+                actual: input.ncols(),
+            });
+        }
+        if input.nrows() != ctx.num_nodes() {
+            return Err(GnnError::DimensionMismatch {
+                context: "gat forward (nodes)",
+                expected: ctx.num_nodes(),
+                actual: input.nrows(),
+            });
+        }
+        let n = ctx.num_nodes();
+        let mut out = DenseMatrix::zeros(n, self.heads.len() * self.head_dim);
+        let activation = self.activation;
+        for (h, head) in self.heads.iter_mut().enumerate() {
+            let ho = head_forward(head, input, ctx, activation)?;
+            for i in 0..n {
+                for k in 0..self.head_dim {
+                    out.set(i, h * self.head_dim + k, ho.get(i, k));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn backward(
+        &mut self,
+        grad_output: &DenseMatrix,
+        ctx: &GraphContext,
+    ) -> Result<DenseMatrix, GnnError> {
+        let n = ctx.num_nodes();
+        if grad_output.ncols() != self.heads.len() * self.head_dim {
+            return Err(GnnError::DimensionMismatch {
+                context: "gat backward",
+                expected: self.heads.len() * self.head_dim,
+                actual: grad_output.ncols(),
+            });
+        }
+        let mut dinput = DenseMatrix::zeros(n, self.in_dim);
+        let activation = self.activation;
+        for (h, head) in self.heads.iter_mut().enumerate() {
+            let mut slice = DenseMatrix::zeros(n, self.head_dim);
+            for i in 0..n {
+                for k in 0..self.head_dim {
+                    slice.set(i, k, grad_output.get(i, h * self.head_dim + k));
+                }
+            }
+            let di = head_backward(head, &slice, ctx, activation)?;
+            dinput = dinput.add(&di)?;
+        }
+        Ok(dinput)
+    }
+
+    fn parameters(&mut self) -> Vec<&mut Param> {
+        self.heads
+            .iter_mut()
+            .flat_map(|h| vec![&mut h.weight, &mut h.attn_src, &mut h.attn_dst])
+            .collect()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.heads.len() * self.head_dim
+    }
+
+    fn name(&self) -> &'static str {
+        "gat"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{check_input_gradient, check_param_gradients};
+    use cirstag_graph::Graph;
+    use rand::SeedableRng;
+
+    fn setup() -> (GraphContext, DenseMatrix) {
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]).unwrap();
+        let ctx = GraphContext::new(&g);
+        let x = DenseMatrix::from_rows(&[
+            vec![0.6, -0.5],
+            vec![0.3, 0.8],
+            vec![-0.9, 0.1],
+            vec![0.4, 0.4],
+        ])
+        .unwrap();
+        (ctx, x)
+    }
+
+    #[test]
+    fn attention_rows_sum_to_one() {
+        let (ctx, x) = setup();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = GatLayer::new(2, 3, 2, Activation::Elu, &mut rng);
+        layer.forward(&x, &ctx, false).unwrap();
+        for h in 0..2 {
+            let alphas = layer.attention(h).unwrap();
+            for (i, row) in alphas.iter().enumerate() {
+                let s: f64 = row.iter().sum();
+                assert!((s - 1.0).abs() < 1e-12, "head {h} node {i} sums to {s}");
+                assert!(row.iter().all(|&a| a >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn output_shape_concatenates_heads() {
+        let (ctx, x) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = GatLayer::new(2, 3, 4, Activation::Identity, &mut rng);
+        let out = layer.forward(&x, &ctx, false).unwrap();
+        assert_eq!(out.shape(), (4, 12));
+        assert_eq!(layer.output_dim(), 12);
+        assert_eq!(layer.num_heads(), 4);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_single_head() {
+        let (ctx, x) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = GatLayer::new(2, 2, 1, Activation::Identity, &mut rng);
+        check_input_gradient(&mut layer, &ctx, &x, 5e-4);
+        check_param_gradients(&mut layer, &ctx, &x, 5e-4);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_multi_head_elu() {
+        let (ctx, x) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = GatLayer::new(2, 2, 2, Activation::Elu, &mut rng);
+        check_input_gradient(&mut layer, &ctx, &x, 5e-4);
+        check_param_gradients(&mut layer, &ctx, &x, 5e-4);
+    }
+
+    #[test]
+    fn dimension_validation() {
+        let (ctx, _) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut layer = GatLayer::new(3, 2, 1, Activation::Identity, &mut rng);
+        assert!(layer
+            .forward(&DenseMatrix::zeros(4, 2), &ctx, false)
+            .is_err());
+        assert!(layer.backward(&DenseMatrix::zeros(4, 5), &ctx).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one head")]
+    fn zero_heads_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = GatLayer::new(2, 2, 0, Activation::Identity, &mut rng);
+    }
+}

@@ -1,0 +1,193 @@
+use crate::layers::Layer;
+use crate::{Activation, GnnError, GraphContext, Param};
+use cirstag_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+
+/// A graph convolution layer (Kipf–Welling): `H' = act(Â H W + b)` with
+/// `Â = D̃^{-1/2}(A + I)D̃^{-1/2}` taken from the [`GraphContext`].
+#[derive(Debug, Clone)]
+pub struct GcnLayer {
+    weight: Param,
+    bias: Param,
+    activation: Activation,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    /// `Â H` — the aggregated input.
+    aggregated: DenseMatrix,
+    pre_activation: DenseMatrix,
+}
+
+impl GcnLayer {
+    /// Creates a Glorot-initialized GCN layer mapping `in_dim → out_dim`.
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        GcnLayer {
+            weight: Param::glorot(in_dim, out_dim, rng),
+            bias: Param::zeros(1, out_dim),
+            activation,
+            cache: None,
+        }
+    }
+
+    fn in_dim(&self) -> usize {
+        self.weight.value.nrows()
+    }
+}
+
+impl Layer for GcnLayer {
+    fn forward(
+        &mut self,
+        input: &DenseMatrix,
+        ctx: &GraphContext,
+        _training: bool,
+    ) -> Result<DenseMatrix, GnnError> {
+        if input.ncols() != self.in_dim() {
+            return Err(GnnError::DimensionMismatch {
+                context: "gcn forward",
+                expected: self.in_dim(),
+                actual: input.ncols(),
+            });
+        }
+        if input.nrows() != ctx.num_nodes() {
+            return Err(GnnError::DimensionMismatch {
+                context: "gcn forward (nodes)",
+                expected: ctx.num_nodes(),
+                actual: input.nrows(),
+            });
+        }
+        let aggregated = ctx.norm_adj().mul_dense(input)?;
+        let mut z = aggregated.matmul(&self.weight.value)?;
+        for i in 0..z.nrows() {
+            let row = z.row_mut(i);
+            for (v, b) in row.iter_mut().zip(self.bias.value.row(0)) {
+                *v += b;
+            }
+        }
+        let out = self.activation.forward(&z);
+        self.cache = Some(Cache {
+            aggregated,
+            pre_activation: z,
+        });
+        Ok(out)
+    }
+
+    fn backward(
+        &mut self,
+        grad_output: &DenseMatrix,
+        ctx: &GraphContext,
+    ) -> Result<DenseMatrix, GnnError> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(GnnError::BackwardBeforeForward { layer: "gcn" })?;
+        let mut dz = grad_output.clone();
+        self.activation
+            .backward_inplace(&cache.pre_activation, &mut dz);
+        // dW += (ÂH)ᵀ dZ ; db += colsum dZ ; dH = Âᵀ (dZ Wᵀ) = Â (dZ Wᵀ)
+        // (Â is symmetric).
+        let dw = cache.aggregated.transpose().matmul(&dz)?;
+        self.weight.grad = self.weight.grad.add(&dw)?;
+        for i in 0..dz.nrows() {
+            for j in 0..dz.ncols() {
+                let cur = self.bias.grad.get(0, j);
+                self.bias.grad.set(0, j, cur + dz.get(i, j));
+            }
+        }
+        let dzw = dz.matmul(&self.weight.value.transpose())?;
+        Ok(ctx.norm_adj().mul_dense(&dzw)?)
+    }
+
+    fn parameters(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn output_dim(&self) -> usize {
+        self.weight.value.ncols()
+    }
+
+    fn name(&self) -> &'static str {
+        "gcn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{check_input_gradient, check_param_gradients};
+    use cirstag_graph::Graph;
+    use rand::SeedableRng;
+
+    fn setup() -> (GraphContext, DenseMatrix) {
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (3, 0, 1.0)]).unwrap();
+        let ctx = GraphContext::new(&g);
+        let x = DenseMatrix::from_rows(&[
+            vec![1.0, -0.5],
+            vec![0.3, 0.8],
+            vec![-1.2, 0.1],
+            vec![0.4, 0.4],
+        ])
+        .unwrap();
+        (ctx, x)
+    }
+
+    #[test]
+    fn forward_aggregates_neighbors() {
+        let (ctx, x) = setup();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = GcnLayer::new(2, 2, Activation::Identity, &mut rng);
+        // Identity weight makes the output exactly ÂX.
+        layer.weight.value = DenseMatrix::identity(2);
+        let out = layer.forward(&x, &ctx, false).unwrap();
+        let expect = ctx.norm_adj().mul_dense(&x).unwrap();
+        assert!(out.max_abs_diff(&expect).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (ctx, x) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = GcnLayer::new(2, 3, Activation::Tanh, &mut rng);
+        check_input_gradient(&mut layer, &ctx, &x, 1e-4);
+        check_param_gradients(&mut layer, &ctx, &x, 1e-4);
+    }
+
+    #[test]
+    fn elu_gradients() {
+        let (ctx, x) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer = GcnLayer::new(2, 2, Activation::Elu, &mut rng);
+        check_input_gradient(&mut layer, &ctx, &x, 1e-4);
+    }
+
+    #[test]
+    fn node_count_mismatch_rejected() {
+        let (ctx, _) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = GcnLayer::new(2, 3, Activation::Identity, &mut rng);
+        let bad = DenseMatrix::zeros(7, 2);
+        assert!(layer.forward(&bad, &ctx, false).is_err());
+    }
+
+    #[test]
+    fn permutation_equivariance() {
+        // Relabeling the graph and permuting rows of X must permute outputs.
+        let g1 = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let g2 = Graph::from_edges(3, &[(2, 1, 1.0), (1, 0, 1.0)]).unwrap(); // same up to swap 0<->2
+        let ctx1 = GraphContext::new(&g1);
+        let ctx2 = GraphContext::new(&g2);
+        let x1 = DenseMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let x2 = DenseMatrix::from_rows(&[vec![3.0], vec![2.0], vec![1.0]]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = GcnLayer::new(1, 2, Activation::Relu, &mut rng);
+        let o1 = layer.forward(&x1, &ctx1, false).unwrap();
+        let o2 = layer.forward(&x2, &ctx2, false).unwrap();
+        for j in 0..2 {
+            assert!((o1.get(0, j) - o2.get(2, j)).abs() < 1e-12);
+            assert!((o1.get(1, j) - o2.get(1, j)).abs() < 1e-12);
+            assert!((o1.get(2, j) - o2.get(0, j)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+use crate::layers::Layer;
+use crate::{Activation, GnnError, GraphContext, Param};
+use cirstag_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+
+/// A per-node dense layer: `H' = act(H W + b)`.
+///
+/// No message passing — used as embedding projections and output heads.
+#[derive(Debug, Clone)]
+pub struct LinearLayer {
+    weight: Param,
+    bias: Param,
+    activation: Activation,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    input: DenseMatrix,
+    pre_activation: DenseMatrix,
+}
+
+impl LinearLayer {
+    /// Creates a Glorot-initialized layer mapping `in_dim → out_dim`.
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        LinearLayer {
+            weight: Param::glorot(in_dim, out_dim, rng),
+            bias: Param::zeros(1, out_dim),
+            activation,
+            cache: None,
+        }
+    }
+
+    fn in_dim(&self) -> usize {
+        self.weight.value.nrows()
+    }
+}
+
+impl Layer for LinearLayer {
+    fn forward(
+        &mut self,
+        input: &DenseMatrix,
+        _ctx: &GraphContext,
+        _training: bool,
+    ) -> Result<DenseMatrix, GnnError> {
+        if input.ncols() != self.in_dim() {
+            return Err(GnnError::DimensionMismatch {
+                context: "linear forward",
+                expected: self.in_dim(),
+                actual: input.ncols(),
+            });
+        }
+        let mut z = input.matmul(&self.weight.value)?;
+        for i in 0..z.nrows() {
+            let row = z.row_mut(i);
+            for (v, b) in row.iter_mut().zip(self.bias.value.row(0)) {
+                *v += b;
+            }
+        }
+        let out = self.activation.forward(&z);
+        self.cache = Some(Cache {
+            input: input.clone(),
+            pre_activation: z,
+        });
+        Ok(out)
+    }
+
+    fn backward(
+        &mut self,
+        grad_output: &DenseMatrix,
+        _ctx: &GraphContext,
+    ) -> Result<DenseMatrix, GnnError> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(GnnError::BackwardBeforeForward { layer: "linear" })?;
+        let mut dz = grad_output.clone();
+        self.activation
+            .backward_inplace(&cache.pre_activation, &mut dz);
+        // dW += Xᵀ dZ ; db += colsum dZ ; dX = dZ Wᵀ.
+        let dw = cache.input.transpose().matmul(&dz)?;
+        self.weight.grad = self.weight.grad.add(&dw)?;
+        for i in 0..dz.nrows() {
+            for j in 0..dz.ncols() {
+                let cur = self.bias.grad.get(0, j);
+                self.bias.grad.set(0, j, cur + dz.get(i, j));
+            }
+        }
+        Ok(dz.matmul(&self.weight.value.transpose())?)
+    }
+
+    fn parameters(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn output_dim(&self) -> usize {
+        self.weight.value.ncols()
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{check_input_gradient, check_param_gradients};
+    use cirstag_graph::Graph;
+    use rand::SeedableRng;
+
+    fn setup() -> (GraphContext, DenseMatrix) {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let ctx = GraphContext::new(&g);
+        let x =
+            DenseMatrix::from_rows(&[vec![1.0, -0.5], vec![0.3, 0.8], vec![-1.2, 0.1]]).unwrap();
+        (ctx, x)
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let (ctx, x) = setup();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = LinearLayer::new(2, 4, Activation::Identity, &mut rng);
+        layer.bias.value.set(0, 0, 10.0);
+        let out = layer.forward(&x, &ctx, false).unwrap();
+        assert_eq!(out.shape(), (3, 4));
+        // Bias flows straight through identity activation.
+        let no_bias = x.matmul(&layer.weight.value).unwrap();
+        assert!((out.get(0, 0) - no_bias.get(0, 0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (ctx, x) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = LinearLayer::new(2, 3, Activation::Tanh, &mut rng);
+        check_input_gradient(&mut layer, &ctx, &x, 1e-4);
+        check_param_gradients(&mut layer, &ctx, &x, 1e-4);
+    }
+
+    #[test]
+    fn relu_gradients() {
+        let (ctx, x) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = LinearLayer::new(2, 3, Activation::Relu, &mut rng);
+        check_input_gradient(&mut layer, &ctx, &x, 1e-4);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let (ctx, _) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = LinearLayer::new(5, 3, Activation::Identity, &mut rng);
+        let bad = DenseMatrix::zeros(3, 2);
+        assert!(matches!(
+            layer.forward(&bad, &ctx, false),
+            Err(GnnError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn backward_before_forward_rejected() {
+        let (ctx, _) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut layer = LinearLayer::new(2, 3, Activation::Identity, &mut rng);
+        let g = DenseMatrix::zeros(3, 3);
+        assert!(matches!(
+            layer.backward(&g, &ctx),
+            Err(GnnError::BackwardBeforeForward { .. })
+        ));
+    }
+}

@@ -1,0 +1,169 @@
+//! Neural layers with layer-local backpropagation.
+
+mod dagprop;
+mod dropout;
+mod gat;
+mod gcn;
+mod linear;
+mod sage;
+
+pub use dagprop::DagPropLayer;
+pub use dropout::DropoutLayer;
+pub use gat::GatLayer;
+pub use gcn::GcnLayer;
+pub use linear::LinearLayer;
+pub use sage::SageLayer;
+
+use crate::{GnnError, GraphContext, Param};
+use cirstag_linalg::DenseMatrix;
+
+/// A differentiable layer.
+///
+/// Layers cache whatever activations they need during [`Layer::forward`] and
+/// consume those caches in [`Layer::backward`], which must therefore follow a
+/// forward call on the same input. Parameter gradients *accumulate* across
+/// backward calls until [`Layer::zero_grad`].
+pub trait Layer {
+    /// Computes the layer output for `input` (rows = nodes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::DimensionMismatch`] when the input width does not
+    /// match the layer.
+    fn forward(
+        &mut self,
+        input: &DenseMatrix,
+        ctx: &GraphContext,
+        training: bool,
+    ) -> Result<DenseMatrix, GnnError>;
+
+    /// Back-propagates `grad_output` (∂loss/∂output), accumulating parameter
+    /// gradients and returning ∂loss/∂input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::BackwardBeforeForward`] when no forward pass has
+    /// been cached.
+    fn backward(
+        &mut self,
+        grad_output: &DenseMatrix,
+        ctx: &GraphContext,
+    ) -> Result<DenseMatrix, GnnError>;
+
+    /// Mutable access to the layer's trainable parameters (stable order).
+    fn parameters(&mut self) -> Vec<&mut Param>;
+
+    /// Clears accumulated gradients.
+    fn zero_grad(&mut self) {
+        for p in self.parameters() {
+            p.zero_grad();
+        }
+    }
+
+    /// Output feature width.
+    fn output_dim(&self) -> usize;
+
+    /// Human-readable layer name.
+    fn name(&self) -> &'static str;
+}
+
+/// Gradient-checking helper used by the layer unit tests: compares the
+/// analytic input gradient of `layer` against central finite differences of
+/// the scalar loss `L = Σ out²/2` (whose output gradient is `out` itself).
+#[cfg(test)]
+pub(crate) fn check_input_gradient<L: Layer>(
+    layer: &mut L,
+    ctx: &GraphContext,
+    input: &DenseMatrix,
+    tol: f64,
+) {
+    let out = layer.forward(input, ctx, false).unwrap();
+    let grad_in = layer.backward(&out, ctx).unwrap();
+    let mut x = input.clone();
+    let h = 1e-6;
+    for i in 0..input.nrows() {
+        for j in 0..input.ncols() {
+            let orig = x.get(i, j);
+            x.set(i, j, orig + h);
+            let lp: f64 = layer
+                .forward(&x, ctx, false)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
+            x.set(i, j, orig - h);
+            let lm: f64 = layer
+                .forward(&x, ctx, false)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
+            x.set(i, j, orig);
+            let fd = (lp - lm) / (2.0 * h);
+            let an = grad_in.get(i, j);
+            assert!(
+                (fd - an).abs() <= tol * (1.0 + fd.abs()),
+                "input grad mismatch at ({i},{j}): analytic {an} vs fd {fd}"
+            );
+        }
+    }
+}
+
+/// Gradient-checking helper for parameter gradients, same loss convention as
+/// [`check_input_gradient`].
+#[cfg(test)]
+pub(crate) fn check_param_gradients<L: Layer>(
+    layer: &mut L,
+    ctx: &GraphContext,
+    input: &DenseMatrix,
+    tol: f64,
+) {
+    layer.zero_grad();
+    let out = layer.forward(input, ctx, false).unwrap();
+    let _ = layer.backward(&out, ctx).unwrap();
+    // Snapshot analytic gradients.
+    let analytic: Vec<DenseMatrix> = layer.parameters().iter().map(|p| p.grad.clone()).collect();
+    let h = 1e-6;
+    for (pi, an) in analytic.iter().enumerate() {
+        for i in 0..an.nrows() {
+            for j in 0..an.ncols() {
+                let orig = {
+                    let mut ps = layer.parameters();
+                    let v = ps[pi].value.get(i, j);
+                    ps[pi].value.set(i, j, v + h);
+                    v
+                };
+                let lp: f64 = layer
+                    .forward(input, ctx, false)
+                    .unwrap()
+                    .as_slice()
+                    .iter()
+                    .map(|v| v * v / 2.0)
+                    .sum();
+                {
+                    let mut ps = layer.parameters();
+                    ps[pi].value.set(i, j, orig - h);
+                }
+                let lm: f64 = layer
+                    .forward(input, ctx, false)
+                    .unwrap()
+                    .as_slice()
+                    .iter()
+                    .map(|v| v * v / 2.0)
+                    .sum();
+                {
+                    let mut ps = layer.parameters();
+                    ps[pi].value.set(i, j, orig);
+                }
+                let fd = (lp - lm) / (2.0 * h);
+                let a = an.get(i, j);
+                assert!(
+                    (fd - a).abs() <= tol * (1.0 + fd.abs()),
+                    "param {pi} grad mismatch at ({i},{j}): analytic {a} vs fd {fd}"
+                );
+            }
+        }
+    }
+}

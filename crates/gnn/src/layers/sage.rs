@@ -1,0 +1,176 @@
+use crate::layers::Layer;
+use crate::{Activation, GnnError, GraphContext, Param};
+use cirstag_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+
+/// GraphSAGE layer with a mean aggregator:
+/// `H' = act(H W_self + (D⁻¹A H) W_neigh + b)`.
+#[derive(Debug, Clone)]
+pub struct SageLayer {
+    w_self: Param,
+    w_neigh: Param,
+    bias: Param,
+    activation: Activation,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    input: DenseMatrix,
+    /// `D⁻¹A H`.
+    aggregated: DenseMatrix,
+    pre_activation: DenseMatrix,
+}
+
+impl SageLayer {
+    /// Creates a Glorot-initialized layer mapping `in_dim → out_dim`.
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        SageLayer {
+            w_self: Param::glorot(in_dim, out_dim, rng),
+            w_neigh: Param::glorot(in_dim, out_dim, rng),
+            bias: Param::zeros(1, out_dim),
+            activation,
+            cache: None,
+        }
+    }
+
+    fn in_dim(&self) -> usize {
+        self.w_self.value.nrows()
+    }
+}
+
+impl Layer for SageLayer {
+    fn forward(
+        &mut self,
+        input: &DenseMatrix,
+        ctx: &GraphContext,
+        _training: bool,
+    ) -> Result<DenseMatrix, GnnError> {
+        if input.ncols() != self.in_dim() {
+            return Err(GnnError::DimensionMismatch {
+                context: "sage forward",
+                expected: self.in_dim(),
+                actual: input.ncols(),
+            });
+        }
+        if input.nrows() != ctx.num_nodes() {
+            return Err(GnnError::DimensionMismatch {
+                context: "sage forward (nodes)",
+                expected: ctx.num_nodes(),
+                actual: input.nrows(),
+            });
+        }
+        let aggregated = ctx.mean_adj().mul_dense(input)?;
+        let self_part = input.matmul(&self.w_self.value)?;
+        let neigh_part = aggregated.matmul(&self.w_neigh.value)?;
+        let mut z = self_part.add(&neigh_part)?;
+        for i in 0..z.nrows() {
+            let row = z.row_mut(i);
+            for (v, b) in row.iter_mut().zip(self.bias.value.row(0)) {
+                *v += b;
+            }
+        }
+        let out = self.activation.forward(&z);
+        self.cache = Some(Cache {
+            input: input.clone(),
+            aggregated,
+            pre_activation: z,
+        });
+        Ok(out)
+    }
+
+    fn backward(
+        &mut self,
+        grad_output: &DenseMatrix,
+        ctx: &GraphContext,
+    ) -> Result<DenseMatrix, GnnError> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(GnnError::BackwardBeforeForward { layer: "sage" })?;
+        let mut dz = grad_output.clone();
+        self.activation
+            .backward_inplace(&cache.pre_activation, &mut dz);
+        let dw_self = cache.input.transpose().matmul(&dz)?;
+        self.w_self.grad = self.w_self.grad.add(&dw_self)?;
+        let dw_neigh = cache.aggregated.transpose().matmul(&dz)?;
+        self.w_neigh.grad = self.w_neigh.grad.add(&dw_neigh)?;
+        for i in 0..dz.nrows() {
+            for j in 0..dz.ncols() {
+                let cur = self.bias.grad.get(0, j);
+                self.bias.grad.set(0, j, cur + dz.get(i, j));
+            }
+        }
+        // dH = dZ W_selfᵀ + (D⁻¹A)ᵀ (dZ W_neighᵀ).
+        let part_self = dz.matmul(&self.w_self.value.transpose())?;
+        let part_neigh = ctx
+            .mean_adj()
+            .transpose()
+            .mul_dense(&dz.matmul(&self.w_neigh.value.transpose())?)?;
+        Ok(part_self.add(&part_neigh)?)
+    }
+
+    fn parameters(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w_self, &mut self.w_neigh, &mut self.bias]
+    }
+
+    fn output_dim(&self) -> usize {
+        self.w_self.value.ncols()
+    }
+
+    fn name(&self) -> &'static str {
+        "sage"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{check_input_gradient, check_param_gradients};
+    use cirstag_graph::Graph;
+    use rand::SeedableRng;
+
+    fn setup() -> (GraphContext, DenseMatrix) {
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 2.0), (0, 2, 1.0)]).unwrap();
+        let ctx = GraphContext::new(&g);
+        let x = DenseMatrix::from_rows(&[
+            vec![1.0, -0.5],
+            vec![0.3, 0.8],
+            vec![-1.2, 0.1],
+            vec![0.4, 0.4],
+        ])
+        .unwrap();
+        (ctx, x)
+    }
+
+    #[test]
+    fn forward_separates_self_and_neighbor_terms() {
+        let (ctx, x) = setup();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = SageLayer::new(2, 2, Activation::Identity, &mut rng);
+        // Zero the neighbor weight: output must equal X·W_self.
+        layer.w_neigh.value = DenseMatrix::zeros(2, 2);
+        let out = layer.forward(&x, &ctx, false).unwrap();
+        let expect = x.matmul(&layer.w_self.value).unwrap();
+        assert!(out.max_abs_diff(&expect).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (ctx, x) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = SageLayer::new(2, 3, Activation::Tanh, &mut rng);
+        check_input_gradient(&mut layer, &ctx, &x, 1e-4);
+        check_param_gradients(&mut layer, &ctx, &x, 1e-4);
+    }
+
+    #[test]
+    fn three_parameters_exposed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = SageLayer::new(2, 3, Activation::Identity, &mut rng);
+        assert_eq!(layer.parameters().len(), 3);
+        assert_eq!(layer.output_dim(), 3);
+        assert_eq!(layer.name(), "sage");
+    }
+}

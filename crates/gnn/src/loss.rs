@@ -1,0 +1,208 @@
+//! Losses with node masks, returning both value and gradient.
+
+use crate::GnnError;
+use cirstag_linalg::DenseMatrix;
+
+/// A loss evaluation: scalar value plus ∂loss/∂prediction.
+#[derive(Debug, Clone)]
+pub struct LossValue {
+    /// Mean loss over the selected nodes.
+    pub value: f64,
+    /// Gradient with respect to the prediction matrix (zero outside the
+    /// mask).
+    pub grad: DenseMatrix,
+    /// Number of nodes that contributed.
+    pub count: usize,
+}
+
+fn resolve_mask(mask: Option<&[bool]>, n: usize) -> Result<Vec<bool>, GnnError> {
+    match mask {
+        None => Ok(vec![true; n]),
+        Some(m) => {
+            if m.len() != n {
+                return Err(GnnError::DimensionMismatch {
+                    context: "loss mask",
+                    expected: n,
+                    actual: m.len(),
+                });
+            }
+            Ok(m.to_vec())
+        }
+    }
+}
+
+/// Mean-squared-error loss `(1 / 2|S|) Σ_{i∈S} ‖pred_i − target_i‖²` over the
+/// masked node set `S` (all nodes when `mask` is `None`).
+///
+/// # Errors
+///
+/// Returns [`GnnError::DimensionMismatch`] when shapes disagree, and
+/// [`GnnError::InvalidArgument`] when the mask selects no nodes.
+pub fn mse_loss(
+    prediction: &DenseMatrix,
+    target: &DenseMatrix,
+    mask: Option<&[bool]>,
+) -> Result<LossValue, GnnError> {
+    if prediction.shape() != target.shape() {
+        return Err(GnnError::DimensionMismatch {
+            context: "mse target",
+            expected: prediction.nrows(),
+            actual: target.nrows(),
+        });
+    }
+    let mask = resolve_mask(mask, prediction.nrows())?;
+    let count = mask.iter().filter(|&&b| b).count();
+    if count == 0 {
+        return Err(GnnError::InvalidArgument {
+            reason: "loss mask selects no nodes".to_string(),
+        });
+    }
+    let scale = 1.0 / count as f64;
+    let mut grad = DenseMatrix::zeros(prediction.nrows(), prediction.ncols());
+    let mut value = 0.0;
+    for i in 0..prediction.nrows() {
+        if !mask[i] {
+            continue;
+        }
+        for j in 0..prediction.ncols() {
+            let d = prediction.get(i, j) - target.get(i, j);
+            value += 0.5 * d * d * scale;
+            grad.set(i, j, d * scale);
+        }
+    }
+    Ok(LossValue { value, grad, count })
+}
+
+/// Softmax cross-entropy for node classification.
+///
+/// `prediction` holds per-node logits (`n × num_classes`); `labels[i]` is the
+/// class of node `i`. Returns the mean negative log-likelihood over the mask
+/// and the gradient `softmax − onehot` (scaled by `1/|S|`).
+///
+/// # Errors
+///
+/// Returns [`GnnError::DimensionMismatch`] / [`GnnError::InvalidArgument`]
+/// for shape problems, empty masks, or out-of-range labels.
+pub fn cross_entropy_loss(
+    prediction: &DenseMatrix,
+    labels: &[usize],
+    mask: Option<&[bool]>,
+) -> Result<LossValue, GnnError> {
+    let n = prediction.nrows();
+    let c = prediction.ncols();
+    if labels.len() != n {
+        return Err(GnnError::DimensionMismatch {
+            context: "cross entropy labels",
+            expected: n,
+            actual: labels.len(),
+        });
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= c) {
+        return Err(GnnError::InvalidArgument {
+            reason: format!("label {bad} out of range for {c} classes"),
+        });
+    }
+    let mask = resolve_mask(mask, n)?;
+    let count = mask.iter().filter(|&&b| b).count();
+    if count == 0 {
+        return Err(GnnError::InvalidArgument {
+            reason: "loss mask selects no nodes".to_string(),
+        });
+    }
+    let scale = 1.0 / count as f64;
+    let mut grad = DenseMatrix::zeros(n, c);
+    let mut value = 0.0;
+    for i in 0..n {
+        if !mask[i] {
+            continue;
+        }
+        let row = prediction.row(i);
+        let m = row.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let exps: Vec<f64> = row.iter().map(|&v| (v - m).exp()).collect();
+        let total: f64 = exps.iter().sum();
+        let label = labels[i];
+        value -= ((exps[label] / total).max(1e-300)).ln() * scale;
+        for j in 0..c {
+            let p = exps[j] / total;
+            let onehot = if j == label { 1.0 } else { 0.0 };
+            grad.set(i, j, (p - onehot) * scale);
+        }
+    }
+    Ok(LossValue { value, grad, count })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_for_perfect_prediction() {
+        let p = DenseMatrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let l = mse_loss(&p, &p, None).unwrap();
+        assert_eq!(l.value, 0.0);
+        assert!(l.grad.as_slice().iter().all(|&g| g == 0.0));
+        assert_eq!(l.count, 2);
+    }
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let p = DenseMatrix::from_rows(&[vec![3.0]]).unwrap();
+        let t = DenseMatrix::from_rows(&[vec![1.0]]).unwrap();
+        let l = mse_loss(&p, &t, None).unwrap();
+        assert!((l.value - 2.0).abs() < 1e-12); // 0.5 * 2²
+        assert!((l.grad.get(0, 0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_mask_restricts() {
+        let p = DenseMatrix::from_rows(&[vec![1.0], vec![100.0]]).unwrap();
+        let t = DenseMatrix::from_rows(&[vec![0.0], vec![0.0]]).unwrap();
+        let l = mse_loss(&p, &t, Some(&[true, false])).unwrap();
+        assert!((l.value - 0.5).abs() < 1e-12);
+        assert_eq!(l.grad.get(1, 0), 0.0);
+        assert_eq!(l.count, 1);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let p = DenseMatrix::from_rows(&[vec![0.0, 0.0]]).unwrap();
+        let l = cross_entropy_loss(&p, &[0], None).unwrap();
+        assert!((l.value - (2.0_f64).ln()).abs() < 1e-12);
+        // grad = softmax - onehot = [0.5-1, 0.5].
+        assert!((l.grad.get(0, 0) + 0.5).abs() < 1e-12);
+        assert!((l.grad.get(0, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let p = DenseMatrix::from_rows(&[vec![0.3, -0.2, 0.9], vec![1.0, 0.0, -1.0]]).unwrap();
+        let labels = [2usize, 0];
+        let base = cross_entropy_loss(&p, &labels, None).unwrap();
+        let h = 1e-6;
+        for i in 0..2 {
+            for j in 0..3 {
+                let mut pp = p.clone();
+                pp.set(i, j, p.get(i, j) + h);
+                let lp = cross_entropy_loss(&pp, &labels, None).unwrap().value;
+                pp.set(i, j, p.get(i, j) - h);
+                let lm = cross_entropy_loss(&pp, &labels, None).unwrap().value;
+                let fd = (lp - lm) / (2.0 * h);
+                assert!(
+                    (fd - base.grad.get(i, j)).abs() < 1e-6,
+                    "grad mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let p = DenseMatrix::zeros(2, 2);
+        let t = DenseMatrix::zeros(3, 2);
+        assert!(mse_loss(&p, &t, None).is_err());
+        assert!(mse_loss(&p, &p, Some(&[true])).is_err());
+        assert!(mse_loss(&p, &p, Some(&[false, false])).is_err());
+        assert!(cross_entropy_loss(&p, &[0], None).is_err());
+        assert!(cross_entropy_loss(&p, &[0, 5], None).is_err());
+    }
+}

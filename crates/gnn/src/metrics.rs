@@ -1,0 +1,183 @@
+//! Evaluation metrics used by the case studies.
+
+use cirstag_linalg::{vecops, DenseMatrix};
+
+/// Coefficient of determination `R² = 1 − SS_res / SS_tot` between the first
+/// columns of two single-column matrices (or element-wise over all entries
+/// for multi-column inputs). Returns `1.0` for a perfect fit and can be
+/// negative for fits worse than the mean predictor.
+///
+/// # Panics
+///
+/// Panics if the shapes differ or the inputs are empty.
+pub fn r2_score(prediction: &DenseMatrix, target: &DenseMatrix) -> f64 {
+    assert_eq!(prediction.shape(), target.shape(), "r2 shape mismatch");
+    let t = target.as_slice();
+    let p = prediction.as_slice();
+    assert!(!t.is_empty(), "r2 on empty input");
+    let mean = vecops::mean(t);
+    let ss_tot: f64 = t.iter().map(|v| (v - mean) * (v - mean)).sum();
+    let ss_res: f64 = p.iter().zip(t).map(|(a, b)| (a - b) * (a - b)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Classification accuracy from logits: fraction of rows whose argmax equals
+/// the label.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.nrows()`.
+pub fn accuracy(logits: &DenseMatrix, labels: &[usize]) -> f64 {
+    assert_eq!(logits.nrows(), labels.len(), "accuracy length mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = labels
+        .iter()
+        .enumerate()
+        .filter(|&(i, &l)| argmax(logits.row(i)) == l)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Macro-averaged F1 score from logits: per-class F1 averaged uniformly over
+/// the classes present in `labels` or predictions.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.nrows()`.
+pub fn f1_macro(logits: &DenseMatrix, labels: &[usize]) -> f64 {
+    assert_eq!(logits.nrows(), labels.len(), "f1 length mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let num_classes = logits.ncols();
+    let mut tp = vec![0usize; num_classes];
+    let mut fp = vec![0usize; num_classes];
+    let mut fnn = vec![0usize; num_classes];
+    for (i, &l) in labels.iter().enumerate() {
+        let pred = argmax(logits.row(i));
+        if pred == l {
+            tp[l] += 1;
+        } else {
+            fp[pred] += 1;
+            fnn[l] += 1;
+        }
+    }
+    let mut total = 0.0;
+    let mut classes = 0usize;
+    for c in 0..num_classes {
+        if tp[c] + fp[c] + fnn[c] == 0 {
+            continue; // class absent from both labels and predictions
+        }
+        classes += 1;
+        let denom = 2 * tp[c] + fp[c] + fnn[c];
+        if denom > 0 {
+            total += 2.0 * tp[c] as f64 / denom as f64;
+        }
+    }
+    if classes == 0 {
+        0.0
+    } else {
+        total / classes as f64
+    }
+}
+
+/// Mean per-row cosine similarity between two embedding matrices — the
+/// metric Case Study B uses to quantify embedding drift under topology
+/// perturbations.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mean_row_cosine(a: &DenseMatrix, b: &DenseMatrix) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "cosine shape mismatch");
+    let n = a.nrows();
+    if n == 0 {
+        return 0.0;
+    }
+    (0..n)
+        .map(|i| vecops::cosine_similarity(a.row(i), b.row(i)))
+        .sum::<f64>()
+        / n as f64
+}
+
+fn argmax(row: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r2_perfect_and_mean_predictor() {
+        let t = DenseMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        assert_eq!(r2_score(&t, &t), 1.0);
+        let mean_pred = DenseMatrix::from_rows(&[vec![2.0], vec![2.0], vec![2.0]]).unwrap();
+        assert!(r2_score(&mean_pred, &t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_negative_for_bad_fit() {
+        let t = DenseMatrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let p = DenseMatrix::from_rows(&[vec![10.0], vec![-10.0]]).unwrap();
+        assert!(r2_score(&p, &t) < 0.0);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax() {
+        let logits =
+            DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![0.9, 0.1]]).unwrap();
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_macro_perfect_is_one() {
+        let logits = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        assert!((f1_macro(&logits, &[0, 1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_macro_penalizes_minority_errors_more_than_accuracy() {
+        // 9 correct majority predictions, 1 wrong minority prediction.
+        let mut rows = vec![vec![1.0, 0.0]; 9];
+        rows.push(vec![1.0, 0.0]); // minority node predicted as majority
+        let logits = DenseMatrix::from_rows(&rows).unwrap();
+        let mut labels = vec![0usize; 9];
+        labels.push(1);
+        let acc = accuracy(&logits, &labels);
+        let f1 = f1_macro(&logits, &labels);
+        assert!(acc > 0.89);
+        assert!(f1 < acc, "f1 {f1} should be below accuracy {acc}");
+    }
+
+    #[test]
+    fn f1_ignores_absent_classes() {
+        // Three logit columns but only classes 0 and 1 occur.
+        let logits = DenseMatrix::from_rows(&[vec![1.0, 0.0, -1.0], vec![0.0, 1.0, -1.0]]).unwrap();
+        assert!((f1_macro(&logits, &[0, 1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_identical_rows() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert!((mean_row_cosine(&a, &a) - 1.0).abs() < 1e-12);
+        let b = a.scaled(-1.0);
+        assert!((mean_row_cosine(&a, &b) + 1.0).abs() < 1e-12);
+    }
+}

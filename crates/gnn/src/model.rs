@@ -1,0 +1,716 @@
+//! Sequential GNN models and training loops.
+
+use crate::layers::{
+    DagPropLayer, DropoutLayer, GatLayer, GcnLayer, Layer, LinearLayer, SageLayer,
+};
+use crate::{cross_entropy_loss, mse_loss, Activation, Adam, GnnError, GraphContext, Param};
+use cirstag_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Declarative layer description used by [`GnnModel::new`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LayerSpec {
+    /// Graph convolution (`GcnLayer`).
+    Gcn {
+        /// Output width.
+        dim: usize,
+        /// Activation applied after aggregation.
+        activation: Activation,
+    },
+    /// Graph attention (`GatLayer`); output width is `num_heads · head_dim`.
+    Gat {
+        /// Per-head output width.
+        head_dim: usize,
+        /// Number of attention heads (concatenated).
+        num_heads: usize,
+        /// Activation applied per head.
+        activation: Activation,
+    },
+    /// GraphSAGE with mean aggregation (`SageLayer`).
+    Sage {
+        /// Output width.
+        dim: usize,
+        /// Activation.
+        activation: Activation,
+    },
+    /// DAG propagation (`DagPropLayer`); requires a `with_dag` context.
+    DagProp {
+        /// Output width.
+        dim: usize,
+        /// Activation.
+        activation: Activation,
+    },
+    /// Per-node dense layer (`LinearLayer`).
+    Linear {
+        /// Output width.
+        dim: usize,
+        /// Activation.
+        activation: Activation,
+    },
+    /// Inverted dropout (identity at inference).
+    Dropout {
+        /// Drop probability in `[0, 1)`.
+        p: f64,
+    },
+}
+
+/// Options for the built-in training loops.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Number of full-graph gradient steps.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Decoupled weight decay (0 disables).
+    pub weight_decay: f64,
+    /// Global-norm gradient clip (0 disables).
+    pub clip_norm: f64,
+    /// Early stopping: halt when the loss has not improved by at least 0.1%
+    /// (relative) for this many consecutive epochs (`None` disables).
+    pub patience: Option<usize>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 200,
+            learning_rate: 1e-2,
+            weight_decay: 0.0,
+            clip_norm: 5.0,
+            patience: None,
+        }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Loss after each epoch.
+    pub losses: Vec<f64>,
+    /// Final loss value.
+    pub final_loss: f64,
+}
+
+/// A sequential graph neural network.
+///
+/// Layers share one [`GraphContext`]; the model exposes per-layer hidden
+/// activations so CirSTAG can use the penultimate layer as the "output
+/// embedding matrix" of Phase 1.
+pub struct GnnModel {
+    layers: Vec<Box<dyn Layer>>,
+    input_dim: usize,
+}
+
+impl std::fmt::Debug for GnnModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("GnnModel")
+            .field("input_dim", &self.input_dim)
+            .field("layers", &names)
+            .finish()
+    }
+}
+
+impl GnnModel {
+    /// Builds a model from layer specs with Glorot initialization seeded by
+    /// `seed` (fully deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::InvalidArgument`] for empty specs or zero widths.
+    pub fn new(input_dim: usize, specs: &[LayerSpec], seed: u64) -> Result<Self, GnnError> {
+        if specs.is_empty() {
+            return Err(GnnError::InvalidArgument {
+                reason: "a model needs at least one layer".to_string(),
+            });
+        }
+        if input_dim == 0 {
+            return Err(GnnError::InvalidArgument {
+                reason: "input dimension must be positive".to_string(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers: Vec<Box<dyn Layer>> = Vec::with_capacity(specs.len());
+        let mut dim = input_dim;
+        for (idx, spec) in specs.iter().enumerate() {
+            match *spec {
+                LayerSpec::Gcn {
+                    dim: out,
+                    activation,
+                } => {
+                    check_width(out)?;
+                    layers.push(Box::new(GcnLayer::new(dim, out, activation, &mut rng)));
+                    dim = out;
+                }
+                LayerSpec::Gat {
+                    head_dim,
+                    num_heads,
+                    activation,
+                } => {
+                    check_width(head_dim)?;
+                    if num_heads == 0 {
+                        return Err(GnnError::InvalidArgument {
+                            reason: "gat needs at least one head".to_string(),
+                        });
+                    }
+                    layers.push(Box::new(GatLayer::new(
+                        dim, head_dim, num_heads, activation, &mut rng,
+                    )));
+                    dim = head_dim * num_heads;
+                }
+                LayerSpec::Sage {
+                    dim: out,
+                    activation,
+                } => {
+                    check_width(out)?;
+                    layers.push(Box::new(SageLayer::new(dim, out, activation, &mut rng)));
+                    dim = out;
+                }
+                LayerSpec::DagProp {
+                    dim: out,
+                    activation,
+                } => {
+                    check_width(out)?;
+                    layers.push(Box::new(DagPropLayer::new(dim, out, activation, &mut rng)));
+                    dim = out;
+                }
+                LayerSpec::Linear {
+                    dim: out,
+                    activation,
+                } => {
+                    check_width(out)?;
+                    layers.push(Box::new(LinearLayer::new(dim, out, activation, &mut rng)));
+                    dim = out;
+                }
+                LayerSpec::Dropout { p } => {
+                    if !(0.0..1.0).contains(&p) {
+                        return Err(GnnError::InvalidArgument {
+                            reason: format!("dropout probability {p} must be in [0, 1)"),
+                        });
+                    }
+                    layers.push(Box::new(DropoutLayer::new(
+                        dim,
+                        p,
+                        seed.wrapping_add(idx as u64 + 1),
+                    )));
+                }
+            }
+        }
+        Ok(GnnModel { layers, input_dim })
+    }
+
+    /// Input feature width.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Output width of the final layer.
+    pub fn output_dim(&self) -> usize {
+        self.layers
+            .last()
+            .map_or(self.input_dim, |l| l.output_dim())
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_parameters(&mut self) -> usize {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.parameters())
+            .map(|p| p.len())
+            .sum()
+    }
+
+    /// Runs the forward pass; `training` enables dropout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer dimension errors.
+    pub fn forward(
+        &mut self,
+        ctx: &GraphContext,
+        x: &DenseMatrix,
+        training: bool,
+    ) -> Result<DenseMatrix, GnnError> {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h, ctx, training)?;
+        }
+        Ok(h)
+    }
+
+    /// Runs the forward pass, returning the output of every layer
+    /// (`result[i]` is layer `i`'s output).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer dimension errors.
+    pub fn forward_all(
+        &mut self,
+        ctx: &GraphContext,
+        x: &DenseMatrix,
+    ) -> Result<Vec<DenseMatrix>, GnnError> {
+        let mut outputs = Vec::with_capacity(self.layers.len());
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h, ctx, false)?;
+            outputs.push(h.clone());
+        }
+        Ok(outputs)
+    }
+
+    /// The node-embedding matrix CirSTAG treats as the GNN's output manifold
+    /// data: the activation of the *penultimate* layer (skipping dropout),
+    /// or the final output for single-layer models.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer dimension errors.
+    pub fn embeddings(
+        &mut self,
+        ctx: &GraphContext,
+        x: &DenseMatrix,
+    ) -> Result<DenseMatrix, GnnError> {
+        let outputs = self.forward_all(ctx, x)?;
+        // Walk backwards past the head and any dropout layers.
+        let names: Vec<&'static str> = self.layers.iter().map(|l| l.name()).collect();
+        let mut idx = names.len().saturating_sub(1);
+        if idx > 0 {
+            idx -= 1; // skip the output head
+            while idx > 0 && names[idx] == "dropout" {
+                idx -= 1;
+            }
+        }
+        Ok(outputs[idx].clone())
+    }
+
+    /// Back-propagates ∂loss/∂output through all layers, accumulating
+    /// parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors (e.g. backward before forward).
+    pub fn backward(
+        &mut self,
+        grad_output: &DenseMatrix,
+        ctx: &GraphContext,
+    ) -> Result<DenseMatrix, GnnError> {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g, ctx)?;
+        }
+        Ok(g)
+    }
+
+    /// Clears all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Stable-order mutable access to every parameter.
+    pub fn parameters(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.parameters())
+            .collect()
+    }
+
+    /// Trains the model on a node-regression task with MSE loss.
+    ///
+    /// # Errors
+    ///
+    /// - Propagates loss/layer errors.
+    /// - [`GnnError::Diverged`] when the loss becomes non-finite.
+    pub fn fit_regression(
+        &mut self,
+        ctx: &GraphContext,
+        x: &DenseMatrix,
+        targets: &DenseMatrix,
+        mask: Option<&[bool]>,
+        config: &TrainConfig,
+    ) -> Result<TrainReport, GnnError> {
+        let mut adam = Adam::new(config.learning_rate);
+        adam.weight_decay = config.weight_decay;
+        adam.clip_norm = config.clip_norm;
+        let mut losses = Vec::with_capacity(config.epochs);
+        let mut best = f64::INFINITY;
+        let mut since_best = 0usize;
+        for epoch in 0..config.epochs {
+            self.zero_grad();
+            let pred = self.forward(ctx, x, true)?;
+            let loss = mse_loss(&pred, targets, mask)?;
+            if !loss.value.is_finite() {
+                return Err(GnnError::Diverged { epoch });
+            }
+            self.backward(&loss.grad, ctx)?;
+            adam.step(&mut self.parameters());
+            losses.push(loss.value);
+            if let Some(patience) = config.patience {
+                if loss.value < best * 0.999 {
+                    best = loss.value;
+                    since_best = 0;
+                } else {
+                    since_best += 1;
+                    if since_best >= patience {
+                        break;
+                    }
+                }
+            }
+        }
+        let final_loss = losses.last().copied().unwrap_or(f64::NAN);
+        Ok(TrainReport { losses, final_loss })
+    }
+
+    /// Trains the model on a node-classification task with softmax
+    /// cross-entropy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GnnModel::fit_regression`].
+    pub fn fit_classification(
+        &mut self,
+        ctx: &GraphContext,
+        x: &DenseMatrix,
+        labels: &[usize],
+        mask: Option<&[bool]>,
+        config: &TrainConfig,
+    ) -> Result<TrainReport, GnnError> {
+        let mut adam = Adam::new(config.learning_rate);
+        adam.weight_decay = config.weight_decay;
+        adam.clip_norm = config.clip_norm;
+        let mut losses = Vec::with_capacity(config.epochs);
+        let mut best = f64::INFINITY;
+        let mut since_best = 0usize;
+        for epoch in 0..config.epochs {
+            self.zero_grad();
+            let logits = self.forward(ctx, x, true)?;
+            let loss = cross_entropy_loss(&logits, labels, mask)?;
+            if !loss.value.is_finite() {
+                return Err(GnnError::Diverged { epoch });
+            }
+            self.backward(&loss.grad, ctx)?;
+            adam.step(&mut self.parameters());
+            losses.push(loss.value);
+            if let Some(patience) = config.patience {
+                if loss.value < best * 0.999 {
+                    best = loss.value;
+                    since_best = 0;
+                } else {
+                    since_best += 1;
+                    if since_best >= patience {
+                        break;
+                    }
+                }
+            }
+        }
+        let final_loss = losses.last().copied().unwrap_or(f64::NAN);
+        Ok(TrainReport { losses, final_loss })
+    }
+}
+
+fn check_width(dim: usize) -> Result<(), GnnError> {
+    if dim == 0 {
+        Err(GnnError::InvalidArgument {
+            reason: "layer width must be positive".to_string(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{accuracy, r2_score};
+    use cirstag_graph::Graph;
+
+    fn ring(n: usize) -> GraphContext {
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect();
+        GraphContext::new(&Graph::from_edges(n, &edges).unwrap())
+    }
+
+    #[test]
+    fn model_construction_and_dims() {
+        let mut m = GnnModel::new(
+            4,
+            &[
+                LayerSpec::Gcn {
+                    dim: 8,
+                    activation: Activation::Relu,
+                },
+                LayerSpec::Dropout { p: 0.1 },
+                LayerSpec::Linear {
+                    dim: 2,
+                    activation: Activation::Identity,
+                },
+            ],
+            1,
+        )
+        .unwrap();
+        assert_eq!(m.input_dim(), 4);
+        assert_eq!(m.output_dim(), 2);
+        assert_eq!(m.num_layers(), 3);
+        assert!(m.num_parameters() > 0);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        assert!(GnnModel::new(4, &[], 0).is_err());
+        assert!(GnnModel::new(0, &[LayerSpec::Dropout { p: 0.1 }], 0).is_err());
+        assert!(GnnModel::new(
+            4,
+            &[LayerSpec::Gcn {
+                dim: 0,
+                activation: Activation::Relu
+            }],
+            0
+        )
+        .is_err());
+        assert!(GnnModel::new(4, &[LayerSpec::Dropout { p: 1.5 }], 0).is_err());
+    }
+
+    #[test]
+    fn regression_overfits_small_problem() {
+        let ctx = ring(8);
+        let x = DenseMatrix::from_rows(
+            &(0..8)
+                .map(|i| vec![(i as f64) / 8.0, ((i * 3) % 5) as f64])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let y = DenseMatrix::from_rows(&(0..8).map(|i| vec![(i as f64).sin()]).collect::<Vec<_>>())
+            .unwrap();
+        let mut model = GnnModel::new(
+            2,
+            &[
+                LayerSpec::Gcn {
+                    dim: 16,
+                    activation: Activation::Tanh,
+                },
+                LayerSpec::Linear {
+                    dim: 1,
+                    activation: Activation::Identity,
+                },
+            ],
+            42,
+        )
+        .unwrap();
+        let cfg = TrainConfig {
+            epochs: 400,
+            learning_rate: 2e-2,
+            ..TrainConfig::default()
+        };
+        let report = model.fit_regression(&ctx, &x, &y, None, &cfg).unwrap();
+        assert!(
+            report.final_loss < report.losses[0] / 5.0,
+            "loss did not drop"
+        );
+        let pred = model.forward(&ctx, &x, false).unwrap();
+        assert!(r2_score(&pred, &y) > 0.8, "r2 {}", r2_score(&pred, &y));
+    }
+
+    #[test]
+    fn classification_learns_two_clusters() {
+        // Two rings joined by one edge; features distinguish the rings.
+        let mut edges = Vec::new();
+        for i in 0..6 {
+            edges.push((i, (i + 1) % 6, 1.0));
+        }
+        for i in 0..6 {
+            edges.push((6 + i, 6 + (i + 1) % 6, 1.0));
+        }
+        edges.push((0, 6, 0.1));
+        let ctx = GraphContext::new(&Graph::from_edges(12, &edges).unwrap());
+        let x = DenseMatrix::from_rows(
+            &(0..12)
+                .map(|i| vec![if i < 6 { 1.0 } else { -1.0 }, (i % 3) as f64 * 0.1])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let labels: Vec<usize> = (0..12).map(|i| usize::from(i >= 6)).collect();
+        let mut model = GnnModel::new(
+            2,
+            &[
+                LayerSpec::Sage {
+                    dim: 8,
+                    activation: Activation::Relu,
+                },
+                LayerSpec::Linear {
+                    dim: 2,
+                    activation: Activation::Identity,
+                },
+            ],
+            7,
+        )
+        .unwrap();
+        let cfg = TrainConfig {
+            epochs: 300,
+            learning_rate: 2e-2,
+            ..TrainConfig::default()
+        };
+        model
+            .fit_classification(&ctx, &x, &labels, None, &cfg)
+            .unwrap();
+        let logits = model.forward(&ctx, &x, false).unwrap();
+        assert!(accuracy(&logits, &labels) > 0.9);
+    }
+
+    #[test]
+    fn gat_model_trains() {
+        let ctx = ring(10);
+        let x = DenseMatrix::from_rows(&(0..10).map(|i| vec![i as f64 / 10.0]).collect::<Vec<_>>())
+            .unwrap();
+        let y = x.clone();
+        let mut model = GnnModel::new(
+            1,
+            &[
+                LayerSpec::Gat {
+                    head_dim: 4,
+                    num_heads: 2,
+                    activation: Activation::Elu,
+                },
+                LayerSpec::Linear {
+                    dim: 1,
+                    activation: Activation::Identity,
+                },
+            ],
+            3,
+        )
+        .unwrap();
+        let cfg = TrainConfig {
+            epochs: 200,
+            learning_rate: 1e-2,
+            ..TrainConfig::default()
+        };
+        let report = model.fit_regression(&ctx, &x, &y, None, &cfg).unwrap();
+        assert!(report.final_loss < report.losses[0]);
+    }
+
+    #[test]
+    fn embeddings_are_penultimate_activations() {
+        let ctx = ring(6);
+        let x = DenseMatrix::zeros(6, 3);
+        let mut model = GnnModel::new(
+            3,
+            &[
+                LayerSpec::Gcn {
+                    dim: 5,
+                    activation: Activation::Relu,
+                },
+                LayerSpec::Dropout { p: 0.2 },
+                LayerSpec::Linear {
+                    dim: 1,
+                    activation: Activation::Identity,
+                },
+            ],
+            0,
+        )
+        .unwrap();
+        let emb = model.embeddings(&ctx, &x).unwrap();
+        assert_eq!(emb.ncols(), 5); // skips dropout and the head
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let ctx = ring(6);
+        let x =
+            DenseMatrix::from_rows(&(0..6).map(|i| vec![i as f64]).collect::<Vec<_>>()).unwrap();
+        let y = x.clone();
+        let build = || {
+            GnnModel::new(
+                1,
+                &[
+                    LayerSpec::Gcn {
+                        dim: 4,
+                        activation: Activation::Tanh,
+                    },
+                    LayerSpec::Linear {
+                        dim: 1,
+                        activation: Activation::Identity,
+                    },
+                ],
+                99,
+            )
+            .unwrap()
+        };
+        let cfg = TrainConfig {
+            epochs: 50,
+            ..TrainConfig::default()
+        };
+        let mut m1 = build();
+        let r1 = m1.fit_regression(&ctx, &x, &y, None, &cfg).unwrap();
+        let mut m2 = build();
+        let r2 = m2.fit_regression(&ctx, &x, &y, None, &cfg).unwrap();
+        assert_eq!(r1.final_loss, r2.final_loss);
+    }
+
+    #[test]
+    fn early_stopping_halts_on_plateau() {
+        let ctx = ring(6);
+        let x =
+            DenseMatrix::from_rows(&(0..6).map(|i| vec![i as f64]).collect::<Vec<_>>()).unwrap();
+        // Constant targets: loss bottoms out almost immediately.
+        let y = DenseMatrix::zeros(6, 1);
+        let mut model = GnnModel::new(
+            1,
+            &[LayerSpec::Linear {
+                dim: 1,
+                activation: Activation::Identity,
+            }],
+            2,
+        )
+        .unwrap();
+        let report = model
+            .fit_regression(
+                &ctx,
+                &x,
+                &y,
+                None,
+                &TrainConfig {
+                    epochs: 10_000,
+                    learning_rate: 5e-2,
+                    patience: Some(20),
+                    ..TrainConfig::default()
+                },
+            )
+            .unwrap();
+        assert!(
+            report.losses.len() < 10_000,
+            "ran all {} epochs",
+            report.losses.len()
+        );
+    }
+
+    #[test]
+    fn masked_training_ignores_unmasked_nodes() {
+        let ctx = ring(4);
+        let x = DenseMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]).unwrap();
+        let y = DenseMatrix::from_rows(&[vec![1.0], vec![0.0], vec![0.0], vec![0.0]]).unwrap();
+        let mask = [true, false, false, false];
+        let mut model = GnnModel::new(
+            1,
+            &[LayerSpec::Linear {
+                dim: 1,
+                activation: Activation::Identity,
+            }],
+            5,
+        )
+        .unwrap();
+        let cfg = TrainConfig {
+            epochs: 100,
+            learning_rate: 5e-2,
+            ..TrainConfig::default()
+        };
+        let report = model
+            .fit_regression(&ctx, &x, &y, Some(&mask), &cfg)
+            .unwrap();
+        assert!(report.final_loss < 1e-2);
+    }
+}

@@ -1,0 +1,90 @@
+use cirstag_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A trainable parameter: value plus accumulated gradient.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: DenseMatrix,
+    /// Gradient accumulated by the most recent backward pass.
+    pub grad: DenseMatrix,
+}
+
+impl Param {
+    /// Creates a zero-initialized parameter of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Param {
+            value: DenseMatrix::zeros(rows, cols),
+            grad: DenseMatrix::zeros(rows, cols),
+        }
+    }
+
+    /// Glorot/Xavier-uniform initialization: entries uniform in
+    /// `±√(6 / (fan_in + fan_out))`.
+    pub fn glorot(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        let limit = (6.0 / (rows + cols) as f64).sqrt();
+        let mut value = DenseMatrix::zeros(rows, cols);
+        for v in value.as_mut_slice() {
+            *v = rng.random_range(-limit..limit);
+        }
+        Param {
+            grad: DenseMatrix::zeros(rows, cols),
+            value,
+        }
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.as_mut_slice() {
+            *g = 0.0;
+        }
+    }
+
+    /// Number of scalar entries.
+    pub fn len(&self) -> usize {
+        self.value.nrows() * self.value.ncols()
+    }
+
+    /// Returns `true` when the parameter holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` when value and gradient are both finite everywhere.
+    pub fn all_finite(&self) -> bool {
+        self.value.all_finite() && self.grad.all_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glorot_within_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Param::glorot(10, 20, &mut rng);
+        let limit = (6.0 / 30.0_f64).sqrt();
+        assert!(p.value.as_slice().iter().all(|v| v.abs() <= limit));
+        assert!(p.value.as_slice().iter().any(|v| *v != 0.0));
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::zeros(2, 2);
+        p.grad.set(0, 0, 5.0);
+        p.zero_grad();
+        assert_eq!(p.grad.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn len_counts_entries() {
+        let p = Param::zeros(3, 4);
+        assert_eq!(p.len(), 12);
+        assert!(!p.is_empty());
+        assert!(Param::zeros(0, 0).is_empty());
+    }
+}

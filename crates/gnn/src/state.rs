@@ -1,0 +1,202 @@
+//! Model-state (de)serialization — PyTorch-style state dicts.
+//!
+//! Architectures are code (rebuild with [`crate::GnnModel::new`]); the state
+//! carries only parameter tensors, in the model's stable parameter order.
+
+use crate::{GnnError, GnnModel};
+use serde::{Deserialize, Serialize};
+
+/// Serializable snapshot of one parameter tensor.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ParamState {
+    /// Rows of the tensor.
+    pub rows: usize,
+    /// Columns of the tensor.
+    pub cols: usize,
+    /// Row-major values.
+    pub data: Vec<f64>,
+}
+
+/// Serializable snapshot of a whole model's parameters.
+///
+/// # Example
+///
+/// ```
+/// use cirstag_gnn::{Activation, GnnModel, LayerSpec, ModelState};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = [LayerSpec::Linear { dim: 3, activation: Activation::Relu }];
+/// let mut trained = GnnModel::new(4, &spec, 7)?;
+/// let json = trained.export_state().to_json()?;
+///
+/// let mut fresh = GnnModel::new(4, &spec, 0)?; // different init
+/// fresh.import_state(&ModelState::from_json(&json)?)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ModelState {
+    /// Parameter tensors in stable model order.
+    pub params: Vec<ParamState>,
+}
+
+impl ModelState {
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::InvalidArgument`] when serialization fails
+    /// (practically unreachable for finite tensors).
+    pub fn to_json(&self) -> Result<String, GnnError> {
+        serde_json::to_string(self).map_err(|e| GnnError::InvalidArgument {
+            reason: format!("state serialization failed: {e}"),
+        })
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::InvalidArgument`] for malformed input.
+    pub fn from_json(text: &str) -> Result<Self, GnnError> {
+        serde_json::from_str(text).map_err(|e| GnnError::InvalidArgument {
+            reason: format!("state deserialization failed: {e}"),
+        })
+    }
+}
+
+impl GnnModel {
+    /// Snapshots every parameter tensor.
+    pub fn export_state(&mut self) -> ModelState {
+        let params = self
+            .parameters()
+            .iter()
+            .map(|p| ParamState {
+                rows: p.value.nrows(),
+                cols: p.value.ncols(),
+                data: p.value.as_slice().to_vec(),
+            })
+            .collect();
+        ModelState { params }
+    }
+
+    /// Restores parameters from a snapshot taken from an identically-shaped
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::DimensionMismatch`] when the parameter count or
+    /// any tensor shape differs, and [`GnnError::InvalidArgument`] for
+    /// non-finite values.
+    pub fn import_state(&mut self, state: &ModelState) -> Result<(), GnnError> {
+        let mut params = self.parameters();
+        if params.len() != state.params.len() {
+            return Err(GnnError::DimensionMismatch {
+                context: "import_state (parameter count)",
+                expected: params.len(),
+                actual: state.params.len(),
+            });
+        }
+        for (p, s) in params.iter().zip(&state.params) {
+            if p.value.shape() != (s.rows, s.cols) || s.data.len() != s.rows * s.cols {
+                return Err(GnnError::DimensionMismatch {
+                    context: "import_state (tensor shape)",
+                    expected: p.value.nrows() * p.value.ncols(),
+                    actual: s.data.len(),
+                });
+            }
+            if !s.data.iter().all(|v| v.is_finite()) {
+                return Err(GnnError::InvalidArgument {
+                    reason: "state contains non-finite values".to_string(),
+                });
+            }
+        }
+        for (p, s) in params.iter_mut().zip(&state.params) {
+            p.value.as_mut_slice().copy_from_slice(&s.data);
+            p.zero_grad();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, GraphContext, LayerSpec};
+    use cirstag_graph::Graph;
+    use cirstag_linalg::DenseMatrix;
+
+    fn specs() -> Vec<LayerSpec> {
+        vec![
+            LayerSpec::Gcn {
+                dim: 6,
+                activation: Activation::Relu,
+            },
+            LayerSpec::Linear {
+                dim: 2,
+                activation: Activation::Identity,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_outputs() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let ctx = GraphContext::new(&g);
+        let x = DenseMatrix::from_rows(&[
+            vec![1.0, 0.0, 2.0],
+            vec![0.5, 1.0, -1.0],
+            vec![0.0, 0.0, 1.0],
+            vec![2.0, -1.0, 0.0],
+        ])
+        .unwrap();
+        let mut original = GnnModel::new(3, &specs(), 11).unwrap();
+        let json = original.export_state().to_json().unwrap();
+        let expect = original.forward(&ctx, &x, false).unwrap();
+
+        let mut restored = GnnModel::new(3, &specs(), 999).unwrap();
+        restored
+            .import_state(&ModelState::from_json(&json).unwrap())
+            .unwrap();
+        let got = restored.forward(&ctx, &x, false).unwrap();
+        assert!(expect.max_abs_diff(&got).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn wrong_architecture_rejected() {
+        let mut a = GnnModel::new(3, &specs(), 1).unwrap();
+        let state = a.export_state();
+        let mut b = GnnModel::new(
+            3,
+            &[LayerSpec::Linear {
+                dim: 2,
+                activation: Activation::Identity,
+            }],
+            1,
+        )
+        .unwrap();
+        assert!(matches!(
+            b.import_state(&state),
+            Err(GnnError::DimensionMismatch { .. })
+        ));
+        let mut c = GnnModel::new(4, &specs(), 1).unwrap();
+        assert!(c.import_state(&state).is_err());
+    }
+
+    #[test]
+    fn non_finite_state_rejected() {
+        let mut m = GnnModel::new(3, &specs(), 1).unwrap();
+        let mut state = m.export_state();
+        state.params[0].data[0] = f64::NAN;
+        assert!(matches!(
+            m.import_state(&state),
+            Err(GnnError::InvalidArgument { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(ModelState::from_json("not json").is_err());
+        assert!(ModelState::from_json("{\"params\": 3}").is_err());
+    }
+}

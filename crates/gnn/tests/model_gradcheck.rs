@@ -1,0 +1,170 @@
+//! Whole-model gradient verification: analytic gradients through stacked
+//! heterogeneous layers must match finite differences of the actual losses.
+
+use cirstag_gnn::{cross_entropy_loss, mse_loss, Activation, GnnModel, GraphContext, LayerSpec};
+use cirstag_graph::Graph;
+use cirstag_linalg::DenseMatrix;
+
+fn ctx_undirected() -> GraphContext {
+    let g = Graph::from_edges(
+        5,
+        &[
+            (0, 1, 1.0),
+            (1, 2, 2.0),
+            (2, 3, 1.0),
+            (3, 4, 1.0),
+            (4, 0, 0.5),
+        ],
+    )
+    .unwrap();
+    GraphContext::new(&g)
+}
+
+fn ctx_dag() -> GraphContext {
+    let g = Graph::from_edges(
+        5,
+        &[
+            (0, 1, 1.0),
+            (0, 2, 1.0),
+            (1, 3, 1.0),
+            (2, 3, 1.0),
+            (3, 4, 1.0),
+        ],
+    )
+    .unwrap();
+    GraphContext::with_dag(&g, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]).unwrap()
+}
+
+fn features() -> DenseMatrix {
+    DenseMatrix::from_rows(&[
+        vec![0.5, -0.2],
+        vec![0.1, 0.9],
+        vec![-0.7, 0.3],
+        vec![0.2, 0.2],
+        vec![0.9, -0.5],
+    ])
+    .unwrap()
+}
+
+/// Checks every parameter gradient of `model` against central finite
+/// differences of the given loss closure.
+fn check_model_gradients<F>(model: &mut GnnModel, ctx: &GraphContext, x: &DenseMatrix, loss: F)
+where
+    F: Fn(&DenseMatrix) -> (f64, DenseMatrix),
+{
+    model.zero_grad();
+    let out = model.forward(ctx, x, false).unwrap();
+    let (_, grad) = loss(&out);
+    model.backward(&grad, ctx).unwrap();
+    let analytic: Vec<DenseMatrix> = model.parameters().iter().map(|p| p.grad.clone()).collect();
+    let h = 1e-6;
+    for pi in 0..analytic.len() {
+        let (rows, cols) = analytic[pi].shape();
+        for i in 0..rows {
+            for j in 0..cols {
+                let orig = model.parameters()[pi].value.get(i, j);
+                model.parameters()[pi].value.set(i, j, orig + h);
+                let (lp, _) = loss(&model.forward(ctx, x, false).unwrap());
+                model.parameters()[pi].value.set(i, j, orig - h);
+                let (lm, _) = loss(&model.forward(ctx, x, false).unwrap());
+                model.parameters()[pi].value.set(i, j, orig);
+                let fd = (lp - lm) / (2.0 * h);
+                let an = analytic[pi].get(i, j);
+                assert!(
+                    (fd - an).abs() <= 1e-4 * (1.0 + fd.abs()),
+                    "param {pi} ({i},{j}): analytic {an} vs fd {fd}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gcn_sage_linear_stack_mse() {
+    let ctx = ctx_undirected();
+    let x = features();
+    let target =
+        DenseMatrix::from_rows(&[vec![1.0], vec![0.0], vec![-1.0], vec![0.5], vec![0.2]]).unwrap();
+    let mut model = GnnModel::new(
+        2,
+        &[
+            LayerSpec::Gcn {
+                dim: 4,
+                activation: Activation::Tanh,
+            },
+            LayerSpec::Sage {
+                dim: 3,
+                activation: Activation::Elu,
+            },
+            LayerSpec::Linear {
+                dim: 1,
+                activation: Activation::Identity,
+            },
+        ],
+        3,
+    )
+    .unwrap();
+    check_model_gradients(&mut model, &ctx, &x, |out| {
+        let l = mse_loss(out, &target, None).unwrap();
+        (l.value, l.grad)
+    });
+}
+
+#[test]
+fn gat_classifier_cross_entropy() {
+    let ctx = ctx_undirected();
+    let x = features();
+    let labels = [0usize, 1, 2, 1, 0];
+    let mut model = GnnModel::new(
+        2,
+        &[
+            LayerSpec::Gat {
+                head_dim: 3,
+                num_heads: 2,
+                activation: Activation::Elu,
+            },
+            LayerSpec::Linear {
+                dim: 3,
+                activation: Activation::Identity,
+            },
+        ],
+        5,
+    )
+    .unwrap();
+    check_model_gradients(&mut model, &ctx, &x, |out| {
+        let l = cross_entropy_loss(out, &labels, None).unwrap();
+        (l.value, l.grad)
+    });
+}
+
+#[test]
+fn dagprop_stack_with_mask() {
+    let ctx = ctx_dag();
+    let x = features();
+    let target =
+        DenseMatrix::from_rows(&[vec![0.0], vec![0.3], vec![0.3], vec![0.9], vec![1.0]]).unwrap();
+    let mask = [false, true, true, false, true];
+    let mut model = GnnModel::new(
+        2,
+        &[
+            LayerSpec::Linear {
+                dim: 4,
+                activation: Activation::Relu,
+            },
+            LayerSpec::DagProp {
+                dim: 4,
+                activation: Activation::Tanh,
+            },
+            LayerSpec::Linear {
+                dim: 1,
+                activation: Activation::Identity,
+            },
+        ],
+        8,
+    )
+    .unwrap();
+    check_model_gradients(&mut model, &ctx, &x, |out| {
+        let l = mse_loss(out, &target, Some(&mask)).unwrap();
+        (l.value, l.grad)
+    });
+}

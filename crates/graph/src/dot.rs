@@ -1,0 +1,136 @@
+//! Graphviz DOT export for visual inspection of graphs and manifolds.
+
+use crate::Graph;
+use std::fmt::Write as _;
+
+/// Options for [`to_dot`].
+#[derive(Debug, Clone, Default)]
+pub struct DotOptions {
+    /// Graph name (`graph <name> { … }`).
+    pub name: String,
+    /// Optional per-node labels (defaults to the node index).
+    pub node_labels: Option<Vec<String>>,
+    /// Optional per-node fill colors (e.g. heat-mapped stability scores);
+    /// any Graphviz color string.
+    pub node_colors: Option<Vec<String>>,
+    /// Emit edge weights as labels.
+    pub edge_weights: bool,
+}
+
+/// Renders the graph in Graphviz DOT format.
+///
+/// Per-node vectors in `options` are index-aligned with the graph's nodes;
+/// shorter vectors leave the remaining nodes unstyled.
+///
+/// # Example
+///
+/// ```
+/// use cirstag_graph::{to_dot, DotOptions, Graph};
+///
+/// # fn main() -> Result<(), cirstag_graph::GraphError> {
+/// let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)])?;
+/// let dot = to_dot(&g, &DotOptions { edge_weights: true, ..Default::default() });
+/// assert!(dot.contains("0 -- 1"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(g: &Graph, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let name = if options.name.is_empty() {
+        "g"
+    } else {
+        options.name.as_str()
+    };
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  node [shape=circle fontsize=10];");
+    for v in 0..g.num_nodes() {
+        let mut attrs = Vec::new();
+        if let Some(labels) = &options.node_labels {
+            if let Some(l) = labels.get(v) {
+                attrs.push(format!("label=\"{}\"", l.replace('"', "\\\"")));
+            }
+        }
+        if let Some(colors) = &options.node_colors {
+            if let Some(c) = colors.get(v) {
+                attrs.push(format!("style=filled fillcolor=\"{c}\""));
+            }
+        }
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  {v};");
+        } else {
+            let _ = writeln!(out, "  {v} [{}];", attrs.join(" "));
+        }
+    }
+    for e in g.edges() {
+        if options.edge_weights {
+            let _ = writeln!(out, "  {} -- {} [label=\"{:.3}\"];", e.u, e.v, e.weight);
+        } else {
+            let _ = writeln!(out, "  {} -- {};", e.u, e.v);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Maps scores to a white→red Graphviz color ramp, for use as
+/// [`DotOptions::node_colors`] when visualizing stability heat.
+pub fn heat_colors(scores: &[f64]) -> Vec<String> {
+    let max = scores.iter().fold(0.0f64, |a, &b| a.max(b)).max(1e-300);
+    scores
+        .iter()
+        .map(|&s| {
+            let t = (s / max).clamp(0.0, 1.0);
+            let g_b = ((1.0 - t) * 255.0).round() as u8;
+            format!("#ff{g_b:02x}{g_b:02x}")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.5)]).unwrap()
+    }
+
+    #[test]
+    fn basic_structure() {
+        let dot = to_dot(&sample(), &DotOptions::default());
+        assert!(dot.starts_with("graph g {"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("1 -- 2;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn labels_colors_and_weights() {
+        let dot = to_dot(
+            &sample(),
+            &DotOptions {
+                name: "manifold".to_string(),
+                node_labels: Some(vec!["a\"quote".to_string()]),
+                node_colors: Some(vec!["#ff0000".to_string(), "#00ff00".to_string()]),
+                edge_weights: true,
+            },
+        );
+        assert!(dot.contains("graph manifold {"));
+        assert!(dot.contains("label=\"a\\\"quote\""));
+        assert!(dot.contains("fillcolor=\"#00ff00\""));
+        assert!(dot.contains("label=\"2.500\""));
+    }
+
+    #[test]
+    fn heat_ramp_endpoints() {
+        let colors = heat_colors(&[0.0, 1.0, 0.5]);
+        assert_eq!(colors[0], "#ffffff"); // zero score = white
+        assert_eq!(colors[1], "#ff0000"); // max score = red
+        assert_eq!(colors.len(), 3);
+    }
+
+    #[test]
+    fn heat_handles_all_zero() {
+        let colors = heat_colors(&[0.0, 0.0]);
+        assert!(colors.iter().all(|c| c == "#ffffff"));
+    }
+}

@@ -1,0 +1,85 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for graph construction and queries.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node index exceeded the number of nodes in the graph.
+    NodeOutOfBounds {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A self-loop `(u, u)` was supplied where it is not allowed.
+    SelfLoop {
+        /// The node with the attempted self-loop.
+        node: usize,
+    },
+    /// An edge weight was not strictly positive and finite.
+    InvalidWeight {
+        /// The rejected weight value.
+        weight: f64,
+    },
+    /// An operation required a connected graph but the graph was disconnected.
+    Disconnected,
+    /// An operation required a tree (|E| = |V| − 1, connected) but got
+    /// something else.
+    NotATree,
+    /// An edge index exceeded the number of edges in the graph.
+    EdgeOutOfBounds {
+        /// The offending edge index.
+        edge: usize,
+        /// Number of edges in the graph.
+        num_edges: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, num_nodes } => {
+                write!(
+                    f,
+                    "node {node} out of bounds for graph with {num_nodes} nodes"
+                )
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} is not allowed"),
+            GraphError::InvalidWeight { weight } => {
+                write!(f, "edge weight {weight} must be positive and finite")
+            }
+            GraphError::Disconnected => write!(f, "operation requires a connected graph"),
+            GraphError::NotATree => write!(f, "operation requires a spanning tree"),
+            GraphError::EdgeOutOfBounds { edge, num_edges } => {
+                write!(
+                    f,
+                    "edge {edge} out of bounds for graph with {num_edges} edges"
+                )
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_offender() {
+        let e = GraphError::NodeOutOfBounds {
+            node: 9,
+            num_nodes: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

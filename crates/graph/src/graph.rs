@@ -1,0 +1,421 @@
+use crate::GraphError;
+
+/// Index of a node within a [`Graph`].
+pub type NodeId = usize;
+
+/// Index of an edge within a [`Graph`]'s edge list.
+pub type EdgeId = usize;
+
+/// An undirected weighted edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// One endpoint (always the smaller id after normalization).
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// Strictly positive, finite weight (conductance in the electrical view).
+    pub weight: f64,
+}
+
+impl Edge {
+    /// Returns the endpoint opposite `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, node: NodeId) -> NodeId {
+        if node == self.u {
+            self.v
+        } else if node == self.v {
+            self.u
+        } else {
+            panic!(
+                "node {node} is not an endpoint of edge ({}, {})",
+                self.u, self.v
+            )
+        }
+    }
+
+    /// Resistive length of the edge, `1 / weight`.
+    #[inline]
+    pub fn resistance(&self) -> f64 {
+        1.0 / self.weight
+    }
+}
+
+/// An undirected weighted graph with parallel-edge merging.
+///
+/// Nodes are dense indices `0..num_nodes`. Edge weights are conductances:
+/// larger weight means a stronger (electrically shorter) connection, matching
+/// the Laplacian convention `L = Σ w_uv (e_u − e_v)(e_u − e_v)ᵀ` used
+/// throughout the paper. Parallel edges are merged by summing weights.
+///
+/// # Example
+///
+/// ```
+/// use cirstag_graph::Graph;
+///
+/// # fn main() -> Result<(), cirstag_graph::GraphError> {
+/// let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])?;
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.degree(1), 2.0);
+/// assert_eq!(g.neighbors(1).count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Graph {
+    num_nodes: usize,
+    edges: Vec<Edge>,
+    /// adjacency[u] = list of (neighbor, edge id)
+    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Graph {
+    /// Creates a graph with `num_nodes` isolated nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Graph {
+            num_nodes,
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Builds a graph from `(u, v, weight)` tuples, merging parallel edges by
+    /// summing their weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`Graph::add_edge`].
+    pub fn from_edges(
+        num_nodes: usize,
+        edges: &[(NodeId, NodeId, f64)],
+    ) -> Result<Self, GraphError> {
+        let mut g = Graph::new(num_nodes);
+        for &(u, v, w) in edges {
+            g.add_edge(u, v, w)?;
+        }
+        Ok(g)
+    }
+
+    /// Adds the undirected edge `(u, v)` with weight `w`, or adds `w` to the
+    /// existing weight when the edge is already present. Returns the edge id.
+    ///
+    /// # Errors
+    ///
+    /// - [`GraphError::NodeOutOfBounds`] when an endpoint is invalid.
+    /// - [`GraphError::SelfLoop`] when `u == v`.
+    /// - [`GraphError::InvalidWeight`] when `w` is not finite and positive.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) -> Result<EdgeId, GraphError> {
+        if u >= self.num_nodes {
+            return Err(GraphError::NodeOutOfBounds {
+                node: u,
+                num_nodes: self.num_nodes,
+            });
+        }
+        if v >= self.num_nodes {
+            return Err(GraphError::NodeOutOfBounds {
+                node: v,
+                num_nodes: self.num_nodes,
+            });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if !(w.is_finite() && w > 0.0) {
+            return Err(GraphError::InvalidWeight { weight: w });
+        }
+        // Merge with an existing parallel edge if present. Scan the shorter
+        // adjacency list.
+        let (scan, target) = if self.adjacency[u].len() <= self.adjacency[v].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        if let Some(&(_, eid)) = self.adjacency[scan].iter().find(|&&(n, _)| n == target) {
+            self.edges[eid].weight += w;
+            return Ok(eid);
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let eid = self.edges.len();
+        self.edges.push(Edge {
+            u: a,
+            v: b,
+            weight: w,
+        });
+        self.adjacency[u].push((v, eid));
+        self.adjacency[v].push((u, eid));
+        Ok(eid)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of (merged) undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Borrows the edge list.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Returns edge `eid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EdgeOutOfBounds`] when `eid` is invalid.
+    pub fn edge(&self, eid: EdgeId) -> Result<Edge, GraphError> {
+        self.edges
+            .get(eid)
+            .copied()
+            .ok_or(GraphError::EdgeOutOfBounds {
+                edge: eid,
+                num_edges: self.edges.len(),
+            })
+    }
+
+    /// Weighted degree (sum of incident edge weights) of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn degree(&self, node: NodeId) -> f64 {
+        self.adjacency[node]
+            .iter()
+            .map(|&(_, eid)| self.edges[eid].weight)
+            .sum()
+    }
+
+    /// Number of distinct neighbors of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[inline]
+    pub fn neighbor_count(&self, node: NodeId) -> usize {
+        self.adjacency[node].len()
+    }
+
+    /// Iterates over `(neighbor, weight)` pairs of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.adjacency[node]
+            .iter()
+            .map(move |&(n, eid)| (n, self.edges[eid].weight))
+    }
+
+    /// Iterates over `(neighbor, edge id)` pairs of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn incident_edges(&self, node: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        self.adjacency[node].iter().copied()
+    }
+
+    /// Returns the weight of edge `(u, v)` when present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of bounds.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.adjacency[u]
+            .iter()
+            .find(|&&(n, _)| n == v)
+            .map(|&(_, eid)| self.edges[eid].weight)
+    }
+
+    /// Returns `true` when the graph has a single connected component
+    /// (the empty graph and the 1-node graph count as connected).
+    pub fn is_connected(&self) -> bool {
+        if self.num_nodes <= 1 {
+            return true;
+        }
+        let comps = crate::traversal::connected_components(self);
+        comps.iter().all(|&c| c == 0)
+    }
+
+    /// Average number of neighbors per node (`2|E| / |V|`); `0.0` for an
+    /// empty graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges() as f64 / self.num_nodes as f64
+        }
+    }
+
+    /// Builds a new graph containing only the edges selected by `keep`.
+    ///
+    /// Node identities are preserved; edge ids are renumbered.
+    pub fn filter_edges<F>(&self, mut keep: F) -> Graph
+    where
+        F: FnMut(EdgeId, &Edge) -> bool,
+    {
+        let mut g = Graph::new(self.num_nodes);
+        for (eid, e) in self.edges.iter().enumerate() {
+            if keep(eid, e) {
+                g.add_edge(e.u, e.v, e.weight)
+                    .expect("edges of a valid graph remain valid");
+            }
+        }
+        g
+    }
+
+    /// Returns a copy of the graph with every edge weight mapped through `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` produces a non-positive or non-finite weight.
+    pub fn map_weights<F>(&self, mut f: F) -> Graph
+    where
+        F: FnMut(EdgeId, &Edge) -> f64,
+    {
+        let mut g = Graph::new(self.num_nodes);
+        for (eid, e) in self.edges.iter().enumerate() {
+            let w = f(eid, e);
+            g.add_edge(e.u, e.v, w)
+                .expect("mapped weight must be valid");
+        }
+        g
+    }
+
+    /// Total edge weight.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let g = Graph::from_edges(4, &[(0, 1, 2.0), (1, 2, 3.0), (2, 3, 4.0)]).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(1), 5.0);
+        assert_eq!(g.edge_weight(1, 2), Some(3.0));
+        assert_eq!(g.edge_weight(0, 3), None);
+    }
+
+    #[test]
+    fn parallel_edges_merge() {
+        let mut g = Graph::new(2);
+        let e1 = g.add_edge(0, 1, 1.0).unwrap();
+        let e2 = g.add_edge(1, 0, 2.5).unwrap();
+        assert_eq!(e1, e2);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(3.5));
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut g = Graph::new(2);
+        assert!(matches!(
+            g.add_edge(0, 2, 1.0),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(0, 0, 1.0),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(0, 1, 0.0),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(0, 1, f64::NAN),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(0, 1, -1.0),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge {
+            u: 2,
+            v: 5,
+            weight: 1.0,
+        };
+        assert_eq!(e.other(2), 5);
+        assert_eq!(e.other(5), 2);
+        assert_eq!(e.resistance(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_for_non_endpoint() {
+        let e = Edge {
+            u: 0,
+            v: 1,
+            weight: 1.0,
+        };
+        e.other(7);
+    }
+
+    #[test]
+    fn connectivity() {
+        let connected = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        assert!(connected.is_connected());
+        let disconnected = Graph::from_edges(3, &[(0, 1, 1.0)]).unwrap();
+        assert!(!disconnected.is_connected());
+        assert!(Graph::new(0).is_connected());
+        assert!(Graph::new(1).is_connected());
+    }
+
+    #[test]
+    fn filter_edges_keeps_selected() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 5.0)]).unwrap();
+        let h = g.filter_edges(|_, e| e.weight > 2.0);
+        assert_eq!(h.num_edges(), 1);
+        assert_eq!(h.edge_weight(1, 2), Some(5.0));
+        assert_eq!(h.num_nodes(), 3);
+    }
+
+    #[test]
+    fn map_weights_transforms() {
+        let g = Graph::from_edges(2, &[(0, 1, 2.0)]).unwrap();
+        let h = g.map_weights(|_, e| e.weight * 10.0);
+        assert_eq!(h.edge_weight(0, 1), Some(20.0));
+    }
+
+    #[test]
+    fn neighbors_iteration() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (0, 2, 2.0)]).unwrap();
+        let mut ns: Vec<_> = g.neighbors(0).collect();
+        ns.sort_by_key(|&(n, _)| n);
+        assert_eq!(ns, vec![(1, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn average_degree_and_total_weight() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        assert!((g.average_degree() - 1.5).abs() < 1e-15);
+        assert_eq!(g.total_weight(), 3.0);
+        assert_eq!(Graph::new(0).average_degree(), 0.0);
+    }
+
+    #[test]
+    fn edge_lookup_by_id() {
+        let g = Graph::from_edges(2, &[(1, 0, 3.0)]).unwrap();
+        let e = g.edge(0).unwrap();
+        assert_eq!((e.u, e.v, e.weight), (0, 1, 3.0)); // normalized u < v
+        assert!(g.edge(1).is_err());
+    }
+}

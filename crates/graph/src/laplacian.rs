@@ -1,0 +1,188 @@
+//! Laplacian and adjacency assembly for [`Graph`].
+
+use crate::Graph;
+use cirstag_linalg::{CooMatrix, CsrMatrix};
+
+impl Graph {
+    /// Assembles the weighted adjacency matrix `A` in CSR form.
+    pub fn adjacency_matrix(&self) -> CsrMatrix {
+        let n = self.num_nodes();
+        let mut coo = CooMatrix::with_capacity(n, n, 2 * self.num_edges());
+        for e in self.edges() {
+            coo.push(e.u, e.v, e.weight).expect("valid edge endpoints");
+            coo.push(e.v, e.u, e.weight).expect("valid edge endpoints");
+        }
+        coo.to_csr()
+    }
+
+    /// Assembles the combinatorial Laplacian `L = D − A` in CSR form.
+    ///
+    /// `L` is symmetric positive semidefinite with `L·1 = 0`; it matches
+    /// Eq. (5) of the paper: `L = Σ_{(p,q)∈E} w_pq e_pq e_pqᵀ`.
+    pub fn laplacian(&self) -> CsrMatrix {
+        let n = self.num_nodes();
+        let mut coo = CooMatrix::with_capacity(n, n, 4 * self.num_edges());
+        for e in self.edges() {
+            coo.push(e.u, e.u, e.weight).expect("valid edge endpoints");
+            coo.push(e.v, e.v, e.weight).expect("valid edge endpoints");
+            coo.push(e.u, e.v, -e.weight).expect("valid edge endpoints");
+            coo.push(e.v, e.u, -e.weight).expect("valid edge endpoints");
+        }
+        coo.to_csr()
+    }
+
+    /// Assembles the symmetric normalized Laplacian
+    /// `L_norm = I − D^{-1/2} A D^{-1/2}` in CSR form.
+    ///
+    /// Isolated nodes contribute a diagonal `0` (their row of `A` is empty and
+    /// we define `0/0 = 0`), keeping the spectrum within `[0, 2]`.
+    pub fn normalized_laplacian(&self) -> CsrMatrix {
+        let n = self.num_nodes();
+        let inv_sqrt_deg: Vec<f64> = (0..n)
+            .map(|i| {
+                let d = self.degree(i);
+                if d > 0.0 {
+                    1.0 / d.sqrt()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut coo = CooMatrix::with_capacity(n, n, n + 2 * self.num_edges());
+        for i in 0..n {
+            if self.degree(i) > 0.0 {
+                coo.push(i, i, 1.0).expect("diagonal in bounds");
+            }
+        }
+        for e in self.edges() {
+            let w = -e.weight * inv_sqrt_deg[e.u] * inv_sqrt_deg[e.v];
+            coo.push(e.u, e.v, w).expect("valid edge endpoints");
+            coo.push(e.v, e.u, w).expect("valid edge endpoints");
+        }
+        coo.to_csr()
+    }
+
+    /// Returns the weighted degree vector `diag(D)`.
+    pub fn degree_vector(&self) -> Vec<f64> {
+        (0..self.num_nodes()).map(|i| self.degree(i)).collect()
+    }
+
+    /// Evaluates the Laplacian quadratic form
+    /// `xᵀLx = Σ_{(u,v)∈E} w_uv (x_u − x_v)²` without assembling `L`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_nodes`.
+    pub fn laplacian_quadratic_form(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_nodes(), "dimension mismatch");
+        self.edges()
+            .iter()
+            .map(|e| {
+                let d = x[e.u] - x[e.v];
+                e.weight * d * d
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::Graph;
+
+    fn path3() -> Graph {
+        Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)]).unwrap()
+    }
+
+    #[test]
+    fn adjacency_symmetric() {
+        let a = path3().adjacency_matrix();
+        assert!(a.is_symmetric(1e-15));
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 2), 2.0);
+        assert_eq!(a.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let l = path3().laplacian();
+        for i in 0..3 {
+            let (_, vals) = l.row(i);
+            let s: f64 = vals.iter().sum();
+            assert!(s.abs() < 1e-14, "row {i} sums to {s}");
+        }
+        assert_eq!(l.get(1, 1), 3.0);
+        assert_eq!(l.get(0, 1), -1.0);
+    }
+
+    #[test]
+    fn laplacian_annihilates_ones() {
+        let g = Graph::from_edges(
+            5,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 3.0),
+                (2, 3, 0.5),
+                (3, 4, 2.0),
+                (0, 4, 1.0),
+            ],
+        )
+        .unwrap();
+        let l = g.laplacian();
+        let y = l.mul_vec(&[1.0; 5]);
+        assert!(y.iter().all(|v| v.abs() < 1e-14));
+    }
+
+    #[test]
+    fn laplacian_psd_on_random_vectors() {
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (0, 3, 4.0)]).unwrap();
+        let l = g.laplacian();
+        for seed in 0..5u64 {
+            let x: Vec<f64> = (0..4)
+                .map(|i| ((seed.wrapping_mul(31).wrapping_add(i) % 17) as f64) - 8.0)
+                .collect();
+            assert!(l.quadratic_form(&x) >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn quadratic_form_matches_matrix() {
+        let g = path3();
+        let l = g.laplacian();
+        let x = [1.0, -2.0, 0.5];
+        assert!((g.laplacian_quadratic_form(&x) - l.quadratic_form(&x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_laplacian_diagonal_is_one() {
+        let l = path3().normalized_laplacian();
+        for i in 0..3 {
+            assert!((l.get(i, i) - 1.0).abs() < 1e-14);
+        }
+        assert!(l.is_symmetric(1e-14));
+    }
+
+    #[test]
+    fn normalized_laplacian_isolated_node() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0)]).unwrap(); // node 2 isolated
+        let l = g.normalized_laplacian();
+        assert_eq!(l.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn normalized_spectrum_in_unit_interval_times_two() {
+        // For K2: eigenvalues of L_norm are {0, 2}.
+        let g = Graph::from_edges(2, &[(0, 1, 5.0)]).unwrap();
+        let l = g.normalized_laplacian().to_dense();
+        let (vals, _) = cirstag_linalg::jacobi_eigen(&l).unwrap();
+        assert!((vals[0] - 0.0).abs() < 1e-12);
+        assert!((vals[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_vector_matches_degree() {
+        let g = path3();
+        assert_eq!(g.degree_vector(), vec![1.0, 3.0, 2.0]);
+    }
+}

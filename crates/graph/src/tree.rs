@@ -1,0 +1,256 @@
+//! Lowest-common-ancestor path oracle over spanning trees.
+
+use crate::{Graph, GraphError, NodeId};
+use std::collections::VecDeque;
+
+/// Answers tree-path queries (resistance, hop length, LCA) in `O(log n)` per
+/// query after `O(n log n)` preprocessing via binary lifting.
+///
+/// Built from a tree (or forest) graph; queries between nodes in different
+/// components return an error. The *resistance* of a path is the sum of
+/// `1 / weight` over its edges, matching the electrical interpretation used
+/// for stretch and the low-resistance-diameter decomposition.
+///
+/// # Example
+///
+/// ```
+/// use cirstag_graph::{Graph, TreePathOracle};
+///
+/// # fn main() -> Result<(), cirstag_graph::GraphError> {
+/// let tree = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (1, 3, 1.0)])?;
+/// let oracle = TreePathOracle::new(&tree)?;
+/// assert_eq!(oracle.lca(2, 3)?, 1);
+/// assert!((oracle.path_resistance(2, 3)? - 1.5).abs() < 1e-12);
+/// assert_eq!(oracle.path_hops(0, 2)?, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreePathOracle {
+    depth: Vec<u32>,
+    /// Resistive distance from each node to the root of its component.
+    root_resistance: Vec<f64>,
+    /// `up[k][v]` is the 2^k-th ancestor of `v` (or `v` itself past the root).
+    up: Vec<Vec<NodeId>>,
+    component: Vec<usize>,
+    levels: usize,
+}
+
+impl TreePathOracle {
+    /// Preprocesses a tree/forest graph for path queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotATree`] when the graph contains a cycle
+    /// (i.e. `|E| ≥ |V|` within some component).
+    pub fn new(tree: &Graph) -> Result<Self, GraphError> {
+        let n = tree.num_nodes();
+        let comps = crate::traversal::connected_components(tree);
+        let num_comps = comps.iter().copied().max().map_or(0, |m| m + 1);
+        // A forest satisfies |E| = |V| - #components.
+        if tree.num_edges() + num_comps != n.max(num_comps) {
+            return Err(GraphError::NotATree);
+        }
+        let levels = (usize::BITS - n.max(2).leading_zeros()) as usize;
+        let mut depth = vec![0u32; n];
+        let mut root_resistance = vec![0.0f64; n];
+        let mut parent = vec![usize::MAX; n];
+        let mut seen = vec![false; n];
+        // BFS from the smallest node of each component.
+        let mut queue = VecDeque::new();
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            seen[s] = true;
+            parent[s] = s; // roots point at themselves
+            queue.push_back(s);
+            while let Some(u) = queue.pop_front() {
+                for (v, w) in tree.neighbors(u) {
+                    if !seen[v] {
+                        seen[v] = true;
+                        parent[v] = u;
+                        depth[v] = depth[u] + 1;
+                        root_resistance[v] = root_resistance[u] + 1.0 / w;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        let mut up = vec![parent];
+        for k in 1..levels.max(1) {
+            let prev = &up[k - 1];
+            let next: Vec<NodeId> = (0..n).map(|v| prev[prev[v]]).collect();
+            up.push(next);
+        }
+        Ok(TreePathOracle {
+            depth,
+            root_resistance,
+            up,
+            component: comps,
+            levels: levels.max(1),
+        })
+    }
+
+    fn check(&self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        let n = self.depth.len();
+        if u >= n {
+            return Err(GraphError::NodeOutOfBounds {
+                node: u,
+                num_nodes: n,
+            });
+        }
+        if v >= n {
+            return Err(GraphError::NodeOutOfBounds {
+                node: v,
+                num_nodes: n,
+            });
+        }
+        if self.component[u] != self.component[v] {
+            return Err(GraphError::Disconnected);
+        }
+        Ok(())
+    }
+
+    /// Lowest common ancestor of `u` and `v`.
+    ///
+    /// # Errors
+    ///
+    /// - [`GraphError::NodeOutOfBounds`] for invalid node ids.
+    /// - [`GraphError::Disconnected`] when `u` and `v` lie in different
+    ///   components of the forest.
+    pub fn lca(&self, mut u: NodeId, mut v: NodeId) -> Result<NodeId, GraphError> {
+        self.check(u, v)?;
+        if self.depth[u] < self.depth[v] {
+            std::mem::swap(&mut u, &mut v);
+        }
+        // Lift u to v's depth.
+        let mut diff = self.depth[u] - self.depth[v];
+        let mut k = 0;
+        while diff > 0 {
+            if diff & 1 == 1 {
+                u = self.up[k][u];
+            }
+            diff >>= 1;
+            k += 1;
+        }
+        if u == v {
+            return Ok(u);
+        }
+        for k in (0..self.levels).rev() {
+            if self.up[k][u] != self.up[k][v] {
+                u = self.up[k][u];
+                v = self.up[k][v];
+            }
+        }
+        Ok(self.up[0][u])
+    }
+
+    /// Sum of resistive edge lengths (`1 / weight`) along the tree path
+    /// between `u` and `v`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TreePathOracle::lca`].
+    pub fn path_resistance(&self, u: NodeId, v: NodeId) -> Result<f64, GraphError> {
+        let a = self.lca(u, v)?;
+        Ok(self.root_resistance[u] + self.root_resistance[v] - 2.0 * self.root_resistance[a])
+    }
+
+    /// Number of edges on the tree path between `u` and `v`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TreePathOracle::lca`].
+    pub fn path_hops(&self, u: NodeId, v: NodeId) -> Result<u32, GraphError> {
+        let a = self.lca(u, v)?;
+        Ok(self.depth[u] + self.depth[v] - 2 * self.depth[a])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star() -> Graph {
+        Graph::from_edges(5, &[(0, 1, 1.0), (0, 2, 2.0), (0, 3, 4.0), (0, 4, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn lca_on_star_is_center() {
+        let o = TreePathOracle::new(&star()).unwrap();
+        assert_eq!(o.lca(1, 2).unwrap(), 0);
+        assert_eq!(o.lca(3, 4).unwrap(), 0);
+        assert_eq!(o.lca(0, 4).unwrap(), 0);
+        assert_eq!(o.lca(2, 2).unwrap(), 2);
+    }
+
+    #[test]
+    fn path_resistance_sums_inverse_weights() {
+        let o = TreePathOracle::new(&star()).unwrap();
+        // 1 -> 0 -> 3 : 1/1 + 1/4
+        assert!((o.path_resistance(1, 3).unwrap() - 1.25).abs() < 1e-12);
+        assert_eq!(o.path_resistance(2, 2).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn path_hops_count_edges() {
+        let chain =
+            Graph::from_edges(5, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)]).unwrap();
+        let o = TreePathOracle::new(&chain).unwrap();
+        assert_eq!(o.path_hops(0, 4).unwrap(), 4);
+        assert_eq!(o.path_hops(2, 4).unwrap(), 2);
+    }
+
+    #[test]
+    fn deep_chain_lca() {
+        let n = 300;
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        let chain = Graph::from_edges(n, &edges).unwrap();
+        let o = TreePathOracle::new(&chain).unwrap();
+        assert_eq!(o.lca(10, 250).unwrap(), 10);
+        assert_eq!(o.path_hops(0, n - 1).unwrap() as usize, n - 1);
+        assert!((o.path_resistance(0, n - 1).unwrap() - (n - 1) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forest_queries_across_components_fail() {
+        let forest = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let o = TreePathOracle::new(&forest).unwrap();
+        assert!(o.path_resistance(0, 1).is_ok());
+        assert!(matches!(o.lca(0, 2), Err(GraphError::Disconnected)));
+    }
+
+    #[test]
+    fn rejects_cyclic_graph() {
+        let cycle = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]).unwrap();
+        assert!(matches!(
+            TreePathOracle::new(&cycle),
+            Err(GraphError::NotATree)
+        ));
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let o = TreePathOracle::new(&star()).unwrap();
+        assert!(matches!(
+            o.lca(0, 99),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn balanced_binary_tree_paths() {
+        // Nodes 0..7: node i has children 2i+1, 2i+2.
+        let mut edges = Vec::new();
+        for i in 0..3 {
+            edges.push((i, 2 * i + 1, 1.0));
+            edges.push((i, 2 * i + 2, 1.0));
+        }
+        let t = Graph::from_edges(7, &edges).unwrap();
+        let o = TreePathOracle::new(&t).unwrap();
+        assert_eq!(o.lca(3, 4).unwrap(), 1);
+        assert_eq!(o.lca(3, 5).unwrap(), 0);
+        assert_eq!(o.path_hops(3, 6).unwrap(), 4);
+    }
+}

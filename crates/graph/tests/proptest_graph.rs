@@ -1,0 +1,148 @@
+//! Property-based tests for graph structures, trees and traversals.
+
+use cirstag_graph::{
+    average_stretch, connected_components, dijkstra, low_stretch_tree, maximum_spanning_tree,
+    minimum_spanning_tree, Graph, TreePathOracle,
+};
+use proptest::prelude::*;
+
+fn arb_connected(max_n: usize) -> impl Strategy<Value = Graph> {
+    (
+        3usize..max_n,
+        proptest::collection::vec((0usize..1000, 0usize..1000, 0.1f64..9.0), 0..40),
+    )
+        .prop_map(|(n, extra)| {
+            // Random spanning-tree backbone keeps it connected.
+            let mut edges: Vec<(usize, usize, f64)> = (1..n)
+                .map(|i| (i, (i * 7 + 3) % i.max(1), 1.0 + (i % 4) as f64))
+                .collect();
+            for (a, b, w) in extra {
+                let u = a % n;
+                let v = b % n;
+                if u != v {
+                    edges.push((u, v, w));
+                }
+            }
+            Graph::from_edges(n, &edges).expect("valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn spanning_trees_span(g in arb_connected(30)) {
+        let t = maximum_spanning_tree(&g);
+        prop_assert_eq!(t.num_edges(), g.num_nodes() - 1);
+        prop_assert!(t.as_graph().is_connected());
+        let t2 = minimum_spanning_tree(&g);
+        prop_assert_eq!(t2.num_edges(), g.num_nodes() - 1);
+        // Max tree total weight ≥ min tree total weight.
+        prop_assert!(t.total_weight() >= t2.total_weight() - 1e-12);
+    }
+
+    #[test]
+    fn low_stretch_tree_spans_with_finite_stretch(g in arb_connected(30)) {
+        let t = low_stretch_tree(&g, 5).unwrap();
+        prop_assert_eq!(t.num_edges(), g.num_nodes() - 1);
+        // Stretch may be below 1 for a light off-tree edge bypassed by heavy
+        // tree edges; the invariant is positivity and finiteness.
+        let s = average_stretch(&g, &t).unwrap();
+        if g.num_edges() > g.num_nodes() - 1 {
+            prop_assert!(s.is_finite() && s > 0.0, "average stretch {}", s);
+        } else {
+            prop_assert_eq!(s, 0.0);
+        }
+    }
+
+    #[test]
+    fn tree_oracle_matches_dijkstra_on_the_tree(g in arb_connected(25)) {
+        let t = maximum_spanning_tree(&g);
+        let tree = t.as_graph();
+        let oracle = TreePathOracle::new(tree).unwrap();
+        let sp = dijkstra(tree, 0).unwrap();
+        for v in 0..tree.num_nodes() {
+            let d_oracle = oracle.path_resistance(0, v).unwrap();
+            prop_assert!(
+                (d_oracle - sp.dist[v]).abs() < 1e-9,
+                "node {}: oracle {} vs dijkstra {}",
+                v, d_oracle, sp.dist[v]
+            );
+        }
+    }
+
+    #[test]
+    fn dijkstra_satisfies_triangle_inequality(g in arb_connected(20)) {
+        let from0 = dijkstra(&g, 0).unwrap();
+        let from1 = dijkstra(&g, 1).unwrap();
+        for v in 0..g.num_nodes() {
+            prop_assert!(
+                from0.dist[v] <= from0.dist[1] + from1.dist[v] + 1e-9,
+                "triangle violated at {}", v
+            );
+        }
+    }
+
+    #[test]
+    fn components_partition_nodes(g in arb_connected(20)) {
+        // Remove a batch of edges; components must still partition the nodes
+        // and agree with pairwise reachability via Dijkstra.
+        let h = g.filter_edges(|eid, _| eid % 3 != 0);
+        let comps = connected_components(&h);
+        prop_assert_eq!(comps.len(), h.num_nodes());
+        let sp = dijkstra(&h, 0).unwrap();
+        for v in 0..h.num_nodes() {
+            let same = comps[v] == comps[0];
+            prop_assert_eq!(same, sp.dist[v].is_finite(), "node {}", v);
+        }
+    }
+
+    #[test]
+    fn laplacian_quadratic_form_nonnegative(g in arb_connected(20), x in proptest::collection::vec(-4.0f64..4.0, 20)) {
+        let x = &x[..g.num_nodes().min(x.len())];
+        if x.len() == g.num_nodes() {
+            prop_assert!(g.laplacian_quadratic_form(x) >= -1e-10);
+            prop_assert!((g.laplacian_quadratic_form(x) - g.laplacian().quadratic_form(x)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn normalized_laplacian_spectrum_in_zero_two(g in arb_connected(12)) {
+        let l = g.normalized_laplacian().to_dense();
+        let (vals, _) = cirstag_linalg::jacobi_eigen(&l).unwrap();
+        for v in vals {
+            prop_assert!((-1e-9..=2.0 + 1e-9).contains(&v), "eigenvalue {}", v);
+        }
+    }
+}
+
+/// Brute-force check on tiny graphs: the maximum spanning tree really has
+/// maximal total weight over all spanning trees.
+#[test]
+fn max_tree_is_optimal_on_small_complete_graph() {
+    // K4 with distinct weights.
+    let weights = [
+        (0usize, 1usize, 5.0),
+        (0, 2, 1.0),
+        (0, 3, 4.0),
+        (1, 2, 3.0),
+        (1, 3, 2.0),
+        (2, 3, 6.0),
+    ];
+    let g = Graph::from_edges(4, &weights).unwrap();
+    let t = maximum_spanning_tree(&g);
+    // Enumerate all 16 spanning trees of K4 via edge subsets of size 3.
+    let mut best = 0.0f64;
+    for a in 0..6 {
+        for b in (a + 1)..6 {
+            for c in (b + 1)..6 {
+                let sub = [weights[a], weights[b], weights[c]];
+                let cand = Graph::from_edges(4, &sub).unwrap();
+                if cand.is_connected() {
+                    best = best.max(cand.total_weight());
+                }
+            }
+        }
+    }
+    assert_eq!(t.total_weight(), best);
+}

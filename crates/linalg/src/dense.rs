@@ -1,0 +1,461 @@
+use crate::vecops;
+use crate::LinalgError;
+use std::fmt;
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// `DenseMatrix` is the workhorse for embedding matrices (nodes × dimensions)
+/// and for the small dense problems inside the eigensolvers. Storage is a
+/// single contiguous `Vec<f64>`; row `i` occupies
+/// `data[i * ncols .. (i + 1) * ncols]`.
+///
+/// # Example
+///
+/// ```
+/// use cirstag_linalg::DenseMatrix;
+///
+/// # fn main() -> Result<(), cirstag_linalg::LinalgError> {
+/// let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// let b = a.transpose();
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c.get(0, 0), 5.0); // [1,2]·[1,2]
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `nrows × ncols` matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] when `data.len() != nrows * ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != nrows * ncols {
+            return Err(LinalgError::InvalidArgument {
+                reason: format!(
+                    "buffer length {} does not match {}x{} shape",
+                    data.len(),
+                    nrows,
+                    ncols
+                ),
+            });
+        }
+        Ok(DenseMatrix { nrows, ncols, data })
+    }
+
+    /// Creates a matrix from a slice of equal-length rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] when rows have differing lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, LinalgError> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            if r.len() != ncols {
+                return Err(LinalgError::InvalidArgument {
+                    reason: format!("row length {} differs from first row {}", r.len(), ncols),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(DenseMatrix { nrows, ncols, data })
+    }
+
+    /// Creates a matrix from a list of equal-length columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] when columns have differing lengths.
+    pub fn from_columns(cols: &[Vec<f64>]) -> Result<Self, LinalgError> {
+        let ncols = cols.len();
+        let nrows = cols.first().map_or(0, Vec::len);
+        let mut m = Self::zeros(nrows, ncols);
+        for (j, c) in cols.iter().enumerate() {
+            if c.len() != nrows {
+                return Err(LinalgError::InvalidArgument {
+                    reason: format!(
+                        "column length {} differs from first column {}",
+                        c.len(),
+                        nrows
+                    ),
+                });
+            }
+            for (i, &v) in c.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Reads the entry at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        self.data[i * self.ncols + j]
+    }
+
+    /// Writes the entry at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        self.data[i * self.ncols + j] = v;
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nrows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.nrows, "row index out of bounds");
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nrows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.nrows, "row index out of bounds");
+        &mut self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Copies column `j` into a new `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= ncols`.
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.ncols, "column index out of bounds");
+        (0..self.nrows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Borrows the backing row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the backing row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the backing buffer.
+    #[inline]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+
+    /// Matrix–matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `self.ncols != other.nrows`.
+    pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if self.ncols != other.nrows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.nrows, other.ncols);
+        // ikj loop order keeps the inner loop contiguous in both `other` and `out`.
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `x.len() != self.ncols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.ncols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "mul_vec",
+                left: self.shape(),
+                right: (x.len(), 1),
+            });
+        }
+        Ok((0..self.nrows)
+            .map(|i| vecops::dot(self.row(i), x))
+            .collect())
+    }
+
+    /// Element-wise sum `self + other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when the shapes differ.
+    pub fn add(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(DenseMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data,
+        })
+    }
+
+    /// Returns `alpha * self`.
+    pub fn scaled(&self, alpha: f64) -> DenseMatrix {
+        let data = self.data.iter().map(|a| alpha * a).collect();
+        DenseMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data,
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        vecops::norm2(&self.data)
+    }
+
+    /// Returns `true` when every entry is finite.
+    pub fn all_finite(&self) -> bool {
+        vecops::all_finite(&self.data)
+    }
+
+    /// Returns the maximum absolute difference from `other`, for testing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when the shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> Result<f64, LinalgError> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "max_abs_diff",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs())))
+    }
+
+    /// Iterates over rows as slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks(self.ncols.max(1))
+    }
+}
+
+impl Default for DenseMatrix {
+    fn default() -> Self {
+        DenseMatrix::zeros(0, 0)
+    }
+}
+
+impl fmt::Display for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{}", self.nrows, self.ncols)?;
+        let show = self.nrows.min(8);
+        for i in 0..show {
+            let cols = self.ncols.min(8);
+            let entries: Vec<String> = (0..cols)
+                .map(|j| format!("{:10.4}", self.get(i, j)))
+                .collect();
+            let ellipsis = if self.ncols > cols { " …" } else { "" };
+            writeln!(f, "[{}{}]", entries.join(" "), ellipsis)?;
+        }
+        if self.nrows > show {
+            writeln!(f, "…")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = DenseMatrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let i = DenseMatrix::identity(3);
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_and_columns_agree() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = DenseMatrix::from_columns(&[vec![1.0, 3.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(DenseMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mul_vec_matches_matmul() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let y = a.mul_vec(&[1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let i = DenseMatrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let b = a.scaled(2.0);
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.row(0), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let a = DenseMatrix::from_rows(&[vec![3.0, 4.0]]).unwrap();
+        assert_eq!(a.frobenius_norm(), 5.0);
+    }
+
+    #[test]
+    fn rows_iterator_counts() {
+        let a = DenseMatrix::zeros(4, 2);
+        assert_eq!(a.rows().count(), 4);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = DenseMatrix::identity(2);
+        assert!(!format!("{a}").is_empty());
+    }
+}

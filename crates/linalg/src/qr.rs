@@ -1,0 +1,219 @@
+//! Householder QR decomposition and least-squares solving for small dense
+//! systems (model-fit diagnostics, subspace orthonormalization).
+
+use crate::{DenseMatrix, LinalgError};
+
+/// A thin QR decomposition `A = Q R` with `Q` (m × n) having orthonormal
+/// columns and `R` (n × n) upper triangular, computed by Householder
+/// reflections (numerically stable for the modest sizes used here).
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// Orthonormal factor (m × n).
+    pub q: DenseMatrix,
+    /// Upper-triangular factor (n × n).
+    pub r: DenseMatrix,
+}
+
+/// Computes the thin QR decomposition of `a` (requires `m ≥ n`).
+///
+/// # Errors
+///
+/// - [`LinalgError::InvalidArgument`] when `a` has more columns than rows.
+/// - [`LinalgError::NonFinite`] when `a` contains NaN or ±∞.
+///
+/// # Example
+///
+/// ```
+/// use cirstag_linalg::{qr_decompose, DenseMatrix};
+///
+/// # fn main() -> Result<(), cirstag_linalg::LinalgError> {
+/// let a = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]])?;
+/// let qr = qr_decompose(&a)?;
+/// let rebuilt = qr.q.matmul(&qr.r)?;
+/// assert!(rebuilt.max_abs_diff(&a)? < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn qr_decompose(a: &DenseMatrix) -> Result<QrDecomposition, LinalgError> {
+    let m = a.nrows();
+    let n = a.ncols();
+    if n > m {
+        return Err(LinalgError::InvalidArgument {
+            reason: format!("thin QR requires rows ≥ cols, got {m}x{n}"),
+        });
+    }
+    if !a.all_finite() {
+        return Err(LinalgError::NonFinite {
+            context: "qr_decompose input",
+        });
+    }
+    // Work on a copy; accumulate Householder vectors.
+    let mut r_full = a.clone();
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for k in 0..n {
+        // Householder vector for column k below the diagonal.
+        let mut v: Vec<f64> = (k..m).map(|i| r_full.get(i, k)).collect();
+        let alpha = -v[0].signum() * v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if alpha.abs() < 1e-300 {
+            vs.push(vec![0.0; m - k]);
+            continue;
+        }
+        v[0] -= alpha;
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 < 1e-300 {
+            vs.push(vec![0.0; m - k]);
+            continue;
+        }
+        // Apply H = I − 2 v vᵀ / ‖v‖² to the remaining columns.
+        for j in k..n {
+            let dot: f64 = (k..m).map(|i| v[i - k] * r_full.get(i, j)).sum();
+            let scale = 2.0 * dot / vnorm2;
+            for i in k..m {
+                let cur = r_full.get(i, j);
+                r_full.set(i, j, cur - scale * v[i - k]);
+            }
+        }
+        vs.push(v);
+    }
+    // Extract R (top n × n block).
+    let mut r = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            r.set(i, j, r_full.get(i, j));
+        }
+    }
+    // Form thin Q by applying reflections to the first n identity columns,
+    // in reverse order.
+    let mut q = DenseMatrix::zeros(m, n);
+    for j in 0..n {
+        q.set(j, j, 1.0);
+    }
+    for k in (0..n).rev() {
+        let v = &vs[k];
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 < 1e-300 {
+            continue;
+        }
+        for j in 0..n {
+            let dot: f64 = (k..m).map(|i| v[i - k] * q.get(i, j)).sum();
+            let scale = 2.0 * dot / vnorm2;
+            for i in k..m {
+                let cur = q.get(i, j);
+                q.set(i, j, cur - scale * v[i - k]);
+            }
+        }
+    }
+    Ok(QrDecomposition { q, r })
+}
+
+/// Solves the least-squares problem `min ‖A x − b‖₂` via QR.
+///
+/// # Errors
+///
+/// - Propagates [`qr_decompose`] failures.
+/// - [`LinalgError::ShapeMismatch`] when `b.len() != a.nrows()`.
+/// - [`LinalgError::InvalidArgument`] when `A` is rank-deficient (a zero
+///   pivot on `R`'s diagonal).
+pub fn least_squares(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if b.len() != a.nrows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "least_squares",
+            left: a.shape(),
+            right: (b.len(), 1),
+        });
+    }
+    let qr = qr_decompose(a)?;
+    let n = a.ncols();
+    // y = Qᵀ b.
+    let y: Vec<f64> = (0..n)
+        .map(|j| (0..a.nrows()).map(|i| qr.q.get(i, j) * b[i]).sum())
+        .collect();
+    // Back-substitute R x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut acc = y[i];
+        for j in (i + 1)..n {
+            acc -= qr.r.get(i, j) * x[j];
+        }
+        let pivot = qr.r.get(i, i);
+        if pivot.abs() < 1e-12 {
+            return Err(LinalgError::InvalidArgument {
+                reason: format!("rank-deficient system: zero pivot at column {i}"),
+            });
+        }
+        x[i] = acc / pivot;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = DenseMatrix::from_rows(&[
+            vec![2.0, -1.0, 0.5],
+            vec![1.0, 3.0, -2.0],
+            vec![0.0, 1.0, 1.0],
+            vec![4.0, 0.5, 2.0],
+        ])
+        .unwrap();
+        let qr = qr_decompose(&a).unwrap();
+        let qtq = qr.q.transpose().matmul(&qr.q).unwrap();
+        assert!(qtq.max_abs_diff(&DenseMatrix::identity(3)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular_and_reconstructs() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let qr = qr_decompose(&a).unwrap();
+        assert_eq!(qr.r.get(1, 0), 0.0);
+        let rebuilt = qr.q.matmul(&qr.r).unwrap();
+        assert!(rebuilt.max_abs_diff(&a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_fits_line() {
+        // Fit y = 2x + 1 exactly.
+        let a = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 1.0], vec![2.0, 1.0]]).unwrap();
+        let b = [1.0, 3.0, 5.0];
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual_for_overdetermined() {
+        // Noisy line: the LS residual must be orthogonal to the columns.
+        let a = DenseMatrix::from_rows(&[
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+            vec![3.0, 1.0],
+        ])
+        .unwrap();
+        let b = [0.9, 3.2, 4.8, 7.1];
+        let x = least_squares(&a, &b).unwrap();
+        let ax = a.mul_vec(&x).unwrap();
+        let residual: Vec<f64> = ax.iter().zip(&b).map(|(p, t)| p - t).collect();
+        for j in 0..2 {
+            let col = a.column(j);
+            let dot: f64 = col.iter().zip(&residual).map(|(c, r)| c * r).sum();
+            assert!(dot.abs() < 1e-10, "residual not orthogonal to column {j}");
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let wide = DenseMatrix::zeros(2, 3);
+        assert!(qr_decompose(&wide).is_err());
+        let a = DenseMatrix::from_rows(&[vec![1.0], vec![f64::NAN]]).unwrap();
+        assert!(qr_decompose(&a).is_err());
+        let ok = DenseMatrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(least_squares(&ok, &[1.0, 2.0, 3.0]).is_err());
+        // Rank-deficient: duplicated column.
+        let rd = DenseMatrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]).unwrap();
+        assert!(least_squares(&rd, &[1.0, 2.0, 3.0]).is_err());
+    }
+}

@@ -1,0 +1,556 @@
+use crate::{DenseMatrix, LinalgError};
+
+/// A sparse matrix in coordinate (triplet) format, used for assembly.
+///
+/// Duplicate entries are allowed and are summed when converting to CSR,
+/// which makes `CooMatrix` a convenient accumulator for Laplacian assembly.
+///
+/// # Example
+///
+/// ```
+/// use cirstag_linalg::CooMatrix;
+///
+/// # fn main() -> Result<(), cirstag_linalg::LinalgError> {
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 0, 1.0)?;
+/// coo.push(0, 0, 2.0)?; // duplicates are summed
+/// let csr = coo.to_csr();
+/// assert_eq!(csr.get(0, 0), 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `nrows × ncols` COO matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Creates an empty matrix with reserved capacity for `nnz` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, nnz: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(nnz),
+            cols: Vec::with_capacity(nnz),
+            vals: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Appends the entry `(i, j) += v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::IndexOutOfBounds`] when `(i, j)` is outside the
+    /// matrix shape.
+    pub fn push(&mut self, i: usize, j: usize, v: f64) -> Result<(), LinalgError> {
+        if i >= self.nrows || j >= self.ncols {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: (i, j),
+                shape: (self.nrows, self.ncols),
+            });
+        }
+        self.rows.push(i);
+        self.cols.push(j);
+        self.vals.push(v);
+        Ok(())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (before duplicate merging).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Converts to CSR, summing duplicate entries and dropping explicit zeros.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Count entries per row.
+        let mut counts = vec![0usize; self.nrows];
+        for &r in &self.rows {
+            counts[r] += 1;
+        }
+        let mut row_ptr = vec![0usize; self.nrows + 1];
+        for i in 0..self.nrows {
+            row_ptr[i + 1] = row_ptr[i] + counts[i];
+        }
+        // Scatter into per-row buckets.
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        let mut next = row_ptr.clone();
+        for k in 0..self.nnz() {
+            let r = self.rows[k];
+            let slot = next[r];
+            col_idx[slot] = self.cols[k];
+            values[slot] = self.vals[k];
+            next[r] += 1;
+        }
+        // Sort each row by column and merge duplicates / drop zeros.
+        let mut out_ptr = Vec::with_capacity(self.nrows + 1);
+        let mut out_cols = Vec::with_capacity(self.nnz());
+        let mut out_vals = Vec::with_capacity(self.nnz());
+        out_ptr.push(0usize);
+        for r in 0..self.nrows {
+            let lo = row_ptr[r];
+            let hi = row_ptr[r + 1];
+            let mut entries: Vec<(usize, f64)> = col_idx[lo..hi]
+                .iter()
+                .copied()
+                .zip(values[lo..hi].iter().copied())
+                .collect();
+            entries.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < entries.len() {
+                let c = entries[i].0;
+                let mut v = 0.0;
+                while i < entries.len() && entries[i].0 == c {
+                    v += entries[i].1;
+                    i += 1;
+                }
+                if v != 0.0 {
+                    out_cols.push(c);
+                    out_vals.push(v);
+                }
+            }
+            out_ptr.push(out_cols.len());
+        }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr: out_ptr,
+            col_idx: out_cols,
+            values: out_vals,
+        }
+    }
+}
+
+/// A sparse matrix in compressed sparse row (CSR) format.
+///
+/// CSR is the operational format: sparse matrix–vector products (`spmv`) and
+/// sparse–dense products (`spmm`) run directly on it. Construct via
+/// [`CooMatrix::to_csr`] or [`CsrMatrix::from_triplets`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix directly from `(row, col, value)` triplets.
+    ///
+    /// Duplicates are summed; explicit zeros are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::IndexOutOfBounds`] for any triplet outside the
+    /// given shape.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self, LinalgError> {
+        let mut coo = CooMatrix::with_capacity(nrows, ncols, triplets.len());
+        for &(i, j, v) in triplets {
+            coo.push(i, j, v)?;
+        }
+        Ok(coo.to_csr())
+    }
+
+    /// Creates an `n × n` identity in CSR form.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Creates a diagonal matrix from the given entries.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: diag.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the stored value at `(i, j)`, or `0.0` when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Borrows the column indices and values of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nrows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        assert!(i < self.nrows, "row index out of bounds");
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Iterates over all stored entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.nrows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter().zip(vals).map(move |(&j, &v)| (i, j, v))
+        })
+    }
+
+    /// Sparse matrix–vector product `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.ncols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "mul_vec: dimension mismatch");
+        let mut y = vec![0.0; self.nrows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Sparse matrix–vector product into a caller-provided buffer
+    /// (`y ← self * x`), avoiding allocation in inner loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.ncols` or `y.len() != self.nrows`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "mul_vec_into: x dimension mismatch");
+        assert_eq!(y.len(), self.nrows, "mul_vec_into: y dimension mismatch");
+        for i in 0..self.nrows {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Sparse–dense product `self * m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `self.ncols != m.nrows()`.
+    pub fn mul_dense(&self, m: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if self.ncols != m.nrows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "spmm",
+                left: self.shape(),
+                right: m.shape(),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.nrows, m.ncols());
+        for i in 0..self.nrows {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            for k in lo..hi {
+                let v = self.values[k];
+                let src = m.row(self.col_idx[k]);
+                let dst = out.row_mut(i);
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += v * s;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose in CSR form.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.ncols];
+        for &c in &self.col_idx {
+            counts[c] += 1;
+        }
+        let mut row_ptr = vec![0usize; self.ncols + 1];
+        for i in 0..self.ncols {
+            row_ptr[i + 1] = row_ptr[i] + counts[i];
+        }
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = row_ptr.clone();
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                let slot = next[j];
+                col_idx[slot] = i;
+                values[slot] = v;
+                next[j] += 1;
+            }
+        }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Extracts the main diagonal.
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.nrows.min(self.ncols);
+        (0..n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Returns `true` when the matrix equals its transpose up to `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.row_ptr != self.row_ptr || t.col_idx != self.col_idx {
+            // Sparsity patterns differ; fall back to a value-wise comparison.
+            return self.iter().all(|(i, j, v)| (v - t.get(i, j)).abs() <= tol)
+                && t.iter().all(|(i, j, v)| (v - self.get(i, j)).abs() <= tol);
+        }
+        self.values
+            .iter()
+            .zip(&t.values)
+            .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Computes the quadratic form `xᵀ self x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the (square) matrix dimension.
+    pub fn quadratic_form(&self, x: &[f64]) -> f64 {
+        let y = self.mul_vec(x);
+        crate::vecops::dot(x, &y)
+    }
+
+    /// Scales every stored value by `alpha` in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.values {
+            *v *= alpha;
+        }
+    }
+
+    /// Returns `self + alpha * I`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] when the matrix is not square.
+    pub fn add_scaled_identity(&self, alpha: f64) -> Result<CsrMatrix, LinalgError> {
+        if self.nrows != self.ncols {
+            return Err(LinalgError::InvalidArgument {
+                reason: "add_scaled_identity requires a square matrix".to_string(),
+            });
+        }
+        let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz() + self.nrows);
+        for (i, j, v) in self.iter() {
+            coo.push(i, j, v)?;
+        }
+        for i in 0..self.nrows {
+            coo.push(i, i, alpha)?;
+        }
+        Ok(coo.to_csr())
+    }
+
+    /// Converts to a dense matrix (for small problems and tests).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.nrows, self.ncols);
+        for (i, j, v) in self.iter() {
+            m.set(i, j, v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [1 0 2]
+        // [0 3 0]
+        // [4 0 5]
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn coo_push_bounds_checked() {
+        let mut coo = CooMatrix::new(2, 2);
+        assert!(coo.push(2, 0, 1.0).is_err());
+        assert!(coo.push(0, 2, 1.0).is_err());
+        assert!(coo.push(1, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn duplicates_summed_zeros_dropped() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 0, 2.0).unwrap();
+        coo.push(1, 1, 5.0).unwrap();
+        coo.push(1, 1, -5.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(0, 0), 3.0);
+        assert_eq!(csr.nnz(), 1); // the cancelled entry is dropped
+    }
+
+    #[test]
+    fn spmv_known() {
+        let m = sample();
+        let y = m.mul_vec(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![3.0, 3.0, 9.0]);
+    }
+
+    #[test]
+    fn spmv_into_matches_alloc() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 3];
+        m.mul_vec_into(&x, &mut y);
+        assert_eq!(y, m.mul_vec(&x));
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = sample();
+        let d = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let out = m.mul_dense(&d).unwrap();
+        let dense_out = m.to_dense().matmul(&d).unwrap();
+        assert!(out.max_abs_diff(&dense_out).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let tt = m.transpose().transpose();
+        assert_eq!(m, tt);
+        assert_eq!(m.transpose().get(0, 2), 4.0);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        assert_eq!(sample().diagonal(), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let sym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 2.0), (0, 0, 1.0)]).unwrap();
+        assert!(sym.is_symmetric(1e-12));
+        assert!(!sample().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn quadratic_form_known() {
+        let m = CsrMatrix::from_diagonal(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.quadratic_form(&[1.0, 1.0, 1.0]), 6.0);
+    }
+
+    #[test]
+    fn identity_and_diagonal_constructors() {
+        let i = CsrMatrix::identity(3);
+        assert_eq!(i.mul_vec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+        let d = CsrMatrix::from_diagonal(&[2.0, 4.0]);
+        assert_eq!(d.mul_vec(&[1.0, 1.0]), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn add_scaled_identity_shifts_diagonal() {
+        let m = sample();
+        let shifted = m.add_scaled_identity(10.0).unwrap();
+        assert_eq!(shifted.get(0, 0), 11.0);
+        assert_eq!(shifted.get(1, 1), 13.0);
+        assert_eq!(shifted.get(0, 2), 2.0);
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let m = sample();
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(entries.len(), 5);
+        assert!(entries.contains(&(2, 0, 4.0)));
+    }
+
+    #[test]
+    fn empty_matrix_is_usable() {
+        let m = CooMatrix::new(0, 0).to_csr();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.mul_vec(&[]), Vec::<f64>::new());
+    }
+}

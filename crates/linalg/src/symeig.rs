@@ -1,0 +1,215 @@
+use crate::{DenseMatrix, LinalgError};
+
+/// Computes all eigenpairs of a small dense symmetric matrix via cyclic
+/// Jacobi rotations.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvalues ascending and
+/// eigenvector `j` stored in column `j`. Intended for matrices up to a few
+/// hundred rows (embedding dimensions, Gram matrices); use the Lanczos path
+/// in `cirstag-solver` for large sparse operators.
+///
+/// # Errors
+///
+/// - [`LinalgError::InvalidArgument`] when `a` is not square or not symmetric
+///   within `1e-8` relative tolerance.
+/// - [`LinalgError::NonFinite`] when the input contains NaN or ±∞.
+/// - [`LinalgError::NoConvergence`] when off-diagonal mass fails to vanish in
+///   100 sweeps.
+///
+/// # Example
+///
+/// ```
+/// use cirstag_linalg::{jacobi_eigen, DenseMatrix};
+///
+/// # fn main() -> Result<(), cirstag_linalg::LinalgError> {
+/// let a = DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]])?;
+/// let (vals, _vecs) = jacobi_eigen(&a)?;
+/// assert!((vals[0] - 1.0).abs() < 1e-10);
+/// assert!((vals[1] - 3.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn jacobi_eigen(a: &DenseMatrix) -> Result<(Vec<f64>, DenseMatrix), LinalgError> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(LinalgError::InvalidArgument {
+            reason: format!(
+                "jacobi_eigen requires a square matrix, got {}x{}",
+                n,
+                a.ncols()
+            ),
+        });
+    }
+    if !a.all_finite() {
+        return Err(LinalgError::NonFinite {
+            context: "jacobi_eigen input",
+        });
+    }
+    let scale = a.frobenius_norm().max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (a.get(i, j) - a.get(j, i)).abs() > 1e-8 * scale {
+                return Err(LinalgError::InvalidArgument {
+                    reason: "jacobi_eigen requires a symmetric matrix".to_string(),
+                });
+            }
+        }
+    }
+    let mut m = a.clone();
+    let mut v = DenseMatrix::identity(n);
+    let max_sweeps = 100;
+    for _sweep in 0..max_sweeps {
+        // Sum of squares of strictly upper-triangular entries.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m.get(i, j) * m.get(i, j);
+            }
+        }
+        if off.sqrt() <= 1e-13 * scale {
+            return Ok(sorted_pairs(&m, &v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply the rotation G(p, q, θ) on both sides of m and
+                // accumulate it into v.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        algorithm: "jacobi eigensolver",
+        iterations: max_sweeps,
+    })
+}
+
+fn sorted_pairs(m: &DenseMatrix, v: &DenseMatrix) -> (Vec<f64>, DenseMatrix) {
+    let n = m.nrows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        m.get(a, a)
+            .partial_cmp(&m.get(b, b))
+            .expect("finite eigenvalues")
+    });
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| m.get(i, i)).collect();
+    let mut vecs = DenseMatrix::zeros(n, n);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        for i in 0..n {
+            vecs.set(i, new_j, v.get(i, old_j));
+        }
+    }
+    (eigenvalues, vecs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = DenseMatrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let (vals, _) = jacobi_eigen(&a).unwrap();
+        assert_eq!(vals, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn residuals_small_on_random_symmetric() {
+        // Deterministic pseudo-random symmetric matrix.
+        let n = 8;
+        let mut a = DenseMatrix::zeros(n, n);
+        let mut x = 1234567u64;
+        let mut next = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((x >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in i..n {
+                let v = next();
+                a.set(i, j, v);
+                a.set(j, i, v);
+            }
+        }
+        let (vals, vecs) = jacobi_eigen(&a).unwrap();
+        for j in 0..n {
+            let v = vecs.column(j);
+            let av = a.mul_vec(&v).unwrap();
+            for i in 0..n {
+                assert!((av[i] - vals[j] * v[i]).abs() < 1e-9);
+            }
+        }
+        // Sorted ascending.
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = DenseMatrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, -1.0],
+            vec![0.5, -1.0, 2.0],
+        ])
+        .unwrap();
+        let (_, q) = jacobi_eigen(&a).unwrap();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        assert!(qtq.max_abs_diff(&DenseMatrix::identity(3)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let a = DenseMatrix::from_rows(&[vec![5.0, 2.0], vec![2.0, -1.0]]).unwrap();
+        let (vals, _) = jacobi_eigen(&a).unwrap();
+        assert!((vals.iter().sum::<f64>() - 4.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_nonsquare_and_asymmetric() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(jacobi_eigen(&a).is_err());
+        let b = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap();
+        assert!(jacobi_eigen(&b).is_err());
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let a = DenseMatrix::from_rows(&[vec![f64::NAN, 0.0], vec![0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            jacobi_eigen(&a),
+            Err(LinalgError::NonFinite { .. })
+        ));
+    }
+}

@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for PGM manifold learning.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PgmError {
+    /// An underlying solver operation failed.
+    Solver(cirstag_solver::SolverError),
+    /// An underlying graph operation failed.
+    Graph(cirstag_graph::GraphError),
+    /// An underlying linear-algebra operation failed.
+    Linalg(cirstag_linalg::LinalgError),
+    /// An argument was invalid.
+    InvalidArgument {
+        /// Description of the violated requirement.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PgmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PgmError::Solver(e) => write!(f, "solver error: {e}"),
+            PgmError::Graph(e) => write!(f, "graph error: {e}"),
+            PgmError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            PgmError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+        }
+    }
+}
+
+impl Error for PgmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PgmError::Solver(e) => Some(e),
+            PgmError::Graph(e) => Some(e),
+            PgmError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cirstag_solver::SolverError> for PgmError {
+    fn from(e: cirstag_solver::SolverError) -> Self {
+        PgmError::Solver(e)
+    }
+}
+
+impl From<cirstag_graph::GraphError> for PgmError {
+    fn from(e: cirstag_graph::GraphError) -> Self {
+        PgmError::Graph(e)
+    }
+}
+
+impl From<cirstag_linalg::LinalgError> for PgmError {
+    fn from(e: cirstag_linalg::LinalgError) -> Self {
+        PgmError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e: PgmError = cirstag_graph::GraphError::Disconnected.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PgmError>();
+    }
+}

@@ -1,0 +1,400 @@
+//! Spectral sparsification of the dense kNN graph into a PGM manifold.
+
+use crate::PgmError;
+use cirstag_graph::{low_stretch_tree, Graph, TreePathOracle};
+use cirstag_solver::ResistanceEstimator;
+
+/// Options for [`learn_manifold`].
+#[derive(Debug, Clone, Copy)]
+pub struct PgmConfig {
+    /// Target average degree of the sparsified manifold. The edge budget is
+    /// `⌈degree_target · n / 2⌉`; the spanning-tree backbone always stays.
+    pub degree_target: f64,
+    /// Number of Johnson–Lindenstrauss probes for effective-resistance
+    /// estimation (`O(log n)` suffices; more probes tighten the η ranking).
+    pub resistance_probes: usize,
+    /// Quantile (in `[0, 1]`) of tree-cycle resistance above which an
+    /// off-tree edge is *always* kept — the low-resistance-diameter (LRD)
+    /// rule: cycles that are electrically long are the ones the tree
+    /// approximates worst, so the edges closing them carry irreplaceable
+    /// spectral information. `1.0` disables the rule.
+    pub lrd_keep_quantile: f64,
+    /// Seed for the tree heuristic and resistance sketch.
+    pub seed: u64,
+}
+
+impl Default for PgmConfig {
+    fn default() -> Self {
+        PgmConfig {
+            degree_target: 6.0,
+            resistance_probes: 48,
+            lrd_keep_quantile: 0.95,
+            seed: 0x5A65,
+        }
+    }
+}
+
+/// Statistics reported by [`learn_manifold`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PgmStats {
+    /// Edges of the dense input graph.
+    pub edges_before: usize,
+    /// Edges of the sparsified manifold.
+    pub edges_after: usize,
+    /// Edges contributed by the spanning-tree backbone.
+    pub tree_edges: usize,
+    /// Off-tree edges kept by the LRD (long-cycle) rule.
+    pub kept_by_lrd: usize,
+    /// Off-tree edges kept by the η (leverage) ranking.
+    pub kept_by_eta: usize,
+}
+
+/// Result of [`learn_manifold`]: the sparsified PGM graph plus statistics.
+#[derive(Debug, Clone)]
+pub struct PgmResult {
+    /// The learned manifold graph.
+    pub graph: Graph,
+    /// How the edge budget was spent.
+    pub stats: PgmStats,
+}
+
+/// Learns a sparse PGM manifold from a dense (kNN) graph.
+///
+/// The procedure implements Section IV-B of the paper:
+///
+/// 1. Extract a low-stretch spanning-tree backbone (connectivity + baseline
+///    spectral approximation).
+/// 2. Estimate every off-tree edge's effective resistance with a sketched
+///    estimator, giving the spectral-distortion score of Eq. (8):
+///    `η_pq = w_pq · R^eff_pq`.
+/// 3. Keep off-tree edges closing electrically long tree cycles (the LRD
+///    rule), then fill the remaining budget with the largest-η edges;
+///    everything else — low-η edges, whose removal barely decreases
+///    `log det Θ` while decreasing `Tr(XᵀΘX)` — is pruned.
+///
+/// # Errors
+///
+/// - [`PgmError::InvalidArgument`] for non-positive `degree_target`, zero
+///   probes, or an out-of-range quantile.
+/// - [`PgmError::Graph`] when `dense` is disconnected (run the kNN stage
+///   with `ensure_connected` enabled).
+/// - Propagates resistance-estimation failures.
+pub fn learn_manifold(dense: &Graph, config: &PgmConfig) -> Result<PgmResult, PgmError> {
+    if !(config.degree_target > 0.0 && config.degree_target.is_finite()) {
+        return Err(PgmError::InvalidArgument {
+            reason: format!("degree_target {} must be positive", config.degree_target),
+        });
+    }
+    if config.resistance_probes == 0 {
+        return Err(PgmError::InvalidArgument {
+            reason: "resistance_probes must be positive".to_string(),
+        });
+    }
+    if !(0.0..=1.0).contains(&config.lrd_keep_quantile) {
+        return Err(PgmError::InvalidArgument {
+            reason: format!(
+                "lrd_keep_quantile {} must lie in [0, 1]",
+                config.lrd_keep_quantile
+            ),
+        });
+    }
+    let n = dense.num_nodes();
+    if n <= 2 || dense.num_edges() <= 1 {
+        return Ok(PgmResult {
+            graph: dense.clone(),
+            stats: PgmStats {
+                edges_before: dense.num_edges(),
+                edges_after: dense.num_edges(),
+                tree_edges: dense.num_edges(),
+                ..PgmStats::default()
+            },
+        });
+    }
+
+    let tree = low_stretch_tree(dense, config.seed)?;
+    let budget = ((config.degree_target * n as f64 / 2.0).ceil() as usize).max(tree.num_edges());
+    let mut keep = vec![false; dense.num_edges()];
+    for &eid in tree.edge_ids() {
+        keep[eid] = true;
+    }
+    let mut stats = PgmStats {
+        edges_before: dense.num_edges(),
+        tree_edges: tree.num_edges(),
+        ..PgmStats::default()
+    };
+
+    let off_tree: Vec<usize> = (0..dense.num_edges()).filter(|&e| !keep[e]).collect();
+    let mut remaining = budget - tree.num_edges();
+
+    if !off_tree.is_empty() && remaining > 0 {
+        // η scores via the resistance sketch over the *dense* graph.
+        let estimator =
+            ResistanceEstimator::sketched(dense, config.resistance_probes, config.seed ^ 0xE7A)?;
+        let oracle = TreePathOracle::new(tree.as_graph())?;
+
+        let mut scored: Vec<(usize, f64, f64)> = Vec::with_capacity(off_tree.len());
+        for &eid in &off_tree {
+            let e = dense.edges()[eid];
+            let r_eff = estimator.query(e.u, e.v)?;
+            let eta = e.weight * r_eff;
+            let cycle_res = oracle.path_resistance(e.u, e.v)? + e.resistance();
+            scored.push((eid, eta, cycle_res));
+        }
+
+        // LRD rule: always keep edges whose tree cycle is electrically long.
+        if config.lrd_keep_quantile < 1.0 {
+            let mut cycles: Vec<f64> = scored.iter().map(|&(_, _, c)| c).collect();
+            cycles.sort_by(|a, b| a.partial_cmp(b).expect("finite cycle resistances"));
+            let idx = ((cycles.len() as f64 - 1.0) * config.lrd_keep_quantile).round() as usize;
+            let threshold = cycles[idx.min(cycles.len() - 1)];
+            for &(eid, _, cycle_res) in &scored {
+                if cycle_res > threshold && remaining > 0 {
+                    keep[eid] = true;
+                    remaining -= 1;
+                    stats.kept_by_lrd += 1;
+                }
+            }
+        }
+
+        // Fill the remaining budget with the largest-η edges (Eq. 8 pruning).
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite eta scores"));
+        for &(eid, _, _) in &scored {
+            if remaining == 0 {
+                break;
+            }
+            if !keep[eid] {
+                keep[eid] = true;
+                remaining -= 1;
+                stats.kept_by_eta += 1;
+            }
+        }
+    }
+
+    let graph = dense.filter_edges(|eid, _| keep[eid]);
+    stats.edges_after = graph.num_edges();
+    Ok(PgmResult { graph, stats })
+}
+
+/// Prunes `dense` down to the same edge budget as [`learn_manifold`] but
+/// choosing off-tree edges *uniformly at random* (deterministic in `seed`).
+/// Baseline for the ablation study: shows that the η criterion, not mere
+/// sparsity, is what preserves the spectral structure.
+///
+/// # Errors
+///
+/// Same validation as [`learn_manifold`].
+pub fn random_prune(dense: &Graph, config: &PgmConfig) -> Result<PgmResult, PgmError> {
+    if !(config.degree_target > 0.0 && config.degree_target.is_finite()) {
+        return Err(PgmError::InvalidArgument {
+            reason: format!("degree_target {} must be positive", config.degree_target),
+        });
+    }
+    let n = dense.num_nodes();
+    if n <= 2 || dense.num_edges() <= 1 {
+        return Ok(PgmResult {
+            graph: dense.clone(),
+            stats: PgmStats {
+                edges_before: dense.num_edges(),
+                edges_after: dense.num_edges(),
+                tree_edges: dense.num_edges(),
+                ..PgmStats::default()
+            },
+        });
+    }
+    let tree = low_stretch_tree(dense, config.seed)?;
+    let budget = ((config.degree_target * n as f64 / 2.0).ceil() as usize).max(tree.num_edges());
+    let mut keep = vec![false; dense.num_edges()];
+    for &eid in tree.edge_ids() {
+        keep[eid] = true;
+    }
+    let mut off_tree: Vec<usize> = (0..dense.num_edges()).filter(|&e| !keep[e]).collect();
+    // Deterministic Fisher–Yates shuffle.
+    let mut state = config.seed ^ 0xDEAD_BEEF_1234_5678 | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    for i in (1..off_tree.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        off_tree.swap(i, j);
+    }
+    let mut remaining = budget - tree.num_edges();
+    let mut kept_random = 0;
+    for &eid in &off_tree {
+        if remaining == 0 {
+            break;
+        }
+        keep[eid] = true;
+        remaining -= 1;
+        kept_random += 1;
+    }
+    let graph = dense.filter_edges(|eid, _| keep[eid]);
+    Ok(PgmResult {
+        stats: PgmStats {
+            edges_before: dense.num_edges(),
+            edges_after: graph.num_edges(),
+            tree_edges: tree.num_edges(),
+            kept_by_lrd: 0,
+            kept_by_eta: kept_random,
+        },
+        graph,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirstag_embed::{knn_graph, KnnConfig};
+    use cirstag_linalg::DenseMatrix;
+
+    /// Dense kNN graph over a 2-D grid of points.
+    fn dense_grid(side: usize, k: usize) -> (Graph, DenseMatrix) {
+        let mut rows = Vec::new();
+        for i in 0..side {
+            for j in 0..side {
+                rows.push(vec![i as f64, j as f64]);
+            }
+        }
+        let pts = DenseMatrix::from_rows(&rows).unwrap();
+        let g = knn_graph(&pts, k, &KnnConfig::default()).unwrap();
+        (g, pts)
+    }
+
+    #[test]
+    fn sparsifier_respects_budget_and_connectivity() {
+        let (dense, _) = dense_grid(8, 8);
+        let cfg = PgmConfig {
+            degree_target: 4.0,
+            ..PgmConfig::default()
+        };
+        let result = learn_manifold(&dense, &cfg).unwrap();
+        assert!(result.graph.is_connected());
+        assert!(result.graph.num_edges() <= (4.0_f64 * 64.0 / 2.0).ceil() as usize + 1);
+        assert!(result.graph.num_edges() < dense.num_edges());
+        assert_eq!(
+            result.stats.edges_after,
+            result.stats.tree_edges + result.stats.kept_by_lrd + result.stats.kept_by_eta
+        );
+    }
+
+    #[test]
+    fn sparsifier_preserves_quadratic_form_better_than_random() {
+        let (dense, _) = dense_grid(7, 8);
+        let cfg = PgmConfig {
+            degree_target: 3.0,
+            ..PgmConfig::default()
+        };
+        let smart = learn_manifold(&dense, &cfg).unwrap().graph;
+        let random = random_prune(&dense, &cfg).unwrap().graph;
+
+        // Compare Rayleigh-quotient distortion on smooth test vectors
+        // (coordinates of the grid): a good sparsifier keeps the ratio near 1.
+        let n = dense.num_nodes();
+        let mut max_err_smart = 0.0f64;
+        let mut max_err_random = 0.0f64;
+        for probe in 0..6u64 {
+            let x: Vec<f64> = (0..n)
+                .map(|i| {
+                    let v = (i as u64).wrapping_mul(probe * 2 + 3) % 19;
+                    v as f64 / 19.0 - 0.5
+                })
+                .collect();
+            let full = dense.laplacian_quadratic_form(&x);
+            if full < 1e-12 {
+                continue;
+            }
+            let rs = smart.laplacian_quadratic_form(&x) / full;
+            let rr = random.laplacian_quadratic_form(&x) / full;
+            max_err_smart = max_err_smart.max((rs - 1.0).abs());
+            max_err_random = max_err_random.max((rr - 1.0).abs());
+        }
+        assert!(
+            max_err_smart <= max_err_random + 0.05,
+            "smart {max_err_smart} vs random {max_err_random}"
+        );
+    }
+
+    #[test]
+    fn tiny_graphs_pass_through() {
+        let g = Graph::from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let r = learn_manifold(&g, &PgmConfig::default()).unwrap();
+        assert_eq!(r.graph.num_edges(), 1);
+        assert_eq!(r.stats.edges_before, 1);
+    }
+
+    #[test]
+    fn validation() {
+        let (dense, _) = dense_grid(4, 3);
+        assert!(learn_manifold(
+            &dense,
+            &PgmConfig {
+                degree_target: 0.0,
+                ..PgmConfig::default()
+            }
+        )
+        .is_err());
+        assert!(learn_manifold(
+            &dense,
+            &PgmConfig {
+                resistance_probes: 0,
+                ..PgmConfig::default()
+            }
+        )
+        .is_err());
+        assert!(learn_manifold(
+            &dense,
+            &PgmConfig {
+                lrd_keep_quantile: 1.5,
+                ..PgmConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn disconnected_input_rejected() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        assert!(matches!(
+            learn_manifold(&g, &PgmConfig::default()),
+            Err(PgmError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (dense, _) = dense_grid(6, 6);
+        let cfg = PgmConfig::default();
+        let a = learn_manifold(&dense, &cfg).unwrap();
+        let b = learn_manifold(&dense, &cfg).unwrap();
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        for (ea, eb) in a.graph.edges().iter().zip(b.graph.edges()) {
+            assert_eq!((ea.u, ea.v), (eb.u, eb.v));
+        }
+    }
+
+    #[test]
+    fn generous_budget_keeps_everything() {
+        let (dense, _) = dense_grid(5, 4);
+        let cfg = PgmConfig {
+            degree_target: 100.0,
+            ..PgmConfig::default()
+        };
+        let r = learn_manifold(&dense, &cfg).unwrap();
+        assert_eq!(r.graph.num_edges(), dense.num_edges());
+    }
+
+    #[test]
+    fn random_prune_matches_budget() {
+        let (dense, _) = dense_grid(6, 8);
+        let cfg = PgmConfig {
+            degree_target: 3.0,
+            ..PgmConfig::default()
+        };
+        let smart = learn_manifold(&dense, &cfg).unwrap();
+        let random = random_prune(&dense, &cfg).unwrap();
+        assert_eq!(smart.graph.num_edges(), random.graph.num_edges());
+        assert!(random.graph.is_connected());
+    }
+}

@@ -1,0 +1,267 @@
+//! Interconnected labelled datasets and the gate-level graph view.
+
+use crate::modules::{emit_module, ModuleBuilder, SubcircuitKind};
+use cirstag_circuit::{CellLibrary, CircuitError, NetId, Netlist};
+use cirstag_graph::Graph;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Options for [`build_interconnected`].
+#[derive(Debug, Clone, Copy)]
+pub struct InterconnectedConfig {
+    /// Number of module instances to stitch together.
+    pub num_modules: usize,
+    /// Number of shared primary inputs.
+    pub num_primary_inputs: usize,
+    /// Module width parameter range `(min, max)` (bits).
+    pub width_range: (usize, usize),
+    /// Fraction of each module's inputs drawn from *other modules' outputs*
+    /// rather than primary inputs (interconnection density).
+    pub interconnect: f64,
+}
+
+impl Default for InterconnectedConfig {
+    fn default() -> Self {
+        InterconnectedConfig {
+            num_modules: 24,
+            num_primary_inputs: 16,
+            width_range: (2, 5),
+            interconnect: 0.6,
+        }
+    }
+}
+
+/// A labelled reverse-engineering dataset.
+#[derive(Debug, Clone)]
+pub struct LabeledDataset {
+    /// The stitched netlist.
+    pub netlist: Netlist,
+    /// Per-gate class label (`SubcircuitKind::label()`).
+    pub labels: Vec<usize>,
+    /// The gate-level graph (nodes = gates, edges = gate connections).
+    pub gate_graph: Graph,
+    /// The cell library the netlist references.
+    pub library: CellLibrary,
+}
+
+/// Builds an interconnected dataset: `num_modules` sub-circuits of rotating
+/// kinds, each drawing inputs partly from earlier modules' outputs, with a
+/// per-gate class label. Deterministic in `(config, seed)`.
+///
+/// # Errors
+///
+/// - [`CircuitError::InvalidArgument`] for zero modules/PIs or a bad width
+///   range.
+/// - Propagates construction failures.
+pub fn build_interconnected(
+    config: &InterconnectedConfig,
+    seed: u64,
+) -> Result<LabeledDataset, CircuitError> {
+    if config.num_modules == 0 || config.num_primary_inputs < 2 {
+        return Err(CircuitError::InvalidArgument {
+            reason: "need at least one module and two primary inputs".to_string(),
+        });
+    }
+    let (w_lo, w_hi) = config.width_range;
+    if w_lo < 2 || w_hi < w_lo {
+        return Err(CircuitError::InvalidArgument {
+            reason: format!("width range ({w_lo}, {w_hi}) must be ordered and ≥ 2"),
+        });
+    }
+    if !(0.0..=1.0).contains(&config.interconnect) {
+        return Err(CircuitError::InvalidArgument {
+            reason: format!("interconnect {} must be in [0, 1]", config.interconnect),
+        });
+    }
+    let library = CellLibrary::standard();
+    let mut netlist = Netlist::new(format!("interconnected_s{seed}"));
+    let mut labels: Vec<usize> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let pis: Vec<NetId> = (0..config.num_primary_inputs)
+        .map(|i| {
+            let id = netlist.add_net(format!("pi{i}"), 0.001);
+            netlist.primary_inputs.push(id);
+            id
+        })
+        .collect();
+
+    let mut module_outputs: Vec<NetId> = Vec::new();
+    for m in 0..config.num_modules {
+        let kind = SubcircuitKind::ALL[m % SubcircuitKind::ALL.len()];
+        let width = rng.random_range(w_lo..=w_hi);
+        // The candidate pool mixes PIs and earlier outputs per the
+        // interconnect ratio.
+        let pool: Vec<NetId> = if module_outputs.is_empty() {
+            pis.clone()
+        } else {
+            let take = ((module_outputs.len() as f64) * config.interconnect) as usize;
+            let mut p = pis.clone();
+            let start = module_outputs.len().saturating_sub(take.max(1));
+            p.extend_from_slice(&module_outputs[start..]);
+            p
+        };
+        let outs = {
+            let mut pick = |n: usize| rng.random_range(0..n);
+            let mut b = ModuleBuilder {
+                netlist: &mut netlist,
+                library: &library,
+                labels: &mut labels,
+                wire_cap: 0.001,
+            };
+            emit_module(&mut b, kind, &pool, width, &mut pick)?
+        };
+        module_outputs.extend(outs);
+    }
+
+    // Unread nets become primary outputs.
+    let sinks = netlist.net_sinks();
+    for (net, s) in sinks.iter().enumerate() {
+        if s.is_empty() && !netlist.primary_inputs.contains(&net) {
+            netlist.primary_outputs.push(net);
+        }
+    }
+    netlist.validate(&library)?;
+    let gate_graph = gate_graph(&netlist)?;
+    Ok(LabeledDataset {
+        netlist,
+        labels,
+        gate_graph,
+        library,
+    })
+}
+
+/// Builds the gate-level graph of a netlist: one node per cell instance, an
+/// edge between a driver gate and each gate reading its output. Gates
+/// connected only through primary inputs share an edge as well (common-input
+/// coupling), which keeps module clusters connected the way layout-derived
+/// graphs are.
+///
+/// # Errors
+///
+/// Propagates graph-construction failures.
+pub fn gate_graph(netlist: &Netlist) -> Result<Graph, CircuitError> {
+    let mut g = Graph::new(netlist.num_cells());
+    let drivers = netlist.net_drivers();
+    let sinks = netlist.net_sinks();
+    for (net, sink_cells) in sinks.iter().enumerate() {
+        match drivers[net] {
+            Some(d) => {
+                for &s in sink_cells {
+                    if s != d {
+                        g.add_edge(d, s, 1.0)?;
+                    }
+                }
+            }
+            None => {
+                // Primary-input net: chain its readers so common-input gates
+                // are adjacent (without forming a clique).
+                for pair in sink_cells.windows(2) {
+                    if pair[0] != pair[1] {
+                        g.add_edge(pair[0], pair[1], 1.0)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_is_consistent() {
+        let d = build_interconnected(&InterconnectedConfig::default(), 1).unwrap();
+        assert_eq!(d.labels.len(), d.netlist.num_cells());
+        assert_eq!(d.gate_graph.num_nodes(), d.netlist.num_cells());
+        assert!(d.gate_graph.num_edges() > d.netlist.num_cells() / 2);
+        // All seven classes present with the default 24 modules.
+        let mut seen = vec![false; crate::NUM_CLASSES];
+        for &l in &d.labels {
+            seen[l] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "missing classes: {seen:?}");
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        let a = build_interconnected(&InterconnectedConfig::default(), 5).unwrap();
+        let b = build_interconnected(&InterconnectedConfig::default(), 5).unwrap();
+        assert_eq!(a.netlist, b.netlist);
+        assert_eq!(a.labels, b.labels);
+        let c = build_interconnected(&InterconnectedConfig::default(), 6).unwrap();
+        assert_ne!(a.netlist, c.netlist);
+    }
+
+    #[test]
+    fn gate_graph_is_connected_for_default_config() {
+        let d = build_interconnected(&InterconnectedConfig::default(), 3).unwrap();
+        assert!(d.gate_graph.is_connected());
+    }
+
+    #[test]
+    fn interconnect_zero_still_builds() {
+        let d = build_interconnected(
+            &InterconnectedConfig {
+                interconnect: 0.0,
+                num_modules: 7,
+                ..Default::default()
+            },
+            2,
+        )
+        .unwrap();
+        assert_eq!(d.labels.len(), d.netlist.num_cells());
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(build_interconnected(
+            &InterconnectedConfig {
+                num_modules: 0,
+                ..Default::default()
+            },
+            0
+        )
+        .is_err());
+        assert!(build_interconnected(
+            &InterconnectedConfig {
+                width_range: (1, 4),
+                ..Default::default()
+            },
+            0
+        )
+        .is_err());
+        assert!(build_interconnected(
+            &InterconnectedConfig {
+                interconnect: 2.0,
+                ..Default::default()
+            },
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn gate_graph_edges_follow_connectivity() {
+        // Two gates in series share an edge; unrelated gates do not.
+        let lib = CellLibrary::standard();
+        let inv = lib.by_kind(cirstag_circuit::CellKind::Inv).unwrap();
+        let mut n = Netlist::new("t");
+        let a = n.add_net("a", 0.001);
+        let b = n.add_net("b", 0.001);
+        let c = n.add_net("c", 0.001);
+        let d = n.add_net("d", 0.001);
+        let e = n.add_net("e", 0.001);
+        n.primary_inputs = vec![a, d];
+        n.add_cell("g0", inv, vec![a], b).unwrap();
+        n.add_cell("g1", inv, vec![b], c).unwrap();
+        n.add_cell("g2", inv, vec![d], e).unwrap();
+        n.primary_outputs = vec![c, e];
+        let g = gate_graph(&n).unwrap();
+        assert!(g.edge_weight(0, 1).is_some());
+        assert!(g.edge_weight(0, 2).is_none());
+        assert!(g.edge_weight(1, 2).is_none());
+    }
+}

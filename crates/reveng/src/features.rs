@@ -1,0 +1,242 @@
+//! Neighborhood Boolean-functionality features for gate classification.
+
+use cirstag_circuit::{CellKind, CellLibrary, CircuitError, Netlist};
+use cirstag_graph::Graph;
+use cirstag_linalg::DenseMatrix;
+
+/// Options for [`functionality_features`].
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborhoodConfig {
+    /// Neighborhood radius in hops (1 or 2 is typical).
+    pub radius: usize,
+    /// Include normalized fanin/fanout counts.
+    pub degree_features: bool,
+}
+
+impl Default for NeighborhoodConfig {
+    fn default() -> Self {
+        NeighborhoodConfig {
+            radius: 2,
+            degree_features: true,
+        }
+    }
+}
+
+/// Builds per-gate features describing the Boolean functionality of each
+/// gate's local neighborhood, as used by the sub-circuit classifier of \[4\]:
+///
+/// - own cell-kind one-hot (11 columns);
+/// - for each hop `1..=radius`, a normalized histogram of the cell kinds
+///   found at exactly that hop distance in the gate graph (11 columns per
+///   hop);
+/// - optionally, normalized in/out degree (2 columns).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidArgument`] when `radius == 0` or the graph
+/// node count does not match the netlist gate count.
+pub fn functionality_features(
+    netlist: &Netlist,
+    library: &CellLibrary,
+    gate_graph: &Graph,
+    config: &NeighborhoodConfig,
+) -> Result<DenseMatrix, CircuitError> {
+    if config.radius == 0 {
+        return Err(CircuitError::InvalidArgument {
+            reason: "radius must be at least 1".to_string(),
+        });
+    }
+    let n = netlist.num_cells();
+    if gate_graph.num_nodes() != n {
+        return Err(CircuitError::InvalidArgument {
+            reason: format!(
+                "gate graph has {} nodes but netlist has {n} gates",
+                gate_graph.num_nodes()
+            ),
+        });
+    }
+    let k = CellKind::ALL.len();
+    let kind_index: Vec<usize> = netlist
+        .cells
+        .iter()
+        .map(|c| {
+            let kind = library.cell(c.cell).kind;
+            CellKind::ALL
+                .iter()
+                .position(|&kk| kk == kind)
+                .expect("kind in ALL")
+        })
+        .collect();
+
+    let deg_cols = if config.degree_features { 2 } else { 0 };
+    let width = k * (1 + config.radius) + deg_cols;
+    let mut x = DenseMatrix::zeros(n, width);
+
+    // BFS per node out to `radius` hops (cheap: gate graphs are sparse and
+    // the radius is tiny).
+    let mut dist = vec![usize::MAX; n];
+    let mut touched: Vec<usize> = Vec::new();
+    for g in 0..n {
+        x.set(g, kind_index[g], 1.0);
+        // BFS.
+        dist[g] = 0;
+        touched.push(g);
+        let mut frontier = vec![g];
+        for hop in 1..=config.radius {
+            let mut next = Vec::new();
+            let mut hist = vec![0usize; k];
+            for &u in &frontier {
+                for (v, _) in gate_graph.neighbors(u) {
+                    if dist[v] == usize::MAX {
+                        dist[v] = hop;
+                        touched.push(v);
+                        next.push(v);
+                        hist[kind_index[v]] += 1;
+                    }
+                }
+            }
+            let total: usize = hist.iter().sum();
+            if total > 0 {
+                for (j, &h) in hist.iter().enumerate() {
+                    x.set(g, k * hop + j, h as f64 / total as f64);
+                }
+            }
+            frontier = next;
+        }
+        for &t in &touched {
+            dist[t] = usize::MAX;
+        }
+        touched.clear();
+        if config.degree_features {
+            let drivers = &netlist.cells[g].inputs;
+            x.set(g, width - 2, drivers.len() as f64 / 3.0);
+            x.set(
+                g,
+                width - 1,
+                (1.0 + gate_graph.neighbor_count(g) as f64).ln(),
+            );
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_interconnected, InterconnectedConfig};
+
+    #[test]
+    fn shape_and_finiteness() {
+        let d = build_interconnected(&InterconnectedConfig::default(), 9).unwrap();
+        let x = functionality_features(
+            &d.netlist,
+            &d.library,
+            &d.gate_graph,
+            &NeighborhoodConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(x.nrows(), d.netlist.num_cells());
+        assert_eq!(x.ncols(), 11 * 3 + 2);
+        assert!(x.all_finite());
+    }
+
+    #[test]
+    fn own_kind_onehot_set() {
+        let d = build_interconnected(&InterconnectedConfig::default(), 2).unwrap();
+        let x = functionality_features(
+            &d.netlist,
+            &d.library,
+            &d.gate_graph,
+            &NeighborhoodConfig {
+                radius: 1,
+                degree_features: false,
+            },
+        )
+        .unwrap();
+        for g in 0..d.netlist.num_cells() {
+            let own: f64 = (0..11).map(|j| x.get(g, j)).sum();
+            assert_eq!(own, 1.0, "gate {g}");
+        }
+    }
+
+    #[test]
+    fn hop_histograms_are_normalized() {
+        let d = build_interconnected(&InterconnectedConfig::default(), 4).unwrap();
+        let x = functionality_features(
+            &d.netlist,
+            &d.library,
+            &d.gate_graph,
+            &NeighborhoodConfig {
+                radius: 2,
+                degree_features: false,
+            },
+        )
+        .unwrap();
+        for g in 0..d.netlist.num_cells() {
+            for hop in 1..=2 {
+                let s: f64 = (0..11).map(|j| x.get(g, 11 * hop + j)).sum();
+                assert!(
+                    s.abs() < 1e-9 || (s - 1.0).abs() < 1e-9,
+                    "gate {g} hop {hop} histogram sums to {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_classes_have_different_features_on_average() {
+        let d = build_interconnected(&InterconnectedConfig::default(), 6).unwrap();
+        let x = functionality_features(
+            &d.netlist,
+            &d.library,
+            &d.gate_graph,
+            &NeighborhoodConfig::default(),
+        )
+        .unwrap();
+        // Mean feature vector per class; adder and parity should differ.
+        let mut means = vec![vec![0.0; x.ncols()]; crate::NUM_CLASSES];
+        let mut counts = vec![0usize; crate::NUM_CLASSES];
+        for (g, &l) in d.labels.iter().enumerate() {
+            counts[l] += 1;
+            for j in 0..x.ncols() {
+                means[l][j] += x.get(g, j);
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            if c > 0 {
+                for v in m.iter_mut() {
+                    *v /= c as f64;
+                }
+            }
+        }
+        let diff: f64 = means[0]
+            .iter()
+            .zip(&means[2])
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 0.1, "class means too similar: {diff}");
+    }
+
+    #[test]
+    fn validation() {
+        let d = build_interconnected(&InterconnectedConfig::default(), 0).unwrap();
+        assert!(functionality_features(
+            &d.netlist,
+            &d.library,
+            &d.gate_graph,
+            &NeighborhoodConfig {
+                radius: 0,
+                degree_features: true
+            }
+        )
+        .is_err());
+        let wrong = cirstag_graph::Graph::new(3);
+        assert!(functionality_features(
+            &d.netlist,
+            &d.library,
+            &wrong,
+            &NeighborhoodConfig::default()
+        )
+        .is_err());
+    }
+}

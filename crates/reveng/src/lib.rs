@@ -1,0 +1,36 @@
+//! Functional reverse-engineering substrate (Case Study B).
+//!
+//! Reproduces the data side of the paper's second case study: netlists are
+//! stitched together from labelled sub-circuit modules (adders, comparators,
+//! parity trees, mux trees, decoders, multipliers, incrementers), a
+//! gate-level graph is derived (nodes = gates, edges = gate connections),
+//! and per-gate features encode the Boolean functionality of the local
+//! neighborhood — the setup of the GAT-based sub-circuit classifier \[4\].
+//! Topology perturbations (input rewiring) complete the stability-study
+//! tooling.
+//!
+//! # Example
+//!
+//! ```
+//! use cirstag_reveng::{build_interconnected, InterconnectedConfig};
+//!
+//! # fn main() -> Result<(), cirstag_circuit::CircuitError> {
+//! let dataset = build_interconnected(&InterconnectedConfig::default(), 7)?;
+//! assert_eq!(dataset.labels.len(), dataset.netlist.num_cells());
+//! assert!(dataset.gate_graph.is_connected());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod features;
+mod modules;
+mod perturb;
+
+pub use dataset::{build_interconnected, gate_graph, InterconnectedConfig, LabeledDataset};
+pub use features::{functionality_features, NeighborhoodConfig};
+pub use modules::{build_standalone_module, StandaloneModule, SubcircuitKind, NUM_CLASSES};
+pub use perturb::rewire_gate_inputs;

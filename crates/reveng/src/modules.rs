@@ -1,0 +1,407 @@
+//! Labelled sub-circuit module generators.
+
+use cirstag_circuit::{CellKind, CellLibrary, CircuitError, NetId, Netlist};
+
+/// The sub-circuit classes of the interconnected dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubcircuitKind {
+    /// Ripple-carry adder (XOR/MAJ3 per bit).
+    Adder,
+    /// Equality comparator (XNOR + AND reduction).
+    Comparator,
+    /// Parity (XOR) tree.
+    Parity,
+    /// Multiplexer tree.
+    MuxTree,
+    /// Address decoder (INV + AND minterms).
+    Decoder,
+    /// Array multiplier (AND partial products + adder cells).
+    Multiplier,
+    /// Combinational incrementer (XOR + AND carry chain).
+    Incrementer,
+}
+
+/// Number of sub-circuit classes.
+pub const NUM_CLASSES: usize = 7;
+
+impl SubcircuitKind {
+    /// All classes, index order = class label.
+    pub const ALL: [SubcircuitKind; NUM_CLASSES] = [
+        SubcircuitKind::Adder,
+        SubcircuitKind::Comparator,
+        SubcircuitKind::Parity,
+        SubcircuitKind::MuxTree,
+        SubcircuitKind::Decoder,
+        SubcircuitKind::Multiplier,
+        SubcircuitKind::Incrementer,
+    ];
+
+    /// Class label (index into [`SubcircuitKind::ALL`]).
+    pub fn label(&self) -> usize {
+        SubcircuitKind::ALL
+            .iter()
+            .position(|k| k == self)
+            .expect("all kinds listed")
+    }
+
+    /// Human-readable class name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SubcircuitKind::Adder => "adder",
+            SubcircuitKind::Comparator => "comparator",
+            SubcircuitKind::Parity => "parity",
+            SubcircuitKind::MuxTree => "mux_tree",
+            SubcircuitKind::Decoder => "decoder",
+            SubcircuitKind::Multiplier => "multiplier",
+            SubcircuitKind::Incrementer => "incrementer",
+        }
+    }
+}
+
+/// Context handed to module generators: the netlist under construction plus
+/// the label sink.
+pub(crate) struct ModuleBuilder<'a> {
+    pub netlist: &'a mut Netlist,
+    pub library: &'a CellLibrary,
+    pub labels: &'a mut Vec<usize>,
+    pub wire_cap: f64,
+}
+
+impl ModuleBuilder<'_> {
+    /// Adds one labelled gate and returns its output net.
+    pub fn gate(
+        &mut self,
+        kind: CellKind,
+        inputs: Vec<NetId>,
+        label: SubcircuitKind,
+    ) -> Result<NetId, CircuitError> {
+        let cell = self
+            .library
+            .by_kind(kind)
+            .ok_or_else(|| CircuitError::UnknownCell {
+                name: kind.name().to_string(),
+            })?;
+        let gi = self.netlist.num_cells();
+        let out = self.netlist.add_net(format!("m{gi}"), self.wire_cap);
+        self.netlist.add_cell(format!("u{gi}"), cell, inputs, out)?;
+        self.labels.push(label.label());
+        Ok(out)
+    }
+}
+
+/// Emits one module instance of `kind`, drawing inputs from `pool`, and
+/// returns its output nets.
+pub(crate) fn emit_module(
+    b: &mut ModuleBuilder<'_>,
+    kind: SubcircuitKind,
+    pool: &[NetId],
+    width: usize,
+    pick: &mut dyn FnMut(usize) -> usize,
+) -> Result<Vec<NetId>, CircuitError> {
+    let mut input = |pool: &[NetId]| pool[pick(pool.len())];
+    let w = width.max(2);
+    let mut outputs = Vec::new();
+    match kind {
+        SubcircuitKind::Adder => {
+            let mut carry = input(pool);
+            for _ in 0..w {
+                let a = input(pool);
+                let bb = input(pool);
+                let axb = b.gate(CellKind::Xor2, vec![a, bb], kind)?;
+                let sum = b.gate(CellKind::Xor2, vec![axb, carry], kind)?;
+                let maj = b.gate(CellKind::Maj3, vec![a, bb, carry], kind)?;
+                outputs.push(sum);
+                carry = maj;
+            }
+            outputs.push(carry);
+        }
+        SubcircuitKind::Comparator => {
+            let mut eqs = Vec::new();
+            for _ in 0..w {
+                let a = input(pool);
+                let bb = input(pool);
+                eqs.push(b.gate(CellKind::Xnor2, vec![a, bb], kind)?);
+            }
+            // AND-reduce.
+            while eqs.len() > 1 {
+                let x = eqs.remove(0);
+                let y = eqs.remove(0);
+                eqs.push(b.gate(CellKind::And2, vec![x, y], kind)?);
+            }
+            outputs.push(eqs[0]);
+        }
+        SubcircuitKind::Parity => {
+            let mut xs: Vec<NetId> = (0..2 * w).map(|_| input(pool)).collect();
+            while xs.len() > 1 {
+                let x = xs.remove(0);
+                let y = xs.remove(0);
+                xs.push(b.gate(CellKind::Xor2, vec![x, y], kind)?);
+            }
+            outputs.push(xs[0]);
+        }
+        SubcircuitKind::MuxTree => {
+            let mut data: Vec<NetId> = (0..(1 << w.min(3))).map(|_| input(pool)).collect();
+            while data.len() > 1 {
+                let sel = input(pool);
+                let mut next = Vec::new();
+                for pair in data.chunks(2) {
+                    if pair.len() == 2 {
+                        next.push(b.gate(CellKind::Mux2, vec![pair[0], pair[1], sel], kind)?);
+                    } else {
+                        next.push(pair[0]);
+                    }
+                }
+                data = next;
+            }
+            outputs.push(data[0]);
+        }
+        SubcircuitKind::Decoder => {
+            let bits = w.min(3);
+            let addr: Vec<NetId> = (0..bits).map(|_| input(pool)).collect();
+            let inv: Vec<NetId> = addr
+                .iter()
+                .map(|&a| b.gate(CellKind::Inv, vec![a], kind))
+                .collect::<Result<_, _>>()?;
+            for minterm in 0..(1usize << bits) {
+                let mut term = if minterm & 1 == 1 { addr[0] } else { inv[0] };
+                for bit in 1..bits {
+                    let lit = if (minterm >> bit) & 1 == 1 {
+                        addr[bit]
+                    } else {
+                        inv[bit]
+                    };
+                    term = b.gate(CellKind::And2, vec![term, lit], kind)?;
+                }
+                outputs.push(term);
+            }
+        }
+        SubcircuitKind::Multiplier => {
+            let n = w.min(3);
+            let a: Vec<NetId> = (0..n).map(|_| input(pool)).collect();
+            let c: Vec<NetId> = (0..n).map(|_| input(pool)).collect();
+            // Partial products.
+            let mut columns: Vec<Vec<NetId>> = vec![Vec::new(); 2 * n];
+            for (i, &ai) in a.iter().enumerate() {
+                for (j, &cj) in c.iter().enumerate() {
+                    let pp = b.gate(CellKind::And2, vec![ai, cj], kind)?;
+                    columns[i + j].push(pp);
+                }
+            }
+            // Column compression with XOR (sum) and MAJ/AND (carry).
+            for col in 0..2 * n {
+                while columns[col].len() > 1 {
+                    if columns[col].len() >= 3 {
+                        let x = columns[col].remove(0);
+                        let y = columns[col].remove(0);
+                        let z = columns[col].remove(0);
+                        let s1 = b.gate(CellKind::Xor2, vec![x, y], kind)?;
+                        let s = b.gate(CellKind::Xor2, vec![s1, z], kind)?;
+                        let cy = b.gate(CellKind::Maj3, vec![x, y, z], kind)?;
+                        columns[col].push(s);
+                        if col + 1 < 2 * n {
+                            columns[col + 1].push(cy);
+                        }
+                    } else {
+                        let x = columns[col].remove(0);
+                        let y = columns[col].remove(0);
+                        let s = b.gate(CellKind::Xor2, vec![x, y], kind)?;
+                        let cy = b.gate(CellKind::And2, vec![x, y], kind)?;
+                        columns[col].push(s);
+                        if col + 1 < 2 * n {
+                            columns[col + 1].push(cy);
+                        }
+                    }
+                }
+                if let Some(&o) = columns[col].first() {
+                    outputs.push(o);
+                }
+            }
+        }
+        SubcircuitKind::Incrementer => {
+            let mut carry = input(pool);
+            for _ in 0..w {
+                let a = input(pool);
+                let sum = b.gate(CellKind::Xor2, vec![a, carry], kind)?;
+                let nc = b.gate(CellKind::And2, vec![a, carry], kind)?;
+                outputs.push(sum);
+                carry = nc;
+            }
+            outputs.push(carry);
+        }
+    }
+    Ok(outputs)
+}
+
+/// A standalone module instance over dedicated primary inputs, for
+/// functional verification and demos.
+#[derive(Debug, Clone)]
+pub struct StandaloneModule {
+    /// The module netlist (inputs consumed *sequentially*: see
+    /// [`build_standalone_module`] for the per-kind input layout).
+    pub netlist: Netlist,
+    /// Per-gate labels (all equal to `kind.label()`).
+    pub labels: Vec<usize>,
+    /// The module's output nets, in generator order.
+    pub outputs: Vec<NetId>,
+}
+
+/// Builds one sub-circuit instance whose inputs are fresh primary inputs
+/// assigned sequentially, making the Boolean function exactly predictable:
+///
+/// - `Adder`: inputs `[cin, a0, b0, a1, b1, …]`, outputs `[s0…s_{w−1}, cout]`
+///   computing `A + B + cin`.
+/// - `Comparator`: inputs `[a0, b0, a1, b1, …]`, one output `A == B`.
+/// - `Parity`: `2w` inputs, one output — their XOR.
+/// - `MuxTree`: inputs `[d0…d_{2^b−1}, s0, s1, …]` (`b = min(w, 3)` levels),
+///   output `d[s]` with `s = Σ sᵢ·2ⁱ`.
+/// - `Decoder`: inputs `[addr0…addr_{b−1}]`, `2^b` one-hot outputs.
+/// - `Multiplier`: inputs `[a0…a_{n−1}, c0…c_{n−1}]` (`n = min(w, 3)`),
+///   outputs the `2n` product bits of `A · C`, LSB first.
+/// - `Incrementer`: inputs `[cin, a0…a_{w−1}]`, outputs
+///   `[s0…s_{w−1}, cout]` computing `A + cin`.
+///
+/// # Errors
+///
+/// Propagates netlist-construction failures.
+pub fn build_standalone_module(
+    kind: SubcircuitKind,
+    width: usize,
+) -> Result<StandaloneModule, CircuitError> {
+    let library = CellLibrary::standard();
+    let w = width.max(2);
+    // Upper bound on inputs consumed by any kind at this width.
+    let pool_size = match kind {
+        SubcircuitKind::Adder => 1 + 2 * w,
+        SubcircuitKind::Comparator => 2 * w,
+        SubcircuitKind::Parity => 2 * w,
+        SubcircuitKind::MuxTree => (1 << w.min(3)) + w.min(3),
+        SubcircuitKind::Decoder => w.min(3),
+        SubcircuitKind::Multiplier => 2 * w.min(3),
+        SubcircuitKind::Incrementer => 1 + w,
+    };
+    let mut netlist = Netlist::new(format!("standalone_{}", kind.name()));
+    let pool: Vec<NetId> = (0..pool_size)
+        .map(|i| {
+            let id = netlist.add_net(format!("pi{i}"), 0.001);
+            netlist.primary_inputs.push(id);
+            id
+        })
+        .collect();
+    let mut labels = Vec::new();
+    let mut counter = 0usize;
+    let mut pick = move |_n: usize| {
+        let i = counter;
+        counter += 1;
+        i
+    };
+    let outputs = {
+        let mut b = ModuleBuilder {
+            netlist: &mut netlist,
+            library: &library,
+            labels: &mut labels,
+            wire_cap: 0.001,
+        };
+        emit_module(&mut b, kind, &pool, w, &mut pick)?
+    };
+    // Observe every net that nothing reads (module outputs + dead carries).
+    let sinks = netlist.net_sinks();
+    for (net, s) in sinks.iter().enumerate() {
+        if s.is_empty() {
+            netlist.primary_outputs.push(net);
+        }
+    }
+    netlist.validate(&library)?;
+    Ok(StandaloneModule {
+        netlist,
+        labels,
+        outputs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirstag_circuit::CellLibrary;
+
+    fn harness(kind: SubcircuitKind, width: usize) -> (Netlist, Vec<usize>, Vec<NetId>) {
+        let library = CellLibrary::standard();
+        let mut netlist = Netlist::new("module_test");
+        let mut labels = Vec::new();
+        let pool: Vec<NetId> = (0..8)
+            .map(|i| {
+                let id = netlist.add_net(format!("pi{i}"), 0.001);
+                netlist.primary_inputs.push(id);
+                id
+            })
+            .collect();
+        let mut counter = 0usize;
+        let mut pick = move |n: usize| {
+            counter += 1;
+            (counter * 7 + 3) % n
+        };
+        let outs = {
+            let mut b = ModuleBuilder {
+                netlist: &mut netlist,
+                library: &library,
+                labels: &mut labels,
+                wire_cap: 0.001,
+            };
+            emit_module(&mut b, kind, &pool, width, &mut pick).unwrap()
+        };
+        netlist.primary_outputs = outs.clone();
+        // Also expose unread nets so validation-by-construction is testable.
+        (netlist, labels, outs)
+    }
+
+    #[test]
+    fn every_module_kind_builds_valid_logic() {
+        let library = CellLibrary::standard();
+        for kind in SubcircuitKind::ALL {
+            let (netlist, labels, outs) = harness(kind, 3);
+            assert!(!outs.is_empty(), "{kind:?} produced no outputs");
+            assert_eq!(labels.len(), netlist.num_cells());
+            assert!(labels.iter().all(|&l| l == kind.label()));
+            // A full validate may flag unread intermediate nets as fine
+            // (they are just unobserved), but drivers and acyclicity must
+            // hold.
+            netlist.topological_order().unwrap();
+            for inst in &netlist.cells {
+                assert_eq!(
+                    library.cell(inst.cell).arity(),
+                    inst.inputs.len(),
+                    "{kind:?} arity"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adder_gate_count_scales_with_width() {
+        let (n3, _, _) = harness(SubcircuitKind::Adder, 3);
+        let (n6, _, _) = harness(SubcircuitKind::Adder, 6);
+        assert_eq!(n3.num_cells(), 9); // 3 gates per bit
+        assert_eq!(n6.num_cells(), 18);
+    }
+
+    #[test]
+    fn decoder_output_count_is_power_of_two() {
+        let (_, _, outs) = harness(SubcircuitKind::Decoder, 3);
+        assert_eq!(outs.len(), 8);
+    }
+
+    #[test]
+    fn labels_match_class_indices() {
+        for (i, kind) in SubcircuitKind::ALL.iter().enumerate() {
+            assert_eq!(kind.label(), i);
+        }
+        assert_eq!(NUM_CLASSES, SubcircuitKind::ALL.len());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = SubcircuitKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_CLASSES);
+    }
+}

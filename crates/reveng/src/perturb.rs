@@ -1,0 +1,115 @@
+//! Topology perturbations: gate-input rewiring (Case Study B).
+
+use cirstag_circuit::{CircuitError, Netlist};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Rewires one input of each selected gate to a different, *earlier* net
+/// (preserving acyclicity), returning the perturbed netlist. This is the
+/// topology perturbation of Case Study B: the gate-level graph changes while
+/// gate counts and labels stay fixed, so classifier embeddings / F1 can be
+/// compared before and after.
+///
+/// Deterministic in `seed`.
+///
+/// # Errors
+///
+/// - [`CircuitError::InvalidArgument`] for out-of-range gate indices.
+/// - Propagates validation failures (cannot occur: rewiring to earlier nets
+///   keeps the DAG property and drivers unchanged).
+pub fn rewire_gate_inputs(
+    netlist: &Netlist,
+    gates: &[usize],
+    seed: u64,
+) -> Result<Netlist, CircuitError> {
+    let mut out = netlist.clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // A net is "earlier" than gate g when it is a primary input or driven by
+    // a cell with smaller topological rank.
+    let order = netlist.topological_order()?;
+    let mut rank = vec![0usize; netlist.num_cells()];
+    for (r, &c) in order.iter().enumerate() {
+        rank[c] = r;
+    }
+    let drivers = netlist.net_drivers();
+    for &g in gates {
+        if g >= out.cells.len() {
+            return Err(CircuitError::InvalidArgument {
+                reason: format!("gate {g} out of range for {} gates", out.cells.len()),
+            });
+        }
+        // Candidate replacement nets: primary inputs or outputs of
+        // strictly-earlier gates, excluding current inputs and own output.
+        let current = out.cells[g].clone();
+        let candidates: Vec<usize> = (0..out.nets.len())
+            .filter(|&n| {
+                n != current.output
+                    && !current.inputs.contains(&n)
+                    && match drivers[n] {
+                        None => true, // primary input
+                        Some(d) => rank[d] < rank[g],
+                    }
+            })
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        let which_input = rng.random_range(0..current.inputs.len());
+        let replacement = candidates[rng.random_range(0..candidates.len())];
+        out.cells[g].inputs[which_input] = replacement;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_interconnected, gate_graph, InterconnectedConfig};
+
+    #[test]
+    fn rewired_netlist_stays_valid() {
+        let d = build_interconnected(&InterconnectedConfig::default(), 11).unwrap();
+        let victims: Vec<usize> = (0..d.netlist.num_cells()).step_by(5).collect();
+        let rewired = rewire_gate_inputs(&d.netlist, &victims, 3).unwrap();
+        rewired.validate(&d.library).unwrap();
+        assert_eq!(rewired.num_cells(), d.netlist.num_cells());
+    }
+
+    #[test]
+    fn rewiring_changes_topology() {
+        let d = build_interconnected(&InterconnectedConfig::default(), 12).unwrap();
+        let victims: Vec<usize> = (0..d.netlist.num_cells()).step_by(3).collect();
+        let rewired = rewire_gate_inputs(&d.netlist, &victims, 5).unwrap();
+        let g_before = gate_graph(&d.netlist).unwrap();
+        let g_after = gate_graph(&rewired).unwrap();
+        // Some edges must differ.
+        let changed = g_before
+            .edges()
+            .iter()
+            .filter(|e| g_after.edge_weight(e.u, e.v).is_none())
+            .count();
+        assert!(changed > 0, "no edges changed");
+    }
+
+    #[test]
+    fn empty_selection_is_identity() {
+        let d = build_interconnected(&InterconnectedConfig::default(), 13).unwrap();
+        let rewired = rewire_gate_inputs(&d.netlist, &[], 1).unwrap();
+        assert_eq!(rewired, d.netlist);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = build_interconnected(&InterconnectedConfig::default(), 14).unwrap();
+        let victims = vec![3usize, 8, 15];
+        let a = rewire_gate_inputs(&d.netlist, &victims, 9).unwrap();
+        let b = rewire_gate_inputs(&d.netlist, &victims, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let d = build_interconnected(&InterconnectedConfig::default(), 15).unwrap();
+        assert!(rewire_gate_inputs(&d.netlist, &[999_999], 0).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Functional (truth-table) verification of every sub-circuit generator:
+//! the modules the reverse-engineering dataset is built from must actually
+//! compute the functions their class names advertise.
+
+use cirstag_circuit::{simulate, CellLibrary};
+use cirstag_reveng::{build_standalone_module, SubcircuitKind};
+
+fn bits_of(pattern: u64, k: usize) -> Vec<bool> {
+    (0..k).map(|i| (pattern >> i) & 1 == 1).collect()
+}
+
+fn value_of(bits: &[bool]) -> u64 {
+    bits.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum()
+}
+
+#[test]
+fn adder_adds() {
+    let library = CellLibrary::standard();
+    let m = build_standalone_module(SubcircuitKind::Adder, 3).unwrap();
+    // Inputs: [cin, a0, b0, a1, b1, a2, b2]; outputs [s0, s1, s2, cout].
+    for pattern in 0..(1u64 << 7) {
+        let inputs = bits_of(pattern, 7);
+        let values = simulate(&m.netlist, &library, &inputs).unwrap();
+        let cin = inputs[0] as u64;
+        let a = (inputs[1] as u64) | ((inputs[3] as u64) << 1) | ((inputs[5] as u64) << 2);
+        let b = (inputs[2] as u64) | ((inputs[4] as u64) << 1) | ((inputs[6] as u64) << 2);
+        let outs: Vec<bool> = m.outputs.iter().map(|&n| values[n]).collect();
+        let got = value_of(&outs);
+        assert_eq!(got, a + b + cin, "pattern {pattern:07b}: {a} + {b} + {cin}");
+    }
+}
+
+#[test]
+fn comparator_compares() {
+    let library = CellLibrary::standard();
+    let m = build_standalone_module(SubcircuitKind::Comparator, 3).unwrap();
+    // Inputs: [a0, b0, a1, b1, a2, b2]; output: A == B.
+    for pattern in 0..(1u64 << 6) {
+        let inputs = bits_of(pattern, 6);
+        let values = simulate(&m.netlist, &library, &inputs).unwrap();
+        let equal = (0..3).all(|i| inputs[2 * i] == inputs[2 * i + 1]);
+        assert_eq!(values[m.outputs[0]], equal, "pattern {pattern:06b}");
+    }
+}
+
+#[test]
+fn parity_is_parity() {
+    let library = CellLibrary::standard();
+    let m = build_standalone_module(SubcircuitKind::Parity, 3).unwrap();
+    for pattern in 0..(1u64 << 6) {
+        let inputs = bits_of(pattern, 6);
+        let values = simulate(&m.netlist, &library, &inputs).unwrap();
+        let parity = inputs.iter().filter(|&&b| b).count() % 2 == 1;
+        assert_eq!(values[m.outputs[0]], parity, "pattern {pattern:06b}");
+    }
+}
+
+#[test]
+fn mux_tree_selects() {
+    let library = CellLibrary::standard();
+    let m = build_standalone_module(SubcircuitKind::MuxTree, 3).unwrap();
+    // Inputs: [d0..d7, s0, s1, s2]; output d[s].
+    for pattern in 0..(1u64 << 11) {
+        let inputs = bits_of(pattern, 11);
+        let values = simulate(&m.netlist, &library, &inputs).unwrap();
+        let sel = (inputs[8] as usize) | ((inputs[9] as usize) << 1) | ((inputs[10] as usize) << 2);
+        assert_eq!(values[m.outputs[0]], inputs[sel], "pattern {pattern:011b}");
+    }
+}
+
+#[test]
+fn decoder_decodes_one_hot() {
+    let library = CellLibrary::standard();
+    let m = build_standalone_module(SubcircuitKind::Decoder, 3).unwrap();
+    for pattern in 0..(1u64 << 3) {
+        let inputs = bits_of(pattern, 3);
+        let values = simulate(&m.netlist, &library, &inputs).unwrap();
+        for (minterm, &out) in m.outputs.iter().enumerate() {
+            assert_eq!(
+                values[out],
+                minterm as u64 == pattern,
+                "pattern {pattern:03b} minterm {minterm}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multiplier_multiplies() {
+    let library = CellLibrary::standard();
+    let m = build_standalone_module(SubcircuitKind::Multiplier, 3).unwrap();
+    // Inputs: [a0, a1, a2, c0, c1, c2]; outputs: 6 product bits LSB-first.
+    for pattern in 0..(1u64 << 6) {
+        let inputs = bits_of(pattern, 6);
+        let values = simulate(&m.netlist, &library, &inputs).unwrap();
+        let a = value_of(&inputs[0..3]);
+        let c = value_of(&inputs[3..6]);
+        let outs: Vec<bool> = m.outputs.iter().map(|&n| values[n]).collect();
+        assert_eq!(value_of(&outs), a * c, "pattern {pattern:06b}: {a} × {c}");
+    }
+}
+
+#[test]
+fn incrementer_increments() {
+    let library = CellLibrary::standard();
+    let m = build_standalone_module(SubcircuitKind::Incrementer, 4).unwrap();
+    // Inputs: [cin, a0..a3]; outputs [s0..s3, cout] computing A + cin.
+    for pattern in 0..(1u64 << 5) {
+        let inputs = bits_of(pattern, 5);
+        let values = simulate(&m.netlist, &library, &inputs).unwrap();
+        let cin = inputs[0] as u64;
+        let a = value_of(&inputs[1..5]);
+        let outs: Vec<bool> = m.outputs.iter().map(|&n| values[n]).collect();
+        assert_eq!(value_of(&outs), a + cin, "pattern {pattern:05b}");
+    }
+}
+
+#[test]
+fn all_module_kinds_have_labels_matching_gate_count() {
+    for kind in SubcircuitKind::ALL {
+        let m = build_standalone_module(kind, 3).unwrap();
+        assert_eq!(m.labels.len(), m.netlist.num_cells(), "{kind:?}");
+        assert!(m.labels.iter().all(|&l| l == kind.label()));
+        assert!(!m.outputs.is_empty());
+    }
+}

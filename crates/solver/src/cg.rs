@@ -1,0 +1,324 @@
+//! (Preconditioned) conjugate gradient for sparse SPD systems.
+
+use crate::{LinearOperator, SolverError};
+use cirstag_linalg::vecops;
+use cirstag_linalg::CsrMatrix;
+
+/// A preconditioner: applies `z = M⁻¹ r` for some SPD approximation `M ≈ A`.
+pub trait Preconditioner {
+    /// Computes `z ← M⁻¹ r`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on dimension mismatch.
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+}
+
+/// The identity preconditioner (plain CG).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityPreconditioner;
+
+impl Preconditioner for IdentityPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// Diagonal (Jacobi) preconditioner `M = diag(A)`.
+///
+/// Cheap and effective for diagonally dominant systems such as graph
+/// Laplacians with a diagonal shift.
+#[derive(Debug, Clone)]
+pub struct JacobiPreconditioner {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPreconditioner {
+    /// Builds the preconditioner from a matrix's diagonal. Zero (or negative)
+    /// diagonal entries are treated as `1.0` so the preconditioner stays SPD.
+    pub fn from_matrix(a: &CsrMatrix) -> Self {
+        Self::from_diagonal(&a.diagonal())
+    }
+
+    /// Builds the preconditioner from an explicit diagonal.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let inv_diag = diag
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d } else { 1.0 })
+            .collect();
+        JacobiPreconditioner { inv_diag }
+    }
+}
+
+impl Preconditioner for JacobiPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.inv_diag.len(), "preconditioner dimension");
+        for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * di;
+        }
+    }
+}
+
+/// Options controlling a conjugate-gradient run.
+#[derive(Debug, Clone, Copy)]
+pub struct CgOptions {
+    /// Relative residual tolerance: stop when `‖r‖ ≤ tol · ‖b‖`.
+    pub tol: f64,
+    /// Maximum number of iterations.
+    pub max_iter: usize,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            tol: 1e-10,
+            max_iter: 2000,
+        }
+    }
+}
+
+/// Outcome of a conjugate-gradient run.
+#[derive(Debug, Clone)]
+pub struct CgResult {
+    /// The (approximate) solution.
+    pub x: Vec<f64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final residual norm `‖b − A x‖`.
+    pub residual_norm: f64,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+}
+
+/// Solves `A x = b` for a symmetric positive (semi)definite operator with
+/// preconditioned conjugate gradient.
+///
+/// For *singular consistent* systems (graph Laplacians with `b ⊥ 1`), CG
+/// converges to the minimum-norm solution provided the initial guess and
+/// right-hand side lie in the range; [`crate::LaplacianSolver`] handles that
+/// projection.
+///
+/// The returned result reports `converged = false` instead of erroring when
+/// the budget is exhausted, exposing the best iterate found
+/// (C-INTERMEDIATE); callers that require convergence should check the flag.
+///
+/// # Errors
+///
+/// - [`SolverError::DimensionMismatch`] when `b.len() != a.dim()`.
+/// - [`SolverError::InvalidArgument`] when `b` contains non-finite values or
+///   options are out of range.
+pub fn conjugate_gradient<A, M>(
+    a: &A,
+    b: &[f64],
+    preconditioner: &M,
+    options: CgOptions,
+) -> Result<CgResult, SolverError>
+where
+    A: LinearOperator + ?Sized,
+    M: Preconditioner + ?Sized,
+{
+    let n = a.dim();
+    if b.len() != n {
+        return Err(SolverError::DimensionMismatch {
+            expected: n,
+            actual: b.len(),
+        });
+    }
+    if !vecops::all_finite(b) {
+        return Err(SolverError::InvalidArgument {
+            reason: "right-hand side contains non-finite values".to_string(),
+        });
+    }
+    if !(options.tol > 0.0 && options.tol.is_finite()) {
+        return Err(SolverError::InvalidArgument {
+            reason: format!("tolerance {} must be positive and finite", options.tol),
+        });
+    }
+    let b_norm = vecops::norm2(b);
+    if b_norm == 0.0 {
+        return Ok(CgResult {
+            x: vec![0.0; n],
+            iterations: 0,
+            residual_norm: 0.0,
+            converged: true,
+        });
+    }
+    let threshold = options.tol * b_norm;
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z = vec![0.0; n];
+    preconditioner.apply(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = vecops::dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    let mut iterations = 0;
+    let mut residual_norm = vecops::norm2(&r);
+    while iterations < options.max_iter && residual_norm > threshold {
+        a.apply(&p, &mut ap);
+        let pap = vecops::dot(&p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            // Breakdown: the operator is not SPD on this subspace. Return the
+            // best iterate with converged = false.
+            break;
+        }
+        let alpha = rz / pap;
+        vecops::axpy(alpha, &p, &mut x);
+        vecops::axpy(-alpha, &ap, &mut r);
+        residual_norm = vecops::norm2(&r);
+        iterations += 1;
+        if residual_norm <= threshold {
+            break;
+        }
+        preconditioner.apply(&r, &mut z);
+        let rz_new = vecops::dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for (pi, zi) in p.iter_mut().zip(&z) {
+            *pi = zi + beta * *pi;
+        }
+    }
+
+    Ok(CgResult {
+        converged: residual_norm <= threshold,
+        x,
+        iterations,
+        residual_norm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrOperator;
+
+    fn spd_matrix() -> CsrMatrix {
+        // Diagonally dominant symmetric matrix.
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 4.0),
+                (1, 1, 5.0),
+                (2, 2, 6.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 2.0),
+                (2, 1, 2.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        let m = spd_matrix();
+        let op = CsrOperator::new(&m);
+        let x_true = [1.0, -2.0, 3.0];
+        let b = m.mul_vec(&x_true);
+        let res =
+            conjugate_gradient(&op, &b, &IdentityPreconditioner, CgOptions::default()).unwrap();
+        assert!(res.converged);
+        for (xi, ti) in res.x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn jacobi_reduces_iterations_on_ill_scaled_system() {
+        // Badly scaled diagonal system: Jacobi solves it essentially exactly.
+        let diag: Vec<f64> = (1..=50).map(|i| (i * i) as f64).collect();
+        let m = CsrMatrix::from_diagonal(&diag);
+        let op = CsrOperator::new(&m);
+        let b = vec![1.0; 50];
+        let plain =
+            conjugate_gradient(&op, &b, &IdentityPreconditioner, CgOptions::default()).unwrap();
+        let pre = JacobiPreconditioner::from_matrix(&m);
+        let jac = conjugate_gradient(&op, &b, &pre, CgOptions::default()).unwrap();
+        assert!(jac.converged);
+        assert!(jac.iterations <= plain.iterations);
+        assert!(jac.iterations <= 2);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let m = spd_matrix();
+        let op = CsrOperator::new(&m);
+        let res = conjugate_gradient(
+            &op,
+            &[0.0; 3],
+            &IdentityPreconditioner,
+            CgOptions::default(),
+        )
+        .unwrap();
+        assert!(res.converged);
+        assert_eq!(res.x, vec![0.0; 3]);
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let m = spd_matrix();
+        let op = CsrOperator::new(&m);
+        assert!(matches!(
+            conjugate_gradient(
+                &op,
+                &[1.0; 5],
+                &IdentityPreconditioner,
+                CgOptions::default()
+            ),
+            Err(SolverError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_rhs_rejected() {
+        let m = spd_matrix();
+        let op = CsrOperator::new(&m);
+        assert!(conjugate_gradient(
+            &op,
+            &[1.0, f64::NAN, 0.0],
+            &IdentityPreconditioner,
+            CgOptions::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_not_converged() {
+        let m = spd_matrix();
+        let op = CsrOperator::new(&m);
+        let res = conjugate_gradient(
+            &op,
+            &[1.0, 2.0, 3.0],
+            &IdentityPreconditioner,
+            CgOptions {
+                tol: 1e-30,
+                max_iter: 1,
+            },
+        )
+        .unwrap();
+        assert!(!res.converged);
+        assert_eq!(res.iterations, 1);
+        assert!(res.residual_norm.is_finite());
+    }
+
+    #[test]
+    fn exact_in_n_iterations() {
+        // CG converges in at most n steps in exact arithmetic.
+        let m = spd_matrix();
+        let op = CsrOperator::new(&m);
+        let res = conjugate_gradient(
+            &op,
+            &[1.0, 1.0, 1.0],
+            &IdentityPreconditioner,
+            CgOptions {
+                tol: 1e-12,
+                max_iter: 3,
+            },
+        )
+        .unwrap();
+        assert!(res.converged, "residual {}", res.residual_norm);
+    }
+}

@@ -1,0 +1,94 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the solver crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolverError {
+    /// An underlying linear-algebra operation failed.
+    Linalg(cirstag_linalg::LinalgError),
+    /// An underlying graph operation failed.
+    Graph(cirstag_graph::GraphError),
+    /// An iterative method exhausted its budget without reaching tolerance.
+    NoConvergence {
+        /// Name of the algorithm.
+        algorithm: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual norm (or error proxy) at the last iteration.
+        residual: f64,
+    },
+    /// The operator/right-hand-side dimensions disagree.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+    },
+    /// An argument was invalid.
+    InvalidArgument {
+        /// Description of the violated requirement.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            SolverError::Graph(e) => write!(f, "graph error: {e}"),
+            SolverError::NoConvergence {
+                algorithm,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            SolverError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            SolverError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+        }
+    }
+}
+
+impl Error for SolverError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SolverError::Linalg(e) => Some(e),
+            SolverError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cirstag_linalg::LinalgError> for SolverError {
+    fn from(e: cirstag_linalg::LinalgError) -> Self {
+        SolverError::Linalg(e)
+    }
+}
+
+impl From<cirstag_graph::GraphError> for SolverError {
+    fn from(e: cirstag_graph::GraphError) -> Self {
+        SolverError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e: SolverError = cirstag_graph::GraphError::Disconnected.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("graph error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolverError>();
+    }
+}

@@ -1,0 +1,358 @@
+//! Generalized Lanczos for the pencil `L_X v = ζ L_Y v`.
+//!
+//! Phase 3 of CirSTAG needs the largest eigenpairs of `L_Y⁺ L_X`, where
+//! `L_X` / `L_Y` are the input/output manifold Laplacians. On the subspace
+//! orthogonal to the all-ones vector, `L_Y` is positive definite, so
+//! `A = L_Y⁻¹ L_X` is self-adjoint with respect to the `L_Y` inner product
+//! `⟨u, v⟩_B = uᵀ L_Y v`. We run a B-orthogonal Lanczos iteration: each step
+//! costs one sparse product with `L_X` plus one Laplacian solve with `L_Y`.
+
+use crate::lanczos::XorShift;
+use crate::{LaplacianSolver, SolverError};
+use cirstag_linalg::{tridiag_eigen, vecops, CsrMatrix, DenseMatrix};
+
+/// Largest generalized eigenpairs of `L_X v = ζ L_Y v`.
+#[derive(Debug, Clone)]
+pub struct GeneralizedEigen {
+    /// Generalized eigenvalues, sorted descending (`ζ_1 ≥ ζ_2 ≥ …`).
+    pub eigenvalues: Vec<f64>,
+    /// Eigenvectors, `B`-orthonormal (`v_iᵀ L_Y v_j = δ_ij`); column `j`
+    /// pairs with `eigenvalues[j]`.
+    pub eigenvectors: DenseMatrix,
+    /// Lanczos steps performed.
+    pub iterations: usize,
+}
+
+/// Computes the `s` largest eigenpairs of the symmetric PSD pencil
+/// `(L_X, L_Y)` via B-orthogonal Lanczos with full reorthogonalization.
+///
+/// `lx` must be the Laplacian of a connected graph over the same node set as
+/// the graph behind `ly_solver`; both have the all-ones nullspace, which the
+/// iteration avoids by keeping every basis vector mean-zero.
+///
+/// # Errors
+///
+/// - [`SolverError::DimensionMismatch`] when `lx` and the solver disagree on
+///   the dimension.
+/// - [`SolverError::InvalidArgument`] when `s` is zero or too large.
+/// - Propagates Laplacian solve failures.
+pub fn generalized_lanczos(
+    lx: &CsrMatrix,
+    ly_solver: &LaplacianSolver,
+    s: usize,
+    max_iter: usize,
+    seed: u64,
+) -> Result<GeneralizedEigen, SolverError> {
+    let n = ly_solver.dim();
+    if lx.nrows() != n || lx.ncols() != n {
+        return Err(SolverError::DimensionMismatch {
+            expected: n,
+            actual: lx.nrows(),
+        });
+    }
+    // The complement of span{1} has dimension n - 1.
+    if s == 0 || s + 1 > n {
+        return Err(SolverError::InvalidArgument {
+            reason: format!("requested {s} generalized eigenpairs of a dimension-{n} pencil"),
+        });
+    }
+    let ly = ly_solver.laplacian();
+    let max_iter = max_iter.min(n.saturating_sub(1)).max(s);
+
+    let mut rng = XorShift::new(seed);
+    // B-normalized, mean-zero start vector.
+    let mut q = vec![0.0; n];
+    for x in q.iter_mut() {
+        *x = rng.next_f64();
+    }
+    vecops::center(&mut q);
+    let mut p = ly.mul_vec(&q); // p = L_Y q
+    let bnorm = vecops::dot(&q, &p).max(0.0).sqrt();
+    if bnorm == 0.0 {
+        return Err(SolverError::InvalidArgument {
+            reason: "start vector degenerate under the L_Y inner product".to_string(),
+        });
+    }
+    vecops::scale(1.0 / bnorm, &mut q);
+    vecops::scale(1.0 / bnorm, &mut p);
+
+    // basis[j] = q_j, bimages[j] = L_Y q_j.
+    let mut basis: Vec<Vec<f64>> = vec![q];
+    let mut bimages: Vec<Vec<f64>> = vec![p];
+    let mut alphas: Vec<f64> = Vec::new();
+    let mut betas: Vec<f64> = Vec::new();
+
+    loop {
+        let j = alphas.len();
+        let qj = basis[j].clone();
+        // z = L_X q_j (mean-zero since 1 is in L_X's nullspace).
+        let z = lx.mul_vec(&qj);
+        // w = L_Y⁺ z = A q_j.
+        let mut w = ly_solver.solve(&z)?;
+        // alpha_j = ⟨A q_j, q_j⟩_B = zᵀ q_j.
+        let alpha = vecops::dot(&z, &qj);
+        alphas.push(alpha);
+        vecops::axpy(-alpha, &qj, &mut w);
+        if j > 0 {
+            let beta_prev = betas[j - 1];
+            vecops::axpy(-beta_prev, &basis[j - 1], &mut w);
+        }
+        // Full B-reorthogonalization: ⟨w, q_i⟩_B = wᵀ (L_Y q_i).
+        for _ in 0..2 {
+            for (b, bi) in basis.iter().zip(&bimages) {
+                let c = vecops::dot(&w, bi);
+                vecops::axpy(-c, b, &mut w);
+            }
+        }
+        vecops::center(&mut w);
+        let lw = ly.mul_vec(&w);
+        let beta = vecops::dot(&w, &lw).max(0.0).sqrt();
+        let m = alphas.len();
+        let breakdown = beta < 1e-12;
+        let done_budget = m >= max_iter;
+
+        if m >= s && (done_budget || breakdown || m.is_multiple_of(5)) {
+            let tri = tridiag_eigen(&alphas, &betas)?;
+            let mut order: Vec<usize> = (0..m).collect();
+            order.sort_by(|&a, &b| {
+                tri.eigenvalues[b]
+                    .partial_cmp(&tri.eigenvalues[a])
+                    .expect("finite ritz values")
+            });
+            let top = &order[..s];
+            let scale = tri
+                .eigenvalues
+                .iter()
+                .fold(0.0_f64, |acc, v| acc.max(v.abs()))
+                .max(1.0);
+            let tol = 1e-8;
+            let converged = breakdown
+                || top
+                    .iter()
+                    .all(|&jj| beta * tri.eigenvectors.get(m - 1, jj).abs() <= tol * scale);
+            if converged || done_budget {
+                let mut vectors = DenseMatrix::zeros(n, s);
+                let mut eigenvalues = Vec::with_capacity(s);
+                for (out_col, &jj) in top.iter().enumerate() {
+                    eigenvalues.push(tri.eigenvalues[jj]);
+                    for (b_idx, b) in basis.iter().take(m).enumerate() {
+                        let y = tri.eigenvectors.get(b_idx, jj);
+                        if y != 0.0 {
+                            for i in 0..n {
+                                let cur = vectors.get(i, out_col);
+                                vectors.set(i, out_col, cur + y * b[i]);
+                            }
+                        }
+                    }
+                }
+                return Ok(GeneralizedEigen {
+                    eigenvalues,
+                    eigenvectors: vectors,
+                    iterations: m,
+                });
+            }
+        }
+        if breakdown {
+            // Restart with a fresh B-orthogonal direction.
+            let mut fresh = vec![0.0; n];
+            for x in fresh.iter_mut() {
+                *x = rng.next_f64();
+            }
+            vecops::center(&mut fresh);
+            for (b, bi) in basis.iter().zip(&bimages) {
+                let c = vecops::dot(&fresh, bi);
+                vecops::axpy(-c, b, &mut fresh);
+            }
+            vecops::center(&mut fresh);
+            let lf = ly.mul_vec(&fresh);
+            let fb = vecops::dot(&fresh, &lf).max(0.0).sqrt();
+            if fb < 1e-12 {
+                return Err(SolverError::NoConvergence {
+                    algorithm: "generalized lanczos (krylov exhausted)",
+                    iterations: alphas.len(),
+                    residual: beta,
+                });
+            }
+            let mut lf = lf;
+            vecops::scale(1.0 / fb, &mut fresh);
+            vecops::scale(1.0 / fb, &mut lf);
+            betas.push(0.0);
+            basis.push(fresh);
+            bimages.push(lf);
+        } else {
+            betas.push(beta);
+            let mut nq = w;
+            let mut np = lw;
+            vecops::scale(1.0 / beta, &mut nq);
+            vecops::scale(1.0 / beta, &mut np);
+            basis.push(nq);
+            bimages.push(np);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirstag_graph::Graph;
+
+    /// Dense reference: eigenvalues of L_Y⁺ L_X restricted to 1⊥, computed
+    /// via the dense symmetric solver on  M = L_Y^{-1/2} L_X L_Y^{-1/2}
+    /// (pseudo-inverse square roots through Jacobi eigendecomposition).
+    fn dense_reference(gx: &Graph, gy: &Graph, s: usize) -> Vec<f64> {
+        let lx = gx.laplacian().to_dense();
+        let ly = gy.laplacian().to_dense();
+        let (vals, vecs) = cirstag_linalg::jacobi_eigen(&ly).unwrap();
+        let n = lx.nrows();
+        // L_Y^{+1/2} = V diag(1/sqrt(lam)) Vᵀ over nonzero eigenvalues.
+        let mut half = DenseMatrix::zeros(n, n);
+        for k in 0..n {
+            if vals[k] > 1e-9 {
+                let inv = 1.0 / vals[k].sqrt();
+                for i in 0..n {
+                    for j in 0..n {
+                        let cur = half.get(i, j);
+                        half.set(i, j, cur + inv * vecs.get(i, k) * vecs.get(j, k));
+                    }
+                }
+            }
+        }
+        let m = half.matmul(&lx).unwrap().matmul(&half).unwrap();
+        // Symmetrize round-off before Jacobi.
+        let mt = m.transpose();
+        let msym = m.add(&mt).unwrap().scaled(0.5);
+        let (mut mv, _) = cirstag_linalg::jacobi_eigen(&msym).unwrap();
+        mv.reverse();
+        mv.truncate(s);
+        mv
+    }
+
+    fn cycle_graph(n: usize, w: f64) -> Graph {
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n, w)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn identical_graphs_give_unit_eigenvalues() {
+        let g = cycle_graph(8, 1.0);
+        let solver = LaplacianSolver::new(&g).unwrap();
+        let lx = g.laplacian();
+        let r = generalized_lanczos(&lx, &solver, 3, 40, 1.0 as u64).unwrap();
+        for &v in &r.eigenvalues {
+            assert!((v - 1.0).abs() < 1e-6, "eigenvalue {v}");
+        }
+    }
+
+    #[test]
+    fn scaled_graph_scales_eigenvalues() {
+        // L_X = 3 L_Y  =>  all generalized eigenvalues are 3.
+        let gy = cycle_graph(10, 1.0);
+        let gx = cycle_graph(10, 3.0);
+        let solver = LaplacianSolver::new(&gy).unwrap();
+        let r = generalized_lanczos(&gx.laplacian(), &solver, 2, 40, 2).unwrap();
+        for &v in &r.eigenvalues {
+            assert!((v - 3.0).abs() < 1e-6, "eigenvalue {v}");
+        }
+    }
+
+    #[test]
+    fn matches_dense_reference_on_distinct_graphs() {
+        let gx = Graph::from_edges(
+            6,
+            &[
+                (0, 1, 2.0),
+                (1, 2, 1.0),
+                (2, 3, 4.0),
+                (3, 4, 1.0),
+                (4, 5, 2.0),
+                (5, 0, 1.0),
+                (0, 3, 0.5),
+            ],
+        )
+        .unwrap();
+        let gy = Graph::from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 1.0),
+                (3, 4, 2.0),
+                (4, 5, 1.0),
+                (5, 0, 2.0),
+                (1, 4, 1.0),
+            ],
+        )
+        .unwrap();
+        let expect = dense_reference(&gx, &gy, 3);
+        let solver = LaplacianSolver::new(&gy).unwrap();
+        let r = generalized_lanczos(&gx.laplacian(), &solver, 3, 60, 4).unwrap();
+        for (a, b) in r.eigenvalues.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_pencil_equation() {
+        let gx = Graph::from_edges(
+            5,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 1.0),
+                (3, 4, 3.0),
+                (4, 0, 1.0),
+            ],
+        )
+        .unwrap();
+        let gy = cycle_graph(5, 1.0);
+        let solver = LaplacianSolver::new(&gy).unwrap();
+        let lx = gx.laplacian();
+        let ly = gy.laplacian();
+        let r = generalized_lanczos(&lx, &solver, 2, 40, 6).unwrap();
+        for j in 0..2 {
+            let v = r.eigenvectors.column(j);
+            let lxv = lx.mul_vec(&v);
+            let lyv = ly.mul_vec(&v);
+            let z = r.eigenvalues[j];
+            let res: f64 = lxv
+                .iter()
+                .zip(&lyv)
+                .map(|(a, b)| (a - z * b) * (a - z * b))
+                .sum::<f64>()
+                .sqrt();
+            let scale = vecops::norm2(&lxv).max(1e-12);
+            assert!(res / scale < 1e-5, "pencil residual {res}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_b_orthonormal_and_mean_zero() {
+        let gx = cycle_graph(7, 2.0);
+        let gy = cycle_graph(7, 1.0);
+        let solver = LaplacianSolver::new(&gy).unwrap();
+        let ly = gy.laplacian();
+        let r = generalized_lanczos(&gx.laplacian(), &solver, 3, 40, 8).unwrap();
+        for a in 0..3 {
+            let va = r.eigenvectors.column(a);
+            assert!(vecops::mean(&va).abs() < 1e-8);
+            for b in 0..3 {
+                let vb = r.eigenvectors.column(b);
+                let lyb = ly.mul_vec(&vb);
+                let ip = vecops::dot(&va, &lyb);
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((ip - expect).abs() < 1e-5, "B-inner ({a},{b}) = {ip}");
+            }
+        }
+    }
+
+    #[test]
+    fn argument_validation() {
+        let g = cycle_graph(4, 1.0);
+        let solver = LaplacianSolver::new(&g).unwrap();
+        let lx = g.laplacian();
+        assert!(generalized_lanczos(&lx, &solver, 0, 10, 0).is_err());
+        assert!(generalized_lanczos(&lx, &solver, 4, 10, 0).is_err()); // > n-1
+        let small = cycle_graph(3, 1.0).laplacian();
+        assert!(generalized_lanczos(&small, &solver, 1, 10, 0).is_err());
+    }
+}

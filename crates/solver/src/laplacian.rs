@@ -1,0 +1,261 @@
+//! Deflated solver for connected-graph Laplacian systems.
+
+use crate::{
+    conjugate_gradient, CgOptions, CsrOperator, JacobiPreconditioner, Preconditioner, SolverError,
+    TreePreconditioner,
+};
+use cirstag_graph::{Graph, GraphError};
+use cirstag_linalg::vecops;
+use cirstag_linalg::CsrMatrix;
+
+/// Solves `L x = b` for the Laplacian of a *connected* graph.
+///
+/// The Laplacian of a connected graph has a one-dimensional nullspace spanned
+/// by the all-ones vector. This solver restricts the system to the orthogonal
+/// complement: the right-hand side is centered (projected to mean zero) and a
+/// Jacobi-preconditioned CG iteration runs entirely inside the range of `L`,
+/// returning the mean-zero (minimum-norm) solution. This realizes the
+/// pseudoinverse application `x = L⁺ b` used throughout Phases 2–3.
+///
+/// # Example
+///
+/// ```
+/// use cirstag_graph::Graph;
+/// use cirstag_solver::LaplacianSolver;
+///
+/// # fn main() -> Result<(), cirstag_solver::SolverError> {
+/// // Two resistors of 1 Ω in series: R_eff(0, 2) = 2 Ω.
+/// let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)])?;
+/// let solver = LaplacianSolver::new(&g)?;
+/// let r = solver.effective_resistance(0, 2)?;
+/// assert!((r - 2.0).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LaplacianSolver {
+    laplacian: CsrMatrix,
+    preconditioner: PreconditionerKind,
+    options: CgOptions,
+}
+
+#[derive(Debug, Clone)]
+enum PreconditionerKind {
+    Jacobi(JacobiPreconditioner),
+    Tree(TreePreconditioner),
+}
+
+impl Preconditioner for PreconditionerKind {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        match self {
+            PreconditionerKind::Jacobi(p) => p.apply(r, z),
+            PreconditionerKind::Tree(p) => p.apply(r, z),
+        }
+    }
+}
+
+impl LaplacianSolver {
+    /// Builds a solver for the Laplacian of `g` with default CG options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::Graph`] wrapping
+    /// [`GraphError::Disconnected`] when `g` is not connected (the nullspace
+    /// deflation below assumes a single component).
+    pub fn new(g: &Graph) -> Result<Self, SolverError> {
+        Self::with_options(g, CgOptions::default())
+    }
+
+    /// Builds a solver with explicit CG options.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LaplacianSolver::new`].
+    pub fn with_options(g: &Graph, options: CgOptions) -> Result<Self, SolverError> {
+        if !g.is_connected() {
+            return Err(GraphError::Disconnected.into());
+        }
+        let laplacian = g.laplacian();
+        let preconditioner =
+            PreconditionerKind::Jacobi(JacobiPreconditioner::from_matrix(&laplacian));
+        Ok(LaplacianSolver {
+            laplacian,
+            preconditioner,
+            options,
+        })
+    }
+
+    /// Builds a solver preconditioned by a low-stretch spanning tree
+    /// ([`TreePreconditioner`]) — dramatically more robust than Jacobi on
+    /// graphs whose edge weights span many orders of magnitude, such as the
+    /// kNN manifolds of Phase 2.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LaplacianSolver::new`].
+    pub fn with_tree_preconditioner(g: &Graph, options: CgOptions) -> Result<Self, SolverError> {
+        if !g.is_connected() {
+            return Err(GraphError::Disconnected.into());
+        }
+        let laplacian = g.laplacian();
+        let preconditioner = PreconditionerKind::Tree(TreePreconditioner::new(g, 0x7e3)?);
+        Ok(LaplacianSolver {
+            laplacian,
+            preconditioner,
+            options,
+        })
+    }
+
+    /// Dimension of the system (number of graph nodes).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.laplacian.nrows()
+    }
+
+    /// Borrows the assembled Laplacian.
+    #[inline]
+    pub fn laplacian(&self) -> &CsrMatrix {
+        &self.laplacian
+    }
+
+    /// Solves `L x = b`, returning the mean-zero solution.
+    ///
+    /// `b` is centered internally, so right-hand sides with a nonzero mean
+    /// are interpreted as their projection onto the range of `L`.
+    ///
+    /// # Errors
+    ///
+    /// - [`SolverError::DimensionMismatch`] when `b.len() != self.dim()`.
+    /// - [`SolverError::NoConvergence`] when CG fails to reach tolerance.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolverError> {
+        if b.len() != self.dim() {
+            return Err(SolverError::DimensionMismatch {
+                expected: self.dim(),
+                actual: b.len(),
+            });
+        }
+        let mut rhs = b.to_vec();
+        vecops::center(&mut rhs);
+        let op = CsrOperator::new(&self.laplacian);
+        let result = conjugate_gradient(&op, &rhs, &self.preconditioner, self.options)?;
+        if !result.converged {
+            return Err(SolverError::NoConvergence {
+                algorithm: "laplacian pcg",
+                iterations: result.iterations,
+                residual: result.residual_norm,
+            });
+        }
+        let mut x = result.x;
+        // Round-off can leak a small component along the nullspace; remove it
+        // so the result is exactly the pseudoinverse image.
+        vecops::center(&mut x);
+        Ok(x)
+    }
+
+    /// Effective resistance between nodes `p` and `q`:
+    /// `R_eff(p, q) = (e_p − e_q)ᵀ L⁺ (e_p − e_q)`.
+    ///
+    /// # Errors
+    ///
+    /// - [`SolverError::InvalidArgument`] when `p` or `q` is out of bounds.
+    /// - Propagates solve failures.
+    pub fn effective_resistance(&self, p: usize, q: usize) -> Result<f64, SolverError> {
+        let n = self.dim();
+        if p >= n || q >= n {
+            return Err(SolverError::InvalidArgument {
+                reason: format!("node pair ({p}, {q}) out of bounds for {n} nodes"),
+            });
+        }
+        if p == q {
+            return Ok(0.0);
+        }
+        let mut b = vec![0.0; n];
+        b[p] = 1.0;
+        b[q] = -1.0;
+        let x = self.solve(&b)?;
+        Ok(x[p] - x[q])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_satisfies_system() {
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (0, 3, 3.0)]).unwrap();
+        let s = LaplacianSolver::new(&g).unwrap();
+        let mut b = vec![1.0, -0.5, 2.0, -2.5];
+        vecops::center(&mut b);
+        let x = s.solve(&b).unwrap();
+        let lx = s.laplacian().mul_vec(&x);
+        for (a, c) in lx.iter().zip(&b) {
+            assert!((a - c).abs() < 1e-7, "residual entry {}", (a - c).abs());
+        }
+        assert!(vecops::mean(&x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_resistors() {
+        let g = Graph::from_edges(3, &[(0, 1, 2.0), (1, 2, 4.0)]).unwrap();
+        let s = LaplacianSolver::new(&g).unwrap();
+        // R = 1/2 + 1/4.
+        assert!((s.effective_resistance(0, 2).unwrap() - 0.75).abs() < 1e-8);
+    }
+
+    #[test]
+    fn parallel_resistors_via_cycle() {
+        // Triangle of unit resistors: R_eff across one edge = 2/3.
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]).unwrap();
+        let s = LaplacianSolver::new(&g).unwrap();
+        assert!((s.effective_resistance(0, 1).unwrap() - 2.0 / 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn resistance_is_symmetric_and_zero_on_diagonal() {
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 0.5), (3, 0, 1.5)]).unwrap();
+        let s = LaplacianSolver::new(&g).unwrap();
+        let r01 = s.effective_resistance(0, 1).unwrap();
+        let r10 = s.effective_resistance(1, 0).unwrap();
+        assert!((r01 - r10).abs() < 1e-9);
+        assert_eq!(s.effective_resistance(2, 2).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn resistance_bounded_by_direct_edge() {
+        // With an edge (p, q) present, R_eff ≤ 1/w.
+        let g =
+            Graph::from_edges(4, &[(0, 1, 2.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]).unwrap();
+        let s = LaplacianSolver::new(&g).unwrap();
+        assert!(s.effective_resistance(0, 1).unwrap() <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        assert!(LaplacianSolver::new(&g).is_err());
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let g = Graph::from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let s = LaplacianSolver::new(&g).unwrap();
+        assert!(s.effective_resistance(0, 5).is_err());
+        assert!(s.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn uncentered_rhs_is_projected() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let s = LaplacianSolver::new(&g).unwrap();
+        // b with nonzero mean: solver should treat it as centered.
+        let x = s.solve(&[2.0, 1.0, 1.0]).unwrap();
+        let lx = s.laplacian().mul_vec(&x);
+        let centered = [2.0 - 4.0 / 3.0, 1.0 - 4.0 / 3.0, 1.0 - 4.0 / 3.0];
+        for (a, c) in lx.iter().zip(&centered) {
+            assert!((a - c).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Effective-resistance computation: exact and sketched.
+
+use crate::lanczos::XorShift;
+use crate::{LaplacianSolver, SolverError};
+use cirstag_graph::Graph;
+
+/// Computes effective resistances `R_eff(p, q) = (e_p − e_q)ᵀ L⁺ (e_p − e_q)`
+/// over a connected graph.
+///
+/// Two construction modes:
+///
+/// - [`ResistanceEstimator::exact`] answers each query with one Laplacian
+///   solve — precise, but `O(queries · solve)`.
+/// - [`ResistanceEstimator::sketched`] follows Spielman–Srivastava: resistances
+///   are squared distances between rows of `Z = (1/√t) Q W^{1/2} B L⁺`, where
+///   `Q` is a `t × |E|` Rademacher matrix. Building `Z` costs `t` Laplacian
+///   solves; each query is then `O(t)`. With `t = O(log n / ε²)` all
+///   resistances are preserved within `1 ± ε` with high probability.
+///
+/// # Example
+///
+/// ```
+/// use cirstag_graph::Graph;
+/// use cirstag_solver::ResistanceEstimator;
+///
+/// # fn main() -> Result<(), cirstag_solver::SolverError> {
+/// let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])?;
+/// let est = ResistanceEstimator::sketched(&g, 200, 42)?;
+/// let r = est.query(0, 1)?;
+/// assert!((r - 2.0 / 3.0).abs() < 0.1); // triangle of unit resistors
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ResistanceEstimator {
+    mode: Mode,
+    dim: usize,
+}
+
+#[derive(Debug)]
+enum Mode {
+    Exact(LaplacianSolver),
+    /// Row-major `t × n` sketch already scaled by `1/√t`.
+    Sketch {
+        probes: Vec<Vec<f64>>,
+    },
+}
+
+impl ResistanceEstimator {
+    /// Builds an exact estimator (one Laplacian solve per query).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `g` is disconnected.
+    pub fn exact(g: &Graph) -> Result<Self, SolverError> {
+        let solver = LaplacianSolver::new(g)?;
+        Ok(ResistanceEstimator {
+            dim: solver.dim(),
+            mode: Mode::Exact(solver),
+        })
+    }
+
+    /// Builds a Johnson–Lindenstrauss sketched estimator with `num_probes`
+    /// random projections (typically `O(log |V|)`; 64–256 is plenty for the
+    /// ranking use-cases in CirSTAG).
+    ///
+    /// # Errors
+    ///
+    /// - [`SolverError::InvalidArgument`] when `num_probes == 0`.
+    /// - Fails when `g` is disconnected or a solve does not converge.
+    pub fn sketched(g: &Graph, num_probes: usize, seed: u64) -> Result<Self, SolverError> {
+        if num_probes == 0 {
+            return Err(SolverError::InvalidArgument {
+                reason: "num_probes must be positive".to_string(),
+            });
+        }
+        // Ranking-grade tolerance: resistance sketches feed η-score
+        // orderings, so a 1e-6 relative residual is ample and much more
+        // robust on ill-conditioned manifold Laplacians than the default.
+        let solver = LaplacianSolver::with_tree_preconditioner(
+            g,
+            crate::CgOptions {
+                tol: 1e-6,
+                max_iter: 10_000,
+            },
+        )?;
+        let n = g.num_nodes();
+        let mut rng = XorShift::new(seed);
+        let inv_sqrt_t = 1.0 / (num_probes as f64).sqrt();
+        let mut probes = Vec::with_capacity(num_probes);
+        for _ in 0..num_probes {
+            // b = Bᵀ W^{1/2} q with Rademacher q over edges.
+            let mut b = vec![0.0; n];
+            for e in g.edges() {
+                let s = rng.next_sign() * e.weight.sqrt();
+                b[e.u] += s;
+                b[e.v] -= s;
+            }
+            let mut x = solver.solve(&b)?;
+            for v in &mut x {
+                *v *= inv_sqrt_t;
+            }
+            probes.push(x);
+        }
+        Ok(ResistanceEstimator {
+            dim: n,
+            mode: Mode::Sketch { probes },
+        })
+    }
+
+    /// Number of nodes in the underlying graph.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Returns `true` when this estimator answers queries from a sketch.
+    pub fn is_sketched(&self) -> bool {
+        matches!(self.mode, Mode::Sketch { .. })
+    }
+
+    /// Effective resistance between `p` and `q`.
+    ///
+    /// # Errors
+    ///
+    /// - [`SolverError::InvalidArgument`] when an index is out of bounds.
+    /// - Exact mode propagates solve failures.
+    pub fn query(&self, p: usize, q: usize) -> Result<f64, SolverError> {
+        if p >= self.dim || q >= self.dim {
+            return Err(SolverError::InvalidArgument {
+                reason: format!("node pair ({p}, {q}) out of bounds for {} nodes", self.dim),
+            });
+        }
+        if p == q {
+            return Ok(0.0);
+        }
+        match &self.mode {
+            Mode::Exact(solver) => solver.effective_resistance(p, q),
+            Mode::Sketch { probes } => {
+                let mut acc = 0.0;
+                for row in probes {
+                    let d = row[p] - row[q];
+                    acc += d * d;
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    /// Effective resistance of every edge of `g`, in edge-id order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ResistanceEstimator::query`] failures; also fails when
+    /// `g`'s node count differs from the estimator's.
+    pub fn edge_resistances(&self, g: &Graph) -> Result<Vec<f64>, SolverError> {
+        if g.num_nodes() != self.dim {
+            return Err(SolverError::DimensionMismatch {
+                expected: self.dim,
+                actual: g.num_nodes(),
+            });
+        }
+        g.edges().iter().map(|e| self.query(e.u, e.v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let id = i * n + j;
+                if j + 1 < n {
+                    edges.push((id, id + 1, 1.0));
+                }
+                if i + 1 < n {
+                    edges.push((id, id + n, 1.0));
+                }
+            }
+        }
+        Graph::from_edges(n * n, &edges).unwrap()
+    }
+
+    #[test]
+    fn exact_series_parallel() {
+        // Two parallel paths of resistances 2 and 2 => 1.
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let est = ResistanceEstimator::exact(&g).unwrap();
+        assert!((est.query(0, 3).unwrap() - 1.0).abs() < 1e-8);
+        assert!(!est.is_sketched());
+    }
+
+    #[test]
+    fn sketch_matches_exact_within_tolerance() {
+        let g = grid(5);
+        let exact = ResistanceEstimator::exact(&g).unwrap();
+        let sketch = ResistanceEstimator::sketched(&g, 400, 7).unwrap();
+        assert!(sketch.is_sketched());
+        let pairs = [(0usize, 24usize), (0, 1), (12, 13), (4, 20)];
+        for &(p, q) in &pairs {
+            let e = exact.query(p, q).unwrap();
+            let s = sketch.query(p, q).unwrap();
+            assert!(
+                (s - e).abs() / e < 0.25,
+                "pair ({p},{q}): sketch {s} vs exact {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_preserves_ranking_mostly() {
+        let g = grid(4);
+        let exact = ResistanceEstimator::exact(&g).unwrap();
+        let sketch = ResistanceEstimator::sketched(&g, 300, 3).unwrap();
+        let re = exact.edge_resistances(&g).unwrap();
+        let rs = sketch.edge_resistances(&g).unwrap();
+        // Spearman-ish check: correlation of the two vectors is high.
+        let n = re.len() as f64;
+        let me = re.iter().sum::<f64>() / n;
+        let ms = rs.iter().sum::<f64>() / n;
+        let cov: f64 = re.iter().zip(&rs).map(|(a, b)| (a - me) * (b - ms)).sum();
+        let va: f64 = re.iter().map(|a| (a - me) * (a - me)).sum();
+        let vb: f64 = rs.iter().map(|b| (b - ms) * (b - ms)).sum();
+        let corr = cov / (va.sqrt() * vb.sqrt());
+        assert!(corr > 0.9, "correlation {corr}");
+    }
+
+    #[test]
+    fn edge_resistance_bounded_by_inverse_weight() {
+        let g = grid(4);
+        let est = ResistanceEstimator::exact(&g).unwrap();
+        for e in g.edges() {
+            let r = est.query(e.u, e.v).unwrap();
+            assert!(r <= 1.0 / e.weight + 1e-9);
+            assert!(r > 0.0);
+        }
+    }
+
+    #[test]
+    fn sum_of_edge_weight_times_resistance_is_n_minus_one() {
+        // Foster's theorem: Σ_e w_e R_eff(e) = |V| − 1.
+        let g = grid(4);
+        let est = ResistanceEstimator::exact(&g).unwrap();
+        let total: f64 = g
+            .edges()
+            .iter()
+            .map(|e| e.weight * est.query(e.u, e.v).unwrap())
+            .sum();
+        assert!((total - 15.0).abs() < 1e-6, "foster sum {total}");
+    }
+
+    #[test]
+    fn argument_validation() {
+        let g = Graph::from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let est = ResistanceEstimator::exact(&g).unwrap();
+        assert!(est.query(0, 9).is_err());
+        assert_eq!(est.query(1, 1).unwrap(), 0.0);
+        assert!(ResistanceEstimator::sketched(&g, 0, 1).is_err());
+        let other = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        assert!(est.edge_resistances(&other).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = grid(3);
+        let a = ResistanceEstimator::sketched(&g, 64, 5).unwrap();
+        let b = ResistanceEstimator::sketched(&g, 64, 5).unwrap();
+        assert_eq!(a.query(0, 8).unwrap(), b.query(0, 8).unwrap());
+    }
+}

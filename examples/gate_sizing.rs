@@ -1,0 +1,131 @@
+//! Application extension from the paper's introduction: *"stability analysis
+//! guides circuit optimization tasks, such as gate sizing […] by identifying
+//! the most unstable circuit nodes that, when modified, can significantly
+//! improve overall performance."*
+//!
+//! Gate sizing for **variability reduction**: upsizing a gate (halved drive
+//! resistance, 1.5× input capacitance) halves the sensitivity of its delay
+//! to load changes. We size a fixed budget of gates chosen by CirSTAG
+//! instability vs at random, then measure how much the critical path drifts
+//! under an ensemble of random pin-capacitance perturbations — the
+//! stability-oriented counterpart of classical slack-driven sizing.
+//!
+//! ```sh
+//! cargo run --release --example gate_sizing
+//! ```
+
+use cirstag_bench::case_a::{TimingCase, TimingCaseConfig};
+use cirstag_suite::circuit::{PinRole, StaEngine, TimingGraph};
+use cirstag_suite::core::{rank_descending, CirStagConfig};
+
+/// Sizing model: chosen cells get drive ×0.5 and input-pin caps ×1.5.
+fn sizing(case: &TimingCase, cells: &[usize]) -> (Vec<f64>, Vec<f64>) {
+    let mut drive = vec![1.0f64; case.netlist.num_cells()];
+    let mut caps = case.timing.pin_caps();
+    for &c in cells {
+        drive[c] = 0.5;
+        for p in 0..case.timing.num_pins() {
+            if let PinRole::CellInput { cell, .. } = case.timing.pin(p).role {
+                if cell == c {
+                    caps[p] *= 1.5;
+                }
+            }
+        }
+    }
+    (caps, drive)
+}
+
+/// Mean critical-path drift (%) over an ensemble of random 3× perturbations
+/// of 10% of the pins, applied on top of the sized design.
+fn ensemble_drift(timing: &TimingGraph, caps: &[f64], drive: &[f64]) -> f64 {
+    let base = StaEngine::with_adjustments(timing, caps, Some(drive)).critical_arrival();
+    let n = timing.num_pins();
+    let mut total = 0.0;
+    let trials = 40;
+    let mut state: u64 = 0x5eed;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    for _ in 0..trials {
+        let mut perturbed = caps.to_vec();
+        for _ in 0..n / 10 {
+            let p = (next() % n as u64) as usize;
+            if timing.pin(p).role != PinRole::PrimaryOutput {
+                perturbed[p] *= 3.0;
+            }
+        }
+        let after = StaEngine::with_adjustments(timing, &perturbed, Some(drive)).critical_arrival();
+        total += (after - base).abs() / base;
+    }
+    total / trials as f64 * 100.0
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut case = TimingCase::build(
+        "sizing",
+        &TimingCaseConfig {
+            num_gates: 400,
+            seed: 21,
+            epochs: 220,
+            hidden: 32,
+        },
+    )?;
+    let base = StaEngine::new(&case.timing).critical_arrival();
+    println!(
+        "benchmark: {} gates, base critical path {:.4} ns (GNN R² {:.4})",
+        case.netlist.num_cells(),
+        base,
+        case.r2
+    );
+    let budget = case.netlist.num_cells() / 10; // size 10% of gates
+
+    // CirSTAG selection: gates whose output pin scores most unstable.
+    let report = case.stability(CirStagConfig {
+        embedding_dim: 16,
+        num_eigenpairs: 25,
+        knn_k: 10,
+        ..Default::default()
+    })?;
+    let mut cirstag_cells = Vec::new();
+    for p in rank_descending(&report.node_scores) {
+        if let PinRole::CellOutput { cell } = case.timing.pin(p).role {
+            if !cirstag_cells.contains(&cell) {
+                cirstag_cells.push(cell);
+                if cirstag_cells.len() == budget {
+                    break;
+                }
+            }
+        }
+    }
+    // Random selection (seeded, distinct cells).
+    let mut random_cells = Vec::new();
+    let mut i = 0usize;
+    while random_cells.len() < budget {
+        let c = (i * 2654435761 + 17) % case.netlist.num_cells();
+        if !random_cells.contains(&c) {
+            random_cells.push(c);
+        }
+        i += 1;
+    }
+
+    let nominal_caps = case.timing.pin_caps();
+    let nominal_drive = vec![1.0f64; case.netlist.num_cells()];
+    let drift_unsized = ensemble_drift(&case.timing, &nominal_caps, &nominal_drive);
+    let (caps_c, drive_c) = sizing(&case, &cirstag_cells);
+    let drift_cirstag = ensemble_drift(&case.timing, &caps_c, &drive_c);
+    let (caps_r, drive_r) = sizing(&case, &random_cells);
+    let drift_random = ensemble_drift(&case.timing, &caps_r, &drive_r);
+
+    println!("\ncritical-path drift under random cap variation (mean |Δ|, 40 trials):");
+    println!("  no sizing          : {drift_unsized:.3}%");
+    println!("  size {budget} CirSTAG gates: {drift_cirstag:.3}%");
+    println!("  size {budget} random gates : {drift_random:.3}%");
+    println!(
+        "\nstability-guided sizing reduces variability at least as well as random: {}",
+        drift_cirstag <= drift_random
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Case-Study-B walkthrough: a GAT classifies gates of an interconnected
+//! netlist into sub-circuit classes; CirSTAG finds the gates whose local
+//! topology the classifier depends on most, validated by input rewiring.
+//!
+//! ```sh
+//! cargo run --release --example reverse_engineering
+//! ```
+
+use cirstag_bench::case_b::{RevengCase, RevengCaseConfig};
+use cirstag_suite::core::{bottom_fraction, top_fraction, CirStagConfig};
+use cirstag_suite::reveng::SubcircuitKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut case = RevengCase::build(&RevengCaseConfig {
+        num_modules: 21,
+        seed: 5,
+        epochs: 200,
+        heads: 2,
+        head_dim: 12,
+        train_fraction: 0.8,
+    })?;
+    println!(
+        "dataset: {} gates over {} classes; GAT accuracy {:.4}, F1-macro {:.4}",
+        case.dataset.netlist.num_cells(),
+        SubcircuitKind::ALL.len(),
+        case.accuracy,
+        case.f1
+    );
+
+    let report = case.stability(CirStagConfig {
+        embedding_dim: 16,
+        num_eigenpairs: 20,
+        knn_k: 8,
+        ..Default::default()
+    })?;
+
+    // Which sub-circuit classes harbour the most unstable gates?
+    let unstable = top_fraction(&report.node_scores, 0.10, None);
+    let mut per_class = vec![0usize; SubcircuitKind::ALL.len()];
+    for &g in &unstable {
+        per_class[case.dataset.labels[g]] += 1;
+    }
+    println!("\nunstable gates per class (top 10%):");
+    for (kind, &count) in SubcircuitKind::ALL.iter().zip(&per_class) {
+        println!("  {:<12} {count}", kind.name());
+    }
+
+    // Validate: rewiring unstable gates should hurt the classifier more.
+    let stable = bottom_fraction(&report.node_scores, 0.10, None);
+    let hit_unstable = case.rewire_outcome(&unstable, 9)?;
+    let hit_stable = case.rewire_outcome(&stable, 9)?;
+    println!(
+        "\nrewire 10% most-UNSTABLE gates: cosine {:.4}, F1 {:.4}",
+        hit_unstable.cosine, hit_unstable.f1
+    );
+    println!(
+        "rewire 10% most-stable gates:   cosine {:.4}, F1 {:.4}",
+        hit_stable.cosine, hit_stable.f1
+    );
+    Ok(())
+}

@@ -1,0 +1,11 @@
+#!/bin/bash
+cd /root/repo
+# wait until table1 finishes (output file becomes non-empty and process gone)
+while ! grep -q "shape checks" results/table1.txt 2>/dev/null; do sleep 20; done
+cargo run --release -q -p cirstag-bench --bin fig3 > results/fig3.txt 2>results/fig3.log
+cargo run --release -q -p cirstag-bench --bin fig4 > results/fig4.txt 2>results/fig4.log
+cargo run --release -q -p cirstag-bench --bin table2 > results/table2.txt 2>results/table2.log
+cargo run --release -q -p cirstag-bench --bin ablation_pgm > results/ablation_pgm.txt 2>results/ablation_pgm.log
+cargo run --release -q -p cirstag-bench --bin ablation_manifold > results/ablation_manifold.txt 2>results/ablation_manifold.log
+cargo run --release -q -p cirstag-bench --bin fig5 > results/fig5.txt 2>results/fig5.log
+echo ALL_DONE > results/done.marker

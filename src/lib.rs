@@ -1,0 +1,25 @@
+//! Meta-crate bundling the full CirSTAG reproduction stack.
+//!
+//! Re-exports each workspace crate under a short module name so examples and
+//! integration tests can reach the whole system through one dependency:
+//!
+//! ```
+//! use cirstag_suite::linalg::DenseMatrix;
+//!
+//! let m = DenseMatrix::identity(2);
+//! assert_eq!(m.get(0, 0), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use cirstag_circuit as circuit;
+pub use cirstag_embed as embed;
+pub use cirstag_gnn as gnn;
+pub use cirstag_graph as graph;
+pub use cirstag_linalg as linalg;
+pub use cirstag_pgm as pgm;
+pub use cirstag_reveng as reveng;
+pub use cirstag_solver as solver;
+
+/// The CirSTAG core pipeline (Phases 1–3, stability scores).
+pub use cirstag as core;

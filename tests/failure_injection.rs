@@ -1,0 +1,196 @@
+//! Failure-injection integration tests: malformed, degenerate and adversarial
+//! inputs must surface as typed errors (or well-defined fallbacks), never as
+//! panics, hangs or silent garbage.
+
+use cirstag_suite::circuit::{parse_netlist, CellLibrary};
+use cirstag_suite::core::{CirStag, CirStagConfig, CirStagError};
+use cirstag_suite::embed::{knn_graph, spectral_embedding, KnnConfig, SpectralConfig};
+use cirstag_suite::gnn::{Activation, GnnModel, GraphContext, LayerSpec, TrainConfig};
+use cirstag_suite::graph::Graph;
+use cirstag_suite::linalg::DenseMatrix;
+
+fn ring(n: usize) -> Graph {
+    Graph::from_edges(
+        n,
+        &(0..n).map(|i| (i, (i + 1) % n, 1.0)).collect::<Vec<_>>(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn nan_embedding_is_rejected_not_propagated() {
+    let g = ring(10);
+    let mut emb = DenseMatrix::zeros(10, 2);
+    emb.set(3, 1, f64::NAN);
+    let err = CirStag::new(CirStagConfig::default())
+        .analyze(&g, None, &emb)
+        .unwrap_err();
+    assert!(matches!(err, CirStagError::Embed(_)), "got {err:?}");
+}
+
+#[test]
+fn constant_embedding_still_produces_finite_scores() {
+    // A GNN that collapses every node to the same point: kNN distances all
+    // hit the ε floor; the pipeline must survive and return finite scores.
+    let g = ring(12);
+    let emb = DenseMatrix::from_vec(12, 3, vec![1.0; 36]).unwrap();
+    let report = CirStag::new(CirStagConfig {
+        embedding_dim: 4,
+        knn_k: 4,
+        num_eigenpairs: 3,
+        ..Default::default()
+    })
+    .analyze(&g, None, &emb)
+    .unwrap();
+    assert!(report.node_scores.iter().all(|s| s.is_finite()));
+}
+
+#[test]
+fn adversarial_embedding_with_extreme_outlier() {
+    // One node mapped astronomically far away must not destabilize the rest.
+    let n = 16;
+    let g = ring(n);
+    let mut rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64 * std::f64::consts::TAU;
+            vec![t.cos(), t.sin()]
+        })
+        .collect();
+    rows[5] = vec![1e12, -1e12];
+    let emb = DenseMatrix::from_rows(&rows).unwrap();
+    let report = CirStag::new(CirStagConfig {
+        embedding_dim: 4,
+        knn_k: 4,
+        num_eigenpairs: 3,
+        ..Default::default()
+    })
+    .analyze(&g, None, &emb)
+    .unwrap();
+    assert!(report.node_scores.iter().all(|s| s.is_finite()));
+    // The outlier should rank among the most unstable nodes.
+    let ranking = report.ranking();
+    let pos = ranking.iter().position(|&i| i == 5).unwrap();
+    assert!(pos < n / 2, "outlier ranked only {pos}");
+}
+
+#[test]
+fn disconnected_input_graph_is_a_typed_error() {
+    let g = Graph::from_edges(8, &[(0, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0), (6, 7, 1.0)]).unwrap();
+    let emb = DenseMatrix::zeros(8, 2);
+    // Spectral embedding itself works on disconnected graphs, but Phase 3
+    // needs a connected output manifold; the kNN backbone provides it, so
+    // the *input-graph* disconnection only matters for skip_dimension_reduction.
+    let err = CirStag::new(CirStagConfig {
+        skip_dimension_reduction: true,
+        embedding_dim: 3,
+        knn_k: 3,
+        num_eigenpairs: 2,
+        ..Default::default()
+    })
+    .analyze(&g, None, &emb);
+    // Either a clean error (preferred) or finite scores are acceptable; a
+    // panic or NaN is not. With a constant zero embedding, the output kNN
+    // manifold is connected via the backbone, so the L_X side decides.
+    if let Ok(report) = err {
+        assert!(report.node_scores.iter().all(|s| s.is_finite()));
+    }
+}
+
+#[test]
+fn truncated_netlist_file_fails_with_line_info() {
+    let lib = CellLibrary::standard();
+    let text = ".model broken\n.inputs a b\n.gate NAND2 a b"; // missing output + .end
+    let err = parse_netlist(text, &lib).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("line 3"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn gnn_divergence_is_reported_not_propagated_as_nan() {
+    // An absurd learning rate should either diverge (typed error) or still
+    // yield finite parameters — never silently produce NaN predictions.
+    let g = ring(8);
+    let ctx = GraphContext::new(&g);
+    let x =
+        DenseMatrix::from_rows(&(0..8).map(|i| vec![i as f64 * 1e3]).collect::<Vec<_>>()).unwrap();
+    let y = x.clone();
+    let mut model = GnnModel::new(
+        1,
+        &[
+            LayerSpec::Gcn {
+                dim: 8,
+                activation: Activation::Relu,
+            },
+            LayerSpec::Linear {
+                dim: 1,
+                activation: Activation::Identity,
+            },
+        ],
+        1,
+    )
+    .unwrap();
+    let result = model.fit_regression(
+        &ctx,
+        &x,
+        &y,
+        None,
+        &TrainConfig {
+            epochs: 50,
+            learning_rate: 1e6,
+            weight_decay: 0.0,
+            clip_norm: 0.0,
+            ..TrainConfig::default()
+        },
+    );
+    match result {
+        Err(e) => assert!(e.to_string().contains("diverged")),
+        Ok(_) => {
+            let pred = model.forward(&ctx, &x, false).unwrap();
+            assert!(pred.all_finite(), "silent NaN predictions");
+        }
+    }
+}
+
+#[test]
+fn knn_with_excessive_k_is_rejected() {
+    let pts = DenseMatrix::zeros(5, 2);
+    assert!(knn_graph(&pts, 5, &KnnConfig::default()).is_err());
+    assert!(knn_graph(&pts, 0, &KnnConfig::default()).is_err());
+}
+
+#[test]
+fn spectral_embedding_on_single_edge_graph() {
+    // Degenerate two-node graph: the embedding must still be well defined.
+    let g = Graph::from_edges(2, &[(0, 1, 1.0)]).unwrap();
+    let u = spectral_embedding(&g, 1, &SpectralConfig::default()).unwrap();
+    assert_eq!(u.shape(), (2, 1));
+    assert!(u.all_finite());
+}
+
+#[test]
+fn zero_feature_weight_ignores_feature_garbage() {
+    // With feature_weight = 0 the pipeline must not even look at feature
+    // values — huge magnitudes are fine.
+    let n = 12;
+    let g = ring(n);
+    let emb = DenseMatrix::from_rows(
+        &(0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64 * std::f64::consts::TAU;
+                vec![t.cos(), t.sin()]
+            })
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let garbage = DenseMatrix::from_vec(n, 1, vec![1e30; n]).unwrap();
+    let cfg = CirStagConfig {
+        embedding_dim: 4,
+        knn_k: 4,
+        num_eigenpairs: 3,
+        feature_weight: 0.0,
+        ..Default::default()
+    };
+    let with = CirStag::new(cfg).analyze(&g, Some(&garbage), &emb).unwrap();
+    let without = CirStag::new(cfg).analyze(&g, None, &emb).unwrap();
+    assert_eq!(with.node_scores, without.node_scores);
+}

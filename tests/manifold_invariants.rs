@@ -1,0 +1,177 @@
+//! Property-based invariants of the manifold machinery, spanning the
+//! embed / pgm / solver crates.
+
+use cirstag_suite::embed::{knn_graph, spectral_embedding, KnnConfig, SpectralConfig};
+use cirstag_suite::graph::Graph;
+use cirstag_suite::linalg::DenseMatrix;
+use cirstag_suite::pgm::{learn_manifold, PgmConfig};
+use cirstag_suite::solver::ResistanceEstimator;
+use proptest::prelude::*;
+
+/// Random connected graph: a ring plus random chords, 8–40 nodes.
+fn arb_connected_graph() -> impl Strategy<Value = Graph> {
+    (
+        8usize..40,
+        proptest::collection::vec((0usize..1000, 0usize..1000, 0.2f64..5.0), 0..30),
+    )
+        .prop_map(|(n, chords)| {
+            let mut edges: Vec<(usize, usize, f64)> =
+                (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect();
+            for (a, b, w) in chords {
+                let u = a % n;
+                let v = b % n;
+                if u != v {
+                    edges.push((u, v, w));
+                }
+            }
+            Graph::from_edges(n, &edges).expect("valid edges")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn spectral_embedding_rows_are_finite_and_bounded(g in arb_connected_graph()) {
+        let m = 4.min(g.num_nodes() - 1);
+        let u = spectral_embedding(&g, m, &SpectralConfig::default()).expect("embedding");
+        prop_assert_eq!(u.shape(), (g.num_nodes(), m));
+        prop_assert!(u.all_finite());
+        // Columns are weighted unit eigenvectors: norms within [0, sqrt(2)].
+        for j in 0..m {
+            let col = u.column(j);
+            let norm: f64 = col.iter().map(|v| v * v).sum::<f64>().sqrt();
+            prop_assert!(norm <= 2.0_f64.sqrt() + 1e-6, "column {} norm {}", j, norm);
+        }
+    }
+
+    #[test]
+    fn knn_manifold_is_connected_and_sane(g in arb_connected_graph()) {
+        let m = 4.min(g.num_nodes() - 1);
+        let u = spectral_embedding(&g, m, &SpectralConfig::default()).expect("embedding");
+        let k = 4.min(g.num_nodes() - 1);
+        let dense = knn_graph(&u, k, &KnnConfig::default()).expect("knn");
+        prop_assert!(dense.is_connected());
+        prop_assert_eq!(dense.num_nodes(), g.num_nodes());
+        // Union-symmetrized kNN has between k·n/2 and k·n edges (+backbone).
+        prop_assert!(dense.num_edges() >= k * g.num_nodes() / 2);
+        for e in dense.edges() {
+            prop_assert!(e.weight > 0.0 && e.weight.is_finite());
+        }
+    }
+
+    #[test]
+    fn pgm_sparsifier_preserves_connectivity_and_budget(g in arb_connected_graph()) {
+        let m = 4.min(g.num_nodes() - 1);
+        let u = spectral_embedding(&g, m, &SpectralConfig::default()).expect("embedding");
+        let k = 5.min(g.num_nodes() - 1);
+        let dense = knn_graph(&u, k, &KnnConfig::default()).expect("knn");
+        let cfg = PgmConfig { degree_target: 3.0, ..Default::default() };
+        let result = learn_manifold(&dense, &cfg).expect("sparsify");
+        prop_assert!(result.graph.is_connected());
+        prop_assert!(result.graph.num_edges() <= dense.num_edges());
+        let budget = (3.0 * g.num_nodes() as f64 / 2.0).ceil() as usize;
+        prop_assert!(
+            result.graph.num_edges() <= budget.max(g.num_nodes() - 1) + 1,
+            "edges {} over budget {}",
+            result.graph.num_edges(),
+            budget
+        );
+        prop_assert_eq!(
+            result.stats.edges_after,
+            result.stats.tree_edges + result.stats.kept_by_lrd + result.stats.kept_by_eta
+        );
+    }
+
+    #[test]
+    fn sketched_resistance_tracks_exact(g in arb_connected_graph()) {
+        let exact = ResistanceEstimator::exact(&g).expect("exact");
+        let sketch = ResistanceEstimator::sketched(&g, 512, 9).expect("sketch");
+        for e in g.edges().iter().take(10) {
+            let re = exact.query(e.u, e.v).expect("exact query");
+            let rs = sketch.query(e.u, e.v).expect("sketch query");
+            prop_assert!(
+                (rs - re).abs() <= 0.35 * re + 1e-9,
+                "edge ({}, {}): sketch {} vs exact {}",
+                e.u, e.v, rs, re
+            );
+        }
+    }
+
+    #[test]
+    fn foster_theorem_holds(g in arb_connected_graph()) {
+        // Σ_e w_e · R_eff(e) = |V| − 1 for any connected graph.
+        let exact = ResistanceEstimator::exact(&g).expect("exact");
+        let total: f64 = g
+            .edges()
+            .iter()
+            .map(|e| e.weight * exact.query(e.u, e.v).expect("query"))
+            .sum();
+        let expect = (g.num_nodes() - 1) as f64;
+        prop_assert!((total - expect).abs() < 1e-4 * expect.max(1.0), "foster sum {}", total);
+    }
+}
+
+#[test]
+fn embedding_separates_communities() {
+    // Two rings joined by a single weak edge: the second spectral coordinate
+    // must separate the communities.
+    let n = 12;
+    let mut edges = Vec::new();
+    for i in 0..n {
+        edges.push((i, (i + 1) % n, 1.0));
+        edges.push((n + i, n + (i + 1) % n, 1.0));
+    }
+    edges.push((0, n, 0.05));
+    let g = Graph::from_edges(2 * n, &edges).unwrap();
+    let u = spectral_embedding(&g, 2, &SpectralConfig::default()).unwrap();
+    // Fiedler-like column: constant sign per community.
+    let col: Vec<f64> = u.column(1);
+    let left_pos = col[..n].iter().filter(|v| **v > 0.0).count();
+    let right_pos = col[n..].iter().filter(|v| **v > 0.0).count();
+    assert!(
+        (left_pos >= n - 1 && right_pos <= 1) || (left_pos <= 1 && right_pos >= n - 1),
+        "communities not separated: {left_pos} vs {right_pos}"
+    );
+}
+
+#[test]
+fn knn_on_embedding_recovers_ring_locality() {
+    let n = 30;
+    let g = Graph::from_edges(
+        n,
+        &(0..n).map(|i| (i, (i + 1) % n, 1.0)).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let u = spectral_embedding(&g, 3, &SpectralConfig::default()).unwrap();
+    let knn = knn_graph(&u, 2, &KnnConfig::default()).unwrap();
+    // Most kNN edges should be ring-adjacent (distance 1 or 2 on the ring).
+    // Note: a perfectly symmetric ring has degenerate Laplacian eigenpairs,
+    // and a single-vector Krylov space recovers only one direction per
+    // eigenspace, so some folding is expected — hence the 60% bar (real
+    // circuit graphs are irregular and do not hit this).
+    let close = knn
+        .edges()
+        .iter()
+        .filter(|e| {
+            let d = (e.u as i64 - e.v as i64).rem_euclid(n as i64);
+            d <= 2 || d >= n as i64 - 2
+        })
+        .count();
+    assert!(
+        close * 10 >= knn.num_edges() * 6,
+        "only {close}/{} edges are ring-local",
+        knn.num_edges()
+    );
+}
+
+#[test]
+fn pgm_handles_degenerate_duplicate_points() {
+    // All points identical: kNN weights hit the ε floor, the backbone keeps
+    // the graph connected, and sparsification must not panic.
+    let pts = DenseMatrix::from_vec(10, 2, vec![1.0; 20]).unwrap();
+    let dense = knn_graph(&pts, 3, &KnnConfig::default()).unwrap();
+    assert!(dense.is_connected());
+    let result = learn_manifold(&dense, &PgmConfig::default()).unwrap();
+    assert!(result.graph.is_connected());
+}

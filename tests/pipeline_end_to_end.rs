@@ -1,0 +1,131 @@
+//! End-to-end integration: circuit generation → STA → GNN training →
+//! CirSTAG → perturbation validation, across crate boundaries.
+
+use cirstag_bench::case_a::{TimingCase, TimingCaseConfig};
+use cirstag_suite::core::{bottom_fraction, top_fraction, CirStagConfig};
+
+fn build_case() -> TimingCase {
+    TimingCase::build(
+        "it",
+        &TimingCaseConfig {
+            num_gates: 200,
+            seed: 101,
+            epochs: 180,
+            hidden: 24,
+        },
+    )
+    .expect("case builds")
+}
+
+#[test]
+fn full_pipeline_produces_actionable_ranking() {
+    let mut case = build_case();
+    assert!(case.r2 > 0.9, "timing GNN R² too low: {}", case.r2);
+
+    let report = case
+        .stability(CirStagConfig {
+            embedding_dim: 12,
+            num_eigenpairs: 15,
+            knn_k: 8,
+            ..Default::default()
+        })
+        .expect("stability analysis");
+    assert_eq!(report.node_scores.len(), case.timing.num_pins());
+    assert!(report
+        .node_scores
+        .iter()
+        .all(|s| s.is_finite() && *s >= 0.0));
+    assert!(report.eigenvalues[0] > 0.0);
+
+    // The headline claim at integration scale: perturbing the pins CirSTAG
+    // flags as unstable moves the GNN's output predictions more than
+    // perturbing the pins it flags as stable.
+    let eligible = case.eligible();
+    let unstable = top_fraction(&report.node_scores, 0.10, Some(&eligible));
+    let stable = bottom_fraction(&report.node_scores, 0.10, Some(&eligible));
+    assert!(!unstable.is_empty() && !stable.is_empty());
+    assert!(unstable.iter().all(|&p| eligible[p]));
+    let u = case
+        .perturb_outcome(&unstable, 10.0)
+        .expect("perturb unstable");
+    let s = case.perturb_outcome(&stable, 10.0).expect("perturb stable");
+    assert!(
+        u.mean() > s.mean(),
+        "no separation: unstable {} vs stable {}",
+        u.mean(),
+        s.mean()
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let mut a = build_case();
+    let mut b = build_case();
+    assert_eq!(a.r2, b.r2, "training must be bit-reproducible");
+    let cfg = CirStagConfig {
+        embedding_dim: 12,
+        num_eigenpairs: 10,
+        knn_k: 8,
+        ..Default::default()
+    };
+    let ra = a.stability(cfg).expect("run a");
+    let rb = b.stability(cfg).expect("run b");
+    assert_eq!(ra.node_scores, rb.node_scores);
+    assert_eq!(ra.eigenvalues, rb.eigenvalues);
+}
+
+#[test]
+fn ablations_run_and_differ() {
+    let mut case = build_case();
+    let base_cfg = CirStagConfig {
+        embedding_dim: 12,
+        num_eigenpairs: 10,
+        knn_k: 8,
+        ..Default::default()
+    };
+    let base = case.stability(base_cfg).expect("base");
+    let nodim = case
+        .stability(CirStagConfig {
+            skip_dimension_reduction: true,
+            ..base_cfg
+        })
+        .expect("nodim");
+    let dense = case
+        .stability(CirStagConfig {
+            skip_manifold_sparsification: true,
+            ..base_cfg
+        })
+        .expect("dense");
+    let random = case
+        .stability(CirStagConfig {
+            random_prune: true,
+            ..base_cfg
+        })
+        .expect("random");
+    // Each ablation must actually change the computation.
+    assert_ne!(base.node_scores, nodim.node_scores);
+    assert_ne!(base.node_scores, dense.node_scores);
+    assert_ne!(base.node_scores, random.node_scores);
+    // Dense kNN manifold keeps at least as many edges as the sparsified one.
+    assert!(dense.output_manifold.num_edges() >= base.output_manifold.num_edges());
+}
+
+#[test]
+fn perturbation_scale_monotonicity() {
+    let mut case = build_case();
+    let report = case
+        .stability(CirStagConfig {
+            embedding_dim: 12,
+            num_eigenpairs: 10,
+            knn_k: 8,
+            ..Default::default()
+        })
+        .expect("stability");
+    let eligible = case.eligible();
+    let unstable = top_fraction(&report.node_scores, 0.10, Some(&eligible));
+    let at_2 = case.perturb_outcome(&unstable, 2.0).expect("2x");
+    let at_5 = case.perturb_outcome(&unstable, 5.0).expect("5x");
+    let at_10 = case.perturb_outcome(&unstable, 10.0).expect("10x");
+    assert!(at_2.mean() <= at_5.mean() * 1.05, "2x vs 5x");
+    assert!(at_5.mean() <= at_10.mean() * 1.05, "5x vs 10x");
+}

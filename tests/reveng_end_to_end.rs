@@ -1,0 +1,90 @@
+//! Case-Study-B integration: labelled dataset → GAT classifier → CirSTAG →
+//! topology-perturbation validation.
+
+use cirstag_bench::case_b::{RevengCase, RevengCaseConfig};
+use cirstag_suite::core::{top_fraction, CirStagConfig};
+use cirstag_suite::reveng::{build_interconnected, rewire_gate_inputs, InterconnectedConfig};
+
+fn small_case() -> RevengCase {
+    RevengCase::build(&RevengCaseConfig {
+        num_modules: 14,
+        seed: 4,
+        epochs: 150,
+        heads: 2,
+        head_dim: 10,
+        train_fraction: 0.8,
+    })
+    .expect("case builds")
+}
+
+#[test]
+fn gat_reaches_high_accuracy_and_cirstag_scores_gates() {
+    let mut case = small_case();
+    assert!(case.accuracy > 0.85, "accuracy {}", case.accuracy);
+    let report = case
+        .stability(CirStagConfig {
+            embedding_dim: 10,
+            num_eigenpairs: 10,
+            knn_k: 6,
+            ..Default::default()
+        })
+        .expect("stability");
+    assert_eq!(report.node_scores.len(), case.dataset.netlist.num_cells());
+    assert!(report.node_scores.iter().all(|s| s.is_finite()));
+}
+
+#[test]
+fn rewiring_more_gates_degrades_metrics_more() {
+    let mut case = small_case();
+    let report = case
+        .stability(CirStagConfig {
+            embedding_dim: 10,
+            num_eigenpairs: 10,
+            knn_k: 6,
+            ..Default::default()
+        })
+        .expect("stability");
+    let few = top_fraction(&report.node_scores, 0.05, None);
+    let many = top_fraction(&report.node_scores, 0.25, None);
+    let hit_few = case.rewire_outcome(&few, 2).expect("few");
+    let hit_many = case.rewire_outcome(&many, 2).expect("many");
+    assert!(hit_many.cosine <= hit_few.cosine + 1e-9);
+    assert!(hit_many.f1 <= hit_few.f1 + 1e-9);
+}
+
+#[test]
+fn rewiring_preserves_structural_validity_at_scale() {
+    let d = build_interconnected(
+        &InterconnectedConfig {
+            num_modules: 30,
+            ..Default::default()
+        },
+        8,
+    )
+    .expect("dataset");
+    let victims: Vec<usize> = (0..d.netlist.num_cells()).step_by(2).collect();
+    let rewired = rewire_gate_inputs(&d.netlist, &victims, 3).expect("rewire");
+    rewired.validate(&d.library).expect("still valid");
+    // Labels stay aligned (gate count unchanged).
+    assert_eq!(rewired.num_cells(), d.netlist.num_cells());
+}
+
+#[test]
+fn classifier_degrades_gracefully_not_catastrophically() {
+    // Rewiring 10% of gates should dent F1, not zero it: the features still
+    // carry each gate's own kind.
+    let mut case = small_case();
+    let report = case
+        .stability(CirStagConfig {
+            embedding_dim: 10,
+            num_eigenpairs: 10,
+            knn_k: 6,
+            ..Default::default()
+        })
+        .expect("stability");
+    let victims = top_fraction(&report.node_scores, 0.10, None);
+    let outcome = case.rewire_outcome(&victims, 5).expect("rewire");
+    assert!(outcome.f1 > 0.4, "classifier collapsed: F1 {}", outcome.f1);
+    assert!(outcome.f1 <= case.f1 + 1e-9);
+    assert!(outcome.cosine > 0.5 && outcome.cosine < 1.0);
+}
