@@ -7,8 +7,10 @@ use cirstag_circuit::{generate_circuit, CellLibrary, GeneratorConfig, StaEngine,
 use cirstag_embed::{knn_graph, spectral_embedding, KnnConfig, KnnMethod, SpectralConfig};
 use cirstag_gnn::{Activation, GnnModel, GraphContext, LayerSpec};
 use cirstag_graph::Graph;
-use cirstag_linalg::DenseMatrix;
+use cirstag_linalg::{par, DenseMatrix};
 use cirstag_pgm::{learn_manifold, PgmConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use cirstag_solver::{
     lanczos_largest, CgOptions, CsrOperator, LaplacianSolver, ResistanceEstimator,
 };
@@ -215,6 +217,81 @@ fn bench_gnn(c: &mut Criterion) {
     group.finish();
 }
 
+fn random_dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| rng.random_range(-1.0f64..1.0))
+        .collect();
+    DenseMatrix::from_vec(rows, cols, data).expect("sized")
+}
+
+/// Serial-vs-parallel pairs for the four kernels the parallel layer covers:
+/// dense matmul, exact kNN construction, sketched-resistance builds and DMD
+/// edge scoring. Each pair pins the pool to one thread, then releases it to
+/// all cores; on multi-core hosts the gap is the speedup, on one core the
+/// gap is the (small) fan-out overhead.
+fn bench_parallel_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    let pairs: [(&str, usize); 2] = [("serial", 1), ("parallel", 0)];
+
+    for size in [256usize, 512, 1024] {
+        let a = random_dense(size, size, 11);
+        let m = random_dense(size, size, 12);
+        for (label, threads) in pairs {
+            par::set_num_threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("matmul_{label}"), size),
+                &size,
+                |b, _| b.iter(|| a.matmul(black_box(&m)).expect("matmul")),
+            );
+        }
+    }
+
+    let u = random_dense(1600, 8, 13);
+    for (label, threads) in pairs {
+        par::set_num_threads(threads);
+        group.bench_function(BenchmarkId::new("knn_exact_1600", label), |b| {
+            b.iter(|| knn_graph(black_box(&u), 8, &KnnConfig::default()).expect("knn"))
+        });
+    }
+
+    let g32 = grid(32);
+    for (label, threads) in pairs {
+        par::set_num_threads(threads);
+        group.bench_function(BenchmarkId::new("resistance_sketch_64probes", label), |b| {
+            b.iter(|| ResistanceEstimator::sketched(black_box(&g32), 64, 3).expect("sketch"))
+        });
+    }
+
+    // Standalone replica of the Phase-3 DMD edge-scoring kernel (Eq. 9
+    // numerator terms over the input-manifold edges).
+    let g64 = grid(64);
+    let dmd_edges = g64.edges();
+    let s = 16;
+    let vs = random_dense(g64.num_nodes(), s, 14);
+    let zetas: Vec<f64> = (0..s).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    for (label, threads) in pairs {
+        par::set_num_threads(threads);
+        group.bench_function(BenchmarkId::new("dmd_edge_scores_8k", label), |b| {
+            b.iter(|| {
+                par::map_indexed(dmd_edges.len(), |eid| {
+                    let e = &dmd_edges[eid];
+                    let mut score = 0.0;
+                    for (i, &z) in zetas.iter().enumerate() {
+                        let d = vs.get(e.u, i) - vs.get(e.v, i);
+                        score += z * d * d;
+                    }
+                    (e.u, e.v, score)
+                })
+            })
+        });
+    }
+
+    par::set_num_threads(0);
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_spmv,
@@ -223,6 +300,7 @@ criterion_group!(
     bench_resistance,
     bench_knn_and_pgm,
     bench_sta,
-    bench_gnn
+    bench_gnn,
+    bench_parallel_kernels
 );
 criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Emits `BENCH_parallel.json`: wall time of the four parallelized kernels
+//! at one thread versus all cores, as `{stage, n, threads, wall_ms}` records.
+//!
+//! The workload sizes are chosen so every kernel is comfortably above its
+//! serial-fallback threshold; on a single-core host the two timings should
+//! be close (the delta is pool fan-out overhead), while on an N-core host
+//! the parallel rows should approach an N× improvement for the
+//! embarrassingly parallel stages.
+//!
+//! Usage: `cargo run -p cirstag-bench --release --bin bench_parallel [-- out.json]`
+
+use std::time::Instant;
+
+use cirstag_embed::{knn_graph, KnnConfig};
+use cirstag_graph::Graph;
+use cirstag_linalg::{par, DenseMatrix};
+use cirstag_solver::ResistanceEstimator;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+struct BenchRecord {
+    stage: String,
+    n: usize,
+    threads: usize,
+    wall_ms: f64,
+}
+
+serde::impl_serde_struct!(BenchRecord {
+    stage,
+    n,
+    threads,
+    wall_ms
+});
+
+fn grid(side: usize) -> Graph {
+    let mut edges = Vec::new();
+    for i in 0..side {
+        for j in 0..side {
+            let id = i * side + j;
+            if j + 1 < side {
+                edges.push((id, id + 1, 1.0 + ((id * 7) % 5) as f64));
+            }
+            if i + 1 < side {
+                edges.push((id, id + side, 1.0));
+            }
+        }
+    }
+    Graph::from_edges(side * side, &edges).expect("grid")
+}
+
+fn random_dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| rng.random_range(-1.0f64..1.0))
+        .collect();
+    DenseMatrix::from_vec(rows, cols, data).expect("sized")
+}
+
+/// Best-of-`reps` wall time in milliseconds (minimum filters scheduler
+/// noise better than the mean for short single-shot kernels).
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    par::set_num_threads(0);
+    let all_cores = par::current_num_threads();
+    let reps = 3;
+    let mut records: Vec<BenchRecord> = Vec::new();
+
+    println!("kernel timings, 1 thread vs {all_cores} (best of {reps})\n");
+    println!(
+        "{:>28} {:>8} {:>12} {:>12} {:>9}",
+        "stage", "n", "1-thread", "all-cores", "speedup"
+    );
+
+    let mut run = |stage: &str, n: usize, f: &mut dyn FnMut()| {
+        par::set_num_threads(1);
+        let serial_ms = time_ms(reps, &mut *f);
+        par::set_num_threads(0);
+        let parallel_ms = time_ms(reps, &mut *f);
+        println!(
+            "{:>28} {:>8} {:>10.2}ms {:>10.2}ms {:>8.2}x",
+            stage,
+            n,
+            serial_ms,
+            parallel_ms,
+            serial_ms / parallel_ms
+        );
+        for (threads, wall_ms) in [(1usize, serial_ms), (all_cores, parallel_ms)] {
+            records.push(BenchRecord {
+                stage: stage.to_string(),
+                n,
+                threads,
+                wall_ms,
+            });
+        }
+    };
+
+    let a = random_dense(512, 512, 11);
+    let m = random_dense(512, 512, 12);
+    run("matmul_512", 512, &mut || {
+        std::hint::black_box(a.matmul(&m).expect("matmul"));
+    });
+
+    let u = random_dense(1600, 8, 13);
+    run("knn_exact", 1600, &mut || {
+        std::hint::black_box(knn_graph(&u, 8, &KnnConfig::default()).expect("knn"));
+    });
+
+    let g32 = grid(32);
+    run("resistance_sketch_64probes", g32.num_nodes(), &mut || {
+        std::hint::black_box(ResistanceEstimator::sketched(&g32, 64, 3).expect("sketch"));
+    });
+
+    let g64 = grid(64);
+    let edges = g64.edges();
+    let s = 16;
+    let vs = random_dense(g64.num_nodes(), s, 14);
+    let zetas: Vec<f64> = (0..s).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    run("dmd_edge_scores", edges.len(), &mut || {
+        std::hint::black_box(par::map_indexed(edges.len(), |eid| {
+            let e = &edges[eid];
+            let mut score = 0.0;
+            for (i, &z) in zetas.iter().enumerate() {
+                let d = vs.get(e.u, i) - vs.get(e.v, i);
+                score += z * d * d;
+            }
+            (e.u, e.v, score)
+        }));
+    });
+
+    let json = serde_json::to_string_pretty(&records).expect("serialize");
+    std::fs::write(&out_path, json).expect("write BENCH_parallel.json");
+    println!("\nwrote {out_path} ({} records)", records.len());
+}

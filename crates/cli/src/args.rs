@@ -19,7 +19,8 @@ pub enum Command {
         /// Netlist path.
         netlist: String,
     },
-    /// `cirstag analyze <netlist> [--out report.json] [--epochs N] [--top F]`
+    /// `cirstag analyze <netlist> [--out report.json] [--epochs N] [--top F]
+    /// [--threads T]`
     Analyze {
         /// Netlist path.
         netlist: String,
@@ -29,6 +30,8 @@ pub enum Command {
         epochs: usize,
         /// Fraction reported as "most unstable".
         top: f64,
+        /// Worker threads for the analysis pipeline (`0` = all cores).
+        threads: usize,
     },
     /// `cirstag dot <netlist> [--scores report.json]`
     Dot {
@@ -50,6 +53,8 @@ USAGE:
   cirstag sta <netlist>                             pre-routing timing report
   cirstag analyze <netlist> [--out report.json]     CirSTAG stability scores
                             [--epochs N] [--top F]
+                            [--threads T]           (0 = all cores; results
+                                                     are thread-count independent)
   cirstag dot <netlist> [--scores report.json]      Graphviz DOT of the pin graph
   cirstag help                                      this message
 ";
@@ -115,10 +120,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut out = None;
             let mut epochs = 200usize;
             let mut top = 0.10f64;
+            let mut threads = 0usize;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
                     "--out" => out = Some(value(&rest, &mut i, "--out")?.to_string()),
+                    "--threads" => {
+                        threads = value(&rest, &mut i, "--threads")?
+                            .parse()
+                            .map_err(|_| CliError::new("--threads expects an integer"))?;
+                    }
                     "--epochs" => {
                         epochs = value(&rest, &mut i, "--epochs")?
                             .parse()
@@ -143,6 +154,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 out,
                 epochs,
                 top,
+                threads,
             })
         }
         "dot" => {
@@ -215,11 +227,13 @@ mod tests {
                 out,
                 epochs,
                 top,
+                threads,
             } => {
                 assert_eq!(netlist, "d.cir");
                 assert!(out.is_none());
                 assert_eq!(epochs, 200);
                 assert!((top - 0.10).abs() < 1e-12);
+                assert_eq!(threads, 0);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -229,6 +243,17 @@ mod tests {
     fn analyze_validates_top() {
         assert!(parse_args(&strs(&["analyze", "d.cir", "--top", "1.5"])).is_err());
         assert!(parse_args(&strs(&["analyze", "d.cir", "--top", "0"])).is_err());
+    }
+
+    #[test]
+    fn analyze_parses_threads() {
+        let cmd = parse_args(&strs(&["analyze", "d.cir", "--threads", "4"])).unwrap();
+        match cmd {
+            Command::Analyze { threads, .. } => assert_eq!(threads, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&strs(&["analyze", "d.cir", "--threads", "x"])).is_err());
+        assert!(parse_args(&strs(&["analyze", "d.cir", "--threads"])).is_err());
     }
 
     #[test]

@@ -35,7 +35,8 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
             out: report_path,
             epochs,
             top,
-        } => analyze(netlist, report_path.as_deref(), *epochs, *top, out),
+            threads,
+        } => analyze(netlist, report_path.as_deref(), *epochs, *top, *threads, out),
         Command::Dot { netlist, scores } => dot(netlist, scores.as_deref(), out),
     }
 }
@@ -114,6 +115,7 @@ fn analyze(
     report_path: Option<&str>,
     epochs: usize,
     top: f64,
+    threads: usize,
     out: &mut dyn std::io::Write,
 ) -> Result<(), CliError> {
     let (library, netlist) = load(path)?;
@@ -185,6 +187,7 @@ fn analyze(
         embedding_dim: 16,
         num_eigenpairs: 25,
         knn_k: 10,
+        num_threads: threads,
         ..Default::default()
     };
     if graph.num_nodes() > 3000 {
@@ -194,6 +197,7 @@ fn analyze(
         };
     }
     let report = CirStag::new(config).analyze(&graph, Some(&features), &embedding)?;
+    writeln!(out, "stage timings: {}", report.timings.summary())?;
     let eligible: Vec<bool> = (0..timing.num_pins())
         .map(|p| timing.pin(p).capacitance > 0.0 && timing.pin(p).role != PinRole::PrimaryOutput)
         .collect();
@@ -331,9 +335,11 @@ mod tests {
             out: Some(json.to_str().unwrap().to_string()),
             epochs: 60,
             top: 0.10,
+            threads: 2,
         })
         .unwrap();
         assert!(text.contains("most unstable"));
+        assert!(text.contains("stage timings"));
         let report = ReportExport::from_json(&std::fs::read_to_string(&json).unwrap()).unwrap();
         assert!(!report.node_scores.is_empty());
         // Heat-mapped DOT from the saved report.

@@ -1,12 +1,12 @@
 //! JSON export of stability reports for downstream tooling.
 
 use crate::{CirStagError, StabilityReport};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Serializable form of a [`StabilityReport`] (scores, rankings and run
 /// metadata — the manifold graphs are omitted as they are cheap to
 /// recompute and large to store).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReportExport {
     /// Per-node stability score (Eq. 9).
     pub node_scores: Vec<f64>,
@@ -18,6 +18,39 @@ pub struct ReportExport {
     pub eigenvalues: Vec<f64>,
     /// Phase wall-clock times in seconds `(phase1, phase2, phase3)`.
     pub phase_seconds: (f64, f64, f64),
+    /// Active worker-thread count the analysis ran with (`1` = serial).
+    pub threads: usize,
+}
+
+// Manual impls (rather than `impl_serde_struct!`) so `threads` can default to
+// 1 when parsing reports written before the field existed.
+impl Serialize for ReportExport {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("node_scores".to_string(), self.node_scores.to_value()),
+            ("ranking".to_string(), self.ranking.to_value()),
+            ("edge_scores".to_string(), self.edge_scores.to_value()),
+            ("eigenvalues".to_string(), self.eigenvalues.to_value()),
+            ("phase_seconds".to_string(), self.phase_seconds.to_value()),
+            ("threads".to_string(), self.threads.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ReportExport {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if !matches!(v, Value::Object(_)) {
+            return Err(DeError::new("expected object for ReportExport"));
+        }
+        Ok(ReportExport {
+            node_scores: v.field("node_scores")?,
+            ranking: v.field("ranking")?,
+            edge_scores: v.field("edge_scores")?,
+            eigenvalues: v.field("eigenvalues")?,
+            phase_seconds: v.field("phase_seconds")?,
+            threads: v.field_or("threads", 1)?,
+        })
+    }
 }
 
 impl ReportExport {
@@ -33,6 +66,7 @@ impl ReportExport {
                 report.timings.phase2.as_secs_f64(),
                 report.timings.phase3.as_secs_f64(),
             ),
+            threads: report.timings.threads,
         }
     }
 

@@ -2,7 +2,7 @@
 
 use crate::EmbedError;
 use cirstag_graph::Graph;
-use cirstag_linalg::{vecops, DenseMatrix};
+use cirstag_linalg::{par, vecops, DenseMatrix};
 use std::collections::HashMap;
 
 /// Neighbor-search strategy for [`knn_graph`].
@@ -136,23 +136,24 @@ pub fn knn_graph(points: &DenseMatrix, k: usize, config: &KnnConfig) -> Result<G
 
 fn exact_knn(points: &DenseMatrix, k: usize) -> Vec<Vec<(usize, f64)>> {
     let n = points.nrows();
-    (0..n)
-        .map(|p| {
-            let mut dists: Vec<(usize, f64)> = (0..n)
-                .filter(|&q| q != p)
-                .map(|q| (q, vecops::dist2_sq(points.row(p), points.row(q))))
-                .collect();
-            // Select the k nearest in O(n), then order just those k.
-            if dists.len() > k {
-                dists.select_nth_unstable_by(k - 1, |a, b| {
-                    a.1.partial_cmp(&b.1).expect("finite distances")
-                });
-                dists.truncate(k);
-            }
-            dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
-            dists
-        })
-        .collect()
+    // Each point's neighbor list is independent of every other point's, so
+    // the per-point queries fan out across the thread pool; slot `p` always
+    // holds point `p`'s list, keeping the result thread-count-invariant.
+    par::map_indexed(n, |p| {
+        let mut dists: Vec<(usize, f64)> = (0..n)
+            .filter(|&q| q != p)
+            .map(|q| (q, vecops::dist2_sq(points.row(p), points.row(q))))
+            .collect();
+        // Select the k nearest in O(n), then order just those k.
+        if dists.len() > k {
+            dists.select_nth_unstable_by(k - 1, |a, b| {
+                a.1.partial_cmp(&b.1).expect("finite distances")
+            });
+            dists.truncate(k);
+        }
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        dists
+    })
 }
 
 struct Splitter {
@@ -233,12 +234,19 @@ fn rp_forest_knn(
     seed: u64,
 ) -> Vec<Vec<(usize, f64)>> {
     let n = points.nrows();
-    let mut candidates: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for t in 0..num_trees {
+    // Trees are seeded independently, so they build in parallel; the leaf
+    // sets are then merged serially in tree order. Per-point candidate lists
+    // end up identical to the serial construction because each point's list
+    // is sorted and deduplicated before ranking.
+    let per_tree_leaves: Vec<Vec<Vec<usize>>> = par::map_indexed(num_trees, |t| {
         let mut rng = Splitter::new(seed.wrapping_add(t as u64 * 0x1234_5677));
         let mut all: Vec<usize> = (0..n).collect();
         let mut leaves = Vec::new();
         rp_split(points, &mut all, leaf_size, &mut rng, &mut leaves, 0);
+        leaves
+    });
+    let mut candidates: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for leaves in per_tree_leaves {
         for leaf in leaves {
             for &i in &leaf {
                 for &j in &leaf {
@@ -249,21 +257,18 @@ fn rp_forest_knn(
             }
         }
     }
-    candidates
-        .into_iter()
-        .enumerate()
-        .map(|(p, mut cand)| {
-            cand.sort_unstable();
-            cand.dedup();
-            let mut dists: Vec<(usize, f64)> = cand
-                .into_iter()
-                .map(|q| (q, vecops::dist2_sq(points.row(p), points.row(q))))
-                .collect();
-            dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
-            dists.truncate(k);
-            dists
-        })
-        .collect()
+    par::map_indexed(n, |p| {
+        let mut cand = candidates[p].clone();
+        cand.sort_unstable();
+        cand.dedup();
+        let mut dists: Vec<(usize, f64)> = cand
+            .into_iter()
+            .map(|q| (q, vecops::dist2_sq(points.row(p), points.row(q))))
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        dists.truncate(k);
+        dists
+    })
 }
 
 /// Adds a minimum-spanning backbone over component representatives so the

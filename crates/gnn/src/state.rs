@@ -4,10 +4,9 @@
 //! carries only parameter tensors, in the model's stable parameter order.
 
 use crate::{GnnError, GnnModel};
-use serde::{Deserialize, Serialize};
 
 /// Serializable snapshot of one parameter tensor.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParamState {
     /// Rows of the tensor.
     pub rows: usize,
@@ -34,11 +33,14 @@ pub struct ParamState {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelState {
     /// Parameter tensors in stable model order.
     pub params: Vec<ParamState>,
 }
+
+serde::impl_serde_struct!(ParamState { rows, cols, data });
+serde::impl_serde_struct!(ModelState { params });
 
 impl ModelState {
     /// Serializes to JSON.

@@ -1,6 +1,25 @@
+use crate::par;
 use crate::vecops;
 use crate::LinalgError;
 use std::fmt;
+
+/// Minimum multiply–add count before `matmul`/`mul_vec` fan rows out across
+/// the thread pool; below this, thread handoff costs more than the math.
+const PAR_FLOP_THRESHOLD: usize = 64 * 1024;
+
+/// Accumulates one output row of `a * other` into `out_row` (ikj order: the
+/// inner loop is contiguous in both `other` and `out_row`). Shared by the
+/// serial and parallel matmul paths so they agree bit-for-bit.
+fn matmul_row_kernel(a_row: &[f64], other: &DenseMatrix, out_row: &mut [f64]) {
+    for (k, &a) in a_row.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        for (o, &b) in out_row.iter_mut().zip(other.row(k)) {
+            *o += a * b;
+        }
+    }
+}
 
 /// A dense, row-major matrix of `f64` values.
 ///
@@ -216,6 +235,11 @@ impl DenseMatrix {
 
     /// Matrix–matrix product `self * other`.
     ///
+    /// Large products are row-blocked across the thread pool (see
+    /// [`crate::par`]); each output row is produced by exactly one thread
+    /// with the same kernel as [`DenseMatrix::matmul_serial`], so the result
+    /// is bit-identical for every thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] when `self.ncols != other.nrows`.
@@ -227,25 +251,44 @@ impl DenseMatrix {
                 right: other.shape(),
             });
         }
+        let flops = self.nrows * self.ncols * other.ncols;
+        if flops < PAR_FLOP_THRESHOLD || par::current_num_threads() <= 1 {
+            return self.matmul_serial(other);
+        }
         let mut out = DenseMatrix::zeros(self.nrows, other.ncols);
-        // ikj loop order keeps the inner loop contiguous in both `other` and `out`.
+        let ncols_out = other.ncols;
+        par::chunks_mut(&mut out.data, ncols_out, |i, out_row| {
+            matmul_row_kernel(self.row(i), other, out_row);
+        });
+        Ok(out)
+    }
+
+    /// Reference serial matrix–matrix product; always runs on the calling
+    /// thread. [`DenseMatrix::matmul`] must agree with this bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `self.ncols != other.nrows`.
+    pub fn matmul_serial(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if self.ncols != other.nrows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.nrows, other.ncols);
         for i in 0..self.nrows {
-            for k in 0..self.ncols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
-                }
-            }
+            matmul_row_kernel(self.row(i), other, out.row_mut(i));
         }
         Ok(out)
     }
 
     /// Matrix–vector product `self * x`.
+    ///
+    /// Large products compute rows in parallel; row `i` is always exactly
+    /// `dot(self.row(i), x)`, so results are bit-identical for every thread
+    /// count.
     ///
     /// # Errors
     ///
@@ -258,9 +301,12 @@ impl DenseMatrix {
                 right: (x.len(), 1),
             });
         }
-        Ok((0..self.nrows)
-            .map(|i| vecops::dot(self.row(i), x))
-            .collect())
+        if self.nrows * self.ncols < PAR_FLOP_THRESHOLD || par::current_num_threads() <= 1 {
+            return Ok((0..self.nrows)
+                .map(|i| vecops::dot(self.row(i), x))
+                .collect());
+        }
+        Ok(par::map_indexed(self.nrows, |i| vecops::dot(self.row(i), x)))
     }
 
     /// Element-wise sum `self + other`.

@@ -1,0 +1,132 @@
+//! Workspace-wide parallel execution helpers.
+//!
+//! This module is the single seam between the CirSTAG crates and the
+//! underlying thread pool. It exists in every build: with the `parallel`
+//! feature (the default) the helpers fan work out across a persistent rayon
+//! pool; without it they run the same code serially. Call sites are written
+//! once against this API and are oblivious to the feature state.
+//!
+//! # Determinism contract
+//!
+//! Every helper assigns work item `i` a fixed output slot `i` and performs no
+//! cross-item reductions, so results are **bit-identical** for any thread
+//! count, including the serial build. Callers must uphold the same rule: a
+//! closure passed here must depend only on its index (and shared read-only
+//! state), never on execution order.
+
+/// Sets the worker-thread count for all subsequent parallel sections.
+///
+/// `0` means "use all available cores". Values above the core count are
+/// honoured (oversubscription), which keeps multi-thread determinism tests
+/// meaningful on small machines. In serial builds this is a no-op.
+pub fn set_num_threads(n: usize) {
+    #[cfg(feature = "parallel")]
+    rayon::set_num_threads(n);
+    #[cfg(not(feature = "parallel"))]
+    let _ = n;
+}
+
+/// Number of threads parallel sections will use (`1` in serial builds).
+pub fn current_num_threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        rayon::current_num_threads()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Computes `f(i)` for every `i in 0..n`, returning results in index order.
+pub fn map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        rayon::par_map_indexed(n, f)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        (0..n).map(f).collect()
+    }
+}
+
+/// Fallible variant of [`map_indexed`]: returns all results in index order,
+/// or the error of the lowest-indexed failing item (deterministic regardless
+/// of which thread hit an error first).
+///
+/// # Errors
+///
+/// Propagates the first error by item index.
+pub fn try_map_indexed<T, E, F>(n: usize, f: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        rayon::par_map_indexed(n, f).into_iter().collect()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        (0..n).map(f).collect()
+    }
+}
+
+/// Calls `f(chunk_index, chunk)` on consecutive `chunk_len`-sized pieces of
+/// `data` (last chunk may be shorter). Chunks are disjoint, so `f` needs no
+/// synchronisation.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero.
+pub fn chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be non-zero");
+    #[cfg(feature = "parallel")]
+    {
+        rayon::par_chunks_mut(data, chunk_len, f);
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        let v = map_indexed(100, |i| i * i);
+        assert_eq!(v, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_map_returns_lowest_index_error() {
+        let r: Result<Vec<usize>, usize> =
+            try_map_indexed(50, |i| if i % 7 == 3 { Err(i) } else { Ok(i) });
+        assert_eq!(r.unwrap_err(), 3);
+    }
+
+    #[test]
+    fn chunks_cover_all_elements() {
+        let mut data = vec![0u32; 37];
+        chunks_mut(&mut data, 5, |ci, chunk| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = (ci * 5 + j) as u32;
+            }
+        });
+        assert_eq!(data, (0..37).collect::<Vec<u32>>());
+    }
+}

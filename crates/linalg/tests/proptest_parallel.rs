@@ -1,0 +1,87 @@
+//! Bit-for-bit parity between the parallel and serial matmul paths.
+//!
+//! `DenseMatrix::matmul` dispatches to a row-parallel kernel above
+//! `PAR_FLOP_THRESHOLD` and falls back to `matmul_serial` below it (or when
+//! the pool has one thread). The parallel path must not merely be close —
+//! it must produce the exact same bits, because pipeline determinism across
+//! thread counts is a documented contract. Shapes here straddle the flop
+//! threshold so both dispatch branches are exercised.
+
+use cirstag_linalg::{par, vecops, DenseMatrix};
+use proptest::prelude::*;
+
+const MAX_DIM: usize = 44;
+
+/// Deterministic matrix fill from a seed (SplitMix64), so arbitrary shapes
+/// can share one fixed-size entropy source.
+fn fill(rows: usize, cols: usize, mut seed: u64) -> DenseMatrix {
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Uniform in [-4, 4), with occasional exact zeros to hit the
+        // kernel's zero-skip branch.
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        data.push(if z.is_multiple_of(13) { 0.0 } else { 8.0 * u - 4.0 });
+    }
+    DenseMatrix::from_vec(rows, cols, data).expect("sized")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn parallel_matmul_bit_identical_to_serial(
+        m in 1usize..=MAX_DIM,
+        k in 1usize..=MAX_DIM,
+        n in 1usize..=MAX_DIM,
+        seed in 0u64..1_000_000,
+    ) {
+        // Force a multi-thread pool so the size check is the only thing
+        // deciding between the parallel and serial kernels.
+        par::set_num_threads(4);
+        let a = fill(m, k, seed);
+        let b = fill(k, n, seed ^ 0xDEAD_BEEF);
+        let fused = a.matmul(&b).unwrap();
+        let reference = a.matmul_serial(&b).unwrap();
+        prop_assert_eq!(fused, reference);
+    }
+
+    #[test]
+    fn parallel_mul_vec_bit_identical_to_dot_rows(
+        m in 1usize..=MAX_DIM,
+        k in 1usize..=MAX_DIM,
+        seed in 0u64..1_000_000,
+    ) {
+        par::set_num_threads(4);
+        let a = fill(m, k, seed);
+        let x: Vec<f64> = fill(1, k, seed ^ 0x00C0_FFEE).row(0).to_vec();
+        let y = a.mul_vec(&x).unwrap();
+        for i in 0..m {
+            // Row i is defined as vecops::dot(row, x) on both paths.
+            prop_assert_eq!(y[i], vecops::dot(a.row(i), &x), "row {}", i);
+        }
+    }
+}
+
+/// Shapes pinned to the exact dispatch boundary: one flop below the
+/// threshold (serial branch) and at/above it (parallel branch).
+#[test]
+fn matmul_agrees_at_the_flop_threshold_boundary() {
+    par::set_num_threads(4);
+    // The dispatch cost model is m·k·n multiply–adds against a 64·1024
+    // threshold: with m = n = 32, k = 64 sits exactly on it, k = 63 just
+    // under (serial branch), k = 65 just over (parallel branch).
+    for k in [63usize, 64, 65] {
+        let a = fill(32, k, 42);
+        let b = fill(k, 32, 1337);
+        assert_eq!(
+            a.matmul(&b).unwrap(),
+            a.matmul_serial(&b).unwrap(),
+            "divergence at k = {k}"
+        );
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::PgmError;
 use cirstag_graph::{low_stretch_tree, Graph, TreePathOracle};
+use cirstag_linalg::par;
 use cirstag_solver::ResistanceEstimator;
 
 /// Options for [`learn_manifold`].
@@ -132,14 +133,18 @@ pub fn learn_manifold(dense: &Graph, config: &PgmConfig) -> Result<PgmResult, Pg
             ResistanceEstimator::sketched(dense, config.resistance_probes, config.seed ^ 0xE7A)?;
         let oracle = TreePathOracle::new(tree.as_graph())?;
 
-        let mut scored: Vec<(usize, f64, f64)> = Vec::with_capacity(off_tree.len());
-        for &eid in &off_tree {
+        // Per-edge scoring (sketch query + tree-path resistance) touches only
+        // shared read-only state, so the off-tree edges fan out across the
+        // pool; slot `i` always holds `off_tree[i]`'s scores, keeping the
+        // ranking thread-count-invariant.
+        let mut scored: Vec<(usize, f64, f64)> = par::try_map_indexed(off_tree.len(), |i| {
+            let eid = off_tree[i];
             let e = dense.edges()[eid];
             let r_eff = estimator.query(e.u, e.v)?;
             let eta = e.weight * r_eff;
             let cycle_res = oracle.path_resistance(e.u, e.v)? + e.resistance();
-            scored.push((eid, eta, cycle_res));
-        }
+            Ok::<_, PgmError>((eid, eta, cycle_res))
+        })?;
 
         // LRD rule: always keep edges whose tree cycle is electrically long.
         if config.lrd_keep_quantile < 1.0 {

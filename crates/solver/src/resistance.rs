@@ -3,6 +3,7 @@
 use crate::lanczos::XorShift;
 use crate::{LaplacianSolver, SolverError};
 use cirstag_graph::Graph;
+use cirstag_linalg::par;
 
 /// Computes effective resistances `R_eff(p, q) = (e_p − e_q)ᵀ L⁺ (e_p − e_q)`
 /// over a connected graph.
@@ -87,21 +88,30 @@ impl ResistanceEstimator {
         let n = g.num_nodes();
         let mut rng = XorShift::new(seed);
         let inv_sqrt_t = 1.0 / (num_probes as f64).sqrt();
-        let mut probes = Vec::with_capacity(num_probes);
-        for _ in 0..num_probes {
-            // b = Bᵀ W^{1/2} q with Rademacher q over edges.
-            let mut b = vec![0.0; n];
-            for e in g.edges() {
-                let s = rng.next_sign() * e.weight.sqrt();
-                b[e.u] += s;
-                b[e.v] -= s;
-            }
-            let mut x = solver.solve(&b)?;
+        // The Rademacher right-hand sides consume one shared RNG stream, so
+        // they are generated serially up front — this keeps the sketch
+        // bit-identical to the serial construction for any thread count. The
+        // `t` independent Laplacian solves (the expensive part) then fan out
+        // across the pool.
+        let rhs: Vec<Vec<f64>> = (0..num_probes)
+            .map(|_| {
+                // b = Bᵀ W^{1/2} q with Rademacher q over edges.
+                let mut b = vec![0.0; n];
+                for e in g.edges() {
+                    let s = rng.next_sign() * e.weight.sqrt();
+                    b[e.u] += s;
+                    b[e.v] -= s;
+                }
+                b
+            })
+            .collect();
+        let probes: Vec<Vec<f64>> = par::try_map_indexed(num_probes, |i| {
+            let mut x = solver.solve(&rhs[i])?;
             for v in &mut x {
                 *v *= inv_sqrt_t;
             }
-            probes.push(x);
-        }
+            Ok::<_, SolverError>(x)
+        })?;
         Ok(ResistanceEstimator {
             dim: n,
             mode: Mode::Sketch { probes },
@@ -160,7 +170,14 @@ impl ResistanceEstimator {
                 actual: g.num_nodes(),
             });
         }
-        g.edges().iter().map(|e| self.query(e.u, e.v)).collect()
+        // Queries are independent (shared read-only sketch or per-query
+        // solves against a `&self` solver), so the batch fans out across the
+        // pool in edge-id order.
+        let edges = g.edges();
+        par::try_map_indexed(edges.len(), |eid| {
+            let e = &edges[eid];
+            self.query(e.u, e.v)
+        })
     }
 }
 

@@ -1,0 +1,76 @@
+//! Thread-count independence: the full CirSTAG pipeline must produce
+//! bit-identical results at 1, 2 and N worker threads.
+//!
+//! The parallel layer only fans out independent per-index work (kNN
+//! queries, resistance probes, matmul rows, DMD edge scores) and merges
+//! results in fixed index order, so every float operation happens in the
+//! same order regardless of the pool size. This test pins that contract
+//! at the integration level.
+//!
+//! Everything runs inside a single `#[test]` because the thread count is
+//! process-global (`CirStagConfig::num_threads` feeds a shared pool
+//! configuration); separate tests would race on it under the parallel
+//! test harness.
+
+use cirstag_bench::case_a::{TimingCase, TimingCaseConfig};
+use cirstag_suite::core::CirStagConfig;
+
+#[test]
+fn pipeline_results_are_identical_across_thread_counts() {
+    let mut case = TimingCase::build(
+        "par-det",
+        &TimingCaseConfig {
+            num_gates: 150,
+            seed: 77,
+            epochs: 60,
+            hidden: 16,
+        },
+    )
+    .expect("case builds");
+
+    let base = CirStagConfig {
+        embedding_dim: 12,
+        num_eigenpairs: 10,
+        knn_k: 8,
+        ..Default::default()
+    };
+
+    // 0 = all cores; on a single-core runner the pool still oversubscribes
+    // for the explicit counts, so the parallel code paths are exercised.
+    let runs: Vec<_> = [1usize, 2, 4, 0]
+        .iter()
+        .map(|&threads| {
+            let report = case
+                .stability(CirStagConfig {
+                    num_threads: threads,
+                    ..base
+                })
+                .unwrap_or_else(|e| panic!("analysis at {threads} threads: {e}"));
+            assert!(report.timings.threads >= 1);
+            report
+        })
+        .collect();
+
+    let reference = &runs[0];
+    assert!(reference.node_scores.iter().all(|s| s.is_finite()));
+    for (i, run) in runs.iter().enumerate().skip(1) {
+        // Bit-identical scores, not merely approximately equal.
+        assert_eq!(
+            reference.node_scores, run.node_scores,
+            "node scores diverge at thread setting #{i}"
+        );
+        assert_eq!(
+            reference.edge_scores, run.edge_scores,
+            "edge scores diverge at thread setting #{i}"
+        );
+        assert_eq!(
+            reference.eigenvalues, run.eigenvalues,
+            "eigenvalues diverge at thread setting #{i}"
+        );
+        assert_eq!(
+            reference.ranking(),
+            run.ranking(),
+            "stability ranking diverges at thread setting #{i}"
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! Vendored, dependency-free subset of the `criterion` benchmarking API.
+//!
+//! Offline environments cannot fetch the real `criterion`, so this crate
+//! provides a source-compatible harness for the workspace's `harness = false`
+//! benches: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Statistics are intentionally simple — per benchmark it runs a short
+//! warm-up, takes a bounded number of wall-clock samples, and reports the
+//! median per-iteration time. There are no plots, no saved baselines, and no
+//! outlier analysis.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so call sites can use `criterion::black_box` if they prefer it
+/// over `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Target wall-clock budget for the measurement phase of one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(600);
+/// Warm-up budget before sampling starts.
+const WARMUP_BUDGET: Duration = Duration::from_millis(120);
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier (e.g. `retime_1pin/2000`).
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier that is just the parameter's display form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Measured per-iteration durations, one per sample.
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly: a short warm-up, then `sample_size`
+    /// samples (each sample batches enough iterations to be measurable) or
+    /// until the wall-clock budget runs out, whichever comes first.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up; also establishes a per-iteration estimate for batching.
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= WARMUP_BUDGET || warm_iters >= 1000 {
+                break;
+            }
+        }
+        let est_per_iter = warm_start.elapsed() / warm_iters;
+
+        // Batch so each sample takes roughly budget / sample_size, at least
+        // one iteration.
+        let per_sample = MEASURE_BUDGET / self.sample_size as u32;
+        let batch = if est_per_iter.is_zero() {
+            1000
+        } else {
+            (per_sample.as_nanos() / est_per_iter.as_nanos().max(1)).clamp(1, 100_000) as u32
+        };
+
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / batch);
+            if measure_start.elapsed() >= MEASURE_BUDGET * 2 {
+                break;
+            }
+        }
+    }
+
+    fn median(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A named collection of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let full = format!("{}/{}", self.name, label);
+        match bencher.median() {
+            Some(m) => println!("{full:<48} time: [{}]", format_duration(m)),
+            None => println!("{full:<48} time: [no samples]"),
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.label, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (provided for API compatibility; output is printed as
+    /// benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver; one instance is threaded through all group functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = BenchmarkGroup {
+            name: "bench".to_string(),
+            sample_size: 10,
+            _criterion: self,
+        };
+        let mut f = f;
+        group.run(&id.label, &mut f);
+        self
+    }
+}
+
+/// Defines a benchmark group function that runs each target with a shared
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo's bench runner passes flags like `--bench`; ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("retime", 2000).label, "retime/2000");
+        assert_eq!(BenchmarkId::from_parameter(1024).label, "1024");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut group = Criterion::default();
+        let mut g = group.benchmark_group("t");
+        g.sample_size(3);
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.500 ms");
+    }
+}

@@ -1,0 +1,494 @@
+//! Vendored, dependency-free data-parallelism layer with a rayon-flavoured
+//! API surface.
+//!
+//! Offline environments cannot fetch the real `rayon`, so this crate provides
+//! the small subset the CirSTAG workspace needs: a persistent global worker
+//! pool, a soft thread-count configuration ([`set_num_threads`] /
+//! [`ThreadPoolBuilder`]), and deterministic indexed primitives
+//! ([`par_map_indexed`], [`par_chunks_mut`], [`join`]).
+//!
+//! # Design notes
+//!
+//! * **Persistent pool, soft config.** Worker threads are spawned lazily and
+//!   kept alive for the process lifetime. The thread count is an atomic that
+//!   may be changed at any time (unlike real rayon's one-shot global build);
+//!   oversubscription beyond the physical core count is allowed, which keeps
+//!   1/2/N-thread determinism tests meaningful on single-core machines.
+//! * **Determinism by construction.** [`par_map_indexed`] writes result `i`
+//!   into slot `i`; work distribution order never affects output order or any
+//!   floating-point reduction order, so results are bit-identical for every
+//!   thread count.
+//! * **No nested pool scheduling.** A parallel region entered from inside
+//!   another parallel region runs inline on the current thread (the shared
+//!   index counter means one participant can drain the whole region). This
+//!   rules out cross-region wait cycles without a work-stealing scheduler.
+//! * All `unsafe` in the workspace's parallel stack is confined to this
+//!   crate; the consuming crates stay `#![forbid(unsafe_code)]`.
+
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::cell::Cell;
+use std::fmt;
+
+/// Hard cap on helper threads, a backstop against runaway configuration.
+const MAX_HELPERS: usize = 255;
+
+/// Requested thread count; `0` means "use all available cores".
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True while this thread is executing inside a parallel region; nested
+    /// regions then run inline instead of re-entering the pool.
+    static IN_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Sets the global thread count. `0` restores the default (all cores).
+///
+/// Unlike real rayon this is a soft setting: it may be called repeatedly and
+/// takes effect for subsequent parallel regions. Values above the physical
+/// core count are honoured (oversubscription).
+pub fn set_num_threads(n: usize) {
+    CONFIGURED_THREADS.store(n.min(MAX_HELPERS + 1), Ordering::Relaxed);
+}
+
+/// Returns the thread count parallel regions will use: the configured value,
+/// or the number of available cores when unset (minimum 1).
+pub fn current_num_threads() -> usize {
+    match CONFIGURED_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// True when called from code already running inside a parallel region
+/// (including pool worker threads executing a task).
+pub fn in_parallel_region() -> bool {
+    IN_REGION.with(Cell::get)
+}
+
+/// Error type for [`ThreadPoolBuilder::build_global`]; kept for rayon API
+/// compatibility, never actually produced by this implementation.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    _private: (),
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to configure global thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// rayon-compatible builder for the global pool configuration.
+///
+/// ```ignore
+/// rayon::ThreadPoolBuilder::new().num_threads(8).build_global()?;
+/// ```
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default configuration (all cores).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests `n` threads; `0` means all available cores.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Applies the configuration globally.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this implementation; the `Result` mirrors real rayon so
+    /// call sites stay source-compatible. Repeated calls are allowed and
+    /// simply update the soft thread-count setting.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        set_num_threads(self.num_threads);
+        Ok(())
+    }
+}
+
+// ---- countdown latch ----------------------------------------------------
+
+struct Latch {
+    remaining: AtomicUsize,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: AtomicUsize::new(count),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Pairing the notify with the lock prevents a missed wakeup
+            // between the waiter's check and its wait.
+            let _guard = self.lock.lock().unwrap();
+            self.cond.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut guard = self.lock.lock().unwrap();
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            guard = self.cond.wait(guard).unwrap();
+        }
+    }
+}
+
+// ---- global worker pool -------------------------------------------------
+
+/// One broadcast parallel region. The task reference is lifetime-erased; the
+/// issuing thread blocks on `latch` before returning, so the borrow outlives
+/// every worker's use of it.
+struct Job {
+    task: &'static (dyn Fn(usize) + Sync),
+    latch: Latch,
+    panicked: AtomicBool,
+}
+
+/// A worker's job inbox: the region to run plus this worker's participant id.
+type JobSender = Sender<(std::sync::Arc<Job>, usize)>;
+
+struct Pool {
+    senders: Mutex<Vec<JobSender>>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        senders: Mutex::new(Vec::new()),
+    })
+}
+
+fn worker_loop(rx: Receiver<(std::sync::Arc<Job>, usize)>) {
+    while let Ok((job, participant)) = rx.recv() {
+        IN_REGION.with(|c| c.set(true));
+        let result = catch_unwind(AssertUnwindSafe(|| (job.task)(participant)));
+        IN_REGION.with(|c| c.set(false));
+        if result.is_err() {
+            job.panicked.store(true, Ordering::Release);
+        }
+        job.latch.count_down();
+    }
+}
+
+impl Pool {
+    /// Grows the pool to at least `count` workers and returns senders for the
+    /// first `count` of them.
+    fn helpers(&self, count: usize) -> Vec<JobSender> {
+        let mut senders = self.senders.lock().unwrap();
+        while senders.len() < count {
+            let (tx, rx) = channel();
+            let id = senders.len();
+            std::thread::Builder::new()
+                .name(format!("cirstag-worker-{id}"))
+                .spawn(move || worker_loop(rx))
+                .expect("failed to spawn pool worker thread");
+            senders.push(tx);
+        }
+        senders[..count].to_vec()
+    }
+}
+
+/// Runs `task(p)` once for each participant `p in 0..participants`:
+/// participant 0 on the calling thread, the rest on pool workers. Blocks
+/// until every participant has finished, then propagates any panic.
+///
+/// Called from inside an existing region (or with fewer than 2 participants)
+/// it degrades to `task(0)` inline — tasks must therefore self-schedule their
+/// work items (shared atomic counter) rather than partition by participant.
+fn run_region(participants: usize, task: &(dyn Fn(usize) + Sync)) {
+    if participants <= 1 || in_parallel_region() {
+        IN_REGION.with(|c| {
+            let was = c.replace(true);
+            // Restore on unwind so a caught panic doesn't poison the flag.
+            struct Reset<'a>(&'a Cell<bool>, bool);
+            impl Drop for Reset<'_> {
+                fn drop(&mut self) {
+                    self.0.set(self.1);
+                }
+            }
+            let _reset = Reset(c, was);
+            task(0);
+        });
+        return;
+    }
+
+    let helper_count = (participants - 1).min(MAX_HELPERS);
+    // SAFETY: lifetime erasure only. `latch.wait()` below does not return
+    // until every worker has finished calling `task`, so the reference never
+    // outlives the borrow it was created from.
+    let task_static: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute(task) };
+    let job = std::sync::Arc::new(Job {
+        task: task_static,
+        latch: Latch::new(helper_count),
+        panicked: AtomicBool::new(false),
+    });
+
+    let senders = pool().helpers(helper_count);
+    for (i, tx) in senders.iter().enumerate() {
+        // A worker's receiver lives for the process lifetime; send can only
+        // fail if its thread died, which `spawn().expect` already rules out.
+        tx.send((std::sync::Arc::clone(&job), i + 1))
+            .expect("pool worker disappeared");
+    }
+
+    IN_REGION.with(|c| c.set(true));
+    let own = catch_unwind(AssertUnwindSafe(|| task(0)));
+    IN_REGION.with(|c| c.set(false));
+
+    // Must wait even when panicking: workers may still hold the borrow.
+    job.latch.wait();
+
+    if let Err(payload) = own {
+        resume_unwind(payload);
+    }
+    if job.panicked.load(Ordering::Acquire) {
+        panic!("a parallel task panicked on a pool worker thread");
+    }
+}
+
+/// Raw-pointer wrapper asserting cross-thread use is externally synchronised
+/// (each worker touches a disjoint set of slots).
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Computes `f(i)` for every `i in 0..n` across the pool and returns the
+/// results in index order.
+///
+/// Output is bit-identical for every thread count: slot `i` always receives
+/// exactly `f(i)`, and no cross-item reduction happens. Panics in `f` are
+/// propagated after all threads have quiesced (already-computed results are
+/// leaked, never double-dropped).
+pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let participants = current_num_threads().min(n);
+    if participants <= 1 || in_parallel_region() {
+        return (0..n).map(f).collect();
+    }
+
+    let mut out: Vec<MaybeUninit<T>> = (0..n).map(|_| MaybeUninit::uninit()).collect();
+    let slots = SendPtr(out.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+
+    run_region(participants, &|_participant| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let value = f(i);
+        // SAFETY: `i` is claimed exactly once via fetch_add, so each slot is
+        // written by exactly one thread; the Vec outlives the region because
+        // run_region blocks until all participants finish.
+        unsafe {
+            slots.get().add(i).write(MaybeUninit::new(value));
+        }
+    });
+
+    // Every index was claimed and the region completed without panicking, so
+    // all `n` slots are initialised.
+    let mut out = ManuallyDrop::new(out);
+    let (ptr, len, cap) = (out.as_mut_ptr(), out.len(), out.capacity());
+    // SAFETY: MaybeUninit<T> has the same layout as T and all elements are
+    // initialised; ManuallyDrop prevents a double free of the buffer.
+    unsafe { Vec::from_raw_parts(ptr.cast::<T>(), len, cap) }
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` elements (last chunk
+/// may be shorter) and calls `f(chunk_index, chunk)` for each across the
+/// pool. Chunks are disjoint `&mut` views, so no synchronisation is needed in
+/// `f`; determinism follows from each chunk owning fixed output slots.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be non-zero");
+    let len = data.len();
+    let n_chunks = len.div_ceil(chunk_len);
+    let participants = current_num_threads().min(n_chunks);
+    if participants <= 1 || in_parallel_region() {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+
+    let base = SendPtr(data.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    run_region(participants, &|_participant| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n_chunks {
+            break;
+        }
+        let start = i * chunk_len;
+        let this_len = chunk_len.min(len - start);
+        // SAFETY: chunk `i` covers `[start, start + this_len)`; distinct `i`
+        // values yield disjoint ranges, and the slice outlives the region.
+        let chunk =
+            unsafe { std::slice::from_raw_parts_mut(base.get().add(start), this_len) };
+        f(i, chunk);
+    });
+}
+
+/// Runs both closures, potentially in parallel, and returns their results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 || in_parallel_region() {
+        return (oper_a(), oper_b());
+    }
+    let fa = Mutex::new(Some(oper_a));
+    let fb = Mutex::new(Some(oper_b));
+    let ra = Mutex::new(None);
+    let rb = Mutex::new(None);
+    run_region(2, &|_participant| {
+        // Both participants race for both halves through the Option locks, so
+        // the pair completes even if one participant ends up doing both.
+        if let Some(f) = fa.lock().unwrap().take() {
+            let r = f();
+            *ra.lock().unwrap() = Some(r);
+        }
+        if let Some(f) = fb.lock().unwrap().take() {
+            let r = f();
+            *rb.lock().unwrap() = Some(r);
+        }
+    });
+    (
+        ra.into_inner().unwrap().expect("join: first closure did not run"),
+        rb.into_inner().unwrap().expect("join: second closure did not run"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that mutate the global thread-count setting.
+    static CONFIG_GUARD: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = CONFIG_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_num_threads(n);
+        let r = f();
+        set_num_threads(0);
+        r
+    }
+
+    #[test]
+    fn map_matches_serial_across_thread_counts() {
+        let expected: Vec<f64> = (0..257).map(|i| (i as f64).sqrt() * 1.5).collect();
+        for threads in [1, 2, 4, 9] {
+            let got = with_threads(threads, || {
+                par_map_indexed(257, |i| (i as f64).sqrt() * 1.5)
+            });
+            assert_eq!(got, expected, "thread count {threads}");
+        }
+    }
+
+    #[test]
+    fn chunks_mut_writes_every_slot() {
+        let mut data = vec![0usize; 103];
+        with_threads(4, || {
+            par_chunks_mut(&mut data, 10, |chunk_idx, chunk| {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    *slot = chunk_idx * 10 + j + 1;
+                }
+            });
+        });
+        let expected: Vec<usize> = (1..=103).collect();
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn join_runs_both_closures() {
+        let (a, b) = with_threads(3, || join(|| 21 * 2, || "ok".to_string()));
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn nested_regions_run_inline_without_deadlock() {
+        let got = with_threads(4, || {
+            par_map_indexed(8, |i| {
+                let inner = par_map_indexed(4, move |j| i * 10 + j);
+                inner.iter().sum::<usize>()
+            })
+        });
+        let expected: Vec<usize> = (0..8).map(|i| 4 * (i * 10) + 6).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(4, || {
+                par_map_indexed(64, |i| {
+                    if i == 33 {
+                        panic!("boom");
+                    }
+                    i
+                })
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn zero_and_one_item_edge_cases() {
+        let empty = with_threads(4, || par_map_indexed(0, |i| i));
+        assert!(empty.is_empty());
+        let one = with_threads(4, || par_map_indexed(1, |i| i + 7));
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn builder_is_repeatable() {
+        let _guard = CONFIG_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        ThreadPoolBuilder::new().num_threads(3).build_global().unwrap();
+        assert_eq!(current_num_threads(), 3);
+        ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+        set_num_threads(0);
+    }
+}

@@ -1,0 +1,392 @@
+//! Vendored, dependency-free subset of the `serde` data model.
+//!
+//! Offline environments cannot fetch the real `serde` + derive machinery, so
+//! this crate provides a small value-tree model: types convert to and from
+//! [`Value`], and the sibling vendored `serde_json` crate renders/parses the
+//! tree as JSON. The [`impl_serde_struct!`] macro replaces
+//! `#[derive(Serialize, Deserialize)]` for plain named-field structs.
+
+use std::fmt;
+
+/// A dynamically-typed serialization tree (JSON-shaped).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (kept separate to round-trip values above `i64::MAX`).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered array.
+    Array(Vec<Value>),
+    /// Ordered map (insertion order preserved for stable output).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `name` in an object.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Deserializes the field `name` of an object.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `self` is not an object, the field is missing, or the field
+    /// fails to deserialize as `T`.
+    pub fn field<T: Deserialize>(&self, name: &str) -> Result<T, DeError> {
+        match self.get(name) {
+            Some(v) => T::from_value(v)
+                .map_err(|e| DeError::new(format!("field `{name}`: {}", e.reason))),
+            None => Err(DeError::new(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Like [`Value::field`], but substitutes `default` when the field is
+    /// absent — used for forward-compatible additions to stored formats.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the field is present but malformed.
+    pub fn field_or<T: Deserialize>(&self, name: &str, default: T) -> Result<T, DeError> {
+        match self.get(name) {
+            Some(v) => T::from_value(v)
+                .map_err(|e| DeError::new(format!("field `{name}`: {}", e.reason))),
+            None => Ok(default),
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable reason.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl DeError {
+    /// Creates an error from any displayable reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        DeError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.reason)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree does not match `Self`'s shape.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls ----------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, got {}", other.type_name()))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(DeError::new(format!(
+                "expected number, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = match v {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                        *f as u64
+                    }
+                    other => {
+                        return Err(DeError::new(format!(
+                            "expected unsigned integer, got {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = match v {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) if *u <= i64::MAX as u64 => *u as i64,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i64,
+                    other => {
+                        return Err(DeError::new(format!(
+                            "expected integer, got {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i64, i32, i16, i8, isize);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!(
+                "expected string, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!(
+                "expected array, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    Value::Array(items) => Err(DeError::new(format!(
+                        "expected array of {LEN} elements, got {}",
+                        items.len()
+                    ))),
+                    other => Err(DeError::new(format!(
+                        "expected array, got {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+/// Implements `Serialize`/`Deserialize` for a named-field struct, replacing
+/// `#[derive(Serialize, Deserialize)]`:
+///
+/// ```ignore
+/// serde::impl_serde_struct!(ParamState { rows, cols, data });
+/// ```
+///
+/// Every listed field must itself implement the two traits; objects with
+/// missing fields are rejected at deserialization time.
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((stringify!($field).to_string(),
+                       $crate::Serialize::to_value(&self.$field)),)+
+                ])
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::DeError> {
+                if !matches!(v, $crate::Value::Object(_)) {
+                    return Err($crate::DeError::new(concat!(
+                        "expected object for ",
+                        stringify!($ty)
+                    )));
+                }
+                Ok(Self {
+                    $($field: v.field(stringify!($field))?,)+
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        a: usize,
+        b: Vec<f64>,
+    }
+    impl_serde_struct!(Demo { a, b });
+
+    #[test]
+    fn struct_roundtrip() {
+        let d = Demo {
+            a: 3,
+            b: vec![1.5, -2.0],
+        };
+        let v = d.to_value();
+        assert_eq!(Demo::from_value(&v).unwrap(), d);
+    }
+
+    #[test]
+    fn missing_field_rejected() {
+        let v = Value::Object(vec![("a".to_string(), Value::UInt(1))]);
+        assert!(Demo::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = (1usize, 2usize, 3.5f64);
+        let v = t.to_value();
+        assert_eq!(<(usize, usize, f64)>::from_value(&v).unwrap(), t);
+        assert!(<(usize, usize)>::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(f64::from_value(&Value::Int(-2)).unwrap(), -2.0);
+        assert_eq!(usize::from_value(&Value::Float(4.0)).unwrap(), 4);
+        assert!(usize::from_value(&Value::Float(4.5)).is_err());
+        assert!(usize::from_value(&Value::Int(-1)).is_err());
+    }
+}
