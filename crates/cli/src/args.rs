@@ -20,7 +20,7 @@ pub enum Command {
         netlist: String,
     },
     /// `cirstag analyze <netlist> [--out report.json] [--epochs N] [--top F]
-    /// [--threads T]`
+    /// [--threads T] [--strict|--best-effort]`
     Analyze {
         /// Netlist path.
         netlist: String,
@@ -32,6 +32,10 @@ pub enum Command {
         top: f64,
         /// Worker threads for the analysis pipeline (`0` = all cores).
         threads: usize,
+        /// Run the pipeline under the best-effort failure policy: climb the
+        /// fallback ladders and finish degraded (exit code 2) instead of
+        /// failing on the first stage error.
+        best_effort: bool,
     },
     /// `cirstag dot <netlist> [--scores report.json]`
     Dot {
@@ -55,6 +59,11 @@ USAGE:
                             [--epochs N] [--top F]
                             [--threads T]           (0 = all cores; results
                                                      are thread-count independent)
+                            [--strict]              fail on the first stage error
+                                                     (default)
+                            [--best-effort]         degrade through fallback
+                                                     ladders instead of failing;
+                                                     exits 2 when degraded
   cirstag dot <netlist> [--scores report.json]      Graphviz DOT of the pin graph
   cirstag help                                      this message
 ";
@@ -121,10 +130,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut epochs = 200usize;
             let mut top = 0.10f64;
             let mut threads = 0usize;
+            let mut best_effort = false;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
                     "--out" => out = Some(value(&rest, &mut i, "--out")?.to_string()),
+                    "--strict" => best_effort = false,
+                    "--best-effort" => best_effort = true,
                     "--threads" => {
                         threads = value(&rest, &mut i, "--threads")?
                             .parse()
@@ -155,6 +167,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 epochs,
                 top,
                 threads,
+                best_effort,
             })
         }
         "dot" => {
@@ -228,12 +241,14 @@ mod tests {
                 epochs,
                 top,
                 threads,
+                best_effort,
             } => {
                 assert_eq!(netlist, "d.cir");
                 assert!(out.is_none());
                 assert_eq!(epochs, 200);
                 assert!((top - 0.10).abs() < 1e-12);
                 assert_eq!(threads, 0);
+                assert!(!best_effort, "strict is the default policy");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -254,6 +269,21 @@ mod tests {
         }
         assert!(parse_args(&strs(&["analyze", "d.cir", "--threads", "x"])).is_err());
         assert!(parse_args(&strs(&["analyze", "d.cir", "--threads"])).is_err());
+    }
+
+    #[test]
+    fn analyze_parses_failure_policy() {
+        let cmd = parse_args(&strs(&["analyze", "d.cir", "--best-effort"])).unwrap();
+        match cmd {
+            Command::Analyze { best_effort, .. } => assert!(best_effort),
+            other => panic!("unexpected {other:?}"),
+        }
+        // --strict wins when it comes last; flags are processed in order.
+        let cmd = parse_args(&strs(&["analyze", "d.cir", "--best-effort", "--strict"])).unwrap();
+        match cmd {
+            Command::Analyze { best_effort, .. } => assert!(!best_effort),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

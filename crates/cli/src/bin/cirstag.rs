@@ -1,4 +1,8 @@
 //! The `cirstag` command-line tool (thin shim over `cirstag_cli`).
+//!
+//! Exit codes: `0` — completed cleanly; `2` — analysis completed but was
+//! degraded by fallback ladders (`--best-effort`); `1` — hard error
+//! (bad arguments, I/O failure, or a stage failure under `--strict`).
 
 use std::process::ExitCode;
 
@@ -8,12 +12,12 @@ fn main() -> ExitCode {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::from(2);
+            return ExitCode::FAILURE;
         }
     };
     let mut stdout = std::io::stdout().lock();
     match cirstag_cli::run(&command, &mut stdout) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(status) => ExitCode::from(cirstag_cli::exit_code(status)),
         // A closed stdout (`cirstag sta … | head`) is normal Unix pipeline
         // behavior, not an error.
         Err(e) if e.message.contains("Broken pipe") => ExitCode::SUCCESS,

@@ -2,7 +2,7 @@
 
 use crate::args::USAGE;
 use crate::{CliError, Command};
-use cirstag::{CirStag, CirStagConfig, ReportExport};
+use cirstag::{CirStag, CirStagConfig, FailurePolicy, ReportExport};
 use cirstag_circuit::{
     extract_features, generate_circuit, parse_netlist, write_netlist, CellLibrary, FeatureConfig,
     GeneratorConfig, Netlist, PinRole, StaEngine, TimingGraph,
@@ -12,32 +12,55 @@ use cirstag_gnn::{r2_score, Activation, GnnModel, GraphContext, LayerSpec, Train
 use cirstag_graph::{heat_colors, to_dot, DotOptions};
 use cirstag_linalg::DenseMatrix;
 
+/// Outcome of a successfully completed command, used to pick the process
+/// exit code: `0` for [`RunStatus::Clean`], `2` for [`RunStatus::Degraded`]
+/// (errors exit `1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The command completed with no fallback degradation.
+    Clean,
+    /// An analysis completed under the best-effort policy, but one or more
+    /// fallback rungs fired; the scores are usable but approximate.
+    Degraded,
+}
+
 /// Runs a parsed command, writing human-readable output to `out`.
 ///
 /// # Errors
 ///
 /// Returns [`CliError`] on I/O, parse or analysis failures; the message is
 /// meant for direct display.
-pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<RunStatus, CliError> {
     match command {
         Command::Help => {
             writeln!(out, "{USAGE}")?;
-            Ok(())
+            Ok(RunStatus::Clean)
         }
         Command::Generate {
             gates,
             seed,
             out: path,
-        } => generate(*gates, *seed, path, out),
-        Command::Sta { netlist } => sta(netlist, out),
+        } => generate(*gates, *seed, path, out).map(|()| RunStatus::Clean),
+        Command::Sta { netlist } => sta(netlist, out).map(|()| RunStatus::Clean),
         Command::Analyze {
             netlist,
             out: report_path,
             epochs,
             top,
             threads,
-        } => analyze(netlist, report_path.as_deref(), *epochs, *top, *threads, out),
-        Command::Dot { netlist, scores } => dot(netlist, scores.as_deref(), out),
+            best_effort,
+        } => analyze(
+            netlist,
+            report_path.as_deref(),
+            *epochs,
+            *top,
+            *threads,
+            *best_effort,
+            out,
+        ),
+        Command::Dot { netlist, scores } => {
+            dot(netlist, scores.as_deref(), out).map(|()| RunStatus::Clean)
+        }
     }
 }
 
@@ -116,8 +139,9 @@ fn analyze(
     epochs: usize,
     top: f64,
     threads: usize,
+    best_effort: bool,
     out: &mut dyn std::io::Write,
-) -> Result<(), CliError> {
+) -> Result<RunStatus, CliError> {
     let (library, netlist) = load(path)?;
     let timing = TimingGraph::new(&netlist, &library)?;
     let graph = timing.to_undirected_graph()?;
@@ -188,6 +212,11 @@ fn analyze(
         num_eigenpairs: 25,
         knn_k: 10,
         num_threads: threads,
+        policy: if best_effort {
+            FailurePolicy::BestEffort
+        } else {
+            FailurePolicy::Strict
+        },
         ..Default::default()
     };
     if graph.num_nodes() > 3000 {
@@ -198,6 +227,12 @@ fn analyze(
     }
     let report = CirStag::new(config).analyze(&graph, Some(&features), &embedding)?;
     writeln!(out, "stage timings: {}", report.timings.summary())?;
+    if report.degraded || !report.diagnostics.is_empty() {
+        writeln!(out, "run diagnostics: {}", report.diagnostics.summary())?;
+        for w in &report.diagnostics.warnings {
+            writeln!(out, "  warning: {w}")?;
+        }
+    }
     let eligible: Vec<bool> = (0..timing.num_pins())
         .map(|p| timing.pin(p).capacitance > 0.0 && timing.pin(p).role != PinRole::PrimaryOutput)
         .collect();
@@ -224,7 +259,12 @@ fn analyze(
             .map_err(|e| CliError::new(format!("cannot write {rp}: {e}")))?;
         writeln!(out, "\nfull report written to {rp}")?;
     }
-    Ok(())
+    if report.degraded {
+        writeln!(out, "\nanalysis completed DEGRADED (see diagnostics above)")?;
+        Ok(RunStatus::Degraded)
+    } else {
+        Ok(RunStatus::Clean)
+    }
 }
 
 fn dot(
@@ -336,6 +376,7 @@ mod tests {
             epochs: 60,
             top: 0.10,
             threads: 2,
+            best_effort: false,
         })
         .unwrap();
         assert!(text.contains("most unstable"));

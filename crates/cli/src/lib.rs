@@ -19,7 +19,17 @@ mod args;
 mod commands;
 
 pub use args::{parse_args, Command};
-pub use commands::run;
+pub use commands::{run, RunStatus};
+
+/// Maps a completed run's status to the process exit code: `0` for
+/// [`RunStatus::Clean`], `2` for [`RunStatus::Degraded`]. Errors (including
+/// argument parse failures) exit `1`.
+pub fn exit_code(status: RunStatus) -> u8 {
+    match status {
+        RunStatus::Clean => 0,
+        RunStatus::Degraded => 2,
+    }
+}
 
 /// CLI error: a message for the user plus the suggested exit code.
 #[derive(Debug)]

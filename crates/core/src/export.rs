@@ -1,6 +1,6 @@
 //! JSON export of stability reports for downstream tooling.
 
-use crate::{CirStagError, StabilityReport};
+use crate::{CirStagError, FallbackEvent, RunDiagnostics, StabilityReport};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Serializable form of a [`StabilityReport`] (scores, rankings and run
@@ -20,10 +20,17 @@ pub struct ReportExport {
     pub phase_seconds: (f64, f64, f64),
     /// Active worker-thread count the analysis ran with (`1` = serial).
     pub threads: usize,
+    /// `true` when any fallback rung fired during the analysis.
+    pub degraded: bool,
+    /// Non-fatal warnings raised during the run.
+    pub warnings: Vec<String>,
+    /// Fallback-ladder escalations, in the order they fired.
+    pub fallback_events: Vec<FallbackEvent>,
 }
 
-// Manual impls (rather than `impl_serde_struct!`) so `threads` can default to
-// 1 when parsing reports written before the field existed.
+// Manual impls (rather than `impl_serde_struct!`) so fields added after the
+// initial release (`threads`, the resilience trio) default sensibly when
+// parsing reports written by older versions.
 impl Serialize for ReportExport {
     fn to_value(&self) -> Value {
         Value::Object(vec![
@@ -33,6 +40,12 @@ impl Serialize for ReportExport {
             ("eigenvalues".to_string(), self.eigenvalues.to_value()),
             ("phase_seconds".to_string(), self.phase_seconds.to_value()),
             ("threads".to_string(), self.threads.to_value()),
+            ("degraded".to_string(), self.degraded.to_value()),
+            ("warnings".to_string(), self.warnings.to_value()),
+            (
+                "fallback_events".to_string(),
+                self.fallback_events.to_value(),
+            ),
         ])
     }
 }
@@ -49,6 +62,9 @@ impl Deserialize for ReportExport {
             eigenvalues: v.field("eigenvalues")?,
             phase_seconds: v.field("phase_seconds")?,
             threads: v.field_or("threads", 1)?,
+            degraded: v.field_or("degraded", false)?,
+            warnings: v.field_or("warnings", Vec::new())?,
+            fallback_events: v.field_or("fallback_events", Vec::new())?,
         })
     }
 }
@@ -67,6 +83,17 @@ impl ReportExport {
                 report.timings.phase3.as_secs_f64(),
             ),
             threads: report.timings.threads,
+            degraded: report.degraded,
+            warnings: report.diagnostics.warnings.clone(),
+            fallback_events: report.diagnostics.events.clone(),
+        }
+    }
+
+    /// Reassembles the diagnostics carried by this export.
+    pub fn diagnostics(&self) -> RunDiagnostics {
+        RunDiagnostics {
+            events: self.fallback_events.clone(),
+            warnings: self.warnings.clone(),
         }
     }
 
@@ -161,5 +188,46 @@ mod tests {
     #[test]
     fn malformed_json_rejected() {
         assert!(ReportExport::from_json("nope").is_err());
+    }
+
+    #[test]
+    fn pre_resilience_json_still_parses() {
+        // A report written before the degraded/warnings/fallback_events
+        // fields existed must keep parsing, with the new fields defaulted.
+        let old = r#"{
+            "node_scores": [0.5, 0.25],
+            "ranking": [0, 1],
+            "edge_scores": [[0, 1, 0.75]],
+            "eigenvalues": [1.5],
+            "phase_seconds": [0.1, 0.2, 0.3],
+            "threads": 2
+        }"#;
+        let parsed = ReportExport::from_json(old).unwrap();
+        assert_eq!(parsed.node_scores, vec![0.5, 0.25]);
+        assert!(!parsed.degraded);
+        assert!(parsed.warnings.is_empty());
+        assert!(parsed.fallback_events.is_empty());
+        assert!(parsed.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn degraded_report_roundtrips_diagnostics() {
+        let report = sample_report();
+        let mut export = ReportExport::from_report(&report);
+        export.degraded = true;
+        export.warnings.push("clamped diagonal".to_string());
+        export.fallback_events.push(FallbackEvent {
+            stage: "phase3/geig".to_string(),
+            rung: "dense".to_string(),
+            cause: "no convergence".to_string(),
+            residual: Some(1e-3),
+            elapsed_ms: 42,
+        });
+        let json = export.to_json().unwrap();
+        let back = ReportExport::from_json(&json).unwrap();
+        assert!(back.degraded);
+        assert_eq!(back.warnings, export.warnings);
+        assert_eq!(back.fallback_events, export.fallback_events);
+        assert_eq!(back.diagnostics().summary(), export.diagnostics().summary());
     }
 }

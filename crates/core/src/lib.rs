@@ -51,9 +51,18 @@
 mod error;
 mod export;
 mod pipeline;
+mod resilience;
 mod selection;
 
 pub use error::CirStagError;
 pub use export::ReportExport;
 pub use pipeline::{CirStag, CirStagConfig, PhaseTimings, StabilityReport};
+pub use resilience::{FailurePolicy, FallbackEvent, RunDiagnostics, StageBudget};
 pub use selection::{bottom_fraction, rank_descending, top_fraction};
+
+/// Deterministic failpoint injection (re-exported from the linalg layer).
+///
+/// The registry is a no-op unless the `failpoints` cargo feature is enabled;
+/// see the module docs for the `<stage>/<site>` naming scheme used across
+/// the pipeline.
+pub use cirstag_linalg::fail as failpoint;

@@ -1,14 +1,22 @@
 //! The three-phase CirSTAG pipeline (Algorithm 1 of the paper).
 
-use crate::CirStagError;
+use crate::{CirStagError, FailurePolicy, FallbackEvent, RunDiagnostics, StageBudget};
 use cirstag_embed::{
-    augment_with_features, knn_graph, spectral_embedding, KnnConfig, SpectralConfig,
+    augment_with_features, dense_spectral_embedding, knn_graph, spectral_embedding, EmbedError,
+    KnnConfig, SpectralConfig,
 };
 use cirstag_graph::Graph;
-use cirstag_linalg::{par, DenseMatrix};
+use cirstag_linalg::{fail, par, DenseMatrix};
 use cirstag_pgm::{learn_manifold, random_prune, PgmConfig};
-use cirstag_solver::{generalized_lanczos, CgOptions, LaplacianSolver};
+use cirstag_solver::{
+    generalized_eigen_dense, generalized_lanczos, CgOptions, GeneralizedEigen, LadderRung,
+    LaplacianSolver, SolverError,
+};
 use std::time::{Duration, Instant};
+
+/// Seed perturbation applied to re-seeded eigensolver retries so the retry
+/// explores a different Krylov subspace than the failed attempt.
+const RETRY_RESEED: u64 = 0x5EED_F00D;
 
 /// Configuration for the [`CirStag`] analyzer.
 #[derive(Debug, Clone, Copy)]
@@ -53,6 +61,12 @@ pub struct CirStagConfig {
     /// larger values may oversubscribe the machine. Results are bit-identical
     /// for every setting — parallelism never changes reduction order.
     pub num_threads: usize,
+    /// What to do when a stage fails: fail fast ([`FailurePolicy::Strict`],
+    /// the default and historical behavior) or climb the fallback ladders and
+    /// finish degraded ([`FailurePolicy::BestEffort`]).
+    pub policy: FailurePolicy,
+    /// Per-stage wall-clock and retry budgets.
+    pub stage_budget: StageBudget,
 }
 
 impl Default for CirStagConfig {
@@ -71,6 +85,8 @@ impl Default for CirStagConfig {
             geig_max_iter: 80,
             seed: 0,
             num_threads: 0,
+            policy: FailurePolicy::Strict,
+            stage_budget: StageBudget::default(),
         }
     }
 }
@@ -126,6 +142,12 @@ pub struct StabilityReport {
     pub output_manifold: Graph,
     /// Phase timings (Fig. 5 scalability data).
     pub timings: PhaseTimings,
+    /// `true` when any fallback rung fired during the analysis — the scores
+    /// are usable but were produced by a degraded (retry/dense/pruned) path.
+    /// Always `false` under [`FailurePolicy::Strict`], which errors instead.
+    pub degraded: bool,
+    /// Fallback events and non-fatal warnings recorded during the run.
+    pub diagnostics: RunDiagnostics,
 }
 
 impl StabilityReport {
@@ -212,52 +234,112 @@ impl CirStag {
         par::set_num_threads(cfg.num_threads);
         let threads = par::current_num_threads();
 
+        let mut diag = RunDiagnostics::default();
+        let best_effort = cfg.policy == FailurePolicy::BestEffort;
+
         // ---- Phase 1: input/output embedding matrices -------------------
         let t0 = Instant::now();
-        let input_data: Option<DenseMatrix> = if cfg.skip_dimension_reduction {
+        fail::trigger("phase1/stall");
+        let mut input_data: Option<DenseMatrix> = if cfg.skip_dimension_reduction {
             None // raw graph becomes the manifold directly
         } else {
             let m = cfg.embedding_dim.min(n - 1).max(1);
-            let u = spectral_embedding(input_graph, m, &cfg.spectral)?;
-            let u = match node_features {
-                Some(f) if cfg.feature_weight > 0.0 => {
-                    augment_with_features(&u, f, cfg.feature_weight)?
+            match phase1_embedding(input_graph, m, cfg, &mut diag)? {
+                None => None,
+                Some(u) => {
+                    let u = match node_features {
+                        Some(f) if cfg.feature_weight > 0.0 => {
+                            augment_with_features(&u, f, cfg.feature_weight)?
+                        }
+                        _ => u,
+                    };
+                    Some(u)
                 }
-                _ => u,
-            };
-            Some(u)
+            }
         };
+        // Failpoint: corrupt the inter-phase hand-off to exercise the
+        // finiteness guardrail below.
+        if matches!(fail::check("phase1/nan"), Some(fail::FailAction::Nan)) {
+            if let Some(u) = &mut input_data {
+                u.set(0, 0, f64::NAN);
+            }
+        }
+        // Guardrail: the embedding must be finite before it seeds Phase 2.
+        if input_data.as_ref().is_some_and(|u| !u.all_finite()) {
+            if best_effort {
+                diag.events.push(FallbackEvent {
+                    stage: "phase1/nan-guard".to_string(),
+                    rung: "degraded".to_string(),
+                    cause: "spectral embedding contains non-finite values".to_string(),
+                    residual: None,
+                    elapsed_ms: t0.elapsed().as_millis() as u64,
+                });
+                diag.warnings.push(
+                    "phase1 embedding was non-finite; using the raw circuit graph as the input manifold"
+                        .to_string(),
+                );
+                input_data = None;
+            } else {
+                return Err(CirStagError::NonFiniteStage { stage: "phase1" });
+            }
+        }
         let phase1 = t0.elapsed();
+        enforce_budget("phase1", phase1, cfg, &mut diag)?;
 
         // ---- Phase 2: graph-based manifolds via PGMs ---------------------
         let t1 = Instant::now();
+        fail::trigger("phase2/stall");
         let k = cfg.knn_k.min(n - 1).max(1);
         let input_manifold = match &input_data {
             None => input_graph.clone(),
             Some(u) => {
                 let dense = knn_graph(u, k, &cfg.knn)?;
-                sparsify(&dense, cfg)?
+                sparsify_with_ladder(&dense, cfg, "phase2/pgm-input", &mut diag)?
             }
         };
         let dense_y = knn_graph(output_embedding, k, &cfg.knn)?;
-        let output_manifold = sparsify(&dense_y, cfg)?;
+        let output_manifold = sparsify_with_ladder(&dense_y, cfg, "phase2/pgm-output", &mut diag)?;
         let phase2 = t1.elapsed();
+        enforce_budget("phase2", phase2, cfg, &mut diag)?;
 
         // ---- Phase 3: DMD stability scores -------------------------------
         let t2 = Instant::now();
+        fail::trigger("phase3/stall");
         let lx = input_manifold.laplacian();
         // Ranking-grade solver options: manifold Laplacians mix weights
         // spanning ~1/ε, so the default 1e-10 tolerance is unnecessarily
         // strict for eigen-subspace estimation and can fail to converge.
-        let ly_solver = LaplacianSolver::with_tree_preconditioner(
-            &output_manifold,
-            CgOptions {
-                tol: 1e-6,
-                max_iter: 10_000,
-            },
-        )?;
+        let ly_options = CgOptions {
+            tol: 1e-6,
+            max_iter: 10_000,
+        };
+        // Strict keeps the historical fail-fast solver; BestEffort lets the
+        // inner CG escalate tree → dense instead of surfacing NoConvergence.
+        let ly_solver = if best_effort {
+            LaplacianSolver::with_ladder(&output_manifold, ly_options, LadderRung::Tree)?
+        } else {
+            LaplacianSolver::with_tree_preconditioner(&output_manifold, ly_options)?
+        };
         let s = cfg.num_eigenpairs.min(n.saturating_sub(2)).max(1);
-        let geig = generalized_lanczos(&lx, &ly_solver, s, cfg.geig_max_iter, cfg.seed)?;
+        let mut geig = phase3_eigenpairs(&lx, &ly_solver, s, n, cfg, &mut diag)?;
+        // Surface the inner CG ladder's escalations and warnings.
+        for ev in ly_solver.take_events() {
+            diag.events.push(FallbackEvent {
+                stage: "phase3/cg".to_string(),
+                rung: ev.to.name().to_string(),
+                cause: ev.cause,
+                residual: ev.residual.filter(|r| r.is_finite()),
+                elapsed_ms: ev.elapsed_ms,
+            });
+        }
+        diag.warnings.extend(ly_solver.take_warnings());
+
+        // Failpoint: corrupt the spectrum to exercise the score guardrail.
+        if matches!(fail::check("phase3/nan"), Some(fail::FailAction::Nan)) {
+            if let Some(z) = geig.eigenvalues.first_mut() {
+                *z = f64::NAN;
+            }
+        }
 
         // Edge scores ‖V_sᵀe_pq‖² = Σ_i ζ_i (v_i[p] − v_i[q])² over E_X.
         // Each edge's score depends only on that edge, so the map runs across
@@ -266,7 +348,7 @@ impl CirStag {
         let zetas: Vec<f64> = geig.eigenvalues.iter().map(|&z| z.max(0.0)).collect();
         let vs = &geig.eigenvectors;
         let edges = input_manifold.edges();
-        let edge_scores: Vec<(usize, usize, f64)> = par::map_indexed(edges.len(), |eid| {
+        let mut edge_scores: Vec<(usize, usize, f64)> = par::map_indexed(edges.len(), |eid| {
             let e = &edges[eid];
             let mut score = 0.0;
             for (i, &z) in zetas.iter().enumerate() {
@@ -275,6 +357,35 @@ impl CirStag {
             }
             (e.u, e.v, score)
         });
+        // Guardrail: scores must be finite before they reach the report.
+        if edge_scores.iter().any(|&(_, _, s)| !s.is_finite())
+            || geig.eigenvalues.iter().any(|z| !z.is_finite())
+        {
+            if best_effort {
+                diag.events.push(FallbackEvent {
+                    stage: "phase3/nan-guard".to_string(),
+                    rung: "degraded".to_string(),
+                    cause: "DMD spectrum or edge scores contain non-finite values".to_string(),
+                    residual: None,
+                    elapsed_ms: t2.elapsed().as_millis() as u64,
+                });
+                diag.warnings.push(
+                    "phase3 produced non-finite values; they were zeroed in the report".to_string(),
+                );
+                for (_, _, s) in edge_scores.iter_mut() {
+                    if !s.is_finite() {
+                        *s = 0.0;
+                    }
+                }
+                for z in geig.eigenvalues.iter_mut() {
+                    if !z.is_finite() {
+                        *z = 0.0;
+                    }
+                }
+            } else {
+                return Err(CirStagError::NonFiniteStage { stage: "phase3" });
+            }
+        }
         let mut node_acc = vec![0.0f64; n];
         let mut node_count = vec![0usize; n];
         for &(u, v, score) in &edge_scores {
@@ -289,7 +400,9 @@ impl CirStag {
             .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
             .collect();
         let phase3 = t2.elapsed();
+        enforce_budget("phase3", phase3, cfg, &mut diag)?;
 
+        let degraded = !diag.events.is_empty();
         Ok(StabilityReport {
             node_scores,
             edge_scores,
@@ -302,19 +415,236 @@ impl CirStag {
                 phase3,
                 threads,
             },
+            degraded,
+            diagnostics: diag,
         })
     }
 }
 
-/// Applies the configured Phase-2 sparsification variant.
-fn sparsify(dense: &Graph, cfg: &CirStagConfig) -> Result<Graph, CirStagError> {
-    if cfg.skip_manifold_sparsification {
-        Ok(dense.clone())
-    } else if cfg.random_prune {
-        Ok(random_prune(dense, &cfg.pgm)?.graph)
-    } else {
-        Ok(learn_manifold(dense, &cfg.pgm)?.graph)
+/// Residual norm carried by an embedding-stage failure, when a finite one
+/// exists (diagnostics are JSON-exported, which cannot represent infinity).
+fn embed_residual(e: &EmbedError) -> Option<f64> {
+    match e {
+        EmbedError::Solver(SolverError::NoConvergence { residual, .. }) => {
+            Some(*residual).filter(|r| r.is_finite())
+        }
+        _ => None,
     }
+}
+
+/// Residual norm carried by a solver-stage failure, when a finite one exists.
+fn solver_residual(e: &SolverError) -> Option<f64> {
+    match e {
+        SolverError::NoConvergence { residual, .. } => Some(*residual).filter(|r| r.is_finite()),
+        _ => None,
+    }
+}
+
+/// Phase-1 fallback ladder: Lanczos → re-seeded retry with an enlarged
+/// Krylov budget → dense eigendecomposition → (BestEffort only) raw circuit
+/// graph as the input manifold (`Ok(None)`).
+fn phase1_embedding(
+    g: &Graph,
+    m: usize,
+    cfg: &CirStagConfig,
+    diag: &mut RunDiagnostics,
+) -> Result<Option<DenseMatrix>, CirStagError> {
+    let t = Instant::now();
+    let first = spectral_embedding(g, m, &cfg.spectral);
+    let err = match first {
+        Ok(u) => return Ok(Some(u)),
+        Err(err) if cfg.policy == FailurePolicy::Strict => return Err(err.into()),
+        Err(err) => err,
+    };
+    diag.events.push(FallbackEvent {
+        stage: "phase1/eigs".to_string(),
+        rung: "retry".to_string(),
+        cause: err.to_string(),
+        residual: embed_residual(&err),
+        elapsed_ms: t.elapsed().as_millis() as u64,
+    });
+    let retry_cfg = SpectralConfig {
+        max_iter: cfg
+            .spectral
+            .max_iter
+            .saturating_mul(cfg.stage_budget.retry_iter_factor.max(1)),
+        seed: cfg.spectral.seed ^ RETRY_RESEED,
+        ..cfg.spectral
+    };
+    let t_retry = Instant::now();
+    let err = match spectral_embedding(g, m, &retry_cfg) {
+        Ok(u) => return Ok(Some(u)),
+        Err(err) => err,
+    };
+    diag.events.push(FallbackEvent {
+        stage: "phase1/eigs".to_string(),
+        rung: "dense".to_string(),
+        cause: err.to_string(),
+        residual: embed_residual(&err),
+        elapsed_ms: t_retry.elapsed().as_millis() as u64,
+    });
+    let t_dense = Instant::now();
+    let err = match dense_spectral_embedding(g, m) {
+        Ok(u) => return Ok(Some(u)),
+        Err(err) => err,
+    };
+    diag.events.push(FallbackEvent {
+        stage: "phase1/eigs".to_string(),
+        rung: "degraded".to_string(),
+        cause: err.to_string(),
+        residual: embed_residual(&err),
+        elapsed_ms: t_dense.elapsed().as_millis() as u64,
+    });
+    diag.warnings.push(
+        "phase1 spectral embedding failed on every rung; using the raw circuit graph as the input manifold"
+            .to_string(),
+    );
+    Ok(None)
+}
+
+/// Phase-3 fallback ladder: generalized Lanczos → re-seeded retry with an
+/// enlarged iteration budget → dense generalized eigensolver → (BestEffort
+/// only) a zero spectrum, which yields all-zero stability scores.
+fn phase3_eigenpairs(
+    lx: &cirstag_linalg::CsrMatrix,
+    ly_solver: &LaplacianSolver,
+    s: usize,
+    n: usize,
+    cfg: &CirStagConfig,
+    diag: &mut RunDiagnostics,
+) -> Result<GeneralizedEigen, CirStagError> {
+    let t = Instant::now();
+    let first = generalized_lanczos(lx, ly_solver, s, cfg.geig_max_iter, cfg.seed);
+    let err = match first {
+        Ok(geig) => return Ok(geig),
+        Err(err) if cfg.policy == FailurePolicy::Strict => return Err(err.into()),
+        Err(err) => err,
+    };
+    diag.events.push(FallbackEvent {
+        stage: "phase3/geig".to_string(),
+        rung: "retry".to_string(),
+        cause: err.to_string(),
+        residual: solver_residual(&err),
+        elapsed_ms: t.elapsed().as_millis() as u64,
+    });
+    let retry_iters = cfg
+        .geig_max_iter
+        .saturating_mul(cfg.stage_budget.retry_iter_factor.max(1));
+    let t_retry = Instant::now();
+    let err = match generalized_lanczos(lx, ly_solver, s, retry_iters, cfg.seed ^ RETRY_RESEED) {
+        Ok(geig) => return Ok(geig),
+        Err(err) => err,
+    };
+    diag.events.push(FallbackEvent {
+        stage: "phase3/geig".to_string(),
+        rung: "dense".to_string(),
+        cause: err.to_string(),
+        residual: solver_residual(&err),
+        elapsed_ms: t_retry.elapsed().as_millis() as u64,
+    });
+    let t_dense = Instant::now();
+    let err = match generalized_eigen_dense(lx, ly_solver.laplacian(), s) {
+        Ok(geig) => return Ok(geig),
+        Err(err) => err,
+    };
+    diag.events.push(FallbackEvent {
+        stage: "phase3/geig".to_string(),
+        rung: "degraded".to_string(),
+        cause: err.to_string(),
+        residual: solver_residual(&err),
+        elapsed_ms: t_dense.elapsed().as_millis() as u64,
+    });
+    diag.warnings.push(
+        "phase3 generalized eigensolve failed on every rung; reporting a zero spectrum and zero scores"
+            .to_string(),
+    );
+    Ok(GeneralizedEigen {
+        eigenvalues: vec![0.0; s],
+        eigenvectors: DenseMatrix::zeros(n, s),
+        iterations: 0,
+    })
+}
+
+/// Enforces the per-stage wall-clock budget: a typed error under
+/// [`FailurePolicy::Strict`], a recorded degradation under
+/// [`FailurePolicy::BestEffort`].
+fn enforce_budget(
+    stage: &'static str,
+    elapsed: Duration,
+    cfg: &CirStagConfig,
+    diag: &mut RunDiagnostics,
+) -> Result<(), CirStagError> {
+    let Some(budget_ms) = cfg.stage_budget.wall_clock_ms else {
+        return Ok(());
+    };
+    let elapsed_ms = elapsed.as_millis() as u64;
+    if elapsed_ms <= budget_ms {
+        return Ok(());
+    }
+    if cfg.policy == FailurePolicy::BestEffort {
+        diag.events.push(FallbackEvent {
+            stage: stage.to_string(),
+            rung: "budget".to_string(),
+            cause: format!(
+                "stage exceeded its wall-clock budget ({elapsed_ms}ms spent, {budget_ms}ms allowed)"
+            ),
+            residual: None,
+            elapsed_ms,
+        });
+        Ok(())
+    } else {
+        Err(CirStagError::BudgetExhausted {
+            stage,
+            elapsed_ms,
+            budget_ms,
+        })
+    }
+}
+
+/// Applies the configured Phase-2 sparsification variant, with a fallback
+/// ladder under [`FailurePolicy::BestEffort`]: PGM learning → uniform random
+/// pruning → the dense kNN graph unsparsified.
+fn sparsify_with_ladder(
+    dense: &Graph,
+    cfg: &CirStagConfig,
+    stage: &str,
+    diag: &mut RunDiagnostics,
+) -> Result<Graph, CirStagError> {
+    if cfg.skip_manifold_sparsification {
+        return Ok(dense.clone());
+    }
+    if cfg.random_prune {
+        return Ok(random_prune(dense, &cfg.pgm)?.graph);
+    }
+    let t = Instant::now();
+    let err = match learn_manifold(dense, &cfg.pgm) {
+        Ok(r) => return Ok(r.graph),
+        Err(err) if cfg.policy == FailurePolicy::Strict => return Err(err.into()),
+        Err(err) => err,
+    };
+    diag.events.push(FallbackEvent {
+        stage: stage.to_string(),
+        rung: "random-prune".to_string(),
+        cause: err.to_string(),
+        residual: None,
+        elapsed_ms: t.elapsed().as_millis() as u64,
+    });
+    let t_prune = Instant::now();
+    let err = match random_prune(dense, &cfg.pgm) {
+        Ok(r) => return Ok(r.graph),
+        Err(err) => err,
+    };
+    diag.events.push(FallbackEvent {
+        stage: stage.to_string(),
+        rung: "dense-knn".to_string(),
+        cause: err.to_string(),
+        residual: None,
+        elapsed_ms: t_prune.elapsed().as_millis() as u64,
+    });
+    diag.warnings.push(format!(
+        "{stage}: sparsification failed on every rung; keeping the dense kNN manifold"
+    ));
+    Ok(dense.clone())
 }
 
 #[cfg(test)]

@@ -1,0 +1,174 @@
+//! Failure policies, stage budgets, and run diagnostics for the pipeline.
+//!
+//! The pipeline wraps every phase in a *fallback ladder*: when a numerical
+//! stage fails, progressively more robust (and more expensive) strategies are
+//! tried before giving up. What happens when even the last rung fails is
+//! governed by the [`FailurePolicy`]:
+//!
+//! - [`FailurePolicy::Strict`] — the historical behavior: no fallbacks, the
+//!   first failure surfaces as a typed [`crate::CirStagError`].
+//! - [`FailurePolicy::BestEffort`] — climb the ladders, record every rung in
+//!   the report's [`RunDiagnostics`], and finish with
+//!   `report.degraded == true` whenever any fallback fired.
+
+use serde::impl_serde_struct;
+
+/// What the pipeline does when a stage fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Fail fast: the first stage failure is returned as a typed error and
+    /// no fallback rungs run. This is the default and the pre-resilience
+    /// behavior of the pipeline.
+    #[default]
+    Strict,
+    /// Degrade gracefully: climb each stage's fallback ladder, record every
+    /// escalation, and complete the analysis with `degraded = true` instead
+    /// of erroring whenever a usable (if approximate) result exists.
+    BestEffort,
+}
+
+/// Per-stage resource budgets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageBudget {
+    /// Wall-clock budget per pipeline phase, in milliseconds. `None` (the
+    /// default) disables the check. Exceeding the budget is a
+    /// [`crate::CirStagError::BudgetExhausted`] under
+    /// [`FailurePolicy::Strict`] and a recorded degradation under
+    /// [`FailurePolicy::BestEffort`].
+    pub wall_clock_ms: Option<u64>,
+    /// Multiplier applied to the iteration budget on an eigensolver retry
+    /// (the "enlarged Krylov budget" rung of the Phase-1/Phase-3 ladders).
+    pub retry_iter_factor: usize,
+}
+
+impl Default for StageBudget {
+    fn default() -> Self {
+        StageBudget {
+            wall_clock_ms: None,
+            retry_iter_factor: 4,
+        }
+    }
+}
+
+/// One fallback-ladder escalation recorded during an analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FallbackEvent {
+    /// Pipeline stage the event belongs to (e.g. `"phase1/eigs"`,
+    /// `"phase2/cg"`, `"phase3/geig"`).
+    pub stage: String,
+    /// The ladder rung that ran as a consequence (e.g. `"retry"`,
+    /// `"dense"`, `"degraded"`).
+    pub rung: String,
+    /// Human-readable cause: the error message of the rung that failed.
+    pub cause: String,
+    /// Residual norm at the point of failure, when the failure reported one.
+    pub residual: Option<f64>,
+    /// Wall-clock milliseconds spent in the failing attempt.
+    pub elapsed_ms: u64,
+}
+
+impl_serde_struct!(FallbackEvent {
+    stage,
+    rung,
+    cause,
+    residual,
+    elapsed_ms,
+});
+
+/// Diagnostics accumulated over one analysis run: every fallback escalation
+/// plus non-fatal warnings (e.g. clamped preconditioner diagonals).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunDiagnostics {
+    /// Fallback-ladder escalations, in the order they fired.
+    pub events: Vec<FallbackEvent>,
+    /// Non-fatal warnings, in the order they were raised.
+    pub warnings: Vec<String>,
+}
+
+impl_serde_struct!(RunDiagnostics { events, warnings });
+
+impl RunDiagnostics {
+    /// `true` when no fallback fired and no warning was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.warnings.is_empty()
+    }
+
+    /// One-line human-readable summary, e.g.
+    /// `2 fallback events (phase1/eigs→retry, phase3/geig→dense), 1 warning`.
+    pub fn summary(&self) -> String {
+        if self.is_empty() {
+            return "clean run".to_string();
+        }
+        let mut parts = Vec::new();
+        if !self.events.is_empty() {
+            let steps: Vec<String> = self
+                .events
+                .iter()
+                .map(|e| format!("{}\u{2192}{}", e.stage, e.rung))
+                .collect();
+            parts.push(format!(
+                "{} fallback event{} ({})",
+                self.events.len(),
+                if self.events.len() == 1 { "" } else { "s" },
+                steps.join(", ")
+            ));
+        }
+        if !self.warnings.is_empty() {
+            parts.push(format!(
+                "{} warning{}",
+                self.warnings.len(),
+                if self.warnings.len() == 1 { "" } else { "s" }
+            ));
+        }
+        parts.join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_defaults_to_strict() {
+        assert_eq!(FailurePolicy::default(), FailurePolicy::Strict);
+    }
+
+    #[test]
+    fn budget_defaults_are_open() {
+        let b = StageBudget::default();
+        assert_eq!(b.wall_clock_ms, None);
+        assert_eq!(b.retry_iter_factor, 4);
+    }
+
+    #[test]
+    fn diagnostics_summary_reads_well() {
+        let mut d = RunDiagnostics::default();
+        assert_eq!(d.summary(), "clean run");
+        d.events.push(FallbackEvent {
+            stage: "phase1/eigs".to_string(),
+            rung: "retry".to_string(),
+            cause: "no convergence".to_string(),
+            residual: Some(0.5),
+            elapsed_ms: 12,
+        });
+        d.warnings.push("clamped diagonal".to_string());
+        let s = d.summary();
+        assert!(s.contains("1 fallback event"), "{s}");
+        assert!(s.contains("phase1/eigs"), "{s}");
+        assert!(s.contains("1 warning"), "{s}");
+    }
+
+    #[test]
+    fn fallback_event_serde_roundtrip() {
+        let e = FallbackEvent {
+            stage: "phase3/geig".to_string(),
+            rung: "dense".to_string(),
+            cause: "failpoint".to_string(),
+            residual: None,
+            elapsed_ms: 7,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: FallbackEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -63,6 +63,39 @@ pub fn spectral_embedding(
     Ok(u)
 }
 
+/// Dense fallback for [`spectral_embedding`]: computes the same Eq. (4)
+/// weighted embedding through a full Jacobi eigendecomposition of the
+/// normalized Laplacian instead of the Lanczos iteration.
+///
+/// `O(n³)` time and `O(n²)` memory — this is the terminal rung of the
+/// Phase-1 fallback ladder for graphs whose spectra defeat the iterative
+/// solver, not a general replacement. Eigenvector signs may differ from the
+/// Lanczos path (both are valid embeddings).
+///
+/// # Errors
+///
+/// - [`EmbedError::InvalidArgument`] when `m == 0` or `m > |V|`.
+/// - Propagates dense eigensolver failures.
+pub fn dense_spectral_embedding(g: &Graph, m: usize) -> Result<DenseMatrix, EmbedError> {
+    let n = g.num_nodes();
+    if m == 0 || m > n {
+        return Err(EmbedError::InvalidArgument {
+            reason: format!("embedding dimension {m} must be in 1..={n}"),
+        });
+    }
+    let dense = g.normalized_laplacian().to_dense();
+    let (eigenvalues, eigenvectors) = cirstag_linalg::jacobi_eigen(&dense)
+        .map_err(cirstag_solver::SolverError::from)?;
+    let mut u = DenseMatrix::zeros(n, m);
+    for j in 0..m {
+        let w = (1.0 - eigenvalues[j]).abs().sqrt();
+        for i in 0..n {
+            u.set(i, j, w * eigenvectors.get(i, j));
+        }
+    }
+    Ok(u)
+}
+
 /// Concatenates node feature columns onto a spectral embedding, scaling the
 /// features by `feature_weight` so callers can balance structural versus
 /// feature distances on the input manifold.
@@ -188,6 +221,33 @@ mod tests {
         let u = spectral_embedding(&g, 3, &SpectralConfig::default()).unwrap();
         assert!(u.all_finite());
         assert_eq!(u.shape(), (12, 3));
+    }
+
+    #[test]
+    fn dense_embedding_matches_iterative_geometry() {
+        // A weighted path has simple (non-degenerate) eigenvalues, so the
+        // dense and Lanczos embeddings agree up to per-column sign flips —
+        // which leave all pairwise row distances unchanged.
+        let edges: Vec<_> = (0..9).map(|i| (i, i + 1, 1.0 + 0.1 * i as f64)).collect();
+        let g = Graph::from_edges(10, &edges).unwrap();
+        let iterative = spectral_embedding(&g, 4, &SpectralConfig::default()).unwrap();
+        let dense = dense_spectral_embedding(&g, 4).unwrap();
+        assert_eq!(dense.shape(), (10, 4));
+        assert!(dense.all_finite());
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let di = vecops::dist2(iterative.row(i), iterative.row(j));
+                let dd = vecops::dist2(dense.row(i), dense.row(j));
+                assert!((di - dd).abs() < 1e-5, "rows ({i},{j}): {di} vs {dd}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_embedding_validates_dimension() {
+        let g = cycle(4);
+        assert!(dense_spectral_embedding(&g, 0).is_err());
+        assert!(dense_spectral_embedding(&g, 5).is_err());
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 mod dense;
 mod error;
+pub mod fail;
 pub mod par;
 mod qr;
 mod sparse;

@@ -268,6 +268,9 @@ impl CsrMatrix {
 
     /// Sparse matrix–vector product `self * x`.
     ///
+    /// Infallible convenience form of [`CsrMatrix::try_mul_vec`] for call
+    /// sites whose dimensions are correct by construction.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != self.ncols`.
@@ -278,8 +281,21 @@ impl CsrMatrix {
         y
     }
 
+    /// Checked sparse matrix–vector product `self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `x.len() != self.ncols`.
+    pub fn try_mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let mut y = vec![0.0; self.nrows];
+        self.try_mul_vec_into(x, &mut y)?;
+        Ok(y)
+    }
+
     /// Sparse matrix–vector product into a caller-provided buffer
     /// (`y ← self * x`), avoiding allocation in inner loops.
+    ///
+    /// Infallible convenience form of [`CsrMatrix::try_mul_vec_into`].
     ///
     /// # Panics
     ///
@@ -287,6 +303,35 @@ impl CsrMatrix {
     pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "mul_vec_into: x dimension mismatch");
         assert_eq!(y.len(), self.nrows, "mul_vec_into: y dimension mismatch");
+        self.mul_vec_kernel(x, y);
+    }
+
+    /// Checked in-place sparse matrix–vector product `y ← self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `x.len() != self.ncols`
+    /// or `y.len() != self.nrows`.
+    pub fn try_mul_vec_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
+        if x.len() != self.ncols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "mul_vec (input)",
+                left: self.shape(),
+                right: (x.len(), 1),
+            });
+        }
+        if y.len() != self.nrows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "mul_vec (output)",
+                left: self.shape(),
+                right: (y.len(), 1),
+            });
+        }
+        self.mul_vec_kernel(x, y);
+        Ok(())
+    }
+
+    fn mul_vec_kernel(&self, x: &[f64], y: &mut [f64]) {
         for i in 0..self.nrows {
             let lo = self.row_ptr[i];
             let hi = self.row_ptr[i + 1];
@@ -485,6 +530,22 @@ mod tests {
         let mut y = vec![0.0; 3];
         m.mul_vec_into(&x, &mut y);
         assert_eq!(y, m.mul_vec(&x));
+    }
+
+    #[test]
+    fn checked_spmv_matches_and_rejects_mismatch() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(m.try_mul_vec(&x).unwrap(), m.mul_vec(&x));
+        assert!(matches!(
+            m.try_mul_vec(&[1.0, 2.0]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        let mut short = vec![0.0; 2];
+        assert!(matches!(
+            m.try_mul_vec_into(&x, &mut short),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -8,10 +8,11 @@ use cirstag_linalg::CsrMatrix;
 pub trait Preconditioner {
     /// Computes `z ← M⁻¹ r`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Implementations may panic on dimension mismatch.
-    fn apply(&self, r: &[f64], z: &mut [f64]);
+    /// Returns [`SolverError::DimensionMismatch`] when `r` or `z` does not
+    /// match the preconditioner's dimension.
+    fn apply(&self, r: &[f64], z: &mut [f64]) -> Result<(), SolverError>;
 }
 
 /// The identity preconditioner (plain CG).
@@ -19,8 +20,15 @@ pub trait Preconditioner {
 pub struct IdentityPreconditioner;
 
 impl Preconditioner for IdentityPreconditioner {
-    fn apply(&self, r: &[f64], z: &mut [f64]) {
+    fn apply(&self, r: &[f64], z: &mut [f64]) -> Result<(), SolverError> {
+        if r.len() != z.len() {
+            return Err(SolverError::DimensionMismatch {
+                expected: z.len(),
+                actual: r.len(),
+            });
+        }
         z.copy_from_slice(r);
+        Ok(())
     }
 }
 
@@ -31,31 +39,59 @@ impl Preconditioner for IdentityPreconditioner {
 #[derive(Debug, Clone)]
 pub struct JacobiPreconditioner {
     inv_diag: Vec<f64>,
+    clamped: usize,
 }
 
 impl JacobiPreconditioner {
     /// Builds the preconditioner from a matrix's diagonal. Zero (or negative)
-    /// diagonal entries are treated as `1.0` so the preconditioner stays SPD.
+    /// diagonal entries are clamped to `1.0` so the preconditioner stays SPD;
+    /// the number of clamped entries is reported by
+    /// [`JacobiPreconditioner::clamped_entries`] so callers can surface the
+    /// ill-conditioning instead of masking it.
     pub fn from_matrix(a: &CsrMatrix) -> Self {
         Self::from_diagonal(&a.diagonal())
     }
 
-    /// Builds the preconditioner from an explicit diagonal.
+    /// Builds the preconditioner from an explicit diagonal. Non-positive (or
+    /// non-finite) entries are clamped to `1.0` and counted.
     pub fn from_diagonal(diag: &[f64]) -> Self {
+        let mut clamped = 0usize;
         let inv_diag = diag
             .iter()
-            .map(|&d| if d > 0.0 { 1.0 / d } else { 1.0 })
+            .map(|&d| {
+                if d > 0.0 && d.is_finite() {
+                    1.0 / d
+                } else {
+                    clamped += 1;
+                    1.0
+                }
+            })
             .collect();
-        JacobiPreconditioner { inv_diag }
+        JacobiPreconditioner { inv_diag, clamped }
+    }
+
+    /// How many diagonal entries were non-positive (or non-finite) and had
+    /// to be clamped to `1.0` at construction. A nonzero count signals an
+    /// ill-conditioned or non-SPD system that Jacobi can only partially
+    /// precondition.
+    #[inline]
+    pub fn clamped_entries(&self) -> usize {
+        self.clamped
     }
 }
 
 impl Preconditioner for JacobiPreconditioner {
-    fn apply(&self, r: &[f64], z: &mut [f64]) {
-        assert_eq!(r.len(), self.inv_diag.len(), "preconditioner dimension");
+    fn apply(&self, r: &[f64], z: &mut [f64]) -> Result<(), SolverError> {
+        if r.len() != self.inv_diag.len() || z.len() != self.inv_diag.len() {
+            return Err(SolverError::DimensionMismatch {
+                expected: self.inv_diag.len(),
+                actual: r.len().max(z.len()),
+            });
+        }
         for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
             *zi = ri * di;
         }
+        Ok(())
     }
 }
 
@@ -135,6 +171,16 @@ where
         });
     }
     let b_norm = vecops::norm2(b);
+    // Failpoint: force "CG exhausted its budget" so tests can drive the
+    // preconditioner escalation ladder deterministically.
+    if cirstag_linalg::fail::trigger("solver/cg").is_some() {
+        return Ok(CgResult {
+            x: vec![0.0; n],
+            iterations: 0,
+            residual_norm: b_norm,
+            converged: false,
+        });
+    }
     if b_norm == 0.0 {
         return Ok(CgResult {
             x: vec![0.0; n],
@@ -148,7 +194,7 @@ where
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
     let mut z = vec![0.0; n];
-    preconditioner.apply(&r, &mut z);
+    preconditioner.apply(&r, &mut z)?;
     let mut p = z.clone();
     let mut rz = vecops::dot(&r, &z);
     let mut ap = vec![0.0; n];
@@ -156,7 +202,7 @@ where
     let mut iterations = 0;
     let mut residual_norm = vecops::norm2(&r);
     while iterations < options.max_iter && residual_norm > threshold {
-        a.apply(&p, &mut ap);
+        a.apply(&p, &mut ap)?;
         let pap = vecops::dot(&p, &ap);
         if pap <= 0.0 || !pap.is_finite() {
             // Breakdown: the operator is not SPD on this subspace. Return the
@@ -171,7 +217,7 @@ where
         if residual_norm <= threshold {
             break;
         }
-        preconditioner.apply(&r, &mut z);
+        preconditioner.apply(&r, &mut z)?;
         let rz_new = vecops::dot(&r, &z);
         let beta = rz_new / rz;
         rz = rz_new;
@@ -239,6 +285,24 @@ mod tests {
         assert!(jac.converged);
         assert!(jac.iterations <= plain.iterations);
         assert!(jac.iterations <= 2);
+    }
+
+    #[test]
+    fn jacobi_counts_clamped_entries() {
+        let pre = JacobiPreconditioner::from_diagonal(&[2.0, 0.0, -1.0, f64::NAN, 4.0]);
+        assert_eq!(pre.clamped_entries(), 3);
+        let ok = JacobiPreconditioner::from_diagonal(&[1.0, 2.0]);
+        assert_eq!(ok.clamped_entries(), 0);
+    }
+
+    #[test]
+    fn preconditioner_dimension_mismatch_is_error() {
+        let pre = JacobiPreconditioner::from_diagonal(&[1.0, 2.0]);
+        let mut z = vec![0.0; 3];
+        assert!(pre.apply(&[1.0, 2.0, 3.0], &mut z).is_err());
+        let mut z2 = vec![0.0; 2];
+        assert!(pre.apply(&[1.0, 2.0], &mut z2).is_ok());
+        assert!(IdentityPreconditioner.apply(&[1.0], &mut z).is_err());
     }
 
     #[test]

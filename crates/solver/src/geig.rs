@@ -56,6 +56,15 @@ pub fn generalized_lanczos(
             reason: format!("requested {s} generalized eigenpairs of a dimension-{n} pencil"),
         });
     }
+    // Failpoint: force the typed no-convergence failure so tests can drive
+    // the Phase-3 retry / dense-fallback ladder.
+    if cirstag_linalg::fail::trigger("solver/geig").is_some() {
+        return Err(SolverError::NoConvergence {
+            algorithm: "generalized lanczos (failpoint)",
+            iterations: 0,
+            residual: f64::INFINITY,
+        });
+    }
     let ly = ly_solver.laplacian();
     let max_iter = max_iter.min(n.saturating_sub(1)).max(s);
 
@@ -191,40 +200,110 @@ pub fn generalized_lanczos(
     }
 }
 
+/// Dense fallback for the generalized eigenproblem `L_X v = ζ L_Y v`.
+///
+/// Assembles `M = L_Y^{+1/2} L_X L_Y^{+1/2}` (pseudo-inverse square root via
+/// a full Jacobi eigendecomposition of `L_Y`) and diagonalizes it densely.
+/// This is `O(n³)` in time and `O(n²)` in memory — the last rung of the
+/// Phase-3 fallback ladder, not a replacement for [`generalized_lanczos`].
+/// Eigenvectors are mapped back through `v = L_Y^{+1/2} u` and B-normalized
+/// so the result matches the iterative solver's conventions.
+///
+/// # Errors
+///
+/// - [`SolverError::DimensionMismatch`] when `lx` and `ly` disagree on shape.
+/// - [`SolverError::InvalidArgument`] when `s` is zero or exceeds `n − 1`.
+/// - Propagates dense eigensolver failures.
+pub fn generalized_eigen_dense(
+    lx: &CsrMatrix,
+    ly: &CsrMatrix,
+    s: usize,
+) -> Result<GeneralizedEigen, SolverError> {
+    let n = ly.nrows();
+    if lx.nrows() != n || lx.ncols() != n || ly.ncols() != n {
+        return Err(SolverError::DimensionMismatch {
+            expected: n,
+            actual: lx.nrows().max(ly.ncols()),
+        });
+    }
+    if s == 0 || s + 1 > n {
+        return Err(SolverError::InvalidArgument {
+            reason: format!("requested {s} generalized eigenpairs of a dimension-{n} pencil"),
+        });
+    }
+    // Failpoint: fail even the terminal dense rung so tests can observe the
+    // BestEffort "zero scores" end state.
+    if cirstag_linalg::fail::trigger("solver/dense-geig").is_some() {
+        return Err(SolverError::NoConvergence {
+            algorithm: "dense generalized eigensolver (failpoint)",
+            iterations: 0,
+            residual: f64::INFINITY,
+        });
+    }
+    let lyd = ly.to_dense();
+    let (vals, vecs) = cirstag_linalg::jacobi_eigen(&lyd)?;
+    // L_Y^{+1/2} = V diag(1/sqrt(lam)) Vᵀ over nonzero eigenvalues.
+    let scale = vals.iter().fold(0.0_f64, |acc, v| acc.max(v.abs())).max(1.0);
+    let threshold = 1e-9 * scale;
+    let mut half = DenseMatrix::zeros(n, n);
+    for k in 0..n {
+        if vals[k] > threshold {
+            let inv = 1.0 / vals[k].sqrt();
+            for i in 0..n {
+                for j in 0..n {
+                    let cur = half.get(i, j);
+                    half.set(i, j, cur + inv * vecs.get(i, k) * vecs.get(j, k));
+                }
+            }
+        }
+    }
+    let m = half.matmul(&lx.to_dense())?.matmul(&half)?;
+    // Symmetrize round-off before Jacobi.
+    let mt = m.transpose();
+    let msym = m.add(&mt)?.scaled(0.5);
+    let (mv, mu) = cirstag_linalg::jacobi_eigen(&msym)?;
+    // Top-s pairs, descending; map u back to pencil coordinates v = half·u.
+    let mut eigenvalues = Vec::with_capacity(s);
+    let mut vectors = DenseMatrix::zeros(n, s);
+    for out_col in 0..s {
+        let k = n - 1 - out_col;
+        eigenvalues.push(mv[k]);
+        let mut v = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += half.get(i, j) * mu.get(j, k);
+            }
+            v[i] = acc;
+        }
+        vecops::center(&mut v);
+        // B-normalize: vᵀ L_Y v = 1, matching the iterative solver.
+        let lv = ly.mul_vec(&v);
+        let bnorm = vecops::dot(&v, &lv).max(0.0).sqrt();
+        if bnorm > 1e-300 {
+            vecops::scale(1.0 / bnorm, &mut v);
+        }
+        for i in 0..n {
+            vectors.set(i, out_col, v[i]);
+        }
+    }
+    Ok(GeneralizedEigen {
+        eigenvalues,
+        eigenvectors: vectors,
+        iterations: 0,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cirstag_graph::Graph;
 
-    /// Dense reference: eigenvalues of L_Y⁺ L_X restricted to 1⊥, computed
-    /// via the dense symmetric solver on  M = L_Y^{-1/2} L_X L_Y^{-1/2}
-    /// (pseudo-inverse square roots through Jacobi eigendecomposition).
+    /// Dense reference eigenvalues via the public dense fallback solver.
     fn dense_reference(gx: &Graph, gy: &Graph, s: usize) -> Vec<f64> {
-        let lx = gx.laplacian().to_dense();
-        let ly = gy.laplacian().to_dense();
-        let (vals, vecs) = cirstag_linalg::jacobi_eigen(&ly).unwrap();
-        let n = lx.nrows();
-        // L_Y^{+1/2} = V diag(1/sqrt(lam)) Vᵀ over nonzero eigenvalues.
-        let mut half = DenseMatrix::zeros(n, n);
-        for k in 0..n {
-            if vals[k] > 1e-9 {
-                let inv = 1.0 / vals[k].sqrt();
-                for i in 0..n {
-                    for j in 0..n {
-                        let cur = half.get(i, j);
-                        half.set(i, j, cur + inv * vecs.get(i, k) * vecs.get(j, k));
-                    }
-                }
-            }
-        }
-        let m = half.matmul(&lx).unwrap().matmul(&half).unwrap();
-        // Symmetrize round-off before Jacobi.
-        let mt = m.transpose();
-        let msym = m.add(&mt).unwrap().scaled(0.5);
-        let (mut mv, _) = cirstag_linalg::jacobi_eigen(&msym).unwrap();
-        mv.reverse();
-        mv.truncate(s);
-        mv
+        generalized_eigen_dense(&gx.laplacian(), &gy.laplacian(), s)
+            .unwrap()
+            .eigenvalues
     }
 
     fn cycle_graph(n: usize, w: f64) -> Graph {
@@ -354,5 +433,56 @@ mod tests {
         assert!(generalized_lanczos(&lx, &solver, 4, 10, 0).is_err()); // > n-1
         let small = cycle_graph(3, 1.0).laplacian();
         assert!(generalized_lanczos(&small, &solver, 1, 10, 0).is_err());
+        let ly = g.laplacian();
+        assert!(generalized_eigen_dense(&lx, &ly, 0).is_err());
+        assert!(generalized_eigen_dense(&lx, &ly, 4).is_err());
+        assert!(generalized_eigen_dense(&small, &ly, 1).is_err());
+    }
+
+    #[test]
+    fn dense_eigenvectors_satisfy_pencil_equation() {
+        let gx = Graph::from_edges(
+            5,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 1.0),
+                (3, 4, 3.0),
+                (4, 0, 1.0),
+            ],
+        )
+        .unwrap();
+        let gy = cycle_graph(5, 1.0);
+        let lx = gx.laplacian();
+        let ly = gy.laplacian();
+        let r = generalized_eigen_dense(&lx, &ly, 2).unwrap();
+        for j in 0..2 {
+            let v = r.eigenvectors.column(j);
+            // B-normalized: vᵀ L_Y v = 1.
+            let lyv = ly.mul_vec(&v);
+            assert!((vecops::dot(&v, &lyv) - 1.0).abs() < 1e-8);
+            let lxv = lx.mul_vec(&v);
+            let z = r.eigenvalues[j];
+            let res: f64 = lxv
+                .iter()
+                .zip(&lyv)
+                .map(|(a, b)| (a - z * b) * (a - z * b))
+                .sum::<f64>()
+                .sqrt();
+            let scale = vecops::norm2(&lxv).max(1e-12);
+            assert!(res / scale < 1e-8, "pencil residual {res}");
+        }
+    }
+
+    #[test]
+    fn dense_agrees_with_iterative_eigenvalues() {
+        let gx = cycle_graph(8, 2.5);
+        let gy = cycle_graph(8, 1.0);
+        let solver = LaplacianSolver::new(&gy).unwrap();
+        let iter = generalized_lanczos(&gx.laplacian(), &solver, 3, 60, 11).unwrap();
+        let dense = generalized_eigen_dense(&gx.laplacian(), &gy.laplacian(), 3).unwrap();
+        for (a, b) in iter.eigenvalues.iter().zip(&dense.eigenvalues) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
     }
 }

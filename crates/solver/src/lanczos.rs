@@ -83,6 +83,15 @@ where
             reason: format!("requested {k} eigenpairs of a dimension-{n} operator"),
         });
     }
+    // Failpoint: force the typed no-convergence failure so tests can drive
+    // the retry / dense-fallback ladder above this solver.
+    if cirstag_linalg::fail::trigger("solver/lanczos").is_some() {
+        return Err(SolverError::NoConvergence {
+            algorithm: "lanczos (failpoint)",
+            iterations: 0,
+            residual: f64::INFINITY,
+        });
+    }
     let max_iter = max_iter.min(n).max(k);
     let mut rng = XorShift::new(seed);
     let mut q = vec![0.0; n];
@@ -99,7 +108,7 @@ where
     loop {
         let j = alphas.len();
         let qj = basis[j].clone();
-        op.apply(&qj, &mut w);
+        op.apply(&qj, &mut w)?;
         let alpha = vecops::dot(&w, &qj);
         alphas.push(alpha);
         vecops::axpy(-alpha, &qj, &mut w);

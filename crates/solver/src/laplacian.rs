@@ -1,4 +1,8 @@
-//! Deflated solver for connected-graph Laplacian systems.
+//! Deflated solver for connected-graph Laplacian systems, with an optional
+//! preconditioner fallback ladder.
+
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
 
 use crate::{
     conjugate_gradient, CgOptions, CsrOperator, JacobiPreconditioner, Preconditioner, SolverError,
@@ -6,16 +10,122 @@ use crate::{
 };
 use cirstag_graph::{Graph, GraphError};
 use cirstag_linalg::vecops;
-use cirstag_linalg::CsrMatrix;
+use cirstag_linalg::{jacobi_eigen, CsrMatrix, DenseMatrix};
+
+/// A rung of the Laplacian solver's preconditioner fallback ladder, ordered
+/// from cheapest to most robust.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LadderRung {
+    /// Unpreconditioned CG.
+    Identity,
+    /// Jacobi (diagonal) preconditioned CG — the historical default.
+    Jacobi,
+    /// Low-stretch spanning-tree preconditioned CG.
+    Tree,
+    /// Direct dense pseudoinverse solve via a full eigendecomposition.
+    Dense,
+}
+
+impl LadderRung {
+    /// Stable lower-case name used in diagnostics and fallback events.
+    pub fn name(self) -> &'static str {
+        match self {
+            LadderRung::Identity => "identity",
+            LadderRung::Jacobi => "jacobi",
+            LadderRung::Tree => "tree",
+            LadderRung::Dense => "dense",
+        }
+    }
+
+    /// The next, more robust rung (`None` past the dense solve).
+    pub fn next(self) -> Option<LadderRung> {
+        match self {
+            LadderRung::Identity => Some(LadderRung::Jacobi),
+            LadderRung::Jacobi => Some(LadderRung::Tree),
+            LadderRung::Tree => Some(LadderRung::Dense),
+            LadderRung::Dense => None,
+        }
+    }
+}
+
+/// One escalation step taken by the solver's fallback ladder.
+#[derive(Debug, Clone)]
+pub struct SolveEvent {
+    /// Rung that failed.
+    pub from: LadderRung,
+    /// Rung the solver escalated to.
+    pub to: LadderRung,
+    /// Human-readable failure cause (the underlying error message).
+    pub cause: String,
+    /// Residual norm at the point of failure, when the failure reported one.
+    pub residual: Option<f64>,
+    /// Wall-clock milliseconds spent on the failing rung.
+    pub elapsed_ms: u64,
+}
+
+/// Cached dense eigendecomposition backing the terminal ladder rung.
+#[derive(Debug)]
+struct DenseEigen {
+    eigenvalues: Vec<f64>,
+    eigenvectors: DenseMatrix,
+}
+
+#[derive(Debug, Clone)]
+struct LadderState {
+    rung: LadderRung,
+    jacobi: Option<Arc<JacobiPreconditioner>>,
+    tree: Option<Arc<TreePreconditioner>>,
+    dense: Option<Arc<DenseEigen>>,
+    events: Vec<SolveEvent>,
+    warnings: Vec<String>,
+}
+
+/// Preconditioner view for a single CG rung.
+enum RungPreconditioner {
+    Identity,
+    Jacobi(Arc<JacobiPreconditioner>),
+    Tree(Arc<TreePreconditioner>),
+}
+
+impl Preconditioner for RungPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) -> Result<(), SolverError> {
+        match self {
+            RungPreconditioner::Identity => {
+                if r.len() != z.len() {
+                    return Err(SolverError::DimensionMismatch {
+                        expected: r.len(),
+                        actual: z.len(),
+                    });
+                }
+                z.copy_from_slice(r);
+                Ok(())
+            }
+            RungPreconditioner::Jacobi(p) => p.apply(r, z),
+            RungPreconditioner::Tree(p) => p.apply(r, z),
+        }
+    }
+}
 
 /// Solves `L x = b` for the Laplacian of a *connected* graph.
 ///
 /// The Laplacian of a connected graph has a one-dimensional nullspace spanned
 /// by the all-ones vector. This solver restricts the system to the orthogonal
 /// complement: the right-hand side is centered (projected to mean zero) and a
-/// Jacobi-preconditioned CG iteration runs entirely inside the range of `L`,
+/// preconditioned CG iteration runs entirely inside the range of `L`,
 /// returning the mean-zero (minimum-norm) solution. This realizes the
 /// pseudoinverse application `x = L⁺ b` used throughout Phases 2–3.
+///
+/// # Fallback ladder
+///
+/// Constructed via [`LaplacianSolver::with_ladder`], the solver escalates
+/// through progressively more robust strategies whenever a solve fails:
+/// unpreconditioned CG → Jacobi → low-stretch tree → direct dense
+/// eigendecomposition. Escalation is *sticky* (later solves start at the rung
+/// that last succeeded) and every step is recorded as a [`SolveEvent`]
+/// retrievable through [`LaplacianSolver::take_events`]. The historical
+/// constructors ([`LaplacianSolver::new`],
+/// [`LaplacianSolver::with_tree_preconditioner`]) pin the solver to a single
+/// rung and fail fast, preserving their exact pre-ladder behavior.
 ///
 /// # Example
 ///
@@ -32,24 +142,24 @@ use cirstag_linalg::CsrMatrix;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct LaplacianSolver {
     laplacian: CsrMatrix,
-    preconditioner: PreconditionerKind,
+    graph: Graph,
     options: CgOptions,
+    escalate: bool,
+    state: Mutex<LadderState>,
 }
 
-#[derive(Debug, Clone)]
-enum PreconditionerKind {
-    Jacobi(JacobiPreconditioner),
-    Tree(TreePreconditioner),
-}
-
-impl Preconditioner for PreconditionerKind {
-    fn apply(&self, r: &[f64], z: &mut [f64]) {
-        match self {
-            PreconditionerKind::Jacobi(p) => p.apply(r, z),
-            PreconditionerKind::Tree(p) => p.apply(r, z),
+impl Clone for LaplacianSolver {
+    fn clone(&self) -> Self {
+        let state = self.lock().clone();
+        LaplacianSolver {
+            laplacian: self.laplacian.clone(),
+            graph: self.graph.clone(),
+            options: self.options,
+            escalate: self.escalate,
+            state: Mutex::new(state),
         }
     }
 }
@@ -72,17 +182,7 @@ impl LaplacianSolver {
     ///
     /// Same as [`LaplacianSolver::new`].
     pub fn with_options(g: &Graph, options: CgOptions) -> Result<Self, SolverError> {
-        if !g.is_connected() {
-            return Err(GraphError::Disconnected.into());
-        }
-        let laplacian = g.laplacian();
-        let preconditioner =
-            PreconditionerKind::Jacobi(JacobiPreconditioner::from_matrix(&laplacian));
-        Ok(LaplacianSolver {
-            laplacian,
-            preconditioner,
-            options,
-        })
+        Self::build(g, options, LadderRung::Jacobi, false)
     }
 
     /// Builds a solver preconditioned by a low-stretch spanning tree
@@ -94,16 +194,69 @@ impl LaplacianSolver {
     ///
     /// Same as [`LaplacianSolver::new`].
     pub fn with_tree_preconditioner(g: &Graph, options: CgOptions) -> Result<Self, SolverError> {
+        Self::build(g, options, LadderRung::Tree, false)
+    }
+
+    /// Builds an *escalating* solver that starts at `start` and climbs the
+    /// fallback ladder ([`LadderRung::Identity`] → Jacobi → tree → dense) on
+    /// each solve failure instead of surfacing the first error.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LaplacianSolver::new`], plus preconditioner construction
+    /// failures for the starting rung.
+    pub fn with_ladder(g: &Graph, options: CgOptions, start: LadderRung) -> Result<Self, SolverError> {
+        Self::build(g, options, start, true)
+    }
+
+    fn build(
+        g: &Graph,
+        options: CgOptions,
+        start: LadderRung,
+        escalate: bool,
+    ) -> Result<Self, SolverError> {
         if !g.is_connected() {
             return Err(GraphError::Disconnected.into());
         }
         let laplacian = g.laplacian();
-        let preconditioner = PreconditionerKind::Tree(TreePreconditioner::new(g, 0x7e3)?);
+        let mut state = LadderState {
+            rung: start,
+            jacobi: None,
+            tree: None,
+            dense: None,
+            events: Vec::new(),
+            warnings: Vec::new(),
+        };
+        // Build the starting preconditioner eagerly so constructor-time
+        // failures (and the Jacobi clamp warning) surface immediately —
+        // matching the historical constructors exactly.
+        match start {
+            LadderRung::Jacobi => {
+                let jacobi = JacobiPreconditioner::from_matrix(&laplacian);
+                if jacobi.clamped_entries() > 0 {
+                    state.warnings.push(format!(
+                        "jacobi preconditioner clamped {} non-positive diagonal entries to 1",
+                        jacobi.clamped_entries()
+                    ));
+                }
+                state.jacobi = Some(Arc::new(jacobi));
+            }
+            LadderRung::Tree => {
+                state.tree = Some(Arc::new(TreePreconditioner::new(g, 0x7e3)?));
+            }
+            LadderRung::Identity | LadderRung::Dense => {}
+        }
         Ok(LaplacianSolver {
             laplacian,
-            preconditioner,
+            graph: g.clone(),
             options,
+            escalate,
+            state: Mutex::new(state),
         })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LadderState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Dimension of the system (number of graph nodes).
@@ -118,15 +271,34 @@ impl LaplacianSolver {
         &self.laplacian
     }
 
+    /// The rung the next solve will start on.
+    pub fn current_rung(&self) -> LadderRung {
+        self.lock().rung
+    }
+
+    /// Drains the escalation events recorded since the last call.
+    pub fn take_events(&self) -> Vec<SolveEvent> {
+        std::mem::take(&mut self.lock().events)
+    }
+
+    /// Drains the non-fatal warnings recorded since the last call.
+    pub fn take_warnings(&self) -> Vec<String> {
+        std::mem::take(&mut self.lock().warnings)
+    }
+
     /// Solves `L x = b`, returning the mean-zero solution.
     ///
     /// `b` is centered internally, so right-hand sides with a nonzero mean
     /// are interpreted as their projection onto the range of `L`.
     ///
+    /// For escalating solvers (see [`LaplacianSolver::with_ladder`]), a
+    /// failure on the current rung advances to the next rung and retries;
+    /// only a failure on the terminal dense rung is returned to the caller.
+    ///
     /// # Errors
     ///
     /// - [`SolverError::DimensionMismatch`] when `b.len() != self.dim()`.
-    /// - [`SolverError::NoConvergence`] when CG fails to reach tolerance.
+    /// - [`SolverError::NoConvergence`] when the (final) strategy fails.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolverError> {
         if b.len() != self.dim() {
             return Err(SolverError::DimensionMismatch {
@@ -136,8 +308,52 @@ impl LaplacianSolver {
         }
         let mut rhs = b.to_vec();
         vecops::center(&mut rhs);
+        loop {
+            let rung = self.current_rung();
+            let started = Instant::now();
+            let attempt = match rung {
+                LadderRung::Dense => self.dense_solve(&rhs),
+                cg_rung => self.cg_solve(cg_rung, &rhs),
+            };
+            match attempt {
+                Ok(mut x) => {
+                    // Round-off can leak a small component along the
+                    // nullspace; remove it so the result is exactly the
+                    // pseudoinverse image.
+                    vecops::center(&mut x);
+                    return Ok(x);
+                }
+                Err(err) => {
+                    if !self.escalate {
+                        return Err(err);
+                    }
+                    let Some(next) = rung.next() else {
+                        return Err(err);
+                    };
+                    let residual = match &err {
+                        SolverError::NoConvergence { residual, .. } => Some(*residual),
+                        _ => None,
+                    };
+                    let mut state = self.lock();
+                    state.events.push(SolveEvent {
+                        from: rung,
+                        to: next,
+                        cause: err.to_string(),
+                        residual,
+                        elapsed_ms: started.elapsed().as_millis() as u64,
+                    });
+                    state.rung = next;
+                }
+            }
+        }
+    }
+
+    /// One CG attempt on a ladder rung, building (and caching) the rung's
+    /// preconditioner on first use.
+    fn cg_solve(&self, rung: LadderRung, rhs: &[f64]) -> Result<Vec<f64>, SolverError> {
+        let pre = self.preconditioner_for(rung)?;
         let op = CsrOperator::new(&self.laplacian);
-        let result = conjugate_gradient(&op, &rhs, &self.preconditioner, self.options)?;
+        let result = conjugate_gradient(&op, rhs, &pre, self.options)?;
         if !result.converged {
             return Err(SolverError::NoConvergence {
                 algorithm: "laplacian pcg",
@@ -145,10 +361,87 @@ impl LaplacianSolver {
                 residual: result.residual_norm,
             });
         }
-        let mut x = result.x;
-        // Round-off can leak a small component along the nullspace; remove it
-        // so the result is exactly the pseudoinverse image.
-        vecops::center(&mut x);
+        Ok(result.x)
+    }
+
+    fn preconditioner_for(&self, rung: LadderRung) -> Result<RungPreconditioner, SolverError> {
+        match rung {
+            LadderRung::Identity => Ok(RungPreconditioner::Identity),
+            LadderRung::Jacobi => {
+                let mut state = self.lock();
+                if state.jacobi.is_none() {
+                    let jacobi = JacobiPreconditioner::from_matrix(&self.laplacian);
+                    if jacobi.clamped_entries() > 0 {
+                        state.warnings.push(format!(
+                            "jacobi preconditioner clamped {} non-positive diagonal entries to 1",
+                            jacobi.clamped_entries()
+                        ));
+                    }
+                    state.jacobi = Some(Arc::new(jacobi));
+                }
+                Ok(RungPreconditioner::Jacobi(
+                    state.jacobi.as_ref().expect("just cached").clone(),
+                ))
+            }
+            LadderRung::Tree => {
+                let mut state = self.lock();
+                if state.tree.is_none() {
+                    let tree = TreePreconditioner::new(&self.graph, 0x7e3)?;
+                    state.tree = Some(Arc::new(tree));
+                }
+                Ok(RungPreconditioner::Tree(
+                    state.tree.as_ref().expect("just cached").clone(),
+                ))
+            }
+            LadderRung::Dense => unreachable!("dense rung does not use CG"),
+        }
+    }
+
+    /// Terminal ladder rung: `x = V Λ⁺ Vᵀ b` through a cached full
+    /// eigendecomposition of the Laplacian. `O(n³)` once, `O(n²)` per solve.
+    fn dense_solve(&self, rhs: &[f64]) -> Result<Vec<f64>, SolverError> {
+        // Failpoint: fail even the terminal rung so tests can observe ladder
+        // exhaustion.
+        if cirstag_linalg::fail::trigger("solver/dense-solve").is_some() {
+            return Err(SolverError::NoConvergence {
+                algorithm: "dense laplacian solve (failpoint)",
+                iterations: 0,
+                residual: f64::INFINITY,
+            });
+        }
+        let eig = {
+            let mut state = self.lock();
+            if state.dense.is_none() {
+                let (eigenvalues, eigenvectors) = jacobi_eigen(&self.laplacian.to_dense())?;
+                state.dense = Some(Arc::new(DenseEigen {
+                    eigenvalues,
+                    eigenvectors,
+                }));
+            }
+            state.dense.as_ref().expect("just cached").clone()
+        };
+        let n = rhs.len();
+        let scale = eig
+            .eigenvalues
+            .iter()
+            .fold(0.0_f64, |acc, v| acc.max(v.abs()))
+            .max(1.0);
+        let threshold = 1e-12 * scale;
+        let mut x = vec![0.0; n];
+        for k in 0..n {
+            let lam = eig.eigenvalues[k];
+            if lam <= threshold {
+                continue;
+            }
+            let mut coeff = 0.0;
+            for i in 0..n {
+                coeff += eig.eigenvectors.get(i, k) * rhs[i];
+            }
+            coeff /= lam;
+            for i in 0..n {
+                x[i] += coeff * eig.eigenvectors.get(i, k);
+            }
+        }
         Ok(x)
     }
 
@@ -236,6 +529,8 @@ mod tests {
     fn disconnected_rejected() {
         let g = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
         assert!(LaplacianSolver::new(&g).is_err());
+        assert!(LaplacianSolver::with_ladder(&g, CgOptions::default(), LadderRung::Identity)
+            .is_err());
     }
 
     #[test]
@@ -257,5 +552,80 @@ mod tests {
         for (a, c) in lx.iter().zip(&centered) {
             assert!((a - c).abs() < 1e-8);
         }
+    }
+
+    #[test]
+    fn every_ladder_rung_solves_the_system() {
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (0, 3, 3.0)]).unwrap();
+        let mut b = vec![1.0, -0.5, 2.0, -2.5];
+        vecops::center(&mut b);
+        let reference = LaplacianSolver::new(&g).unwrap().solve(&b).unwrap();
+        for start in [
+            LadderRung::Identity,
+            LadderRung::Jacobi,
+            LadderRung::Tree,
+            LadderRung::Dense,
+        ] {
+            let s = LaplacianSolver::with_ladder(&g, CgOptions::default(), start).unwrap();
+            let x = s.solve(&b).unwrap();
+            for (a, c) in x.iter().zip(&reference) {
+                assert!((a - c).abs() < 1e-7, "rung {:?}: {a} vs {c}", start);
+            }
+            assert!(s.take_events().is_empty(), "no escalation expected");
+        }
+    }
+
+    #[test]
+    fn ladder_escalates_past_an_unconvergent_rung() {
+        // max_iter 0 means every CG rung fails immediately; only the dense
+        // rung can finish. The ladder must climb Identity → … → Dense and
+        // record each step.
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]).unwrap();
+        let opts = CgOptions {
+            tol: 1e-10,
+            max_iter: 0,
+        };
+        let s = LaplacianSolver::with_ladder(&g, opts, LadderRung::Identity).unwrap();
+        let mut b = vec![1.0, -1.0, 0.0];
+        vecops::center(&mut b);
+        let x = s.solve(&b).unwrap();
+        let lx = s.laplacian().mul_vec(&x);
+        for (a, c) in lx.iter().zip(&b) {
+            assert!((a - c).abs() < 1e-9);
+        }
+        assert_eq!(s.current_rung(), LadderRung::Dense);
+        let events = s.take_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].from, LadderRung::Identity);
+        assert_eq!(events[2].to, LadderRung::Dense);
+        // Sticky escalation: a second solve starts (and stays) dense.
+        let _ = s.solve(&b).unwrap();
+        assert!(s.take_events().is_empty());
+    }
+
+    #[test]
+    fn non_escalating_solver_fails_fast() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]).unwrap();
+        let opts = CgOptions {
+            tol: 1e-10,
+            max_iter: 0,
+        };
+        let s = LaplacianSolver::with_options(&g, opts).unwrap();
+        let err = s.solve(&[1.0, -1.0, 0.0]).unwrap_err();
+        assert!(matches!(err, SolverError::NoConvergence { .. }));
+        assert!(s.take_events().is_empty());
+    }
+
+    #[test]
+    fn clone_preserves_ladder_position() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]).unwrap();
+        let opts = CgOptions {
+            tol: 1e-10,
+            max_iter: 0,
+        };
+        let s = LaplacianSolver::with_ladder(&g, opts, LadderRung::Tree).unwrap();
+        let _ = s.solve(&[1.0, -1.0, 0.0]).unwrap();
+        assert_eq!(s.clone().current_rung(), LadderRung::Dense);
     }
 }

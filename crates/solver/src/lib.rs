@@ -49,9 +49,9 @@ pub use cg::{
     Preconditioner,
 };
 pub use error::SolverError;
-pub use geig::{generalized_lanczos, GeneralizedEigen};
+pub use geig::{generalized_eigen_dense, generalized_lanczos, GeneralizedEigen};
 pub use lanczos::{lanczos_largest, smallest_normalized_laplacian_eigs, LanczosResult};
-pub use laplacian::LaplacianSolver;
+pub use laplacian::{LadderRung, LaplacianSolver, SolveEvent};
 pub use operators::{CsrOperator, LinearOperator, ScaledShiftedOperator};
 pub use resistance::ResistanceEstimator;
 pub use tree_precond::TreePreconditioner;

@@ -1,5 +1,6 @@
 //! Abstract linear operators consumed by the iterative methods.
 
+use crate::SolverError;
 use cirstag_linalg::CsrMatrix;
 
 /// A symmetric linear operator `y = A x` presented matrix-free.
@@ -12,17 +13,21 @@ pub trait LinearOperator {
 
     /// Computes `y ← A x`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Implementations may panic when `x.len() != self.dim()` or
-    /// `y.len() != self.dim()`.
-    fn apply(&self, x: &[f64], y: &mut [f64]);
+    /// Returns [`SolverError::DimensionMismatch`] (or a wrapped shape error)
+    /// when `x.len() != self.dim()` or `y.len() != self.dim()`.
+    fn apply(&self, x: &[f64], y: &mut [f64]) -> Result<(), SolverError>;
 
     /// Convenience allocation form of [`LinearOperator::apply`].
-    fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LinearOperator::apply`].
+    fn apply_vec(&self, x: &[f64]) -> Result<Vec<f64>, SolverError> {
         let mut y = vec![0.0; self.dim()];
-        self.apply(x, &mut y);
-        y
+        self.apply(x, &mut y)?;
+        Ok(y)
     }
 }
 
@@ -53,8 +58,8 @@ impl LinearOperator for CsrOperator<'_> {
         self.matrix.nrows()
     }
 
-    fn apply(&self, x: &[f64], y: &mut [f64]) {
-        self.matrix.mul_vec_into(x, y);
+    fn apply(&self, x: &[f64], y: &mut [f64]) -> Result<(), SolverError> {
+        self.matrix.try_mul_vec_into(x, y).map_err(SolverError::from)
     }
 }
 
@@ -94,11 +99,12 @@ impl<A: LinearOperator> LinearOperator for ScaledShiftedOperator<A> {
         self.inner.dim()
     }
 
-    fn apply(&self, x: &[f64], y: &mut [f64]) {
-        self.inner.apply(x, y);
+    fn apply(&self, x: &[f64], y: &mut [f64]) -> Result<(), SolverError> {
+        self.inner.apply(x, y)?;
         for (yi, xi) in y.iter_mut().zip(x) {
             *yi = self.alpha * xi + self.beta * *yi;
         }
+        Ok(())
     }
 }
 
@@ -111,7 +117,7 @@ mod tests {
         let m = CsrMatrix::from_diagonal(&[1.0, 2.0, 3.0]);
         let op = CsrOperator::new(&m);
         assert_eq!(op.dim(), 3);
-        assert_eq!(op.apply_vec(&[1.0, 1.0, 1.0]), vec![1.0, 2.0, 3.0]);
+        assert_eq!(op.apply_vec(&[1.0, 1.0, 1.0]).unwrap(), vec![1.0, 2.0, 3.0]);
     }
 
     #[test]
@@ -119,9 +125,18 @@ mod tests {
         let m = CsrMatrix::from_diagonal(&[0.5, 1.5]);
         let op = ScaledShiftedOperator::new(2.0, -1.0, CsrOperator::new(&m));
         // (2I - M) applied to basis vectors.
-        assert_eq!(op.apply_vec(&[1.0, 0.0]), vec![1.5, 0.0]);
-        assert_eq!(op.apply_vec(&[0.0, 1.0]), vec![0.0, 0.5]);
+        assert_eq!(op.apply_vec(&[1.0, 0.0]).unwrap(), vec![1.5, 0.0]);
+        assert_eq!(op.apply_vec(&[0.0, 1.0]).unwrap(), vec![0.0, 0.5]);
         assert!((op.unshift_eigenvalue(1.5) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mismatched_apply_is_a_typed_error() {
+        let m = CsrMatrix::from_diagonal(&[1.0, 2.0]);
+        let op = CsrOperator::new(&m);
+        assert!(op.apply_vec(&[1.0, 2.0, 3.0]).is_err());
+        let shifted = ScaledShiftedOperator::new(1.0, 1.0, CsrOperator::new(&m));
+        assert!(shifted.apply_vec(&[1.0]).is_err());
     }
 
     #[test]

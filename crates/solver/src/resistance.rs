@@ -40,7 +40,7 @@ pub struct ResistanceEstimator {
 
 #[derive(Debug)]
 enum Mode {
-    Exact(LaplacianSolver),
+    Exact(Box<LaplacianSolver>),
     /// Row-major `t × n` sketch already scaled by `1/√t`.
     Sketch {
         probes: Vec<Vec<f64>>,
@@ -57,7 +57,7 @@ impl ResistanceEstimator {
         let solver = LaplacianSolver::new(g)?;
         Ok(ResistanceEstimator {
             dim: solver.dim(),
-            mode: Mode::Exact(solver),
+            mode: Mode::Exact(Box::new(solver)),
         })
     }
 

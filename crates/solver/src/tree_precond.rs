@@ -151,9 +151,15 @@ impl TreePreconditioner {
 }
 
 impl Preconditioner for TreePreconditioner {
-    fn apply(&self, r: &[f64], z: &mut [f64]) {
-        assert_eq!(r.len(), self.dim(), "tree preconditioner dimension");
+    fn apply(&self, r: &[f64], z: &mut [f64]) -> Result<(), SolverError> {
+        if r.len() != self.dim() || z.len() != self.dim() {
+            return Err(SolverError::DimensionMismatch {
+                expected: self.dim(),
+                actual: r.len().max(z.len()),
+            });
+        }
         self.tree_solve(r, z);
+        Ok(())
     }
 }
 
@@ -173,7 +179,7 @@ mod tests {
         let mut b = vec![1.0, -2.0, 0.5, 0.25, 0.25];
         cirstag_linalg::vecops::center(&mut b);
         let mut z = vec![0.0; 5];
-        pre.apply(&b, &mut z);
+        pre.apply(&b, &mut z).unwrap();
         let lz = lap.mul_vec(&z);
         for (a, c) in lz.iter().zip(&b) {
             assert!(
@@ -274,7 +280,7 @@ mod tests {
         // rhs centered per component: comp {0,1,2} and comp {3,4}.
         let b = [1.0, 0.5, -1.5, 2.0, -2.0];
         let mut z = vec![0.0; 5];
-        pre.apply(&b, &mut z);
+        pre.apply(&b, &mut z).unwrap();
         let lz = lap.mul_vec(&z);
         for (i, (a, c)) in lz.iter().zip(&b).enumerate() {
             assert!((a - c).abs() < 1e-10, "entry {i}: {a} vs {c}");
@@ -291,10 +297,10 @@ mod tests {
         let mut za = vec![0.0; 4];
         let mut zb = vec![0.0; 4];
         let mut zab = vec![0.0; 4];
-        pre.apply(&a, &mut za);
-        pre.apply(&b, &mut zb);
+        pre.apply(&a, &mut za).unwrap();
+        pre.apply(&b, &mut zb).unwrap();
         let ab: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
-        pre.apply(&ab, &mut zab);
+        pre.apply(&ab, &mut zab).unwrap();
         for i in 0..4 {
             assert!((zab[i] - za[i] - zb[i]).abs() < 1e-12);
         }

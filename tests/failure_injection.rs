@@ -168,6 +168,42 @@ fn spectral_embedding_on_single_edge_graph() {
 }
 
 #[test]
+fn best_effort_without_failures_matches_strict_bitwise() {
+    // The BestEffort policy must be a pure superset: when nothing fails, it
+    // takes exactly the same numeric path as Strict (bit-identical scores)
+    // and reports a clean run.
+    use cirstag_suite::core::FailurePolicy;
+    let n = 24;
+    let g = ring(n);
+    let emb = DenseMatrix::from_rows(
+        &(0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64 * std::f64::consts::TAU;
+                vec![t.cos(), t.sin()]
+            })
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let base = CirStagConfig {
+        embedding_dim: 4,
+        knn_k: 4,
+        num_eigenpairs: 3,
+        ..Default::default()
+    };
+    let strict = CirStag::new(base).analyze(&g, None, &emb).unwrap();
+    let best_effort = CirStag::new(CirStagConfig {
+        policy: FailurePolicy::BestEffort,
+        ..base
+    })
+    .analyze(&g, None, &emb)
+    .unwrap();
+    assert_eq!(strict.node_scores, best_effort.node_scores);
+    assert_eq!(strict.eigenvalues, best_effort.eigenvalues);
+    assert!(!best_effort.degraded);
+    assert!(best_effort.diagnostics.is_empty());
+}
+
+#[test]
 fn zero_feature_weight_ignores_feature_garbage() {
     // With feature_weight = 0 the pipeline must not even look at feature
     // values — huge magnitudes are fine.
@@ -193,4 +229,374 @@ fn zero_feature_weight_ignores_feature_garbage() {
     let with = CirStag::new(cfg).analyze(&g, Some(&garbage), &emb).unwrap();
     let without = CirStag::new(cfg).analyze(&g, None, &emb).unwrap();
     assert_eq!(with.node_scores, without.node_scores);
+}
+
+/// Deterministic failpoint-driven tests: one per fallback-ladder rung.
+///
+/// The failpoint registry is process-global, so every test here takes a
+/// shared lock, starts from a disarmed registry, and disarms again on drop
+/// (even when the test panics).
+#[cfg(feature = "failpoints")]
+mod failpoints {
+    use super::*;
+    use cirstag_suite::core::failpoint as fp;
+    use cirstag_suite::core::{FailurePolicy, ReportExport, StabilityReport, StageBudget};
+    use cirstag_suite::solver::{CgOptions, LadderRung, LaplacianSolver};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    struct Serial {
+        _guard: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for Serial {
+        fn drop(&mut self) {
+            fp::reset();
+        }
+    }
+
+    fn serial() -> Serial {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let guard = LOCK
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        fp::reset();
+        Serial { _guard: guard }
+    }
+
+    fn grid(side: usize) -> Graph {
+        let n = side * side;
+        let mut edges = Vec::new();
+        for r in 0..side {
+            for c in 0..side {
+                let i = r * side + c;
+                if c + 1 < side {
+                    edges.push((i, i + 1, 1.0));
+                }
+                if r + 1 < side {
+                    edges.push((i, i + side, 1.0));
+                }
+            }
+        }
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    fn circle_embedding(n: usize) -> DenseMatrix {
+        DenseMatrix::from_rows(
+            &(0..n)
+                .map(|i| {
+                    let t = i as f64 / n as f64 * std::f64::consts::TAU;
+                    vec![t.cos(), t.sin(), (2.0 * t).sin()]
+                })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    fn cfg(policy: FailurePolicy) -> CirStagConfig {
+        CirStagConfig {
+            embedding_dim: 4,
+            knn_k: 4,
+            num_eigenpairs: 3,
+            policy,
+            ..Default::default()
+        }
+    }
+
+    /// Rung names of every fallback event recorded for `stage`, in order.
+    fn rungs_for<'a>(report: &'a StabilityReport, stage: &str) -> Vec<&'a str> {
+        report
+            .diagnostics
+            .events
+            .iter()
+            .filter(|e| e.stage == stage)
+            .map(|e| e.rung.as_str())
+            .collect()
+    }
+
+    fn assert_finite(report: &StabilityReport) {
+        assert!(
+            report.node_scores.iter().all(|s| s.is_finite()),
+            "non-finite node scores"
+        );
+        assert!(
+            report.eigenvalues.iter().all(|z| z.is_finite()),
+            "non-finite eigenvalues"
+        );
+    }
+
+    // ---- Phase 1 ladder --------------------------------------------------
+
+    #[test]
+    fn lanczos_retry_rung_rescues_phase1() {
+        let _s = serial();
+        fp::arm("solver/lanczos", fp::FailAction::Error, 1);
+        let g = ring(20);
+        let report = CirStag::new(cfg(FailurePolicy::BestEffort))
+            .analyze(&g, None, &circle_embedding(20))
+            .unwrap();
+        assert!(report.degraded);
+        assert_eq!(rungs_for(&report, "phase1/eigs"), vec!["retry"]);
+        assert_finite(&report);
+    }
+
+    #[test]
+    fn dense_symeig_rung_rescues_phase1() {
+        let _s = serial();
+        // First attempt AND the re-seeded retry both fail -> dense fallback.
+        fp::arm("solver/lanczos", fp::FailAction::Error, 2);
+        let g = ring(20);
+        let report = CirStag::new(cfg(FailurePolicy::BestEffort))
+            .analyze(&g, None, &circle_embedding(20))
+            .unwrap();
+        assert!(report.degraded);
+        assert_eq!(rungs_for(&report, "phase1/eigs"), vec!["retry", "dense"]);
+        assert_finite(&report);
+    }
+
+    #[test]
+    fn strict_policy_fails_fast_on_phase1_eigensolve() {
+        let _s = serial();
+        fp::arm("solver/lanczos", fp::FailAction::Error, 1);
+        let g = ring(20);
+        let err = CirStag::new(cfg(FailurePolicy::Strict))
+            .analyze(&g, None, &circle_embedding(20))
+            .unwrap_err();
+        assert!(matches!(err, CirStagError::Embed(_)), "got {err:?}");
+        // Strict means fail-fast: the failpoint fired once, no retry.
+        assert_eq!(fp::hits("solver/lanczos"), 1);
+    }
+
+    // ---- CG ladder (Identity -> Jacobi -> Tree -> Dense) -----------------
+
+    #[test]
+    fn cg_ladder_escalates_rung_by_rung_to_dense() {
+        let _s = serial();
+        let g = ring(12);
+        let solver =
+            LaplacianSolver::with_ladder(&g, CgOptions::default(), LadderRung::Identity).unwrap();
+        // Three CG failures walk Identity -> Jacobi -> Tree -> Dense.
+        fp::arm("solver/cg", fp::FailAction::Error, 3);
+        let mut b = vec![0.0; 12];
+        b[0] = 1.0;
+        b[5] = -1.0;
+        let x = solver.solve(&b).unwrap();
+        assert_eq!(solver.current_rung(), LadderRung::Dense);
+        let events = solver.take_events();
+        let path: Vec<_> = events.iter().map(|e| e.to.name()).collect();
+        assert_eq!(path, vec!["jacobi", "tree", "dense"]);
+        // The dense rung must still solve the (centered) system accurately.
+        let lap = g.laplacian();
+        let lx = lap.mul_vec(&x);
+        for i in 0..12 {
+            assert!((lx[i] - b[i]).abs() < 1e-6, "residual at {i}: {}", lx[i] - b[i]);
+        }
+        // Escalation is sticky: the next solve stays on Dense, no new events.
+        let _ = solver.solve(&b).unwrap();
+        assert!(solver.take_events().is_empty());
+        assert_eq!(solver.current_rung(), LadderRung::Dense);
+    }
+
+    #[test]
+    fn pipeline_reports_phase3_cg_escalation() {
+        let _s = serial();
+        // With sparsification skipped, the only CG user is the Phase-3
+        // generalized eigensolver's inner L_Y solve.
+        fp::arm("solver/cg", fp::FailAction::Error, 1);
+        let g = ring(20);
+        let report = CirStag::new(CirStagConfig {
+            skip_manifold_sparsification: true,
+            ..cfg(FailurePolicy::BestEffort)
+        })
+        .analyze(&g, None, &circle_embedding(20))
+        .unwrap();
+        assert!(report.degraded);
+        assert_eq!(rungs_for(&report, "phase3/cg"), vec!["dense"]);
+        assert_finite(&report);
+    }
+
+    // ---- Phase 2 ladder --------------------------------------------------
+
+    #[test]
+    fn phase2_pgm_ladder_falls_back_to_random_prune() {
+        let _s = serial();
+        // The first CG solve of the run happens inside the input-side PGM
+        // resistance sketch; failing it degrades that stage to random pruning.
+        fp::arm("solver/cg", fp::FailAction::Error, 1);
+        let g = ring(20);
+        let report = CirStag::new(cfg(FailurePolicy::BestEffort))
+            .analyze(&g, None, &circle_embedding(20))
+            .unwrap();
+        assert!(report.degraded);
+        assert_eq!(rungs_for(&report, "phase2/pgm-input"), vec!["random-prune"]);
+        assert!(rungs_for(&report, "phase2/pgm-output").is_empty());
+        assert_finite(&report);
+    }
+
+    // ---- Phase 3 ladder --------------------------------------------------
+
+    #[test]
+    fn geig_dense_rung_rescues_phase3() {
+        let _s = serial();
+        fp::arm_always("solver/geig", fp::FailAction::Error);
+        let g = ring(20);
+        let report = CirStag::new(cfg(FailurePolicy::BestEffort))
+            .analyze(&g, None, &circle_embedding(20))
+            .unwrap();
+        assert!(report.degraded);
+        assert_eq!(rungs_for(&report, "phase3/geig"), vec!["retry", "dense"]);
+        assert_finite(&report);
+        // The dense generalized eigensolver produced a real spectrum, not the
+        // zero-spectrum terminal rung.
+        assert!(report.eigenvalues[0] > 0.0);
+    }
+
+    #[test]
+    fn strict_policy_fails_fast_on_phase3_eigensolve() {
+        let _s = serial();
+        fp::arm("solver/geig", fp::FailAction::Error, 1);
+        let g = ring(20);
+        let err = CirStag::new(cfg(FailurePolicy::Strict))
+            .analyze(&g, None, &circle_embedding(20))
+            .unwrap_err();
+        assert!(matches!(err, CirStagError::Solver(_)), "got {err:?}");
+        assert_eq!(fp::hits("solver/geig"), 1);
+    }
+
+    // ---- NaN sentinels between phases ------------------------------------
+
+    #[test]
+    fn phase1_nan_guard_both_policies() {
+        let _s = serial();
+        let g = ring(20);
+        let emb = circle_embedding(20);
+        fp::arm("phase1/nan", fp::FailAction::Nan, 1);
+        let err = CirStag::new(cfg(FailurePolicy::Strict))
+            .analyze(&g, None, &emb)
+            .unwrap_err();
+        assert!(
+            matches!(err, CirStagError::NonFiniteStage { stage: "phase1" }),
+            "got {err:?}"
+        );
+
+        fp::reset();
+        fp::arm("phase1/nan", fp::FailAction::Nan, 1);
+        let report = CirStag::new(cfg(FailurePolicy::BestEffort))
+            .analyze(&g, None, &emb)
+            .unwrap();
+        assert!(report.degraded);
+        assert_eq!(rungs_for(&report, "phase1/nan-guard"), vec!["degraded"]);
+        assert!(!report.diagnostics.warnings.is_empty());
+        assert_finite(&report);
+    }
+
+    #[test]
+    fn phase3_nan_guard_both_policies() {
+        let _s = serial();
+        let g = ring(20);
+        let emb = circle_embedding(20);
+        fp::arm("phase3/nan", fp::FailAction::Nan, 1);
+        let err = CirStag::new(cfg(FailurePolicy::Strict))
+            .analyze(&g, None, &emb)
+            .unwrap_err();
+        assert!(
+            matches!(err, CirStagError::NonFiniteStage { stage: "phase3" }),
+            "got {err:?}"
+        );
+
+        fp::reset();
+        fp::arm("phase3/nan", fp::FailAction::Nan, 1);
+        let report = CirStag::new(cfg(FailurePolicy::BestEffort))
+            .analyze(&g, None, &emb)
+            .unwrap();
+        assert!(report.degraded);
+        assert_eq!(rungs_for(&report, "phase3/nan-guard"), vec!["degraded"]);
+        assert_finite(&report);
+    }
+
+    // ---- Stage budgets ---------------------------------------------------
+
+    #[test]
+    fn stage_budget_exhaustion_both_policies() {
+        let _s = serial();
+        let g = ring(16);
+        let emb = circle_embedding(16);
+        let with_budget = |policy| CirStagConfig {
+            stage_budget: StageBudget {
+                wall_clock_ms: Some(150),
+                ..StageBudget::default()
+            },
+            ..cfg(policy)
+        };
+        fp::arm("phase2/stall", fp::FailAction::StallMs(600), 1);
+        let err = CirStag::new(with_budget(FailurePolicy::Strict))
+            .analyze(&g, None, &emb)
+            .unwrap_err();
+        assert!(
+            matches!(err, CirStagError::BudgetExhausted { stage: "phase2", .. }),
+            "got {err:?}"
+        );
+
+        fp::reset();
+        fp::arm("phase2/stall", fp::FailAction::StallMs(600), 1);
+        let report = CirStag::new(with_budget(FailurePolicy::BestEffort))
+            .analyze(&g, None, &emb)
+            .unwrap();
+        assert!(report.degraded);
+        assert_eq!(rungs_for(&report, "phase2"), vec!["budget"]);
+        assert_finite(&report);
+    }
+
+    // ---- Full injection (acceptance) -------------------------------------
+
+    #[test]
+    fn full_injection_best_effort_still_scores() {
+        let _s = serial();
+        for g in [ring(24), grid(5)] {
+            fp::reset();
+            fp::arm_always("solver/lanczos", fp::FailAction::Error);
+            fp::arm_always("solver/geig", fp::FailAction::Error);
+            fp::arm_always("solver/cg", fp::FailAction::Error);
+            let n = g.num_nodes();
+            let report = CirStag::new(cfg(FailurePolicy::BestEffort))
+                .analyze(&g, None, &circle_embedding(n))
+                .unwrap();
+            assert!(report.degraded);
+            assert_finite(&report);
+            for stage in [
+                "phase1/eigs",
+                "phase2/pgm-input",
+                "phase2/pgm-output",
+                "phase3/geig",
+            ] {
+                assert!(
+                    report.diagnostics.events.iter().any(|e| e.stage == stage),
+                    "no fallback event for {stage}: {:?}",
+                    report.diagnostics.events
+                );
+            }
+            assert_ne!(report.diagnostics.summary(), "clean run");
+            // The degraded report survives the JSON roundtrip intact.
+            let json = report.to_json().unwrap();
+            let parsed = ReportExport::from_json(&json).unwrap();
+            assert!(parsed.degraded);
+            assert_eq!(parsed.fallback_events.len(), report.diagnostics.events.len());
+            assert_eq!(parsed.warnings, report.diagnostics.warnings);
+        }
+    }
+
+    #[test]
+    fn full_injection_strict_is_a_typed_error() {
+        let _s = serial();
+        fp::arm_always("solver/lanczos", fp::FailAction::Error);
+        fp::arm_always("solver/geig", fp::FailAction::Error);
+        fp::arm_always("solver/cg", fp::FailAction::Error);
+        let g = ring(24);
+        let err = CirStag::new(cfg(FailurePolicy::Strict))
+            .analyze(&g, None, &circle_embedding(24))
+            .unwrap_err();
+        // Strict surfaces the first failure (the Phase-1 eigensolve) as a
+        // typed error rather than attempting any fallback.
+        assert!(matches!(err, CirStagError::Embed(_)), "got {err:?}");
+    }
 }
