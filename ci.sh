@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# CI gate for the CirSTAG workspace. Fully offline; fails on the first error.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cirstag-lint (repo rules, waivers need reasons)"
+cargo run -q -p cirstag-lint
+
+echo "==> release build (default features: parallel)"
+cargo build --release
+
+echo "==> release build (serial: --no-default-features)"
+cargo build --release --no-default-features
+
+echo "==> test suite"
+cargo test -q
+
+echo "CI OK"

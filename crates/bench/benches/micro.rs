@@ -9,11 +9,11 @@ use cirstag_gnn::{Activation, GnnModel, GraphContext, LayerSpec};
 use cirstag_graph::Graph;
 use cirstag_linalg::{par, DenseMatrix};
 use cirstag_pgm::{learn_manifold, PgmConfig};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use cirstag_solver::{
     lanczos_largest, CgOptions, CsrOperator, LaplacianSolver, ResistanceEstimator,
 };
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 fn grid(side: usize) -> Graph {
     let mut edges = Vec::new();

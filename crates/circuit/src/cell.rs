@@ -80,22 +80,23 @@ impl CellKind {
     /// Panics if `inputs.len()` does not match the cell arity.
     pub fn evaluate(&self, inputs: &[bool]) -> bool {
         match self {
-            CellKind::Buf => inputs[0],
-            CellKind::Inv => !inputs[0],
-            CellKind::And2 => inputs[0] && inputs[1],
-            CellKind::Nand2 => !(inputs[0] && inputs[1]),
-            CellKind::Or2 => inputs[0] || inputs[1],
-            CellKind::Nor2 => !(inputs[0] || inputs[1]),
-            CellKind::Xor2 => inputs[0] ^ inputs[1],
-            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellKind::Buf => inputs[0], // cirstag-lint: allow(no-panic-in-lib) -- arity is the documented panic contract of evaluate; netlist construction fixes fan-in
+            CellKind::Inv => !inputs[0], // cirstag-lint: allow(no-panic-in-lib) -- arity is the documented panic contract of evaluate; netlist construction fixes fan-in
+            CellKind::And2 => inputs[0] && inputs[1], // cirstag-lint: allow(no-panic-in-lib) -- arity is the documented panic contract of evaluate; netlist construction fixes fan-in
+            CellKind::Nand2 => !(inputs[0] && inputs[1]), // cirstag-lint: allow(no-panic-in-lib) -- arity is the documented panic contract of evaluate; netlist construction fixes fan-in
+            CellKind::Or2 => inputs[0] || inputs[1], // cirstag-lint: allow(no-panic-in-lib) -- arity is the documented panic contract of evaluate; netlist construction fixes fan-in
+            CellKind::Nor2 => !(inputs[0] || inputs[1]), // cirstag-lint: allow(no-panic-in-lib) -- arity is the documented panic contract of evaluate; netlist construction fixes fan-in
+            CellKind::Xor2 => inputs[0] ^ inputs[1], // cirstag-lint: allow(no-panic-in-lib) -- arity is the documented panic contract of evaluate; netlist construction fixes fan-in
+            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]), // cirstag-lint: allow(no-panic-in-lib) -- arity is the documented panic contract of evaluate; netlist construction fixes fan-in
             CellKind::Mux2 => {
+                // cirstag-lint: allow(no-panic-in-lib) -- arity is the documented panic contract of evaluate; netlist construction fixes fan-in
                 if inputs[2] {
-                    inputs[1]
+                    inputs[1] // cirstag-lint: allow(no-panic-in-lib) -- arity is the documented panic contract of evaluate; netlist construction fixes fan-in
                 } else {
-                    inputs[0]
+                    inputs[0] // cirstag-lint: allow(no-panic-in-lib) -- arity is the documented panic contract of evaluate; netlist construction fixes fan-in
                 }
             }
-            CellKind::Aoi21 => !((inputs[0] && inputs[1]) || inputs[2]),
+            CellKind::Aoi21 => !((inputs[0] && inputs[1]) || inputs[2]), // cirstag-lint: allow(no-panic-in-lib) -- arity is the documented panic contract of evaluate; netlist construction fixes fan-in
             CellKind::Maj3 => {
                 // Majority: at least two of the three inputs are high.
                 inputs.iter().filter(|&&b| b).count() >= 2

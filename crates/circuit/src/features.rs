@@ -80,7 +80,7 @@ pub fn extract_features(
                 let k = CellKind::ALL
                     .iter()
                     .position(|&kk| kk == kind)
-                    .expect("kind in ALL");
+                    .expect("kind in ALL"); // cirstag-lint: allow(no-panic-in-lib) -- CellKind::ALL enumerates every variant, so position always exists
                 x.set(p, BASE_FEATURES + k, 1.0);
             }
         }

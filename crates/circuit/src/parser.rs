@@ -95,7 +95,7 @@ pub fn parse_netlist(text: &str, library: &CellLibrary) -> Result<Netlist, Circu
             });
         }
         let mut tokens = line.split_whitespace();
-        let head = tokens.next().expect("non-empty line has a token");
+        let head = tokens.next().expect("non-empty line has a token"); // cirstag-lint: allow(no-panic-in-lib) -- split_whitespace on a non-blank line always yields a head token
         match head {
             ".model" => {
                 netlist.name = tokens.next().unwrap_or("unnamed").to_string();
@@ -153,7 +153,7 @@ pub fn parse_netlist(text: &str, library: &CellLibrary) -> Result<Netlist, Circu
                     .iter()
                     .map(|t| intern(&mut netlist, &mut net_ids, &pending_caps, t))
                     .collect();
-                let output = *ids.last().expect("arity + 1 nets");
+                let output = *ids.last().expect("arity + 1 nets"); // cirstag-lint: allow(no-panic-in-lib) -- token-count check above guarantees arity + 1 nets
                 let inputs = ids[..ids.len() - 1].to_vec();
                 netlist.add_cell(format!("g{gate_counter}"), cell_id, inputs, output)?;
                 gate_counter += 1;

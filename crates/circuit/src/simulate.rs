@@ -90,7 +90,10 @@ pub fn functional_agreement(
     // masked shift in release builds and silently compare a single pattern.
     if k > max_inputs.min(63) {
         return Err(CircuitError::InvalidArgument {
-            reason: format!("{k} inputs exceed the exhaustive cap of {}", max_inputs.min(63)),
+            reason: format!(
+                "{k} inputs exceed the exhaustive cap of {}",
+                max_inputs.min(63)
+            ),
         });
     }
     // Shared output names.

@@ -36,6 +36,15 @@ pub enum CirStagError {
         /// (e.g. `"phase1"`).
         stage: &'static str,
     },
+    /// A phase-boundary invariant audit failed (the `validate` feature):
+    /// malformed CSR storage, an asymmetric or indefinite Laplacian, or
+    /// non-finite manifold edge weights.
+    InvariantViolation {
+        /// Phase boundary where the audit fired (e.g. `"phase2/audit"`).
+        stage: &'static str,
+        /// Every violation the audit found, newline-joined.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CirStagError {
@@ -57,6 +66,9 @@ impl fmt::Display for CirStagError {
             ),
             CirStagError::NonFiniteStage { stage } => {
                 write!(f, "stage {stage} produced non-finite values")
+            }
+            CirStagError::InvariantViolation { stage, detail } => {
+                write!(f, "invariant audit failed at {stage}: {detail}")
             }
         }
     }

@@ -1,5 +1,7 @@
 //! The three-phase CirSTAG pipeline (Algorithm 1 of the paper).
 
+#[cfg(any(feature = "validate", debug_assertions))]
+use crate::audit;
 use crate::{CirStagError, FailurePolicy, FallbackEvent, RunDiagnostics, StageBudget};
 use cirstag_embed::{
     augment_with_features, dense_spectral_embedding, knn_graph, spectral_embedding, EmbedError,
@@ -261,7 +263,7 @@ impl CirStag {
         // finiteness guardrail below.
         if matches!(fail::check("phase1/nan"), Some(fail::FailAction::Nan)) {
             if let Some(u) = &mut input_data {
-                u.set(0, 0, f64::NAN);
+                u.set(0, 0, f64::NAN); // cirstag-lint: allow(float-discipline) -- deliberate failpoint corruption exercising the finiteness guardrail below
             }
         }
         // Guardrail: the embedding must be finite before it seeds Phase 2.
@@ -283,6 +285,18 @@ impl CirStag {
                 return Err(CirStagError::NonFiniteStage { stage: "phase1" });
             }
         }
+        // Invariant audit (validate feature / debug builds): the embedding
+        // hand-off must be finite and row-matched to the circuit graph.
+        #[cfg(any(feature = "validate", debug_assertions))]
+        if let Some(u) = &input_data {
+            audit::enforce(
+                "phase1/audit",
+                audit::embedding_violations(u, n, "input embedding"),
+                cfg.policy,
+                &mut diag,
+                t0.elapsed().as_millis() as u64,
+            )?;
+        }
         let phase1 = t0.elapsed();
         enforce_budget("phase1", phase1, cfg, &mut diag)?;
 
@@ -299,6 +313,24 @@ impl CirStag {
         };
         let dense_y = knn_graph(output_embedding, k, &cfg.knn)?;
         let output_manifold = sparsify_with_ladder(&dense_y, cfg, "phase2/pgm-output", &mut diag)?;
+        // Invariant audit: both manifolds must carry finite positive weights
+        // before their Laplacians seed the Phase-3 eigenproblem (Eq. 8 treats
+        // the weights as conductances).
+        #[cfg(any(feature = "validate", debug_assertions))]
+        {
+            let mut violations = audit::manifold_violations(&input_manifold, "input manifold");
+            violations.extend(audit::manifold_violations(
+                &output_manifold,
+                "output manifold",
+            ));
+            audit::enforce(
+                "phase2/audit",
+                violations,
+                cfg.policy,
+                &mut diag,
+                t1.elapsed().as_millis() as u64,
+            )?;
+        }
         let phase2 = t1.elapsed();
         enforce_budget("phase2", phase2, cfg, &mut diag)?;
 
@@ -306,6 +338,23 @@ impl CirStag {
         let t2 = Instant::now();
         fail::trigger("phase3/stall");
         let lx = input_manifold.laplacian();
+        // Invariant audit: Eq. 5 requires L = Σ w_pq e_pq e_pqᵀ — well-formed
+        // CSR, symmetric, and PSD (spot-checked with deterministic probes).
+        #[cfg(any(feature = "validate", debug_assertions))]
+        {
+            let mut violations = audit::laplacian_violations(&lx, "L_X");
+            violations.extend(audit::laplacian_violations(
+                &output_manifold.laplacian(),
+                "L_Y",
+            ));
+            audit::enforce(
+                "phase3/audit",
+                violations,
+                cfg.policy,
+                &mut diag,
+                t2.elapsed().as_millis() as u64,
+            )?;
+        }
         // Ranking-grade solver options: manifold Laplacians mix weights
         // spanning ~1/ε, so the default 1e-10 tolerance is unnecessarily
         // strict for eigen-subspace estimation and can fail to converge.
@@ -337,7 +386,7 @@ impl CirStag {
         // Failpoint: corrupt the spectrum to exercise the score guardrail.
         if matches!(fail::check("phase3/nan"), Some(fail::FailAction::Nan)) {
             if let Some(z) = geig.eigenvalues.first_mut() {
-                *z = f64::NAN;
+                *z = f64::NAN; // cirstag-lint: allow(float-discipline) -- deliberate failpoint corruption exercising the score guardrail
             }
         }
 

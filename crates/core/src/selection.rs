@@ -1,19 +1,11 @@
 //! Ranking helpers for stability scores.
 
 /// Returns node indices sorted by descending score (most unstable first).
-/// Ties break by index for determinism.
-///
-/// # Panics
-///
-/// Panics if any score is NaN.
+/// Ties break by index for determinism. NaN scores sort first under the IEEE
+/// total order, so corrupted scores surface at the top rather than panicking.
 pub fn rank_descending(scores: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .expect("scores must not be NaN")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
     order
 }
 
@@ -53,15 +45,14 @@ fn select(scores: &[f64], fraction: f64, eligible: Option<&[bool]>, top: bool) -
         .filter(|&i| eligible.is_none_or(|e| e[i]))
         .collect();
     idx.sort_by(|&a, &b| {
-        let ord = scores[b]
-            .partial_cmp(&scores[a])
-            .expect("scores must not be NaN");
+        let ord = scores[b].total_cmp(&scores[a]);
         if top {
             ord.then(a.cmp(&b))
         } else {
             ord.reverse().then(a.cmp(&b))
         }
     });
+    // cirstag-lint: allow(float-discipline) -- exact-zero sentinel: a literal 0.0 fraction disables selection
     if fraction == 0.0 || idx.is_empty() {
         return Vec::new();
     }
@@ -117,8 +108,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "NaN")]
-    fn nan_scores_panic() {
-        let _ = rank_descending(&[1.0, f64::NAN]);
+    fn nan_scores_rank_first_without_panicking() {
+        // IEEE total order puts NaN above +inf, so a corrupted score
+        // surfaces at the head of the descending ranking.
+        let order = rank_descending(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(order, vec![1, 2, 0]);
     }
 }

@@ -3,7 +3,7 @@
 use crate::EmbedError;
 use cirstag_graph::Graph;
 use cirstag_linalg::{par, vecops, DenseMatrix};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Neighbor-search strategy for [`knn_graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,12 +104,14 @@ pub fn knn_graph(points: &DenseMatrix, k: usize, config: &KnnConfig) -> Result<G
         1.0
     } else {
         let mid = all_d2.len() / 2;
-        all_d2.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("finite distances"));
+        all_d2.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
         all_d2[mid]
     };
     // Symmetrize as a union, deduplicating before insertion so the
-    // parallel-edge merging of `Graph` does not double weights.
-    let mut edges: HashMap<(usize, usize), f64> = HashMap::new();
+    // parallel-edge merging of `Graph` does not double weights. A `BTreeMap`
+    // keyed on `(min, max)` both deduplicates and yields the edges already in
+    // the deterministic lexicographic order the graph is built in.
+    let mut edges: BTreeMap<(usize, usize), f64> = BTreeMap::new();
     for (p, list) in neighbor_lists.iter().enumerate() {
         for &(q, d2) in list {
             let key = if p < q { (p, q) } else { (q, p) };
@@ -122,9 +124,7 @@ pub fn knn_graph(points: &DenseMatrix, k: usize, config: &KnnConfig) -> Result<G
         }
     }
     let mut g = Graph::new(n);
-    let mut sorted: Vec<_> = edges.into_iter().collect();
-    sorted.sort_by_key(|a| a.0); // deterministic edge ordering
-    for ((u, v), w) in sorted {
+    for ((u, v), w) in edges {
         g.add_edge(u, v, w)?;
     }
 
@@ -146,12 +146,10 @@ fn exact_knn(points: &DenseMatrix, k: usize) -> Vec<Vec<(usize, f64)>> {
             .collect();
         // Select the k nearest in O(n), then order just those k.
         if dists.len() > k {
-            dists.select_nth_unstable_by(k - 1, |a, b| {
-                a.1.partial_cmp(&b.1).expect("finite distances")
-            });
+            dists.select_nth_unstable_by(k - 1, |a, b| a.1.total_cmp(&b.1));
             dists.truncate(k);
         }
-        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        dists.sort_by(|a, b| a.1.total_cmp(&b.1));
         dists
     })
 }
@@ -213,7 +211,7 @@ fn rp_split(
         .iter()
         .map(|&i| (i, vecops::dot(points.row(i), &dir)))
         .collect();
-    proj.sort_by(|x, y| x.1.partial_cmp(&y.1).expect("finite projections"));
+    proj.sort_by(|x, y| x.1.total_cmp(&y.1));
     let mid = proj.len() / 2;
     if mid == 0 || mid == proj.len() {
         leaves.push(std::mem::take(items));
@@ -265,7 +263,7 @@ fn rp_forest_knn(
             .into_iter()
             .map(|q| (q, vecops::dist2_sq(points.row(p), points.row(q))))
             .collect();
-        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        dists.sort_by(|a, b| a.1.total_cmp(&b.1));
         dists.truncate(k);
         dists
     })
@@ -293,7 +291,9 @@ fn connect_components(
     }
     // Prim's over the complete representative graph (num_comps is small).
     let mut in_tree = vec![false; num_comps];
-    in_tree[0] = true;
+    if let Some(seed_slot) = in_tree.first_mut() {
+        *seed_slot = true;
+    }
     for _ in 1..num_comps {
         let mut best: Option<(usize, usize, f64)> = None;
         for a in 0..num_comps {
@@ -310,7 +310,10 @@ fn connect_components(
                 }
             }
         }
-        let (a, b, d2) = best.expect("at least one component outside the tree");
+        // Prim's invariant guarantees a frontier edge exists while any
+        // component is outside the tree; if that ever breaks, stop adding
+        // backbone edges rather than panic mid-pipeline.
+        let Some((a, b, d2)) = best else { break };
         g.add_edge(reps[a], reps[b], 1.0 / ((d2 / med).min(1e2) + eps))?;
         in_tree[b] = true;
     }

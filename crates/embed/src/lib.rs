@@ -35,4 +35,6 @@ mod spectral;
 
 pub use error::EmbedError;
 pub use knn::{knn_graph, KnnConfig, KnnMethod};
-pub use spectral::{augment_with_features, dense_spectral_embedding, spectral_embedding, SpectralConfig};
+pub use spectral::{
+    augment_with_features, dense_spectral_embedding, spectral_embedding, SpectralConfig,
+};

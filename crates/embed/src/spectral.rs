@@ -84,8 +84,8 @@ pub fn dense_spectral_embedding(g: &Graph, m: usize) -> Result<DenseMatrix, Embe
         });
     }
     let dense = g.normalized_laplacian().to_dense();
-    let (eigenvalues, eigenvectors) = cirstag_linalg::jacobi_eigen(&dense)
-        .map_err(cirstag_solver::SolverError::from)?;
+    let (eigenvalues, eigenvectors) =
+        cirstag_linalg::jacobi_eigen(&dense).map_err(cirstag_solver::SolverError::from)?;
     let mut u = DenseMatrix::zeros(n, m);
     for j in 0..m {
         let w = (1.0 - eigenvalues[j]).abs().sqrt();

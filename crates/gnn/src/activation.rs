@@ -90,7 +90,7 @@ impl Activation {
     ///
     /// Panics if the shapes differ.
     pub fn backward_inplace(&self, z: &DenseMatrix, grad: &mut DenseMatrix) {
-        assert_eq!(z.shape(), grad.shape(), "activation backward shape");
+        assert_eq!(z.shape(), grad.shape(), "activation backward shape"); // cirstag-lint: allow(error-hygiene) -- shape mismatch is a caller bug in the training loop, not runtime data; asserted eagerly
         if *self == Activation::Identity {
             return;
         }

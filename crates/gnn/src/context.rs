@@ -47,12 +47,12 @@ impl GraphContext {
         let inv_sqrt: Vec<f64> = deg.iter().map(|d| 1.0 / d.sqrt()).collect();
         let mut coo = CooMatrix::with_capacity(n, n, n + 2 * g.num_edges());
         for i in 0..n {
-            coo.push(i, i, inv_sqrt[i] * inv_sqrt[i]).expect("diag");
+            coo.push(i, i, inv_sqrt[i] * inv_sqrt[i]).expect("diag"); // cirstag-lint: allow(no-panic-in-lib) -- COO sized from the validated graph, so push indices are always in bounds
         }
         for e in g.edges() {
             let w = e.weight * inv_sqrt[e.u] * inv_sqrt[e.v];
-            coo.push(e.u, e.v, w).expect("edge");
-            coo.push(e.v, e.u, w).expect("edge");
+            coo.push(e.u, e.v, w).expect("edge"); // cirstag-lint: allow(no-panic-in-lib) -- COO sized from the validated graph, so push indices are always in bounds
+            coo.push(e.v, e.u, w).expect("edge"); // cirstag-lint: allow(no-panic-in-lib) -- COO sized from the validated graph, so push indices are always in bounds
         }
         let norm_adj = coo.to_csr();
 
@@ -62,7 +62,7 @@ impl GraphContext {
             let d = g.degree(i);
             if d > 0.0 {
                 for (j, w) in g.neighbors(i) {
-                    coo.push(i, j, w / d).expect("edge");
+                    coo.push(i, j, w / d).expect("edge"); // cirstag-lint: allow(no-panic-in-lib) -- COO sized from the validated graph, so push indices are always in bounds
                 }
             }
         }

@@ -48,6 +48,7 @@ impl Layer for DropoutLayer {
         _ctx: &GraphContext,
         training: bool,
     ) -> Result<DenseMatrix, GnnError> {
+        // cirstag-lint: allow(float-discipline) -- exact-zero sentinel: p = 0.0 disables dropout entirely
         if !training || self.p == 0.0 {
             self.mask = None;
             return Ok(input.clone());

@@ -18,7 +18,9 @@ pub fn r2_score(prediction: &DenseMatrix, target: &DenseMatrix) -> f64 {
     let mean = vecops::mean(t);
     let ss_tot: f64 = t.iter().map(|v| (v - mean) * (v - mean)).sum();
     let ss_res: f64 = p.iter().zip(t).map(|(a, b)| (a - b) * (a - b)).sum();
+    // cirstag-lint: allow(float-discipline) -- exact-zero variance is the degenerate case of the R-squared definition
     if ss_tot == 0.0 {
+        // cirstag-lint: allow(float-discipline) -- exact-zero residual on zero-variance targets defines R-squared = 1
         if ss_res == 0.0 {
             1.0
         } else {

@@ -78,6 +78,7 @@ impl Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (idx, p) in params.iter_mut().enumerate() {
+            // cirstag-lint: allow(error-hygiene) -- optimizer/parameter shape drift is a programming error; asserting avoids silent state corruption
             assert_eq!(
                 p.value.shape(),
                 self.m[idx].shape(),
@@ -150,6 +151,7 @@ impl Sgd {
             }
         }
         for (idx, p) in params.iter_mut().enumerate() {
+            // cirstag-lint: allow(error-hygiene) -- optimizer/parameter shape drift is a programming error; asserting avoids silent state corruption
             assert_eq!(
                 p.value.shape(),
                 self.velocity[idx].shape(),

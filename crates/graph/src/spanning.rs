@@ -24,7 +24,7 @@ impl SpanningTree {
             in_tree[eid] = true;
             let e = g.edges()[eid];
             tree.add_edge(e.u, e.v, e.weight)
-                .expect("tree edges come from a valid graph");
+                .expect("tree edges come from a valid graph"); // cirstag-lint: allow(no-panic-in-lib) -- tree edges are copied from a valid graph, so add_edge cannot fail
         }
         SpanningTree {
             edge_ids,
@@ -88,12 +88,7 @@ fn kruskal(g: &Graph, order: &[EdgeId]) -> SpanningTree {
 /// For a disconnected graph, returns a spanning forest.
 pub fn maximum_spanning_tree(g: &Graph) -> SpanningTree {
     let mut order: Vec<EdgeId> = (0..g.num_edges()).collect();
-    order.sort_by(|&a, &b| {
-        g.edges()[b]
-            .weight
-            .partial_cmp(&g.edges()[a].weight)
-            .expect("finite weights")
-    });
+    order.sort_by(|&a, &b| g.edges()[b].weight.total_cmp(&g.edges()[a].weight));
     kruskal(g, &order)
 }
 
@@ -102,12 +97,7 @@ pub fn maximum_spanning_tree(g: &Graph) -> SpanningTree {
 /// For a disconnected graph, returns a spanning forest.
 pub fn minimum_spanning_tree(g: &Graph) -> SpanningTree {
     let mut order: Vec<EdgeId> = (0..g.num_edges()).collect();
-    order.sort_by(|&a, &b| {
-        g.edges()[a]
-            .weight
-            .partial_cmp(&g.edges()[b].weight)
-            .expect("finite weights")
-    });
+    order.sort_by(|&a, &b| g.edges()[a].weight.total_cmp(&g.edges()[b].weight));
     kruskal(g, &order)
 }
 
@@ -178,7 +168,7 @@ mod ordered {
     }
     impl Ord for OrderedWeight {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.partial_cmp(&other.0).expect("finite edge weights")
+            self.0.total_cmp(&other.0)
         }
     }
 }
@@ -216,11 +206,7 @@ pub fn low_stretch_tree(g: &Graph, seed: u64) -> Result<SpanningTree, GraphError
     };
     let perturbed: Vec<f64> = g.edges().iter().map(|e| e.resistance() * next()).collect();
     let mut order: Vec<EdgeId> = (0..g.num_edges()).collect();
-    order.sort_by(|&a, &b| {
-        perturbed[a]
-            .partial_cmp(&perturbed[b])
-            .expect("finite resistances")
-    });
+    order.sort_by(|&a, &b| perturbed[a].total_cmp(&perturbed[b]));
     Ok(kruskal(g, &order))
 }
 

@@ -143,7 +143,9 @@ impl TreePathOracle {
                 v = self.up[k][v];
             }
         }
-        Ok(self.up[0][u])
+        // `levels >= 1` whenever the tree is non-empty; fall back to `u`
+        // itself (already the LCA when the loop converged) if not.
+        Ok(self.up.first().map_or(u, |row| row[u]))
     }
 
     /// Sum of resistive edge lengths (`1 / weight`) along the tree path

@@ -12,6 +12,7 @@ const PAR_FLOP_THRESHOLD: usize = 64 * 1024;
 /// serial and parallel matmul paths so they agree bit-for-bit.
 fn matmul_row_kernel(a_row: &[f64], other: &DenseMatrix, out_row: &mut [f64]) {
     for (k, &a) in a_row.iter().enumerate() {
+        // cirstag-lint: allow(float-discipline) -- bitwise sparsity skip, not a tolerance comparison; any nonzero must multiply
         if a == 0.0 {
             continue;
         }
@@ -168,7 +169,7 @@ impl DenseMatrix {
     /// Panics if the index is out of bounds.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
-        assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        assert!(i < self.nrows && j < self.ncols, "index out of bounds"); // cirstag-lint: allow(error-hygiene) -- documented panic contract of the infallible indexing API
         self.data[i * self.ncols + j] = v;
     }
 
@@ -306,7 +307,9 @@ impl DenseMatrix {
                 .map(|i| vecops::dot(self.row(i), x))
                 .collect());
         }
-        Ok(par::map_indexed(self.nrows, |i| vecops::dot(self.row(i), x)))
+        Ok(par::map_indexed(self.nrows, |i| {
+            vecops::dot(self.row(i), x)
+        }))
     }
 
     /// Element-wise sum `self + other`.

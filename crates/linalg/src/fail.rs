@@ -34,7 +34,7 @@ pub enum FailAction {
 #[cfg(feature = "failpoints")]
 mod registry {
     use super::FailAction;
-    use std::collections::HashMap;
+    use std::collections::HashMap; // cirstag-lint: allow(determinism) -- registry is keyed lookup only and never iterated, so map order cannot leak into results
     use std::sync::{Mutex, MutexGuard, OnceLock};
 
     struct Entry {
@@ -44,9 +44,10 @@ mod registry {
         hits: usize,
     }
 
+    // cirstag-lint: allow(determinism) -- registry is keyed lookup only and never iterated, so map order cannot leak into results
     fn map() -> MutexGuard<'static, HashMap<String, Entry>> {
-        static MAP: OnceLock<Mutex<HashMap<String, Entry>>> = OnceLock::new();
-        MAP.get_or_init(|| Mutex::new(HashMap::new()))
+        static MAP: OnceLock<Mutex<HashMap<String, Entry>>> = OnceLock::new(); // cirstag-lint: allow(determinism) -- registry is keyed lookup only and never iterated, so map order cannot leak into results
+        MAP.get_or_init(|| Mutex::new(HashMap::new())) // cirstag-lint: allow(determinism) -- registry is keyed lookup only and never iterated, so map order cannot leak into results
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }

@@ -89,7 +89,7 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    assert!(chunk_len > 0, "chunk_len must be non-zero");
+    assert!(chunk_len > 0, "chunk_len must be non-zero"); // cirstag-lint: allow(error-hygiene) -- documented panic contract; every call site passes a nonzero constant chunk length
     #[cfg(feature = "parallel")]
     {
         rayon::par_chunks_mut(data, chunk_len, f);

@@ -53,12 +53,12 @@ pub fn qr_decompose(a: &DenseMatrix) -> Result<QrDecomposition, LinalgError> {
     for k in 0..n {
         // Householder vector for column k below the diagonal.
         let mut v: Vec<f64> = (k..m).map(|i| r_full.get(i, k)).collect();
-        let alpha = -v[0].signum() * v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let alpha = -v[0].signum() * v.iter().map(|x| x * x).sum::<f64>().sqrt(); // cirstag-lint: allow(no-panic-in-lib) -- v spans rows k..m with k < n <= m, so it is never empty
         if alpha.abs() < 1e-300 {
             vs.push(vec![0.0; m - k]);
             continue;
         }
-        v[0] -= alpha;
+        v[0] -= alpha; // cirstag-lint: allow(no-panic-in-lib) -- v spans rows k..m with k < n <= m, so it is never empty
         let vnorm2: f64 = v.iter().map(|x| x * x).sum();
         if vnorm2 < 1e-300 {
             vs.push(vec![0.0; m - k]);

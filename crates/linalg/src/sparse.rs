@@ -132,6 +132,7 @@ impl CooMatrix {
                     v += entries[i].1;
                     i += 1;
                 }
+                // cirstag-lint: allow(float-discipline) -- exact-zero drop keeps the CSR canonical: explicit zeros are never stored
                 if v != 0.0 {
                     out_cols.push(c);
                     out_vals.push(v);
@@ -301,8 +302,8 @@ impl CsrMatrix {
     ///
     /// Panics if `x.len() != self.ncols` or `y.len() != self.nrows`.
     pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.ncols, "mul_vec_into: x dimension mismatch");
-        assert_eq!(y.len(), self.nrows, "mul_vec_into: y dimension mismatch");
+        assert_eq!(x.len(), self.ncols, "mul_vec_into: x dimension mismatch"); // cirstag-lint: allow(error-hygiene) -- documented panic contract of the infallible convenience form; try_mul_vec_into is the checked API
+        assert_eq!(y.len(), self.nrows, "mul_vec_into: y dimension mismatch"); // cirstag-lint: allow(error-hygiene) -- documented panic contract of the infallible convenience form; try_mul_vec_into is the checked API
         self.mul_vec_kernel(x, y);
     }
 
@@ -472,6 +473,76 @@ impl CsrMatrix {
         }
         m
     }
+
+    /// Checks the CSR structural invariants every kernel in this crate
+    /// assumes: `row_ptr` has `nrows + 1` monotone entries ending at `nnz`,
+    /// every column index is in bounds, columns are strictly increasing
+    /// within each row (sorted, no duplicates), and all stored values are
+    /// finite.
+    ///
+    /// This is the audit entry point of the `validate` feature cascade — the
+    /// kernels themselves never re-check these invariants on hot paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated invariant.
+    pub fn well_formed(&self) -> Result<(), String> {
+        if self.row_ptr.len() != self.nrows + 1 {
+            return Err(format!(
+                "row_ptr has {} entries, expected nrows + 1 = {}",
+                self.row_ptr.len(),
+                self.nrows + 1
+            ));
+        }
+        if self.row_ptr.first().copied() != Some(0) {
+            return Err("row_ptr does not start at 0".to_string());
+        }
+        if self.row_ptr.last().copied() != Some(self.values.len()) {
+            return Err(format!(
+                "row_ptr ends at {:?} but nnz = {}",
+                self.row_ptr.last(),
+                self.values.len()
+            ));
+        }
+        if self.col_idx.len() != self.values.len() {
+            return Err(format!(
+                "col_idx has {} entries but values has {}",
+                self.col_idx.len(),
+                self.values.len()
+            ));
+        }
+        for i in 0..self.nrows {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            if lo > hi {
+                return Err(format!("row_ptr decreases at row {i} ({lo} > {hi})"));
+            }
+            let mut prev: Option<usize> = None;
+            for k in lo..hi {
+                let j = self.col_idx[k];
+                if j >= self.ncols {
+                    return Err(format!(
+                        "row {i} stores column {j}, out of bounds for ncols = {}",
+                        self.ncols
+                    ));
+                }
+                if prev.is_some_and(|p| p >= j) {
+                    return Err(format!(
+                        "row {i} columns are not strictly increasing at entry {k} \
+                         ({:?} then {j})",
+                        prev
+                    ));
+                }
+                if !self.values[k].is_finite() {
+                    return Err(format!(
+                        "row {i}, column {j} stores a non-finite value {}",
+                        self.values[k]
+                    ));
+                }
+                prev = Some(j);
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -613,5 +684,67 @@ mod tests {
         let m = CooMatrix::new(0, 0).to_csr();
         assert_eq!(m.nnz(), 0);
         assert_eq!(m.mul_vec(&[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn well_formed_accepts_valid_matrices() {
+        assert!(sample().well_formed().is_ok());
+        assert!(CsrMatrix::identity(4).well_formed().is_ok());
+        assert!(CooMatrix::new(0, 0).to_csr().well_formed().is_ok());
+    }
+
+    #[test]
+    fn well_formed_rejects_non_finite_values() {
+        let mut m = sample();
+        m.scale(f64::NAN);
+        let err = m.well_formed().unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn well_formed_rejects_structural_corruption() {
+        // Direct construction (same module, private fields) lets the test
+        // produce states `from_triplets` can never emit.
+        let out_of_bounds = CsrMatrix {
+            nrows: 2,
+            ncols: 2,
+            row_ptr: vec![0, 1, 2],
+            col_idx: vec![0, 5],
+            values: vec![1.0, 2.0],
+        };
+        assert!(out_of_bounds
+            .well_formed()
+            .unwrap_err()
+            .contains("out of bounds"));
+
+        let duplicate_cols = CsrMatrix {
+            nrows: 1,
+            ncols: 3,
+            row_ptr: vec![0, 2],
+            col_idx: vec![1, 1],
+            values: vec![1.0, 2.0],
+        };
+        assert!(duplicate_cols
+            .well_formed()
+            .unwrap_err()
+            .contains("strictly increasing"));
+
+        let bad_ptr = CsrMatrix {
+            nrows: 2,
+            ncols: 2,
+            row_ptr: vec![0, 2, 1],
+            col_idx: vec![0, 1],
+            values: vec![1.0, 2.0],
+        };
+        assert!(bad_ptr.well_formed().is_err());
+
+        let truncated_ptr = CsrMatrix {
+            nrows: 2,
+            ncols: 2,
+            row_ptr: vec![0, 1],
+            col_idx: vec![0],
+            values: vec![1.0],
+        };
+        assert!(truncated_ptr.well_formed().unwrap_err().contains("row_ptr"));
     }
 }

@@ -117,11 +117,7 @@ pub fn jacobi_eigen(a: &DenseMatrix) -> Result<(Vec<f64>, DenseMatrix), LinalgEr
 fn sorted_pairs(m: &DenseMatrix, v: &DenseMatrix) -> (Vec<f64>, DenseMatrix) {
     let n = m.nrows();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        m.get(a, a)
-            .partial_cmp(&m.get(b, b))
-            .expect("finite eigenvalues")
-    });
+    order.sort_by(|&a, &b| m.get(a, a).total_cmp(&m.get(b, b)));
     let eigenvalues: Vec<f64> = order.iter().map(|&i| m.get(i, i)).collect();
     let mut vecs = DenseMatrix::zeros(n, n);
     for (new_j, &old_j) in order.iter().enumerate() {

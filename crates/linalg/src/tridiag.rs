@@ -90,6 +90,7 @@ pub fn tridiag_eigen(diag: &[f64], offdiag: &[f64]) -> Result<TridiagEigen, Lina
                 let b = c * e[i];
                 r = f.hypot(g);
                 e[i + 1] = r;
+                // cirstag-lint: allow(float-discipline) -- exact-zero off-diagonal test from the EISPACK tql2 recurrence
                 if r == 0.0 {
                     d[i + 1] -= p;
                     e[m] = 0.0;
@@ -110,6 +111,7 @@ pub fn tridiag_eigen(diag: &[f64], offdiag: &[f64]) -> Result<TridiagEigen, Lina
                     z.set(k, i, c * zki - s * f);
                 }
             }
+            // cirstag-lint: allow(float-discipline) -- exact-zero off-diagonal test from the EISPACK tql2 recurrence
             if r == 0.0 && m > l + 1 {
                 continue;
             }
@@ -121,7 +123,7 @@ pub fn tridiag_eigen(diag: &[f64], offdiag: &[f64]) -> Result<TridiagEigen, Lina
 
     // Sort ascending, permuting eigenvector columns to match.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("finite eigenvalues"));
+    order.sort_by(|&a, &b| d[a].total_cmp(&d[b]));
     let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
     let mut eigenvectors = DenseMatrix::zeros(n, n);
     for (new_j, &old_j) in order.iter().enumerate() {

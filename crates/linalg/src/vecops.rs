@@ -40,7 +40,7 @@ pub fn norm_inf(a: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch"); // cirstag-lint: allow(error-hygiene) -- documented panic contract of the hot-path axpy kernel
     for (yi, xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
     }
@@ -112,6 +112,7 @@ pub fn normalize(a: &mut [f64]) -> f64 {
 pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
     let na = norm2(a);
     let nb = norm2(b);
+    // cirstag-lint: allow(float-discipline) -- exact-zero norm sentinel: only an all-zero vector has norm exactly 0.0
     if na == 0.0 || nb == 0.0 {
         0.0
     } else {

@@ -25,7 +25,11 @@ fn fill(rows: usize, cols: usize, mut seed: u64) -> DenseMatrix {
         // Uniform in [-4, 4), with occasional exact zeros to hit the
         // kernel's zero-skip branch.
         let u = (z >> 11) as f64 / (1u64 << 53) as f64;
-        data.push(if z.is_multiple_of(13) { 0.0 } else { 8.0 * u - 4.0 });
+        data.push(if z.is_multiple_of(13) {
+            0.0
+        } else {
+            8.0 * u - 4.0
+        });
     }
     DenseMatrix::from_vec(rows, cols, data).expect("sized")
 }

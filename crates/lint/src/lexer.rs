@@ -1,0 +1,611 @@
+//! A lightweight Rust tokenizer — just enough lexical structure for the
+//! repo-specific lint rules, with no dependency on `syn` or `proc-macro2`.
+//!
+//! The lexer understands line/block comments (nested), string literals
+//! (including raw strings with hash fences), char literals vs. lifetimes,
+//! numeric literals (distinguishing int from float), identifiers,
+//! attributes (`#[...]` captured as a single token with their raw text) and
+//! multi-character punctuation. Everything it does not need is folded into
+//! single-character [`TokKind::Punct`] tokens.
+//!
+//! Comments are returned out-of-band so the waiver layer can read
+//! `// cirstag-lint: allow(...)` annotations without the rules ever seeing
+//! them.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `fn`, `pub`, `r#type`).
+    Ident,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    IntLit,
+    /// Floating-point literal (`1.0`, `2e-3`, `4f64`).
+    FloatLit,
+    /// String literal, including raw strings (text excludes quotes).
+    StrLit,
+    /// Character literal (`'a'`, `'\n'`).
+    CharLit,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// An attribute `#[...]` or `#![...]`, captured whole with its raw text.
+    Attr,
+    /// Punctuation, possibly multi-character (`::`, `->`, `==`, `!=`, `..`).
+    Punct,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Raw token text (for [`TokKind::Attr`], the full `#[...]` source).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// `true` when this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// `true` when this token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// One comment with its source line (1-based). The text excludes the
+/// delimiters (`//`, `///`, `//!`, `/* */`).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body without delimiters, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// `true` for doc comments (`///`, `//!`, `/** */`), which hold prose
+    /// and example code rather than waiver annotations.
+    pub doc: bool,
+}
+
+/// Output of [`lex`]: the token stream plus out-of-band comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character punctuation recognized as single tokens, longest first.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, pat: &str) -> bool {
+        self.src
+            .get(self.pos..)
+            .is_some_and(|rest| rest.starts_with(pat.as_bytes()))
+    }
+
+    fn advance(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn slice_from(&self, start: usize) -> &'a [u8] {
+        self.src.get(start..self.pos).unwrap_or(&[])
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+fn bytes_to_string(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+/// Lexes `source` into tokens and comments. Total: malformed input never
+/// panics — unterminated constructs simply run to end of file.
+pub fn lex(source: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+    while let Some(b) = cur.peek() {
+        let line = cur.line;
+        let start = cur.pos;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let doc = matches!(cur.peek_at(2), Some(b'/') | Some(b'!'));
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                let body = bytes_to_string(cur.slice_from(start));
+                let body = body.trim_start_matches('/').trim_start_matches('!');
+                out.comments.push(Comment {
+                    text: body.trim().to_string(),
+                    line,
+                    doc,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                let doc = matches!(cur.peek_at(2), Some(b'*') | Some(b'!'));
+                cur.advance(2);
+                let mut depth = 1usize;
+                while depth > 0 {
+                    if cur.starts_with("/*") {
+                        depth += 1;
+                        cur.advance(2);
+                    } else if cur.starts_with("*/") {
+                        depth -= 1;
+                        cur.advance(2);
+                    } else if cur.bump().is_none() {
+                        break;
+                    }
+                }
+                let body = bytes_to_string(cur.slice_from(start));
+                let body = body
+                    .trim_start_matches('/')
+                    .trim_start_matches('*')
+                    .trim_start_matches('!')
+                    .trim_end_matches('/')
+                    .trim_end_matches('*');
+                out.comments.push(Comment {
+                    text: body.trim().to_string(),
+                    line,
+                    doc,
+                });
+            }
+            b'#' if matches!(cur.peek_at(1), Some(b'[')) || cur.starts_with("#![") => {
+                // Attribute: capture the whole balanced `#[...]` / `#![...]`.
+                cur.bump(); // '#'
+                if cur.peek() == Some(b'!') {
+                    cur.bump();
+                }
+                cur.bump(); // '['
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match cur.peek() {
+                        Some(b'[') => {
+                            depth += 1;
+                            cur.bump();
+                        }
+                        Some(b']') => {
+                            depth -= 1;
+                            cur.bump();
+                        }
+                        Some(b'"') => {
+                            lex_string_body(&mut cur);
+                        }
+                        Some(_) => {
+                            cur.bump();
+                        }
+                        None => break,
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Attr,
+                    text: bytes_to_string(cur.slice_from(start)),
+                    line,
+                });
+            }
+            b'"' => {
+                lex_string_body(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokKind::StrLit,
+                    text: bytes_to_string(cur.slice_from(start)),
+                    line,
+                });
+            }
+            b'r' | b'b' if is_raw_string_start(&cur) => {
+                lex_raw_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokKind::StrLit,
+                    text: bytes_to_string(cur.slice_from(start)),
+                    line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if is_lifetime_start(&cur) {
+                    cur.bump(); // '\''
+                    while cur.peek().is_some_and(is_ident_continue) {
+                        cur.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: bytes_to_string(cur.slice_from(start)),
+                        line,
+                    });
+                } else {
+                    cur.bump(); // opening quote
+                    if cur.peek() == Some(b'\\') {
+                        cur.bump();
+                        cur.bump();
+                        // Multi-char escapes (\x41, \u{...}) run to the quote.
+                        while cur.peek().is_some() && cur.peek() != Some(b'\'') {
+                            cur.bump();
+                        }
+                    } else {
+                        cur.bump();
+                    }
+                    if cur.peek() == Some(b'\'') {
+                        cur.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::CharLit,
+                        text: bytes_to_string(cur.slice_from(start)),
+                        line,
+                    });
+                }
+            }
+            b if b.is_ascii_digit() => {
+                let kind = lex_number(&mut cur);
+                out.tokens.push(Token {
+                    kind,
+                    text: bytes_to_string(cur.slice_from(start)),
+                    line,
+                });
+            }
+            b if is_ident_start(b) => {
+                // `r#keyword` raw identifiers lex as plain identifiers.
+                if b == b'r'
+                    && cur.peek_at(1) == Some(b'#')
+                    && cur.peek_at(2).is_some_and(is_ident_start)
+                {
+                    cur.advance(2);
+                }
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: bytes_to_string(cur.slice_from(start)).replace("r#", ""),
+                    line,
+                });
+            }
+            _ => {
+                let matched = MULTI_PUNCT.iter().find(|p| cur.starts_with(p));
+                match matched {
+                    Some(p) => cur.advance(p.len()),
+                    None => {
+                        cur.bump();
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: bytes_to_string(cur.slice_from(start)),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a `"..."` string body including both quotes and escapes.
+fn lex_string_body(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.peek() {
+        match c {
+            b'\\' => {
+                cur.bump();
+                cur.bump();
+            }
+            b'"' => {
+                cur.bump();
+                return;
+            }
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+}
+
+/// `true` when the cursor sits on `r"`, `r#"`, `br"`, `b"`, etc.
+fn is_raw_string_start(cur: &Cursor<'_>) -> bool {
+    let mut off = 0usize;
+    if cur.peek_at(off) == Some(b'b') {
+        off += 1;
+    }
+    if cur.peek_at(off) == Some(b'r') {
+        off += 1;
+        while cur.peek_at(off) == Some(b'#') {
+            off += 1;
+        }
+        return cur.peek_at(off) == Some(b'"');
+    }
+    // Plain byte string `b"..."`.
+    off == 1 && cur.peek_at(off) == Some(b'"')
+}
+
+/// Consumes a raw (or byte) string, honoring the `#` fence count.
+fn lex_raw_string(cur: &mut Cursor<'_>) {
+    if cur.peek() == Some(b'b') {
+        cur.bump();
+    }
+    let raw = cur.peek() == Some(b'r');
+    if raw {
+        cur.bump();
+    }
+    let mut fences = 0usize;
+    while cur.peek() == Some(b'#') {
+        fences += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    if !raw {
+        // Plain byte string: honors escapes like a normal string.
+        while let Some(c) = cur.peek() {
+            match c {
+                b'\\' => {
+                    cur.bump();
+                    cur.bump();
+                }
+                b'"' => {
+                    cur.bump();
+                    return;
+                }
+                _ => {
+                    cur.bump();
+                }
+            }
+        }
+        return;
+    }
+    loop {
+        match cur.peek() {
+            Some(b'"') => {
+                cur.bump();
+                let mut close = 0usize;
+                while close < fences && cur.peek() == Some(b'#') {
+                    close += 1;
+                    cur.bump();
+                }
+                if close == fences {
+                    return;
+                }
+            }
+            Some(_) => {
+                cur.bump();
+            }
+            None => return,
+        }
+    }
+}
+
+/// `true` when `'` begins a lifetime rather than a char literal.
+fn is_lifetime_start(cur: &Cursor<'_>) -> bool {
+    // A lifetime is `'ident` NOT followed by a closing quote.
+    let Some(next) = cur.peek_at(1) else {
+        return false;
+    };
+    if !is_ident_start(next) {
+        return false;
+    }
+    // `'a'` is a char literal; `'a` (no trailing quote after the ident run)
+    // is a lifetime.
+    let mut off = 2usize;
+    while cur.peek_at(off).is_some_and(is_ident_continue) {
+        off += 1;
+    }
+    cur.peek_at(off) != Some(b'\'')
+}
+
+/// Consumes a numeric literal, classifying int vs. float.
+fn lex_number(cur: &mut Cursor<'_>) -> TokKind {
+    let mut float = false;
+    // Hex/oct/bin prefixes are always integers.
+    if cur.peek() == Some(b'0')
+        && matches!(
+            cur.peek_at(1),
+            Some(b'x') | Some(b'X') | Some(b'o') | Some(b'O') | Some(b'b') | Some(b'B')
+        )
+    {
+        cur.advance(2);
+        while cur
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            cur.bump();
+        }
+        return TokKind::IntLit;
+    }
+    while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+        cur.bump();
+    }
+    // A `.` starts the fractional part only when followed by a digit or
+    // nothing ident-like (so `0..n` and `1.max(2)` stay integers).
+    if cur.peek() == Some(b'.')
+        && cur.peek_at(1) != Some(b'.')
+        && !cur.peek_at(1).is_some_and(is_ident_start)
+    {
+        float = true;
+        cur.bump();
+        while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            cur.bump();
+        }
+    }
+    if matches!(cur.peek(), Some(b'e') | Some(b'E'))
+        && (cur.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+            || (matches!(cur.peek_at(1), Some(b'+') | Some(b'-'))
+                && cur.peek_at(2).is_some_and(|c| c.is_ascii_digit())))
+    {
+        float = true;
+        cur.bump();
+        if matches!(cur.peek(), Some(b'+') | Some(b'-')) {
+            cur.bump();
+        }
+        while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            cur.bump();
+        }
+    }
+    // Type suffix (`f64` forces float, `u32`/`i64`/`usize` keep int).
+    if cur.starts_with("f32") || cur.starts_with("f64") {
+        float = true;
+    }
+    while cur.peek().is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    if float {
+        TokKind::FloatLit
+    } else {
+        TokKind::IntLit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = kinds("fn foo() -> u32 { x.unwrap() }");
+        assert!(toks.contains(&(TokKind::Ident, "unwrap".to_string())));
+        assert!(toks.contains(&(TokKind::Punct, "->".to_string())));
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        let toks = kinds("let a = 1.0; let b = 42; let c = 2e-3; let d = 7f64; let e = 0..n;");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::FloatLit)
+            .collect();
+        assert_eq!(floats.len(), 3, "{floats:?}");
+        assert!(toks.contains(&(TokKind::IntLit, "42".to_string())));
+        assert!(toks.contains(&(TokKind::IntLit, "0".to_string())));
+        assert!(toks.contains(&(TokKind::Punct, "..".to_string())));
+    }
+
+    #[test]
+    fn method_call_on_int_stays_int() {
+        let toks = kinds("let x = 1.max(2);");
+        assert!(toks.contains(&(TokKind::IntLit, "1".to_string())));
+        assert!(toks.contains(&(TokKind::Ident, "max".to_string())));
+    }
+
+    #[test]
+    fn comments_are_out_of_band() {
+        let lexed = lex("// cirstag-lint: allow(no-panic-in-lib) -- checked above\nx.unwrap();");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.starts_with("cirstag-lint"));
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(!lexed.comments[0].doc);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn doc_comments_flagged() {
+        let lexed = lex("/// example with x.unwrap()\nfn f() {}");
+        assert!(lexed.comments[0].doc);
+        // The unwrap inside the doc comment is not a token.
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let lexed = lex(r#"let s = "panic!(\"inner\") // not a comment";"#);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("panic")));
+        assert!(lexed.comments.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let lexed = lex(r###"let s = r#"quote " inside"#; x.unwrap();"###);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn attributes_capture_whole() {
+        let lexed = lex("#[cfg(feature = \"parallel\")]\nfn f() {}");
+        let attr = &lexed.tokens[0];
+        assert_eq!(attr.kind, TokKind::Attr);
+        assert!(attr.text.contains("feature = \"parallel\""));
+        assert_eq!(attr.line, 1);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".to_string())));
+        assert!(toks.iter().filter(|(k, _)| *k == TokKind::CharLit).count() == 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let lexed = lex("fn a() {}\nfn b() {}\nfn c() {}");
+        let fns: Vec<usize> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.is_ident("fn"))
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(fns, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unterminated_input_does_not_panic() {
+        lex("let s = \"unterminated");
+        lex("/* unterminated");
+        lex("#[cfg(unterminated");
+        lex("'");
+    }
+}

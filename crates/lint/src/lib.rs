@@ -1,0 +1,156 @@
+//! `cirstag-lint` — workspace-aware static analysis for the CirSTAG repo.
+//!
+//! The repo's correctness story leans on invariants ordinary `clippy`
+//! cannot see: library crates must stay panic-free so the fallback ladders
+//! (PR 2) can catch every failure as a typed error; numeric crates must be
+//! bit-deterministic so η-score rankings reproduce (PR 1); `rayon` and
+//! failpoints must stay behind their cargo features so the
+//! `--no-default-features` build is genuinely serial. This crate enforces
+//! those rules with a self-contained lexical analyzer — no `syn`, no network,
+//! no external deps beyond the vendored `serde` stand-ins.
+//!
+//! Pipeline: [`source::workspace_sources`] walks `src/` + `crates/*/src/`,
+//! [`lexer::lex`] tokenizes each file (total: malformed input never panics),
+//! [`rules::run_all`] emits raw findings, and [`waiver::WaiverSet`] marks
+//! hits covered by an inline `// cirstag-lint: allow(<rule>) -- <reason>`
+//! annotation. Waivers without a reason are themselves findings
+//! (`waiver-syntax`) and can never be waived.
+//!
+//! Run it as `cargo run -p cirstag-lint` (human output + `LINT_REPORT.json`)
+//! or embed via [`run_lint`].
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod waiver;
+pub mod workspace;
+
+use report::{Finding, LintReport};
+use source::SourceFile;
+use std::fmt;
+use std::path::Path;
+use waiver::WaiverSet;
+use workspace::WorkspaceCtx;
+
+/// Failure while reading the workspace (I/O only — lint findings are data,
+/// not errors).
+#[derive(Debug)]
+pub struct LintError {
+    /// Path that failed.
+    pub path: String,
+    /// Underlying I/O message.
+    pub message: String,
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cirstag-lint: {}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Lints every workspace source under `root` and returns the full report.
+///
+/// # Errors
+///
+/// Fails only on I/O problems (unreadable workspace); rule hits are returned
+/// inside the report, not as errors.
+pub fn run_lint(root: &Path) -> Result<LintReport, LintError> {
+    if !root.is_dir() {
+        return Err(LintError {
+            path: root.display().to_string(),
+            message: "not a directory".to_string(),
+        });
+    }
+    let ctx = WorkspaceCtx::discover(root);
+    let paths = source::workspace_sources(root).map_err(|e| LintError {
+        path: root.display().to_string(),
+        message: e.to_string(),
+    })?;
+    // An empty walk means the root is not a workspace (e.g. a typo'd
+    // `--root`) — a silent "0 files, clean" would defeat the CI gate.
+    if paths.is_empty() {
+        return Err(LintError {
+            path: root.display().to_string(),
+            message: "no Rust sources found under src/ or crates/*/src/".to_string(),
+        });
+    }
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for path in &paths {
+        let file = SourceFile::load(root, path).map_err(|e| LintError {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        scanned += 1;
+        findings.extend(lint_file(&file, &ctx));
+    }
+    Ok(LintReport::new(scanned, findings))
+}
+
+/// Lints one already-loaded file: runs every rule, then applies waivers.
+pub fn lint_file(file: &SourceFile, ctx: &WorkspaceCtx) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    rules::run_all(file, ctx, &mut findings);
+    let waivers = WaiverSet::collect(file);
+    for f in &mut findings {
+        if let Some(w) = waivers.lookup(&f.rule, f.line) {
+            f.waived = true;
+            f.waiver_reason = Some(w.reason.clone());
+        }
+    }
+    // Malformed waivers are findings in their own right — and deliberately
+    // not waivable, so `allow()` without a reason can't hide itself.
+    for err in &waivers.errors {
+        findings.push(Finding {
+            rule: rules::WAIVER_SYNTAX.to_string(),
+            file: file.rel_path.clone(),
+            line: err.line,
+            message: err.message.clone(),
+            snippet: file.snippet(err.line),
+            waived: false,
+            waiver_reason: None,
+        });
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_src(rel_path: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source(rel_path, src);
+        lint_file(&file, &WorkspaceCtx::default())
+    }
+
+    #[test]
+    fn waived_finding_is_marked_not_dropped() {
+        let src = "fn f() {\n    x.unwrap(); // cirstag-lint: allow(no-panic-in-lib) -- test scaffolding\n}\n";
+        let hits = lint_src("crates/graph/src/x.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].waived);
+        assert_eq!(hits[0].waiver_reason.as_deref(), Some("test scaffolding"));
+    }
+
+    #[test]
+    fn reasonless_waiver_leaves_finding_active_and_adds_syntax_finding() {
+        let src = "fn f() {\n    x.unwrap(); // cirstag-lint: allow(no-panic-in-lib)\n}\n";
+        let hits = lint_src("crates/graph/src/x.rs", src);
+        let active: Vec<_> = hits.iter().filter(|h| !h.waived).collect();
+        assert_eq!(active.len(), 2, "{hits:?}");
+        assert!(active.iter().any(|h| h.rule == rules::NO_PANIC));
+        assert!(active.iter().any(|h| h.rule == rules::WAIVER_SYNTAX));
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_does_not_suppress() {
+        let src =
+            "fn f() {\n    x.unwrap(); // cirstag-lint: allow(determinism) -- wrong rule\n}\n";
+        let hits = lint_src("crates/graph/src/x.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert!(!hits[0].waived);
+    }
+}

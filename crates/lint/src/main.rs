@@ -1,0 +1,95 @@
+//! CLI entry point: `cargo run -p cirstag-lint [-- --json] [--root <dir>]
+//! [--report <path>] [--no-report]`.
+//!
+//! Exit codes: `0` clean (no unwaived findings), `1` active findings,
+//! `2` usage or I/O error.
+
+use cirstag_lint::run_lint;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: PathBuf,
+    json: bool,
+    report_path: Option<PathBuf>,
+    write_report: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        json: false,
+        report_path: None,
+        write_report: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--no-report" => opts.write_report = false,
+            "--root" => {
+                let v = args.next().ok_or("--root requires a directory argument")?;
+                opts.root = PathBuf::from(v);
+            }
+            "--report" => {
+                let v = args.next().ok_or("--report requires a path argument")?;
+                opts.report_path = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                return Err(USAGE.to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "usage: cirstag-lint [--json] [--root <dir>] [--report <path>] [--no-report]\n\
+    --json          print the report as JSON instead of human output\n\
+    --root <dir>    workspace root to lint (default: current directory)\n\
+    --report <path> where to write the JSON report (default: <root>/LINT_REPORT.json)\n\
+    --no-report     skip writing the JSON report file";
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run_lint(&opts.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let json = match report.to_json() {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cirstag-lint: failed to serialize report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.write_report {
+        let path = opts
+            .report_path
+            .clone()
+            .unwrap_or_else(|| opts.root.join("LINT_REPORT.json"));
+        if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+            eprintln!("cirstag-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if opts.json {
+        println!("{json}");
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.active_count() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,202 @@
+//! Findings and the machine-readable lint report.
+
+use serde::impl_serde_struct;
+
+/// Schema tag written into every report so downstream consumers can detect
+/// format drift.
+pub const REPORT_SCHEMA: &str = "cirstag-lint-report/v1";
+
+/// One rule hit at a specific source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule identifier (see [`crate::rules::RULE_NAMES`]).
+    pub rule: String,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human explanation of the hit and the suggested fix.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// `true` when an inline waiver with a reason suppresses this hit.
+    pub waived: bool,
+    /// The waiver's justification, when `waived`.
+    pub waiver_reason: Option<String>,
+}
+
+impl_serde_struct!(Finding {
+    rule,
+    file,
+    line,
+    message,
+    snippet,
+    waived,
+    waiver_reason,
+});
+
+/// Per-rule tally of active (unwaived) and waived hits.
+#[derive(Debug, Clone, Default)]
+pub struct RuleCount {
+    /// Rule identifier.
+    pub rule: String,
+    /// Hits not covered by a waiver.
+    pub active: usize,
+    /// Hits suppressed by a reasoned waiver.
+    pub waived: usize,
+}
+
+impl_serde_struct!(RuleCount {
+    rule,
+    active,
+    waived
+});
+
+/// The full result of one lint run.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Always [`REPORT_SCHEMA`].
+    pub schema: String,
+    /// Number of `.rs` files scanned (exempt files included).
+    pub files_scanned: usize,
+    /// Every hit, waived or not, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Per-rule tallies in [`crate::rules::RULE_NAMES`] order.
+    pub counts: Vec<RuleCount>,
+}
+
+impl_serde_struct!(LintReport {
+    schema,
+    files_scanned,
+    findings,
+    counts,
+});
+
+impl LintReport {
+    /// Builds a report from raw findings (sorts and tallies them).
+    pub fn new(files_scanned: usize, mut findings: Vec<Finding>) -> LintReport {
+        findings.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(
+                b.file.as_str(),
+                b.line,
+                b.rule.as_str(),
+            ))
+        });
+        let counts = crate::rules::RULE_NAMES
+            .iter()
+            .map(|&rule| RuleCount {
+                rule: rule.to_string(),
+                active: findings
+                    .iter()
+                    .filter(|f| f.rule == rule && !f.waived)
+                    .count(),
+                waived: findings
+                    .iter()
+                    .filter(|f| f.rule == rule && f.waived)
+                    .count(),
+            })
+            .collect();
+        LintReport {
+            schema: REPORT_SCHEMA.to_string(),
+            files_scanned,
+            findings,
+            counts,
+        }
+    }
+
+    /// Hits not suppressed by a waiver — the run fails when any exist.
+    pub fn active_findings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    /// Number of unwaived hits.
+    pub fn active_count(&self) -> usize {
+        self.active_findings().count()
+    }
+
+    /// Number of waived hits.
+    pub fn waived_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.waived).count()
+    }
+
+    /// Renders the human-readable summary (one line per active finding,
+    /// then the per-rule tally).
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in self.active_findings() {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n    {}\n",
+                f.file, f.line, f.rule, f.message, f.snippet
+            ));
+        }
+        out.push_str(&format!(
+            "cirstag-lint: {} file(s) scanned, {} active finding(s), {} waived\n",
+            self.files_scanned,
+            self.active_count(),
+            self.waived_count()
+        ));
+        for c in &self.counts {
+            if c.active > 0 || c.waived > 0 {
+                out.push_str(&format!(
+                    "    {:<18} active {:>3}   waived {:>3}\n",
+                    c.rule, c.active, c.waived
+                ));
+            }
+        }
+        out
+    }
+
+    /// Serializes the report as pretty JSON.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(rule: &str, file: &str, line: usize, waived: bool) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            message: "m".to_string(),
+            snippet: "s".to_string(),
+            waived,
+            waiver_reason: waived.then(|| "reason".to_string()),
+        }
+    }
+
+    #[test]
+    fn report_sorts_and_tallies() {
+        let report = LintReport::new(
+            3,
+            vec![
+                hit("determinism", "b.rs", 9, false),
+                hit("no-panic-in-lib", "a.rs", 2, true),
+                hit("no-panic-in-lib", "a.rs", 1, false),
+            ],
+        );
+        assert_eq!(report.findings[0].file, "a.rs");
+        assert_eq!(report.findings[0].line, 1);
+        assert_eq!(report.active_count(), 2);
+        assert_eq!(report.waived_count(), 1);
+        let np = report
+            .counts
+            .iter()
+            .find(|c| c.rule == "no-panic-in-lib")
+            .expect("tally present");
+        assert_eq!((np.active, np.waived), (1, 1));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = LintReport::new(1, vec![hit("determinism", "a.rs", 1, false)]);
+        let json = report.to_json().expect("serializes");
+        assert!(json.contains(REPORT_SCHEMA));
+        let back: LintReport = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.findings.len(), 1);
+        assert_eq!(back.files_scanned, 1);
+    }
+}

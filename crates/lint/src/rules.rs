@@ -1,0 +1,624 @@
+//! The five repo-specific lint rules.
+//!
+//! Each rule is a pure function over one [`SourceFile`]'s token stream; the
+//! driver applies waivers afterwards, so rules always report every raw hit.
+//!
+//! | Rule | Guards |
+//! |------|--------|
+//! | `no-panic-in-lib` | library code stays panic-free (typed errors only) |
+//! | `float-discipline` | no `==`/`!=` on floats, no bare NaN literals |
+//! | `feature-hygiene` | `rayon`/failpoint arming stays behind its feature |
+//! | `determinism` | no order-dependent containers / ambient entropy in result-affecting crates |
+//! | `error-hygiene` | public unit-returning fns must not panic on bad input |
+
+use crate::lexer::{TokKind, Token};
+use crate::report::Finding;
+use crate::source::{FileKind, SourceFile};
+use crate::workspace::WorkspaceCtx;
+
+/// Names of every rule, in reporting order.
+pub const RULE_NAMES: &[&str] = &[
+    NO_PANIC,
+    FLOAT_DISCIPLINE,
+    FEATURE_HYGIENE,
+    DETERMINISM,
+    ERROR_HYGIENE,
+    WAIVER_SYNTAX,
+];
+
+/// Rule id: panic-free library code.
+pub const NO_PANIC: &str = "no-panic-in-lib";
+/// Rule id: float comparison / NaN literal discipline.
+pub const FLOAT_DISCIPLINE: &str = "float-discipline";
+/// Rule id: feature-gate hygiene for `parallel` / `failpoints`.
+pub const FEATURE_HYGIENE: &str = "feature-hygiene";
+/// Rule id: deterministic iteration and seeding in result-affecting crates.
+pub const DETERMINISM: &str = "determinism";
+/// Rule id: public API error hygiene.
+pub const ERROR_HYGIENE: &str = "error-hygiene";
+/// Rule id: malformed waiver annotations (always unwaivable).
+pub const WAIVER_SYNTAX: &str = "waiver-syntax";
+
+/// Crates whose numeric output the paper's bit-identical determinism
+/// guarantee covers (PR 1): any order-dependence here can silently change
+/// η-scores or DMD rankings.
+const RESULT_AFFECTING: &[&str] = &[
+    "cirstag-linalg",
+    "cirstag-graph",
+    "cirstag-solver",
+    "cirstag-embed",
+    "cirstag-pgm",
+    "cirstag",
+];
+
+/// Panicking macros forbidden in library code.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+/// Macros that panic on invalid input, checked by the error-hygiene rule
+/// inside public unit-returning functions (`debug_assert*` is exempt: it
+/// vanishes in release builds and is the idiomatic invariant-audit form).
+const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne", "panic"];
+
+/// Ambient-entropy identifiers forbidden in result-affecting crates.
+const ENTROPY_IDENTS: &[&str] = &["SystemTime", "thread_rng", "from_entropy"];
+
+/// Runs every rule over `file`, appending raw findings to `out`.
+pub fn run_all(file: &SourceFile, ctx: &WorkspaceCtx, out: &mut Vec<Finding>) {
+    if file.kind == FileKind::Exempt {
+        return;
+    }
+    if file.kind == FileKind::Lib {
+        no_panic_in_lib(file, out);
+        float_discipline(file, out);
+        error_hygiene(file, ctx, out);
+    }
+    // Feature hygiene also applies to bin sources: a binary unconditionally
+    // touching rayon would break the `--no-default-features` serial build.
+    feature_hygiene(file, out);
+    if RESULT_AFFECTING.contains(&file.crate_name.as_str()) && file.kind == FileKind::Lib {
+        determinism(file, out);
+    }
+}
+
+fn finding(file: &SourceFile, rule: &'static str, line: usize, message: String) -> Finding {
+    Finding {
+        rule: rule.to_string(),
+        file: file.rel_path.clone(),
+        line,
+        message,
+        snippet: file.snippet(line),
+        waived: false,
+        waiver_reason: None,
+    }
+}
+
+/// `no-panic-in-lib`: forbids `.unwrap()`, `.expect(...)`, the panicking
+/// macros, and integer-literal slice indexing (`xs[0]`) in library code.
+fn no_panic_in_lib(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if file.in_test_region(i) {
+            continue;
+        }
+        match tok.kind {
+            TokKind::Ident if tok.text == "unwrap" || tok.text == "expect" => {
+                let method_call = prev_is(toks, i, ".") && next_is(toks, i, "(");
+                if method_call {
+                    out.push(finding(
+                        file,
+                        NO_PANIC,
+                        tok.line,
+                        format!(
+                            "`.{}()` can panic; bubble a typed error instead (or waive with a reason)",
+                            tok.text
+                        ),
+                    ));
+                }
+            }
+            TokKind::Ident
+                if PANIC_MACROS.contains(&tok.text.as_str())
+                    && next_is(toks, i, "!")
+                    && !prev_is(toks, i, ".") =>
+            {
+                out.push(finding(
+                    file,
+                    NO_PANIC,
+                    tok.line,
+                    format!(
+                        "`{}!` aborts the caller; return a typed error instead",
+                        tok.text
+                    ),
+                ));
+            }
+            TokKind::Punct if tok.text == "[" => {
+                // `expr[<int literal>]` — the classic empty-input panic.
+                let indexes_value = toks.get(i.wrapping_sub(1)).is_some_and(|p| {
+                    p.kind == TokKind::Ident && !is_keyword(&p.text)
+                        || p.is_punct(")")
+                        || p.is_punct("]")
+                });
+                let literal_subscript = toks.get(i + 1).is_some_and(|t| t.kind == TokKind::IntLit)
+                    && toks.get(i + 2).is_some_and(|t| t.is_punct("]"));
+                if indexes_value && literal_subscript {
+                    out.push(finding(
+                        file,
+                        NO_PANIC,
+                        tok.line,
+                        "integer-literal indexing panics on short input; use `.first()`/`.get(..)` \
+                         or prove the bound and waive"
+                            .to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `float-discipline`: forbids `==`/`!=` with a float operand and bare
+/// `f64::NAN`/`f32::NAN` literals in library code.
+fn float_discipline(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if file.in_test_region(i) {
+            continue;
+        }
+        match tok.kind {
+            TokKind::Punct if tok.text == "==" || tok.text == "!=" => {
+                let float_neighbor = toks
+                    .get(i.wrapping_sub(1))
+                    .is_some_and(|t| t.kind == TokKind::FloatLit)
+                    || toks.get(i + 1).is_some_and(|t| t.kind == TokKind::FloatLit)
+                    // `x == -1.0`
+                    || (toks.get(i + 1).is_some_and(|t| t.is_punct("-"))
+                        && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::FloatLit));
+                if float_neighbor {
+                    out.push(finding(
+                        file,
+                        FLOAT_DISCIPLINE,
+                        tok.line,
+                        format!(
+                            "`{}` against a float literal is exact-comparison; use a tolerance, \
+                             `total_cmp`, or waive with the structural justification",
+                            tok.text
+                        ),
+                    ));
+                }
+            }
+            TokKind::Ident if tok.text == "NAN" => {
+                let qualified = i >= 2
+                    && toks.get(i - 1).is_some_and(|t| t.is_punct("::"))
+                    && toks
+                        .get(i - 2)
+                        .is_some_and(|t| t.is_ident("f64") || t.is_ident("f32"));
+                if qualified {
+                    out.push(finding(
+                        file,
+                        FLOAT_DISCIPLINE,
+                        tok.line,
+                        "bare NaN literal in library code poisons downstream reductions; \
+                         return a typed error or waive (e.g. deliberate failpoint corruption)"
+                            .to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `feature-hygiene`: every `rayon` use must sit in a
+/// `#[cfg(feature = "parallel")]` region with a serial fallback present in
+/// the same file; failpoint *arming* must sit behind `failpoints`.
+fn feature_hygiene(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let mut gated_rayon = false;
+    let mut first_gated_line = 0usize;
+    for (i, tok) in toks.iter().enumerate() {
+        if file.in_test_region(i) {
+            continue;
+        }
+        if tok.is_ident("rayon") {
+            let cfgs = file.cfgs_at(i);
+            let parallel_gated = cfgs.iter().any(|a| {
+                let squeezed: String = a.chars().filter(|c| !c.is_whitespace()).collect();
+                squeezed.contains("feature=\"parallel\"") && !squeezed.contains("not(feature")
+            });
+            if parallel_gated {
+                gated_rayon = true;
+                if first_gated_line == 0 {
+                    first_gated_line = tok.line;
+                }
+            } else {
+                out.push(finding(
+                    file,
+                    FEATURE_HYGIENE,
+                    tok.line,
+                    "`rayon` outside a `#[cfg(feature = \"parallel\")]` region breaks the \
+                     `--no-default-features` serial build"
+                        .to_string(),
+                ));
+            }
+        }
+        // Arming failpoints from library code would make production paths
+        // injectable; the registry only exists behind the feature.
+        if tok.kind == TokKind::Ident
+            && matches!(tok.text.as_str(), "arm" | "arm_always")
+            && prev_is(toks, i, "::")
+            && toks.get(i.wrapping_sub(2)).is_some_and(|t| {
+                t.is_ident("fail") || t.is_ident("failpoint") || t.is_ident("registry")
+            })
+            && file.kind == FileKind::Lib
+        {
+            let cfgs = file.cfgs_at(i);
+            let failpoint_gated = cfgs.iter().any(|a| {
+                let squeezed: String = a.chars().filter(|c| !c.is_whitespace()).collect();
+                squeezed.contains("feature=\"failpoints\"")
+            });
+            if !failpoint_gated {
+                out.push(finding(
+                    file,
+                    FEATURE_HYGIENE,
+                    tok.line,
+                    "failpoint arming outside `#[cfg(feature = \"failpoints\")]` makes \
+                     production paths injectable"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    if gated_rayon {
+        let has_serial_fallback = file.cfg_regions.iter().any(|r| {
+            let squeezed: String = r.attr.chars().filter(|c| !c.is_whitespace()).collect();
+            squeezed.contains("not(feature=\"parallel\")")
+        });
+        if !has_serial_fallback {
+            out.push(finding(
+                file,
+                FEATURE_HYGIENE,
+                first_gated_line,
+                "file gates work behind `parallel` but has no \
+                 `#[cfg(not(feature = \"parallel\"))]` serial fallback"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `determinism`: forbids `HashMap`/`HashSet` (iteration order varies run to
+/// run) and ambient entropy (`SystemTime`, `thread_rng`, …) in the
+/// result-affecting crates.
+fn determinism(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if file.in_test_region(i) || tok.kind != TokKind::Ident {
+            continue;
+        }
+        match tok.text.as_str() {
+            "HashMap" | "HashSet" => {
+                out.push(finding(
+                    file,
+                    DETERMINISM,
+                    tok.line,
+                    format!(
+                        "`{}` iteration order is randomized per process; use `BTreeMap`/sorted \
+                         vec in result-affecting code, or waive if provably never iterated",
+                        tok.text
+                    ),
+                ));
+            }
+            "SystemTime" | "thread_rng" | "from_entropy" => {
+                debug_assert!(ENTROPY_IDENTS.contains(&tok.text.as_str()));
+                out.push(finding(
+                    file,
+                    DETERMINISM,
+                    tok.line,
+                    format!(
+                        "`{}` injects ambient entropy; thread all randomness through the \
+                         seeded entry points (`CirStagConfig::seed`)",
+                        tok.text
+                    ),
+                ));
+            }
+            "random"
+                if prev_is(toks, i, "::")
+                    && toks
+                        .get(i.wrapping_sub(2))
+                        .is_some_and(|t| t.is_ident("rand")) =>
+            {
+                out.push(finding(
+                    file,
+                    DETERMINISM,
+                    tok.line,
+                    "`rand::random` bypasses the seeded RNG plumbing".to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `error-hygiene`: a `pub fn` that returns `()` must not contain
+/// `assert!`/`assert_eq!`/`assert_ne!`/`panic!` — invalid input should
+/// surface as the crate's typed error, not a panic.
+fn error_hygiene(file: &SourceFile, ctx: &WorkspaceCtx, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if file.in_test_region(i) || !toks[i].is_ident("pub") {
+            i += 1;
+            continue;
+        }
+        // `pub(crate)` / `pub(super)` are not public API.
+        if next_is(toks, i, "(") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // Allow `pub const fn`, `pub unsafe fn`, `pub async fn`.
+        while toks
+            .get(j)
+            .is_some_and(|t| t.is_ident("const") || t.is_ident("unsafe") || t.is_ident("async"))
+        {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|t| t.is_ident("fn")) {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(j + 1) else {
+            break;
+        };
+        let fn_name = name_tok.text.clone();
+        // Find the parameter list and skip to its closing paren.
+        let Some(params_open) = find_punct_from(toks, j + 1, "(") else {
+            break;
+        };
+        let Some(params_close) = matching_close(toks, params_open) else {
+            break;
+        };
+        // Return type: any `->` before the body block means non-unit.
+        let mut k = params_close + 1;
+        let mut returns_unit = true;
+        while let Some(t) = toks.get(k) {
+            if t.is_punct("->") {
+                returns_unit = false;
+            }
+            if t.is_punct("{") || t.is_punct(";") {
+                break;
+            }
+            k += 1;
+        }
+        if !toks.get(k).is_some_and(|t| t.is_punct("{")) {
+            // Trait method signature without body.
+            i = k + 1;
+            continue;
+        }
+        let body_open = k;
+        let body_close = matching_close(toks, body_open).unwrap_or(toks.len());
+        if returns_unit {
+            for b in body_open..body_close {
+                let t = match toks.get(b) {
+                    Some(t) => t,
+                    None => break,
+                };
+                if t.kind == TokKind::Ident
+                    && ASSERT_MACROS.contains(&t.text.as_str())
+                    && next_is(toks, b, "!")
+                {
+                    let hint = ctx
+                        .error_type_of(&file.crate_name)
+                        .map(|e| format!("return `Result<(), {e}>` using the crate's typed errors"))
+                        .unwrap_or_else(|| "return a typed `Result` instead".to_string());
+                    out.push(finding(
+                        file,
+                        ERROR_HYGIENE,
+                        t.line,
+                        format!(
+                            "pub fn `{fn_name}` returns `()` but `{}!`s on invalid input; {hint}",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        }
+        i = body_close.max(i + 1);
+    }
+}
+
+/// `true` when the token before `i` is punctuation `p`.
+fn prev_is(toks: &[Token], i: usize, p: &str) -> bool {
+    i > 0 && toks.get(i - 1).is_some_and(|t| t.is_punct(p))
+}
+
+/// `true` when the token after `i` is punctuation `p`.
+fn next_is(toks: &[Token], i: usize, p: &str) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct(p))
+}
+
+/// Finds the next token with punct text `p` at or after `from`.
+fn find_punct_from(toks: &[Token], from: usize, p: &str) -> Option<usize> {
+    (from..toks.len()).find(|&k| toks.get(k).is_some_and(|t| t.is_punct(p)))
+}
+
+/// Index one past the bracket matching the opener at `open`.
+fn matching_close(toks: &[Token], open: usize) -> Option<usize> {
+    let (inc, dec) = match toks.get(open)?.text.as_str() {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == inc {
+                depth += 1;
+            } else if t.text == dec {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Keywords that can precede `[` without forming an indexing expression.
+fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "return" | "break" | "in" | "if" | "else" | "match" | "mut" | "ref" | "move" | "as"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::WorkspaceCtx;
+
+    fn lint_lib(src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source("crates/graph/src/x.rs", src);
+        let mut out = Vec::new();
+        run_all(&f, &WorkspaceCtx::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_fires_unwrap_or_does_not() {
+        let hits = lint_lib("fn f() { a.unwrap(); b.unwrap_or(0); c.unwrap_or_else(|| 1); }");
+        assert_eq!(
+            hits.iter().filter(|h| h.rule == NO_PANIC).count(),
+            1,
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn panic_macros_fire() {
+        let hits = lint_lib("fn f() { panic!(\"boom\"); todo!(); }");
+        assert_eq!(hits.iter().filter(|h| h.rule == NO_PANIC).count(), 2);
+    }
+
+    #[test]
+    fn literal_indexing_fires_variable_indexing_does_not() {
+        let hits = lint_lib("fn f(xs: &[u8], i: usize) { let a = xs[0]; let b = xs[i]; }");
+        assert_eq!(hits.iter().filter(|h| h.rule == NO_PANIC).count(), 1);
+    }
+
+    #[test]
+    fn array_type_and_literals_do_not_fire() {
+        let hits =
+            lint_lib("fn f() { let a: [u8; 4] = [0; 4]; let b = [1, 2]; let c = vec![0.0; 3]; }");
+        // `vec![0.0; 3]` has `!` + `[` but prev token is `!`, not a value.
+        assert!(hits.iter().all(|h| h.rule != NO_PANIC), "{hits:?}");
+    }
+
+    #[test]
+    fn float_equality_fires() {
+        let hits = lint_lib("fn f(x: f64) -> bool { x == 0.0 }");
+        assert_eq!(
+            hits.iter().filter(|h| h.rule == FLOAT_DISCIPLINE).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn integer_equality_does_not_fire() {
+        let hits = lint_lib("fn f(x: usize) -> bool { x == 0 }");
+        assert!(hits.iter().all(|h| h.rule != FLOAT_DISCIPLINE));
+    }
+
+    #[test]
+    fn nan_literal_fires() {
+        let hits = lint_lib("fn f() -> f64 { f64::NAN }");
+        assert_eq!(
+            hits.iter().filter(|h| h.rule == FLOAT_DISCIPLINE).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn ungated_rayon_fires() {
+        let hits = lint_lib("pub fn go() { rayon::scope(|| {}); }");
+        assert_eq!(hits.iter().filter(|h| h.rule == FEATURE_HYGIENE).count(), 1);
+    }
+
+    #[test]
+    fn gated_rayon_with_fallback_is_clean() {
+        let src = "pub fn go() {\n    #[cfg(feature = \"parallel\")]\n    {\n        rayon::scope(|| {});\n    }\n    #[cfg(not(feature = \"parallel\"))]\n    {\n        serial();\n    }\n}\n";
+        let hits = lint_lib(src);
+        assert!(hits.iter().all(|h| h.rule != FEATURE_HYGIENE), "{hits:?}");
+    }
+
+    #[test]
+    fn gated_rayon_without_fallback_fires() {
+        let src = "pub fn go() {\n    #[cfg(feature = \"parallel\")]\n    {\n        rayon::scope(|| {});\n    }\n}\n";
+        let hits = lint_lib(src);
+        assert_eq!(hits.iter().filter(|h| h.rule == FEATURE_HYGIENE).count(), 1);
+        assert!(hits[0].message.contains("serial fallback"));
+    }
+
+    #[test]
+    fn hashmap_fires_in_result_affecting_crate_only() {
+        let in_graph = lint_lib("use std::collections::HashMap;\n");
+        assert_eq!(in_graph.iter().filter(|h| h.rule == DETERMINISM).count(), 1);
+        let f = SourceFile::from_source(
+            "crates/circuit/src/parser.rs",
+            "use std::collections::HashMap;\n",
+        );
+        let mut out = Vec::new();
+        run_all(&f, &WorkspaceCtx::default(), &mut out);
+        assert!(out.iter().all(|h| h.rule != DETERMINISM));
+    }
+
+    #[test]
+    fn ambient_entropy_fires() {
+        let hits = lint_lib("fn f() { let t = SystemTime::now(); }");
+        assert_eq!(hits.iter().filter(|h| h.rule == DETERMINISM).count(), 1);
+    }
+
+    #[test]
+    fn unit_pub_fn_with_assert_fires() {
+        let hits = lint_lib("pub fn set(&mut self, i: usize) { assert!(i < self.n); }");
+        assert_eq!(hits.iter().filter(|h| h.rule == ERROR_HYGIENE).count(), 1);
+    }
+
+    #[test]
+    fn result_pub_fn_with_assert_is_exempt() {
+        let hits = lint_lib(
+            "pub fn set(&mut self, i: usize) -> Result<(), E> { assert!(i < self.n); Ok(()) }",
+        );
+        assert!(hits.iter().all(|h| h.rule != ERROR_HYGIENE));
+    }
+
+    #[test]
+    fn debug_assert_is_exempt() {
+        let hits = lint_lib("pub fn set(&mut self, i: usize) { debug_assert!(i < self.n); }");
+        assert!(hits.iter().all(|h| h.rule != ERROR_HYGIENE));
+    }
+
+    #[test]
+    fn private_fn_with_assert_is_exempt() {
+        let hits =
+            lint_lib("fn set(i: usize) { assert!(i < 4); }\npub(crate) fn g() { assert!(true); }");
+        assert!(hits.iter().all(|h| h.rule != ERROR_HYGIENE));
+    }
+
+    #[test]
+    fn test_modules_are_exempt_from_everything() {
+        let src = "fn lib_fn() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); panic!(); let y = v[0]; let b = z == 0.0; }\n}\n";
+        let hits = lint_lib(src);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn bin_files_exempt_from_lib_rules() {
+        let f =
+            SourceFile::from_source("crates/graph/src/bin/tool.rs", "fn main() { x.unwrap(); }");
+        let mut out = Vec::new();
+        run_all(&f, &WorkspaceCtx::default(), &mut out);
+        assert!(out.is_empty());
+    }
+}

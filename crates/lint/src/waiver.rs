@@ -1,0 +1,227 @@
+//! Inline waiver annotations.
+//!
+//! A finding is waived with a comment of the form
+//!
+//! ```text
+//! // cirstag-lint: allow(no-panic-in-lib) -- endpoints validated by Graph construction
+//! ```
+//!
+//! Multiple rules may be listed (`allow(rule-a, rule-b)`). The `-- reason`
+//! part is **mandatory**: a waiver without a reason never suppresses
+//! anything and is itself reported under the `waiver-syntax` rule.
+//!
+//! Placement: a trailing comment waives findings on its own line; a
+//! standalone comment line waives findings on the next line that carries
+//! code. Waivers are per-rule and per-line — there is deliberately no
+//! file- or module-scoped form, so a seeded violation anywhere in a library
+//! crate still fails the run.
+
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// Marker prefix for waiver comments.
+pub const WAIVER_PREFIX: &str = "cirstag-lint:";
+
+/// One parsed waiver annotation.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rules the waiver suppresses.
+    pub rules: Vec<String>,
+    /// The mandatory justification after `--`.
+    pub reason: String,
+    /// Line the annotation appears on (1-based).
+    pub line: usize,
+}
+
+/// A syntactically invalid waiver (missing reason, unparsable rule list).
+#[derive(Debug, Clone)]
+pub struct WaiverError {
+    /// What is wrong with the annotation.
+    pub message: String,
+    /// Line the annotation appears on (1-based).
+    pub line: usize,
+}
+
+/// All waivers of one file, keyed by the line they *apply to*.
+#[derive(Debug, Default)]
+pub struct WaiverSet {
+    by_line: BTreeMap<usize, Vec<Waiver>>,
+    /// Malformed annotations, reported as findings by the driver.
+    pub errors: Vec<WaiverError>,
+}
+
+impl WaiverSet {
+    /// Extracts waivers from a file's comments.
+    pub fn collect(file: &SourceFile) -> WaiverSet {
+        let mut set = WaiverSet::default();
+        // Lines that carry at least one token, for standalone-comment
+        // attachment.
+        let token_lines: Vec<usize> = {
+            let mut lines: Vec<usize> = file.tokens.iter().map(|t| t.line).collect();
+            lines.sort_unstable();
+            lines.dedup();
+            lines
+        };
+        for comment in &file.comments {
+            if comment.doc {
+                continue;
+            }
+            let Some(rest) = comment.text.strip_prefix(WAIVER_PREFIX) else {
+                continue;
+            };
+            match parse_annotation(rest.trim()) {
+                Ok((rules, reason)) => {
+                    let applies_to = if token_lines.binary_search(&comment.line).is_ok() {
+                        // Trailing comment: waives its own line.
+                        comment.line
+                    } else {
+                        // Standalone comment: waives the next code line.
+                        token_lines
+                            .iter()
+                            .copied()
+                            .find(|&l| l > comment.line)
+                            .unwrap_or(comment.line)
+                    };
+                    set.by_line.entry(applies_to).or_default().push(Waiver {
+                        rules,
+                        reason,
+                        line: comment.line,
+                    });
+                }
+                Err(message) => set.errors.push(WaiverError {
+                    message,
+                    line: comment.line,
+                }),
+            }
+        }
+        set
+    }
+
+    /// Returns the waiver covering `rule` on `line`, if any.
+    pub fn lookup(&self, rule: &str, line: usize) -> Option<&Waiver> {
+        self.by_line
+            .get(&line)?
+            .iter()
+            .find(|w| w.rules.iter().any(|r| r == rule))
+    }
+
+    /// Total number of parsed (valid) waivers.
+    pub fn len(&self) -> usize {
+        self.by_line.values().map(Vec::len).sum()
+    }
+
+    /// `true` when no valid waiver was found.
+    pub fn is_empty(&self) -> bool {
+        self.by_line.is_empty()
+    }
+}
+
+/// Parses `allow(rule-a, rule-b) -- reason` into rules and reason.
+fn parse_annotation(text: &str) -> Result<(Vec<String>, String), String> {
+    let Some(rest) = text.strip_prefix("allow") else {
+        return Err(format!(
+            "waiver must start with `allow(<rule>)`, got `{text}`"
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("waiver rule list must be parenthesized: `allow(<rule>)`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unterminated waiver rule list (missing `)`)".to_string());
+    };
+    let (list, tail) = rest.split_at(close);
+    let rules: Vec<String> = list
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("waiver names no rule: `allow()` is empty".to_string());
+    }
+    for rule in &rules {
+        if !crate::rules::RULE_NAMES.contains(&rule.as_str()) {
+            return Err(format!(
+                "waiver names unknown rule `{rule}` (known: {})",
+                crate::rules::RULE_NAMES.join(", ")
+            ));
+        }
+    }
+    let tail = tail.trim_start_matches(')').trim();
+    let Some(reason) = tail.strip_prefix("--") else {
+        return Err(
+            "waiver is missing its mandatory reason: `allow(<rule>) -- <reason>`".to_string(),
+        );
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("waiver reason after `--` is empty".to_string());
+    }
+    Ok((rules, reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::from_source("crates/graph/src/x.rs", src)
+    }
+
+    #[test]
+    fn trailing_waiver_applies_to_its_line() {
+        let f = file(
+            "fn f() {\n    x.unwrap(); // cirstag-lint: allow(no-panic-in-lib) -- guarded above\n}\n",
+        );
+        let w = WaiverSet::collect(&f);
+        assert!(w.lookup("no-panic-in-lib", 2).is_some());
+        assert!(w.lookup("no-panic-in-lib", 3).is_none());
+        assert!(w.lookup("float-discipline", 2).is_none());
+    }
+
+    #[test]
+    fn standalone_waiver_applies_to_next_code_line() {
+        let f = file(
+            "fn f() {\n    // cirstag-lint: allow(no-panic-in-lib) -- guarded above\n    x.unwrap();\n}\n",
+        );
+        let w = WaiverSet::collect(&f);
+        assert!(w.lookup("no-panic-in-lib", 3).is_some());
+        assert!(w.lookup("no-panic-in-lib", 2).is_none());
+    }
+
+    #[test]
+    fn waiver_without_reason_is_an_error() {
+        let f = file("x.unwrap(); // cirstag-lint: allow(no-panic-in-lib)\n");
+        let w = WaiverSet::collect(&f);
+        assert!(w.is_empty());
+        assert_eq!(w.errors.len(), 1);
+        assert!(w.errors[0].message.contains("mandatory reason"));
+    }
+
+    #[test]
+    fn waiver_with_empty_reason_is_an_error() {
+        let f = file("x.unwrap(); // cirstag-lint: allow(no-panic-in-lib) -- \n");
+        let w = WaiverSet::collect(&f);
+        assert!(w.is_empty());
+        assert_eq!(w.errors.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let f = file("x.unwrap(); // cirstag-lint: allow(no-such-rule) -- because\n");
+        let w = WaiverSet::collect(&f);
+        assert!(w.is_empty());
+        assert_eq!(w.errors.len(), 1);
+        assert!(w.errors[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn multi_rule_waiver() {
+        let f = file(
+            "x.unwrap(); // cirstag-lint: allow(no-panic-in-lib, determinism) -- both intentional\n",
+        );
+        let w = WaiverSet::collect(&f);
+        assert!(w.lookup("no-panic-in-lib", 1).is_some());
+        assert!(w.lookup("determinism", 1).is_some());
+    }
+}

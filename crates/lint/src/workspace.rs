@@ -1,0 +1,99 @@
+//! Workspace-level context shared across per-file rule runs.
+//!
+//! The only cross-file fact the rules need today is each crate's typed
+//! error enum, discovered from `crates/*/src/error.rs`, so the
+//! `error-hygiene` rule can say *which* error type a panicking `pub fn`
+//! should return instead.
+
+use crate::lexer::{lex, TokKind};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// Facts about the workspace gathered before per-file linting.
+#[derive(Debug, Default)]
+pub struct WorkspaceCtx {
+    /// Crate name → name of its public error enum (e.g. `cirstag-linalg`
+    /// → `LinalgError`), discovered from `crates/<x>/src/error.rs`.
+    error_types: BTreeMap<String, String>,
+}
+
+impl WorkspaceCtx {
+    /// Scans `crates/*/src/error.rs` under `root` for `pub enum *Error`
+    /// declarations.
+    pub fn discover(root: &Path) -> WorkspaceCtx {
+        let mut ctx = WorkspaceCtx::default();
+        let crates_dir = root.join("crates");
+        let Ok(entries) = fs::read_dir(&crates_dir) else {
+            return ctx;
+        };
+        let mut dirs: Vec<_> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let Some(dir_name) = dir.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let crate_name = if dir_name == "core" {
+                "cirstag".to_string()
+            } else {
+                format!("cirstag-{dir_name}")
+            };
+            let error_rs = dir.join("src").join("error.rs");
+            let Ok(source) = fs::read_to_string(&error_rs) else {
+                continue;
+            };
+            if let Some(name) = first_pub_error_enum(&source) {
+                ctx.error_types.insert(crate_name, name);
+            }
+        }
+        ctx
+    }
+
+    /// The typed error enum of `crate_name`, if its `error.rs` declares one.
+    pub fn error_type_of(&self, crate_name: &str) -> Option<&str> {
+        self.error_types.get(crate_name).map(String::as_str)
+    }
+
+    /// Number of crates with a discovered error type.
+    pub fn error_type_count(&self) -> usize {
+        self.error_types.len()
+    }
+}
+
+/// Finds the first `pub enum <Ident>` whose name ends in `Error`.
+fn first_pub_error_enum(source: &str) -> Option<String> {
+    let toks = lex(source).tokens;
+    for i in 0..toks.len() {
+        if toks[i].is_ident("pub")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("enum"))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokKind::Ident && t.text.ends_with("Error"))
+        {
+            return Some(toks[i + 2].text.clone());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_pub_error_enum() {
+        let src =
+            "use std::fmt;\n#[derive(Debug)]\n#[non_exhaustive]\npub enum GraphError { BadEdge }\n";
+        assert_eq!(first_pub_error_enum(src).as_deref(), Some("GraphError"));
+    }
+
+    #[test]
+    fn ignores_private_and_non_error_enums() {
+        let src = "enum Hidden {}\npub enum Mode { A, B }\n";
+        assert_eq!(first_pub_error_enum(src), None);
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: ordered containers the `determinism` rule accepts in
+// result-affecting crates.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    for &k in keys {
+        seen.insert(k);
+    }
+    seen.len()
+}
+
+pub fn weights() -> BTreeMap<u32, f64> {
+    BTreeMap::new()
+}

@@ -1,0 +1,17 @@
+// Fixture: the typed-error and debug-only idioms the `error-hygiene` rule
+// accepts.
+
+pub fn set_len(len: usize) -> Result<(), String> {
+    if len == 0 {
+        return Err("len must be positive".to_string());
+    }
+    Ok(())
+}
+
+pub fn debug_only_check(len: usize) {
+    debug_assert!(len < 1_000_000);
+}
+
+fn private_helpers_may_assert(len: usize) {
+    assert!(len > 0);
+}

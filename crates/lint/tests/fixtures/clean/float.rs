@@ -1,0 +1,13 @@
+// Fixture: tolerance-based float handling the `float-discipline` rule accepts.
+
+pub fn close(x: f64, y: f64) -> bool {
+    (x - y).abs() < 1e-12
+}
+
+pub fn is_invalid(x: f64) -> bool {
+    x.is_nan() || !x.is_finite()
+}
+
+pub fn int_eq_is_fine(n: usize) -> bool {
+    n == 0
+}

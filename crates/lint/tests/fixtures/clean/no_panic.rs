@@ -1,0 +1,24 @@
+// Fixture: the typed-error idioms the `no-panic-in-lib` rule must accept.
+
+pub fn checked_get(x: Option<u32>) -> Result<u32, String> {
+    x.ok_or_else(|| "missing value".to_string())
+}
+
+pub fn checked_index(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn propagated(xs: &[u32]) -> Result<u32, String> {
+    let head = xs.get(0).copied().ok_or("empty")?;
+    Ok(head)
+}
+
+#[cfg(test)]
+mod tests {
+    // Panics are fine inside test regions.
+    #[test]
+    fn unwrap_in_tests_is_allowed() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: iteration-order and entropy hazards the `determinism` rule must
+// catch in result-affecting crates.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    for &k in keys {
+        seen.insert(k);
+    }
+    seen.len()
+}
+
+pub fn weights() -> HashMap<u32, f64> {
+    HashMap::new()
+}

@@ -1,0 +1,10 @@
+// Fixture: a pub fn that asserts instead of returning a typed error — the
+// shape the `error-hygiene` rule must catch.
+
+pub fn set_len(len: usize) {
+    assert!(len > 0, "len must be positive");
+}
+
+pub fn check_pair(a: usize, b: usize) {
+    assert_eq!(a, b);
+}

@@ -1,0 +1,7 @@
+// Fixture: ungated rayon use the `feature-hygiene` rule must catch.
+
+use rayon::prelude::*;
+
+pub fn parallel_sum(xs: &[f64]) -> f64 {
+    xs.par_iter().sum()
+}

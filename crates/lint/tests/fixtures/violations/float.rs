@@ -1,0 +1,13 @@
+// Fixture: float comparisons the `float-discipline` rule must catch.
+
+pub fn eq_literal(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn ne_literal(x: f64) -> bool {
+    x != 1.5
+}
+
+pub fn bare_nan() -> f64 {
+    f64::NAN
+}

@@ -1,0 +1,21 @@
+// Fixture: every panic avenue the `no-panic-in-lib` rule must catch.
+
+pub fn unwrap_site(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn expect_site(x: Option<u32>) -> u32 {
+    x.expect("missing value")
+}
+
+pub fn panic_site() -> u32 {
+    panic!("library code must not panic")
+}
+
+pub fn todo_site() -> u32 {
+    todo!()
+}
+
+pub fn literal_index(xs: &[u32]) -> u32 {
+    xs[0]
+}

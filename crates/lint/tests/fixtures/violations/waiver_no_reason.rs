@@ -1,0 +1,6 @@
+// Fixture: a waiver missing the mandatory `-- <reason>` tail. The underlying
+// finding must stay active AND the waiver itself must be flagged.
+
+pub fn head(xs: &[u32]) -> u32 {
+    xs[0] // cirstag-lint: allow(no-panic-in-lib)
+}

@@ -149,7 +149,7 @@ pub fn learn_manifold(dense: &Graph, config: &PgmConfig) -> Result<PgmResult, Pg
         // LRD rule: always keep edges whose tree cycle is electrically long.
         if config.lrd_keep_quantile < 1.0 {
             let mut cycles: Vec<f64> = scored.iter().map(|&(_, _, c)| c).collect();
-            cycles.sort_by(|a, b| a.partial_cmp(b).expect("finite cycle resistances"));
+            cycles.sort_by(|a, b| a.total_cmp(b));
             let idx = ((cycles.len() as f64 - 1.0) * config.lrd_keep_quantile).round() as usize;
             let threshold = cycles[idx.min(cycles.len() - 1)];
             for &(eid, _, cycle_res) in &scored {
@@ -162,7 +162,7 @@ pub fn learn_manifold(dense: &Graph, config: &PgmConfig) -> Result<PgmResult, Pg
         }
 
         // Fill the remaining budget with the largest-η edges (Eq. 8 pruning).
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite eta scores"));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         for &(eid, _, _) in &scored {
             if remaining == 0 {
                 break;

@@ -157,8 +157,9 @@ pub fn gate_graph(netlist: &Netlist) -> Result<Graph, CircuitError> {
                 // Primary-input net: chain its readers so common-input gates
                 // are adjacent (without forming a clique).
                 for pair in sink_cells.windows(2) {
+                    // cirstag-lint: allow(no-panic-in-lib) -- windows(2) yields exactly two elements per pair
                     if pair[0] != pair[1] {
-                        g.add_edge(pair[0], pair[1], 1.0)?;
+                        g.add_edge(pair[0], pair[1], 1.0)?; // cirstag-lint: allow(no-panic-in-lib) -- windows(2) yields exactly two elements per pair
                     }
                 }
             }

@@ -64,7 +64,7 @@ pub fn functionality_features(
             CellKind::ALL
                 .iter()
                 .position(|&kk| kk == kind)
-                .expect("kind in ALL")
+                .expect("kind in ALL") // cirstag-lint: allow(no-panic-in-lib) -- CellKind::ALL enumerates every variant, so position always exists
         })
         .collect();
 

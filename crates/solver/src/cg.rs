@@ -181,6 +181,7 @@ where
             converged: false,
         });
     }
+    // cirstag-lint: allow(float-discipline) -- exact-zero RHS short-circuit: any nonzero norm proceeds to iterate
     if b_norm == 0.0 {
         return Ok(CgResult {
             x: vec![0.0; n],

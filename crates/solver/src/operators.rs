@@ -59,7 +59,9 @@ impl LinearOperator for CsrOperator<'_> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) -> Result<(), SolverError> {
-        self.matrix.try_mul_vec_into(x, y).map_err(SolverError::from)
+        self.matrix
+            .try_mul_vec_into(x, y)
+            .map_err(SolverError::from)
     }
 }
 
@@ -89,7 +91,7 @@ impl<A: LinearOperator> ScaledShiftedOperator<A> {
     ///
     /// Panics if `beta == 0`.
     pub fn unshift_eigenvalue(&self, mu: f64) -> f64 {
-        assert!(self.beta != 0.0, "cannot unshift with beta = 0");
+        assert!(self.beta != 0.0, "cannot unshift with beta = 0"); // cirstag-lint: allow(float-discipline) -- exact-zero guard backing the documented panic contract of unshift_eigenvalue
         (mu - self.alpha) / self.beta
     }
 }

@@ -273,8 +273,7 @@ mod tests {
     fn forest_solve_is_exact_per_component() {
         // Two disjoint paths: the tree solve must satisfy L z = r̄ with the
         // rhs centered within each component.
-        let forest =
-            Graph::from_edges(5, &[(0, 1, 2.0), (1, 2, 1.0), (3, 4, 4.0)]).unwrap();
+        let forest = Graph::from_edges(5, &[(0, 1, 2.0), (1, 2, 1.0), (3, 4, 4.0)]).unwrap();
         let pre = TreePreconditioner::from_tree_graph(&forest);
         let lap = forest.laplacian();
         // rhs centered per component: comp {0,1,2} and comp {3,4}.

@@ -389,7 +389,11 @@ mod failpoints {
         let lap = g.laplacian();
         let lx = lap.mul_vec(&x);
         for i in 0..12 {
-            assert!((lx[i] - b[i]).abs() < 1e-6, "residual at {i}: {}", lx[i] - b[i]);
+            assert!(
+                (lx[i] - b[i]).abs() < 1e-6,
+                "residual at {i}: {}",
+                lx[i] - b[i]
+            );
         }
         // Escalation is sticky: the next solve stays on Dense, no new events.
         let _ = solver.solve(&b).unwrap();
@@ -533,7 +537,13 @@ mod failpoints {
             .analyze(&g, None, &emb)
             .unwrap_err();
         assert!(
-            matches!(err, CirStagError::BudgetExhausted { stage: "phase2", .. }),
+            matches!(
+                err,
+                CirStagError::BudgetExhausted {
+                    stage: "phase2",
+                    ..
+                }
+            ),
             "got {err:?}"
         );
 
@@ -580,7 +590,10 @@ mod failpoints {
             let json = report.to_json().unwrap();
             let parsed = ReportExport::from_json(&json).unwrap();
             assert!(parsed.degraded);
-            assert_eq!(parsed.fallback_events.len(), report.diagnostics.events.len());
+            assert_eq!(
+                parsed.fallback_events.len(),
+                report.diagnostics.events.len()
+            );
             assert_eq!(parsed.warnings, report.diagnostics.warnings);
         }
     }

@@ -273,11 +273,12 @@ where
 {
     for case in 0..u64::from(config.cases) {
         let mut rng = TestRng::for_case(name, case);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            body(&mut rng)
-        }));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
         if let Err(payload) = outcome {
-            eprintln!("proptest: test `{name}` failed at case {case}/{}", config.cases);
+            eprintln!(
+                "proptest: test `{name}` failed at case {case}/{}",
+                config.cases
+            );
             std::panic::resume_unwind(payload);
         }
     }

@@ -25,13 +25,13 @@
 //! * All `unsafe` in the workspace's parallel stack is confined to this
 //!   crate; the consuming crates stay `#![forbid(unsafe_code)]`.
 
+use std::cell::Cell;
+use std::fmt;
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Condvar, Mutex, OnceLock};
-use std::cell::Cell;
-use std::fmt;
 
 /// Hard cap on helper threads, a backstop against runaway configuration.
 const MAX_HELPERS: usize = 255;
@@ -240,8 +240,7 @@ fn run_region(participants: usize, task: &(dyn Fn(usize) + Sync)) {
     // SAFETY: lifetime erasure only. `latch.wait()` below does not return
     // until every worker has finished calling `task`, so the reference never
     // outlives the borrow it was created from.
-    let task_static: &'static (dyn Fn(usize) + Sync) =
-        unsafe { std::mem::transmute(task) };
+    let task_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
     let job = std::sync::Arc::new(Job {
         task: task_static,
         latch: Latch::new(helper_count),
@@ -362,8 +361,7 @@ where
         let this_len = chunk_len.min(len - start);
         // SAFETY: chunk `i` covers `[start, start + this_len)`; distinct `i`
         // values yield disjoint ranges, and the slice outlives the region.
-        let chunk =
-            unsafe { std::slice::from_raw_parts_mut(base.get().add(start), this_len) };
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), this_len) };
         f(i, chunk);
     });
 }
@@ -396,8 +394,12 @@ where
         }
     });
     (
-        ra.into_inner().unwrap().expect("join: first closure did not run"),
-        rb.into_inner().unwrap().expect("join: second closure did not run"),
+        ra.into_inner()
+            .unwrap()
+            .expect("join: first closure did not run"),
+        rb.into_inner()
+            .unwrap()
+            .expect("join: second closure did not run"),
     )
 }
 
@@ -486,9 +488,15 @@ mod tests {
     #[test]
     fn builder_is_repeatable() {
         let _guard = CONFIG_GUARD.lock().unwrap_or_else(|e| e.into_inner());
-        ThreadPoolBuilder::new().num_threads(3).build_global().unwrap();
+        ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
         assert_eq!(current_num_threads(), 3);
-        ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
         set_num_threads(0);
     }
 }

@@ -46,8 +46,9 @@ impl Value {
     /// fails to deserialize as `T`.
     pub fn field<T: Deserialize>(&self, name: &str) -> Result<T, DeError> {
         match self.get(name) {
-            Some(v) => T::from_value(v)
-                .map_err(|e| DeError::new(format!("field `{name}`: {}", e.reason))),
+            Some(v) => {
+                T::from_value(v).map_err(|e| DeError::new(format!("field `{name}`: {}", e.reason)))
+            }
             None => Err(DeError::new(format!("missing field `{name}`"))),
         }
     }
@@ -60,8 +61,9 @@ impl Value {
     /// Fails when the field is present but malformed.
     pub fn field_or<T: Deserialize>(&self, name: &str, default: T) -> Result<T, DeError> {
         match self.get(name) {
-            Some(v) => T::from_value(v)
-                .map_err(|e| DeError::new(format!("field `{name}`: {}", e.reason))),
+            Some(v) => {
+                T::from_value(v).map_err(|e| DeError::new(format!("field `{name}`: {}", e.reason)))
+            }
             None => Ok(default),
         }
     }
@@ -131,7 +133,10 @@ impl Deserialize for bool {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
             Value::Bool(b) => Ok(*b),
-            other => Err(DeError::new(format!("expected bool, got {}", other.type_name()))),
+            other => Err(DeError::new(format!(
+                "expected bool, got {}",
+                other.type_name()
+            ))),
         }
     }
 }

@@ -324,8 +324,8 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
             _ => break,
         }
     }
-    let text = std::str::from_utf8(&bytes[start..*pos])
-        .map_err(|_| Error::new("invalid number"))?;
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::new("invalid number"))?;
     if text.is_empty() || text == "-" {
         return Err(Error::new(format!("invalid number at byte {start}")));
     }
