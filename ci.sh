@@ -1,6 +1,25 @@
 #!/usr/bin/env sh
 # CI gate for the CirSTAG workspace. Fully offline; fails on the first error.
+#
+# Flags:
+#   --bench-gate   additionally run the benchmark regression gate: a fresh
+#                  bench_parallel run is compared stage-by-stage against the
+#                  committed BENCH_parallel.json and the script fails if any
+#                  stage regresses by more than 25% (+0.5 ms slack). Off by
+#                  default because wall-clock numbers are machine-dependent;
+#                  enable it on the reference box that produced the snapshot.
 set -eu
+
+BENCH_GATE=0
+for arg in "$@"; do
+    case "$arg" in
+    --bench-gate) BENCH_GATE=1 ;;
+    *)
+        echo "ci.sh: unknown flag '$arg' (supported: --bench-gate)" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -19,5 +38,10 @@ cargo build --release --no-default-features
 
 echo "==> test suite"
 cargo test -q
+
+if [ "$BENCH_GATE" -eq 1 ]; then
+    echo "==> bench gate (fresh run vs committed BENCH_parallel.json)"
+    cargo run -q -p cirstag-bench --release --bin bench_parallel -- --gate
+fi
 
 echo "CI OK"

@@ -1,5 +1,5 @@
-//! Emits `BENCH_parallel.json`: wall time of the four parallelized kernels
-//! at one thread versus all cores, as `{stage, n, threads, wall_ms}` records.
+//! Emits `BENCH_parallel.json`: wall time of the parallelized kernels at one
+//! thread versus all cores, as `{stage, n, threads, wall_ms}` records.
 //!
 //! The workload sizes are chosen so every kernel is comfortably above its
 //! serial-fallback threshold; on a single-core host the two timings should
@@ -7,14 +7,23 @@
 //! the parallel rows should approach an N× improvement for the
 //! embarrassingly parallel stages.
 //!
-//! Usage: `cargo run -p cirstag-bench --release --bin bench_parallel [-- out.json]`
+//! Usage:
+//!
+//! - `cargo run -p cirstag-bench --release --bin bench_parallel [-- out.json]`
+//!   runs the suite and (over)writes the JSON snapshot.
+//! - `cargo run -p cirstag-bench --release --bin bench_parallel -- --gate
+//!   [baseline.json]` runs the suite fresh and compares it against the
+//!   committed snapshot instead of writing: any stage slower than
+//!   `1.25 × baseline + 0.5 ms` is a regression and the process exits
+//!   nonzero. Stages missing from the baseline (newly added benchmarks) are
+//!   reported and skipped.
 
 use std::time::Instant;
 
 use cirstag_embed::{knn_graph, KnnConfig};
 use cirstag_graph::Graph;
 use cirstag_linalg::{par, DenseMatrix};
-use cirstag_solver::ResistanceEstimator;
+use cirstag_solver::{LaplacianSolver, ResistanceEstimator};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -31,6 +40,12 @@ serde::impl_serde_struct!(BenchRecord {
     threads,
     wall_ms
 });
+
+/// Regression gate: fail when `fresh > RATIO × base + SLACK_MS`. The
+/// multiplicative term absorbs proportional noise, the additive term keeps
+/// sub-millisecond stages from tripping on scheduler jitter.
+const GATE_RATIO: f64 = 1.25;
+const GATE_SLACK_MS: f64 = 0.5;
 
 fn grid(side: usize) -> Graph {
     let mut edges = Vec::new();
@@ -56,6 +71,29 @@ fn random_dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
     DenseMatrix::from_vec(rows, cols, data).expect("sized")
 }
 
+/// Sketch-style probe panel: each column is a Rademacher combination of
+/// edge-incidence vectors, the exact RHS shape the resistance estimator
+/// streams through the block solver.
+fn rademacher_probe_panel(g: &Graph, width: usize, seed: u64) -> DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.num_nodes();
+    let mut panel = DenseMatrix::zeros(n, width);
+    let data = panel.as_mut_slice();
+    for j in 0..width {
+        for e in g.edges() {
+            let sign = if rng.random_range(0.0f64..1.0) < 0.5 {
+                1.0
+            } else {
+                -1.0
+            };
+            let s = sign * e.weight.sqrt();
+            data[e.u * width + j] += s;
+            data[e.v * width + j] -= s;
+        }
+    }
+    panel
+}
+
 /// Best-of-`reps` wall time in milliseconds (minimum filters scheduler
 /// noise better than the mean for short single-shot kernels).
 fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -68,10 +106,72 @@ fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
+/// Compares fresh records against the committed baseline. Records are
+/// matched by stage name *positionally* (the snapshot holds one serial and
+/// one all-cores row per stage, which coincide on a single-core host), so
+/// the i-th fresh row of a stage gates against the i-th baseline row.
+/// Returns `true` when no stage regressed.
+fn gate_against(baseline_path: &str, fresh: &[BenchRecord]) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench gate: cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let base: Vec<BenchRecord> = match serde_json::from_str(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench gate: cannot parse baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    println!(
+        "\nbench gate vs {baseline_path} (regression = fresh > {GATE_RATIO}x base + {GATE_SLACK_MS}ms)"
+    );
+    println!(
+        "{:>28} {:>12} {:>12} {:>12}  verdict",
+        "stage", "base", "fresh", "limit"
+    );
+    let mut ok = true;
+    for (idx, rec) in fresh.iter().enumerate() {
+        // Position of this record among fresh rows sharing its stage name.
+        let position = fresh[..idx].iter().filter(|r| r.stage == rec.stage).count();
+        let Some(base_rec) = base.iter().filter(|r| r.stage == rec.stage).nth(position) else {
+            println!(
+                "{:>28} {:>12} {:>10.2}ms {:>12}  skipped (not in baseline)",
+                rec.stage, "-", rec.wall_ms, "-"
+            );
+            continue;
+        };
+        let limit = base_rec.wall_ms * GATE_RATIO + GATE_SLACK_MS;
+        let regressed = rec.wall_ms > limit;
+        if regressed {
+            ok = false;
+        }
+        println!(
+            "{:>28} {:>10.2}ms {:>10.2}ms {:>10.2}ms  {}",
+            rec.stage,
+            base_rec.wall_ms,
+            rec.wall_ms,
+            limit,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    ok
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    let mut gate = false;
+    let mut path_arg: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--gate" {
+            gate = true;
+        } else {
+            path_arg = Some(arg);
+        }
+    }
+    let snapshot_path = path_arg.unwrap_or_else(|| "BENCH_parallel.json".to_string());
     par::set_num_threads(0);
     let all_cores = par::current_num_threads();
     let reps = 3;
@@ -122,7 +222,26 @@ fn main() {
         std::hint::black_box(ResistanceEstimator::sketched(&g32, 64, 3).expect("sketch"));
     });
 
+    // Isolates the blocked multi-RHS solver from the sketch bookkeeping:
+    // a prebuilt Laplacian solver advancing 64 probe columns in lockstep.
+    let block_solver = LaplacianSolver::new(&g32).expect("laplacian solver");
+    let probe_panel = rademacher_probe_panel(&g32, 64, 15);
+    run("resistance_block_64probes", g32.num_nodes(), &mut || {
+        std::hint::black_box(block_solver.solve_block(&probe_panel).expect("block solve"));
+    });
+
     let g64 = grid(64);
+
+    // CSR × dense-panel kernel on its own: the traversal-amortized SpMM the
+    // block solver and the sketch both sit on.
+    let lap64 = g64.laplacian();
+    let spmm_x = random_dense(g64.num_nodes(), 64, 16);
+    let mut spmm_out = DenseMatrix::zeros(g64.num_nodes(), 64);
+    run("spmm_panel", g64.num_nodes(), &mut || {
+        lap64.mul_dense_into(&spmm_x, &mut spmm_out).expect("spmm");
+        std::hint::black_box(&spmm_out);
+    });
+
     let edges = g64.edges();
     let s = 16;
     let vs = random_dense(g64.num_nodes(), s, 14);
@@ -130,16 +249,26 @@ fn main() {
     run("dmd_edge_scores", edges.len(), &mut || {
         std::hint::black_box(par::map_indexed(edges.len(), |eid| {
             let e = &edges[eid];
+            let ru = vs.row(e.u);
+            let rv = vs.row(e.v);
             let mut score = 0.0;
-            for (i, &z) in zetas.iter().enumerate() {
-                let d = vs.get(e.u, i) - vs.get(e.v, i);
+            for ((&z, &x), &y) in zetas.iter().zip(ru).zip(rv) {
+                let d = x - y;
                 score += z * d * d;
             }
             (e.u, e.v, score)
         }));
     });
 
-    let json = serde_json::to_string_pretty(&records).expect("serialize");
-    std::fs::write(&out_path, json).expect("write BENCH_parallel.json");
-    println!("\nwrote {out_path} ({} records)", records.len());
+    if gate {
+        if !gate_against(&snapshot_path, &records) {
+            eprintln!("\nbench gate: performance regression detected");
+            std::process::exit(1);
+        }
+        println!("\nbench gate: all stages within budget");
+    } else {
+        let json = serde_json::to_string_pretty(&records).expect("serialize");
+        std::fs::write(&snapshot_path, json).expect("write BENCH_parallel.json");
+        println!("\nwrote {snapshot_path} ({} records)", records.len());
+    }
 }

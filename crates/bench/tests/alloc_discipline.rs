@@ -1,0 +1,144 @@
+//! Allocation discipline: once their workspaces are warm, the steady-state
+//! solver iterations must perform zero heap allocations.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; each probe
+//! warms a solver's scratch pool, snapshots the allocation counter, re-runs
+//! the same solve into preallocated outputs, and asserts the counter did not
+//! move. The whole check lives in one `#[test]` because the counter and the
+//! worker-thread setting are process-global.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cirstag_graph::Graph;
+use cirstag_linalg::{par, DenseMatrix};
+use cirstag_solver::{
+    conjugate_gradient_block_into, conjugate_gradient_into, CgOptions, CgStats, CsrOperator,
+    IdentityPreconditioner, SolverWorkspace,
+};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn grid(side: usize) -> Graph {
+    let n = side * side;
+    let mut edges = Vec::new();
+    for r in 0..side {
+        for c in 0..side {
+            let i = r * side + c;
+            if c + 1 < side {
+                edges.push((i, i + 1, 1.0));
+            }
+            if r + 1 < side {
+                edges.push((i, i + side, 1.0 + (r % 2) as f64));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("grid builds")
+}
+
+#[test]
+fn warm_solver_iterations_are_allocation_free() {
+    // Serial execution: thread-pool dispatch owns its own queue allocations,
+    // which are pool plumbing rather than kernel work.
+    par::set_num_threads(1);
+
+    let g = grid(12);
+    let n = g.num_nodes();
+    let lap = g.laplacian();
+    let op = CsrOperator::new(&lap);
+    let pre = IdentityPreconditioner;
+    let options = CgOptions {
+        tol: 1e-8,
+        max_iter: 400,
+    };
+    let mut ws = SolverWorkspace::new();
+
+    // ---- scalar CG: conjugate_gradient_into -------------------------------
+    let mut b = vec![0.0; n];
+    b[0] = 1.0;
+    b[n - 1] = -1.0;
+    let mut x = vec![0.0; n];
+    // Warm the pool, then assert the steady-state resolve allocates nothing.
+    let warm = conjugate_gradient_into(&op, &b, &pre, options, &mut x, &mut ws).expect("warm cg");
+    assert!(warm.converged, "warm-up solve must converge");
+    let misses = ws.misses();
+    let before = allocations();
+    let stats = conjugate_gradient_into(&op, &b, &pre, options, &mut x, &mut ws).expect("hot cg");
+    let after = allocations();
+    assert!(stats.converged);
+    assert_eq!(ws.misses(), misses, "warm workspace must not miss");
+    assert_eq!(
+        after - before,
+        0,
+        "warm conjugate_gradient_into allocated {} times",
+        after - before
+    );
+
+    // ---- block CG: conjugate_gradient_block_into --------------------------
+    let k = 8;
+    let mut panel_b = DenseMatrix::zeros(n, k);
+    for j in 0..k {
+        panel_b.set(j, j, 1.0);
+        panel_b.set(n - 1 - j, j, -1.0);
+    }
+    let mut panel_x = DenseMatrix::zeros(n, k);
+    let mut stats: Vec<CgStats> = Vec::with_capacity(k);
+    conjugate_gradient_block_into(
+        &op,
+        &panel_b,
+        &pre,
+        options,
+        &mut panel_x,
+        &mut stats,
+        &mut ws,
+    )
+    .expect("warm block cg");
+    assert!(stats.iter().all(|s| s.converged));
+    let misses = ws.misses();
+    stats.clear();
+    let before = allocations();
+    conjugate_gradient_block_into(
+        &op,
+        &panel_b,
+        &pre,
+        options,
+        &mut panel_x,
+        &mut stats,
+        &mut ws,
+    )
+    .expect("hot block cg");
+    let after = allocations();
+    assert!(stats.iter().all(|s| s.converged));
+    assert_eq!(ws.misses(), misses, "warm workspace must not miss");
+    assert_eq!(
+        after - before,
+        0,
+        "warm conjugate_gradient_block_into allocated {} times",
+        after - before
+    );
+}

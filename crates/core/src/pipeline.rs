@@ -4,21 +4,27 @@
 use crate::audit;
 use crate::{CirStagError, FailurePolicy, FallbackEvent, RunDiagnostics, StageBudget};
 use cirstag_embed::{
-    augment_with_features, dense_spectral_embedding, knn_graph, spectral_embedding, EmbedError,
+    augment_with_features, dense_spectral_embedding, knn_graph, spectral_embedding_ws, EmbedError,
     KnnConfig, SpectralConfig,
 };
 use cirstag_graph::Graph;
 use cirstag_linalg::{fail, par, DenseMatrix};
 use cirstag_pgm::{learn_manifold, random_prune, PgmConfig};
 use cirstag_solver::{
-    generalized_eigen_dense, generalized_lanczos, CgOptions, GeneralizedEigen, LadderRung,
-    LaplacianSolver, SolverError,
+    generalized_eigen_dense, generalized_lanczos_ws, CgOptions, GeneralizedEigen, LadderRung,
+    LaplacianSolver, SolverError, SolverWorkspace,
 };
 use std::time::{Duration, Instant};
 
 /// Seed perturbation applied to re-seeded eigensolver retries so the retry
 /// explores a different Krylov subspace than the failed attempt.
 const RETRY_RESEED: u64 = 0x5EED_F00D;
+
+/// Saturating millisecond conversion for diagnostics timestamps: a `u128`
+/// elapsed time beyond `u64::MAX` ms clamps instead of truncating.
+fn millis_u64(elapsed: Duration) -> u64 {
+    u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX)
+}
 
 /// Configuration for the [`CirStag`] analyzer.
 #[derive(Debug, Clone, Copy)]
@@ -239,6 +245,11 @@ impl CirStag {
         let mut diag = RunDiagnostics::default();
         let best_effort = cfg.policy == FailurePolicy::BestEffort;
 
+        // One scratch-buffer arena for the whole run: the Phase-1 Lanczos and
+        // Phase-3 generalized Lanczos share length-`n` vectors, so buffers
+        // warmed in Phase 1 are reused in Phase 3 instead of reallocated.
+        let mut ws = SolverWorkspace::new();
+
         // ---- Phase 1: input/output embedding matrices -------------------
         let t0 = Instant::now();
         fail::trigger("phase1/stall");
@@ -246,7 +257,7 @@ impl CirStag {
             None // raw graph becomes the manifold directly
         } else {
             let m = cfg.embedding_dim.min(n - 1).max(1);
-            match phase1_embedding(input_graph, m, cfg, &mut diag)? {
+            match phase1_embedding(input_graph, m, cfg, &mut diag, &mut ws)? {
                 None => None,
                 Some(u) => {
                     let u = match node_features {
@@ -274,7 +285,7 @@ impl CirStag {
                     rung: "degraded".to_string(),
                     cause: "spectral embedding contains non-finite values".to_string(),
                     residual: None,
-                    elapsed_ms: t0.elapsed().as_millis() as u64,
+                    elapsed_ms: millis_u64(t0.elapsed()),
                 });
                 diag.warnings.push(
                     "phase1 embedding was non-finite; using the raw circuit graph as the input manifold"
@@ -294,7 +305,7 @@ impl CirStag {
                 audit::embedding_violations(u, n, "input embedding"),
                 cfg.policy,
                 &mut diag,
-                t0.elapsed().as_millis() as u64,
+                millis_u64(t0.elapsed()),
             )?;
         }
         let phase1 = t0.elapsed();
@@ -328,7 +339,7 @@ impl CirStag {
                 violations,
                 cfg.policy,
                 &mut diag,
-                t1.elapsed().as_millis() as u64,
+                millis_u64(t1.elapsed()),
             )?;
         }
         let phase2 = t1.elapsed();
@@ -352,7 +363,7 @@ impl CirStag {
                 violations,
                 cfg.policy,
                 &mut diag,
-                t2.elapsed().as_millis() as u64,
+                millis_u64(t2.elapsed()),
             )?;
         }
         // Ranking-grade solver options: manifold Laplacians mix weights
@@ -370,7 +381,7 @@ impl CirStag {
             LaplacianSolver::with_tree_preconditioner(&output_manifold, ly_options)?
         };
         let s = cfg.num_eigenpairs.min(n.saturating_sub(2)).max(1);
-        let mut geig = phase3_eigenpairs(&lx, &ly_solver, s, n, cfg, &mut diag)?;
+        let mut geig = phase3_eigenpairs(&lx, &ly_solver, s, n, cfg, &mut diag, &mut ws)?;
         // Surface the inner CG ladder's escalations and warnings.
         for ev in ly_solver.take_events() {
             diag.events.push(FallbackEvent {
@@ -399,9 +410,14 @@ impl CirStag {
         let edges = input_manifold.edges();
         let mut edge_scores: Vec<(usize, usize, f64)> = par::map_indexed(edges.len(), |eid| {
             let e = &edges[eid];
+            // Row-major eigenvector storage makes both endpoint rows
+            // contiguous, so the score is a fused sweep over two slices
+            // instead of 2s bounds-checked `get` calls.
+            let ru = vs.row(e.u);
+            let rv = vs.row(e.v);
             let mut score = 0.0;
-            for (i, &z) in zetas.iter().enumerate() {
-                let d = vs.get(e.u, i) - vs.get(e.v, i);
+            for ((&z, &a), &b) in zetas.iter().zip(ru).zip(rv) {
+                let d = a - b;
                 score += z * d * d;
             }
             (e.u, e.v, score)
@@ -416,7 +432,7 @@ impl CirStag {
                     rung: "degraded".to_string(),
                     cause: "DMD spectrum or edge scores contain non-finite values".to_string(),
                     residual: None,
-                    elapsed_ms: t2.elapsed().as_millis() as u64,
+                    elapsed_ms: millis_u64(t2.elapsed()),
                 });
                 diag.warnings.push(
                     "phase3 produced non-finite values; they were zeroed in the report".to_string(),
@@ -497,9 +513,10 @@ fn phase1_embedding(
     m: usize,
     cfg: &CirStagConfig,
     diag: &mut RunDiagnostics,
+    ws: &mut SolverWorkspace,
 ) -> Result<Option<DenseMatrix>, CirStagError> {
     let t = Instant::now();
-    let first = spectral_embedding(g, m, &cfg.spectral);
+    let first = spectral_embedding_ws(g, m, &cfg.spectral, ws);
     let err = match first {
         Ok(u) => return Ok(Some(u)),
         Err(err) if cfg.policy == FailurePolicy::Strict => return Err(err.into()),
@@ -510,7 +527,7 @@ fn phase1_embedding(
         rung: "retry".to_string(),
         cause: err.to_string(),
         residual: embed_residual(&err),
-        elapsed_ms: t.elapsed().as_millis() as u64,
+        elapsed_ms: millis_u64(t.elapsed()),
     });
     let retry_cfg = SpectralConfig {
         max_iter: cfg
@@ -521,7 +538,7 @@ fn phase1_embedding(
         ..cfg.spectral
     };
     let t_retry = Instant::now();
-    let err = match spectral_embedding(g, m, &retry_cfg) {
+    let err = match spectral_embedding_ws(g, m, &retry_cfg, ws) {
         Ok(u) => return Ok(Some(u)),
         Err(err) => err,
     };
@@ -530,7 +547,7 @@ fn phase1_embedding(
         rung: "dense".to_string(),
         cause: err.to_string(),
         residual: embed_residual(&err),
-        elapsed_ms: t_retry.elapsed().as_millis() as u64,
+        elapsed_ms: millis_u64(t_retry.elapsed()),
     });
     let t_dense = Instant::now();
     let err = match dense_spectral_embedding(g, m) {
@@ -542,7 +559,7 @@ fn phase1_embedding(
         rung: "degraded".to_string(),
         cause: err.to_string(),
         residual: embed_residual(&err),
-        elapsed_ms: t_dense.elapsed().as_millis() as u64,
+        elapsed_ms: millis_u64(t_dense.elapsed()),
     });
     diag.warnings.push(
         "phase1 spectral embedding failed on every rung; using the raw circuit graph as the input manifold"
@@ -554,6 +571,7 @@ fn phase1_embedding(
 /// Phase-3 fallback ladder: generalized Lanczos → re-seeded retry with an
 /// enlarged iteration budget → dense generalized eigensolver → (BestEffort
 /// only) a zero spectrum, which yields all-zero stability scores.
+#[allow(clippy::too_many_arguments)]
 fn phase3_eigenpairs(
     lx: &cirstag_linalg::CsrMatrix,
     ly_solver: &LaplacianSolver,
@@ -561,9 +579,10 @@ fn phase3_eigenpairs(
     n: usize,
     cfg: &CirStagConfig,
     diag: &mut RunDiagnostics,
+    ws: &mut SolverWorkspace,
 ) -> Result<GeneralizedEigen, CirStagError> {
     let t = Instant::now();
-    let first = generalized_lanczos(lx, ly_solver, s, cfg.geig_max_iter, cfg.seed);
+    let first = generalized_lanczos_ws(lx, ly_solver, s, cfg.geig_max_iter, cfg.seed, ws);
     let err = match first {
         Ok(geig) => return Ok(geig),
         Err(err) if cfg.policy == FailurePolicy::Strict => return Err(err.into()),
@@ -574,22 +593,23 @@ fn phase3_eigenpairs(
         rung: "retry".to_string(),
         cause: err.to_string(),
         residual: solver_residual(&err),
-        elapsed_ms: t.elapsed().as_millis() as u64,
+        elapsed_ms: millis_u64(t.elapsed()),
     });
     let retry_iters = cfg
         .geig_max_iter
         .saturating_mul(cfg.stage_budget.retry_iter_factor.max(1));
     let t_retry = Instant::now();
-    let err = match generalized_lanczos(lx, ly_solver, s, retry_iters, cfg.seed ^ RETRY_RESEED) {
-        Ok(geig) => return Ok(geig),
-        Err(err) => err,
-    };
+    let err =
+        match generalized_lanczos_ws(lx, ly_solver, s, retry_iters, cfg.seed ^ RETRY_RESEED, ws) {
+            Ok(geig) => return Ok(geig),
+            Err(err) => err,
+        };
     diag.events.push(FallbackEvent {
         stage: "phase3/geig".to_string(),
         rung: "dense".to_string(),
         cause: err.to_string(),
         residual: solver_residual(&err),
-        elapsed_ms: t_retry.elapsed().as_millis() as u64,
+        elapsed_ms: millis_u64(t_retry.elapsed()),
     });
     let t_dense = Instant::now();
     let err = match generalized_eigen_dense(lx, ly_solver.laplacian(), s) {
@@ -601,7 +621,7 @@ fn phase3_eigenpairs(
         rung: "degraded".to_string(),
         cause: err.to_string(),
         residual: solver_residual(&err),
-        elapsed_ms: t_dense.elapsed().as_millis() as u64,
+        elapsed_ms: millis_u64(t_dense.elapsed()),
     });
     diag.warnings.push(
         "phase3 generalized eigensolve failed on every rung; reporting a zero spectrum and zero scores"
@@ -626,7 +646,7 @@ fn enforce_budget(
     let Some(budget_ms) = cfg.stage_budget.wall_clock_ms else {
         return Ok(());
     };
-    let elapsed_ms = elapsed.as_millis() as u64;
+    let elapsed_ms = millis_u64(elapsed);
     if elapsed_ms <= budget_ms {
         return Ok(());
     }
@@ -676,7 +696,7 @@ fn sparsify_with_ladder(
         rung: "random-prune".to_string(),
         cause: err.to_string(),
         residual: None,
-        elapsed_ms: t.elapsed().as_millis() as u64,
+        elapsed_ms: millis_u64(t.elapsed()),
     });
     let t_prune = Instant::now();
     let err = match random_prune(dense, &cfg.pgm) {
@@ -688,7 +708,7 @@ fn sparsify_with_ladder(
         rung: "dense-knn".to_string(),
         cause: err.to_string(),
         residual: None,
-        elapsed_ms: t_prune.elapsed().as_millis() as u64,
+        elapsed_ms: millis_u64(t_prune.elapsed()),
     });
     diag.warnings.push(format!(
         "{stage}: sparsification failed on every rung; keeping the dense kNN manifold"

@@ -56,6 +56,7 @@ fn select(scores: &[f64], fraction: f64, eligible: Option<&[bool]>, top: bool) -
     if fraction == 0.0 || idx.is_empty() {
         return Vec::new();
     }
+    // cirstag-lint: allow(cast-truncation) -- float -> usize saturates (never wraps) and the result is clamped to 1..=idx.len() on the same line
     let count = ((idx.len() as f64 * fraction).round() as usize).clamp(1, idx.len());
     idx.truncate(count);
     idx

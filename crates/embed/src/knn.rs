@@ -134,24 +134,51 @@ pub fn knn_graph(points: &DenseMatrix, k: usize, config: &KnnConfig) -> Result<G
     Ok(g)
 }
 
+/// Points per worker chunk in the exact search; large enough to amortize the
+/// scratch buffer, small enough to load-balance across threads.
+const EXACT_KNN_CHUNK: usize = 16;
+
 fn exact_knn(points: &DenseMatrix, k: usize) -> Vec<Vec<(usize, f64)>> {
     let n = points.nrows();
+    // Caching the squared row norms turns every pairwise distance into a
+    // single dot product via ‖p − q‖² = ‖p‖² + ‖q‖² − 2 p·q, cutting the
+    // inner-loop flops by a third and skipping the per-pair difference
+    // buffer. Floating-point cancellation can push the identity slightly
+    // negative for near-duplicate rows, so clamp at zero.
+    let norms: Vec<f64> = (0..n)
+        .map(|p| vecops::dot(points.row(p), points.row(p)))
+        .collect();
+    let mut lists: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
     // Each point's neighbor list is independent of every other point's, so
-    // the per-point queries fan out across the thread pool; slot `p` always
-    // holds point `p`'s list, keeping the result thread-count-invariant.
-    par::map_indexed(n, |p| {
-        let mut dists: Vec<(usize, f64)> = (0..n)
-            .filter(|&q| q != p)
-            .map(|q| (q, vecops::dist2_sq(points.row(p), points.row(q))))
-            .collect();
-        // Select the k nearest in O(n), then order just those k.
-        if dists.len() > k {
-            dists.select_nth_unstable_by(k - 1, |a, b| a.1.total_cmp(&b.1));
-            dists.truncate(k);
+    // chunks of points fan out across the thread pool; slot `p` always holds
+    // point `p`'s list, keeping the result thread-count-invariant. Chunking
+    // (rather than one task per point) lets each worker reuse a single
+    // length-`n` distance scratch buffer across all its queries instead of
+    // allocating one per point.
+    par::chunks_mut(&mut lists, EXACT_KNN_CHUNK, |chunk_idx, chunk| {
+        let base = chunk_idx * EXACT_KNN_CHUNK;
+        let mut dists: Vec<(usize, f64)> = Vec::with_capacity(n);
+        for (offset, slot) in chunk.iter_mut().enumerate() {
+            let p = base + offset;
+            let rp = points.row(p);
+            dists.clear();
+            for q in 0..n {
+                if q == p {
+                    continue;
+                }
+                let d2 = (norms[p] + norms[q] - 2.0 * vecops::dot(rp, points.row(q))).max(0.0);
+                dists.push((q, d2));
+            }
+            // Select the k nearest in O(n), then order just those k.
+            if dists.len() > k {
+                dists.select_nth_unstable_by(k - 1, |a, b| a.1.total_cmp(&b.1));
+                dists.truncate(k);
+            }
+            dists.sort_by(|a, b| a.1.total_cmp(&b.1));
+            slot.extend_from_slice(&dists);
         }
-        dists.sort_by(|a, b| a.1.total_cmp(&b.1));
-        dists
-    })
+    });
+    lists
 }
 
 struct Splitter {
@@ -171,6 +198,7 @@ impl Splitter {
         self.state.wrapping_mul(0x2545_f491_4f6c_dd1d)
     }
     fn pick(&mut self, n: usize) -> usize {
+        // cirstag-lint: allow(cast-truncation) -- usize -> u64 is lossless on 64-bit hosts; the modulo keeps the draw in 0..n, back within usize
         (self.next_u64() % n as u64) as usize
     }
 }
@@ -237,6 +265,7 @@ fn rp_forest_knn(
     // end up identical to the serial construction because each point's list
     // is sorted and deduplicated before ranking.
     let per_tree_leaves: Vec<Vec<Vec<usize>>> = par::map_indexed(num_trees, |t| {
+        // cirstag-lint: allow(cast-truncation) -- tree index: a small loop counter, lossless usize -> u64 on 64-bit hosts
         let mut rng = Splitter::new(seed.wrapping_add(t as u64 * 0x1234_5677));
         let mut all: Vec<usize> = (0..n).collect();
         let mut leaves = Vec::new();

@@ -36,5 +36,6 @@ mod spectral;
 pub use error::EmbedError;
 pub use knn::{knn_graph, KnnConfig, KnnMethod};
 pub use spectral::{
-    augment_with_features, dense_spectral_embedding, spectral_embedding, SpectralConfig,
+    augment_with_features, dense_spectral_embedding, spectral_embedding, spectral_embedding_ws,
+    SpectralConfig,
 };

@@ -3,7 +3,9 @@
 use crate::EmbedError;
 use cirstag_graph::Graph;
 use cirstag_linalg::DenseMatrix;
-use cirstag_solver::smallest_normalized_laplacian_eigs;
+use cirstag_solver::{
+    smallest_normalized_laplacian_eigs, smallest_normalized_laplacian_eigs_ws, SolverWorkspace,
+};
 
 /// Options for [`spectral_embedding`].
 #[derive(Debug, Clone, Copy)]
@@ -53,6 +55,41 @@ pub fn spectral_embedding(
     }
     let (eigenvalues, eigenvectors) =
         smallest_normalized_laplacian_eigs(g, m, config.max_iter, config.tol, config.seed)?;
+    Ok(weighted_embedding(n, m, &eigenvalues, &eigenvectors))
+}
+
+/// Workspace-pooled form of [`spectral_embedding`]: the inner Lanczos
+/// iteration draws its scratch vectors from `ws`, so repeated embeddings (the
+/// pipeline's retry ladder, batched analyses) allocate nothing once the pool
+/// is warm. Bit-identical to [`spectral_embedding`].
+///
+/// # Errors
+///
+/// Same contract as [`spectral_embedding`].
+pub fn spectral_embedding_ws(
+    g: &Graph,
+    m: usize,
+    config: &SpectralConfig,
+    ws: &mut SolverWorkspace,
+) -> Result<DenseMatrix, EmbedError> {
+    let n = g.num_nodes();
+    if m == 0 || m > n {
+        return Err(EmbedError::InvalidArgument {
+            reason: format!("embedding dimension {m} must be in 1..={n}"),
+        });
+    }
+    let (eigenvalues, eigenvectors) =
+        smallest_normalized_laplacian_eigs_ws(g, m, config.max_iter, config.tol, config.seed, ws)?;
+    Ok(weighted_embedding(n, m, &eigenvalues, &eigenvectors))
+}
+
+/// Applies the Eq. (4) column weights `√|1−λ̃ⱼ|` to the raw eigenvectors.
+fn weighted_embedding(
+    n: usize,
+    m: usize,
+    eigenvalues: &[f64],
+    eigenvectors: &DenseMatrix,
+) -> DenseMatrix {
     let mut u = DenseMatrix::zeros(n, m);
     for (j, &lam) in eigenvalues.iter().enumerate() {
         let w = (1.0 - lam).abs().sqrt();
@@ -60,7 +97,7 @@ pub fn spectral_embedding(
             u.set(i, j, w * eigenvectors.get(i, j));
         }
     }
-    Ok(u)
+    u
 }
 
 /// Dense fallback for [`spectral_embedding`]: computes the same Eq. (4)
@@ -205,6 +242,23 @@ mod tests {
         let a = spectral_embedding(&g, 3, &cfg).unwrap();
         let b = spectral_embedding(&g, 3, &cfg).unwrap();
         assert!(a.max_abs_diff(&b).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn workspace_form_is_bit_identical_and_reuses_buffers() {
+        let g = cycle(12);
+        let cfg = SpectralConfig::default();
+        let plain = spectral_embedding(&g, 3, &cfg).unwrap();
+        let mut ws = SolverWorkspace::new();
+        let pooled = spectral_embedding_ws(&g, 3, &cfg, &mut ws).unwrap();
+        for (a, b) in plain.as_slice().iter().zip(pooled.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "embeddings must be bitwise equal");
+        }
+        // A warmed workspace must not allocate on a repeat embedding.
+        let misses = ws.misses();
+        let again = spectral_embedding_ws(&g, 3, &cfg, &mut ws).unwrap();
+        assert_eq!(ws.misses(), misses, "warm rerun must not allocate");
+        assert!(again.all_finite());
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub fn heat_colors(scores: &[f64]) -> Vec<String> {
         .iter()
         .map(|&s| {
             let t = (s / max).clamp(0.0, 1.0);
+            // cirstag-lint: allow(cast-truncation) -- t is clamped to [0, 1], so the rounded product lies in 0..=255
             let g_b = ((1.0 - t) * 255.0).round() as u8;
             format!("#ff{g_b:02x}{g_b:02x}")
         })

@@ -51,6 +51,7 @@ impl TreePathOracle {
         if tree.num_edges() + num_comps != n.max(num_comps) {
             return Err(GraphError::NotATree);
         }
+        // cirstag-lint: allow(cast-truncation) -- a bit count, at most usize::BITS (<= 128), always fits usize
         let levels = (usize::BITS - n.max(2).leading_zeros()) as usize;
         let mut depth = vec![0u32; n];
         let mut root_resistance = vec![0.0f64; n];

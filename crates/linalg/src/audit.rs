@@ -20,6 +20,7 @@ pub const AUDIT_TOL: f64 = 1e-8;
 /// Deterministic xorshift probe generator — audits must never perturb the
 /// pipeline's seeded randomness or depend on ambient entropy.
 fn probe_vector(n: usize, probe: usize) -> Vec<f64> {
+    // cirstag-lint: allow(cast-truncation) -- probe index: lossless usize -> u64 on 64-bit hosts, and any wrap only reseeds the mix
     let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ ((probe as u64 + 1) << 17);
     (0..n)
         .map(|_| {

@@ -7,6 +7,14 @@ use std::fmt;
 /// the thread pool; below this, thread handoff costs more than the math.
 const PAR_FLOP_THRESHOLD: usize = 64 * 1024;
 
+/// Rows of the right-hand operand processed per cache tile in the blocked
+/// matmul: a tile of `MATMUL_K_TILE × ncols` doubles of `other` stays hot in
+/// L2 while every output row in the current block consumes it.
+const MATMUL_K_TILE: usize = 64;
+
+/// Output rows per parallel chunk in the blocked matmul.
+const MATMUL_ROW_CHUNK: usize = 16;
+
 /// Accumulates one output row of `a * other` into `out_row` (ikj order: the
 /// inner loop is contiguous in both `other` and `out_row`). Shared by the
 /// serial and parallel matmul paths so they agree bit-for-bit.
@@ -19,6 +27,41 @@ fn matmul_row_kernel(a_row: &[f64], other: &DenseMatrix, out_row: &mut [f64]) {
         for (o, &b) in out_row.iter_mut().zip(other.row(k)) {
             *o += a * b;
         }
+    }
+}
+
+/// Cache-blocked kernel for a block of output rows starting at `first_row`.
+///
+/// Tiles the shared `k` dimension so each `MATMUL_K_TILE`-row strip of
+/// `other` is reused across every output row in the block instead of being
+/// streamed from memory once per row. Per output element the accumulation
+/// still runs over `k` in ascending order with the same exact-zero skip as
+/// [`matmul_row_kernel`], so the result is bit-identical to the unblocked
+/// kernel for any tile size, row blocking, or thread count.
+fn matmul_block_kernel(
+    a: &DenseMatrix,
+    other: &DenseMatrix,
+    first_row: usize,
+    out_chunk: &mut [f64],
+) {
+    let ncols_out = other.ncols;
+    let kdim = a.ncols;
+    let mut kb = 0;
+    while kb < kdim {
+        let ke = (kb + MATMUL_K_TILE).min(kdim);
+        for (local, out_row) in out_chunk.chunks_mut(ncols_out).enumerate() {
+            let a_row = a.row(first_row + local);
+            for (off, &av) in a_row[kb..ke].iter().enumerate() {
+                // cirstag-lint: allow(float-discipline) -- bitwise sparsity skip, must match matmul_row_kernel exactly
+                if av == 0.0 {
+                    continue;
+                }
+                for (o, &b) in out_row.iter_mut().zip(other.row(kb + off)) {
+                    *o += av * b;
+                }
+            }
+        }
+        kb = ke;
     }
 }
 
@@ -236,15 +279,37 @@ impl DenseMatrix {
 
     /// Matrix–matrix product `self * other`.
     ///
-    /// Large products are row-blocked across the thread pool (see
-    /// [`crate::par`]); each output row is produced by exactly one thread
-    /// with the same kernel as [`DenseMatrix::matmul_serial`], so the result
-    /// is bit-identical for every thread count.
+    /// Cache-blocked: the shared `k` dimension is tiled so strips of `other`
+    /// stay L2-resident across output rows, and large products are
+    /// row-blocked across the thread pool (see [`crate::par`]) with one
+    /// thread per block. Per output element the accumulation order matches
+    /// [`DenseMatrix::matmul_serial`], so the result is bit-identical for
+    /// every tile size and thread count.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] when `self.ncols != other.nrows`.
     pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        let mut out = DenseMatrix::zeros(self.nrows, other.ncols);
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix–matrix product into a caller-provided matrix
+    /// (`out ← self * other`), avoiding allocation in inner loops.
+    ///
+    /// Same cache-blocked kernel and bit-identity guarantees as
+    /// [`DenseMatrix::matmul`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `self.ncols != other.nrows`
+    /// or `out` is not `self.nrows × other.ncols`.
+    pub fn matmul_into(
+        &self,
+        other: &DenseMatrix,
+        out: &mut DenseMatrix,
+    ) -> Result<(), LinalgError> {
         if self.ncols != other.nrows {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul",
@@ -252,16 +317,27 @@ impl DenseMatrix {
                 right: other.shape(),
             });
         }
+        if out.shape() != (self.nrows, other.ncols) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul (output)",
+                left: (self.nrows, other.ncols),
+                right: out.shape(),
+            });
+        }
+        out.data.fill(0.0);
+        if self.nrows == 0 || other.ncols == 0 {
+            return Ok(());
+        }
         let flops = self.nrows * self.ncols * other.ncols;
         if flops < PAR_FLOP_THRESHOLD || par::current_num_threads() <= 1 {
-            return self.matmul_serial(other);
+            matmul_block_kernel(self, other, 0, &mut out.data);
+            return Ok(());
         }
-        let mut out = DenseMatrix::zeros(self.nrows, other.ncols);
         let ncols_out = other.ncols;
-        par::chunks_mut(&mut out.data, ncols_out, |i, out_row| {
-            matmul_row_kernel(self.row(i), other, out_row);
+        par::chunks_mut(&mut out.data, MATMUL_ROW_CHUNK * ncols_out, |ci, chunk| {
+            matmul_block_kernel(self, other, ci * MATMUL_ROW_CHUNK, chunk);
         });
-        Ok(out)
+        Ok(())
     }
 
     /// Reference serial matrix–matrix product; always runs on the calling
@@ -463,6 +539,36 @@ mod tests {
         let b = DenseMatrix::zeros(2, 3);
         assert!(matches!(
             a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_serial_reference() {
+        // Odd shapes exercise ragged k-tiles and row blocks; sprinkled exact
+        // zeros exercise the sparsity skip both kernels must share.
+        let mut state = 0x9e3779b97f4a7c15_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if state >> 61 == 0 {
+                0.0
+            } else {
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            }
+        };
+        let a = DenseMatrix::from_vec(37, 91, (0..37 * 91).map(|_| next()).collect()).unwrap();
+        let b = DenseMatrix::from_vec(91, 29, (0..91 * 29).map(|_| next()).collect()).unwrap();
+        let reference = a.matmul_serial(&b).unwrap();
+        let blocked = a.matmul(&b).unwrap();
+        assert_eq!(blocked.as_slice(), reference.as_slice());
+        let mut into = DenseMatrix::from_vec(37, 29, vec![1.0; 37 * 29]).unwrap();
+        a.matmul_into(&b, &mut into).unwrap();
+        assert_eq!(into.as_slice(), reference.as_slice());
+        let mut bad = DenseMatrix::zeros(5, 5);
+        assert!(matches!(
+            a.matmul_into(&b, &mut bad),
             Err(LinalgError::ShapeMismatch { .. })
         ));
     }

@@ -1,4 +1,13 @@
-use crate::{DenseMatrix, LinalgError};
+use crate::{par, DenseMatrix, LinalgError};
+
+/// Minimum multiply–add count before the panel spmm fans row blocks out
+/// across the thread pool; mirrors the dense-matmul threshold.
+const PANEL_PAR_FLOP_THRESHOLD: usize = 64 * 1024;
+
+/// Rows per parallel chunk in the panel spmm. Each chunk is produced by
+/// exactly one thread with the serial row kernel, so chunking never changes
+/// results.
+const PANEL_ROW_CHUNK: usize = 32;
 
 /// A sparse matrix in coordinate (triplet) format, used for assembly.
 ///
@@ -350,6 +359,23 @@ impl CsrMatrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] when `self.ncols != m.nrows()`.
     pub fn mul_dense(&self, m: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        let mut out = DenseMatrix::zeros(self.nrows, m.ncols());
+        self.mul_dense_into(m, &mut out)?;
+        Ok(out)
+    }
+
+    /// Sparse–dense product into a caller-provided matrix (`out ← self * m`),
+    /// avoiding allocation in inner loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `self.ncols != m.nrows()`
+    /// or `out` is not `self.nrows × m.ncols()`.
+    pub fn mul_dense_into(
+        &self,
+        m: &DenseMatrix,
+        out: &mut DenseMatrix,
+    ) -> Result<(), LinalgError> {
         if self.ncols != m.nrows() {
             return Err(LinalgError::ShapeMismatch {
                 op: "spmm",
@@ -357,20 +383,117 @@ impl CsrMatrix {
                 right: m.shape(),
             });
         }
-        let mut out = DenseMatrix::zeros(self.nrows, m.ncols());
-        for i in 0..self.nrows {
-            let lo = self.row_ptr[i];
-            let hi = self.row_ptr[i + 1];
-            for k in lo..hi {
-                let v = self.values[k];
-                let src = m.row(self.col_idx[k]);
-                let dst = out.row_mut(i);
-                for (d, &s) in dst.iter_mut().zip(src) {
-                    *d += v * s;
-                }
+        if out.shape() != (self.nrows, m.ncols()) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "spmm (output)",
+                left: (self.nrows, m.ncols()),
+                right: out.shape(),
+            });
+        }
+        let ncols = m.ncols();
+        self.panel_kernel(m.as_slice(), out.as_mut_slice(), ncols);
+        Ok(())
+    }
+
+    /// Blocked spmm: multiplies this matrix by a row-major `ncols`-wide dense
+    /// panel (`x[i * ncols + j]` holds entry `(i, j)`), writing the product
+    /// into `y` with the same layout.
+    ///
+    /// One CSR traversal advances all `ncols` columns in lockstep: each
+    /// nonzero is read once and applied to a contiguous `ncols`-wide strip,
+    /// which is what makes the block solvers amortize memory traffic across
+    /// right-hand sides. Per output row the accumulation order equals
+    /// [`CsrMatrix::mul_dense`] exactly, and large products are row-blocked
+    /// across the thread pool with one thread per block, so results are
+    /// bit-identical at every thread count.
+    ///
+    /// Infallible convenience form of [`CsrMatrix::try_mul_panel_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.ncols * ncols` or
+    /// `y.len() != self.nrows * ncols`.
+    pub fn mul_panel_into(&self, x: &[f64], y: &mut [f64], ncols: usize) {
+        // cirstag-lint: allow(error-hygiene) -- documented panic contract of the infallible convenience form; try_mul_panel_into is the checked API
+        assert_eq!(
+            x.len(),
+            self.ncols * ncols,
+            "mul_panel_into: x dimension mismatch"
+        );
+        // cirstag-lint: allow(error-hygiene) -- documented panic contract of the infallible convenience form; try_mul_panel_into is the checked API
+        assert_eq!(
+            y.len(),
+            self.nrows * ncols,
+            "mul_panel_into: y dimension mismatch"
+        );
+        self.panel_kernel(x, y, ncols);
+    }
+
+    /// Checked blocked spmm `y ← self * x` over row-major `ncols`-wide
+    /// panels. See [`CsrMatrix::mul_panel_into`] for layout and determinism
+    /// guarantees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when
+    /// `x.len() != self.ncols * ncols` or `y.len() != self.nrows * ncols`.
+    pub fn try_mul_panel_into(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        ncols: usize,
+    ) -> Result<(), LinalgError> {
+        if x.len() != self.ncols * ncols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "spmm (input)",
+                left: (self.ncols, ncols),
+                right: (x.len(), 1),
+            });
+        }
+        if y.len() != self.nrows * ncols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "spmm (output)",
+                left: (self.nrows, ncols),
+                right: (y.len(), 1),
+            });
+        }
+        self.panel_kernel(x, y, ncols);
+        Ok(())
+    }
+
+    /// Accumulates output row `i` of the panel product into `out_row`
+    /// (`out_row.len() == k`). Shared by the serial and parallel paths so
+    /// they agree bit-for-bit; the per-nonzero order matches the historical
+    /// `mul_dense` loop.
+    fn panel_row_kernel(&self, i: usize, x: &[f64], out_row: &mut [f64], k: usize) {
+        out_row.fill(0.0);
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        for (&c, &v) in self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]) {
+            let src = &x[c * k..c * k + k];
+            for (d, &s) in out_row.iter_mut().zip(src) {
+                *d += v * s;
             }
         }
-        Ok(out)
+    }
+
+    fn panel_kernel(&self, x: &[f64], y: &mut [f64], k: usize) {
+        if k == 0 || self.nrows == 0 {
+            return;
+        }
+        let flops = self.nnz() * k;
+        if flops < PANEL_PAR_FLOP_THRESHOLD || par::current_num_threads() <= 1 {
+            for (i, out_row) in y.chunks_mut(k).enumerate() {
+                self.panel_row_kernel(i, x, out_row, k);
+            }
+            return;
+        }
+        par::chunks_mut(y, PANEL_ROW_CHUNK * k, |ci, chunk| {
+            let base = ci * PANEL_ROW_CHUNK;
+            for (off, out_row) in chunk.chunks_mut(k).enumerate() {
+                self.panel_row_kernel(base + off, x, out_row, k);
+            }
+        });
     }
 
     /// Returns the transpose in CSR form.
@@ -626,6 +749,103 @@ mod tests {
         let out = m.mul_dense(&d).unwrap();
         let dense_out = m.to_dense().matmul(&d).unwrap();
         assert!(out.max_abs_diff(&dense_out).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn get_binary_search_pins_sorted_duplicate_free_rows() {
+        // CSR construction sorts each row and merges duplicates, so `get`
+        // may binary-search the column slice. Pin that contract: on a matrix
+        // whose rows are sorted and duplicate-free by construction, `get`
+        // returns every stored value and exact zero for every absent slot.
+        let m = CsrMatrix::from_triplets(
+            4,
+            6,
+            &[
+                (0, 5, 1.5),
+                (0, 0, -2.0),
+                (0, 3, 4.0),
+                (1, 2, 7.0),
+                (3, 1, -1.0),
+                (3, 4, 9.0),
+            ],
+        )
+        .unwrap();
+        // Rows are strictly increasing in column index (the invariant that
+        // licenses binary search).
+        assert!(m.well_formed().is_ok());
+        let dense = m.to_dense();
+        for i in 0..4 {
+            for j in 0..6 {
+                assert_eq!(m.get(i, j), dense.get(i, j), "mismatch at ({i}, {j})");
+            }
+        }
+        // Row 2 is empty: every probe hits the Err arm of the search.
+        for j in 0..6 {
+            assert_eq!(m.get(2, j), 0.0);
+        }
+    }
+
+    #[test]
+    fn panel_spmm_matches_mul_dense_bitwise() {
+        // Deterministic pseudo-random 9x9 matrix with ~40% fill.
+        let mut trips = Vec::new();
+        let mut state = 0x1234_5678_u64;
+        for i in 0..9 {
+            for j in 0..9 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if state >> 62 != 0 {
+                    trips.push((i, j, ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5));
+                }
+            }
+        }
+        let m = CsrMatrix::from_triplets(9, 9, &trips).unwrap();
+        for k in [1usize, 3, 7] {
+            let mut panel = vec![0.0; 9 * k];
+            for (idx, v) in panel.iter_mut().enumerate() {
+                *v = (idx as f64).sin();
+            }
+            let d = DenseMatrix::from_vec(9, k, panel.clone()).unwrap();
+            let reference = m.mul_dense(&d).unwrap();
+            let mut y = vec![1.0; 9 * k]; // nonzero garbage: kernel must overwrite
+            m.mul_panel_into(&panel, &mut y, k);
+            assert_eq!(y.as_slice(), reference.as_slice(), "k = {k}");
+            let mut y2 = vec![0.0; 9 * k];
+            m.try_mul_panel_into(&panel, &mut y2, k).unwrap();
+            assert_eq!(y2.as_slice(), reference.as_slice());
+        }
+    }
+
+    #[test]
+    fn panel_spmm_rejects_bad_shapes() {
+        let m = sample();
+        let x = vec![0.0; 6];
+        let mut y = vec![0.0; 5];
+        assert!(matches!(
+            m.try_mul_panel_into(&x, &mut y, 2),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        let mut y_short = vec![0.0; 6];
+        assert!(matches!(
+            m.try_mul_panel_into(&x[..4], &mut y_short, 2),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        // Zero-width panels are a no-op, not an error.
+        assert!(m.try_mul_panel_into(&[], &mut [], 0).is_ok());
+    }
+
+    #[test]
+    fn mul_dense_into_matches_and_rejects_bad_output() {
+        let m = sample();
+        let d = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let reference = m.mul_dense(&d).unwrap();
+        let mut out = DenseMatrix::zeros(3, 2);
+        m.mul_dense_into(&d, &mut out).unwrap();
+        assert_eq!(out, reference);
+        let mut bad = DenseMatrix::zeros(2, 2);
+        assert!(matches!(
+            m.mul_dense_into(&d, &mut bad),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

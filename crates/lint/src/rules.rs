@@ -1,4 +1,4 @@
-//! The five repo-specific lint rules.
+//! The six repo-specific lint rules.
 //!
 //! Each rule is a pure function over one [`SourceFile`]'s token stream; the
 //! driver applies waivers afterwards, so rules always report every raw hit.
@@ -10,6 +10,7 @@
 //! | `feature-hygiene` | `rayon`/failpoint arming stays behind its feature |
 //! | `determinism` | no order-dependent containers / ambient entropy in result-affecting crates |
 //! | `error-hygiene` | public unit-returning fns must not panic on bad input |
+//! | `cast-truncation` | no lossy `as` numeric casts in result-affecting crates |
 
 use crate::lexer::{TokKind, Token};
 use crate::report::Finding;
@@ -23,6 +24,7 @@ pub const RULE_NAMES: &[&str] = &[
     FEATURE_HYGIENE,
     DETERMINISM,
     ERROR_HYGIENE,
+    CAST_TRUNCATION,
     WAIVER_SYNTAX,
 ];
 
@@ -36,6 +38,8 @@ pub const FEATURE_HYGIENE: &str = "feature-hygiene";
 pub const DETERMINISM: &str = "determinism";
 /// Rule id: public API error hygiene.
 pub const ERROR_HYGIENE: &str = "error-hygiene";
+/// Rule id: lossy `as` numeric casts in result-affecting crates.
+pub const CAST_TRUNCATION: &str = "cast-truncation";
 /// Rule id: malformed waiver annotations (always unwaivable).
 pub const WAIVER_SYNTAX: &str = "waiver-syntax";
 
@@ -62,6 +66,14 @@ const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne", "panic"];
 /// Ambient-entropy identifiers forbidden in result-affecting crates.
 const ENTROPY_IDENTS: &[&str] = &["SystemTime", "thread_rng", "from_entropy"];
 
+/// Cast targets for which `as` can silently lose information: every integer
+/// type truncates or wraps out-of-range values, and `f32` rounds away
+/// mantissa bits. `f64` is deliberately absent — every integer up to 2⁵³ and
+/// every `f32` converts exactly, so `as f64` is the one lossless idiom.
+const TRUNCATING_CAST_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+];
+
 /// Runs every rule over `file`, appending raw findings to `out`.
 pub fn run_all(file: &SourceFile, ctx: &WorkspaceCtx, out: &mut Vec<Finding>) {
     if file.kind == FileKind::Exempt {
@@ -77,6 +89,7 @@ pub fn run_all(file: &SourceFile, ctx: &WorkspaceCtx, out: &mut Vec<Finding>) {
     feature_hygiene(file, out);
     if RESULT_AFFECTING.contains(&file.crate_name.as_str()) && file.kind == FileKind::Lib {
         determinism(file, out);
+        cast_truncation(file, out);
     }
 }
 
@@ -335,6 +348,40 @@ fn determinism(file: &SourceFile, out: &mut Vec<Finding>) {
             }
             _ => {}
         }
+    }
+}
+
+/// `cast-truncation`: forbids lossy `as` numeric casts in result-affecting
+/// library code. `as` silently truncates (`u64 as u32`), wraps
+/// (`i64 as u8`), or rounds (`f64 as f32`, float → int), any of which can
+/// corrupt η-scores or rankings without a panic. Use `try_from` with a
+/// typed error (or a saturating `unwrap_or`), a lossless `From`, or waive
+/// with the range proof. `as f64` is exempt (see
+/// [`TRUNCATING_CAST_TARGETS`]).
+fn cast_truncation(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if file.in_test_region(i) || !tok.is_ident("as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        if target.kind != TokKind::Ident || !TRUNCATING_CAST_TARGETS.contains(&target.text.as_str())
+        {
+            continue;
+        }
+        out.push(finding(
+            file,
+            CAST_TRUNCATION,
+            tok.line,
+            format!(
+                "`as {0}` silently truncates/wraps out-of-range values; use \
+                 `{0}::try_from(..)` so the failure is typed (or saturates \
+                 explicitly), or waive with the range proof",
+                target.text
+            ),
+        ));
     }
 }
 
@@ -604,6 +651,42 @@ mod tests {
         let hits =
             lint_lib("fn set(i: usize) { assert!(i < 4); }\npub(crate) fn g() { assert!(true); }");
         assert!(hits.iter().all(|h| h.rule != ERROR_HYGIENE));
+    }
+
+    #[test]
+    fn truncating_casts_fire_but_as_f64_does_not() {
+        let hits = lint_lib(
+            "fn f(x: usize, y: f64) -> u32 { let a = x as u64; let b = y as f64; let c = y as f32; x as u32 }",
+        );
+        assert_eq!(
+            hits.iter().filter(|h| h.rule == CAST_TRUNCATION).count(),
+            3,
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn cast_rule_skips_non_result_affecting_crates_and_tests() {
+        let f = SourceFile::from_source(
+            "crates/circuit/src/x.rs",
+            "fn f(x: usize) -> u32 { x as u32 }",
+        );
+        let mut out = Vec::new();
+        run_all(&f, &WorkspaceCtx::default(), &mut out);
+        assert!(out.iter().all(|h| h.rule != CAST_TRUNCATION), "{out:?}");
+
+        let hits = lint_lib(
+            "fn lib_fn() {}\n#[cfg(test)]\nmod tests {\n    fn t(x: usize) -> u32 { x as u32 }\n}\n",
+        );
+        assert!(hits.iter().all(|h| h.rule != CAST_TRUNCATION), "{hits:?}");
+    }
+
+    #[test]
+    fn use_alias_and_trait_casts_do_not_fire() {
+        let hits = lint_lib(
+            "use std::collections::BTreeMap as Map;\nfn f(x: &dyn std::fmt::Debug) { let _ = x as &dyn std::fmt::Debug; }",
+        );
+        assert!(hits.iter().all(|h| h.rule != CAST_TRUNCATION), "{hits:?}");
     }
 
     #[test]

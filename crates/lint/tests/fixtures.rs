@@ -133,6 +133,33 @@ fn error_hygiene_clean_is_silent() {
 }
 
 #[test]
+fn cast_truncation_violations_fire() {
+    let findings = lint_fixture("violations", "cast.rs");
+    // u64->u32, f64->f32, i64->u8, f64->isize: four lossy sites.
+    assert_eq!(
+        active(&findings, rules::CAST_TRUNCATION).len(),
+        4,
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn cast_truncation_clean_is_silent() {
+    let findings = lint_fixture("clean", "cast.rs");
+    assert!(
+        active(&findings, rules::CAST_TRUNCATION).is_empty(),
+        "{findings:#?}"
+    );
+    // The waived lossy cast is reported as waived, not dropped.
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == rules::CAST_TRUNCATION && f.waived),
+        "{findings:#?}"
+    );
+}
+
+#[test]
 fn waiver_with_reason_is_honored() {
     let findings = lint_fixture("clean", "waived.rs");
     // The violation is still *reported* — waived, never silently dropped.

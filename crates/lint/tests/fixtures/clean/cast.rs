@@ -1,0 +1,27 @@
+//! cast-truncation clean: lossless conversions, typed fallible casts, the
+//! exempt `as f64` widening, and a waived lossy cast with its range proof.
+
+use std::time::Duration;
+
+/// Typed fallible narrowing: the failure surfaces instead of wrapping.
+pub fn narrow(x: u64) -> Option<u32> {
+    u32::try_from(x).ok()
+}
+
+/// Saturating conversion through `try_from`, the idiom the solver's
+/// diagnostics use for elapsed-millisecond timestamps.
+pub fn elapsed_ms(elapsed: Duration) -> u64 {
+    u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX) // cirstag-lint: allow(no-panic-in-lib) -- unwrap_or never panics; saturation fallback
+}
+
+/// Lossless widenings: `From` for integers, `as f64` for the one cast the
+/// rule exempts (exact for every integer up to 2^53 and every f32).
+pub fn widen(a: u16, b: u32, c: f32) -> f64 {
+    let wide = u64::from(a) + u64::from(b);
+    wide as f64 + c as f64
+}
+
+/// A genuinely lossy cast carrying its range proof as a waiver.
+pub fn bucket(i: usize) -> u8 {
+    (i % 251) as u8 // cirstag-lint: allow(cast-truncation) -- i % 251 < 256, always in u8 range
+}

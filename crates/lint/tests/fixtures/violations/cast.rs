@@ -1,0 +1,11 @@
+//! cast-truncation violations: every lossy `as` numeric cast fires.
+
+pub fn truncating(x: u64, y: f64, z: i64) -> u32 {
+    let a = x as u32; // u64 -> u32 truncates high bits
+    let b = y as f32; // f64 -> f32 rounds away mantissa bits
+    let c = z as u8; // i64 -> u8 wraps and drops the sign
+    let d = y as isize; // f64 -> isize saturates silently
+    a.wrapping_add(b.to_bits())
+        .wrapping_add(u32::from(c))
+        .wrapping_add(d.unsigned_abs().count_ones())
+}

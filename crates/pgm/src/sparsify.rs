@@ -113,6 +113,7 @@ pub fn learn_manifold(dense: &Graph, config: &PgmConfig) -> Result<PgmResult, Pg
     }
 
     let tree = low_stretch_tree(dense, config.seed)?;
+    // cirstag-lint: allow(cast-truncation) -- float -> usize saturates (never wraps); the edge budget is a small nonnegative count
     let budget = ((config.degree_target * n as f64 / 2.0).ceil() as usize).max(tree.num_edges());
     let mut keep = vec![false; dense.num_edges()];
     for &eid in tree.edge_ids() {
@@ -150,6 +151,7 @@ pub fn learn_manifold(dense: &Graph, config: &PgmConfig) -> Result<PgmResult, Pg
         if config.lrd_keep_quantile < 1.0 {
             let mut cycles: Vec<f64> = scored.iter().map(|&(_, _, c)| c).collect();
             cycles.sort_by(|a, b| a.total_cmp(b));
+            // cirstag-lint: allow(cast-truncation) -- quantile is clamped to [0, 1], so the rounded index lies in 0..cycles.len()
             let idx = ((cycles.len() as f64 - 1.0) * config.lrd_keep_quantile).round() as usize;
             let threshold = cycles[idx.min(cycles.len() - 1)];
             for &(eid, _, cycle_res) in &scored {
@@ -207,6 +209,7 @@ pub fn random_prune(dense: &Graph, config: &PgmConfig) -> Result<PgmResult, PgmE
         });
     }
     let tree = low_stretch_tree(dense, config.seed)?;
+    // cirstag-lint: allow(cast-truncation) -- float -> usize saturates (never wraps); the edge budget is a small nonnegative count
     let budget = ((config.degree_target * n as f64 / 2.0).ceil() as usize).max(tree.num_edges());
     let mut keep = vec![false; dense.num_edges()];
     for &eid in tree.edge_ids() {
@@ -222,6 +225,7 @@ pub fn random_prune(dense: &Graph, config: &PgmConfig) -> Result<PgmResult, PgmE
         state.wrapping_mul(0x2545_f491_4f6c_dd1d)
     };
     for i in (1..off_tree.len()).rev() {
+        // cirstag-lint: allow(cast-truncation) -- usize -> u64 is lossless on 64-bit hosts; the modulo keeps j in 0..=i, back within usize
         let j = (next() % (i as u64 + 1)) as usize;
         off_tree.swap(i, j);
     }

@@ -1,8 +1,10 @@
-//! (Preconditioned) conjugate gradient for sparse SPD systems.
+//! (Preconditioned) conjugate gradient for sparse SPD systems, in scalar and
+//! blocked multi-right-hand-side form.
 
-use crate::{LinearOperator, SolverError};
+use crate::workspace::SolverWorkspace;
+use crate::{LinearOperator, PanelOperator, SolverError};
 use cirstag_linalg::vecops;
-use cirstag_linalg::CsrMatrix;
+use cirstag_linalg::{CsrMatrix, DenseMatrix};
 
 /// A preconditioner: applies `z = M⁻¹ r` for some SPD approximation `M ≈ A`.
 pub trait Preconditioner {
@@ -13,6 +15,61 @@ pub trait Preconditioner {
     /// Returns [`SolverError::DimensionMismatch`] when `r` or `z` does not
     /// match the preconditioner's dimension.
     fn apply(&self, r: &[f64], z: &mut [f64]) -> Result<(), SolverError>;
+
+    /// Computes `z ← M⁻¹ r` column-wise over row-major `ncols`-wide panels
+    /// (`r[i * ncols + j]` is entry `(i, j)`).
+    ///
+    /// The provided implementation gathers each column into workspace
+    /// scratch and delegates to [`Preconditioner::apply`]; implementations
+    /// with structure to exploit (diagonal scaling, tree sweeps) override it
+    /// with a fused panel kernel. Column `j` of the result must be
+    /// bit-identical to `apply` on column `j` alone — the block solver's
+    /// equivalence to per-vector CG rests on that contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] when the panel lengths
+    /// disagree or are not multiples of `ncols`, and any error of
+    /// [`Preconditioner::apply`].
+    fn apply_panel(
+        &self,
+        r: &[f64],
+        z: &mut [f64],
+        ncols: usize,
+        ws: &mut SolverWorkspace,
+    ) -> Result<(), SolverError> {
+        if ncols == 1 {
+            return self.apply(r, z);
+        }
+        if r.len() != z.len() || (ncols > 0 && !r.len().is_multiple_of(ncols)) {
+            return Err(SolverError::DimensionMismatch {
+                expected: z.len(),
+                actual: r.len(),
+            });
+        }
+        if ncols == 0 {
+            return Ok(());
+        }
+        let n = r.len() / ncols;
+        let mut rc = ws.take(n);
+        let mut zc = ws.take(n);
+        let mut out = Ok(());
+        for j in 0..ncols {
+            for (i, ri) in rc.iter_mut().enumerate() {
+                *ri = r[i * ncols + j];
+            }
+            out = self.apply(&rc, &mut zc);
+            if out.is_err() {
+                break;
+            }
+            for (i, &zi) in zc.iter().enumerate() {
+                z[i * ncols + j] = zi;
+            }
+        }
+        ws.put(zc);
+        ws.put(rc);
+        out
+    }
 }
 
 /// The identity preconditioner (plain CG).
@@ -29,6 +86,16 @@ impl Preconditioner for IdentityPreconditioner {
         }
         z.copy_from_slice(r);
         Ok(())
+    }
+
+    fn apply_panel(
+        &self,
+        r: &[f64],
+        z: &mut [f64],
+        _ncols: usize,
+        _ws: &mut SolverWorkspace,
+    ) -> Result<(), SolverError> {
+        self.apply(r, z)
     }
 }
 
@@ -93,6 +160,35 @@ impl Preconditioner for JacobiPreconditioner {
         }
         Ok(())
     }
+
+    fn apply_panel(
+        &self,
+        r: &[f64],
+        z: &mut [f64],
+        ncols: usize,
+        _ws: &mut SolverWorkspace,
+    ) -> Result<(), SolverError> {
+        let n = self.inv_diag.len();
+        if r.len() != n * ncols || z.len() != n * ncols {
+            return Err(SolverError::DimensionMismatch {
+                expected: n * ncols,
+                actual: r.len().max(z.len()),
+            });
+        }
+        if ncols == 0 {
+            return Ok(());
+        }
+        for ((zr, rr), di) in z
+            .chunks_exact_mut(ncols)
+            .zip(r.chunks_exact(ncols))
+            .zip(&self.inv_diag)
+        {
+            for (zi, &ri) in zr.iter_mut().zip(rr) {
+                *zi = ri * di;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Options controlling a conjugate-gradient run.
@@ -118,6 +214,21 @@ impl Default for CgOptions {
 pub struct CgResult {
     /// The (approximate) solution.
     pub x: Vec<f64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final residual norm `‖b − A x‖`.
+    pub residual_norm: f64,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+}
+
+/// Per-system outcome of a CG run, without the solution vector.
+///
+/// The `_into` solver entry points write the solution into caller-provided
+/// storage and report this summary; for a block solve there is one per
+/// right-hand-side column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgStats {
     /// Iterations actually performed.
     pub iterations: usize,
     /// Final residual norm `‖b − A x‖`.
@@ -153,11 +264,51 @@ where
     A: LinearOperator + ?Sized,
     M: Preconditioner + ?Sized,
 {
+    let mut ws = SolverWorkspace::new();
+    let mut x = vec![0.0; a.dim()];
+    let stats = conjugate_gradient_into(a, b, preconditioner, options, &mut x, &mut ws)?;
+    Ok(CgResult {
+        x,
+        iterations: stats.iterations,
+        residual_norm: stats.residual_norm,
+        converged: stats.converged,
+    })
+}
+
+/// Workspace-backed form of [`conjugate_gradient`]: writes the solution into
+/// `x` and draws every scratch vector from `ws`, so a warmed workspace makes
+/// repeated solves (and every iteration within one) allocation-free.
+///
+/// Produces bit-identical results to [`conjugate_gradient`] — the allocating
+/// form is a thin wrapper over this one.
+///
+/// # Errors
+///
+/// Same as [`conjugate_gradient`], plus
+/// [`SolverError::DimensionMismatch`] when `x.len() != a.dim()`.
+pub fn conjugate_gradient_into<A, M>(
+    a: &A,
+    b: &[f64],
+    preconditioner: &M,
+    options: CgOptions,
+    x: &mut [f64],
+    ws: &mut SolverWorkspace,
+) -> Result<CgStats, SolverError>
+where
+    A: LinearOperator + ?Sized,
+    M: Preconditioner + ?Sized,
+{
     let n = a.dim();
     if b.len() != n {
         return Err(SolverError::DimensionMismatch {
             expected: n,
             actual: b.len(),
+        });
+    }
+    if x.len() != n {
+        return Err(SolverError::DimensionMismatch {
+            expected: n,
+            actual: x.len(),
         });
     }
     if !vecops::all_finite(b) {
@@ -174,8 +325,8 @@ where
     // Failpoint: force "CG exhausted its budget" so tests can drive the
     // preconditioner escalation ladder deterministically.
     if cirstag_linalg::fail::trigger("solver/cg").is_some() {
-        return Ok(CgResult {
-            x: vec![0.0; n],
+        x.fill(0.0);
+        return Ok(CgStats {
             iterations: 0,
             residual_norm: b_norm,
             converged: false,
@@ -183,8 +334,8 @@ where
     }
     // cirstag-lint: allow(float-discipline) -- exact-zero RHS short-circuit: any nonzero norm proceeds to iterate
     if b_norm == 0.0 {
-        return Ok(CgResult {
-            x: vec![0.0; n],
+        x.fill(0.0);
+        return Ok(CgStats {
             iterations: 0,
             residual_norm: 0.0,
             converged: true,
@@ -192,47 +343,580 @@ where
     }
     let threshold = options.tol * b_norm;
 
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec();
-    let mut z = vec![0.0; n];
-    preconditioner.apply(&r, &mut z)?;
-    let mut p = z.clone();
-    let mut rz = vecops::dot(&r, &z);
-    let mut ap = vec![0.0; n];
+    x.fill(0.0);
+    let mut r = ws.take(n);
+    r.copy_from_slice(b);
+    let mut z = ws.take(n);
+    let mut p = ws.take(n);
+    let mut ap = ws.take(n);
+    let out = scalar_cg_core(
+        a,
+        preconditioner,
+        options,
+        threshold,
+        x,
+        &mut r,
+        &mut z,
+        &mut p,
+        &mut ap,
+        ws,
+    );
+    ws.put(ap);
+    ws.put(p);
+    ws.put(z);
+    ws.put(r);
+    out
+}
+
+/// The scalar PCG loop, split out so the caller can return scratch buffers
+/// to the workspace on every exit path. Must mirror the historical
+/// `conjugate_gradient` loop operation-for-operation: the block solver's
+/// bit-identity tests compare against it.
+#[allow(clippy::too_many_arguments)]
+fn scalar_cg_core<A, M>(
+    a: &A,
+    preconditioner: &M,
+    options: CgOptions,
+    threshold: f64,
+    x: &mut [f64],
+    r: &mut [f64],
+    z: &mut [f64],
+    p: &mut [f64],
+    ap: &mut [f64],
+    ws: &mut SolverWorkspace,
+) -> Result<CgStats, SolverError>
+where
+    A: LinearOperator + ?Sized,
+    M: Preconditioner + ?Sized,
+{
+    preconditioner.apply_panel(r, z, 1, ws)?;
+    p.copy_from_slice(z);
+    let mut rz = vecops::dot(r, z);
 
     let mut iterations = 0;
-    let mut residual_norm = vecops::norm2(&r);
+    let mut residual_norm = vecops::norm2(r);
     while iterations < options.max_iter && residual_norm > threshold {
-        a.apply(&p, &mut ap)?;
-        let pap = vecops::dot(&p, &ap);
+        a.apply(p, ap)?;
+        let pap = vecops::dot(p, ap);
         if pap <= 0.0 || !pap.is_finite() {
             // Breakdown: the operator is not SPD on this subspace. Return the
             // best iterate with converged = false.
             break;
         }
         let alpha = rz / pap;
-        vecops::axpy(alpha, &p, &mut x);
-        vecops::axpy(-alpha, &ap, &mut r);
-        residual_norm = vecops::norm2(&r);
+        vecops::axpy(alpha, p, x);
+        vecops::axpy(-alpha, ap, r);
+        residual_norm = vecops::norm2(r);
         iterations += 1;
         if residual_norm <= threshold {
             break;
         }
-        preconditioner.apply(&r, &mut z)?;
-        let rz_new = vecops::dot(&r, &z);
+        preconditioner.apply_panel(r, z, 1, ws)?;
+        let rz_new = vecops::dot(r, z);
         let beta = rz_new / rz;
         rz = rz_new;
-        for (pi, zi) in p.iter_mut().zip(&z) {
+        for (pi, zi) in p.iter_mut().zip(z.iter()) {
             *pi = zi + beta * *pi;
         }
     }
 
-    Ok(CgResult {
+    Ok(CgStats {
         converged: residual_norm <= threshold,
-        x,
         iterations,
         residual_norm,
     })
+}
+
+/// Scratch owned by one block-CG run: four `n × k` panels plus the
+/// per-column control state, all checked out of (and returned to) the
+/// workspace so steady-state rounds never allocate.
+struct BlockBuffers {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+    b_norm: Vec<f64>,
+    threshold: Vec<f64>,
+    rz: Vec<f64>,
+    rz_new: Vec<f64>,
+    pap: Vec<f64>,
+    alpha: Vec<f64>,
+    beta: Vec<f64>,
+    resid: Vec<f64>,
+    iters: Vec<usize>,
+    active: Vec<usize>,
+}
+
+impl BlockBuffers {
+    fn take(ws: &mut SolverWorkspace, n: usize, k: usize) -> Self {
+        BlockBuffers {
+            r: ws.take(n * k),
+            z: ws.take(n * k),
+            p: ws.take(n * k),
+            ap: ws.take(n * k),
+            b_norm: ws.take(k),
+            threshold: ws.take(k),
+            rz: ws.take(k),
+            rz_new: ws.take(k),
+            pap: ws.take(k),
+            alpha: ws.take(k),
+            beta: ws.take(k),
+            resid: ws.take(k),
+            iters: ws.take_indices(k),
+            active: ws.take_indices(k),
+        }
+    }
+
+    fn put(self, ws: &mut SolverWorkspace) {
+        ws.put_indices(self.active);
+        ws.put_indices(self.iters);
+        ws.put(self.resid);
+        ws.put(self.beta);
+        ws.put(self.alpha);
+        ws.put(self.pap);
+        ws.put(self.rz_new);
+        ws.put(self.rz);
+        ws.put(self.threshold);
+        ws.put(self.b_norm);
+        ws.put(self.ap);
+        ws.put(self.p);
+        ws.put(self.z);
+        ws.put(self.r);
+    }
+}
+
+/// Per-column sum of squares of a row-major `k`-wide panel.
+fn col_sumsq(panel: &[f64], k: usize, out: &mut [f64]) {
+    out.fill(0.0);
+    for row in panel.chunks_exact(k) {
+        for (o, &v) in out.iter_mut().zip(row) {
+            *o += v * v;
+        }
+    }
+}
+
+/// Per-column dot products of two row-major `k`-wide panels.
+///
+/// Accumulates over rows in ascending order, exactly like [`vecops::dot`]
+/// over a single gathered column — the bit-identity anchor for the block
+/// solver's reductions at any panel width.
+fn col_dots(a: &[f64], b: &[f64], k: usize, out: &mut [f64]) {
+    out.fill(0.0);
+    for (ra, rb) in a.chunks_exact(k).zip(b.chunks_exact(k)) {
+        for ((o, &x), &y) in out.iter_mut().zip(ra).zip(rb) {
+            *o += x * y;
+        }
+    }
+}
+
+/// `y[·,j] += alpha[j] * x[·,j]` for the columns with `active[j] == 1`.
+///
+/// Frozen columns are skipped rather than multiplied by zero: `v + 0.0 * w`
+/// is *not* a bitwise no-op (it rewrites `-0.0` and propagates non-finite
+/// `w`), and converged columns must come back bit-identical to a scalar
+/// solve that stopped at the same iteration.
+fn panel_axpy_masked(alpha: &[f64], active: &[usize], x: &[f64], y: &mut [f64], k: usize) {
+    if active.iter().all(|&a| a == 1) {
+        // All columns live (the common early rounds): drop the per-element
+        // mask test so the loop vectorizes. Arithmetic is unchanged.
+        for (xr, yr) in x.chunks_exact(k).zip(y.chunks_exact_mut(k)) {
+            for ((yj, &xj), &aj) in yr.iter_mut().zip(xr).zip(alpha) {
+                *yj += aj * xj;
+            }
+        }
+        return;
+    }
+    for (xr, yr) in x.chunks_exact(k).zip(y.chunks_exact_mut(k)) {
+        for j in 0..k {
+            if active[j] == 1 {
+                yr[j] += alpha[j] * xr[j];
+            }
+        }
+    }
+}
+
+/// `y[·,j] -= alpha[j] * x[·,j]` for active columns (see
+/// [`panel_axpy_masked`] for why frozen columns are skipped). Matches the
+/// scalar `axpy(-alpha, ..)` bitwise: negating the multiplier and negating
+/// the product round identically.
+fn panel_axmy_masked(alpha: &[f64], active: &[usize], x: &[f64], y: &mut [f64], k: usize) {
+    if active.iter().all(|&a| a == 1) {
+        for (xr, yr) in x.chunks_exact(k).zip(y.chunks_exact_mut(k)) {
+            for ((yj, &xj), &aj) in yr.iter_mut().zip(xr).zip(alpha) {
+                *yj -= aj * xj;
+            }
+        }
+        return;
+    }
+    for (xr, yr) in x.chunks_exact(k).zip(y.chunks_exact_mut(k)) {
+        for j in 0..k {
+            if active[j] == 1 {
+                yr[j] -= alpha[j] * xr[j];
+            }
+        }
+    }
+}
+
+/// `p[·,j] = z[·,j] + beta[j] * p[·,j]` for active columns.
+fn panel_direction_update(beta: &[f64], active: &[usize], z: &[f64], p: &mut [f64], k: usize) {
+    if active.iter().all(|&a| a == 1) {
+        for (zr, pr) in z.chunks_exact(k).zip(p.chunks_exact_mut(k)) {
+            for ((pj, &zj), &bj) in pr.iter_mut().zip(zr).zip(beta) {
+                *pj = zj + bj * *pj;
+            }
+        }
+        return;
+    }
+    for (zr, pr) in z.chunks_exact(k).zip(p.chunks_exact_mut(k)) {
+        for j in 0..k {
+            if active[j] == 1 {
+                pr[j] = zr[j] + beta[j] * pr[j];
+            }
+        }
+    }
+}
+
+/// Block conjugate gradient: solves `A X = B` for all columns of `B` in
+/// lockstep, advancing every right-hand side off a single operator panel
+/// application per round.
+///
+/// Column `j` of the result is bit-identical to
+/// [`conjugate_gradient_into`] on column `j` alone: the per-column
+/// reductions accumulate in the same order as [`vecops::dot`], converged or
+/// broken-down columns are frozen (skipped, not zero-multiplied), and the
+/// residual recomputation for frozen columns reproduces the same bits. That
+/// invariance also makes the result independent of how right-hand sides are
+/// partitioned into panels and of the thread count.
+///
+/// `stats` is cleared and refilled with one [`CgStats`] per column. A column
+/// that breaks down or exhausts the budget reports `converged = false`
+/// without disturbing the other columns.
+///
+/// # Errors
+///
+/// Same as [`conjugate_gradient`], plus
+/// [`SolverError::DimensionMismatch`] when `b` is not `a.dim()` rows or `x`
+/// is not the same shape as `b`.
+pub fn conjugate_gradient_block_into<A, M>(
+    a: &A,
+    b: &DenseMatrix,
+    preconditioner: &M,
+    options: CgOptions,
+    x: &mut DenseMatrix,
+    stats: &mut Vec<CgStats>,
+    ws: &mut SolverWorkspace,
+) -> Result<(), SolverError>
+where
+    A: PanelOperator + ?Sized,
+    M: Preconditioner + ?Sized,
+{
+    let n = a.dim();
+    if b.nrows() != n {
+        return Err(SolverError::DimensionMismatch {
+            expected: n,
+            actual: b.nrows(),
+        });
+    }
+    if x.shape() != b.shape() {
+        return Err(SolverError::DimensionMismatch {
+            expected: n * b.ncols(),
+            actual: x.nrows() * x.ncols(),
+        });
+    }
+    if !vecops::all_finite(b.as_slice()) {
+        return Err(SolverError::InvalidArgument {
+            reason: "right-hand side contains non-finite values".to_string(),
+        });
+    }
+    if !(options.tol > 0.0 && options.tol.is_finite()) {
+        return Err(SolverError::InvalidArgument {
+            reason: format!("tolerance {} must be positive and finite", options.tol),
+        });
+    }
+    stats.clear();
+    let k = b.ncols();
+    if k == 0 {
+        return Ok(());
+    }
+    let mut bufs = BlockBuffers::take(ws, n, k);
+    let out = block_cg_core(a, b, preconditioner, options, x, stats, &mut bufs, ws);
+    bufs.put(ws);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn block_cg_core<A, M>(
+    a: &A,
+    b: &DenseMatrix,
+    preconditioner: &M,
+    options: CgOptions,
+    x: &mut DenseMatrix,
+    stats: &mut Vec<CgStats>,
+    bufs: &mut BlockBuffers,
+    ws: &mut SolverWorkspace,
+) -> Result<(), SolverError>
+where
+    A: PanelOperator + ?Sized,
+    M: Preconditioner + ?Sized,
+{
+    let k = b.ncols();
+    x.as_mut_slice().fill(0.0);
+    col_sumsq(b.as_slice(), k, &mut bufs.pap);
+    for (bn, &sq) in bufs.b_norm.iter_mut().zip(bufs.pap.iter()) {
+        *bn = sq.sqrt();
+    }
+    for (th, &bn) in bufs.threshold.iter_mut().zip(bufs.b_norm.iter()) {
+        *th = options.tol * bn;
+    }
+    // Failpoint parity with the scalar path: every column reports an
+    // exhausted budget.
+    if cirstag_linalg::fail::trigger("solver/cg").is_some() {
+        for j in 0..k {
+            stats.push(CgStats {
+                iterations: 0,
+                residual_norm: bufs.b_norm[j],
+                converged: false,
+            });
+        }
+        return Ok(());
+    }
+    let mut active_count = 0usize;
+    for j in 0..k {
+        bufs.resid[j] = bufs.b_norm[j];
+        bufs.iters[j] = 0;
+        // A column starts active exactly when the scalar loop would enter
+        // its first iteration (nonzero rhs above tolerance, budget > 0).
+        bufs.active[j] = if bufs.resid[j] > bufs.threshold[j] && options.max_iter > 0 {
+            1
+        } else {
+            0
+        };
+        active_count += bufs.active[j];
+    }
+    // Failpoint: poison the lowest-indexed live column before round 0 so
+    // tests can watch the fallback ladder retry it while the others stay
+    // converged and untouched.
+    if cirstag_linalg::fail::trigger("solver/cg-block-column").is_some() {
+        if let Some(j) = (0..k).find(|&j| bufs.active[j] == 1) {
+            bufs.active[j] = 0;
+            active_count -= 1;
+        }
+    }
+
+    bufs.r.copy_from_slice(b.as_slice());
+    preconditioner.apply_panel(&bufs.r, &mut bufs.z, k, ws)?;
+    bufs.p.copy_from_slice(&bufs.z);
+    col_dots(&bufs.r, &bufs.z, k, &mut bufs.rz);
+
+    while active_count > 0 {
+        a.apply_panel(&bufs.p, &mut bufs.ap, k)?;
+        col_dots(&bufs.p, &bufs.ap, k, &mut bufs.pap);
+        for j in 0..k {
+            if bufs.active[j] == 1 && (bufs.pap[j] <= 0.0 || !bufs.pap[j].is_finite()) {
+                // Breakdown on this column only: freeze it at the current
+                // (best) iterate, exactly where the scalar loop would break.
+                bufs.active[j] = 0;
+                active_count -= 1;
+            }
+            bufs.alpha[j] = if bufs.active[j] == 1 {
+                bufs.rz[j] / bufs.pap[j]
+            } else {
+                0.0
+            };
+        }
+        panel_axpy_masked(&bufs.alpha, &bufs.active, &bufs.p, x.as_mut_slice(), k);
+        panel_axmy_masked(&bufs.alpha, &bufs.active, &bufs.ap, &mut bufs.r, k);
+        // Residuals are recomputed for every column; frozen columns have an
+        // unchanged `r`, so they reproduce the same bits round after round.
+        col_sumsq(&bufs.r, k, &mut bufs.rz_new);
+        for (res, &sq) in bufs.resid.iter_mut().zip(bufs.rz_new.iter()) {
+            *res = sq.sqrt();
+        }
+        for j in 0..k {
+            if bufs.active[j] == 1 {
+                bufs.iters[j] += 1;
+                if bufs.resid[j] <= bufs.threshold[j] || bufs.iters[j] >= options.max_iter {
+                    bufs.active[j] = 0;
+                    active_count -= 1;
+                }
+            }
+        }
+        if active_count == 0 {
+            break;
+        }
+        preconditioner.apply_panel(&bufs.r, &mut bufs.z, k, ws)?;
+        col_dots(&bufs.r, &bufs.z, k, &mut bufs.rz_new);
+        for j in 0..k {
+            if bufs.active[j] == 1 {
+                bufs.beta[j] = bufs.rz_new[j] / bufs.rz[j];
+                bufs.rz[j] = bufs.rz_new[j];
+            }
+        }
+        panel_direction_update(&bufs.beta, &bufs.active, &bufs.z, &mut bufs.p, k);
+    }
+
+    for j in 0..k {
+        stats.push(CgStats {
+            iterations: bufs.iters[j],
+            residual_norm: bufs.resid[j],
+            converged: bufs.resid[j] <= bufs.threshold[j],
+        });
+    }
+    Ok(())
+}
+
+/// Outcome of a block conjugate-gradient solve.
+#[derive(Debug, Clone)]
+pub struct BlockCgResult {
+    /// Solution panel, one column per right-hand side.
+    pub x: DenseMatrix,
+    /// Per-column convergence summaries.
+    pub columns: Vec<CgStats>,
+}
+
+/// A conjugate-gradient driver that owns its scratch workspace.
+///
+/// Wraps the free functions so repeated solves (scalar or blocked) reuse one
+/// [`SolverWorkspace`]: after the first solve warms the pool, steady-state
+/// iterations perform zero heap allocations.
+///
+/// # Example
+///
+/// ```
+/// use cirstag_linalg::CsrMatrix;
+/// use cirstag_solver::{CgOptions, CgSolver, CsrOperator, IdentityPreconditioner};
+///
+/// # fn main() -> Result<(), cirstag_solver::SolverError> {
+/// let m = CsrMatrix::from_diagonal(&[2.0, 4.0]);
+/// let op = CsrOperator::new(&m);
+/// let mut solver = CgSolver::new(CgOptions::default());
+/// let result = solver.solve(&op, &[2.0, 4.0], &IdentityPreconditioner)?;
+/// assert!(result.converged);
+/// assert!((result.x[0] - 1.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct CgSolver {
+    options: CgOptions,
+    workspace: SolverWorkspace,
+}
+
+impl CgSolver {
+    /// Creates a solver with the given options and an empty workspace.
+    pub fn new(options: CgOptions) -> Self {
+        CgSolver {
+            options,
+            workspace: SolverWorkspace::new(),
+        }
+    }
+
+    /// The options every solve uses.
+    pub fn options(&self) -> CgOptions {
+        self.options
+    }
+
+    /// Read access to the scratch workspace (e.g. to assert on
+    /// [`SolverWorkspace::misses`] in allocation-discipline tests).
+    pub fn workspace(&self) -> &SolverWorkspace {
+        &self.workspace
+    }
+
+    /// Solves `A x = b`, allocating the solution vector.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`conjugate_gradient`].
+    pub fn solve<A, M>(
+        &mut self,
+        a: &A,
+        b: &[f64],
+        preconditioner: &M,
+    ) -> Result<CgResult, SolverError>
+    where
+        A: LinearOperator + ?Sized,
+        M: Preconditioner + ?Sized,
+    {
+        let mut x = vec![0.0; a.dim()];
+        let stats = self.solve_into(a, b, preconditioner, &mut x)?;
+        Ok(CgResult {
+            x,
+            iterations: stats.iterations,
+            residual_norm: stats.residual_norm,
+            converged: stats.converged,
+        })
+    }
+
+    /// Solves `A x = b` into a caller-provided vector; allocation-free once
+    /// the workspace is warm.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`conjugate_gradient_into`].
+    pub fn solve_into<A, M>(
+        &mut self,
+        a: &A,
+        b: &[f64],
+        preconditioner: &M,
+        x: &mut [f64],
+    ) -> Result<CgStats, SolverError>
+    where
+        A: LinearOperator + ?Sized,
+        M: Preconditioner + ?Sized,
+    {
+        conjugate_gradient_into(a, b, preconditioner, self.options, x, &mut self.workspace)
+    }
+
+    /// Solves `A X = B` for all columns of `B` in lockstep, allocating the
+    /// solution panel. See [`conjugate_gradient_block_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`conjugate_gradient_block_into`].
+    pub fn solve_block<A, M>(
+        &mut self,
+        a: &A,
+        b: &DenseMatrix,
+        preconditioner: &M,
+    ) -> Result<BlockCgResult, SolverError>
+    where
+        A: PanelOperator + ?Sized,
+        M: Preconditioner + ?Sized,
+    {
+        let mut x = DenseMatrix::zeros(b.nrows(), b.ncols());
+        let mut columns = Vec::with_capacity(b.ncols());
+        self.solve_block_into(a, b, preconditioner, &mut x, &mut columns)?;
+        Ok(BlockCgResult { x, columns })
+    }
+
+    /// Solves `A X = B` into caller-provided storage; allocation-free once
+    /// the workspace and `stats` capacity are warm.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`conjugate_gradient_block_into`].
+    pub fn solve_block_into<A, M>(
+        &mut self,
+        a: &A,
+        b: &DenseMatrix,
+        preconditioner: &M,
+        x: &mut DenseMatrix,
+        stats: &mut Vec<CgStats>,
+    ) -> Result<(), SolverError>
+    where
+        A: PanelOperator + ?Sized,
+        M: Preconditioner + ?Sized,
+    {
+        conjugate_gradient_block_into(
+            a,
+            b,
+            preconditioner,
+            self.options,
+            x,
+            stats,
+            &mut self.workspace,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -367,6 +1051,176 @@ mod tests {
         assert!(!res.converged);
         assert_eq!(res.iterations, 1);
         assert!(res.residual_norm.is_finite());
+    }
+
+    #[test]
+    fn cg_into_matches_allocating_form_bitwise() {
+        let m = spd_matrix();
+        let op = CsrOperator::new(&m);
+        let b = [1.0, -2.0, 3.0];
+        let reference =
+            conjugate_gradient(&op, &b, &IdentityPreconditioner, CgOptions::default()).unwrap();
+        let mut ws = SolverWorkspace::new();
+        let mut x = vec![0.0; 3];
+        let stats = conjugate_gradient_into(
+            &op,
+            &b,
+            &IdentityPreconditioner,
+            CgOptions::default(),
+            &mut x,
+            &mut ws,
+        )
+        .unwrap();
+        assert_eq!(stats.iterations, reference.iterations);
+        assert_eq!(stats.converged, reference.converged);
+        assert_eq!(
+            stats.residual_norm.to_bits(),
+            reference.residual_norm.to_bits()
+        );
+        for (a, b) in x.iter().zip(&reference.x) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Second solve with the warmed workspace: no new pool misses.
+        let misses = ws.misses();
+        conjugate_gradient_into(
+            &op,
+            &b,
+            &IdentityPreconditioner,
+            CgOptions::default(),
+            &mut x,
+            &mut ws,
+        )
+        .unwrap();
+        assert_eq!(ws.misses(), misses);
+    }
+
+    fn laplacian_like() -> CsrMatrix {
+        // SPD system large enough for CG to take several iterations.
+        let n = 24;
+        let mut trips = Vec::new();
+        for i in 0..n {
+            trips.push((i, i, 4.0 + (i % 3) as f64));
+            if i + 1 < n {
+                trips.push((i, i + 1, -1.0));
+                trips.push((i + 1, i, -1.0));
+            }
+            if i + 5 < n {
+                trips.push((i, i + 5, -0.5));
+                trips.push((i + 5, i, -0.5));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &trips).unwrap()
+    }
+
+    #[test]
+    fn block_cg_columns_are_bit_identical_to_scalar_cg() {
+        let m = laplacian_like();
+        let n = m.nrows();
+        let op = CsrOperator::new(&m);
+        let pre = JacobiPreconditioner::from_matrix(&m);
+        let k = 5;
+        let mut cols = Vec::new();
+        for j in 0..k {
+            cols.push(
+                (0..n)
+                    .map(|i| ((i * 7 + j * 13) % 11) as f64 - 5.0)
+                    .collect::<Vec<f64>>(),
+            );
+        }
+        // Include a zero column and a trivially-converged column.
+        cols[3].iter_mut().for_each(|v| *v = 0.0);
+        let b = DenseMatrix::from_columns(&cols).unwrap();
+        let mut solver = CgSolver::new(CgOptions {
+            tol: 1e-10,
+            max_iter: 200,
+        });
+        let block = solver.solve_block(&op, &b, &pre).unwrap();
+        assert_eq!(block.columns.len(), k);
+        for (j, col) in cols.iter().enumerate() {
+            let scalar = conjugate_gradient(&op, col, &pre, solver.options()).unwrap();
+            assert_eq!(block.columns[j].iterations, scalar.iterations, "col {j}");
+            assert_eq!(block.columns[j].converged, scalar.converged, "col {j}");
+            assert_eq!(
+                block.columns[j].residual_norm.to_bits(),
+                scalar.residual_norm.to_bits(),
+                "col {j}"
+            );
+            for i in 0..n {
+                assert_eq!(
+                    block.x.get(i, j).to_bits(),
+                    scalar.x[i].to_bits(),
+                    "col {j}, row {i}"
+                );
+            }
+        }
+        // Partitioning invariance: solving a sub-panel gives the same columns.
+        let sub = DenseMatrix::from_columns(&cols[1..3]).unwrap();
+        let sub_res = solver.solve_block(&op, &sub, &pre).unwrap();
+        for (jj, j) in (1..3).enumerate() {
+            for i in 0..n {
+                assert_eq!(sub_res.x.get(i, jj).to_bits(), block.x.get(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn block_cg_budget_masking_freezes_columns_independently() {
+        let m = laplacian_like();
+        let n = m.nrows();
+        let op = CsrOperator::new(&m);
+        let pre = JacobiPreconditioner::from_matrix(&m);
+        // An easy column next to a budget-starved tolerance: with a tiny
+        // max_iter the hard tolerance columns stop unconverged while the
+        // zero column converges instantly.
+        let hard: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let zero = vec![0.0; n];
+        let b = DenseMatrix::from_columns(&[hard.clone(), zero]).unwrap();
+        let opts = CgOptions {
+            tol: 1e-14,
+            max_iter: 2,
+        };
+        let mut solver = CgSolver::new(opts);
+        let block = solver.solve_block(&op, &b, &pre).unwrap();
+        assert!(!block.columns[0].converged);
+        assert_eq!(block.columns[0].iterations, 2);
+        assert!(block.columns[1].converged);
+        assert_eq!(block.columns[1].iterations, 0);
+        // The starved column still matches its scalar twin bitwise.
+        let scalar = conjugate_gradient(&op, &hard, &pre, opts).unwrap();
+        for i in 0..n {
+            assert_eq!(block.x.get(i, 0).to_bits(), scalar.x[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn block_cg_rejects_bad_shapes() {
+        let m = spd_matrix();
+        let op = CsrOperator::new(&m);
+        let b = DenseMatrix::zeros(4, 2);
+        let mut solver = CgSolver::new(CgOptions::default());
+        assert!(matches!(
+            solver.solve_block(&op, &b, &IdentityPreconditioner),
+            Err(SolverError::DimensionMismatch { .. })
+        ));
+        let good_b = DenseMatrix::zeros(3, 2);
+        let mut bad_x = DenseMatrix::zeros(3, 1);
+        let mut stats = Vec::new();
+        assert!(matches!(
+            solver.solve_block_into(
+                &op,
+                &good_b,
+                &IdentityPreconditioner,
+                &mut bad_x,
+                &mut stats
+            ),
+            Err(SolverError::DimensionMismatch { .. })
+        ));
+        // Empty panel is a no-op.
+        let empty = DenseMatrix::zeros(3, 0);
+        let res = solver
+            .solve_block(&op, &empty, &IdentityPreconditioner)
+            .unwrap();
+        assert!(res.columns.is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! costs one sparse product with `L_X` plus one Laplacian solve with `L_Y`.
 
 use crate::lanczos::XorShift;
-use crate::{LaplacianSolver, SolverError};
+use crate::{LaplacianSolver, SolverError, SolverWorkspace};
 use cirstag_linalg::{tridiag_eigen, vecops, CsrMatrix, DenseMatrix};
 
 /// Largest generalized eigenpairs of `L_X v = ζ L_Y v`.
@@ -43,6 +43,27 @@ pub fn generalized_lanczos(
     max_iter: usize,
     seed: u64,
 ) -> Result<GeneralizedEigen, SolverError> {
+    let mut ws = SolverWorkspace::new();
+    generalized_lanczos_ws(lx, ly_solver, s, max_iter, seed, &mut ws)
+}
+
+/// [`generalized_lanczos`] with caller-provided scratch: start vectors, the
+/// per-step products and every Krylov basis/B-image vector come from `ws`
+/// and return to it on exit, so repeated pencils against a warm workspace
+/// allocate nothing in the iteration loop. Bit-identical to
+/// [`generalized_lanczos`].
+///
+/// # Errors
+///
+/// Same as [`generalized_lanczos`].
+pub fn generalized_lanczos_ws(
+    lx: &CsrMatrix,
+    ly_solver: &LaplacianSolver,
+    s: usize,
+    max_iter: usize,
+    seed: u64,
+    ws: &mut SolverWorkspace,
+) -> Result<GeneralizedEigen, SolverError> {
     let n = ly_solver.dim();
     if lx.nrows() != n || lx.ncols() != n {
         return Err(SolverError::DimensionMismatch {
@@ -65,20 +86,70 @@ pub fn generalized_lanczos(
             residual: f64::INFINITY,
         });
     }
+    let mut basis: Vec<Vec<f64>> = Vec::new();
+    let mut bimages: Vec<Vec<f64>> = Vec::new();
+    let mut z = ws.take(n);
+    let mut w = ws.take(n);
+    let mut lw = ws.take(n);
+    let result = geig_core(
+        lx,
+        ly_solver,
+        s,
+        max_iter,
+        seed,
+        &mut basis,
+        &mut bimages,
+        &mut z,
+        &mut w,
+        &mut lw,
+        ws,
+    );
+    ws.put(lw);
+    ws.put(w);
+    ws.put(z);
+    for b in bimages.drain(..) {
+        ws.put(b);
+    }
+    for b in basis.drain(..) {
+        ws.put(b);
+    }
+    result
+}
+
+/// Iteration loop of [`generalized_lanczos_ws`]; the wrapper owns draining
+/// the basis and B-image vectors back into the workspace on every exit path.
+#[allow(clippy::too_many_arguments)]
+fn geig_core(
+    lx: &CsrMatrix,
+    ly_solver: &LaplacianSolver,
+    s: usize,
+    max_iter: usize,
+    seed: u64,
+    basis: &mut Vec<Vec<f64>>,
+    bimages: &mut Vec<Vec<f64>>,
+    z: &mut [f64],
+    w: &mut [f64],
+    lw: &mut [f64],
+    ws: &mut SolverWorkspace,
+) -> Result<GeneralizedEigen, SolverError> {
+    let n = ly_solver.dim();
     let ly = ly_solver.laplacian();
     let max_iter = max_iter.min(n.saturating_sub(1)).max(s);
 
     let mut rng = XorShift::new(seed);
     // B-normalized, mean-zero start vector.
-    let mut q = vec![0.0; n];
+    let mut q = ws.take(n);
     for x in q.iter_mut() {
         *x = rng.next_f64();
     }
     vecops::center(&mut q);
-    let mut p = ly.mul_vec(&q); // p = L_Y q
+    let mut p = ws.take(n);
+    ly.try_mul_vec_into(&q, &mut p)?; // p = L_Y q
     let bnorm = vecops::dot(&q, &p).max(0.0).sqrt();
     // cirstag-lint: allow(float-discipline) -- exact-zero norm detects a start vector annihilated by L_Y
     if bnorm == 0.0 {
+        ws.put(p);
+        ws.put(q);
         return Err(SolverError::InvalidArgument {
             reason: "start vector degenerate under the L_Y inner product".to_string(),
         });
@@ -87,36 +158,35 @@ pub fn generalized_lanczos(
     vecops::scale(1.0 / bnorm, &mut p);
 
     // basis[j] = q_j, bimages[j] = L_Y q_j.
-    let mut basis: Vec<Vec<f64>> = vec![q];
-    let mut bimages: Vec<Vec<f64>> = vec![p];
+    basis.push(q);
+    bimages.push(p);
     let mut alphas: Vec<f64> = Vec::new();
     let mut betas: Vec<f64> = Vec::new();
 
     loop {
         let j = alphas.len();
-        let qj = basis[j].clone();
         // z = L_X q_j (mean-zero since 1 is in L_X's nullspace).
-        let z = lx.mul_vec(&qj);
+        lx.try_mul_vec_into(&basis[j], z)?;
         // w = L_Y⁺ z = A q_j.
-        let mut w = ly_solver.solve(&z)?;
+        ly_solver.solve_into(z, w)?;
         // alpha_j = ⟨A q_j, q_j⟩_B = zᵀ q_j.
-        let alpha = vecops::dot(&z, &qj);
+        let alpha = vecops::dot(z, &basis[j]);
         alphas.push(alpha);
-        vecops::axpy(-alpha, &qj, &mut w);
+        vecops::axpy(-alpha, &basis[j], w);
         if j > 0 {
             let beta_prev = betas[j - 1];
-            vecops::axpy(-beta_prev, &basis[j - 1], &mut w);
+            vecops::axpy(-beta_prev, &basis[j - 1], w);
         }
         // Full B-reorthogonalization: ⟨w, q_i⟩_B = wᵀ (L_Y q_i).
         for _ in 0..2 {
-            for (b, bi) in basis.iter().zip(&bimages) {
-                let c = vecops::dot(&w, bi);
-                vecops::axpy(-c, b, &mut w);
+            for (b, bi) in basis.iter().zip(bimages.iter()) {
+                let c = vecops::dot(w, bi);
+                vecops::axpy(-c, b, w);
             }
         }
-        vecops::center(&mut w);
-        let lw = ly.mul_vec(&w);
-        let beta = vecops::dot(&w, &lw).max(0.0).sqrt();
+        vecops::center(w);
+        ly.try_mul_vec_into(w, lw)?;
+        let beta = vecops::dot(w, lw).max(0.0).sqrt();
         let m = alphas.len();
         let breakdown = beta < 1e-12;
         let done_budget = m >= max_iter;
@@ -161,26 +231,28 @@ pub fn generalized_lanczos(
         }
         if breakdown {
             // Restart with a fresh B-orthogonal direction.
-            let mut fresh = vec![0.0; n];
+            let mut fresh = ws.take(n);
             for x in fresh.iter_mut() {
                 *x = rng.next_f64();
             }
             vecops::center(&mut fresh);
-            for (b, bi) in basis.iter().zip(&bimages) {
+            for (b, bi) in basis.iter().zip(bimages.iter()) {
                 let c = vecops::dot(&fresh, bi);
                 vecops::axpy(-c, b, &mut fresh);
             }
             vecops::center(&mut fresh);
-            let lf = ly.mul_vec(&fresh);
+            let mut lf = ws.take(n);
+            ly.try_mul_vec_into(&fresh, &mut lf)?;
             let fb = vecops::dot(&fresh, &lf).max(0.0).sqrt();
             if fb < 1e-12 {
+                ws.put(lf);
+                ws.put(fresh);
                 return Err(SolverError::NoConvergence {
                     algorithm: "generalized lanczos (krylov exhausted)",
                     iterations: alphas.len(),
                     residual: beta,
                 });
             }
-            let mut lf = lf;
             vecops::scale(1.0 / fb, &mut fresh);
             vecops::scale(1.0 / fb, &mut lf);
             betas.push(0.0);
@@ -188,8 +260,13 @@ pub fn generalized_lanczos(
             bimages.push(lf);
         } else {
             betas.push(beta);
-            let mut nq = w;
-            let mut np = lw;
+            // Historically `w`/`lw` were moved into the basis; copying into
+            // pooled buffers leaves the scratch reusable and scales the same
+            // bits.
+            let mut nq = ws.take(n);
+            nq.copy_from_slice(w);
+            let mut np = ws.take(n);
+            np.copy_from_slice(lw);
             vecops::scale(1.0 / beta, &mut nq);
             vecops::scale(1.0 / beta, &mut np);
             basis.push(nq);
@@ -320,6 +397,48 @@ mod tests {
         let r = generalized_lanczos(&lx, &solver, 3, 40, 1.0 as u64).unwrap();
         for &v in &r.eigenvalues {
             assert!((v - 1.0).abs() < 1e-6, "eigenvalue {v}");
+        }
+    }
+
+    #[test]
+    fn workspace_form_is_bit_identical_and_reuses_buffers() {
+        let gx = cycle_graph(12, 2.0);
+        let gy = cycle_graph(12, 1.0);
+        let solver = LaplacianSolver::new(&gy).unwrap();
+        let lx = gx.laplacian();
+
+        let plain = generalized_lanczos(&lx, &solver, 3, 40, 9).unwrap();
+
+        let mut ws = SolverWorkspace::new();
+        let pooled = generalized_lanczos_ws(&lx, &solver, 3, 40, 9, &mut ws).unwrap();
+
+        assert_eq!(plain.eigenvalues.len(), pooled.eigenvalues.len());
+        for (a, b) in plain.eigenvalues.iter().zip(&pooled.eigenvalues) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "eigenvalues must be bitwise equal"
+            );
+        }
+        for (a, b) in plain
+            .eigenvectors
+            .as_slice()
+            .iter()
+            .zip(pooled.eigenvectors.as_slice())
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "eigenvectors must be bitwise equal"
+            );
+        }
+
+        // A warmed workspace must not allocate on a repeat run.
+        let misses = ws.misses();
+        let again = generalized_lanczos_ws(&lx, &solver, 3, 40, 9, &mut ws).unwrap();
+        assert_eq!(ws.misses(), misses, "warm rerun must not allocate");
+        for (a, b) in pooled.eigenvalues.iter().zip(&again.eigenvalues) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -1,6 +1,6 @@
 //! Lanczos iteration with full reorthogonalization.
 
-use crate::{CsrOperator, LinearOperator, ScaledShiftedOperator, SolverError};
+use crate::{CsrOperator, LinearOperator, ScaledShiftedOperator, SolverError, SolverWorkspace};
 use cirstag_graph::Graph;
 use cirstag_linalg::{tridiag_eigen, vecops, DenseMatrix};
 
@@ -77,6 +77,30 @@ pub fn lanczos_largest<A>(
 where
     A: LinearOperator + ?Sized,
 {
+    let mut ws = SolverWorkspace::new();
+    lanczos_largest_ws(op, k, max_iter, tol, seed, &mut ws)
+}
+
+/// [`lanczos_largest`] with caller-provided scratch: every per-iteration
+/// buffer (start vector, residual, each Krylov basis vector) is checked out
+/// of `ws` and returned on exit, so repeated solves against a warm workspace
+/// allocate nothing in the iteration loop. Bit-identical to
+/// [`lanczos_largest`].
+///
+/// # Errors
+///
+/// Same as [`lanczos_largest`].
+pub fn lanczos_largest_ws<A>(
+    op: &A,
+    k: usize,
+    max_iter: usize,
+    tol: f64,
+    seed: u64,
+    ws: &mut SolverWorkspace,
+) -> Result<LanczosResult, SolverError>
+where
+    A: LinearOperator + ?Sized,
+{
     let n = op.dim();
     if k == 0 || k > n {
         return Err(SolverError::InvalidArgument {
@@ -92,39 +116,62 @@ where
             residual: f64::INFINITY,
         });
     }
+    let mut basis: Vec<Vec<f64>> = Vec::new();
+    let mut w = ws.take(n);
+    let result = lanczos_core(op, k, max_iter, tol, seed, &mut basis, &mut w, ws);
+    ws.put(w);
+    for b in basis.drain(..) {
+        ws.put(b);
+    }
+    result
+}
+
+/// Iteration loop of [`lanczos_largest_ws`]; the wrapper owns draining the
+/// basis back into the workspace on every exit path.
+#[allow(clippy::too_many_arguments)]
+fn lanczos_core<A>(
+    op: &A,
+    k: usize,
+    max_iter: usize,
+    tol: f64,
+    seed: u64,
+    basis: &mut Vec<Vec<f64>>,
+    w: &mut [f64],
+    ws: &mut SolverWorkspace,
+) -> Result<LanczosResult, SolverError>
+where
+    A: LinearOperator + ?Sized,
+{
+    let n = op.dim();
     let max_iter = max_iter.min(n).max(k);
     let mut rng = XorShift::new(seed);
-    let mut q = vec![0.0; n];
+    let mut q = ws.take(n);
     for x in q.iter_mut() {
         *x = rng.next_f64();
     }
     vecops::normalize(&mut q);
-
-    let mut basis: Vec<Vec<f64>> = vec![q];
+    basis.push(q);
     let mut alphas: Vec<f64> = Vec::new();
     let mut betas: Vec<f64> = Vec::new();
-    let mut w = vec![0.0; n];
 
     loop {
         let j = alphas.len();
-        let qj = basis[j].clone();
-        op.apply(&qj, &mut w)?;
-        let alpha = vecops::dot(&w, &qj);
+        op.apply(&basis[j], w)?;
+        let alpha = vecops::dot(w, &basis[j]);
         alphas.push(alpha);
-        vecops::axpy(-alpha, &qj, &mut w);
+        vecops::axpy(-alpha, &basis[j], w);
         if j > 0 {
             let beta_prev = betas[j - 1];
-            let qprev = &basis[j - 1];
-            vecops::axpy(-beta_prev, qprev, &mut w);
+            vecops::axpy(-beta_prev, &basis[j - 1], w);
         }
         // Full reorthogonalization (twice for safety).
         for _ in 0..2 {
-            for b in &basis {
-                let c = vecops::dot(&w, b);
-                vecops::axpy(-c, b, &mut w);
+            for b in basis.iter() {
+                let c = vecops::dot(w, b);
+                vecops::axpy(-c, b, w);
             }
         }
-        let beta = vecops::norm2(&w);
+        let beta = vecops::norm2(w);
         let m = alphas.len();
 
         // Convergence check (cheap relative to the operator applications for
@@ -182,16 +229,17 @@ where
         if breakdown {
             // Krylov space exhausted before finding k pairs: restart with a
             // fresh random direction orthogonal to the current basis.
-            let mut fresh = vec![0.0; n];
+            let mut fresh = ws.take(n);
             for x in fresh.iter_mut() {
                 *x = rng.next_f64();
             }
-            for b in &basis {
+            for b in basis.iter() {
                 let c = vecops::dot(&fresh, b);
                 vecops::axpy(-c, b, &mut fresh);
             }
             // cirstag-lint: allow(float-discipline) -- normalize returns exactly 0.0 only for an all-zero vector (Krylov exhaustion)
             if vecops::normalize(&mut fresh) == 0.0 {
+                ws.put(fresh);
                 return Err(SolverError::NoConvergence {
                     algorithm: "lanczos (krylov exhausted)",
                     iterations: alphas.len(),
@@ -202,7 +250,8 @@ where
             basis.push(fresh);
         } else {
             betas.push(beta);
-            let mut next = w.clone();
+            let mut next = ws.take(n);
+            next.copy_from_slice(w);
             vecops::scale(1.0 / beta, &mut next);
             basis.push(next);
         }
@@ -229,9 +278,27 @@ pub fn smallest_normalized_laplacian_eigs(
     tol: f64,
     seed: u64,
 ) -> Result<(Vec<f64>, DenseMatrix), SolverError> {
+    let mut ws = SolverWorkspace::new();
+    smallest_normalized_laplacian_eigs_ws(g, m, max_iter, tol, seed, &mut ws)
+}
+
+/// [`smallest_normalized_laplacian_eigs`] with caller-provided scratch (see
+/// [`lanczos_largest_ws`]); bit-identical to the allocating form.
+///
+/// # Errors
+///
+/// Same as [`smallest_normalized_laplacian_eigs`].
+pub fn smallest_normalized_laplacian_eigs_ws(
+    g: &Graph,
+    m: usize,
+    max_iter: usize,
+    tol: f64,
+    seed: u64,
+    ws: &mut SolverWorkspace,
+) -> Result<(Vec<f64>, DenseMatrix), SolverError> {
     let l_norm = g.normalized_laplacian();
     let flipped = ScaledShiftedOperator::new(2.0, -1.0, CsrOperator::new(&l_norm));
-    let res = lanczos_largest(&flipped, m, max_iter, tol, seed)?;
+    let res = lanczos_largest_ws(&flipped, m, max_iter, tol, seed, ws)?;
     // mu = 2 - lambda, descending mu <=> ascending lambda.
     let eigenvalues: Vec<f64> = res
         .eigenvalues
@@ -360,5 +427,39 @@ mod tests {
         let a = lanczos_largest(&op, 2, 30, 1e-10, 123).unwrap();
         let b = lanczos_largest(&op, 2, 30, 1e-10, 123).unwrap();
         assert_eq!(a.eigenvalues, b.eigenvalues);
+    }
+
+    #[test]
+    fn workspace_form_is_bit_identical_and_reuses_buffers() {
+        let mut trips = Vec::new();
+        let n = 30;
+        for i in 0..n {
+            trips.push((i, i, (i % 7) as f64 + 1.0));
+            if i + 1 < n {
+                trips.push((i, i + 1, 0.5));
+                trips.push((i + 1, i, 0.5));
+            }
+        }
+        let m = CsrMatrix::from_triplets(n, n, &trips).unwrap();
+        let op = CsrOperator::new(&m);
+        let reference = lanczos_largest(&op, 3, 60, 1e-10, 7).unwrap();
+        let mut ws = SolverWorkspace::new();
+        let first = lanczos_largest_ws(&op, 3, 60, 1e-10, 7, &mut ws).unwrap();
+        assert_eq!(first.iterations, reference.iterations);
+        for (a, b) in first.eigenvalues.iter().zip(&reference.eigenvalues) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            first.eigenvectors.as_slice(),
+            reference.eigenvectors.as_slice()
+        );
+        // A second run against the warm workspace allocates no new buffers.
+        let misses = ws.misses();
+        let second = lanczos_largest_ws(&op, 3, 60, 1e-10, 7, &mut ws).unwrap();
+        assert_eq!(ws.misses(), misses, "warm rerun must not allocate");
+        assert_eq!(
+            second.eigenvectors.as_slice(),
+            reference.eigenvectors.as_slice()
+        );
     }
 }

@@ -5,8 +5,8 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 use crate::{
-    conjugate_gradient, CgOptions, CsrOperator, JacobiPreconditioner, Preconditioner, SolverError,
-    TreePreconditioner,
+    conjugate_gradient_block_into, conjugate_gradient_into, CgOptions, CgStats, CsrOperator,
+    JacobiPreconditioner, Preconditioner, SolverError, SolverWorkspace, TreePreconditioner,
 };
 use cirstag_graph::{Graph, GraphError};
 use cirstag_linalg::vecops;
@@ -104,6 +104,29 @@ impl Preconditioner for RungPreconditioner {
             RungPreconditioner::Tree(p) => p.apply(r, z),
         }
     }
+
+    fn apply_panel(
+        &self,
+        r: &[f64],
+        z: &mut [f64],
+        ncols: usize,
+        ws: &mut SolverWorkspace,
+    ) -> Result<(), SolverError> {
+        match self {
+            RungPreconditioner::Identity => {
+                if r.len() != z.len() {
+                    return Err(SolverError::DimensionMismatch {
+                        expected: r.len(),
+                        actual: z.len(),
+                    });
+                }
+                z.copy_from_slice(r);
+                Ok(())
+            }
+            RungPreconditioner::Jacobi(p) => p.apply_panel(r, z, ncols, ws),
+            RungPreconditioner::Tree(p) => p.apply_panel(r, z, ncols, ws),
+        }
+    }
 }
 
 /// Solves `L x = b` for the Laplacian of a *connected* graph.
@@ -149,6 +172,7 @@ pub struct LaplacianSolver {
     options: CgOptions,
     escalate: bool,
     state: Mutex<LadderState>,
+    workspace: Mutex<SolverWorkspace>,
 }
 
 impl Clone for LaplacianSolver {
@@ -160,6 +184,9 @@ impl Clone for LaplacianSolver {
             options: self.options,
             escalate: self.escalate,
             state: Mutex::new(state),
+            // Scratch buffers are cheap to re-warm; clones start cold rather
+            // than duplicating pooled allocations.
+            workspace: Mutex::new(SolverWorkspace::new()),
         }
     }
 }
@@ -256,11 +283,30 @@ impl LaplacianSolver {
             options,
             escalate,
             state: Mutex::new(state),
+            workspace: Mutex::new(SolverWorkspace::new()),
         })
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, LadderState> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Checks the shared scratch workspace out of its mutex so a solve can
+    /// run without holding the lock; pair with [`Self::return_workspace`].
+    fn take_workspace(&self) -> SolverWorkspace {
+        std::mem::take(
+            &mut *self
+                .workspace
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+
+    fn return_workspace(&self, ws: SolverWorkspace) {
+        self.workspace
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .absorb(ws);
     }
 
     /// Dimension of the system (number of graph nodes).
@@ -304,49 +350,282 @@ impl LaplacianSolver {
     /// - [`SolverError::DimensionMismatch`] when `b.len() != self.dim()`.
     /// - [`SolverError::NoConvergence`] when the (final) strategy fails.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolverError> {
+        let mut x = vec![0.0; self.dim()];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `L x = b` into a caller-provided vector — the allocation-free
+    /// form of [`LaplacianSolver::solve`] (steady-state solves reuse pooled
+    /// scratch buffers once the internal workspace is warm).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LaplacianSolver::solve`], plus
+    /// [`SolverError::DimensionMismatch`] when `x.len() != self.dim()`.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<(), SolverError> {
         if b.len() != self.dim() {
             return Err(SolverError::DimensionMismatch {
                 expected: self.dim(),
                 actual: b.len(),
             });
         }
-        let mut rhs = b.to_vec();
+        if x.len() != self.dim() {
+            return Err(SolverError::DimensionMismatch {
+                expected: self.dim(),
+                actual: x.len(),
+            });
+        }
+        let mut ws = self.take_workspace();
+        let mut rhs = ws.take(b.len());
+        rhs.copy_from_slice(b);
         vecops::center(&mut rhs);
+        let outcome = self.solve_ladder(&rhs, x, &mut ws);
+        ws.put(rhs);
+        self.return_workspace(ws);
+        outcome
+    }
+
+    /// The rung-escalation loop shared by the scalar entry points.
+    fn solve_ladder(
+        &self,
+        rhs: &[f64],
+        x: &mut [f64],
+        ws: &mut SolverWorkspace,
+    ) -> Result<(), SolverError> {
         loop {
             let rung = self.current_rung();
             let started = Instant::now();
             let attempt = match rung {
-                LadderRung::Dense => self.dense_solve(&rhs),
-                cg_rung => self.cg_solve(cg_rung, &rhs),
+                LadderRung::Dense => self.dense_solve_into(rhs, x),
+                cg_rung => self.cg_solve_into(cg_rung, rhs, x, ws),
             };
             match attempt {
-                Ok(mut x) => {
+                Ok(()) => {
                     // Round-off can leak a small component along the
                     // nullspace; remove it so the result is exactly the
                     // pseudoinverse image.
-                    vecops::center(&mut x);
-                    return Ok(x);
+                    vecops::center(x);
+                    return Ok(());
                 }
+                Err(err) => self.escalate_or_fail(rung, err, started)?,
+            }
+        }
+    }
+
+    /// Records an escalation event and advances the ladder, or propagates
+    /// the error when escalation is disabled or exhausted.
+    fn escalate_or_fail(
+        &self,
+        rung: LadderRung,
+        err: SolverError,
+        started: Instant,
+    ) -> Result<(), SolverError> {
+        if !self.escalate {
+            return Err(err);
+        }
+        let Some(next) = rung.next() else {
+            return Err(err);
+        };
+        let residual = match &err {
+            SolverError::NoConvergence { residual, .. } => Some(*residual),
+            _ => None,
+        };
+        let mut state = self.lock();
+        state.events.push(SolveEvent {
+            from: rung,
+            to: next,
+            cause: err.to_string(),
+            residual,
+            elapsed_ms: u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
+        });
+        state.rung = next;
+        Ok(())
+    }
+
+    /// Solves `L X = B` for every column of `B` in lockstep through the
+    /// block CG kernel, sharing one CSR traversal per iteration across all
+    /// right-hand sides.
+    ///
+    /// Column `j` of the result is bit-identical to
+    /// [`LaplacianSolver::solve`] on column `j` of `B` whenever both are
+    /// answered by the same ladder rung: the block iteration advances each
+    /// column with exactly the scalar update sequence, and converged columns
+    /// are frozen before any escalation, so one diverging column cannot
+    /// poison the others — only the failing columns are re-solved on the
+    /// next rung.
+    ///
+    /// # Errors
+    ///
+    /// - [`SolverError::DimensionMismatch`] when `b.nrows() != self.dim()`.
+    /// - [`SolverError::NoConvergence`] when columns remain unconverged on
+    ///   the final strategy.
+    pub fn solve_block(&self, b: &DenseMatrix) -> Result<DenseMatrix, SolverError> {
+        if b.nrows() != self.dim() {
+            return Err(SolverError::DimensionMismatch {
+                expected: self.dim(),
+                actual: b.nrows(),
+            });
+        }
+        let mut x = DenseMatrix::zeros(b.nrows(), b.ncols());
+        if b.ncols() == 0 {
+            return Ok(x);
+        }
+        let mut ws = self.take_workspace();
+        let outcome = self.solve_block_ladder(b, &mut x, &mut ws);
+        self.return_workspace(ws);
+        outcome.map(|()| x)
+    }
+
+    /// The rung-escalation loop of [`LaplacianSolver::solve_block`]:
+    /// attempts the pending columns on the current rung, freezes the
+    /// converged ones, and escalates with the survivors compacted into a
+    /// smaller panel.
+    fn solve_block_ladder(
+        &self,
+        b: &DenseMatrix,
+        x: &mut DenseMatrix,
+        ws: &mut SolverWorkspace,
+    ) -> Result<(), SolverError> {
+        let n = self.dim();
+        let k = b.ncols();
+        let mut col_buf = ws.take(n);
+        // Center every right-hand side through the same contiguous-slice
+        // `vecops::center` the scalar path uses, so each column's rounding
+        // matches `solve` bitwise.
+        let mut centered = DenseMatrix::zeros(n, k);
+        for j in 0..k {
+            for (i, v) in col_buf.iter_mut().enumerate() {
+                *v = b.get(i, j);
+            }
+            vecops::center(&mut col_buf);
+            for (i, v) in col_buf.iter().enumerate() {
+                centered.set(i, j, *v);
+            }
+        }
+        let mut pending: Vec<usize> = (0..k).collect();
+        let mut stats: Vec<CgStats> = Vec::with_capacity(k);
+        let outcome = loop {
+            let rung = self.current_rung();
+            let started = Instant::now();
+            let attempt = self.block_rung_attempt(
+                rung,
+                &centered,
+                &mut pending,
+                x,
+                &mut col_buf,
+                &mut stats,
+                ws,
+            );
+            match attempt {
+                Ok(()) => break Ok(()),
                 Err(err) => {
-                    if !self.escalate {
-                        return Err(err);
+                    if let Err(fatal) = self.escalate_or_fail(rung, err, started) {
+                        break Err(fatal);
                     }
-                    let Some(next) = rung.next() else {
-                        return Err(err);
-                    };
-                    let residual = match &err {
-                        SolverError::NoConvergence { residual, .. } => Some(*residual),
-                        _ => None,
-                    };
-                    let mut state = self.lock();
-                    state.events.push(SolveEvent {
-                        from: rung,
-                        to: next,
-                        cause: err.to_string(),
-                        residual,
-                        elapsed_ms: started.elapsed().as_millis() as u64,
-                    });
-                    state.rung = next;
+                }
+            }
+        };
+        ws.put(col_buf);
+        outcome
+    }
+
+    /// One ladder-rung attempt over the pending columns. On success the
+    /// pending list is emptied; columns that fail to converge stay pending
+    /// (converged siblings are centered and frozen into `x`) and the worst
+    /// per-column statistics are reported as the rung's failure.
+    #[allow(clippy::too_many_arguments)]
+    fn block_rung_attempt(
+        &self,
+        rung: LadderRung,
+        centered: &DenseMatrix,
+        pending: &mut Vec<usize>,
+        x: &mut DenseMatrix,
+        col_buf: &mut [f64],
+        stats: &mut Vec<CgStats>,
+        ws: &mut SolverWorkspace,
+    ) -> Result<(), SolverError> {
+        let n = self.dim();
+        match rung {
+            LadderRung::Dense => {
+                // Terminal rung: direct pseudoinverse solve per column.
+                let mut rhs = ws.take(n);
+                let mut first_err = None;
+                for &j in pending.iter() {
+                    for (i, v) in rhs.iter_mut().enumerate() {
+                        *v = centered.get(i, j);
+                    }
+                    match self.dense_solve_into(&rhs, col_buf) {
+                        Ok(()) => {
+                            vecops::center(col_buf);
+                            for (i, v) in col_buf.iter().enumerate() {
+                                x.set(i, j, *v);
+                            }
+                        }
+                        Err(err) => {
+                            first_err = Some(err);
+                            break;
+                        }
+                    }
+                }
+                ws.put(rhs);
+                match first_err {
+                    Some(err) => Err(err),
+                    None => {
+                        pending.clear();
+                        Ok(())
+                    }
+                }
+            }
+            cg_rung => {
+                let pre = self.preconditioner_for(cg_rung)?;
+                let op = CsrOperator::new(&self.laplacian);
+                let m = pending.len();
+                // Compact the still-unconverged columns into a dense panel.
+                let mut panel_b = DenseMatrix::zeros(n, m);
+                for (jj, &j) in pending.iter().enumerate() {
+                    for i in 0..n {
+                        panel_b.set(i, jj, centered.get(i, j));
+                    }
+                }
+                let mut panel_x = DenseMatrix::zeros(n, m);
+                conjugate_gradient_block_into(
+                    &op,
+                    &panel_b,
+                    &pre,
+                    self.options,
+                    &mut panel_x,
+                    stats,
+                    ws,
+                )?;
+                let mut still = Vec::with_capacity(m);
+                let mut worst_iterations = 0;
+                let mut worst_residual = 0.0_f64;
+                for (jj, &j) in pending.iter().enumerate() {
+                    let st = stats[jj];
+                    if st.converged {
+                        for (i, v) in col_buf.iter_mut().enumerate() {
+                            *v = panel_x.get(i, jj);
+                        }
+                        vecops::center(col_buf);
+                        for (i, v) in col_buf.iter().enumerate() {
+                            x.set(i, j, *v);
+                        }
+                    } else {
+                        still.push(j);
+                        worst_iterations = worst_iterations.max(st.iterations);
+                        worst_residual = worst_residual.max(st.residual_norm);
+                    }
+                }
+                *pending = still;
+                if pending.is_empty() {
+                    Ok(())
+                } else {
+                    Err(SolverError::NoConvergence {
+                        algorithm: "laplacian block pcg",
+                        iterations: worst_iterations,
+                        residual: worst_residual,
+                    })
                 }
             }
         }
@@ -354,18 +633,24 @@ impl LaplacianSolver {
 
     /// One CG attempt on a ladder rung, building (and caching) the rung's
     /// preconditioner on first use.
-    fn cg_solve(&self, rung: LadderRung, rhs: &[f64]) -> Result<Vec<f64>, SolverError> {
+    fn cg_solve_into(
+        &self,
+        rung: LadderRung,
+        rhs: &[f64],
+        x: &mut [f64],
+        ws: &mut SolverWorkspace,
+    ) -> Result<(), SolverError> {
         let pre = self.preconditioner_for(rung)?;
         let op = CsrOperator::new(&self.laplacian);
-        let result = conjugate_gradient(&op, rhs, &pre, self.options)?;
-        if !result.converged {
+        let stats = conjugate_gradient_into(&op, rhs, &pre, self.options, x, ws)?;
+        if !stats.converged {
             return Err(SolverError::NoConvergence {
                 algorithm: "laplacian pcg",
-                iterations: result.iterations,
-                residual: result.residual_norm,
+                iterations: stats.iterations,
+                residual: stats.residual_norm,
             });
         }
-        Ok(result.x)
+        Ok(())
     }
 
     fn preconditioner_for(&self, rung: LadderRung) -> Result<RungPreconditioner, SolverError> {
@@ -403,7 +688,7 @@ impl LaplacianSolver {
 
     /// Terminal ladder rung: `x = V Λ⁺ Vᵀ b` through a cached full
     /// eigendecomposition of the Laplacian. `O(n³)` once, `O(n²)` per solve.
-    fn dense_solve(&self, rhs: &[f64]) -> Result<Vec<f64>, SolverError> {
+    fn dense_solve_into(&self, rhs: &[f64], x: &mut [f64]) -> Result<(), SolverError> {
         // Failpoint: fail even the terminal rung so tests can observe ladder
         // exhaustion.
         if cirstag_linalg::fail::trigger("solver/dense-solve").is_some() {
@@ -431,7 +716,7 @@ impl LaplacianSolver {
             .fold(0.0_f64, |acc, v| acc.max(v.abs()))
             .max(1.0);
         let threshold = 1e-12 * scale;
-        let mut x = vec![0.0; n];
+        x.fill(0.0);
         for k in 0..n {
             let lam = eig.eigenvalues[k];
             if lam <= threshold {
@@ -446,7 +731,7 @@ impl LaplacianSolver {
                 x[i] += coeff * eig.eigenvectors.get(i, k);
             }
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Effective resistance between nodes `p` and `q`:
@@ -620,6 +905,108 @@ mod tests {
         let err = s.solve(&[1.0, -1.0, 0.0]).unwrap_err();
         assert!(matches!(err, SolverError::NoConvergence { .. }));
         assert!(s.take_events().is_empty());
+    }
+
+    #[test]
+    fn solve_into_matches_solve_bitwise() {
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (0, 3, 3.0)]).unwrap();
+        let s = LaplacianSolver::new(&g).unwrap();
+        let b = [1.0, -0.5, 2.0, -2.5];
+        let reference = s.solve(&b).unwrap();
+        let mut x = vec![f64::NAN; 4];
+        s.solve_into(&b, &mut x).unwrap();
+        for (a, c) in x.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), c.to_bits());
+        }
+        let mut short = vec![0.0; 3];
+        assert!(matches!(
+            s.solve_into(&b, &mut short),
+            Err(SolverError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_block_columns_match_scalar_solves_bitwise() {
+        let g = Graph::from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 1.0),
+                (3, 4, 0.5),
+                (4, 5, 1.0),
+                (5, 0, 3.0),
+                (1, 4, 0.25),
+            ],
+        )
+        .unwrap();
+        for build in [
+            LaplacianSolver::new(&g).unwrap(),
+            LaplacianSolver::with_tree_preconditioner(&g, CgOptions::default()).unwrap(),
+        ] {
+            let cols: Vec<Vec<f64>> = (0..3)
+                .map(|j| (0..6).map(|i| ((i * 5 + j * 3) % 7) as f64 - 3.0).collect())
+                .collect();
+            let b = DenseMatrix::from_columns(&cols).unwrap();
+            let block = build.solve_block(&b).unwrap();
+            for (j, col) in cols.iter().enumerate() {
+                let scalar = build.solve(col).unwrap();
+                for i in 0..6 {
+                    assert_eq!(
+                        block.get(i, j).to_bits(),
+                        scalar[i].to_bits(),
+                        "col {j}, row {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_block_checks_shape_and_handles_empty_panel() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let s = LaplacianSolver::new(&g).unwrap();
+        assert!(matches!(
+            s.solve_block(&DenseMatrix::zeros(2, 1)),
+            Err(SolverError::DimensionMismatch { .. })
+        ));
+        let empty = s.solve_block(&DenseMatrix::zeros(3, 0)).unwrap();
+        assert_eq!(empty.shape(), (3, 0));
+    }
+
+    #[test]
+    fn solve_block_escalates_like_scalar_solves() {
+        // max_iter 0 fails every CG rung; the block ladder must climb to the
+        // dense rung and still answer every column.
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]).unwrap();
+        let opts = CgOptions {
+            tol: 1e-10,
+            max_iter: 0,
+        };
+        let s = LaplacianSolver::with_ladder(&g, opts, LadderRung::Identity).unwrap();
+        let b = DenseMatrix::from_columns(&[vec![1.0, -1.0, 0.0], vec![0.5, 0.0, -0.5]]).unwrap();
+        let x = s.solve_block(&b).unwrap();
+        for j in 0..2 {
+            let col: Vec<f64> = (0..3).map(|i| b.get(i, j)).collect();
+            let lx = s
+                .laplacian()
+                .mul_vec(&(0..3).map(|i| x.get(i, j)).collect::<Vec<_>>());
+            for (a, c) in lx.iter().zip(&col) {
+                assert!((a - c).abs() < 1e-9);
+            }
+        }
+        assert_eq!(s.current_rung(), LadderRung::Dense);
+        let events = s.take_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].from, LadderRung::Identity);
+        assert!(events[0].cause.contains("block"));
+        // Non-escalating solver fails fast on the same input.
+        let fixed = LaplacianSolver::with_options(&g, opts).unwrap();
+        assert!(matches!(
+            fixed.solve_block(&b),
+            Err(SolverError::NoConvergence { .. })
+        ));
     }
 
     #[test]

@@ -43,15 +43,23 @@ mod laplacian;
 mod operators;
 mod resistance;
 mod tree_precond;
+mod workspace;
 
 pub use cg::{
-    conjugate_gradient, CgOptions, CgResult, IdentityPreconditioner, JacobiPreconditioner,
+    conjugate_gradient, conjugate_gradient_block_into, conjugate_gradient_into, BlockCgResult,
+    CgOptions, CgResult, CgSolver, CgStats, IdentityPreconditioner, JacobiPreconditioner,
     Preconditioner,
 };
 pub use error::SolverError;
-pub use geig::{generalized_eigen_dense, generalized_lanczos, GeneralizedEigen};
-pub use lanczos::{lanczos_largest, smallest_normalized_laplacian_eigs, LanczosResult};
+pub use geig::{
+    generalized_eigen_dense, generalized_lanczos, generalized_lanczos_ws, GeneralizedEigen,
+};
+pub use lanczos::{
+    lanczos_largest, lanczos_largest_ws, smallest_normalized_laplacian_eigs,
+    smallest_normalized_laplacian_eigs_ws, LanczosResult,
+};
 pub use laplacian::{LadderRung, LaplacianSolver, SolveEvent};
-pub use operators::{CsrOperator, LinearOperator, ScaledShiftedOperator};
+pub use operators::{CsrOperator, LinearOperator, PanelOperator, ScaledShiftedOperator};
 pub use resistance::ResistanceEstimator;
 pub use tree_precond::TreePreconditioner;
+pub use workspace::SolverWorkspace;

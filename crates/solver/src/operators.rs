@@ -31,6 +31,23 @@ pub trait LinearOperator {
     }
 }
 
+/// A [`LinearOperator`] that can also advance a whole panel of vectors in
+/// one pass over its data.
+///
+/// Panels are row-major with `ncols` interleaved columns
+/// (`x[i * ncols + j]` is entry `i` of column `j`), the layout the block
+/// solvers iterate over. Column `j` of `apply_panel` must be bit-identical
+/// to [`LinearOperator::apply`] on column `j` alone.
+pub trait PanelOperator: LinearOperator {
+    /// Computes `y ← A x` column-wise over row-major `ncols`-wide panels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::DimensionMismatch`] (or a wrapped shape error)
+    /// when the panel lengths do not equal `self.dim() * ncols`.
+    fn apply_panel(&self, x: &[f64], y: &mut [f64], ncols: usize) -> Result<(), SolverError>;
+}
+
 /// A [`LinearOperator`] backed by a CSR matrix.
 #[derive(Debug, Clone)]
 pub struct CsrOperator<'a> {
@@ -61,6 +78,14 @@ impl LinearOperator for CsrOperator<'_> {
     fn apply(&self, x: &[f64], y: &mut [f64]) -> Result<(), SolverError> {
         self.matrix
             .try_mul_vec_into(x, y)
+            .map_err(SolverError::from)
+    }
+}
+
+impl PanelOperator for CsrOperator<'_> {
+    fn apply_panel(&self, x: &[f64], y: &mut [f64], ncols: usize) -> Result<(), SolverError> {
+        self.matrix
+            .try_mul_panel_into(x, y, ncols)
             .map_err(SolverError::from)
     }
 }

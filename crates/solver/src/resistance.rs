@@ -3,7 +3,12 @@
 use crate::lanczos::XorShift;
 use crate::{LaplacianSolver, SolverError};
 use cirstag_graph::Graph;
-use cirstag_linalg::par;
+use cirstag_linalg::{par, DenseMatrix};
+
+/// Number of sketch right-hand sides advanced per block solve. Wide enough
+/// to amortize the CSR traversal across columns, narrow enough that the
+/// block-CG working set (a handful of `n × width` panels) stays cache-sized.
+const SKETCH_PANEL_WIDTH: usize = 32;
 
 /// Computes effective resistances `R_eff(p, q) = (e_p − e_q)ᵀ L⁺ (e_p − e_q)`
 /// over a connected graph.
@@ -88,30 +93,37 @@ impl ResistanceEstimator {
         let n = g.num_nodes();
         let mut rng = XorShift::new(seed);
         let inv_sqrt_t = 1.0 / (num_probes as f64).sqrt();
-        // The Rademacher right-hand sides consume one shared RNG stream, so
-        // they are generated serially up front — this keeps the sketch
-        // bit-identical to the serial construction for any thread count. The
-        // `t` independent Laplacian solves (the expensive part) then fan out
-        // across the pool.
-        let rhs: Vec<Vec<f64>> = (0..num_probes)
-            .map(|_| {
+        // The Rademacher right-hand sides consume one shared RNG stream in
+        // probe order, so panels are materialized in that same order — the
+        // sketch stays bit-identical to the per-probe construction for any
+        // panel width and any thread count. The probes are streamed through
+        // the block solver in workspace-sized panels: every CG iteration
+        // advances a whole panel off a single CSR traversal, and column `j`
+        // of a block solve reproduces the scalar solve of probe `j` exactly.
+        let mut probes: Vec<Vec<f64>> = Vec::with_capacity(num_probes);
+        let mut start = 0;
+        while start < num_probes {
+            let width = SKETCH_PANEL_WIDTH.min(num_probes - start);
+            let mut panel = DenseMatrix::zeros(n, width);
+            let data = panel.as_mut_slice();
+            for j in 0..width {
                 // b = Bᵀ W^{1/2} q with Rademacher q over edges.
-                let mut b = vec![0.0; n];
                 for e in g.edges() {
                     let s = rng.next_sign() * e.weight.sqrt();
-                    b[e.u] += s;
-                    b[e.v] -= s;
+                    data[e.u * width + j] += s;
+                    data[e.v * width + j] -= s;
                 }
-                b
-            })
-            .collect();
-        let probes: Vec<Vec<f64>> = par::try_map_indexed(num_probes, |i| {
-            let mut x = solver.solve(&rhs[i])?;
-            for v in &mut x {
-                *v *= inv_sqrt_t;
             }
-            Ok::<_, SolverError>(x)
-        })?;
+            let x = solver.solve_block(&panel)?;
+            for j in 0..width {
+                let mut col = x.column(j);
+                for v in &mut col {
+                    *v *= inv_sqrt_t;
+                }
+                probes.push(col);
+            }
+            start += width;
+        }
         Ok(ResistanceEstimator {
             dim: n,
             mode: Mode::Sketch { probes },
@@ -279,6 +291,47 @@ mod tests {
         assert!(ResistanceEstimator::sketched(&g, 0, 1).is_err());
         let other = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
         assert!(est.edge_resistances(&other).is_err());
+    }
+
+    #[test]
+    fn panel_streamed_sketch_matches_per_probe_solves_bitwise() {
+        // 37 probes over a 16-wide panel stream exercises two full panels
+        // plus a ragged tail; every probe must equal the historical
+        // one-solve-per-probe construction bit for bit.
+        let g = grid(5);
+        let num_probes = 37;
+        let seed = 11;
+        let est = ResistanceEstimator::sketched(&g, num_probes, seed).unwrap();
+        let Mode::Sketch { probes } = &est.mode else {
+            panic!("expected a sketched estimator");
+        };
+        assert_eq!(probes.len(), num_probes);
+        let solver = LaplacianSolver::with_tree_preconditioner(
+            &g,
+            crate::CgOptions {
+                tol: 1e-6,
+                max_iter: 10_000,
+            },
+        )
+        .unwrap();
+        let n = g.num_nodes();
+        let mut rng = XorShift::new(seed);
+        let inv_sqrt_t = 1.0 / (num_probes as f64).sqrt();
+        for (i, probe) in probes.iter().enumerate() {
+            let mut b = vec![0.0; n];
+            for e in g.edges() {
+                let s = rng.next_sign() * e.weight.sqrt();
+                b[e.u] += s;
+                b[e.v] -= s;
+            }
+            let mut x = solver.solve(&b).unwrap();
+            for v in &mut x {
+                *v *= inv_sqrt_t;
+            }
+            for (row, (a, c)) in probe.iter().zip(&x).enumerate() {
+                assert_eq!(a.to_bits(), c.to_bits(), "probe {i}, row {row}");
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Spanning-tree (support-graph) preconditioning for Laplacian systems.
 
+use crate::workspace::SolverWorkspace;
 use crate::{Preconditioner, SolverError};
 use cirstag_graph::{low_stretch_tree, Graph};
 use cirstag_linalg::vecops;
@@ -148,6 +149,91 @@ impl TreePreconditioner {
         }
         self.center_per_component(z);
     }
+
+    /// Panel form of [`TreePreconditioner::center_per_component`]: projects
+    /// every column of the row-major `k`-wide panel to per-component mean
+    /// zero. Column-wise bit-identical to the vector form (same summation
+    /// and subtraction order per column).
+    fn center_per_component_panel(&self, x: &mut [f64], k: usize, ws: &mut SolverWorkspace) {
+        let n = self.dim();
+        if n == 0 {
+            return;
+        }
+        if self.num_components <= 1 {
+            let mut sums = ws.take(k);
+            for row in x.chunks_exact(k) {
+                for (s, &v) in sums.iter_mut().zip(row) {
+                    *s += v;
+                }
+            }
+            for s in sums.iter_mut() {
+                *s /= n as f64;
+            }
+            for row in x.chunks_exact_mut(k) {
+                for (v, &m) in row.iter_mut().zip(sums.iter()) {
+                    *v -= m;
+                }
+            }
+            ws.put(sums);
+            return;
+        }
+        let nc = self.num_components;
+        let mut sums = ws.take(nc * k);
+        let mut counts = ws.take(nc);
+        for (v, &c) in self.component.iter().enumerate() {
+            // f64 counts stay exact for any realistic node count and match
+            // the vector form's `counts[c].max(1) as f64` bitwise.
+            counts[c] += 1.0;
+            for (s, &val) in sums[c * k..c * k + k].iter_mut().zip(&x[v * k..v * k + k]) {
+                *s += val;
+            }
+        }
+        for (v, &c) in self.component.iter().enumerate() {
+            let denom = counts[c].max(1.0);
+            for (xv, &s) in x[v * k..v * k + k].iter_mut().zip(&sums[c * k..c * k + k]) {
+                *xv -= s / denom;
+            }
+        }
+        ws.put(counts);
+        ws.put(sums);
+    }
+
+    /// Panel form of [`TreePreconditioner::tree_solve`]: one up-sweep and
+    /// one down-sweep advance all `k` columns together, with scratch drawn
+    /// from the workspace so steady-state applications never allocate.
+    /// Column `j` performs the exact operation sequence of `tree_solve` on
+    /// column `j` alone.
+    fn tree_solve_panel(&self, r: &[f64], z: &mut [f64], k: usize, ws: &mut SolverWorkspace) {
+        let n = self.dim();
+        let mut acc = ws.take(n * k);
+        acc.copy_from_slice(r);
+        self.center_per_component_panel(&mut acc, k, ws);
+        let mut subtree = ws.take(n * k);
+        for &v in self.order.iter().rev() {
+            let p = self.parent[v];
+            subtree[v * k..v * k + k].copy_from_slice(&acc[v * k..v * k + k]);
+            if p != v {
+                for j in 0..k {
+                    let av = acc[v * k + j];
+                    acc[p * k + j] += av;
+                }
+            }
+        }
+        for &v in &self.order {
+            let p = self.parent[v];
+            if p == v {
+                z[v * k..v * k + k].fill(0.0);
+            } else {
+                let w = self.parent_weight[v];
+                for j in 0..k {
+                    z[v * k + j] = z[p * k + j] + subtree[v * k + j] / w;
+                }
+            }
+        }
+        self.center_per_component_panel(z, k, ws);
+        ws.put(subtree);
+        ws.put(acc);
+    }
 }
 
 impl Preconditioner for TreePreconditioner {
@@ -159,6 +245,26 @@ impl Preconditioner for TreePreconditioner {
             });
         }
         self.tree_solve(r, z);
+        Ok(())
+    }
+
+    fn apply_panel(
+        &self,
+        r: &[f64],
+        z: &mut [f64],
+        ncols: usize,
+        ws: &mut SolverWorkspace,
+    ) -> Result<(), SolverError> {
+        if r.len() != self.dim() * ncols || z.len() != self.dim() * ncols {
+            return Err(SolverError::DimensionMismatch {
+                expected: self.dim() * ncols,
+                actual: r.len().max(z.len()),
+            });
+        }
+        if ncols == 0 {
+            return Ok(());
+        }
+        self.tree_solve_panel(r, z, ncols, ws);
         Ok(())
     }
 }
@@ -283,6 +389,56 @@ mod tests {
         let lz = lap.mul_vec(&z);
         for (i, (a, c)) in lz.iter().zip(&b).enumerate() {
             assert!((a - c).abs() < 1e-10, "entry {i}: {a} vs {c}");
+        }
+    }
+
+    #[test]
+    fn panel_apply_is_bit_identical_to_columnwise_apply() {
+        use crate::workspace::SolverWorkspace;
+        // Connected graph (single component) and a forest (multi-component)
+        // both must satisfy the panel contract exactly.
+        let connected = Graph::from_edges(
+            6,
+            &[
+                (0, 1, 2.0),
+                (1, 2, 0.5),
+                (2, 3, 4.0),
+                (3, 4, 1.0),
+                (4, 5, 3.0),
+                (5, 0, 0.25),
+            ],
+        )
+        .unwrap();
+        let forest = Graph::from_edges(5, &[(0, 1, 2.0), (1, 2, 1.0), (3, 4, 4.0)]).unwrap();
+        for (g, n) in [
+            (TreePreconditioner::new(&connected, 7).unwrap(), 6),
+            (TreePreconditioner::from_tree_graph(&forest), 5),
+        ] {
+            let k = 3usize;
+            let mut panel = vec![0.0; n * k];
+            for (idx, v) in panel.iter_mut().enumerate() {
+                *v = ((idx * 37 + 11) % 19) as f64 - 9.0;
+            }
+            let mut ws = SolverWorkspace::new();
+            let mut z_panel = vec![0.0; n * k];
+            g.apply_panel(&panel, &mut z_panel, k, &mut ws).unwrap();
+            for j in 0..k {
+                let col: Vec<f64> = (0..n).map(|i| panel[i * k + j]).collect();
+                let mut z_col = vec![0.0; n];
+                g.apply(&col, &mut z_col).unwrap();
+                for i in 0..n {
+                    assert!(
+                        z_panel[i * k + j].to_bits() == z_col[i].to_bits(),
+                        "column {j}, row {i}: {} vs {}",
+                        z_panel[i * k + j],
+                        z_col[i]
+                    );
+                }
+            }
+            // A warmed workspace must not allocate again.
+            let misses = ws.misses();
+            g.apply_panel(&panel, &mut z_panel, k, &mut ws).unwrap();
+            assert_eq!(ws.misses(), misses);
         }
     }
 

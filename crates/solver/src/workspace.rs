@@ -1,0 +1,206 @@
+//! Reusable scratch-buffer arena for the iterative solvers.
+//!
+//! Every hot loop in this crate (CG, block CG, Lanczos, the tree
+//! preconditioner sweeps) needs a handful of length-`n` vectors per
+//! iteration. Allocating them fresh each time dominates small solves and
+//! fragments the heap on large ones; [`SolverWorkspace`] keeps returned
+//! buffers in a pool so steady-state iterations perform zero heap
+//! allocations. The miss counter doubles as the debug-visible allocation
+//! counter the bench suite asserts against.
+
+/// A pool of reusable `f64`/`usize` scratch buffers.
+///
+/// `take` hands out a zeroed buffer of the requested length, reusing the
+/// smallest pooled buffer whose capacity fits (best-fit) and allocating only
+/// on a miss; `put` returns a buffer to the pool. The pool is intentionally
+/// unbounded: solver working sets are a small constant number of vectors, so
+/// the high-water mark is reached within one outer iteration and reused
+/// thereafter.
+///
+/// # Example
+///
+/// ```
+/// use cirstag_solver::SolverWorkspace;
+///
+/// let mut ws = SolverWorkspace::new();
+/// let buf = ws.take(8);
+/// assert_eq!(buf.len(), 8);
+/// ws.put(buf);
+/// let again = ws.take(4); // reuses the pooled allocation
+/// assert_eq!(ws.misses(), 1);
+/// ws.put(again);
+/// ```
+#[derive(Debug, Default)]
+pub struct SolverWorkspace {
+    pool: Vec<Vec<f64>>,
+    index_pool: Vec<Vec<usize>>,
+    misses: usize,
+}
+
+impl SolverWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        SolverWorkspace::default()
+    }
+
+    /// Checks out a zeroed `f64` buffer of length `len`.
+    ///
+    /// Reuses the best-fitting pooled buffer when one is available;
+    /// otherwise allocates and records a miss.
+    pub fn take(&mut self, len: usize) -> Vec<f64> {
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.pool.iter().enumerate() {
+            if buf.capacity() >= len
+                && best.is_none_or(|b| buf.capacity() < self.pool[b].capacity())
+            {
+                best = Some(i);
+            }
+        }
+        let mut buf = match best {
+            Some(i) => self.pool.swap_remove(i),
+            None => {
+                self.misses += 1;
+                Vec::with_capacity(len)
+            }
+        };
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns an `f64` buffer to the pool.
+    pub fn put(&mut self, buf: Vec<f64>) {
+        self.pool.push(buf);
+    }
+
+    /// Checks out a zeroed `usize` buffer of length `len`.
+    ///
+    /// Index buffers back the convergence masks and iteration counters of
+    /// the block solver, keeping those exact without round-tripping through
+    /// `f64` casts.
+    pub fn take_indices(&mut self, len: usize) -> Vec<usize> {
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.index_pool.iter().enumerate() {
+            if buf.capacity() >= len
+                && best.is_none_or(|b| buf.capacity() < self.index_pool[b].capacity())
+            {
+                best = Some(i);
+            }
+        }
+        let mut buf = match best {
+            Some(i) => self.index_pool.swap_remove(i),
+            None => {
+                self.misses += 1;
+                Vec::with_capacity(len)
+            }
+        };
+        buf.clear();
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Returns a `usize` buffer to the pool.
+    pub fn put_indices(&mut self, buf: Vec<usize>) {
+        self.index_pool.push(buf);
+    }
+
+    /// Number of `take`/`take_indices` calls that had to allocate.
+    ///
+    /// A warmed workspace re-running the same solve must keep this constant;
+    /// the allocation-discipline test in `crates/bench` asserts exactly that.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Number of buffers currently pooled (both kinds).
+    pub fn pooled(&self) -> usize {
+        self.pool.len() + self.index_pool.len()
+    }
+
+    /// Merges another workspace's pooled buffers (and miss count) into this
+    /// one. Used to hand a workspace to a solve without holding a lock for
+    /// its duration: check out with `std::mem::take`, check back in here.
+    pub fn absorb(&mut self, other: SolverWorkspace) {
+        if self.pool.is_empty() && self.index_pool.is_empty() {
+            // The common checkout/checkin round trip: this side is the empty
+            // husk `std::mem::take` left behind, so adopt the returning
+            // workspace's containers wholesale instead of re-extending (which
+            // would reallocate the pool vectors on every solve).
+            let misses = self.misses;
+            *self = other;
+            self.misses += misses;
+            return;
+        }
+        self.pool.extend(other.pool);
+        self.index_pool.extend(other.index_pool);
+        self.misses += other.misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_zeroes_and_reuses() {
+        let mut ws = SolverWorkspace::new();
+        let mut a = ws.take(4);
+        a.iter_mut().for_each(|v| *v = 7.0);
+        ws.put(a);
+        let b = ws.take(4);
+        assert_eq!(b, vec![0.0; 4]);
+        assert_eq!(ws.misses(), 1, "second take must reuse the pooled buffer");
+        ws.put(b);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut ws = SolverWorkspace::new();
+        let big = ws.take(100);
+        let small = ws.take(10);
+        ws.put(big);
+        ws.put(small);
+        let got = ws.take(8);
+        assert!(
+            got.capacity() < 100,
+            "best fit should pick the small buffer"
+        );
+        ws.put(got);
+        assert_eq!(ws.pooled(), 2);
+    }
+
+    #[test]
+    fn shorter_request_shrinks_longer_buffer() {
+        let mut ws = SolverWorkspace::new();
+        ws.put(vec![1.0; 16]);
+        let buf = ws.take(3);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf, vec![0.0; 3]);
+        assert_eq!(ws.misses(), 0);
+    }
+
+    #[test]
+    fn index_pool_is_independent() {
+        let mut ws = SolverWorkspace::new();
+        let idx = ws.take_indices(5);
+        assert_eq!(idx, vec![0; 5]);
+        ws.put_indices(idx);
+        let again = ws.take_indices(2);
+        assert_eq!(ws.misses(), 1);
+        ws.put_indices(again);
+    }
+
+    #[test]
+    fn absorb_merges_pools_and_misses() {
+        let mut a = SolverWorkspace::new();
+        let mut b = SolverWorkspace::new();
+        let buf = b.take(4);
+        b.put(buf);
+        a.absorb(b);
+        assert_eq!(a.misses(), 1);
+        assert_eq!(a.pooled(), 1);
+        let reused = a.take(4);
+        assert_eq!(a.misses(), 1);
+        a.put(reused);
+    }
+}

@@ -1,0 +1,95 @@
+//! Blocked-solver determinism: effective-resistance scores computed through
+//! the block-CG path must be bit-identical to per-probe scalar CG solves,
+//! and invariant across worker-thread counts.
+//!
+//! The block solver advances every probe column off a single CSR traversal,
+//! but its per-column reductions accumulate in the same fixed row order as
+//! the scalar loop, so column `j` of `solve_block` is the *same float
+//! sequence* as a scalar `solve` of that column — at any pool size.
+//!
+//! Everything runs inside a single `#[test]` because the thread count is
+//! process-global; separate tests would race on it under the parallel test
+//! harness.
+
+use cirstag_suite::graph::Graph;
+use cirstag_suite::linalg::{par, DenseMatrix};
+use cirstag_suite::solver::LaplacianSolver;
+
+/// `side × side` grid with mildly heterogeneous weights, large enough that
+/// the panel SpMM crosses the parallel-dispatch threshold.
+fn grid(side: usize) -> Graph {
+    let n = side * side;
+    let mut edges = Vec::new();
+    for r in 0..side {
+        for c in 0..side {
+            let i = r * side + c;
+            if c + 1 < side {
+                edges.push((i, i + 1, 1.0 + ((r + c) % 3) as f64 * 0.25));
+            }
+            if r + 1 < side {
+                edges.push((i, i + side, 1.0 + ((r * c) % 2) as f64 * 0.5));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("grid builds")
+}
+
+#[test]
+fn block_resistance_scores_match_per_probe_cg_across_thread_counts() {
+    let g = grid(9); // 81 nodes
+    let n = g.num_nodes();
+    // Probe the first 13 edges (odd width exercises the ragged panel tail).
+    let probes: Vec<(usize, usize, f64)> = g
+        .edges()
+        .iter()
+        .take(13)
+        .map(|e| (e.u, e.v, e.weight))
+        .collect();
+    let k = probes.len();
+
+    let mut per_thread_scores: Vec<Vec<f64>> = Vec::new();
+    for &threads in &[1usize, 2, 8] {
+        par::set_num_threads(threads);
+        let solver = LaplacianSolver::new(&g).expect("solver builds");
+
+        // One RHS column per probe edge: b = e_u − e_v.
+        let mut b = DenseMatrix::zeros(n, k);
+        for (j, &(u, v, _)) in probes.iter().enumerate() {
+            b.set(u, j, 1.0);
+            b.set(v, j, -1.0);
+        }
+        let x = solver.solve_block(&b).expect("block solve");
+
+        // Reference: one scalar CG solve per probe, same solver, same rung.
+        let mut scores = Vec::with_capacity(k);
+        for (j, &(u, v, w)) in probes.iter().enumerate() {
+            let mut rhs = vec![0.0; n];
+            rhs[u] = 1.0;
+            rhs[v] = -1.0;
+            let xs = solver.solve(&rhs).expect("scalar solve");
+            let scalar_score = w * (xs[u] - xs[v]);
+            let block_score = w * (x.get(u, j) - x.get(v, j));
+            assert!(block_score.is_finite() && block_score > 0.0);
+            assert_eq!(
+                block_score.to_bits(),
+                scalar_score.to_bits(),
+                "probe {j} ({u},{v}) diverges from the scalar path at {threads} threads"
+            );
+            scores.push(block_score);
+        }
+        per_thread_scores.push(scores);
+    }
+    par::set_num_threads(0);
+
+    // Thread-count invariance: every setting produced the same bits.
+    let reference = &per_thread_scores[0];
+    for (i, run) in per_thread_scores.iter().enumerate().skip(1) {
+        for (j, (a, b)) in reference.iter().zip(run).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "probe {j} diverges at thread setting #{i}"
+            );
+        }
+    }
+}

@@ -402,6 +402,67 @@ mod failpoints {
     }
 
     #[test]
+    fn block_column_failpoint_escalates_without_poisoning_converged_columns() {
+        let _s = serial();
+        let g = grid(5);
+        let n = g.num_nodes();
+        // One RHS column per probe edge: b = e_u − e_v.
+        let probes: Vec<(usize, usize)> = g.edges().iter().take(3).map(|e| (e.u, e.v)).collect();
+        let mut b = DenseMatrix::zeros(n, probes.len());
+        for (j, &(u, v)) in probes.iter().enumerate() {
+            b.set(u, j, 1.0);
+            b.set(v, j, -1.0);
+        }
+
+        // Reference: the same panel through an unpoisoned escalating solver.
+        let clean_solver =
+            LaplacianSolver::with_ladder(&g, CgOptions::default(), LadderRung::Jacobi).unwrap();
+        let clean = clean_solver.solve_block(&b).unwrap();
+        assert!(
+            clean_solver.take_events().is_empty(),
+            "clean run must not escalate"
+        );
+
+        // Poisoned: the failpoint freezes the lowest-indexed live column
+        // before round 0, so it exhausts the Jacobi rung while the other
+        // columns converge normally and are frozen into the result.
+        fp::arm("solver/cg-block-column", fp::FailAction::Error, 1);
+        let solver =
+            LaplacianSolver::with_ladder(&g, CgOptions::default(), LadderRung::Jacobi).unwrap();
+        let x = solver.solve_block(&b).unwrap();
+        let events = solver.take_events();
+        assert_eq!(events.len(), 1, "exactly one escalation: {events:?}");
+        assert!(
+            events[0].cause.contains("block"),
+            "cause names the block solver: {}",
+            events[0].cause
+        );
+
+        // The columns that converged on the first rung were never retried:
+        // bit-identical to the clean run.
+        for j in 1..probes.len() {
+            for i in 0..n {
+                assert_eq!(
+                    x.get(i, j).to_bits(),
+                    clean.get(i, j).to_bits(),
+                    "converged column {j} was poisoned at row {i}"
+                );
+            }
+        }
+        // The failed column was re-solved on the next rung: different float
+        // path, but still an accurate solution of the same system.
+        for i in 0..n {
+            assert!(x.get(i, 0).is_finite());
+            assert!(
+                (x.get(i, 0) - clean.get(i, 0)).abs() < 1e-6,
+                "retried column drifted at row {i}: {} vs {}",
+                x.get(i, 0),
+                clean.get(i, 0)
+            );
+        }
+    }
+
+    #[test]
     fn pipeline_reports_phase3_cg_escalation() {
         let _s = serial();
         // With sparsification skipped, the only CG user is the Phase-3
