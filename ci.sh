@@ -39,6 +39,9 @@ cargo build --release --no-default-features
 echo "==> test suite"
 cargo test -q
 
+echo "==> test suite (validate + failpoints: engine audits and fault injection)"
+cargo test -q --features validate,failpoints
+
 if [ "$BENCH_GATE" -eq 1 ]; then
     echo "==> bench gate (fresh run vs committed BENCH_parallel.json)"
     cargo run -q -p cirstag-bench --release --bin bench_parallel -- --gate

@@ -20,6 +20,7 @@
 
 use std::time::Instant;
 
+use cirstag::{analyze_sweep, ArtifactCache, CirStag, CirStagConfig};
 use cirstag_embed::{knn_graph, KnnConfig};
 use cirstag_graph::Graph;
 use cirstag_linalg::{par, DenseMatrix};
@@ -259,6 +260,55 @@ fn main() {
             (e.u, e.v, score)
         }));
     });
+
+    // End-to-end incremental re-run: a `num_eigenpairs` sweep where the
+    // cold row runs every config through the full pipeline and the warm row
+    // shares one artifact cache, replaying the Phase-1/2 stages. Both rows
+    // use all cores; the comparison is cached-vs-uncached, not thread count,
+    // so the two records carry the same `threads` value.
+    let gsweep = grid(30);
+    let sweep_emb = random_dense(gsweep.num_nodes(), 8, 17);
+    let sweep_cfgs: Vec<CirStagConfig> = (0..8)
+        .map(|i| CirStagConfig {
+            embedding_dim: 12,
+            knn_k: 8,
+            num_eigenpairs: 3 + 2 * i,
+            num_threads: 0,
+            ..CirStagConfig::default()
+        })
+        .collect();
+    let cold_ms = time_ms(1, || {
+        for cfg in &sweep_cfgs {
+            std::hint::black_box(
+                CirStag::new(*cfg)
+                    .analyze(&gsweep, None, &sweep_emb)
+                    .expect("cold sweep"),
+            );
+        }
+    });
+    let warm_ms = time_ms(1, || {
+        let mut cache = ArtifactCache::new();
+        std::hint::black_box(
+            analyze_sweep(&gsweep, None, &sweep_emb, &sweep_cfgs, &mut cache).expect("warm sweep"),
+        );
+    });
+    println!(
+        "{:>28} {:>8} {:>10.2}ms {:>10.2}ms {:>8.2}x  (cold vs cached sweep, {} configs)",
+        "sweep_warm_vs_cold",
+        gsweep.num_nodes(),
+        cold_ms,
+        warm_ms,
+        cold_ms / warm_ms,
+        sweep_cfgs.len()
+    );
+    for wall_ms in [cold_ms, warm_ms] {
+        records.push(BenchRecord {
+            stage: "sweep_warm_vs_cold".to_string(),
+            n: gsweep.num_nodes(),
+            threads: all_cores,
+            wall_ms,
+        });
+    }
 
     if gate {
         if !gate_against(&snapshot_path, &records) {

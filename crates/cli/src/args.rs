@@ -20,7 +20,7 @@ pub enum Command {
         netlist: String,
     },
     /// `cirstag analyze <netlist> [--out report.json] [--epochs N] [--top F]
-    /// [--threads T] [--strict|--best-effort]`
+    /// [--threads T] [--strict|--best-effort] [--cache-dir DIR]`
     Analyze {
         /// Netlist path.
         netlist: String,
@@ -36,6 +36,27 @@ pub enum Command {
         /// fallback ladders and finish degraded (exit code 2) instead of
         /// failing on the first stage error.
         best_effort: bool,
+        /// Optional on-disk artifact-cache directory; repeated runs with the
+        /// same inputs and config replay cached stage artifacts from here.
+        cache_dir: Option<String>,
+    },
+    /// `cirstag sweep <netlist> [--dmd-s LIST] [--out reports.json]
+    /// [--epochs N] [--threads T] [--strict|--best-effort] [--cache-dir DIR]`
+    Sweep {
+        /// Netlist path.
+        netlist: String,
+        /// `num_eigenpairs` (DMD subspace size `s`) values to sweep.
+        dmd_s: Vec<usize>,
+        /// Optional JSON destination for the array of reports.
+        out: Option<String>,
+        /// GNN training epochs.
+        epochs: usize,
+        /// Worker threads for the analysis pipeline (`0` = all cores).
+        threads: usize,
+        /// Best-effort failure policy (see `analyze`).
+        best_effort: bool,
+        /// Optional on-disk artifact-cache directory shared across the sweep.
+        cache_dir: Option<String>,
     },
     /// `cirstag dot <netlist> [--scores report.json]`
     Dot {
@@ -64,6 +85,13 @@ USAGE:
                             [--best-effort]         degrade through fallback
                                                      ladders instead of failing;
                                                      exits 2 when degraded
+                            [--cache-dir DIR]       persist stage artifacts and
+                                                     replay them on re-runs
+  cirstag sweep <netlist> [--dmd-s 5,10,15,20,25]   analyze once per DMD
+                          [--out reports.json]      subspace size s, replaying
+                          [--epochs N] [--threads T] cached Phase-1/2 artifacts
+                          [--strict|--best-effort]  across configs
+                          [--cache-dir DIR]
   cirstag dot <netlist> [--scores report.json]      Graphviz DOT of the pin graph
   cirstag help                                      this message
 ";
@@ -131,12 +159,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut top = 0.10f64;
             let mut threads = 0usize;
             let mut best_effort = false;
+            let mut cache_dir = None;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
                     "--out" => out = Some(value(&rest, &mut i, "--out")?.to_string()),
                     "--strict" => best_effort = false,
                     "--best-effort" => best_effort = true,
+                    "--cache-dir" => {
+                        cache_dir = Some(value(&rest, &mut i, "--cache-dir")?.to_string());
+                    }
                     "--threads" => {
                         threads = value(&rest, &mut i, "--threads")?
                             .parse()
@@ -168,6 +200,64 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 top,
                 threads,
                 best_effort,
+                cache_dir,
+            })
+        }
+        "sweep" => {
+            let mut netlist = None;
+            let mut out = None;
+            let mut epochs = 200usize;
+            let mut threads = 0usize;
+            let mut best_effort = false;
+            let mut cache_dir = None;
+            let mut dmd_s: Vec<usize> = vec![5, 10, 15, 20, 25];
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--out" => out = Some(value(&rest, &mut i, "--out")?.to_string()),
+                    "--strict" => best_effort = false,
+                    "--best-effort" => best_effort = true,
+                    "--cache-dir" => {
+                        cache_dir = Some(value(&rest, &mut i, "--cache-dir")?.to_string());
+                    }
+                    "--threads" => {
+                        threads = value(&rest, &mut i, "--threads")?
+                            .parse()
+                            .map_err(|_| CliError::new("--threads expects an integer"))?;
+                    }
+                    "--epochs" => {
+                        epochs = value(&rest, &mut i, "--epochs")?
+                            .parse()
+                            .map_err(|_| CliError::new("--epochs expects an integer"))?;
+                    }
+                    "--dmd-s" => {
+                        dmd_s = value(&rest, &mut i, "--dmd-s")?
+                            .split(',')
+                            .map(|t| t.trim().parse::<usize>())
+                            .collect::<Result<Vec<usize>, _>>()
+                            .map_err(|_| {
+                                CliError::new(
+                                    "--dmd-s expects a comma-separated list of positive integers",
+                                )
+                            })?;
+                        if dmd_s.is_empty() || dmd_s.contains(&0) {
+                            return Err(CliError::new("--dmd-s values must be positive integers"));
+                        }
+                    }
+                    other if !other.starts_with("--") => netlist = Some(other.to_string()),
+                    other => return Err(CliError::new(format!("unknown flag {other}\n{USAGE}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Sweep {
+                netlist: netlist
+                    .ok_or_else(|| CliError::new(format!("netlist path is required\n{USAGE}")))?,
+                dmd_s,
+                out,
+                epochs,
+                threads,
+                best_effort,
+                cache_dir,
             })
         }
         "dot" => {
@@ -242,6 +332,7 @@ mod tests {
                 top,
                 threads,
                 best_effort,
+                cache_dir,
             } => {
                 assert_eq!(netlist, "d.cir");
                 assert!(out.is_none());
@@ -249,9 +340,60 @@ mod tests {
                 assert!((top - 0.10).abs() < 1e-12);
                 assert_eq!(threads, 0);
                 assert!(!best_effort, "strict is the default policy");
+                assert!(cache_dir.is_none(), "caching is opt-in");
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn analyze_parses_cache_dir() {
+        let cmd = parse_args(&strs(&["analyze", "d.cir", "--cache-dir", "/tmp/c"])).unwrap();
+        match cmd {
+            Command::Analyze { cache_dir, .. } => {
+                assert_eq!(cache_dir.as_deref(), Some("/tmp/c"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&strs(&["analyze", "d.cir", "--cache-dir"])).is_err());
+    }
+
+    #[test]
+    fn parses_sweep_with_defaults() {
+        let cmd = parse_args(&strs(&["sweep", "d.cir"])).unwrap();
+        match cmd {
+            Command::Sweep {
+                netlist,
+                dmd_s,
+                out,
+                epochs,
+                threads,
+                best_effort,
+                cache_dir,
+            } => {
+                assert_eq!(netlist, "d.cir");
+                assert_eq!(dmd_s, vec![5, 10, 15, 20, 25]);
+                assert!(out.is_none());
+                assert_eq!(epochs, 200);
+                assert_eq!(threads, 0);
+                assert!(!best_effort);
+                assert!(cache_dir.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_parses_dmd_s_list() {
+        let cmd = parse_args(&strs(&["sweep", "d.cir", "--dmd-s", "4, 8,12"])).unwrap();
+        match cmd {
+            Command::Sweep { dmd_s, .. } => assert_eq!(dmd_s, vec![4, 8, 12]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&strs(&["sweep", "d.cir", "--dmd-s", "4,x"])).is_err());
+        assert!(parse_args(&strs(&["sweep", "d.cir", "--dmd-s", "4,0"])).is_err());
+        assert!(parse_args(&strs(&["sweep", "d.cir", "--dmd-s", ""])).is_err());
+        assert!(parse_args(&strs(&["sweep", "d.cir", "--dmd-s"])).is_err());
     }
 
     #[test]

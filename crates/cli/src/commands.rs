@@ -2,14 +2,14 @@
 
 use crate::args::USAGE;
 use crate::{CliError, Command};
-use cirstag::{CirStag, CirStagConfig, FailurePolicy, ReportExport};
+use cirstag::{analyze_sweep, ArtifactCache, CirStag, CirStagConfig, FailurePolicy, ReportExport};
 use cirstag_circuit::{
     extract_features, generate_circuit, parse_netlist, write_netlist, CellLibrary, FeatureConfig,
     GeneratorConfig, Netlist, PinRole, StaEngine, TimingGraph,
 };
 use cirstag_embed::KnnMethod;
 use cirstag_gnn::{r2_score, Activation, GnnModel, GraphContext, LayerSpec, TrainConfig};
-use cirstag_graph::{heat_colors, to_dot, DotOptions};
+use cirstag_graph::{heat_colors, to_dot, DotOptions, Graph};
 use cirstag_linalg::DenseMatrix;
 
 /// Outcome of a successfully completed command, used to pick the process
@@ -49,6 +49,7 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<RunStatus,
             top,
             threads,
             best_effort,
+            cache_dir,
         } => analyze(
             netlist,
             report_path.as_deref(),
@@ -56,6 +57,25 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<RunStatus,
             *top,
             *threads,
             *best_effort,
+            cache_dir.as_deref(),
+            out,
+        ),
+        Command::Sweep {
+            netlist,
+            dmd_s,
+            out: report_path,
+            epochs,
+            threads,
+            best_effort,
+            cache_dir,
+        } => sweep(
+            netlist,
+            dmd_s,
+            report_path.as_deref(),
+            *epochs,
+            *threads,
+            *best_effort,
+            cache_dir.as_deref(),
             out,
         ),
         Command::Dot { netlist, scores } => {
@@ -133,28 +153,26 @@ fn sta(path: &str, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     Ok(())
 }
 
-fn analyze(
-    path: &str,
-    report_path: Option<&str>,
+/// Trains the timing GNN on the pin graph and returns the node features and
+/// the model's node embeddings (the pipeline's output-side data).
+fn train_gnn(
+    timing: &TimingGraph,
+    netlist: &Netlist,
+    library: &CellLibrary,
+    graph: &Graph,
     epochs: usize,
-    top: f64,
-    threads: usize,
-    best_effort: bool,
     out: &mut dyn std::io::Write,
-) -> Result<RunStatus, CliError> {
-    let (library, netlist) = load(path)?;
-    let timing = TimingGraph::new(&netlist, &library)?;
-    let graph = timing.to_undirected_graph()?;
+) -> Result<(DenseMatrix, DenseMatrix), CliError> {
     let arcs: Vec<(usize, usize)> = timing.arcs().iter().map(|&(f, t, _)| (f, t)).collect();
-    let ctx = GraphContext::with_dag(&graph, &arcs)?;
+    let ctx = GraphContext::with_dag(graph, &arcs)?;
     let features = extract_features(
-        &timing,
-        &netlist,
-        &library,
+        timing,
+        netlist,
+        library,
         &timing.pin_caps(),
         &FeatureConfig::default(),
     )?;
-    let engine = StaEngine::new(&timing);
+    let engine = StaEngine::new(timing);
     let critical = engine.critical_arrival().max(1e-12);
     let targets = DenseMatrix::from_rows(
         &engine
@@ -205,8 +223,12 @@ fn analyze(
     )?;
     let pred = model.forward(&ctx, &features, false)?;
     writeln!(out, "GNN R² = {:.4}", r2_score(&pred, &targets))?;
-
     let embedding = model.embeddings(&ctx, &features)?;
+    Ok((features, embedding))
+}
+
+/// The CLI's pipeline configuration for a given design size and policy.
+fn base_config(graph: &Graph, threads: usize, best_effort: bool) -> CirStagConfig {
     let mut config = CirStagConfig {
         embedding_dim: 16,
         num_eigenpairs: 25,
@@ -225,7 +247,32 @@ fn analyze(
             leaf_size: 48,
         };
     }
-    let report = CirStag::new(config).analyze(&graph, Some(&features), &embedding)?;
+    config
+}
+
+#[allow(clippy::too_many_arguments)]
+fn analyze(
+    path: &str,
+    report_path: Option<&str>,
+    epochs: usize,
+    top: f64,
+    threads: usize,
+    best_effort: bool,
+    cache_dir: Option<&str>,
+    out: &mut dyn std::io::Write,
+) -> Result<RunStatus, CliError> {
+    let (library, netlist) = load(path)?;
+    let timing = TimingGraph::new(&netlist, &library)?;
+    let graph = timing.to_undirected_graph()?;
+    let (features, embedding) = train_gnn(&timing, &netlist, &library, &graph, epochs, out)?;
+    let config = base_config(&graph, threads, best_effort);
+    let report = match cache_dir {
+        None => CirStag::new(config).analyze(&graph, Some(&features), &embedding)?,
+        Some(dir) => {
+            let mut cache = ArtifactCache::new().with_disk_dir(dir);
+            CirStag::new(config).analyze_cached(&graph, Some(&features), &embedding, &mut cache)?
+        }
+    };
     writeln!(out, "stage timings: {}", report.timings.summary())?;
     if report.degraded || !report.diagnostics.is_empty() {
         writeln!(out, "run diagnostics: {}", report.diagnostics.summary())?;
@@ -261,6 +308,67 @@ fn analyze(
     }
     if report.degraded {
         writeln!(out, "\nanalysis completed DEGRADED (see diagnostics above)")?;
+        Ok(RunStatus::Degraded)
+    } else {
+        Ok(RunStatus::Clean)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sweep(
+    path: &str,
+    dmd_s: &[usize],
+    report_path: Option<&str>,
+    epochs: usize,
+    threads: usize,
+    best_effort: bool,
+    cache_dir: Option<&str>,
+    out: &mut dyn std::io::Write,
+) -> Result<RunStatus, CliError> {
+    let (library, netlist) = load(path)?;
+    let timing = TimingGraph::new(&netlist, &library)?;
+    let graph = timing.to_undirected_graph()?;
+    let (features, embedding) = train_gnn(&timing, &netlist, &library, &graph, epochs, out)?;
+    let configs: Vec<CirStagConfig> = dmd_s
+        .iter()
+        .map(|&s| CirStagConfig {
+            num_eigenpairs: s,
+            ..base_config(&graph, threads, best_effort)
+        })
+        .collect();
+    let mut cache = ArtifactCache::new();
+    if let Some(dir) = cache_dir {
+        cache = cache.with_disk_dir(dir);
+    }
+    let reports = analyze_sweep(&graph, Some(&features), &embedding, &configs, &mut cache)?;
+    writeln!(
+        out,
+        "\nsweep over DMD subspace size s ({} configs):",
+        configs.len()
+    )?;
+    let mut degraded_any = false;
+    for (cfg, report) in configs.iter().zip(&reports) {
+        degraded_any |= report.degraded;
+        writeln!(
+            out,
+            "  s={:<4} ζ₁ {:.4e}  {}{}",
+            cfg.num_eigenpairs,
+            report.eigenvalues.first().copied().unwrap_or(0.0),
+            report.timings.summary(),
+            if report.degraded { "  [degraded]" } else { "" }
+        )?;
+    }
+    if let Some(rp) = report_path {
+        let mut parts = Vec::with_capacity(reports.len());
+        for report in &reports {
+            parts.push(report.to_json()?);
+        }
+        let json = format!("[\n{}\n]", parts.join(",\n"));
+        std::fs::write(rp, json).map_err(|e| CliError::new(format!("cannot write {rp}: {e}")))?;
+        writeln!(out, "\n{} reports written to {rp}", reports.len())?;
+    }
+    if degraded_any {
+        writeln!(out, "\nsweep completed DEGRADED (see diagnostics above)")?;
         Ok(RunStatus::Degraded)
     } else {
         Ok(RunStatus::Clean)
@@ -377,6 +485,7 @@ mod tests {
             top: 0.10,
             threads: 2,
             best_effort: false,
+            cache_dir: None,
         })
         .unwrap();
         assert!(text.contains("most unstable"));
@@ -390,6 +499,44 @@ mod tests {
         })
         .unwrap();
         assert!(dot_text.contains("fillcolor"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_replays_cached_phases_and_persists_reports() {
+        let dir = std::env::temp_dir().join("cirstag_cli_sweep");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let cir = dir.join("s.cir");
+        let json = dir.join("sweep.json");
+        let cache = dir.join("cache");
+        run_to_string(&Command::Generate {
+            gates: 60,
+            seed: 5,
+            out: cir.to_str().unwrap().to_string(),
+        })
+        .unwrap();
+        let text = run_to_string(&Command::Sweep {
+            netlist: cir.to_str().unwrap().to_string(),
+            dmd_s: vec![3, 5, 8],
+            out: Some(json.to_str().unwrap().to_string()),
+            epochs: 40,
+            threads: 1,
+            best_effort: false,
+            cache_dir: Some(cache.to_str().unwrap().to_string()),
+        })
+        .unwrap();
+        assert!(text.contains("sweep over DMD subspace size"));
+        // The second and third configs differ only in Phase 3, so their
+        // summaries must report cache hits from the replayed Phase-1/2.
+        assert!(text.contains("cache"), "{text}");
+        assert!(text.contains("3 reports written"), "{text}");
+        // The on-disk layer must hold at least the cacheable stages.
+        assert!(std::fs::read_dir(&cache).unwrap().count() >= 3);
+        // The report file is a JSON array of per-config exports.
+        let body = std::fs::read_to_string(&json).unwrap();
+        assert!(body.trim_start().starts_with('['));
+        assert!(body.contains("cache_hits"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,428 @@
+//! Fingerprint-keyed artifact cache: in-memory LRU plus an optional
+//! on-disk layer.
+//!
+//! A cache entry stores a stage's output artifact *and* the diagnostics
+//! segment (fallback events + warnings) the stage emitted while computing
+//! it. On a hit the executor replays that segment verbatim before reusing
+//! the artifact, so a warm run's report is bit-identical to the cold run
+//! that populated the cache — including `degraded` status and event order.
+//!
+//! The disk layer is best-effort by design: entries that fail to
+//! serialize (e.g. non-finite floats, which the JSON writer rejects),
+//! write, read, or parse are treated as misses and never fail the run.
+
+use crate::engine::fingerprint::Fingerprint;
+use crate::FallbackEvent;
+use cirstag_graph::Graph;
+use cirstag_linalg::DenseMatrix;
+use cirstag_solver::GeneralizedEigen;
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Schema tag written into every on-disk entry; bumped whenever the
+/// payload layout changes so stale files read as misses, not garbage.
+const DISK_SCHEMA: &str = "cirstag-artifact/v1";
+
+/// Default in-memory capacity (entries). Five cacheable stages per run
+/// leaves room for a ~10-config sweep before eviction starts.
+const DEFAULT_CAPACITY: usize = 64;
+
+/// The DMD scoring output of Phase 3 (the data half of a
+/// [`crate::StabilityReport`]).
+#[derive(Debug, Clone)]
+pub struct ScoreSet {
+    /// The `s` largest generalized eigenvalues, post-guardrail.
+    pub eigenvalues: Vec<f64>,
+    /// Per-edge DMD scores `(p, q, score)` over the input manifold.
+    pub edge_scores: Vec<(usize, usize, f64)>,
+    /// Per-node mean of incident edge scores.
+    pub node_scores: Vec<f64>,
+}
+
+/// A cacheable stage artifact.
+#[derive(Debug, Clone)]
+pub enum CachedPayload {
+    /// Phase-1 embedding hand-off; `None` means the raw circuit graph
+    /// becomes the input manifold (skip ablation or exhausted ladder).
+    Embedding(Option<DenseMatrix>),
+    /// A Phase-2 manifold graph.
+    Manifold(Graph),
+    /// Phase-3 generalized eigenpairs.
+    Eigen(GeneralizedEigen),
+    /// Phase-3 DMD scores.
+    Scores(ScoreSet),
+}
+
+impl CachedPayload {
+    /// Stable tag for the on-disk `kind` field.
+    fn kind(&self) -> &'static str {
+        match self {
+            CachedPayload::Embedding(_) => "embedding",
+            CachedPayload::Manifold(_) => "manifold",
+            CachedPayload::Eigen(_) => "eigen",
+            CachedPayload::Scores(_) => "scores",
+        }
+    }
+}
+
+/// One cache entry: the artifact plus the diagnostics segment emitted
+/// while computing it, replayed verbatim on a hit.
+#[derive(Debug, Clone)]
+pub struct CachedArtifact {
+    /// The stage's output artifact.
+    pub payload: CachedPayload,
+    /// Fallback events the stage recorded when it was computed.
+    pub events: Vec<FallbackEvent>,
+    /// Warnings the stage recorded when it was computed.
+    pub warnings: Vec<String>,
+}
+
+/// An in-memory entry plus its LRU clock reading.
+#[derive(Debug, Clone)]
+struct Slot {
+    value: CachedArtifact,
+    last_used: u64,
+}
+
+/// Fingerprint-keyed artifact cache shared across pipeline runs.
+///
+/// Construct one, then pass it to [`crate::CirStag::analyze_cached`] or
+/// [`crate::analyze_sweep`]; runs whose stage fingerprints match replay
+/// the stored artifacts instead of recomputing them.
+///
+/// Failpoint-armed runs (the `failpoints` feature) should use the
+/// uncached [`crate::CirStag::analyze`]: a cache hit replays the stored
+/// outcome and will not consume a one-shot failpoint arming.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    entries: BTreeMap<Fingerprint, Slot>,
+    capacity: usize,
+    tick: u64,
+    disk_dir: Option<PathBuf>,
+}
+
+impl ArtifactCache {
+    /// An in-memory cache with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An in-memory cache holding at most `capacity` entries (minimum 1);
+    /// the least-recently-used entry is evicted at capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ArtifactCache {
+            entries: BTreeMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            disk_dir: None,
+        }
+    }
+
+    /// Adds a best-effort on-disk layer under `dir` (created on first
+    /// write). Disk entries survive the process and back-fill the
+    /// in-memory layer on lookup.
+    pub fn with_disk_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.disk_dir = Some(dir.into());
+        self
+    }
+
+    /// The configured disk layer, if any.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk_dir.as_deref()
+    }
+
+    /// Number of in-memory entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the in-memory layer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every in-memory entry (the disk layer is untouched).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Looks up `key`, consulting memory first and then disk. A disk hit
+    /// is promoted into the in-memory layer.
+    pub(crate) fn lookup(&mut self, key: Fingerprint) -> Option<CachedArtifact> {
+        self.tick = self.tick.wrapping_add(1);
+        if let Some(slot) = self.entries.get_mut(&key) {
+            slot.last_used = self.tick;
+            return Some(slot.value.clone());
+        }
+        let value = self.disk_lookup(key)?;
+        self.insert_memory(key, value.clone());
+        Some(value)
+    }
+
+    /// Stores `value` under `key` in memory and (best-effort) on disk.
+    pub(crate) fn store(&mut self, key: Fingerprint, value: CachedArtifact) {
+        self.disk_store(key, &value);
+        self.tick = self.tick.wrapping_add(1);
+        self.insert_memory(key, value);
+    }
+
+    fn insert_memory(&mut self, key: Fingerprint, value: CachedArtifact) {
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            // Linear scan is fine at cache scale (tens of entries).
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| *k);
+            if let Some(k) = oldest {
+                self.entries.remove(&k);
+            }
+        }
+        self.entries.insert(
+            key,
+            Slot {
+                value,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    fn entry_path(&self, key: Fingerprint) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("art-{}.json", key.hex())))
+    }
+
+    fn disk_lookup(&self, key: Fingerprint) -> Option<CachedArtifact> {
+        let path = self.entry_path(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    fn disk_store(&self, key: Fingerprint, value: &CachedArtifact) {
+        let Some(path) = self.entry_path(key) else {
+            return;
+        };
+        let Some(dir) = self.disk_dir.as_ref() else {
+            return;
+        };
+        // Best-effort: non-finite floats are unserializable by design
+        // (the JSON writer rejects them) and I/O failures must never
+        // fail an analysis — either way the entry simply stays
+        // memory-only.
+        let Ok(json) = serde_json::to_string(value) else {
+            return;
+        };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let _ = std::fs::write(path, json);
+    }
+}
+
+// ---- on-disk serialization ------------------------------------------------
+
+fn matrix_to_value(m: &DenseMatrix) -> Value {
+    Value::Object(vec![
+        ("nrows".to_string(), m.nrows().to_value()),
+        ("ncols".to_string(), m.ncols().to_value()),
+        ("data".to_string(), m.as_slice().to_vec().to_value()),
+    ])
+}
+
+fn matrix_from_value(v: &Value) -> Result<DenseMatrix, DeError> {
+    let nrows: usize = v.field("nrows")?;
+    let ncols: usize = v.field("ncols")?;
+    let data: Vec<f64> = v.field("data")?;
+    DenseMatrix::from_vec(nrows, ncols, data)
+        .map_err(|e| DeError::new(format!("cached matrix is malformed: {e}")))
+}
+
+fn graph_to_value(g: &Graph) -> Value {
+    let edges: Vec<(usize, usize, f64)> = g.edges().iter().map(|e| (e.u, e.v, e.weight)).collect();
+    Value::Object(vec![
+        ("num_nodes".to_string(), g.num_nodes().to_value()),
+        ("edges".to_string(), edges.to_value()),
+    ])
+}
+
+fn graph_from_value(v: &Value) -> Result<Graph, DeError> {
+    let num_nodes: usize = v.field("num_nodes")?;
+    let edges: Vec<(usize, usize, f64)> = v.field("edges")?;
+    Graph::from_edges(num_nodes, &edges)
+        .map_err(|e| DeError::new(format!("cached graph is malformed: {e}")))
+}
+
+impl Serialize for CachedArtifact {
+    fn to_value(&self) -> Value {
+        let payload = match &self.payload {
+            CachedPayload::Embedding(None) => Value::Null,
+            CachedPayload::Embedding(Some(m)) => matrix_to_value(m),
+            CachedPayload::Manifold(g) => graph_to_value(g),
+            CachedPayload::Eigen(geig) => Value::Object(vec![
+                ("eigenvalues".to_string(), geig.eigenvalues.to_value()),
+                (
+                    "eigenvectors".to_string(),
+                    matrix_to_value(&geig.eigenvectors),
+                ),
+                ("iterations".to_string(), geig.iterations.to_value()),
+            ]),
+            CachedPayload::Scores(s) => Value::Object(vec![
+                ("eigenvalues".to_string(), s.eigenvalues.to_value()),
+                ("edge_scores".to_string(), s.edge_scores.to_value()),
+                ("node_scores".to_string(), s.node_scores.to_value()),
+            ]),
+        };
+        Value::Object(vec![
+            ("schema".to_string(), DISK_SCHEMA.to_value()),
+            ("kind".to_string(), self.payload.kind().to_value()),
+            ("payload".to_string(), payload),
+            ("events".to_string(), self.events.to_value()),
+            ("warnings".to_string(), self.warnings.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for CachedArtifact {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let schema: String = v.field("schema")?;
+        if schema != DISK_SCHEMA {
+            return Err(DeError::new(format!(
+                "unsupported cache entry schema `{schema}`"
+            )));
+        }
+        let kind: String = v.field("kind")?;
+        let payload_value = v
+            .get("payload")
+            .ok_or_else(|| DeError::new("cache entry missing `payload`"))?;
+        let payload = match kind.as_str() {
+            "embedding" => match payload_value {
+                Value::Null => CachedPayload::Embedding(None),
+                other => CachedPayload::Embedding(Some(matrix_from_value(other)?)),
+            },
+            "manifold" => CachedPayload::Manifold(graph_from_value(payload_value)?),
+            "eigen" => CachedPayload::Eigen(GeneralizedEigen {
+                eigenvalues: payload_value.field("eigenvalues")?,
+                eigenvectors: matrix_from_value(
+                    payload_value
+                        .get("eigenvectors")
+                        .ok_or_else(|| DeError::new("cache entry missing `eigenvectors`"))?,
+                )?,
+                iterations: payload_value.field("iterations")?,
+            }),
+            "scores" => CachedPayload::Scores(ScoreSet {
+                eigenvalues: payload_value.field("eigenvalues")?,
+                edge_scores: payload_value.field("edge_scores")?,
+                node_scores: payload_value.field("node_scores")?,
+            }),
+            other => return Err(DeError::new(format!("unknown cache entry kind `{other}`"))),
+        };
+        Ok(CachedArtifact {
+            payload,
+            events: v.field("events")?,
+            warnings: v.field("warnings")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> Fingerprint {
+        Fingerprint {
+            lo: n,
+            hi: n ^ 0xABCD,
+        }
+    }
+
+    fn manifold_entry(weight: f64) -> CachedArtifact {
+        CachedArtifact {
+            payload: CachedPayload::Manifold(
+                Graph::from_edges(4, &[(0, 1, weight), (1, 2, 1.0), (2, 3, 1.0)]).unwrap(),
+            ),
+            events: vec![FallbackEvent {
+                stage: "phase2/pgm-input".to_string(),
+                rung: "random-prune".to_string(),
+                cause: "test".to_string(),
+                residual: Some(0.5),
+                elapsed_ms: 3,
+            }],
+            warnings: vec!["w".to_string()],
+        }
+    }
+
+    #[test]
+    fn memory_roundtrip_and_lru_eviction() {
+        let mut cache = ArtifactCache::with_capacity(2);
+        cache.store(key(1), manifold_entry(1.0));
+        cache.store(key(2), manifold_entry(2.0));
+        assert!(cache.lookup(key(1)).is_some()); // refresh 1
+        cache.store(key(3), manifold_entry(3.0)); // evicts 2
+        assert!(cache.lookup(key(2)).is_none());
+        assert!(cache.lookup(key(1)).is_some());
+        assert!(cache.lookup(key(3)).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn disk_layer_roundtrips_bit_exact() {
+        let dir = std::env::temp_dir().join(format!("cirstag-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Weight with a non-trivial mantissa to exercise exact float I/O.
+        let w = 0.1 + 0.2;
+        {
+            let mut writer = ArtifactCache::new().with_disk_dir(&dir);
+            writer.store(key(7), manifold_entry(w));
+        }
+        let mut reader = ArtifactCache::new().with_disk_dir(&dir);
+        let hit = reader.lookup(key(7)).expect("disk hit");
+        match &hit.payload {
+            CachedPayload::Manifold(g) => {
+                let e0 = g.edges().first().unwrap();
+                assert_eq!(e0.weight.to_bits(), w.to_bits());
+            }
+            other => panic!("wrong payload kind: {other:?}"),
+        }
+        assert_eq!(hit.events.len(), 1);
+        assert_eq!(hit.warnings, vec!["w".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_finite_payloads_stay_memory_only() {
+        let dir =
+            std::env::temp_dir().join(format!("cirstag-cache-nan-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = ArtifactCache::new().with_disk_dir(&dir);
+        let entry = CachedArtifact {
+            payload: CachedPayload::Scores(ScoreSet {
+                eigenvalues: vec![f64::NAN],
+                edge_scores: vec![],
+                node_scores: vec![],
+            }),
+            events: vec![],
+            warnings: vec![],
+        };
+        cache.store(key(9), entry);
+        // Memory hit works; no disk file was produced.
+        assert!(cache.lookup(key(9)).is_some());
+        let mut fresh = ArtifactCache::new().with_disk_dir(&dir);
+        assert!(fresh.lookup(key(9)).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_reads_as_miss() {
+        let dir =
+            std::env::temp_dir().join(format!("cirstag-cache-corrupt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let k = key(11);
+        std::fs::write(dir.join(format!("art-{}.json", k.hex())), "{not json").unwrap();
+        let mut cache = ArtifactCache::new().with_disk_dir(&dir);
+        assert!(cache.lookup(k).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,6 +1,6 @@
 //! JSON export of stability reports for downstream tooling.
 
-use crate::{CirStagError, FallbackEvent, RunDiagnostics, StabilityReport};
+use crate::{CirStagError, FallbackEvent, RunDiagnostics, StabilityReport, StageCacheRecord};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Serializable form of a [`StabilityReport`] (scores, rankings and run
@@ -26,6 +26,12 @@ pub struct ReportExport {
     pub warnings: Vec<String>,
     /// Fallback-ladder escalations, in the order they fired.
     pub fallback_events: Vec<FallbackEvent>,
+    /// Stages replayed from the artifact cache (`0` for uncached runs).
+    pub cache_hits: usize,
+    /// Cacheable stages that had to compute (`0` for uncached runs).
+    pub cache_misses: usize,
+    /// Per-stage cache status in execution order (empty for uncached runs).
+    pub stage_cache: Vec<StageCacheRecord>,
 }
 
 // Manual impls (rather than `impl_serde_struct!`) so fields added after the
@@ -46,6 +52,9 @@ impl Serialize for ReportExport {
                 "fallback_events".to_string(),
                 self.fallback_events.to_value(),
             ),
+            ("cache_hits".to_string(), self.cache_hits.to_value()),
+            ("cache_misses".to_string(), self.cache_misses.to_value()),
+            ("stage_cache".to_string(), self.stage_cache.to_value()),
         ])
     }
 }
@@ -65,6 +74,9 @@ impl Deserialize for ReportExport {
             degraded: v.field_or("degraded", false)?,
             warnings: v.field_or("warnings", Vec::new())?,
             fallback_events: v.field_or("fallback_events", Vec::new())?,
+            cache_hits: v.field_or("cache_hits", 0)?,
+            cache_misses: v.field_or("cache_misses", 0)?,
+            stage_cache: v.field_or("stage_cache", Vec::new())?,
         })
     }
 }
@@ -86,6 +98,9 @@ impl ReportExport {
             degraded: report.degraded,
             warnings: report.diagnostics.warnings.clone(),
             fallback_events: report.diagnostics.events.clone(),
+            cache_hits: report.timings.cache_hits,
+            cache_misses: report.timings.cache_misses,
+            stage_cache: report.diagnostics.cache.clone(),
         }
     }
 
@@ -94,6 +109,7 @@ impl ReportExport {
         RunDiagnostics {
             events: self.fallback_events.clone(),
             warnings: self.warnings.clone(),
+            cache: self.stage_cache.clone(),
         }
     }
 

@@ -49,16 +49,18 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod engine;
 mod error;
 mod export;
 mod pipeline;
 mod resilience;
 mod selection;
 
+pub use engine::{ArtifactCache, Fingerprint, Fingerprinter};
 pub use error::CirStagError;
 pub use export::ReportExport;
-pub use pipeline::{CirStag, CirStagConfig, PhaseTimings, StabilityReport};
-pub use resilience::{FailurePolicy, FallbackEvent, RunDiagnostics, StageBudget};
+pub use pipeline::{analyze_sweep, CirStag, CirStagConfig, PhaseTimings, StabilityReport};
+pub use resilience::{FailurePolicy, FallbackEvent, RunDiagnostics, StageBudget, StageCacheRecord};
 pub use selection::{bottom_fraction, rank_descending, top_fraction};
 
 /// Deterministic failpoint injection (re-exported from the linalg layer).

@@ -1,30 +1,17 @@
 //! The three-phase CirSTAG pipeline (Algorithm 1 of the paper).
+//!
+//! The phases themselves are implemented as typed stages executed by the
+//! [`crate::engine`] module; this module holds the public configuration,
+//! report types, and the [`CirStag`] entry points ([`CirStag::analyze`],
+//! [`CirStag::analyze_cached`], and the batched [`analyze_sweep`]).
 
-#[cfg(any(feature = "validate", debug_assertions))]
-use crate::audit;
-use crate::{CirStagError, FailurePolicy, FallbackEvent, RunDiagnostics, StageBudget};
-use cirstag_embed::{
-    augment_with_features, dense_spectral_embedding, knn_graph, spectral_embedding_ws, EmbedError,
-    KnnConfig, SpectralConfig,
-};
+use crate::engine::{self, ArtifactCache};
+use crate::{CirStagError, FailurePolicy, RunDiagnostics, StageBudget};
+use cirstag_embed::{KnnConfig, SpectralConfig};
 use cirstag_graph::Graph;
-use cirstag_linalg::{fail, par, DenseMatrix};
-use cirstag_pgm::{learn_manifold, random_prune, PgmConfig};
-use cirstag_solver::{
-    generalized_eigen_dense, generalized_lanczos_ws, CgOptions, GeneralizedEigen, LadderRung,
-    LaplacianSolver, SolverError, SolverWorkspace,
-};
-use std::time::{Duration, Instant};
-
-/// Seed perturbation applied to re-seeded eigensolver retries so the retry
-/// explores a different Krylov subspace than the failed attempt.
-const RETRY_RESEED: u64 = 0x5EED_F00D;
-
-/// Saturating millisecond conversion for diagnostics timestamps: a `u128`
-/// elapsed time beyond `u64::MAX` ms clamps instead of truncating.
-fn millis_u64(elapsed: Duration) -> u64 {
-    u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX)
-}
+use cirstag_linalg::DenseMatrix;
+use cirstag_pgm::PgmConfig;
+use std::time::Duration;
 
 /// Configuration for the [`CirStag`] analyzer.
 #[derive(Debug, Clone, Copy)]
@@ -67,7 +54,8 @@ pub struct CirStagConfig {
     /// resistance sketching, dense matmul, DMD edge scoring). `0` (the
     /// default) uses all available cores; `1` forces serial execution;
     /// larger values may oversubscribe the machine. Results are bit-identical
-    /// for every setting — parallelism never changes reduction order.
+    /// for every setting — parallelism never changes reduction order, and
+    /// the artifact cache therefore excludes the thread count from its keys.
     pub num_threads: usize,
     /// What to do when a stage fails: fail fast ([`FailurePolicy::Strict`],
     /// the default and historical behavior) or climb the fallback ladders and
@@ -111,6 +99,10 @@ pub struct PhaseTimings {
     /// Worker-thread count the analysis ran with (`1` = serial build or
     /// serial configuration).
     pub threads: usize,
+    /// Stages replayed from the artifact cache (`0` for uncached runs).
+    pub cache_hits: usize,
+    /// Cacheable stages that had to compute (`0` for uncached runs).
+    pub cache_misses: usize,
 }
 
 impl PhaseTimings {
@@ -121,9 +113,10 @@ impl PhaseTimings {
 
     /// Human-readable per-stage timing report, e.g.
     /// `phase1 12.3ms | phase2 45.6ms | phase3 7.8ms | total 65.7ms | 4 threads`.
+    /// Cache-backed runs append `| cache 4 hits / 1 miss`.
     pub fn summary(&self) -> String {
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
-        format!(
+        let mut s = format!(
             "phase1 {:.1}ms | phase2 {:.1}ms | phase3 {:.1}ms | total {:.1}ms | {} thread{}",
             ms(self.phase1),
             ms(self.phase2),
@@ -131,7 +124,17 @@ impl PhaseTimings {
             ms(self.total()),
             self.threads.max(1),
             if self.threads == 1 { "" } else { "s" },
-        )
+        );
+        if self.cache_hits + self.cache_misses > 0 {
+            s.push_str(&format!(
+                " | cache {} hit{} / {} miss{}",
+                self.cache_hits,
+                if self.cache_hits == 1 { "" } else { "s" },
+                self.cache_misses,
+                if self.cache_misses == 1 { "" } else { "es" },
+            ));
+        }
+        s
     }
 }
 
@@ -153,6 +156,8 @@ pub struct StabilityReport {
     /// `true` when any fallback rung fired during the analysis — the scores
     /// are usable but were produced by a degraded (retry/dense/pruned) path.
     /// Always `false` under [`FailurePolicy::Strict`], which errors instead.
+    /// A cache hit replays the cold run's events, so a warm run is degraded
+    /// exactly when the run that populated the cache was.
     pub degraded: bool,
     /// Fallback events and non-fatal warnings recorded during the run.
     pub diagnostics: RunDiagnostics,
@@ -205,515 +210,71 @@ impl CirStag {
         node_features: Option<&DenseMatrix>,
         output_embedding: &DenseMatrix,
     ) -> Result<StabilityReport, CirStagError> {
-        let n = input_graph.num_nodes();
-        if n < 4 {
-            return Err(CirStagError::InvalidArgument {
-                reason: format!("need at least 4 nodes, got {n}"),
-            });
-        }
-        if output_embedding.nrows() != n {
-            return Err(CirStagError::InvalidArgument {
-                reason: format!(
-                    "output embedding has {} rows but the graph has {n} nodes",
-                    output_embedding.nrows()
-                ),
-            });
-        }
-        if let Some(f) = node_features {
-            if f.nrows() != n {
-                return Err(CirStagError::InvalidArgument {
-                    reason: format!(
-                        "node features have {} rows but the graph has {n} nodes",
-                        f.nrows()
-                    ),
-                });
-            }
-        }
-        // Mix the master seed into every stochastic sub-stage so that
-        // varying `seed` alone re-randomizes the whole pipeline.
-        let mut cfg = self.config;
-        cfg.spectral.seed ^= cfg.seed;
-        cfg.knn.seed ^= cfg.seed;
-        cfg.pgm.seed ^= cfg.seed;
-        let cfg = &cfg;
+        engine::run_pipeline(
+            &self.config,
+            input_graph,
+            node_features,
+            output_embedding,
+            None,
+        )
+    }
 
-        // Single entry point for the parallel execution layer: every stage
-        // below reads the pool size set here.
-        par::set_num_threads(cfg.num_threads);
-        let threads = par::current_num_threads();
-
-        let mut diag = RunDiagnostics::default();
-        let best_effort = cfg.policy == FailurePolicy::BestEffort;
-
-        // One scratch-buffer arena for the whole run: the Phase-1 Lanczos and
-        // Phase-3 generalized Lanczos share length-`n` vectors, so buffers
-        // warmed in Phase 1 are reused in Phase 3 instead of reallocated.
-        let mut ws = SolverWorkspace::new();
-
-        // ---- Phase 1: input/output embedding matrices -------------------
-        let t0 = Instant::now();
-        fail::trigger("phase1/stall");
-        let mut input_data: Option<DenseMatrix> = if cfg.skip_dimension_reduction {
-            None // raw graph becomes the manifold directly
-        } else {
-            let m = cfg.embedding_dim.min(n - 1).max(1);
-            match phase1_embedding(input_graph, m, cfg, &mut diag, &mut ws)? {
-                None => None,
-                Some(u) => {
-                    let u = match node_features {
-                        Some(f) if cfg.feature_weight > 0.0 => {
-                            augment_with_features(&u, f, cfg.feature_weight)?
-                        }
-                        _ => u,
-                    };
-                    Some(u)
-                }
-            }
-        };
-        // Failpoint: corrupt the inter-phase hand-off to exercise the
-        // finiteness guardrail below.
-        if matches!(fail::check("phase1/nan"), Some(fail::FailAction::Nan)) {
-            if let Some(u) = &mut input_data {
-                u.set(0, 0, f64::NAN); // cirstag-lint: allow(float-discipline) -- deliberate failpoint corruption exercising the finiteness guardrail below
-            }
-        }
-        // Guardrail: the embedding must be finite before it seeds Phase 2.
-        if input_data.as_ref().is_some_and(|u| !u.all_finite()) {
-            if best_effort {
-                diag.events.push(FallbackEvent {
-                    stage: "phase1/nan-guard".to_string(),
-                    rung: "degraded".to_string(),
-                    cause: "spectral embedding contains non-finite values".to_string(),
-                    residual: None,
-                    elapsed_ms: millis_u64(t0.elapsed()),
-                });
-                diag.warnings.push(
-                    "phase1 embedding was non-finite; using the raw circuit graph as the input manifold"
-                        .to_string(),
-                );
-                input_data = None;
-            } else {
-                return Err(CirStagError::NonFiniteStage { stage: "phase1" });
-            }
-        }
-        // Invariant audit (validate feature / debug builds): the embedding
-        // hand-off must be finite and row-matched to the circuit graph.
-        #[cfg(any(feature = "validate", debug_assertions))]
-        if let Some(u) = &input_data {
-            audit::enforce(
-                "phase1/audit",
-                audit::embedding_violations(u, n, "input embedding"),
-                cfg.policy,
-                &mut diag,
-                millis_u64(t0.elapsed()),
-            )?;
-        }
-        let phase1 = t0.elapsed();
-        enforce_budget("phase1", phase1, cfg, &mut diag)?;
-
-        // ---- Phase 2: graph-based manifolds via PGMs ---------------------
-        let t1 = Instant::now();
-        fail::trigger("phase2/stall");
-        let k = cfg.knn_k.min(n - 1).max(1);
-        let input_manifold = match &input_data {
-            None => input_graph.clone(),
-            Some(u) => {
-                let dense = knn_graph(u, k, &cfg.knn)?;
-                sparsify_with_ladder(&dense, cfg, "phase2/pgm-input", &mut diag)?
-            }
-        };
-        let dense_y = knn_graph(output_embedding, k, &cfg.knn)?;
-        let output_manifold = sparsify_with_ladder(&dense_y, cfg, "phase2/pgm-output", &mut diag)?;
-        // Invariant audit: both manifolds must carry finite positive weights
-        // before their Laplacians seed the Phase-3 eigenproblem (Eq. 8 treats
-        // the weights as conductances).
-        #[cfg(any(feature = "validate", debug_assertions))]
-        {
-            let mut violations = audit::manifold_violations(&input_manifold, "input manifold");
-            violations.extend(audit::manifold_violations(
-                &output_manifold,
-                "output manifold",
-            ));
-            audit::enforce(
-                "phase2/audit",
-                violations,
-                cfg.policy,
-                &mut diag,
-                millis_u64(t1.elapsed()),
-            )?;
-        }
-        let phase2 = t1.elapsed();
-        enforce_budget("phase2", phase2, cfg, &mut diag)?;
-
-        // ---- Phase 3: DMD stability scores -------------------------------
-        let t2 = Instant::now();
-        fail::trigger("phase3/stall");
-        let lx = input_manifold.laplacian();
-        // Invariant audit: Eq. 5 requires L = Σ w_pq e_pq e_pqᵀ — well-formed
-        // CSR, symmetric, and PSD (spot-checked with deterministic probes).
-        #[cfg(any(feature = "validate", debug_assertions))]
-        {
-            let mut violations = audit::laplacian_violations(&lx, "L_X");
-            violations.extend(audit::laplacian_violations(
-                &output_manifold.laplacian(),
-                "L_Y",
-            ));
-            audit::enforce(
-                "phase3/audit",
-                violations,
-                cfg.policy,
-                &mut diag,
-                millis_u64(t2.elapsed()),
-            )?;
-        }
-        // Ranking-grade solver options: manifold Laplacians mix weights
-        // spanning ~1/ε, so the default 1e-10 tolerance is unnecessarily
-        // strict for eigen-subspace estimation and can fail to converge.
-        let ly_options = CgOptions {
-            tol: 1e-6,
-            max_iter: 10_000,
-        };
-        // Strict keeps the historical fail-fast solver; BestEffort lets the
-        // inner CG escalate tree → dense instead of surfacing NoConvergence.
-        let ly_solver = if best_effort {
-            LaplacianSolver::with_ladder(&output_manifold, ly_options, LadderRung::Tree)?
-        } else {
-            LaplacianSolver::with_tree_preconditioner(&output_manifold, ly_options)?
-        };
-        let s = cfg.num_eigenpairs.min(n.saturating_sub(2)).max(1);
-        let mut geig = phase3_eigenpairs(&lx, &ly_solver, s, n, cfg, &mut diag, &mut ws)?;
-        // Surface the inner CG ladder's escalations and warnings.
-        for ev in ly_solver.take_events() {
-            diag.events.push(FallbackEvent {
-                stage: "phase3/cg".to_string(),
-                rung: ev.to.name().to_string(),
-                cause: ev.cause,
-                residual: ev.residual.filter(|r| r.is_finite()),
-                elapsed_ms: ev.elapsed_ms,
-            });
-        }
-        diag.warnings.extend(ly_solver.take_warnings());
-
-        // Failpoint: corrupt the spectrum to exercise the score guardrail.
-        if matches!(fail::check("phase3/nan"), Some(fail::FailAction::Nan)) {
-            if let Some(z) = geig.eigenvalues.first_mut() {
-                *z = f64::NAN; // cirstag-lint: allow(float-discipline) -- deliberate failpoint corruption exercising the score guardrail
-            }
-        }
-
-        // Edge scores ‖V_sᵀe_pq‖² = Σ_i ζ_i (v_i[p] − v_i[q])² over E_X.
-        // Each edge's score depends only on that edge, so the map runs across
-        // the pool; the node accumulation stays serial in edge order so the
-        // floating-point reduction is identical for every thread count.
-        let zetas: Vec<f64> = geig.eigenvalues.iter().map(|&z| z.max(0.0)).collect();
-        let vs = &geig.eigenvectors;
-        let edges = input_manifold.edges();
-        let mut edge_scores: Vec<(usize, usize, f64)> = par::map_indexed(edges.len(), |eid| {
-            let e = &edges[eid];
-            // Row-major eigenvector storage makes both endpoint rows
-            // contiguous, so the score is a fused sweep over two slices
-            // instead of 2s bounds-checked `get` calls.
-            let ru = vs.row(e.u);
-            let rv = vs.row(e.v);
-            let mut score = 0.0;
-            for ((&z, &a), &b) in zetas.iter().zip(ru).zip(rv) {
-                let d = a - b;
-                score += z * d * d;
-            }
-            (e.u, e.v, score)
-        });
-        // Guardrail: scores must be finite before they reach the report.
-        if edge_scores.iter().any(|&(_, _, s)| !s.is_finite())
-            || geig.eigenvalues.iter().any(|z| !z.is_finite())
-        {
-            if best_effort {
-                diag.events.push(FallbackEvent {
-                    stage: "phase3/nan-guard".to_string(),
-                    rung: "degraded".to_string(),
-                    cause: "DMD spectrum or edge scores contain non-finite values".to_string(),
-                    residual: None,
-                    elapsed_ms: millis_u64(t2.elapsed()),
-                });
-                diag.warnings.push(
-                    "phase3 produced non-finite values; they were zeroed in the report".to_string(),
-                );
-                for (_, _, s) in edge_scores.iter_mut() {
-                    if !s.is_finite() {
-                        *s = 0.0;
-                    }
-                }
-                for z in geig.eigenvalues.iter_mut() {
-                    if !z.is_finite() {
-                        *z = 0.0;
-                    }
-                }
-            } else {
-                return Err(CirStagError::NonFiniteStage { stage: "phase3" });
-            }
-        }
-        let mut node_acc = vec![0.0f64; n];
-        let mut node_count = vec![0usize; n];
-        for &(u, v, score) in &edge_scores {
-            node_acc[u] += score;
-            node_acc[v] += score;
-            node_count[u] += 1;
-            node_count[v] += 1;
-        }
-        let node_scores: Vec<f64> = node_acc
-            .iter()
-            .zip(&node_count)
-            .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
-            .collect();
-        let phase3 = t2.elapsed();
-        enforce_budget("phase3", phase3, cfg, &mut diag)?;
-
-        let degraded = !diag.events.is_empty();
-        Ok(StabilityReport {
-            node_scores,
-            edge_scores,
-            eigenvalues: geig.eigenvalues,
-            input_manifold,
-            output_manifold,
-            timings: PhaseTimings {
-                phase1,
-                phase2,
-                phase3,
-                threads,
-            },
-            degraded,
-            diagnostics: diag,
-        })
+    /// Runs Algorithm 1 against an [`ArtifactCache`]: stages whose
+    /// fingerprints match a cached entry replay the stored artifact and
+    /// diagnostics segment instead of recomputing, bit-identically to the
+    /// cold run that populated the cache. The report's
+    /// [`PhaseTimings::cache_hits`]/[`PhaseTimings::cache_misses`] and
+    /// [`RunDiagnostics::cache`] record what was replayed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CirStag::analyze`]. Cache I/O never fails an analysis.
+    pub fn analyze_cached(
+        &self,
+        input_graph: &Graph,
+        node_features: Option<&DenseMatrix>,
+        output_embedding: &DenseMatrix,
+        cache: &mut ArtifactCache,
+    ) -> Result<StabilityReport, CirStagError> {
+        engine::run_pipeline(
+            &self.config,
+            input_graph,
+            node_features,
+            output_embedding,
+            Some(cache),
+        )
     }
 }
 
-/// Residual norm carried by an embedding-stage failure, when a finite one
-/// exists (diagnostics are JSON-exported, which cannot represent infinity).
-fn embed_residual(e: &EmbedError) -> Option<f64> {
-    match e {
-        EmbedError::Solver(SolverError::NoConvergence { residual, .. }) => {
-            Some(*residual).filter(|r| r.is_finite())
-        }
-        _ => None,
+/// Runs a batch of configurations over the same inputs, sharing one
+/// [`ArtifactCache`] so that artifacts unaffected by the varying knobs
+/// (typically the Phase-1 embedding and the Phase-2 manifolds in a
+/// `num_eigenpairs` sweep) are computed once and replayed thereafter.
+///
+/// Reports come back in config order, each carrying its own per-stage
+/// hit/miss counts in [`PhaseTimings`] and [`RunDiagnostics::cache`].
+///
+/// # Errors
+///
+/// Stops at — and returns — the first failing configuration's error.
+pub fn analyze_sweep(
+    input_graph: &Graph,
+    node_features: Option<&DenseMatrix>,
+    output_embedding: &DenseMatrix,
+    configs: &[CirStagConfig],
+    cache: &mut ArtifactCache,
+) -> Result<Vec<StabilityReport>, CirStagError> {
+    let mut reports = Vec::with_capacity(configs.len());
+    for config in configs {
+        reports.push(engine::run_pipeline(
+            config,
+            input_graph,
+            node_features,
+            output_embedding,
+            Some(cache),
+        )?);
     }
-}
-
-/// Residual norm carried by a solver-stage failure, when a finite one exists.
-fn solver_residual(e: &SolverError) -> Option<f64> {
-    match e {
-        SolverError::NoConvergence { residual, .. } => Some(*residual).filter(|r| r.is_finite()),
-        _ => None,
-    }
-}
-
-/// Phase-1 fallback ladder: Lanczos → re-seeded retry with an enlarged
-/// Krylov budget → dense eigendecomposition → (BestEffort only) raw circuit
-/// graph as the input manifold (`Ok(None)`).
-fn phase1_embedding(
-    g: &Graph,
-    m: usize,
-    cfg: &CirStagConfig,
-    diag: &mut RunDiagnostics,
-    ws: &mut SolverWorkspace,
-) -> Result<Option<DenseMatrix>, CirStagError> {
-    let t = Instant::now();
-    let first = spectral_embedding_ws(g, m, &cfg.spectral, ws);
-    let err = match first {
-        Ok(u) => return Ok(Some(u)),
-        Err(err) if cfg.policy == FailurePolicy::Strict => return Err(err.into()),
-        Err(err) => err,
-    };
-    diag.events.push(FallbackEvent {
-        stage: "phase1/eigs".to_string(),
-        rung: "retry".to_string(),
-        cause: err.to_string(),
-        residual: embed_residual(&err),
-        elapsed_ms: millis_u64(t.elapsed()),
-    });
-    let retry_cfg = SpectralConfig {
-        max_iter: cfg
-            .spectral
-            .max_iter
-            .saturating_mul(cfg.stage_budget.retry_iter_factor.max(1)),
-        seed: cfg.spectral.seed ^ RETRY_RESEED,
-        ..cfg.spectral
-    };
-    let t_retry = Instant::now();
-    let err = match spectral_embedding_ws(g, m, &retry_cfg, ws) {
-        Ok(u) => return Ok(Some(u)),
-        Err(err) => err,
-    };
-    diag.events.push(FallbackEvent {
-        stage: "phase1/eigs".to_string(),
-        rung: "dense".to_string(),
-        cause: err.to_string(),
-        residual: embed_residual(&err),
-        elapsed_ms: millis_u64(t_retry.elapsed()),
-    });
-    let t_dense = Instant::now();
-    let err = match dense_spectral_embedding(g, m) {
-        Ok(u) => return Ok(Some(u)),
-        Err(err) => err,
-    };
-    diag.events.push(FallbackEvent {
-        stage: "phase1/eigs".to_string(),
-        rung: "degraded".to_string(),
-        cause: err.to_string(),
-        residual: embed_residual(&err),
-        elapsed_ms: millis_u64(t_dense.elapsed()),
-    });
-    diag.warnings.push(
-        "phase1 spectral embedding failed on every rung; using the raw circuit graph as the input manifold"
-            .to_string(),
-    );
-    Ok(None)
-}
-
-/// Phase-3 fallback ladder: generalized Lanczos → re-seeded retry with an
-/// enlarged iteration budget → dense generalized eigensolver → (BestEffort
-/// only) a zero spectrum, which yields all-zero stability scores.
-#[allow(clippy::too_many_arguments)]
-fn phase3_eigenpairs(
-    lx: &cirstag_linalg::CsrMatrix,
-    ly_solver: &LaplacianSolver,
-    s: usize,
-    n: usize,
-    cfg: &CirStagConfig,
-    diag: &mut RunDiagnostics,
-    ws: &mut SolverWorkspace,
-) -> Result<GeneralizedEigen, CirStagError> {
-    let t = Instant::now();
-    let first = generalized_lanczos_ws(lx, ly_solver, s, cfg.geig_max_iter, cfg.seed, ws);
-    let err = match first {
-        Ok(geig) => return Ok(geig),
-        Err(err) if cfg.policy == FailurePolicy::Strict => return Err(err.into()),
-        Err(err) => err,
-    };
-    diag.events.push(FallbackEvent {
-        stage: "phase3/geig".to_string(),
-        rung: "retry".to_string(),
-        cause: err.to_string(),
-        residual: solver_residual(&err),
-        elapsed_ms: millis_u64(t.elapsed()),
-    });
-    let retry_iters = cfg
-        .geig_max_iter
-        .saturating_mul(cfg.stage_budget.retry_iter_factor.max(1));
-    let t_retry = Instant::now();
-    let err =
-        match generalized_lanczos_ws(lx, ly_solver, s, retry_iters, cfg.seed ^ RETRY_RESEED, ws) {
-            Ok(geig) => return Ok(geig),
-            Err(err) => err,
-        };
-    diag.events.push(FallbackEvent {
-        stage: "phase3/geig".to_string(),
-        rung: "dense".to_string(),
-        cause: err.to_string(),
-        residual: solver_residual(&err),
-        elapsed_ms: millis_u64(t_retry.elapsed()),
-    });
-    let t_dense = Instant::now();
-    let err = match generalized_eigen_dense(lx, ly_solver.laplacian(), s) {
-        Ok(geig) => return Ok(geig),
-        Err(err) => err,
-    };
-    diag.events.push(FallbackEvent {
-        stage: "phase3/geig".to_string(),
-        rung: "degraded".to_string(),
-        cause: err.to_string(),
-        residual: solver_residual(&err),
-        elapsed_ms: millis_u64(t_dense.elapsed()),
-    });
-    diag.warnings.push(
-        "phase3 generalized eigensolve failed on every rung; reporting a zero spectrum and zero scores"
-            .to_string(),
-    );
-    Ok(GeneralizedEigen {
-        eigenvalues: vec![0.0; s],
-        eigenvectors: DenseMatrix::zeros(n, s),
-        iterations: 0,
-    })
-}
-
-/// Enforces the per-stage wall-clock budget: a typed error under
-/// [`FailurePolicy::Strict`], a recorded degradation under
-/// [`FailurePolicy::BestEffort`].
-fn enforce_budget(
-    stage: &'static str,
-    elapsed: Duration,
-    cfg: &CirStagConfig,
-    diag: &mut RunDiagnostics,
-) -> Result<(), CirStagError> {
-    let Some(budget_ms) = cfg.stage_budget.wall_clock_ms else {
-        return Ok(());
-    };
-    let elapsed_ms = millis_u64(elapsed);
-    if elapsed_ms <= budget_ms {
-        return Ok(());
-    }
-    if cfg.policy == FailurePolicy::BestEffort {
-        diag.events.push(FallbackEvent {
-            stage: stage.to_string(),
-            rung: "budget".to_string(),
-            cause: format!(
-                "stage exceeded its wall-clock budget ({elapsed_ms}ms spent, {budget_ms}ms allowed)"
-            ),
-            residual: None,
-            elapsed_ms,
-        });
-        Ok(())
-    } else {
-        Err(CirStagError::BudgetExhausted {
-            stage,
-            elapsed_ms,
-            budget_ms,
-        })
-    }
-}
-
-/// Applies the configured Phase-2 sparsification variant, with a fallback
-/// ladder under [`FailurePolicy::BestEffort`]: PGM learning → uniform random
-/// pruning → the dense kNN graph unsparsified.
-fn sparsify_with_ladder(
-    dense: &Graph,
-    cfg: &CirStagConfig,
-    stage: &str,
-    diag: &mut RunDiagnostics,
-) -> Result<Graph, CirStagError> {
-    if cfg.skip_manifold_sparsification {
-        return Ok(dense.clone());
-    }
-    if cfg.random_prune {
-        return Ok(random_prune(dense, &cfg.pgm)?.graph);
-    }
-    let t = Instant::now();
-    let err = match learn_manifold(dense, &cfg.pgm) {
-        Ok(r) => return Ok(r.graph),
-        Err(err) if cfg.policy == FailurePolicy::Strict => return Err(err.into()),
-        Err(err) => err,
-    };
-    diag.events.push(FallbackEvent {
-        stage: stage.to_string(),
-        rung: "random-prune".to_string(),
-        cause: err.to_string(),
-        residual: None,
-        elapsed_ms: millis_u64(t.elapsed()),
-    });
-    let t_prune = Instant::now();
-    let err = match random_prune(dense, &cfg.pgm) {
-        Ok(r) => return Ok(r.graph),
-        Err(err) => err,
-    };
-    diag.events.push(FallbackEvent {
-        stage: stage.to_string(),
-        rung: "dense-knn".to_string(),
-        cause: err.to_string(),
-        residual: None,
-        elapsed_ms: millis_u64(t_prune.elapsed()),
-    });
-    diag.warnings.push(format!(
-        "{stage}: sparsification failed on every rung; keeping the dense kNN manifold"
-    ));
-    Ok(dense.clone())
+    Ok(reports)
 }
 
 #[cfg(test)]
@@ -772,6 +333,10 @@ mod tests {
         for w in report.eigenvalues.windows(2) {
             assert!(w[0] >= w[1] - 1e-9);
         }
+        // Uncached runs carry no cache bookkeeping.
+        assert_eq!(report.timings.cache_hits, 0);
+        assert_eq!(report.timings.cache_misses, 0);
+        assert!(report.diagnostics.cache.is_empty());
     }
 
     #[test]
@@ -886,6 +451,71 @@ mod tests {
         let a = cs.analyze(&g, None, &emb).unwrap();
         let b = cs.analyze(&g, None, &emb).unwrap();
         assert_eq!(a.node_scores, b.node_scores);
+    }
+
+    #[test]
+    fn cached_rerun_is_bit_identical_and_hits_all_stages() {
+        let n = 30;
+        let g = ring(n);
+        let emb = distorted_embedding(n, 0..5);
+        let cs = CirStag::new(small_config());
+        let cold = cs.analyze(&g, None, &emb).unwrap();
+        let mut cache = ArtifactCache::new();
+        let first = cs.analyze_cached(&g, None, &emb, &mut cache).unwrap();
+        assert_eq!(first.timings.cache_hits, 0);
+        assert_eq!(first.timings.cache_misses, 5);
+        let warm = cs.analyze_cached(&g, None, &emb, &mut cache).unwrap();
+        assert_eq!(warm.timings.cache_hits, 5);
+        assert_eq!(warm.timings.cache_misses, 0);
+        for report in [&first, &warm] {
+            assert_eq!(report.node_scores, cold.node_scores);
+            assert_eq!(report.edge_scores, cold.edge_scores);
+            assert_eq!(report.eigenvalues, cold.eigenvalues);
+            assert_eq!(report.input_manifold, cold.input_manifold);
+            assert_eq!(report.output_manifold, cold.output_manifold);
+            assert_eq!(report.degraded, cold.degraded);
+        }
+        // The pencil stage is not cacheable and always recomputes.
+        assert!(warm
+            .diagnostics
+            .cache
+            .iter()
+            .any(|r| r.stage == "phase3/pencil" && r.status == "uncached"));
+        assert!(warm.timings.summary().contains("cache 5 hits / 0 misses"));
+    }
+
+    #[test]
+    fn sweep_over_dmd_s_replays_phase1_and_phase2() {
+        let n = 30;
+        let g = ring(n);
+        let emb = distorted_embedding(n, 0..5);
+        let configs: Vec<CirStagConfig> = [2usize, 3, 4, 5]
+            .iter()
+            .map(|&s| CirStagConfig {
+                num_eigenpairs: s,
+                ..small_config()
+            })
+            .collect();
+        let mut cache = ArtifactCache::new();
+        let reports = analyze_sweep(&g, None, &emb, &configs, &mut cache).unwrap();
+        assert_eq!(reports.len(), configs.len());
+        // First config computes everything cacheable.
+        assert_eq!(reports[0].timings.cache_misses, 5);
+        // Later configs replay phase1 + both phase2 manifolds (3 hits) and
+        // recompute only the Phase-3 geig/dmd stages.
+        for (report, cfg) in reports.iter().zip(&configs).skip(1) {
+            assert_eq!(report.timings.cache_hits, 3);
+            assert_eq!(report.timings.cache_misses, 2);
+            assert_eq!(report.eigenvalues.len(), cfg.num_eigenpairs);
+            // Manifolds are bit-identical to the first run's.
+            assert_eq!(report.input_manifold, reports[0].input_manifold);
+            assert_eq!(report.output_manifold, reports[0].output_manifold);
+            // ... and each sweep entry matches its own cold run bit-for-bit.
+            let cold = CirStag::new(*cfg).analyze(&g, None, &emb).unwrap();
+            assert_eq!(report.node_scores, cold.node_scores);
+            assert_eq!(report.edge_scores, cold.edge_scores);
+            assert_eq!(report.eigenvalues, cold.eigenvalues);
+        }
     }
 
     #[test]

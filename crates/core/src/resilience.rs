@@ -11,7 +11,7 @@
 //!   the report's [`RunDiagnostics`], and finish with
 //!   `report.degraded == true` whenever any fallback fired.
 
-use serde::impl_serde_struct;
+use serde::{impl_serde_struct, DeError, Deserialize, Serialize, Value};
 
 /// What the pipeline does when a stage fails.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,6 +75,20 @@ impl_serde_struct!(FallbackEvent {
     elapsed_ms,
 });
 
+/// One stage's interaction with the artifact cache during a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageCacheRecord {
+    /// Engine stage name (e.g. `"phase1/embedding"`, `"phase3/geig"`).
+    pub stage: String,
+    /// What happened: `"replayed"` (cache hit — the stored artifact and
+    /// diagnostics segment were reused), `"computed"` (cache miss — the
+    /// stage ran and its result was stored), or `"uncached"` (the stage is
+    /// not cacheable and always runs).
+    pub status: String,
+}
+
+impl_serde_struct!(StageCacheRecord { stage, status });
+
 /// Diagnostics accumulated over one analysis run: every fallback escalation
 /// plus non-fatal warnings (e.g. clamped preconditioner diagonals).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -83,12 +97,40 @@ pub struct RunDiagnostics {
     pub events: Vec<FallbackEvent>,
     /// Non-fatal warnings, in the order they were raised.
     pub warnings: Vec<String>,
+    /// Per-stage artifact-cache status, in execution order. Empty for
+    /// uncached runs ([`crate::CirStag::analyze`]); populated by
+    /// [`crate::CirStag::analyze_cached`] and [`crate::analyze_sweep`].
+    pub cache: Vec<StageCacheRecord>,
 }
 
-impl_serde_struct!(RunDiagnostics { events, warnings });
+// Manual impls (rather than `impl_serde_struct!`) so diagnostics written
+// before the `cache` field existed keep parsing, with the field defaulted.
+impl Serialize for RunDiagnostics {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("events".to_string(), self.events.to_value()),
+            ("warnings".to_string(), self.warnings.to_value()),
+            ("cache".to_string(), self.cache.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for RunDiagnostics {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if !matches!(v, Value::Object(_)) {
+            return Err(DeError::new("expected object for RunDiagnostics"));
+        }
+        Ok(RunDiagnostics {
+            events: v.field("events")?,
+            warnings: v.field("warnings")?,
+            cache: v.field_or("cache", Vec::new())?,
+        })
+    }
+}
 
 impl RunDiagnostics {
-    /// `true` when no fallback fired and no warning was recorded.
+    /// `true` when no fallback fired and no warning was recorded. Cache
+    /// records are bookkeeping, not degradations, and do not count.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty() && self.warnings.is_empty()
     }
@@ -96,10 +138,14 @@ impl RunDiagnostics {
     /// One-line human-readable summary, e.g.
     /// `2 fallback events (phase1/eigs→retry, phase3/geig→dense), 1 warning`.
     pub fn summary(&self) -> String {
-        if self.is_empty() {
+        let replayed = self.cache.iter().filter(|r| r.status == "replayed").count();
+        if self.is_empty() && replayed == 0 {
             return "clean run".to_string();
         }
         let mut parts = Vec::new();
+        if self.is_empty() && replayed > 0 {
+            parts.push("clean run".to_string());
+        }
         if !self.events.is_empty() {
             let steps: Vec<String> = self
                 .events
@@ -118,6 +164,12 @@ impl RunDiagnostics {
                 "{} warning{}",
                 self.warnings.len(),
                 if self.warnings.len() == 1 { "" } else { "s" }
+            ));
+        }
+        if replayed > 0 {
+            parts.push(format!(
+                "{replayed} stage{} replayed from cache",
+                if replayed == 1 { "" } else { "s" }
             ));
         }
         parts.join(", ")

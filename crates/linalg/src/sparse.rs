@@ -9,6 +9,16 @@ const PANEL_PAR_FLOP_THRESHOLD: usize = 64 * 1024;
 /// results.
 const PANEL_ROW_CHUNK: usize = 32;
 
+/// Minimum nonzero count before the spmv fans row blocks out across the
+/// thread pool. A matrix–vector product does one multiply–add per nonzero,
+/// so below this the dispatch overhead dominates any speedup.
+const SPMV_PAR_NNZ_THRESHOLD: usize = 16 * 1024;
+
+/// Rows per parallel chunk in the spmv. As with the panel product, each
+/// chunk is produced by one thread with the serial row kernel, so results
+/// are bit-identical at every thread count.
+const SPMV_ROW_CHUNK: usize = 256;
+
 /// A sparse matrix in coordinate (triplet) format, used for assembly.
 ///
 /// Duplicate entries are allowed and are summed when converting to CSR,
@@ -341,16 +351,35 @@ impl CsrMatrix {
         Ok(())
     }
 
-    fn mul_vec_kernel(&self, x: &[f64], y: &mut [f64]) {
-        for i in 0..self.nrows {
-            let lo = self.row_ptr[i];
-            let hi = self.row_ptr[i + 1];
-            let mut acc = 0.0;
-            for k in lo..hi {
-                acc += self.values[k] * x[self.col_idx[k]];
-            }
-            y[i] = acc;
+    /// Computes output row `i` of the matrix–vector product. Shared by the
+    /// serial and parallel spmv paths so they agree bit-for-bit; the
+    /// per-nonzero accumulation order matches the historical serial loop.
+    fn mul_vec_row(&self, i: usize, x: &[f64]) -> f64 {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        let mut acc = 0.0;
+        for (&c, &v) in self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]) {
+            acc += v * x[c];
         }
+        acc
+    }
+
+    fn mul_vec_kernel(&self, x: &[f64], y: &mut [f64]) {
+        if self.nrows == 0 {
+            return;
+        }
+        if self.nnz() < SPMV_PAR_NNZ_THRESHOLD || par::current_num_threads() <= 1 {
+            for (i, out) in y.iter_mut().enumerate() {
+                *out = self.mul_vec_row(i, x);
+            }
+            return;
+        }
+        par::chunks_mut(y, SPMV_ROW_CHUNK, |ci, chunk| {
+            let base = ci * SPMV_ROW_CHUNK;
+            for (off, out) in chunk.iter_mut().enumerate() {
+                *out = self.mul_vec_row(base + off, x);
+            }
+        });
     }
 
     /// Sparse–dense product `self * m`.

@@ -11,6 +11,7 @@
 //! | `determinism` | no order-dependent containers / ambient entropy in result-affecting crates |
 //! | `error-hygiene` | public unit-returning fns must not panic on bad input |
 //! | `cast-truncation` | no lossy `as` numeric casts in result-affecting crates |
+//! | `pub-doc` | every public item in result-affecting crates carries a doc comment |
 
 use crate::lexer::{TokKind, Token};
 use crate::report::Finding;
@@ -25,6 +26,7 @@ pub const RULE_NAMES: &[&str] = &[
     DETERMINISM,
     ERROR_HYGIENE,
     CAST_TRUNCATION,
+    PUB_DOC,
     WAIVER_SYNTAX,
 ];
 
@@ -40,6 +42,8 @@ pub const DETERMINISM: &str = "determinism";
 pub const ERROR_HYGIENE: &str = "error-hygiene";
 /// Rule id: lossy `as` numeric casts in result-affecting crates.
 pub const CAST_TRUNCATION: &str = "cast-truncation";
+/// Rule id: undocumented public items in result-affecting crates.
+pub const PUB_DOC: &str = "pub-doc";
 /// Rule id: malformed waiver annotations (always unwaivable).
 pub const WAIVER_SYNTAX: &str = "waiver-syntax";
 
@@ -90,6 +94,7 @@ pub fn run_all(file: &SourceFile, ctx: &WorkspaceCtx, out: &mut Vec<Finding>) {
     if RESULT_AFFECTING.contains(&file.crate_name.as_str()) && file.kind == FileKind::Lib {
         determinism(file, out);
         cast_truncation(file, out);
+        pub_doc(file, out);
     }
 }
 
@@ -473,6 +478,123 @@ fn error_hygiene(file: &SourceFile, ctx: &WorkspaceCtx, out: &mut Vec<Finding>) 
     }
 }
 
+/// `pub-doc`: every `pub` item (fn, struct, enum, trait, mod, const,
+/// static, type, union, and named struct fields) in a result-affecting
+/// crate must carry a doc comment — the public surface of these crates is
+/// where numerical contracts (determinism, finiteness, accumulation order)
+/// live, and an undocumented entry point is an unstated contract.
+///
+/// `pub(crate)`/`pub(super)` items are not public API and `pub use`
+/// re-exports inherit their target's docs; both are exempt. Tuple-struct
+/// fields are deliberately out of scope (their meaning is positional and
+/// documented on the struct).
+fn pub_doc(file: &SourceFile, out: &mut Vec<Finding>) {
+    // Lines covered by attributes and by doc comments: walking upward from
+    // a `pub` we skip attribute lines (`#[derive(..)]` sits between the doc
+    // and the item) and accept the first doc-comment line.
+    let mut attr_lines = std::collections::BTreeSet::new();
+    for t in &file.tokens {
+        if t.kind == TokKind::Attr {
+            for l in t.line..=t.line + t.text.matches('\n').count() {
+                attr_lines.insert(l);
+            }
+        }
+    }
+    let mut doc_lines = std::collections::BTreeSet::new();
+    for c in &file.comments {
+        if c.doc {
+            for l in c.line..=c.line + c.text.matches('\n').count() {
+                doc_lines.insert(l);
+            }
+        }
+    }
+    let toks = &file.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if file.in_test_region(i) || !toks[i].is_ident("pub") {
+            i += 1;
+            continue;
+        }
+        // `pub(crate)` / `pub(super)` are not public API.
+        if next_is(toks, i, "(") {
+            i += 1;
+            continue;
+        }
+        // Skip qualifiers so `pub const fn f` reads as a fn while
+        // `pub const F: u64` reads as a const item.
+        let mut j = i + 1;
+        let mut saw_const = false;
+        while let Some(t) = toks.get(j) {
+            let qualifier = match t.kind {
+                TokKind::Ident => match t.text.as_str() {
+                    "const" => {
+                        saw_const = true;
+                        true
+                    }
+                    "unsafe" | "async" | "extern" => true,
+                    _ => false,
+                },
+                // The ABI string of `pub extern "C" fn`.
+                TokKind::StrLit => true,
+                _ => false,
+            };
+            if !qualifier {
+                break;
+            }
+            j += 1;
+        }
+        let Some(kw) = toks.get(j) else {
+            break;
+        };
+        let item = if kw.kind != TokKind::Ident {
+            None
+        } else {
+            match kw.text.as_str() {
+                // Out-of-line `pub mod name;` is exempt: its docs live as a
+                // `//!` header inside the module's own file, which a
+                // single-file lexical pass cannot see.
+                "mod" if toks.get(j + 2).is_some_and(|t| t.is_punct(";")) => None,
+                "fn" | "struct" | "enum" | "trait" | "mod" | "static" | "type" | "union" => toks
+                    .get(j + 1)
+                    .filter(|n| n.kind == TokKind::Ident)
+                    .map(|n| format!("`{} {}`", kw.text, n.text)),
+                // Re-exports inherit their target's documentation.
+                "use" => None,
+                _ if saw_const => Some(format!("`const {}`", kw.text)),
+                // `pub name: Type` — a named struct field.
+                _ if next_is(toks, j, ":") => Some(format!("field `{}`", kw.text)),
+                _ => None,
+            }
+        };
+        if let Some(desc) = item {
+            let mut l = toks[i].line.saturating_sub(1);
+            let documented = loop {
+                if l == 0 {
+                    break false;
+                }
+                if attr_lines.contains(&l) {
+                    l -= 1;
+                    continue;
+                }
+                break doc_lines.contains(&l);
+            };
+            if !documented {
+                out.push(finding(
+                    file,
+                    PUB_DOC,
+                    toks[i].line,
+                    format!(
+                        "{desc} is public API of a result-affecting crate but has no doc \
+                         comment; document the contract (units, ranges, determinism) or \
+                         reduce visibility"
+                    ),
+                ));
+            }
+        }
+        i = j + 1;
+    }
+}
+
 /// `true` when the token before `i` is punctuation `p`.
 fn prev_is(toks: &[Token], i: usize, p: &str) -> bool {
     i > 0 && toks.get(i - 1).is_some_and(|t| t.is_punct(p))
@@ -687,6 +809,44 @@ mod tests {
             "use std::collections::BTreeMap as Map;\nfn f(x: &dyn std::fmt::Debug) { let _ = x as &dyn std::fmt::Debug; }",
         );
         assert!(hits.iter().all(|h| h.rule != CAST_TRUNCATION), "{hits:?}");
+    }
+
+    #[test]
+    fn undocumented_pub_items_fire() {
+        let hits = lint_lib("pub fn f() {}\npub struct S;\npub const N: usize = 4;\n");
+        assert_eq!(
+            hits.iter().filter(|h| h.rule == PUB_DOC).count(),
+            3,
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn documented_restricted_and_reexported_items_are_clean() {
+        let src = "/// Docs.\npub fn f() {}\n\n/// A struct.\n#[derive(Debug)]\npub struct S {\n    /// A field.\n    pub x: usize,\n}\n\npub(crate) fn g() {}\npub use std::mem::swap;\n";
+        let hits = lint_lib(src);
+        assert!(hits.iter().all(|h| h.rule != PUB_DOC), "{hits:?}");
+    }
+
+    #[test]
+    fn undocumented_pub_field_and_const_fn_fire() {
+        let src = "/// A struct.\npub struct S {\n    pub x: usize,\n}\n/// Docs.\npub const fn f() -> usize { 1 }\npub const fn g() -> usize { 2 }\n";
+        let hits = lint_lib(src);
+        // The bare field and the undocumented `g`; the documented `const fn`
+        // reads as a fn, not a const item.
+        assert_eq!(
+            hits.iter().filter(|h| h.rule == PUB_DOC).count(),
+            2,
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn pub_doc_skips_non_result_affecting_crates() {
+        let f = SourceFile::from_source("crates/circuit/src/x.rs", "pub fn f() {}\n");
+        let mut out = Vec::new();
+        run_all(&f, &WorkspaceCtx::default(), &mut out);
+        assert!(out.iter().all(|h| h.rule != PUB_DOC), "{out:?}");
     }
 
     #[test]

@@ -160,6 +160,19 @@ fn cast_truncation_clean_is_silent() {
 }
 
 #[test]
+fn pub_doc_violations_fire() {
+    let findings = lint_fixture("violations", "pub_doc.rs");
+    // Undocumented const, struct, named field, fn, and impl method: five.
+    assert_eq!(active(&findings, rules::PUB_DOC).len(), 5, "{findings:#?}");
+}
+
+#[test]
+fn pub_doc_clean_is_silent() {
+    let findings = lint_fixture("clean", "pub_doc.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
 fn waiver_with_reason_is_honored() {
     let findings = lint_fixture("clean", "waived.rs");
     // The violation is still *reported* — waived, never silently dropped.

@@ -4,6 +4,7 @@
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
+/// Counts distinct keys with deterministic ordered iteration.
 pub fn tally(keys: &[u32]) -> usize {
     let mut seen: BTreeSet<u32> = BTreeSet::new();
     for &k in keys {
@@ -12,6 +13,7 @@ pub fn tally(keys: &[u32]) -> usize {
     seen.len()
 }
 
+/// An empty ordered weight map.
 pub fn weights() -> BTreeMap<u32, f64> {
     BTreeMap::new()
 }

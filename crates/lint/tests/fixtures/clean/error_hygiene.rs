@@ -1,6 +1,7 @@
 // Fixture: the typed-error and debug-only idioms the `error-hygiene` rule
 // accepts.
 
+/// Sets the length, rejecting zero with a typed error.
 pub fn set_len(len: usize) -> Result<(), String> {
     if len == 0 {
         return Err("len must be positive".to_string());
@@ -8,6 +9,7 @@ pub fn set_len(len: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Debug-build sanity check; free in release builds.
 pub fn debug_only_check(len: usize) {
     debug_assert!(len < 1_000_000);
 }

@@ -1,12 +1,14 @@
 // Fixture: correctly gated rayon with a serial fallback — the seam idiom
 // the `feature-hygiene` rule enforces.
 
+/// Doubles and sums, fanning out across the rayon pool.
 #[cfg(feature = "parallel")]
 pub fn map_sum(xs: &[f64]) -> f64 {
     use rayon::prelude::*;
     xs.par_iter().map(|x| x * 2.0).sum()
 }
 
+/// Doubles and sums serially.
 #[cfg(not(feature = "parallel"))]
 pub fn map_sum(xs: &[f64]) -> f64 {
     xs.iter().map(|x| x * 2.0).sum()

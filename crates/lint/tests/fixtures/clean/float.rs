@@ -1,13 +1,16 @@
 // Fixture: tolerance-based float handling the `float-discipline` rule accepts.
 
+/// Tolerance-based float equality.
 pub fn close(x: f64, y: f64) -> bool {
     (x - y).abs() < 1e-12
 }
 
+/// `true` for NaN or infinite inputs.
 pub fn is_invalid(x: f64) -> bool {
     x.is_nan() || !x.is_finite()
 }
 
+/// Integer equality is exact and allowed.
 pub fn int_eq_is_fine(n: usize) -> bool {
     n == 0
 }

@@ -1,13 +1,16 @@
 // Fixture: the typed-error idioms the `no-panic-in-lib` rule must accept.
 
+/// Converts a missing value into a typed error.
 pub fn checked_get(x: Option<u32>) -> Result<u32, String> {
     x.ok_or_else(|| "missing value".to_string())
 }
 
+/// First element without panicking on empty input.
 pub fn checked_index(xs: &[u32]) -> Option<u32> {
     xs.first().copied()
 }
 
+/// Propagates the empty-input case as a typed error.
 pub fn propagated(xs: &[u32]) -> Result<u32, String> {
     let head = xs.get(0).copied().ok_or("empty")?;
     Ok(head)

@@ -1,0 +1,35 @@
+//! pub-doc clean: every public item carries a doc comment; restricted
+//! visibility and re-exports are exempt.
+
+/// Number of probes the sketch averages.
+pub const NUM_PROBES: usize = 64;
+
+/// A documented configuration struct.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Neighbor count per node.
+    pub k: usize,
+    /// Seed for the deterministic RNG.
+    pub seed: u64,
+}
+
+/// Builds the default configuration.
+pub fn default_config() -> Config {
+    Config { k: 10, seed: 1 }
+}
+
+/// A documented zero-cost marker.
+pub struct Marker;
+
+impl Marker {
+    /// A documented constructor.
+    pub const fn new() -> Marker {
+        Marker
+    }
+}
+
+pub(crate) fn internal_helper() -> usize {
+    NUM_PROBES
+}
+
+pub use std::mem::swap;

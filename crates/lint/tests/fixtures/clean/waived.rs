@@ -1,6 +1,7 @@
 // Fixture: a real violation covered by a well-formed waiver with a reason —
 // the finding must be reported as waived, leaving the file active-clean.
 
+/// First element; callers guarantee non-empty input.
 pub fn head(xs: &[u32]) -> u32 {
     xs[0] // cirstag-lint: allow(no-panic-in-lib) -- fixture documents the waiver syntax; callers guarantee non-empty input
 }

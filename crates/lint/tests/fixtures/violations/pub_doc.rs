@@ -1,0 +1,22 @@
+//! pub-doc violations: five undocumented public items — a const, a struct,
+//! a named field, a fn, and an impl method.
+
+pub const NUM_PROBES: usize = 64;
+
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub k: usize,
+}
+
+pub fn default_config() -> Config {
+    Config { k: 10 }
+}
+
+/// Documented struct whose method below is not.
+pub struct Marker;
+
+impl Marker {
+    pub const fn new() -> Marker {
+        Marker
+    }
+}

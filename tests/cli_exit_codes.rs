@@ -37,6 +37,7 @@ fn analyze_cmd(netlist: String, best_effort: bool) -> Command {
         top: 0.10,
         threads: 2,
         best_effort,
+        cache_dir: None,
     }
 }
 

@@ -14,6 +14,33 @@
 
 use cirstag_bench::case_a::{TimingCase, TimingCaseConfig};
 use cirstag_suite::core::CirStagConfig;
+use cirstag_suite::linalg::{par, CooMatrix, CsrMatrix};
+
+/// Laplacian of a `side × side` grid graph — large enough (for `side = 60`:
+/// 3600 nodes, 17760 nonzeros) to cross both the spmv and the panel-spmm
+/// parallel thresholds.
+fn grid_laplacian(side: usize) -> CsrMatrix {
+    let n = side * side;
+    let idx = |r: usize, c: usize| r * side + c;
+    let mut coo = CooMatrix::new(n, n);
+    let mut link = |i: usize, j: usize| {
+        coo.push(i, j, -1.0).expect("in bounds");
+        coo.push(j, i, -1.0).expect("in bounds");
+        coo.push(i, i, 1.0).expect("in bounds");
+        coo.push(j, j, 1.0).expect("in bounds");
+    };
+    for r in 0..side {
+        for c in 0..side {
+            if c + 1 < side {
+                link(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < side {
+                link(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    coo.to_csr()
+}
 
 #[test]
 fn pipeline_results_are_identical_across_thread_counts() {
@@ -71,6 +98,44 @@ fn pipeline_results_are_identical_across_thread_counts() {
             reference.ranking(),
             run.ranking(),
             "stability ranking diverges at thread setting #{i}"
+        );
+    }
+
+    // Kernel-level parity: spmv and panel spmm must also be bit-identical
+    // across thread counts once their parallel thresholds are crossed. This
+    // shares the pipeline's #[test] because the thread pool is process-global.
+    let a = grid_laplacian(60);
+    let n = a.shape().0;
+    let k = 16usize;
+    assert!(
+        a.nnz() >= 16 * 1024,
+        "grid Laplacian must cross the spmv parallel threshold (nnz = {})",
+        a.nnz()
+    );
+    assert!(
+        a.nnz() * k >= 64 * 1024,
+        "panel product must cross the spmm parallel threshold"
+    );
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let xp: Vec<f64> = (0..n * k).map(|i| (i as f64 * 0.11).cos()).collect();
+
+    par::set_num_threads(1);
+    let y_serial = a.mul_vec(&x);
+    let mut yp_serial = vec![0.0; n * k];
+    a.mul_panel_into(&xp, &mut yp_serial, k);
+
+    for threads in [2usize, 4, 0] {
+        par::set_num_threads(threads);
+        let y = a.mul_vec(&x);
+        assert_eq!(
+            y_serial, y,
+            "spmv diverges from serial at {threads} threads"
+        );
+        let mut yp = vec![0.0; n * k];
+        a.mul_panel_into(&xp, &mut yp, k);
+        assert_eq!(
+            yp_serial, yp,
+            "panel spmm diverges from serial at {threads} threads"
         );
     }
 }
