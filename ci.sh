@@ -42,6 +42,33 @@ cargo test -q
 echo "==> test suite (validate + failpoints: engine audits and fault injection)"
 cargo test -q --features validate,failpoints
 
+echo "==> serve smoke test (daemon + 50-request load, zero dropped connections)"
+# The CLI is only a dev-dependency of the root package, so the workspace
+# build above does not refresh its binary.
+cargo build --release -p cirstag-cli
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./target/release/cirstag generate --gates 40 --seed 7 "$SMOKE_DIR/smoke.cir"
+./target/release/cirstag serve --addr 127.0.0.1:0 --port-file "$SMOKE_DIR/port" &
+SERVE_PID=$!
+tries=0
+while [ ! -s "$SMOKE_DIR/port" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "ci.sh: serve daemon never wrote its port file" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+# `load --shutdown` exits 0 only when every request was served (shed or
+# timed-out requests degrade to exit 2; dropped connections fail with 1),
+# then asks the daemon to drain and stop.
+./target/release/cirstag load "$SMOKE_DIR/smoke.cir" \
+    --addr "$(cat "$SMOKE_DIR/port")" --requests 50 --clients 8 \
+    --epochs 10 --shutdown
+wait "$SERVE_PID"
+
 if [ "$BENCH_GATE" -eq 1 ]; then
     echo "==> bench gate (fresh run vs committed BENCH_parallel.json)"
     cargo run -q -p cirstag-bench --release --bin bench_parallel -- --gate

@@ -310,6 +310,80 @@ fn main() {
         });
     }
 
+    // Resident-daemon answer latency: an in-process `cirstag serve` driven
+    // by the load generator at full client concurrency, all tenants sharing
+    // one artifact cache and one prepared design. The records capture the
+    // p50/p99 of per-request answer latency (not a kernel wall time), and
+    // the run doubles as a robustness check: every request must come back
+    // with a typed response and the daemon must drain cleanly.
+    let serve_requests = 1000;
+    let serve_clients = 32;
+    let serve_workers = all_cores.clamp(2, 8);
+    let netlist_text = {
+        use cirstag_circuit::{generate_circuit, write_netlist, CellLibrary, GeneratorConfig};
+        let library = CellLibrary::standard();
+        let netlist = generate_circuit(
+            &library,
+            &GeneratorConfig {
+                num_gates: 40,
+                ..Default::default()
+            },
+            21,
+        )
+        .expect("generate bench netlist");
+        write_netlist(&netlist, &library)
+    };
+    let server = cirstag_serve::Server::bind(&cirstag_serve::ServeConfig {
+        workers: serve_workers,
+        queue_capacity: 256,
+        downgrade_high: 192,
+        downgrade_low: 64,
+        ..Default::default()
+    })
+    .expect("bind serve");
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || {
+        server.run(&mut std::io::sink()).expect("serve run");
+    });
+    let load = cirstag_serve::run_load(&cirstag_serve::LoadConfig {
+        addr,
+        requests: serve_requests,
+        clients: serve_clients,
+        netlist: netlist_text,
+        epochs: 12,
+        shutdown: true,
+        ..Default::default()
+    })
+    .expect("load run");
+    daemon.join().expect("serve thread");
+    assert!(
+        load.fully_answered(),
+        "daemon dropped requests: {}",
+        load.summary()
+    );
+    println!(
+        "{:>28} {:>8} p50 {:>8.2}ms p99 {:>8.2}ms  ({} ok, {} shed, {} timeout; {} clients)",
+        "serve_analyze",
+        serve_requests,
+        load.p50_ms,
+        load.p99_ms,
+        load.ok,
+        load.shed,
+        load.timeouts,
+        serve_clients
+    );
+    for (stage, wall_ms) in [
+        ("serve_analyze_p50", load.p50_ms),
+        ("serve_analyze_p99", load.p99_ms),
+    ] {
+        records.push(BenchRecord {
+            stage: stage.to_string(),
+            n: serve_requests,
+            threads: serve_workers,
+            wall_ms,
+        });
+    }
+
     if gate {
         if !gate_against(&snapshot_path, &records) {
             eprintln!("\nbench gate: performance regression detected");

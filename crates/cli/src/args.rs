@@ -65,6 +65,46 @@ pub enum Command {
         /// Optional JSON report whose scores drive the heat map.
         scores: Option<String>,
     },
+    /// `cirstag serve [--addr HOST:PORT] [--workers N] [--queue N]
+    /// [--deadline-ms MS] [--strict|--best-effort] [--cache-dir DIR]
+    /// [--port-file PATH]`
+    Serve {
+        /// Listen address; port `0` picks an ephemeral port.
+        addr: String,
+        /// Worker threads executing admitted analyses.
+        workers: usize,
+        /// Admission-queue capacity; deeper backlogs are shed with `503`.
+        queue: usize,
+        /// Default per-request deadline for requests without one.
+        deadline_ms: Option<u64>,
+        /// Base failure policy for requests without a `best_effort` field.
+        best_effort: bool,
+        /// Optional on-disk artifact-cache directory shared by all tenants.
+        cache_dir: Option<String>,
+        /// Write the bound address here after startup (ephemeral-port
+        /// discovery for scripts).
+        port_file: Option<String>,
+    },
+    /// `cirstag load <netlist> --addr HOST:PORT [--requests N] [--clients N]
+    /// [--epochs N] [--deadline-ms MS] [--best-effort] [--shutdown]`
+    Load {
+        /// Netlist sent with every `analyze` request.
+        netlist: String,
+        /// Daemon address to drive.
+        addr: String,
+        /// Total requests across all clients.
+        requests: usize,
+        /// Concurrent client connections.
+        clients: usize,
+        /// GNN training epochs requested per analysis.
+        epochs: usize,
+        /// Per-request deadline.
+        deadline_ms: Option<u64>,
+        /// Request the best-effort failure policy.
+        best_effort: bool,
+        /// Send a graceful `shutdown` to the daemon after the run.
+        shutdown: bool,
+    },
     /// `cirstag help` or `--help`.
     Help,
 }
@@ -93,6 +133,18 @@ USAGE:
                           [--strict|--best-effort]  across configs
                           [--cache-dir DIR]
   cirstag dot <netlist> [--scores report.json]      Graphviz DOT of the pin graph
+  cirstag serve [--addr 127.0.0.1:0] [--workers N]  resident analysis daemon
+                [--queue N] [--deadline-ms MS]      speaking NDJSON over TCP
+                [--strict|--best-effort]            (verbs: analyze, sweep,
+                [--cache-dir DIR]                   health, stats, shutdown);
+                [--port-file PATH]                  sheds load past the queue
+                                                    bound, respawns panicked
+                                                    workers, degrades to
+                                                    best-effort under overload
+  cirstag load <netlist> --addr HOST:PORT           drive a daemon and report
+                [--requests N] [--clients N]        the answer mix and latency
+                [--epochs N] [--deadline-ms MS]     percentiles; --shutdown
+                [--best-effort] [--shutdown]        stops the daemon afterwards
   cirstag help                                      this message
 ";
 
@@ -278,6 +330,120 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 scores,
             })
         }
+        "serve" => {
+            let mut addr = "127.0.0.1:0".to_string();
+            let mut workers = 4usize;
+            let mut queue = 64usize;
+            let mut deadline_ms = None;
+            let mut best_effort = false;
+            let mut cache_dir = None;
+            let mut port_file = None;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--addr" => addr = value(&rest, &mut i, "--addr")?.to_string(),
+                    "--strict" => best_effort = false,
+                    "--best-effort" => best_effort = true,
+                    "--cache-dir" => {
+                        cache_dir = Some(value(&rest, &mut i, "--cache-dir")?.to_string());
+                    }
+                    "--port-file" => {
+                        port_file = Some(value(&rest, &mut i, "--port-file")?.to_string());
+                    }
+                    "--workers" => {
+                        workers = value(&rest, &mut i, "--workers")?
+                            .parse()
+                            .map_err(|_| CliError::new("--workers expects a positive integer"))?;
+                        if workers == 0 {
+                            return Err(CliError::new("--workers must be at least 1"));
+                        }
+                    }
+                    "--queue" => {
+                        queue = value(&rest, &mut i, "--queue")?
+                            .parse()
+                            .map_err(|_| CliError::new("--queue expects a positive integer"))?;
+                        if queue == 0 {
+                            return Err(CliError::new("--queue must be at least 1"));
+                        }
+                    }
+                    "--deadline-ms" => {
+                        deadline_ms = Some(
+                            value(&rest, &mut i, "--deadline-ms")?
+                                .parse()
+                                .map_err(|_| CliError::new("--deadline-ms expects an integer"))?,
+                        );
+                    }
+                    other => return Err(CliError::new(format!("unknown flag {other}\n{USAGE}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Serve {
+                addr,
+                workers,
+                queue,
+                deadline_ms,
+                best_effort,
+                cache_dir,
+                port_file,
+            })
+        }
+        "load" => {
+            let mut netlist = None;
+            let mut addr = None;
+            let mut requests = 50usize;
+            let mut clients = 8usize;
+            let mut epochs = 40usize;
+            let mut deadline_ms = None;
+            let mut best_effort = false;
+            let mut shutdown = false;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--addr" => addr = Some(value(&rest, &mut i, "--addr")?.to_string()),
+                    "--best-effort" => best_effort = true,
+                    "--shutdown" => shutdown = true,
+                    "--requests" => {
+                        requests = value(&rest, &mut i, "--requests")?
+                            .parse()
+                            .map_err(|_| CliError::new("--requests expects a positive integer"))?;
+                    }
+                    "--clients" => {
+                        clients = value(&rest, &mut i, "--clients")?
+                            .parse()
+                            .map_err(|_| CliError::new("--clients expects a positive integer"))?;
+                        if clients == 0 {
+                            return Err(CliError::new("--clients must be at least 1"));
+                        }
+                    }
+                    "--epochs" => {
+                        epochs = value(&rest, &mut i, "--epochs")?
+                            .parse()
+                            .map_err(|_| CliError::new("--epochs expects an integer"))?;
+                    }
+                    "--deadline-ms" => {
+                        deadline_ms = Some(
+                            value(&rest, &mut i, "--deadline-ms")?
+                                .parse()
+                                .map_err(|_| CliError::new("--deadline-ms expects an integer"))?,
+                        );
+                    }
+                    other if !other.starts_with("--") => netlist = Some(other.to_string()),
+                    other => return Err(CliError::new(format!("unknown flag {other}\n{USAGE}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Load {
+                netlist: netlist
+                    .ok_or_else(|| CliError::new(format!("netlist path is required\n{USAGE}")))?,
+                addr: addr.ok_or_else(|| CliError::new(format!("--addr is required\n{USAGE}")))?,
+                requests,
+                clients,
+                epochs,
+                deadline_ms,
+                best_effort,
+                shutdown,
+            })
+        }
         other => Err(CliError::new(format!(
             "unknown subcommand {other}\n{USAGE}"
         ))),
@@ -457,5 +623,96 @@ mod tests {
     fn missing_flag_value_rejected() {
         assert!(parse_args(&strs(&["generate", "--gates"])).is_err());
         assert!(parse_args(&strs(&["analyze", "d.cir", "--out"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_with_defaults() {
+        let cmd = parse_args(&strs(&["serve"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 4,
+                queue: 64,
+                deadline_ms: None,
+                best_effort: false,
+                cache_dir: None,
+                port_file: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let cmd = parse_args(&strs(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:7878",
+            "--workers",
+            "2",
+            "--queue",
+            "8",
+            "--deadline-ms",
+            "250",
+            "--best-effort",
+            "--cache-dir",
+            "/tmp/c",
+            "--port-file",
+            "/tmp/p",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "127.0.0.1:7878".to_string(),
+                workers: 2,
+                queue: 8,
+                deadline_ms: Some(250),
+                best_effort: true,
+                cache_dir: Some("/tmp/c".to_string()),
+                port_file: Some("/tmp/p".to_string()),
+            }
+        );
+        assert!(parse_args(&strs(&["serve", "--workers", "0"])).is_err());
+        assert!(parse_args(&strs(&["serve", "--queue", "0"])).is_err());
+        assert!(parse_args(&strs(&["serve", "positional"])).is_err());
+    }
+
+    #[test]
+    fn parses_load() {
+        let cmd = parse_args(&strs(&[
+            "load",
+            "d.cir",
+            "--addr",
+            "127.0.0.1:7878",
+            "--requests",
+            "100",
+            "--clients",
+            "16",
+            "--deadline-ms",
+            "500",
+            "--shutdown",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Load {
+                netlist: "d.cir".to_string(),
+                addr: "127.0.0.1:7878".to_string(),
+                requests: 100,
+                clients: 16,
+                epochs: 40,
+                deadline_ms: Some(500),
+                best_effort: false,
+                shutdown: true,
+            }
+        );
+    }
+
+    #[test]
+    fn load_requires_netlist_and_addr() {
+        assert!(parse_args(&strs(&["load", "--addr", "127.0.0.1:1"])).is_err());
+        assert!(parse_args(&strs(&["load", "d.cir"])).is_err());
+        assert!(parse_args(&strs(&["load", "d.cir", "--clients", "0"])).is_err());
     }
 }

@@ -81,6 +81,44 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<RunStatus,
         Command::Dot { netlist, scores } => {
             dot(netlist, scores.as_deref(), out).map(|()| RunStatus::Clean)
         }
+        Command::Serve {
+            addr,
+            workers,
+            queue,
+            deadline_ms,
+            best_effort,
+            cache_dir,
+            port_file,
+        } => serve(
+            addr,
+            *workers,
+            *queue,
+            *deadline_ms,
+            *best_effort,
+            cache_dir.as_deref(),
+            port_file.as_deref(),
+            out,
+        ),
+        Command::Load {
+            netlist,
+            addr,
+            requests,
+            clients,
+            epochs,
+            deadline_ms,
+            best_effort,
+            shutdown,
+        } => drive_load(
+            netlist,
+            addr,
+            *requests,
+            *clients,
+            *epochs,
+            *deadline_ms,
+            *best_effort,
+            *shutdown,
+            out,
+        ),
     }
 }
 
@@ -375,6 +413,90 @@ fn sweep(
     }
 }
 
+/// Runs the resident daemon until a `shutdown` request arrives. The overload
+/// gate's hysteresis band is derived from the queue bound: engage at 3/4,
+/// release at 1/4.
+#[allow(clippy::too_many_arguments)]
+fn serve(
+    addr: &str,
+    workers: usize,
+    queue: usize,
+    deadline_ms: Option<u64>,
+    best_effort: bool,
+    cache_dir: Option<&str>,
+    port_file: Option<&str>,
+    out: &mut dyn std::io::Write,
+) -> Result<RunStatus, CliError> {
+    let config = cirstag_serve::ServeConfig {
+        addr: addr.to_string(),
+        workers,
+        queue_capacity: queue,
+        downgrade_high: (queue * 3 / 4).max(1),
+        downgrade_low: queue / 4,
+        default_deadline_ms: deadline_ms,
+        best_effort,
+        cache_dir: cache_dir.map(str::to_string),
+        port_file: port_file.map(str::to_string),
+        ..Default::default()
+    };
+    let server = cirstag_serve::Server::bind(&config).map_err(|e| CliError::new(e.to_string()))?;
+    server.run(out).map_err(|e| CliError::new(e.to_string()))?;
+    Ok(RunStatus::Clean)
+}
+
+/// Drives a daemon with the load generator and prints the outcome. Exits
+/// clean only when every request got a typed answer and none failed with a
+/// server-side error; shed and timed-out requests are expected under
+/// pressure and exit [`RunStatus::Degraded`] instead.
+#[allow(clippy::too_many_arguments)]
+fn drive_load(
+    netlist_path: &str,
+    addr: &str,
+    requests: usize,
+    clients: usize,
+    epochs: usize,
+    deadline_ms: Option<u64>,
+    best_effort: bool,
+    shutdown: bool,
+    out: &mut dyn std::io::Write,
+) -> Result<RunStatus, CliError> {
+    let netlist = std::fs::read_to_string(netlist_path)
+        .map_err(|e| CliError::new(format!("cannot read {netlist_path}: {e}")))?;
+    let report = cirstag_serve::run_load(&cirstag_serve::LoadConfig {
+        addr: addr.to_string(),
+        requests,
+        clients,
+        netlist,
+        epochs,
+        deadline_ms,
+        best_effort: if best_effort { Some(true) } else { None },
+        shutdown,
+    })
+    .map_err(|e| CliError::new(e.to_string()))?;
+    writeln!(out, "load against {addr} with {clients} clients:")?;
+    writeln!(out, "  {}", report.summary())?;
+    if report.transport_errors > 0 {
+        return Err(CliError::new(format!(
+            "{} requests got no response (dropped connections)",
+            report.transport_errors
+        )));
+    }
+    if report.failed > 0 {
+        writeln!(out, "load completed with {} failed requests", report.failed)?;
+        return Ok(RunStatus::Degraded);
+    }
+    if report.shed + report.timeouts > 0 {
+        writeln!(
+            out,
+            "load completed under pressure: {} shed, {} timed out (all answered)",
+            report.shed, report.timeouts
+        )?;
+        return Ok(RunStatus::Degraded);
+    }
+    writeln!(out, "all {} requests served", report.ok)?;
+    Ok(RunStatus::Clean)
+}
+
 fn dot(
     path: &str,
     scores_path: Option<&str>,
@@ -499,6 +621,60 @@ mod tests {
         })
         .unwrap();
         assert!(dot_text.contains("fillcolor"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join("cirstag_cli_serve");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let cir = dir.join("d.cir");
+        let pf = dir.join("port");
+        run_to_string(&Command::Generate {
+            gates: 30,
+            seed: 9,
+            out: cir.to_str().unwrap().to_string(),
+        })
+        .unwrap();
+        let serve_cmd = Command::Serve {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue: 16,
+            deadline_ms: None,
+            best_effort: false,
+            cache_dir: None,
+            port_file: Some(pf.to_str().unwrap().to_string()),
+        };
+        let daemon = std::thread::spawn(move || run_to_string(&serve_cmd));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&pf) {
+                if !text.trim().is_empty() {
+                    break text.trim().to_string();
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "port file never appeared"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        let text = run_to_string(&Command::Load {
+            netlist: cir.to_str().unwrap().to_string(),
+            addr,
+            requests: 8,
+            clients: 2,
+            epochs: 6,
+            deadline_ms: None,
+            best_effort: false,
+            shutdown: true,
+        })
+        .unwrap();
+        assert!(text.contains("all 8 requests served"), "{text}");
+        let serve_out = daemon.join().unwrap().unwrap();
+        assert!(serve_out.contains("listening on"), "{serve_out}");
+        assert!(serve_out.contains("drained"), "{serve_out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

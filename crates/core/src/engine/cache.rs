@@ -8,21 +8,45 @@
 //! that populated the cache — including `degraded` status and event order.
 //!
 //! The disk layer is best-effort by design: entries that fail to
-//! serialize (e.g. non-finite floats, which the JSON writer rejects),
-//! write, read, or parse are treated as misses and never fail the run.
+//! serialize (e.g. non-finite floats, which the JSON writer rejects) or
+//! write are treated as misses and never fail the run. Writes are
+//! crash-safe: the entry is rendered to a temporary file in the same
+//! directory and atomically renamed into place, so a crash mid-write can
+//! never leave a half-written entry under a live key. Every entry carries a
+//! content checksum; an entry that fails to parse or verify on read is
+//! *quarantined* — renamed aside with a `.quarantined` suffix and surfaced
+//! as a [`FallbackEvent`] in the run's diagnostics — rather than silently
+//! skipped, so corruption is observable and never re-read.
+//!
+//! [`SharedArtifactCache`] wraps a cache for concurrent tenants (the
+//! `cirstag serve` daemon): per-operation locking plus single-flight
+//! deduplication, so two workers racing on the same stage fingerprint
+//! yield exactly one compute and one replay.
 
-use crate::engine::fingerprint::Fingerprint;
+use crate::engine::fingerprint::{Fingerprint, Fingerprinter};
 use crate::FallbackEvent;
 use cirstag_graph::Graph;
-use cirstag_linalg::DenseMatrix;
+use cirstag_linalg::{fail, DenseMatrix};
 use cirstag_solver::GeneralizedEigen;
 use serde::{DeError, Deserialize, Serialize, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Schema tag written into every on-disk entry; bumped whenever the
 /// payload layout changes so stale files read as misses, not garbage.
 const DISK_SCHEMA: &str = "cirstag-artifact/v1";
+
+/// Suffix appended to a corrupt entry's file name when it is quarantined.
+const QUARANTINE_SUFFIX: &str = ".quarantined";
+
+/// Diagnostics stage name for disk-layer events.
+const DISK_STAGE: &str = "cache/disk";
+
+/// Process-wide counter making temporary file names unique across threads
+/// (two exclusive caches in one process may write the same key's entry).
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// Default in-memory capacity (entries). Five cacheable stages per run
 /// leaves room for a ~10-config sweep before eviction starts.
@@ -100,6 +124,10 @@ pub struct ArtifactCache {
     capacity: usize,
     tick: u64,
     disk_dir: Option<PathBuf>,
+    /// Disk-layer events (quarantined entries) accumulated since the last
+    /// [`ArtifactCache::take_pending_events`] call; the engine drains these
+    /// into the running analysis' diagnostics.
+    pending_events: Vec<FallbackEvent>,
 }
 
 impl ArtifactCache {
@@ -116,6 +144,7 @@ impl ArtifactCache {
             capacity: capacity.max(1),
             tick: 0,
             disk_dir: None,
+            pending_events: Vec::new(),
         }
     }
 
@@ -188,16 +217,56 @@ impl ArtifactCache {
         );
     }
 
+    /// Drains the disk-layer events (quarantined corrupt entries) recorded
+    /// since the last call. The engine appends them to the running
+    /// analysis' diagnostics so corruption is observable, not silent.
+    pub fn take_pending_events(&mut self) -> Vec<FallbackEvent> {
+        std::mem::take(&mut self.pending_events)
+    }
+
     fn entry_path(&self, key: Fingerprint) -> Option<PathBuf> {
         self.disk_dir
             .as_ref()
             .map(|d| d.join(format!("art-{}.json", key.hex())))
     }
 
-    fn disk_lookup(&self, key: Fingerprint) -> Option<CachedArtifact> {
+    /// Reads `key`'s disk entry. A missing file is a plain miss; a file
+    /// that fails to parse or checksum-verify is quarantined (renamed with
+    /// [`QUARANTINE_SUFFIX`]) and recorded in [`ArtifactCache::pending_events`].
+    fn disk_lookup(&mut self, key: Fingerprint) -> Option<CachedArtifact> {
         let path = self.entry_path(key)?;
-        let text = std::fs::read_to_string(path).ok()?;
-        serde_json::from_str(&text).ok()
+        let text = std::fs::read_to_string(&path).ok()?;
+        match serde_json::from_str(&text) {
+            Ok(entry) => Some(entry),
+            Err(e) => {
+                self.quarantine(&path, &e.to_string());
+                None
+            }
+        }
+    }
+
+    /// Renames a corrupt entry aside and logs the event. Renaming (rather
+    /// than deleting) preserves the evidence for post-mortems and keeps the
+    /// corrupt bytes from being re-read as this key on the next lookup.
+    fn quarantine(&mut self, path: &Path, reason: &str) {
+        let mut aside = path.as_os_str().to_owned();
+        aside.push(QUARANTINE_SUFFIX);
+        let renamed = std::fs::rename(path, &aside).is_ok();
+        self.pending_events.push(FallbackEvent {
+            stage: DISK_STAGE.to_string(),
+            rung: "quarantine".to_string(),
+            cause: format!(
+                "corrupt cache entry {}{}: {reason}",
+                path.display(),
+                if renamed {
+                    " quarantined"
+                } else {
+                    " (rename aside failed)"
+                },
+            ),
+            residual: None,
+            elapsed_ms: 0,
+        });
     }
 
     fn disk_store(&self, key: Fingerprint, value: &CachedArtifact) {
@@ -211,17 +280,231 @@ impl ArtifactCache {
         // (the JSON writer rejects them) and I/O failures must never
         // fail an analysis — either way the entry simply stays
         // memory-only.
-        let Ok(json) = serde_json::to_string(value) else {
+        let Ok(mut json) = serde_json::to_string(value) else {
             return;
         };
+        // Failpoint: simulate a torn write (power loss mid-`write`). The
+        // checksum must catch the truncated entry on the next read.
+        if fail::check("cache/disk-corrupt").is_some() {
+            json.truncate(json.len() / 2);
+        }
         if std::fs::create_dir_all(dir).is_err() {
             return;
         }
-        let _ = std::fs::write(path, json);
+        // Crash-safe publish: render into a uniquely named temp file in the
+        // same directory, then atomically rename over the final path. A
+        // crash between the two steps leaves only a stray `.tmp-*` file,
+        // never a half-written entry under a live key.
+        let tmp = dir.join(format!(
+            "art-{}.json.tmp-{}-{}",
+            key.hex(),
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        if std::fs::write(&tmp, json).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        if std::fs::rename(&tmp, path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+// ---- shared, single-flight layer ------------------------------------------
+
+/// State behind the [`SharedArtifactCache`] lock: the cache itself plus the
+/// set of keys currently being computed by some tenant.
+#[derive(Debug)]
+struct SharedState {
+    cache: ArtifactCache,
+    in_flight: BTreeSet<Fingerprint>,
+}
+
+/// A thread-safe [`ArtifactCache`] for concurrent tenants.
+///
+/// The lock is held only across individual lookup/store operations, never
+/// while a stage computes, so tenants analyzing *different* keys proceed in
+/// parallel. Tenants racing on the *same* key are deduplicated
+/// single-flight: the first miss becomes the leader and computes; later
+/// arrivals block until the leader publishes (or fails) and then replay the
+/// stored artifact. Two workers analyzing the same fingerprint therefore
+/// yield exactly one compute and one replay, with bit-identical
+/// diagnostics.
+#[derive(Debug)]
+pub struct SharedArtifactCache {
+    state: Mutex<SharedState>,
+    published: Condvar,
+}
+
+impl Default for SharedArtifactCache {
+    fn default() -> Self {
+        SharedArtifactCache::new(ArtifactCache::new())
+    }
+}
+
+impl SharedArtifactCache {
+    /// Wraps `cache` for shared use.
+    pub fn new(cache: ArtifactCache) -> Self {
+        SharedArtifactCache {
+            state: Mutex::new(SharedState {
+                cache,
+                in_flight: BTreeSet::new(),
+            }),
+            published: Condvar::new(),
+        }
+    }
+
+    /// Unwraps the inner cache (consumes the shared layer).
+    pub fn into_inner(self) -> ArtifactCache {
+        self.state
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .cache
+    }
+
+    /// Runs `f` with exclusive access to the inner cache (e.g. to read
+    /// `len()` for stats). Do not block inside `f`.
+    pub fn with<R>(&self, f: impl FnOnce(&mut ArtifactCache) -> R) -> R {
+        f(&mut self.lock().cache)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SharedState> {
+        // A tenant that panicked mid-operation cannot leave the map half
+        // mutated (every mutation is a single insert/remove), so the
+        // poisoned state is safe to adopt.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks up `key`; on a miss, either becomes the leader for it (the
+    /// caller must compute and then [`InFlightGuard::fulfill`] or drop the
+    /// guard) or waits for the current leader and replays its result.
+    pub(crate) fn lookup_or_lead(&self, key: Fingerprint) -> SharedLookup<'_> {
+        let mut st = self.lock();
+        loop {
+            if let Some(hit) = st.cache.lookup(key) {
+                let events = st.cache.take_pending_events();
+                return SharedLookup::Hit(hit, events);
+            }
+            if !st.in_flight.contains(&key) {
+                st.in_flight.insert(key);
+                let events = st.cache.take_pending_events();
+                return SharedLookup::Lead(
+                    InFlightGuard {
+                        owner: self,
+                        key,
+                        fulfilled: false,
+                    },
+                    events,
+                );
+            }
+            st = self
+                .published
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Outcome of [`SharedArtifactCache::lookup_or_lead`], carrying any
+/// disk-layer events (quarantines) the lookup surfaced.
+pub(crate) enum SharedLookup<'a> {
+    /// The entry was present (or became present while waiting): replay it.
+    Hit(CachedArtifact, Vec<FallbackEvent>),
+    /// The caller is the leader for this key and must compute it.
+    Lead(InFlightGuard<'a>, Vec<FallbackEvent>),
+}
+
+/// Leadership over one in-flight key. Dropping the guard without
+/// [`InFlightGuard::fulfill`] (stage error, cancellation, or a panic
+/// unwinding through the engine) releases the key so a waiting tenant can
+/// take over as the new leader instead of deadlocking.
+pub(crate) struct InFlightGuard<'a> {
+    owner: &'a SharedArtifactCache,
+    key: Fingerprint,
+    fulfilled: bool,
+}
+
+impl InFlightGuard<'_> {
+    /// Publishes the computed entry and wakes every tenant waiting on it.
+    pub(crate) fn fulfill(mut self, value: CachedArtifact) {
+        let mut st = self.owner.lock();
+        st.cache.store(self.key, value);
+        st.in_flight.remove(&self.key);
+        self.fulfilled = true;
+        drop(st);
+        self.owner.published.notify_all();
+    }
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            let mut st = self.owner.lock();
+            st.in_flight.remove(&self.key);
+            drop(st);
+            self.owner.published.notify_all();
+        }
     }
 }
 
 // ---- on-disk serialization ------------------------------------------------
+
+/// Folds a JSON value tree into `fp` with type tags, so e.g. the string
+/// `"1"` and the integer `1` cannot collide.
+fn fingerprint_value(v: &Value, fp: &mut Fingerprinter) {
+    match v {
+        Value::Null => fp.write_byte(0),
+        Value::Bool(b) => {
+            fp.write_byte(1);
+            fp.write_bool(*b);
+        }
+        Value::Int(i) => {
+            fp.write_byte(2);
+            fp.write_u64(u64::from_le_bytes(i.to_le_bytes()));
+        }
+        Value::UInt(u) => {
+            fp.write_byte(3);
+            fp.write_u64(*u);
+        }
+        Value::Float(x) => {
+            fp.write_byte(4);
+            fp.write_f64(*x);
+        }
+        Value::Str(s) => {
+            fp.write_byte(5);
+            fp.write_str(s);
+        }
+        Value::Array(items) => {
+            fp.write_byte(6);
+            fp.write_usize(items.len());
+            for item in items {
+                fingerprint_value(item, fp);
+            }
+        }
+        Value::Object(fields) => {
+            fp.write_byte(7);
+            fp.write_usize(fields.len());
+            for (k, item) in fields {
+                fp.write_str(k);
+                fingerprint_value(item, fp);
+            }
+        }
+    }
+}
+
+/// Content checksum of a disk entry: a [`Fingerprint`] over every field
+/// except `schema` and the checksum itself, rendered as the same 32-digit
+/// hex the cache uses for file names.
+fn content_checksum(fields: &[(&str, &Value)]) -> String {
+    let mut fp = Fingerprinter::new();
+    fp.write_str("cirstag-artifact-checksum/v1");
+    for (name, value) in fields {
+        fp.write_str(name);
+        fingerprint_value(value, &mut fp);
+    }
+    fp.finish().hex()
+}
 
 fn matrix_to_value(m: &DenseMatrix) -> Value {
     Value::Object(vec![
@@ -274,12 +557,22 @@ impl Serialize for CachedArtifact {
                 ("node_scores".to_string(), s.node_scores.to_value()),
             ]),
         };
+        let kind = self.payload.kind().to_value();
+        let events = self.events.to_value();
+        let warnings = self.warnings.to_value();
+        let checksum = content_checksum(&[
+            ("kind", &kind),
+            ("payload", &payload),
+            ("events", &events),
+            ("warnings", &warnings),
+        ]);
         Value::Object(vec![
             ("schema".to_string(), DISK_SCHEMA.to_value()),
-            ("kind".to_string(), self.payload.kind().to_value()),
+            ("checksum".to_string(), checksum.to_value()),
+            ("kind".to_string(), kind),
             ("payload".to_string(), payload),
-            ("events".to_string(), self.events.to_value()),
-            ("warnings".to_string(), self.warnings.to_value()),
+            ("events".to_string(), events),
+            ("warnings".to_string(), warnings),
         ])
     }
 }
@@ -296,6 +589,23 @@ impl Deserialize for CachedArtifact {
         let payload_value = v
             .get("payload")
             .ok_or_else(|| DeError::new("cache entry missing `payload`"))?;
+        // Verify the content checksum before trusting any field: a torn
+        // write that truncated the JSON fails the parse above, but a flipped
+        // byte inside a number would otherwise deserialize cleanly.
+        let stored_checksum: String = v.field("checksum")?;
+        let mut checked = Vec::with_capacity(4);
+        for name in ["kind", "payload", "events", "warnings"] {
+            let field = v
+                .get(name)
+                .ok_or_else(|| DeError::new(format!("cache entry missing `{name}`")))?;
+            checked.push((name, field));
+        }
+        let expected = content_checksum(&checked);
+        if stored_checksum != expected {
+            return Err(DeError::new(format!(
+                "cache entry checksum mismatch: stored {stored_checksum}, content hashes to {expected}"
+            )));
+        }
         let payload = match kind.as_str() {
             "embedding" => match payload_value {
                 Value::Null => CachedPayload::Embedding(None),
@@ -414,15 +724,138 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_disk_entry_reads_as_miss() {
+    fn corrupt_disk_entry_reads_as_miss_and_quarantines() {
         let dir =
             std::env::temp_dir().join(format!("cirstag-cache-corrupt-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let k = key(11);
-        std::fs::write(dir.join(format!("art-{}.json", k.hex())), "{not json").unwrap();
+        let path = dir.join(format!("art-{}.json", k.hex()));
+        std::fs::write(&path, "{not json").unwrap();
         let mut cache = ArtifactCache::new().with_disk_dir(&dir);
         assert!(cache.lookup(k).is_none());
+        // The corrupt file was renamed aside and the event recorded.
+        assert!(!path.exists(), "corrupt entry still at its live path");
+        let aside = dir.join(format!("art-{}.json{QUARANTINE_SUFFIX}", k.hex()));
+        assert!(aside.exists(), "quarantined copy missing");
+        let events = cache.take_pending_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].stage, DISK_STAGE);
+        assert_eq!(events[0].rung, "quarantine");
+        assert!(cache.take_pending_events().is_empty(), "events drain once");
+        // A second lookup is a plain miss: the quarantined bytes are not
+        // re-read and no new event fires.
+        assert!(cache.lookup(k).is_none());
+        assert!(cache.take_pending_events().is_empty());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_fails_checksum_and_quarantines() {
+        let dir =
+            std::env::temp_dir().join(format!("cirstag-cache-bitflip-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut writer = ArtifactCache::new().with_disk_dir(&dir);
+            writer.store(key(21), manifold_entry(2.5));
+        }
+        let path = {
+            let k = key(21);
+            dir.join(format!("art-{}.json", k.hex()))
+        };
+        // Flip one digit inside a number: still valid JSON, wrong content.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corrupted = text.replacen("2.5", "2.75", 1);
+        assert_ne!(text, corrupted, "fixture must actually change");
+        std::fs::write(&path, corrupted).unwrap();
+
+        let mut cache = ArtifactCache::new().with_disk_dir(&dir);
+        assert!(cache.lookup(key(21)).is_none(), "checksum must reject");
+        let events = cache.take_pending_events();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].cause.contains("checksum"), "{}", events[0].cause);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_store_leaves_no_temp_files() {
+        let dir =
+            std::env::temp_dir().join(format!("cirstag-cache-tmp-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = ArtifactCache::new().with_disk_dir(&dir);
+        for i in 0..4 {
+            cache.store(key(30 + i), manifold_entry(1.0 + i as f64));
+        }
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().to_string())
+            .filter(|n| n.contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_cache_single_flight_dedups_leaders() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::{Arc, Barrier};
+
+        let shared = Arc::new(SharedArtifactCache::default());
+        let computes = Arc::new(AtomicUsize::new(0));
+        let replays = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(4));
+        let k = key(77);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let computes = Arc::clone(&computes);
+                let replays = Arc::clone(&replays);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    match shared.lookup_or_lead(k) {
+                        SharedLookup::Hit(hit, _) => {
+                            replays.fetch_add(1, Ordering::SeqCst);
+                            match hit.payload {
+                                CachedPayload::Manifold(g) => assert_eq!(g.num_nodes(), 4),
+                                other => panic!("wrong payload {other:?}"),
+                            }
+                        }
+                        SharedLookup::Lead(guard, _) => {
+                            // Simulate the stage compute while holding
+                            // leadership (lock is NOT held here).
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            guard.fulfill(manifold_entry(1.5));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "exactly one leader");
+        assert_eq!(replays.load(Ordering::SeqCst), 3, "everyone else replays");
+    }
+
+    #[test]
+    fn dropped_leader_hands_off_instead_of_deadlocking() {
+        let shared = SharedArtifactCache::default();
+        let k = key(88);
+        match shared.lookup_or_lead(k) {
+            SharedLookup::Lead(guard, _) => drop(guard), // leader fails
+            SharedLookup::Hit(..) => panic!("fresh cache cannot hit"),
+        }
+        // The key must be takeable again, not stuck in-flight.
+        match shared.lookup_or_lead(k) {
+            SharedLookup::Lead(guard, _) => guard.fulfill(manifold_entry(3.0)),
+            SharedLookup::Hit(..) => panic!("nothing was published yet"),
+        }
+        match shared.lookup_or_lead(k) {
+            SharedLookup::Hit(..) => {}
+            SharedLookup::Lead(..) => panic!("published entry must hit"),
+        };
     }
 }

@@ -23,13 +23,15 @@ pub mod cache;
 pub mod fingerprint;
 mod stages;
 
-pub use cache::{ArtifactCache, CachedArtifact, CachedPayload, ScoreSet};
+pub use cache::{ArtifactCache, CachedArtifact, CachedPayload, ScoreSet, SharedArtifactCache};
 pub use fingerprint::{Fingerprint, Fingerprinter};
 
+use crate::resilience::CancelToken;
 use crate::{
     CirStagConfig, CirStagError, FailurePolicy, PhaseTimings, RunDiagnostics, StabilityReport,
     StageCacheRecord,
 };
+use cache::{InFlightGuard, SharedLookup};
 use cirstag_graph::Graph;
 use cirstag_linalg::{fail, par, CsrMatrix, DenseMatrix};
 use cirstag_solver::{GeneralizedEigen, LaplacianSolver, SolverWorkspace};
@@ -132,28 +134,51 @@ const STATUS_COMPUTED: &str = "computed";
 /// Cache interaction status: the stage is not cacheable.
 const STATUS_UNCACHED: &str = "uncached";
 
+/// The cache binding of one pipeline run: none, an exclusively borrowed
+/// cache (the historical `analyze_cached` path), or a shared cache serving
+/// concurrent tenants through per-operation locking and single-flight
+/// deduplication (the `cirstag serve` path).
+pub(crate) enum CacheRef<'c> {
+    /// Uncached run.
+    None,
+    /// One tenant, exclusive borrow.
+    Exclusive(&'c mut ArtifactCache),
+    /// Many tenants, per-operation locking.
+    Shared(&'c SharedArtifactCache),
+}
+
 /// Applies the uniform cross-cutting machinery around every stage: key
-/// derivation, cache lookup/replay, diagnostics segment capture, and
-/// hit/miss accounting.
+/// derivation, cache lookup/replay, diagnostics segment capture, hit/miss
+/// accounting, and cancellation polling.
 struct Executor<'c> {
-    cache: Option<&'c mut ArtifactCache>,
+    cache: CacheRef<'c>,
+    cancel: Option<&'c CancelToken>,
     hits: usize,
     misses: usize,
     records: Vec<StageCacheRecord>,
 }
 
 impl<'c> Executor<'c> {
-    fn new(cache: Option<&'c mut ArtifactCache>) -> Self {
+    fn new(cache: CacheRef<'c>, cancel: Option<&'c CancelToken>) -> Self {
         Executor {
             cache,
+            cancel,
             hits: 0,
             misses: 0,
             records: Vec::new(),
         }
     }
 
-    /// Derives the stage key, replays a cached segment on a hit, or runs
-    /// the stage and captures its diagnostics segment on a miss.
+    fn record(&mut self, stage: &dyn Stage, status: &str) {
+        self.records.push(StageCacheRecord {
+            stage: stage.name().to_string(),
+            status: status.to_string(),
+        });
+    }
+
+    /// Polls the token, derives the stage key, replays a cached segment on
+    /// a hit, or runs the stage and captures its diagnostics segment on a
+    /// miss.
     fn run_stage(
         &mut self,
         stage: &dyn Stage,
@@ -161,6 +186,11 @@ impl<'c> Executor<'c> {
         inputs: &[&Artifact],
         input_fps: &[Fingerprint],
     ) -> Result<(Artifact, Fingerprint), CirStagError> {
+        if self.cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(CirStagError::Cancelled {
+                stage: stage.name(),
+            });
+        }
         let mut fp = Fingerprinter::new();
         fp.write_str("cirstag-stage/v1");
         fp.write_str(stage.name());
@@ -177,45 +207,64 @@ impl<'c> Executor<'c> {
         let key = fp.finish();
 
         let cacheable = stage.cacheable();
+        // Single-flight leadership over `key` while a shared-cache miss
+        // computes; dropped (releasing the key to waiting tenants) if the
+        // stage errors or produces no cacheable payload.
+        let mut lead: Option<InFlightGuard<'_>> = None;
         if cacheable {
-            if let Some(cache) = self.cache.as_deref_mut() {
-                if let Some(hit) = cache.lookup(key) {
-                    ctx.diag.events.extend(hit.events);
-                    ctx.diag.warnings.extend(hit.warnings);
-                    self.hits += 1;
-                    self.records.push(StageCacheRecord {
-                        stage: stage.name().to_string(),
-                        status: STATUS_REPLAYED.to_string(),
-                    });
-                    return Ok((Artifact::from_payload(hit.payload), key));
+            // Disk-layer quarantine events surfaced by the lookup are
+            // appended *before* the segment marks below, so they are never
+            // captured into (and replayed from) the stage's own segment.
+            match &mut self.cache {
+                CacheRef::None => {}
+                CacheRef::Exclusive(cache) => {
+                    let hit = cache.lookup(key);
+                    ctx.diag.events.extend(cache.take_pending_events());
+                    if let Some(hit) = hit {
+                        ctx.diag.events.extend(hit.events);
+                        ctx.diag.warnings.extend(hit.warnings);
+                        self.hits += 1;
+                        self.record(stage, STATUS_REPLAYED);
+                        return Ok((Artifact::from_payload(hit.payload), key));
+                    }
                 }
+                CacheRef::Shared(shared) => match shared.lookup_or_lead(key) {
+                    SharedLookup::Hit(hit, disk_events) => {
+                        ctx.diag.events.extend(disk_events);
+                        ctx.diag.events.extend(hit.events);
+                        ctx.diag.warnings.extend(hit.warnings);
+                        self.hits += 1;
+                        self.record(stage, STATUS_REPLAYED);
+                        return Ok((Artifact::from_payload(hit.payload), key));
+                    }
+                    SharedLookup::Lead(guard, disk_events) => {
+                        ctx.diag.events.extend(disk_events);
+                        lead = Some(guard);
+                    }
+                },
             }
         }
         let ev_mark = ctx.diag.events.len();
         let warn_mark = ctx.diag.warnings.len();
         let artifact = stage.run(ctx, inputs)?;
-        if let Some(cache) = self.cache.as_deref_mut() {
+        if !matches!(self.cache, CacheRef::None) {
             if cacheable {
                 if let Some(payload) = artifact.to_payload() {
-                    cache.store(
-                        key,
-                        CachedArtifact {
-                            payload,
-                            events: ctx.diag.events.get(ev_mark..).unwrap_or(&[]).to_vec(),
-                            warnings: ctx.diag.warnings.get(warn_mark..).unwrap_or(&[]).to_vec(),
-                        },
-                    );
+                    let entry = CachedArtifact {
+                        payload,
+                        events: ctx.diag.events.get(ev_mark..).unwrap_or(&[]).to_vec(),
+                        warnings: ctx.diag.warnings.get(warn_mark..).unwrap_or(&[]).to_vec(),
+                    };
+                    match (&mut self.cache, lead.take()) {
+                        (CacheRef::Exclusive(cache), _) => cache.store(key, entry),
+                        (CacheRef::Shared(_), Some(guard)) => guard.fulfill(entry),
+                        _ => {}
+                    }
                 }
                 self.misses += 1;
-                self.records.push(StageCacheRecord {
-                    stage: stage.name().to_string(),
-                    status: STATUS_COMPUTED.to_string(),
-                });
+                self.record(stage, STATUS_COMPUTED);
             } else {
-                self.records.push(StageCacheRecord {
-                    stage: stage.name().to_string(),
-                    status: STATUS_UNCACHED.to_string(),
-                });
+                self.record(stage, STATUS_UNCACHED);
             }
         }
         Ok((artifact, key))
@@ -270,7 +319,8 @@ pub(crate) fn run_pipeline(
     input_graph: &Graph,
     node_features: Option<&DenseMatrix>,
     output_embedding: &DenseMatrix,
-    cache: Option<&mut ArtifactCache>,
+    cache: CacheRef<'_>,
+    cancel: Option<&CancelToken>,
 ) -> Result<StabilityReport, CirStagError> {
     let n = input_graph.num_nodes();
     if n < 4 {
@@ -314,7 +364,7 @@ pub(crate) fn run_pipeline(
     // Phase-3 generalized Lanczos share length-`n` vectors, so buffers
     // warmed in Phase 1 are reused in Phase 3 instead of reallocated.
     let mut ws = SolverWorkspace::new();
-    let mut exec = Executor::new(cache);
+    let mut exec = Executor::new(cache, cancel);
 
     // ---- Phase 1: input/output embedding matrices -------------------
     let t0 = Instant::now();

@@ -36,6 +36,12 @@ pub enum CirStagError {
         /// (e.g. `"phase1"`).
         stage: &'static str,
     },
+    /// The run's [`crate::CancelToken`] fired — an explicit cancel or an
+    /// expired deadline — and the pipeline stopped at a stage boundary.
+    Cancelled {
+        /// Stage at whose boundary the cancellation was observed.
+        stage: &'static str,
+    },
     /// A phase-boundary invariant audit failed (the `validate` feature):
     /// malformed CSR storage, an asymmetric or indefinite Laplacian, or
     /// non-finite manifold edge weights.
@@ -64,6 +70,9 @@ impl fmt::Display for CirStagError {
                 f,
                 "stage {stage} exhausted its wall-clock budget: {elapsed_ms}ms spent, {budget_ms}ms allowed"
             ),
+            CirStagError::Cancelled { stage } => {
+                write!(f, "analysis cancelled at stage boundary {stage}")
+            }
             CirStagError::NonFiniteStage { stage } => {
                 write!(f, "stage {stage} produced non-finite values")
             }

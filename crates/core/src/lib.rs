@@ -56,11 +56,13 @@ mod pipeline;
 mod resilience;
 mod selection;
 
-pub use engine::{ArtifactCache, Fingerprint, Fingerprinter};
+pub use engine::{ArtifactCache, Fingerprint, Fingerprinter, SharedArtifactCache};
 pub use error::CirStagError;
 pub use export::ReportExport;
 pub use pipeline::{analyze_sweep, CirStag, CirStagConfig, PhaseTimings, StabilityReport};
-pub use resilience::{FailurePolicy, FallbackEvent, RunDiagnostics, StageBudget, StageCacheRecord};
+pub use resilience::{
+    CancelToken, FailurePolicy, FallbackEvent, RunDiagnostics, StageBudget, StageCacheRecord,
+};
 pub use selection::{bottom_fraction, rank_descending, top_fraction};
 
 /// Deterministic failpoint injection (re-exported from the linalg layer).

@@ -5,8 +5,8 @@
 //! report types, and the [`CirStag`] entry points ([`CirStag::analyze`],
 //! [`CirStag::analyze_cached`], and the batched [`analyze_sweep`]).
 
-use crate::engine::{self, ArtifactCache};
-use crate::{CirStagError, FailurePolicy, RunDiagnostics, StageBudget};
+use crate::engine::{self, ArtifactCache, SharedArtifactCache};
+use crate::{CancelToken, CirStagError, FailurePolicy, RunDiagnostics, StageBudget};
 use cirstag_embed::{KnnConfig, SpectralConfig};
 use cirstag_graph::Graph;
 use cirstag_linalg::DenseMatrix;
@@ -215,6 +215,7 @@ impl CirStag {
             input_graph,
             node_features,
             output_embedding,
+            engine::CacheRef::None,
             None,
         )
     }
@@ -241,7 +242,43 @@ impl CirStag {
             input_graph,
             node_features,
             output_embedding,
-            Some(cache),
+            engine::CacheRef::Exclusive(cache),
+            None,
+        )
+    }
+
+    /// Runs Algorithm 1 against a [`SharedArtifactCache`] — the multi-tenant
+    /// variant of [`CirStag::analyze_cached`] used by `cirstag serve`, where
+    /// many worker threads analyze concurrently against one cache. Stage
+    /// lookups are single-flighted: when two tenants miss the same
+    /// fingerprint at once, exactly one computes while the others block and
+    /// then replay its stored segment, so warm results stay bit-identical to
+    /// the cold run no matter how requests interleave.
+    ///
+    /// `cancel`, when given, is polled at every stage boundary: an explicit
+    /// [`CancelToken::cancel`] or an expired deadline stops the run with
+    /// [`CirStagError::Cancelled`]. See [`CancelToken`] for the latency
+    /// bound.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CirStag::analyze`], plus [`CirStagError::Cancelled`] when
+    /// the token fires. Cache I/O never fails an analysis.
+    pub fn analyze_shared(
+        &self,
+        input_graph: &Graph,
+        node_features: Option<&DenseMatrix>,
+        output_embedding: &DenseMatrix,
+        cache: &SharedArtifactCache,
+        cancel: Option<&CancelToken>,
+    ) -> Result<StabilityReport, CirStagError> {
+        engine::run_pipeline(
+            &self.config,
+            input_graph,
+            node_features,
+            output_embedding,
+            engine::CacheRef::Shared(cache),
+            cancel,
         )
     }
 }
@@ -271,7 +308,8 @@ pub fn analyze_sweep(
             input_graph,
             node_features,
             output_embedding,
-            Some(cache),
+            engine::CacheRef::Exclusive(cache),
+            None,
         )?);
     }
     Ok(reports)

@@ -12,6 +12,9 @@
 //!   `report.degraded == true` whenever any fallback fired.
 
 use serde::{impl_serde_struct, DeError, Deserialize, Serialize, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// What the pipeline does when a stage fails.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -25,6 +28,74 @@ pub enum FailurePolicy {
     /// escalation, and complete the analysis with `degraded = true` instead
     /// of erroring whenever a usable (if approximate) result exists.
     BestEffort,
+}
+
+/// Cooperative cancellation handle for an in-flight analysis.
+///
+/// The stage-graph engine polls the token between stages: a run whose token
+/// is cancelled — explicitly via [`CancelToken::cancel`] or implicitly by an
+/// expired deadline — stops at the next stage boundary with
+/// [`crate::CirStagError::Cancelled`] instead of finishing. The token is
+/// cheaply cloneable and thread-safe, so a server can hand one clone to the
+/// worker running the pipeline and keep another to enforce per-request
+/// deadlines or shutdown from outside.
+///
+/// Cancellation granularity is the stage: a stage that has already started
+/// runs to completion (the numeric kernels are not interruptible), so the
+/// latency of a cancel is bounded by the longest single stage, which is in
+/// turn bounded by [`StageBudget::wall_clock_ms`] when set.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never fires until [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that additionally fires once `deadline` (measured from now)
+    /// has elapsed.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(deadline),
+            }),
+        }
+    }
+
+    /// Requests cancellation; every clone of the token observes it.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called or the deadline
+    /// has passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire) || self.deadline_exceeded()
+    }
+
+    /// `true` when the token carries a deadline and it has elapsed —
+    /// distinguishes a timeout from an explicit cancel.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Time left until the deadline (`None` when the token has no deadline;
+    /// zero once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
 }
 
 /// Per-stage resource budgets.
@@ -179,6 +250,27 @@ impl RunDiagnostics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cancel_token_fires_on_cancel_and_deadline() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().is_none());
+        let clone = t.clone();
+        t.cancel();
+        assert!(clone.is_cancelled());
+        assert!(
+            !clone.deadline_exceeded(),
+            "explicit cancel is not a timeout"
+        );
+
+        let d = CancelToken::with_deadline(Duration::from_millis(0));
+        assert!(d.is_cancelled());
+        assert!(d.deadline_exceeded());
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+        assert!(far.remaining().is_some_and(|r| r > Duration::from_secs(1)));
+    }
 
     #[test]
     fn policy_defaults_to_strict() {

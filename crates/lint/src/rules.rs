@@ -49,7 +49,9 @@ pub const WAIVER_SYNTAX: &str = "waiver-syntax";
 
 /// Crates whose numeric output the paper's bit-identical determinism
 /// guarantee covers (PR 1): any order-dependence here can silently change
-/// η-scores or DMD rankings.
+/// η-scores or DMD rankings. `cirstag-serve` is held to the same bar — it
+/// replays cached artifacts across tenants, so a panic or nondeterminism in
+/// its library paths corrupts every client of the daemon at once.
 const RESULT_AFFECTING: &[&str] = &[
     "cirstag-linalg",
     "cirstag-graph",
@@ -57,6 +59,7 @@ const RESULT_AFFECTING: &[&str] = &[
     "cirstag-embed",
     "cirstag-pgm",
     "cirstag",
+    "cirstag-serve",
 ];
 
 /// Panicking macros forbidden in library code.

@@ -1,0 +1,291 @@
+//! Bounded admission queue, overload hysteresis, and daemon counters.
+//!
+//! Robustness posture (DESIGN.md §5f): availability is protected by three
+//! independent valves. The **admission queue** sheds load outright once its
+//! bound is hit (a typed `503` beats an unbounded queue collapsing under
+//! memory pressure). Below the shed point, the **overload gate** watches
+//! queue depth with hysteresis and forces the BestEffort failure policy on
+//! admitted work while the backlog is deep — trading precision for
+//! throughput, per the degrade-don't-die design of the fallback ladders.
+//! And every interaction is counted in [`ServerStats`] so `stats` can tell
+//! an operator which valve is active.
+
+use serde::Value;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Outcome of [`AdmissionQueue::try_push`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Admit {
+    /// Admitted; carries the queue depth *after* the push (for the
+    /// overload gate).
+    Queued(usize),
+    /// Rejected: the queue is at capacity.
+    Shed,
+    /// Rejected: the daemon is shutting down.
+    Closed,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC work queue with explicit load shedding.
+///
+/// Producers never block: past capacity a push is refused ([`Admit::Shed`])
+/// so the caller can answer `503` immediately. Consumers block in
+/// [`AdmissionQueue::pop`] until work arrives; after [`AdmissionQueue::close`]
+/// they drain the backlog and then observe `None`.
+pub struct AdmissionQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` pending items.
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admits `item` unless the queue is full or closed. Never blocks.
+    pub fn try_push(&self, item: T) -> Admit {
+        let mut s = self.lock();
+        if s.closed {
+            return Admit::Closed;
+        }
+        if s.items.len() >= self.capacity {
+            return Admit::Shed;
+        }
+        s.items.push_back(item);
+        let depth = s.items.len();
+        drop(s);
+        self.available.notify_one();
+        Admit::Queued(depth)
+    }
+
+    /// Blocks until an item is available and pops it; `None` once the queue
+    /// is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.lock();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self
+                .available
+                .wait(s)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: further pushes are refused, consumers drain the
+    /// backlog and then exit.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Current backlog depth.
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// The admission bound this queue was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Hysteresis gate driving the automatic Strict→BestEffort downgrade.
+///
+/// The gate engages when queue depth reaches `high` and disengages only
+/// once depth falls back to `low` — the dead band keeps the policy from
+/// flapping at the threshold. While engaged, admitted requests run
+/// BestEffort regardless of what they asked for.
+pub struct OverloadGate {
+    high: usize,
+    low: usize,
+    engaged: AtomicBool,
+    engagements: AtomicU64,
+}
+
+impl OverloadGate {
+    /// A gate engaging at depth `high` and releasing at depth `low`
+    /// (clamped so `low < high`).
+    pub fn new(high: usize, low: usize) -> Self {
+        let high = high.max(1);
+        OverloadGate {
+            high,
+            low: low.min(high - 1),
+            engaged: AtomicBool::new(false),
+            engagements: AtomicU64::new(0),
+        }
+    }
+
+    /// Feeds a fresh queue-depth observation; returns the (possibly
+    /// updated) engaged state.
+    pub fn observe(&self, depth: usize) -> bool {
+        if depth >= self.high {
+            if !self.engaged.swap(true, Ordering::AcqRel) {
+                self.engagements.fetch_add(1, Ordering::Relaxed);
+            }
+            true
+        } else if depth <= self.low {
+            self.engaged.store(false, Ordering::Release);
+            false
+        } else {
+            self.engaged.load(Ordering::Acquire)
+        }
+    }
+
+    /// `true` while the downgrade is in force.
+    pub fn engaged(&self) -> bool {
+        self.engaged.load(Ordering::Acquire)
+    }
+
+    /// How many times the gate has engaged since startup.
+    pub fn engagements(&self) -> u64 {
+        self.engagements.load(Ordering::Relaxed)
+    }
+}
+
+/// Monotonic daemon counters, exposed by the `stats` verb.
+#[derive(Default)]
+pub struct ServerStats {
+    /// Request lines received (including malformed ones).
+    pub received: AtomicU64,
+    /// Requests answered `200`.
+    pub completed: AtomicU64,
+    /// Requests rejected `503` by the admission queue.
+    pub shed: AtomicU64,
+    /// Requests answered `504` (deadline expired before or during work).
+    pub timeouts: AtomicU64,
+    /// Requests answered `400`.
+    pub bad_requests: AtomicU64,
+    /// Requests answered `500` (analysis failure or worker panic).
+    pub failed: AtomicU64,
+    /// Worker panics caught at the isolation boundary.
+    pub panics: AtomicU64,
+    /// Workers respawned after a panic.
+    pub respawns: AtomicU64,
+    /// Requests that ran BestEffort because the overload gate forced it.
+    pub forced_downgrades: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+}
+
+impl ServerStats {
+    /// Snapshot as a JSON object for the `stats` verb.
+    pub fn to_value(&self, queue_depth: usize, gate: &OverloadGate) -> Value {
+        let read = |c: &AtomicU64| Value::UInt(c.load(Ordering::Relaxed));
+        Value::Object(vec![
+            ("received".to_string(), read(&self.received)),
+            ("completed".to_string(), read(&self.completed)),
+            ("shed".to_string(), read(&self.shed)),
+            ("timeouts".to_string(), read(&self.timeouts)),
+            ("bad_requests".to_string(), read(&self.bad_requests)),
+            ("failed".to_string(), read(&self.failed)),
+            ("panics".to_string(), read(&self.panics)),
+            ("respawns".to_string(), read(&self.respawns)),
+            (
+                "forced_downgrades".to_string(),
+                read(&self.forced_downgrades),
+            ),
+            ("connections".to_string(), read(&self.connections)),
+            (
+                "queue_depth".to_string(),
+                Value::UInt(u64::try_from(queue_depth).unwrap_or(u64::MAX)),
+            ),
+            ("overloaded".to_string(), Value::Bool(gate.engaged())),
+            (
+                "overload_engagements".to_string(),
+                Value::UInt(gate.engagements()),
+            ),
+        ])
+    }
+
+    /// Adds one to `counter`.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn queue_sheds_past_capacity_and_drains_after_close() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.try_push(1), Admit::Queued(1));
+        assert_eq!(q.try_push(2), Admit::Queued(2));
+        assert_eq!(q.try_push(3), Admit::Shed);
+        q.close();
+        assert_eq!(q.try_push(4), Admit::Closed);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(AdmissionQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.try_push(9), Admit::Queued(1));
+        assert_eq!(h.join().unwrap(), Some(9));
+    }
+
+    #[test]
+    fn gate_hysteresis_has_dead_band() {
+        let g = OverloadGate::new(8, 2);
+        assert!(!g.observe(5), "below high: stays off");
+        assert!(g.observe(8), "reaches high: engages");
+        assert!(g.observe(5), "in the dead band: stays on");
+        assert!(g.observe(3), "still above low: stays on");
+        assert!(!g.observe(2), "reaches low: releases");
+        assert!(!g.observe(5), "dead band again, now off");
+        assert_eq!(g.engagements(), 1);
+        assert!(g.observe(20));
+        assert_eq!(g.engagements(), 2);
+    }
+
+    #[test]
+    fn degenerate_gate_thresholds_are_clamped() {
+        let g = OverloadGate::new(1, 5);
+        assert!(g.observe(1));
+        assert!(!g.observe(0));
+    }
+
+    #[test]
+    fn stats_snapshot_carries_gate_state() {
+        let s = ServerStats::default();
+        ServerStats::bump(&s.completed);
+        let g = OverloadGate::new(4, 1);
+        g.observe(4);
+        let v = s.to_value(3, &g);
+        let completed: u64 = v.field("completed").unwrap();
+        assert_eq!(completed, 1);
+        let overloaded: bool = v.field("overloaded").unwrap();
+        assert!(overloaded);
+    }
+}

@@ -1,0 +1,80 @@
+//! Typed errors for the serve layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the `cirstag-serve` daemon and load generator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Binding, accepting, or reading/writing a socket failed.
+    Io {
+        /// What the daemon was doing when the I/O failed.
+        context: String,
+    },
+    /// A request line was not valid protocol JSON.
+    BadRequest {
+        /// Parse- or shape-level description of the problem.
+        reason: String,
+    },
+    /// Parsing or preparing a submitted design failed.
+    Design {
+        /// The underlying circuit/GNN error message.
+        reason: String,
+    },
+    /// The stability analysis itself failed.
+    Analysis {
+        /// The underlying pipeline error message.
+        reason: String,
+    },
+}
+
+impl ServeError {
+    /// An I/O error with `context` describing the failed operation.
+    pub fn io(context: impl Into<String>) -> Self {
+        ServeError::Io {
+            context: context.into(),
+        }
+    }
+
+    /// A malformed-request error.
+    pub fn bad_request(reason: impl Into<String>) -> Self {
+        ServeError::BadRequest {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io { context } => write!(f, "i/o error: {context}"),
+            ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServeError::Design { reason } => write!(f, "design preparation failed: {reason}"),
+            ServeError::Analysis { reason } => write!(f, "analysis failed: {reason}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_context() {
+        assert!(ServeError::io("bind 0.0.0.0:1")
+            .to_string()
+            .contains("bind"));
+        assert!(ServeError::bad_request("no verb")
+            .to_string()
+            .contains("no verb"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

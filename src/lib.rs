@@ -23,3 +23,6 @@ pub use cirstag_solver as solver;
 
 /// The CirSTAG core pipeline (Phases 1–3, stability scores).
 pub use cirstag as core;
+
+/// The resident analysis daemon (`cirstag serve`) and its protocol client.
+pub use cirstag_serve as serve;

@@ -11,7 +11,8 @@
 //! `num_threads` (results are thread-count independent).
 
 use cirstag_suite::core::{
-    ArtifactCache, CirStag, CirStagConfig, FailurePolicy, FallbackEvent, StabilityReport,
+    ArtifactCache, CirStag, CirStagConfig, FailurePolicy, FallbackEvent, SharedArtifactCache,
+    StabilityReport,
 };
 use cirstag_suite::graph::Graph;
 use cirstag_suite::linalg::DenseMatrix;
@@ -88,6 +89,61 @@ fn assert_bit_identical(cold: &StabilityReport, warm: &StabilityReport) {
         cold.diagnostics.warnings, warm.diagnostics.warnings,
         "warnings diverge"
     );
+}
+
+/// Two tenants racing on the same fingerprint through a
+/// [`SharedArtifactCache`] must deduplicate single-flight: each cacheable
+/// stage is computed exactly once across both runs (5 misses total), the
+/// other run replays it (5 hits total), and both reports are bit-identical
+/// to a cold, uncached run.
+#[test]
+fn shared_cache_concurrent_tenants_compute_once_and_replay_identically() {
+    let n = 24;
+    let mut edges: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect();
+    edges.push((0, 12, 2.0));
+    edges.push((3, 17, 0.7));
+    edges.push((8, 21, 1.4));
+    let g = std::sync::Arc::new(cirstag_suite::graph::Graph::from_edges(n, &edges).expect("graph"));
+    let emb = std::sync::Arc::new(synth_embedding(n, 4, 1.3));
+    let config = CirStagConfig {
+        embedding_dim: 4,
+        knn_k: 4,
+        num_eigenpairs: 3,
+        num_threads: 1,
+        ..Default::default()
+    };
+
+    let cold = CirStag::new(config)
+        .analyze(&g, None, &emb)
+        .expect("cold reference run");
+
+    let shared = std::sync::Arc::new(SharedArtifactCache::default());
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+    let mut handles = Vec::new();
+    for _ in 0..2 {
+        let g = std::sync::Arc::clone(&g);
+        let emb = std::sync::Arc::clone(&emb);
+        let shared = std::sync::Arc::clone(&shared);
+        let barrier = std::sync::Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            CirStag::new(config)
+                .analyze_shared(&g, None, &emb, &shared, None)
+                .expect("shared run")
+        }));
+    }
+    let reports: Vec<StabilityReport> = handles
+        .into_iter()
+        .map(|h| h.join().expect("tenant thread"))
+        .collect();
+
+    let hits: usize = reports.iter().map(|r| r.timings.cache_hits).sum();
+    let misses: usize = reports.iter().map(|r| r.timings.cache_misses).sum();
+    assert_eq!(misses, 5, "each cacheable stage computed exactly once");
+    assert_eq!(hits, 5, "the other tenant replayed every cacheable stage");
+    for r in &reports {
+        assert_bit_identical(&cold, r);
+    }
 }
 
 proptest! {
