@@ -27,8 +27,17 @@ cargo fmt --all --check
 echo "==> cargo clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cirstag-lint (repo rules, waivers need reasons)"
-cargo run -q -p cirstag-lint
+echo "==> cirstag-lint (repo rules, waivers need reasons, committed report fresh)"
+# The report is written to a scratch path and compared against the committed
+# LINT_REPORT.json, so a stale snapshot fails CI instead of being silently
+# rewritten by the gate itself.
+CI_TMP=$(mktemp -d)
+trap 'rm -rf "$CI_TMP"' EXIT
+cargo run -q -p cirstag-lint -- --report "$CI_TMP/LINT_REPORT.json"
+if ! cmp -s "$CI_TMP/LINT_REPORT.json" LINT_REPORT.json; then
+    echo "ci.sh: LINT_REPORT.json is stale — regenerate with 'cargo run -p cirstag-lint' and commit it" >&2
+    exit 1
+fi
 
 echo "==> release build (default features: parallel)"
 cargo build --release
@@ -42,12 +51,20 @@ cargo test -q
 echo "==> test suite (validate + failpoints: engine audits and fault injection)"
 cargo test -q --features validate,failpoints
 
+echo "==> simd feature (AVX2 kernels: clippy clean, bit-identical to scalar)"
+# The only unsafe code in the workspace lives behind this off-by-default
+# feature; tests/simd_parity.rs pins bitwise agreement with the scalar
+# kernels (and is a no-op on hosts without AVX2, where the dispatchers
+# fall back to the scalar loops).
+cargo clippy -p cirstag-linalg --features simd --all-targets -- -D warnings
+cargo test -q -p cirstag-linalg --features simd
+
 echo "==> serve smoke test (daemon + 50-request load, zero dropped connections)"
 # The CLI is only a dev-dependency of the root package, so the workspace
 # build above does not refresh its binary.
 cargo build --release -p cirstag-cli
-SMOKE_DIR=$(mktemp -d)
-trap 'rm -rf "$SMOKE_DIR"' EXIT
+SMOKE_DIR="$CI_TMP/smoke"
+mkdir -p "$SMOKE_DIR"
 ./target/release/cirstag generate --gates 40 --seed 7 "$SMOKE_DIR/smoke.cir"
 ./target/release/cirstag serve --addr 127.0.0.1:0 --port-file "$SMOKE_DIR/port" &
 SERVE_PID=$!

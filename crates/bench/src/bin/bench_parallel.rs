@@ -236,6 +236,18 @@ fn main() {
     // CSR × dense-panel kernel on its own: the traversal-amortized SpMM the
     // block solver and the sketch both sit on.
     let lap64 = g64.laplacian();
+
+    // CSR × vector kernel on its own: the spmv under the Lanczos iteration.
+    // The workload sits above the spmv parallel threshold so the chunked
+    // path runs; built with `--features simd` this row also exercises the
+    // AVX2 4-row fast path, which is bit-identical to the scalar kernel, so
+    // gating against a scalar baseline stays apples-to-apples.
+    let spmv_x: Vec<f64> = random_dense(g64.num_nodes(), 1, 18).as_slice().to_vec();
+    let mut spmv_y = vec![0.0; g64.num_nodes()];
+    run("spmv_grid64", g64.num_nodes(), &mut || {
+        lap64.mul_vec_into(&spmv_x, &mut spmv_y);
+        std::hint::black_box(&spmv_y);
+    });
     let spmm_x = random_dense(g64.num_nodes(), 64, 16);
     let mut spmm_out = DenseMatrix::zeros(g64.num_nodes(), 64);
     run("spmm_panel", g64.num_nodes(), &mut || {

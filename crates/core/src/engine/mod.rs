@@ -367,6 +367,7 @@ pub(crate) fn run_pipeline(
     let mut exec = Executor::new(cache, cancel);
 
     // ---- Phase 1: input/output embedding matrices -------------------
+    // cirstag-lint: allow(nondeterminism) -- phase wall-clock diagnostics only; excluded from fingerprints and artifacts
     let t0 = Instant::now();
     fail::trigger("phase1/stall");
     let (embedding_art, embedding_fp) = {
@@ -382,10 +383,12 @@ pub(crate) fn run_pipeline(
         };
         exec.run_stage(&stages::EmbeddingStage, &mut ctx, &[], &[])?
     };
+    // cirstag-lint: allow(nondeterminism) -- phase wall-clock diagnostics only; excluded from fingerprints and artifacts
     let phase1 = t0.elapsed();
     enforce_budget("phase1", phase1, cfg, &mut diag)?;
 
     // ---- Phase 2: graph-based manifolds via PGMs ---------------------
+    // cirstag-lint: allow(nondeterminism) -- phase wall-clock diagnostics only; excluded from fingerprints and artifacts
     let t1 = Instant::now();
     fail::trigger("phase2/stall");
     let (input_manifold_art, input_manifold_fp, output_manifold_art, output_manifold_fp) = {
@@ -413,10 +416,12 @@ pub(crate) fn run_pipeline(
         )?;
         (min_art, min_fp, mout_art, mout_fp)
     };
+    // cirstag-lint: allow(nondeterminism) -- phase wall-clock diagnostics only; excluded from fingerprints and artifacts
     let phase2 = t1.elapsed();
     enforce_budget("phase2", phase2, cfg, &mut diag)?;
 
     // ---- Phase 3: DMD stability scores -------------------------------
+    // cirstag-lint: allow(nondeterminism) -- phase wall-clock diagnostics only; excluded from fingerprints and artifacts
     let t2 = Instant::now();
     fail::trigger("phase3/stall");
     let scores_art = {
@@ -446,6 +451,7 @@ pub(crate) fn run_pipeline(
         )?;
         scores_art
     };
+    // cirstag-lint: allow(nondeterminism) -- phase wall-clock diagnostics only; excluded from fingerprints and artifacts
     let phase3 = t2.elapsed();
     enforce_budget("phase3", phase3, cfg, &mut diag)?;
 

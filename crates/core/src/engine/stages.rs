@@ -154,6 +154,7 @@ impl Stage for EmbeddingStage {
                     rung: "degraded".to_string(),
                     cause: "spectral embedding contains non-finite values".to_string(),
                     residual: None,
+                    // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
                     elapsed_ms: millis_u64(ctx.phase_start.elapsed()),
                 });
                 ctx.diag.warnings.push(
@@ -174,6 +175,7 @@ impl Stage for EmbeddingStage {
                 audit::embedding_violations(u, n, "input embedding"),
                 cfg.policy,
                 ctx.diag,
+                // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
                 millis_u64(ctx.phase_start.elapsed()),
             )?;
         }
@@ -261,6 +263,7 @@ impl Stage for OutputManifoldStage {
                 violations,
                 cfg.policy,
                 ctx.diag,
+                // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
                 millis_u64(ctx.phase_start.elapsed()),
             )?;
         }
@@ -317,6 +320,7 @@ impl Stage for PencilStage {
                 violations,
                 cfg.policy,
                 ctx.diag,
+                // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
                 millis_u64(ctx.phase_start.elapsed()),
             )?;
         }
@@ -447,6 +451,7 @@ impl Stage for DmdStage {
                     rung: "degraded".to_string(),
                     cause: "DMD spectrum or edge scores contain non-finite values".to_string(),
                     residual: None,
+                    // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
                     elapsed_ms: millis_u64(ctx.phase_start.elapsed()),
                 });
                 ctx.diag.warnings.push(
@@ -519,6 +524,7 @@ fn phase1_embedding(
     diag: &mut RunDiagnostics,
     ws: &mut SolverWorkspace,
 ) -> Result<Option<DenseMatrix>, CirStagError> {
+    // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
     let t = Instant::now();
     let first = spectral_embedding_ws(g, m, &cfg.spectral, ws);
     let err = match first {
@@ -531,6 +537,7 @@ fn phase1_embedding(
         rung: "retry".to_string(),
         cause: err.to_string(),
         residual: embed_residual(&err),
+        // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
         elapsed_ms: millis_u64(t.elapsed()),
     });
     let retry_cfg = SpectralConfig {
@@ -541,6 +548,7 @@ fn phase1_embedding(
         seed: cfg.spectral.seed ^ RETRY_RESEED,
         ..cfg.spectral
     };
+    // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
     let t_retry = Instant::now();
     let err = match spectral_embedding_ws(g, m, &retry_cfg, ws) {
         Ok(u) => return Ok(Some(u)),
@@ -551,8 +559,10 @@ fn phase1_embedding(
         rung: "dense".to_string(),
         cause: err.to_string(),
         residual: embed_residual(&err),
+        // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
         elapsed_ms: millis_u64(t_retry.elapsed()),
     });
+    // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
     let t_dense = Instant::now();
     let err = match dense_spectral_embedding(g, m) {
         Ok(u) => return Ok(Some(u)),
@@ -563,6 +573,7 @@ fn phase1_embedding(
         rung: "degraded".to_string(),
         cause: err.to_string(),
         residual: embed_residual(&err),
+        // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
         elapsed_ms: millis_u64(t_dense.elapsed()),
     });
     diag.warnings.push(
@@ -585,6 +596,7 @@ fn phase3_eigenpairs(
     diag: &mut RunDiagnostics,
     ws: &mut SolverWorkspace,
 ) -> Result<GeneralizedEigen, CirStagError> {
+    // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
     let t = Instant::now();
     let first = generalized_lanczos_ws(lx, ly_solver, s, cfg.geig_max_iter, cfg.seed, ws);
     let err = match first {
@@ -597,11 +609,13 @@ fn phase3_eigenpairs(
         rung: "retry".to_string(),
         cause: err.to_string(),
         residual: solver_residual(&err),
+        // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
         elapsed_ms: millis_u64(t.elapsed()),
     });
     let retry_iters = cfg
         .geig_max_iter
         .saturating_mul(cfg.stage_budget.retry_iter_factor.max(1));
+    // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
     let t_retry = Instant::now();
     let err =
         match generalized_lanczos_ws(lx, ly_solver, s, retry_iters, cfg.seed ^ RETRY_RESEED, ws) {
@@ -613,8 +627,10 @@ fn phase3_eigenpairs(
         rung: "dense".to_string(),
         cause: err.to_string(),
         residual: solver_residual(&err),
+        // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
         elapsed_ms: millis_u64(t_retry.elapsed()),
     });
+    // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
     let t_dense = Instant::now();
     let err = match generalized_eigen_dense(lx, ly_solver.laplacian(), s) {
         Ok(geig) => return Ok(geig),
@@ -625,6 +641,7 @@ fn phase3_eigenpairs(
         rung: "degraded".to_string(),
         cause: err.to_string(),
         residual: solver_residual(&err),
+        // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
         elapsed_ms: millis_u64(t_dense.elapsed()),
     });
     diag.warnings.push(
@@ -653,6 +670,7 @@ fn sparsify_with_ladder(
     if cfg.random_prune {
         return Ok(random_prune(dense, &cfg.pgm)?.graph);
     }
+    // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
     let t = Instant::now();
     let err = match learn_manifold(dense, &cfg.pgm) {
         Ok(r) => return Ok(r.graph),
@@ -664,8 +682,10 @@ fn sparsify_with_ladder(
         rung: "random-prune".to_string(),
         cause: err.to_string(),
         residual: None,
+        // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
         elapsed_ms: millis_u64(t.elapsed()),
     });
+    // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
     let t_prune = Instant::now();
     let err = match random_prune(dense, &cfg.pgm) {
         Ok(r) => return Ok(r.graph),
@@ -676,6 +696,7 @@ fn sparsify_with_ladder(
         rung: "dense-knn".to_string(),
         cause: err.to_string(),
         residual: None,
+        // cirstag-lint: allow(nondeterminism) -- stage wall-clock diagnostics only; excluded from fingerprints and artifacts
         elapsed_ms: millis_u64(t_prune.elapsed()),
     });
     diag.warnings.push(format!(

@@ -67,6 +67,7 @@ impl CancelToken {
         CancelToken {
             inner: Arc::new(CancelInner {
                 cancelled: AtomicBool::new(false),
+                // cirstag-lint: allow(nondeterminism) -- deadline bookkeeping for budgets/cancel; never flows into result data
                 deadline: Instant::now().checked_add(deadline),
             }),
         }
@@ -86,6 +87,7 @@ impl CancelToken {
     /// `true` when the token carries a deadline and it has elapsed —
     /// distinguishes a timeout from an explicit cancel.
     pub fn deadline_exceeded(&self) -> bool {
+        // cirstag-lint: allow(nondeterminism) -- deadline bookkeeping for budgets/cancel; never flows into result data
         self.inner.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
@@ -94,6 +96,7 @@ impl CancelToken {
     pub fn remaining(&self) -> Option<Duration> {
         self.inner
             .deadline
+            // cirstag-lint: allow(nondeterminism) -- deadline bookkeeping for budgets/cancel; never flows into result data
             .map(|d| d.saturating_duration_since(Instant::now()))
     }
 }

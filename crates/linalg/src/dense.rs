@@ -329,6 +329,7 @@ impl DenseMatrix {
             return Ok(());
         }
         let flops = self.nrows * self.ncols * other.ncols;
+        // cirstag-lint: allow(nondeterminism) -- threshold picks between serial and parallel paths that are bit-identical by construction
         if flops < PAR_FLOP_THRESHOLD || par::current_num_threads() <= 1 {
             matmul_block_kernel(self, other, 0, &mut out.data);
             return Ok(());
@@ -378,6 +379,7 @@ impl DenseMatrix {
                 right: (x.len(), 1),
             });
         }
+        // cirstag-lint: allow(nondeterminism) -- threshold picks between serial and parallel paths that are bit-identical by construction
         if self.nrows * self.ncols < PAR_FLOP_THRESHOLD || par::current_num_threads() <= 1 {
             return Ok((0..self.nrows)
                 .map(|i| vecops::dot(self.row(i), x))

@@ -1,0 +1,243 @@
+//! AVX2 fast paths for the CSR kernels (`simd` cargo feature).
+//!
+//! Contract: **bit-identical results** to the scalar kernels in `sparse.rs`.
+//! Nothing here is allowed to reassociate a sum or contract a
+//! multiply-then-add into an FMA, because the η-score rankings downstream
+//! compare floats for exact reproducibility across feature sets.
+//!
+//! Two shapes keep that promise while still vectorizing:
+//!
+//! - [`axpy`] (spmm panel strips): `dst[j] += v * src[j]` is elementwise —
+//!   lanes never interact — so a 4-wide multiply-then-add performs exactly
+//!   the scalar op per element, just four elements at a time.
+//! - [`spmv_rows`]: vectorizing *within* one CSR row would change the
+//!   accumulation order, so instead four **rows** share one vector and each
+//!   lane replays its own row's scalar left-to-right accumulation. Rows of
+//!   different lengths are handled with masked gathers plus a blend, so a
+//!   lane that has exhausted its row keeps its accumulator untouched
+//!   (a blend, not `+ 0.0`, which would flip a `-0.0` partial sum).
+//!
+//! This module is the only unsafe code in the workspace: the crate root
+//! relaxes `forbid(unsafe_code)` to `deny(unsafe_code)` only when the
+//! feature is on, the `#[allow(unsafe_code)]` grants below are scoped to
+//! single functions, and `cirstag-lint`'s `unsafe-safety` rule verifies
+//! that every unsafe block and function carries a SAFETY rationale.
+//!
+//! Dispatch is total: both entry points return `false` when the AVX2 path
+//! is unavailable (non-x86_64 target, or the CPU lacks AVX2 at runtime),
+//! and the caller runs its scalar loop — so enabling the feature on any
+//! host is safe and never changes results.
+
+/// `dst[j] += v * src[j]` over the common prefix, 4 lanes at a time.
+///
+/// Returns `false` (having written nothing) when the AVX2 path is
+/// unavailable or the slices disagree in length; the caller must then run
+/// the scalar strip loop.
+#[allow(unsafe_code)]
+pub(crate) fn axpy(v: f64, src: &[f64], dst: &mut [f64]) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if src.len() == dst.len() && x86::avx2_available() {
+        // SAFETY: AVX2 availability was checked on this line's condition,
+        // which is `axpy_avx2`'s only target-feature precondition.
+        unsafe { x86::axpy_avx2(v, src, dst) };
+        return true;
+    }
+    let _ = (v, src, dst);
+    false
+}
+
+/// SpMV over a row window: `y[r] = Σ values[k] · x[col_idx[k]]` for each
+/// row `r`, where `row_ptr` is the window `&csr.row_ptr[base..=base + n]`
+/// (so `row_ptr.len() == y.len() + 1`) and its entries index the matrix's
+/// full `col_idx`/`values` arrays.
+///
+/// Each SIMD lane accumulates one row in the row's scalar order (multiply
+/// then add per nonzero, no FMA), so the result is bit-identical to
+/// `CsrMatrix::mul_vec_row`. Returns `false` (having written nothing) when
+/// the AVX2 path is unavailable or the window is malformed; the caller must
+/// then run the scalar row loop.
+///
+/// The unsafe gathers below rely on the `CsrMatrix` representation
+/// invariants: `row_ptr` is monotone with entries bounded by
+/// `values.len() == col_idx.len()`, and every stored column index is
+/// `< ncols == x.len()` (enforced at construction by `CooMatrix::push` /
+/// `to_csr` and never weakened afterwards).
+#[allow(unsafe_code)]
+pub(crate) fn spmv_rows(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    values: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if row_ptr.len() != y.len() + 1 || !x86::avx2_available() {
+            return false;
+        }
+        let n = y.len();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let Some((lo, hi)) = bounds4(row_ptr, i) else {
+                return false;
+            };
+            // SAFETY: AVX2 was detected above. `lo`/`hi` come straight
+            // from the CSR row pointers, so the gather bounds hold by the
+            // representation invariants spelled out in the doc comment.
+            let quad = unsafe { x86::spmv_rows4(lo, hi, col_idx, values, x) };
+            y[i..i + 4].copy_from_slice(&quad);
+            i += 4;
+        }
+        // Tail rows (< 4) replay the same scalar accumulation the vector
+        // lanes perform, which is also exactly `mul_vec_row`'s loop.
+        while i < n {
+            let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+            let mut acc = 0.0;
+            for (&c, &v) in col_idx[lo..hi].iter().zip(&values[lo..hi]) {
+                acc += v * x[c];
+            }
+            y[i] = acc;
+            i += 1;
+        }
+        true
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (row_ptr, col_idx, values, x, y);
+        false
+    }
+}
+
+/// Start/end offsets of rows `i..i + 4` as `i64` lanes for the gather
+/// index vectors. `None` if an offset exceeds `i64::MAX` (impossible for a
+/// real matrix, but the conversion stays checked rather than `as`-cast).
+#[cfg(target_arch = "x86_64")]
+fn bounds4(row_ptr: &[usize], i: usize) -> Option<([i64; 4], [i64; 4])> {
+    let mut lo = [0i64; 4];
+    let mut hi = [0i64; 4];
+    for l in 0..4 {
+        lo[l] = i64::try_from(row_ptr[i + l]).ok()?;
+        hi[l] = i64::try_from(row_ptr[i + l + 1]).ok()?;
+    }
+    Some((lo, hi))
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::{
+        __m256i, _mm256_add_epi64, _mm256_add_pd, _mm256_blendv_pd, _mm256_castsi256_pd,
+        _mm256_cmpgt_epi64, _mm256_loadu_pd, _mm256_mask_i64gather_epi64, _mm256_mask_i64gather_pd,
+        _mm256_mul_pd, _mm256_set1_epi64x, _mm256_set1_pd, _mm256_set_epi64x, _mm256_setzero_pd,
+        _mm256_setzero_si256, _mm256_storeu_pd,
+    };
+
+    /// Runtime AVX2 probe (cached by the standard library).
+    pub(super) fn avx2_available() -> bool {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+
+    /// 4-wide `dst[j] += v * src[j]` with a scalar tail.
+    ///
+    /// Per element this is one multiply followed by one add — the same two
+    /// IEEE-754 operations, in the same order, as the scalar strip loop —
+    /// so the result is bit-identical.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (the caller checks
+    /// [`avx2_available`]), and `src.len()` must equal `dst.len()`.
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy_avx2(v: f64, src: &[f64], dst: &mut [f64]) {
+        let n = dst.len();
+        let vv = _mm256_set1_pd(v);
+        let mut j = 0usize;
+        while j + 4 <= n {
+            // SAFETY: `j + 4 <= n` and the caller guarantees
+            // `src.len() == dst.len() == n`, so both unaligned 4-lane
+            // accesses stay in bounds.
+            unsafe {
+                let s = _mm256_loadu_pd(src.as_ptr().add(j));
+                let d = _mm256_loadu_pd(dst.as_ptr().add(j));
+                _mm256_storeu_pd(
+                    dst.as_mut_ptr().add(j),
+                    _mm256_add_pd(d, _mm256_mul_pd(vv, s)),
+                );
+            }
+            j += 4;
+        }
+        while j < n {
+            dst[j] += v * src[j];
+            j += 1;
+        }
+    }
+
+    /// Four CSR rows in lockstep: lane `l` accumulates row `l`'s dot
+    /// product `Σ values[k] · x[col_idx[k]]` for `k` in `lo[l]..hi[l]`,
+    /// left to right, multiply then add (no FMA). Lanes whose rows are
+    /// exhausted are masked out of the gathers and *blended* out of the
+    /// accumulator update, so their partial sums pass through every step
+    /// untouched (adding a masked `0.0` instead would turn a `-0.0`
+    /// partial sum into `+0.0`).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (the caller checks [`avx2_available`]),
+    /// and for each lane `l`: `lo[l] <= hi[l] <= values.len() ==
+    /// col_idx.len()`, with `col_idx[k] < x.len()` for every `k` in
+    /// `lo[l]..hi[l]` — the `CsrMatrix` representation invariants.
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn spmv_rows4(
+        lo: [i64; 4],
+        hi: [i64; 4],
+        col_idx: &[usize],
+        values: &[f64],
+        x: &[f64],
+    ) -> [f64; 4] {
+        let [lo0, lo1, lo2, lo3] = lo;
+        let [hi0, hi1, hi2, hi3] = hi;
+        let start = _mm256_set_epi64x(lo3, lo2, lo1, lo0);
+        let end = _mm256_set_epi64x(hi3, hi2, hi1, hi0);
+        let zero = _mm256_setzero_pd();
+        let zero_i: __m256i = _mm256_setzero_si256();
+        let mut acc = zero;
+        let steps = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&l, &h)| h.saturating_sub(l))
+            .max()
+            .unwrap_or(0);
+        let mut t = 0i64;
+        while t < steps {
+            let idx = _mm256_add_epi64(start, _mm256_set1_epi64x(t));
+            // Lane active while its cursor is before the row end.
+            let mask_i = _mm256_cmpgt_epi64(end, idx);
+            let mask = _mm256_castsi256_pd(mask_i);
+            // SAFETY: active lanes have `lo[l] + t < hi[l] <=
+            // values.len() == col_idx.len()`; masked-off lanes perform no
+            // memory access (vgatherqpd/vpgatherqq semantics). `col_idx`
+            // holds `usize` values, identical in layout to `i64` on
+            // x86_64 and `< x.len() < i64::MAX`, so reading them as `i64`
+            // lanes is exact.
+            let (vals, cols) = unsafe {
+                (
+                    _mm256_mask_i64gather_pd::<8>(zero, values.as_ptr(), idx, mask),
+                    _mm256_mask_i64gather_epi64::<8>(zero_i, col_idx.as_ptr().cast(), idx, mask_i),
+                )
+            };
+            // SAFETY: active lanes gathered a stored column index, which
+            // is `< x.len()` by the CSR invariant; masked-off lanes (whose
+            // `cols` lane is the zero source value) access no memory.
+            let xv = unsafe { _mm256_mask_i64gather_pd::<8>(zero, x.as_ptr(), cols, mask) };
+            let prod = _mm256_mul_pd(vals, xv);
+            acc = _mm256_blendv_pd(acc, _mm256_add_pd(acc, prod), mask);
+            t += 1;
+        }
+        let mut out = [0.0f64; 4];
+        // SAFETY: `out` is exactly four `f64`s, matching the 256-bit
+        // unaligned store.
+        unsafe { _mm256_storeu_pd(out.as_mut_ptr(), acc) };
+        out
+    }
+}

@@ -19,6 +19,20 @@ const SPMV_PAR_NNZ_THRESHOLD: usize = 16 * 1024;
 /// are bit-identical at every thread count.
 const SPMV_ROW_CHUNK: usize = 256;
 
+/// `dst[j] += v * src[j]`: the panel kernel's per-nonzero strip update.
+/// With the `simd` feature enabled (and AVX2 present at runtime) the
+/// 4-wide path performs the identical per-element multiply-then-add (no
+/// FMA), so results stay bit-identical to this scalar loop.
+fn strip_axpy(v: f64, src: &[f64], dst: &mut [f64]) {
+    #[cfg(feature = "simd")]
+    if crate::simd::axpy(v, src, dst) {
+        return;
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += v * s;
+    }
+}
+
 /// A sparse matrix in coordinate (triplet) format, used for assembly.
 ///
 /// Duplicate entries are allowed and are summed when converting to CSR,
@@ -364,21 +378,39 @@ impl CsrMatrix {
         acc
     }
 
+    /// Computes output rows `base..base + out.len()` of the product.
+    /// Shared by the serial and parallel spmv paths. With the `simd`
+    /// feature enabled (and AVX2 present at runtime) this takes the 4-row
+    /// vectorized fast path, which is bit-identical to the scalar loop by
+    /// construction: each SIMD lane replays one row's scalar left-to-right
+    /// accumulation, multiply then add, no FMA.
+    fn mul_vec_rows(&self, base: usize, x: &[f64], out: &mut [f64]) {
+        #[cfg(feature = "simd")]
+        if crate::simd::spmv_rows(
+            &self.row_ptr[base..base + out.len() + 1],
+            &self.col_idx,
+            &self.values,
+            x,
+            out,
+        ) {
+            return;
+        }
+        for (off, slot) in out.iter_mut().enumerate() {
+            *slot = self.mul_vec_row(base + off, x);
+        }
+    }
+
     fn mul_vec_kernel(&self, x: &[f64], y: &mut [f64]) {
         if self.nrows == 0 {
             return;
         }
+        // cirstag-lint: allow(nondeterminism) -- threshold picks between serial and parallel paths that are bit-identical by construction
         if self.nnz() < SPMV_PAR_NNZ_THRESHOLD || par::current_num_threads() <= 1 {
-            for (i, out) in y.iter_mut().enumerate() {
-                *out = self.mul_vec_row(i, x);
-            }
+            self.mul_vec_rows(0, x, y);
             return;
         }
         par::chunks_mut(y, SPMV_ROW_CHUNK, |ci, chunk| {
-            let base = ci * SPMV_ROW_CHUNK;
-            for (off, out) in chunk.iter_mut().enumerate() {
-                *out = self.mul_vec_row(base + off, x);
-            }
+            self.mul_vec_rows(ci * SPMV_ROW_CHUNK, x, chunk);
         });
     }
 
@@ -499,10 +531,7 @@ impl CsrMatrix {
         let lo = self.row_ptr[i];
         let hi = self.row_ptr[i + 1];
         for (&c, &v) in self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]) {
-            let src = &x[c * k..c * k + k];
-            for (d, &s) in out_row.iter_mut().zip(src) {
-                *d += v * s;
-            }
+            strip_axpy(v, &x[c * k..c * k + k], out_row);
         }
     }
 
@@ -511,6 +540,7 @@ impl CsrMatrix {
             return;
         }
         let flops = self.nnz() * k;
+        // cirstag-lint: allow(nondeterminism) -- threshold picks between serial and parallel paths that are bit-identical by construction
         if flops < PANEL_PAR_FLOP_THRESHOLD || par::current_num_threads() <= 1 {
             for (i, out_row) in y.chunks_mut(k).enumerate() {
                 self.panel_row_kernel(i, x, out_row, k);

@@ -1,0 +1,196 @@
+//! Bitwise parity pins for the `simd` fast paths.
+//!
+//! The AVX2 kernels promise results **bit-identical** to the scalar
+//! kernels — not merely close. These tests rebuild each product with an
+//! independent scalar reference that replays the documented accumulation
+//! order (per row, left to right over stored nonzeros, multiply then add)
+//! and compare every output through `f64::to_bits`, so an FMA contraction,
+//! a reassociated sum, or a `-0.0` flipped to `+0.0` by a masked lane all
+//! fail loudly.
+//!
+//! The suite runs regardless of whether the host actually has AVX2: without
+//! it the dispatch falls back to the scalar loops and parity holds
+//! trivially, while on an AVX2 host (the expected case) the vector lanes
+//! are exercised across row counts straddling the 4-row grouping, ragged
+//! row lengths, empty rows, negative zeros, and panel widths straddling the
+//! 4-lane strips.
+
+#![cfg(feature = "simd")]
+
+use cirstag_linalg::{CooMatrix, CsrMatrix, DenseMatrix};
+
+/// Deterministic xorshift so the fixtures need no RNG dependency.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform-ish in [-1, 1), with an occasional exact `-0.0` or `0.0` so
+    /// signed-zero handling is actually exercised.
+    fn next_f64(&mut self) -> f64 {
+        let r = self.next_u64();
+        match r % 17 {
+            0 => 0.0,
+            1 => -0.0,
+            _ => (r >> 11) as f64 / (1u64 << 52) as f64 - 1.0,
+        }
+    }
+}
+
+/// Random CSR matrix with ragged rows: row `i` holds `(i * 7 + seed) % 9`
+/// nonzeros (so some rows are empty) at distinct random columns.
+fn ragged_csr(nrows: usize, ncols: usize, seed: u64) -> CsrMatrix {
+    let mut rng = XorShift(seed | 1);
+    let mut coo = CooMatrix::new(nrows, ncols);
+    for i in 0..nrows {
+        let nnz_row = ((i as u64 * 7 + seed) % 9) as usize;
+        let mut cols: Vec<usize> = (0..nnz_row)
+            .map(|_| (rng.next_u64() as usize) % ncols)
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        for c in cols {
+            coo.push(i, c, rng.next_f64()).expect("in-bounds push");
+        }
+    }
+    coo.to_csr()
+}
+
+fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = XorShift(seed | 1);
+    (0..n).map(|_| rng.next_f64()).collect()
+}
+
+/// Independent spmv reference: the documented scalar accumulation order.
+fn spmv_reference(m: &CsrMatrix, x: &[f64]) -> Vec<f64> {
+    let (nrows, _) = m.shape();
+    let mut y = vec![0.0; nrows];
+    for i in 0..nrows {
+        let (cols, vals) = m.row(i);
+        let mut acc = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            acc += v * x[c];
+        }
+        y[i] = acc;
+    }
+    y
+}
+
+/// Independent spmm reference: per output row, zero then accumulate each
+/// nonzero's strip left to right.
+fn spmm_reference(m: &CsrMatrix, x: &[f64], k: usize) -> Vec<f64> {
+    let (nrows, _) = m.shape();
+    let mut y = vec![0.0; nrows * k];
+    for i in 0..nrows {
+        let (cols, vals) = m.row(i);
+        let out_row = &mut y[i * k..(i + 1) * k];
+        for (&c, &v) in cols.iter().zip(vals) {
+            for (d, &s) in out_row.iter_mut().zip(&x[c * k..c * k + k]) {
+                *d += v * s;
+            }
+        }
+    }
+    y
+}
+
+fn assert_bits_eq(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: slot {i} differs: {g:?} (0x{:016x}) vs {w:?} (0x{:016x})",
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+}
+
+#[test]
+fn spmv_matches_scalar_reference_bitwise_across_row_counts() {
+    // Sizes straddle the 4-row SIMD grouping (tails of 0..=3 rows).
+    for &n in &[1usize, 2, 3, 4, 5, 7, 8, 17, 64, 101] {
+        let m = ragged_csr(n, n.max(3), 42 + n as u64);
+        let x = random_vec(n.max(3), 7 + n as u64);
+        let y = m.mul_vec(&x);
+        assert_bits_eq(&y, &spmv_reference(&m, &x), &format!("spmv n={n}"));
+    }
+}
+
+#[test]
+fn spmv_parallel_path_matches_reference_bitwise() {
+    // Dense-ish matrix above SPMV_PAR_NNZ_THRESHOLD (16 * 1024 nonzeros)
+    // so the rayon chunked path runs the SIMD row groups too.
+    let n = 200;
+    let mut rng = XorShift(99);
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        for c in 0..n / 2 {
+            coo.push(i, c * 2, rng.next_f64()).expect("push");
+        }
+    }
+    let m = coo.to_csr();
+    assert!(
+        m.nnz() >= 16 * 1024,
+        "workload must cross the parallel threshold"
+    );
+    let x = random_vec(n, 3);
+    let y = m.mul_vec(&x);
+    assert_bits_eq(&y, &spmv_reference(&m, &x), "parallel spmv");
+}
+
+#[test]
+fn spmv_signed_zero_rows_survive_masked_lanes() {
+    // Short rows holding exact signed zeros sit next to longer rows, so
+    // their lanes spend most steps masked off. Whatever sign the scalar
+    // accumulation produces, the SIMD lane must reproduce it bit-for-bit
+    // (the masked update is a blend, not an `acc + 0.0`, precisely so
+    // masked steps cannot perturb a lane's zero sign).
+    let mut coo = CooMatrix::new(4, 4);
+    coo.push(0, 0, -0.0).expect("push");
+    for c in 0..4 {
+        coo.push(1, c, 1.5 + c as f64).expect("push");
+        coo.push(2, c, -2.5 * c as f64).expect("push");
+    }
+    coo.push(3, 3, 4.0).expect("push");
+    let m = coo.to_csr();
+    for x0 in [1.0, -1.0, -0.0, 0.0] {
+        let x = vec![x0, 1.0, 1.0, 1.0];
+        let y = m.mul_vec(&x);
+        assert_bits_eq(&y, &spmv_reference(&m, &x), "signed-zero spmv");
+    }
+}
+
+#[test]
+fn spmm_matches_scalar_reference_bitwise_across_widths() {
+    // Panel widths straddle the 4-lane strips (tails of 0..=3 columns).
+    for &k in &[1usize, 2, 3, 4, 5, 8, 11, 64] {
+        let n = 23;
+        let m = ragged_csr(n, n, 5 + k as u64);
+        let x = random_vec(n * k, 13 + k as u64);
+        let mut y = vec![0.0; n * k];
+        m.mul_panel_into(&x, &mut y, k);
+        assert_bits_eq(&y, &spmm_reference(&m, &x, k), &format!("spmm k={k}"));
+    }
+}
+
+#[test]
+fn spmm_dense_interface_matches_reference_bitwise() {
+    let n = 37;
+    let k = 6;
+    let m = ragged_csr(n, n, 77);
+    let x = DenseMatrix::from_vec(n, k, random_vec(n * k, 21)).expect("shape");
+    let out = m.mul_dense(&x).expect("spmm");
+    assert_bits_eq(
+        out.as_slice(),
+        &spmm_reference(&m, x.as_slice(), k),
+        "mul_dense",
+    );
+}

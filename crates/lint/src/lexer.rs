@@ -607,5 +607,93 @@ mod tests {
         lex("/* unterminated");
         lex("#[cfg(unterminated");
         lex("'");
+        lex("let s = r##\"fence never closed\"#");
+    }
+
+    #[test]
+    fn raw_string_hides_comment_markers_and_tracks_lines() {
+        let src = "let s = r#\"has // marker\nand \"quoted\" text\"#;\nlet x = 1;\n";
+        let lexed = lex(src);
+        assert!(lexed.comments.is_empty(), "{:?}", lexed.comments);
+        let x = lexed.tokens.iter().find(|t| t.is_ident("x")).expect("x");
+        assert_eq!(x.line, 3, "multiline raw string must advance the line");
+    }
+
+    #[test]
+    fn double_fenced_raw_string_ignores_single_fence_close() {
+        let src = r####"let s = r##"inner "# still open"##; x.unwrap();"####;
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::StrLit && t.text.contains("still open")));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_byte_strings_hide_contents() {
+        let src = "let a = b\"// not a comment\"; let b = br#\"also // not\"#; y.unwrap();";
+        let lexed = lex(src);
+        assert!(lexed.comments.is_empty(), "{:?}", lexed.comments);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn nested_block_comment_spanning_lines_keeps_line_numbers() {
+        let src = "/* outer\n /* inner\n */\n still */\nfn f() {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 1, "comment spans from its opener");
+        let f = lexed.tokens.iter().find(|t| t.is_ident("fn")).expect("fn");
+        assert_eq!(f.line, 5, "nested comment must advance four lines");
+    }
+
+    #[test]
+    fn char_literal_slash_is_not_a_comment() {
+        let src = "let sep = '/'; let both = ['/', '/']; // real comment\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1, "{:?}", lexed.comments);
+        assert!(lexed.comments[0].text.contains("real comment"));
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::CharLit)
+            .count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn char_literal_quote_and_escapes() {
+        let src = "let q = '\"'; let bs = '\\\\'; let sq = '\\''; let u = '\\u{7F}'; z.unwrap();";
+        let lexed = lex(src);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::CharLit)
+            .collect();
+        assert_eq!(chars.len(), 4, "{chars:?}");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn multiline_plain_string_tracks_following_lines() {
+        let src = "let s = \"line1\nline2\nline3\";\nw.unwrap();\n";
+        let lexed = lex(src);
+        let u = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("unwrap"))
+            .expect("unwrap");
+        assert_eq!(u.line, 4, "multiline string must advance the line");
+    }
+
+    #[test]
+    fn raw_identifiers_keep_spans() {
+        let lexed = lex("fn r#match(r#type: u32) {}\nlet r#fn = 1;");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.is_ident("match") && t.line == 1));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("fn") && t.line == 2));
     }
 }

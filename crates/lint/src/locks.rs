@@ -1,0 +1,468 @@
+//! `lock-order`: lexical lock-acquisition-order analysis.
+//!
+//! Per file, the pass finds every `Mutex`/`RwLock` *declaration* (struct
+//! fields and statics) and every *acquisition* (`.lock()` always;
+//! `.read()`/`.write()` only when the receiver's final field name is a
+//! declared lock, so `File::read` and friends stay out). Each acquisition
+//! gets a stable identity from its receiver chain — `self` is replaced by
+//! the enclosing `impl` type from the scope tree, so the four different
+//! structs whose lock field is named `state` do not alias — and a *held
+//! span*: a `let`-bound guard lives to the end of its innermost enclosing
+//! block (or an earlier `drop(name)`), a temporary dies at the end of its
+//! statement.
+//!
+//! Within one function, acquiring `b` inside `a`'s held span yields the
+//! directed edge `a → b`. The driver unions edges across the whole
+//! workspace into one lock graph and reports every acquisition site whose
+//! edge participates in a cycle — the lexical signature of a
+//! deadlock-capable acquisition-order inversion. Findings are waivable at
+//! the acquisition line like any other rule.
+//!
+//! This is a lexical approximation, deliberately: locks reached through
+//! distinct local variable names are distinct nodes (edges can be missed),
+//! and call results in receiver chains are dropped (`MAP.get_or_init(..)
+//! .lock()` identifies as `MAP`). Both choices lose edges before they
+//! invent cycles, so a reported cycle is always worth reading.
+
+use crate::lexer::{TokKind, Token};
+use crate::report::Finding;
+use crate::rules::LOCK_ORDER;
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One `a → b` acquisition-order edge observed in a function body.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// Lock already held.
+    pub held: String,
+    /// Lock acquired while `held` is held.
+    pub acquired: String,
+    /// Workspace-relative path of the acquisition site.
+    pub file: String,
+    /// 1-based line of the acquisition site.
+    pub line: usize,
+    /// Trimmed source line of the acquisition site.
+    pub snippet: String,
+}
+
+/// One lock acquisition with its held span, in token coordinates.
+#[derive(Debug)]
+struct Acquisition {
+    id: String,
+    tok: usize,
+    line: usize,
+    /// Last token index (exclusive) at which the guard is still held.
+    held_end: usize,
+}
+
+/// Bare names (fields/statics) declared as `Mutex<..>` or `RwLock<..>` in
+/// `file` — the gate set deciding whether `.read()`/`.write()` receivers
+/// are locks at all.
+pub fn declared_lock_names(file: &SourceFile) -> BTreeSet<String> {
+    let toks = &file.tokens;
+    let mut names = BTreeSet::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if !(tok.is_ident("Mutex") || tok.is_ident("RwLock")) {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|t| t.is_punct("<")) {
+            continue;
+        }
+        // Walk outward through path segments and wrapper generics
+        // (`OnceLock<Mutex<..>>`) until the `name :` introducing the
+        // declaration, if any.
+        let mut j = i;
+        loop {
+            while j >= 2 && toks[j - 1].is_punct("::") && toks[j - 2].kind == TokKind::Ident {
+                j -= 2;
+            }
+            let Some(k) = j.checked_sub(1) else { break };
+            if toks[k].is_punct(":") {
+                if let Some(name) = k
+                    .checked_sub(1)
+                    .and_then(|n| toks.get(n))
+                    .filter(|t| t.kind == TokKind::Ident)
+                {
+                    names.insert(name.text.clone());
+                }
+                break;
+            } else if toks[k].is_punct("<")
+                && k >= 1
+                && toks.get(k - 1).is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                j = k - 1;
+            } else {
+                break;
+            }
+        }
+    }
+    names
+}
+
+/// All acquisition-order edges of `file`, given the workspace-wide set of
+/// declared lock names.
+pub fn file_edges(file: &SourceFile, lock_names: &BTreeSet<String>) -> Vec<LockEdge> {
+    let toks = &file.tokens;
+    let mut per_fn: BTreeMap<usize, Vec<Acquisition>> = BTreeMap::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if file.in_test_region(i) || tok.kind != TokKind::Ident {
+            continue;
+        }
+        let is_lock = tok.text == "lock";
+        let is_rw = tok.text == "read" || tok.text == "write";
+        if !(is_lock || is_rw) {
+            continue;
+        }
+        // Method-call shape: `.name(`.
+        if !(i >= 1
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("(")))
+        {
+            continue;
+        }
+        let chain = receiver_chain(toks, i - 1);
+        if chain.is_empty() {
+            continue;
+        }
+        if is_rw && !chain.last().is_some_and(|s| lock_names.contains(s)) {
+            continue;
+        }
+        let Some(fn_scope) = file.scope_tree.enclosing_fn(i) else {
+            continue;
+        };
+        let id = qualify(file, i, &chain);
+        let held_end = held_span_end(file, i);
+        per_fn.entry(fn_scope).or_default().push(Acquisition {
+            id,
+            tok: i,
+            line: tok.line,
+            held_end,
+        });
+    }
+    let mut edges = Vec::new();
+    for acqs in per_fn.values() {
+        for (ai, a) in acqs.iter().enumerate() {
+            for b in &acqs[ai + 1..] {
+                if b.tok < a.held_end && a.id != b.id {
+                    edges.push(LockEdge {
+                        held: a.id.clone(),
+                        acquired: b.id.clone(),
+                        file: file.rel_path.clone(),
+                        line: b.line,
+                        snippet: file.snippet(b.line),
+                    });
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Builds the global lock graph from every file's edges and reports each
+/// acquisition site whose edge lies on a cycle.
+pub fn analyze(edges: &[LockEdge]) -> Vec<Finding> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.held.as_str()).or_default().insert(&e.acquired);
+    }
+    let mut findings = Vec::new();
+    let mut seen: BTreeSet<(&str, usize, &str, &str)> = BTreeSet::new();
+    for e in edges {
+        if !reaches(&adj, &e.acquired, &e.held) {
+            continue;
+        }
+        if !seen.insert((&e.file, e.line, &e.held, &e.acquired)) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: LOCK_ORDER.to_string(),
+            file: e.file.clone(),
+            line: e.line,
+            message: format!(
+                "acquiring `{}` while holding `{}` closes a cycle in the workspace lock \
+                 graph (elsewhere `{}` is held while `{}` is acquired — reachable in \
+                 reverse); pick one global acquisition order or waive with the proof \
+                 the paths never interleave",
+                e.acquired, e.held, e.acquired, e.held
+            ),
+            snippet: e.snippet.clone(),
+            waived: false,
+            waiver_reason: None,
+        });
+    }
+    findings
+}
+
+/// DFS reachability `from → to` over the acquisition-order graph.
+fn reaches(adj: &BTreeMap<&str, BTreeSet<&str>>, from: &str, to: &str) -> bool {
+    let mut stack = vec![from];
+    let mut visited: BTreeSet<&str> = BTreeSet::new();
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if !visited.insert(n) {
+            continue;
+        }
+        if let Some(next) = adj.get(n) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}
+
+/// The receiver chain of a method call, walking back from the `.` at
+/// `dot_idx`: `self.state.lock()` → `["self", "state"]`. Call segments
+/// (`MAP.get_or_init(..)`) are skipped over — the identity is carried by
+/// the base and its field path. Leading `path::` segments fold into the
+/// base (`fail::MAP` → `fail::MAP`).
+fn receiver_chain(toks: &[Token], dot_idx: usize) -> Vec<String> {
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = dot_idx; // toks[j] is the `.` before the current segment
+    while let Some(k) = j.checked_sub(1) {
+        match &toks[k] {
+            t if t.kind == TokKind::Ident => {
+                let mut base = k;
+                let mut text = t.text.clone();
+                // Fold a `path::to::NAME` prefix into the segment.
+                while base >= 2
+                    && toks[base - 1].is_punct("::")
+                    && toks[base - 2].kind == TokKind::Ident
+                {
+                    base -= 2;
+                    text = format!("{}::{}", toks[base].text, text);
+                }
+                segs.push(text);
+                if base >= 1 && toks[base - 1].is_punct(".") {
+                    j = base - 1;
+                } else {
+                    break;
+                }
+            }
+            t if t.is_punct(")") || t.is_punct("]") => {
+                // A call/index result: skip its balanced brackets and the
+                // method name, without contributing a segment.
+                let Some(open) = matching_open(toks, k) else {
+                    break;
+                };
+                let Some(m) = open.checked_sub(1) else { break };
+                if toks[m].kind != TokKind::Ident {
+                    break;
+                }
+                if m >= 1 && toks[m - 1].is_punct(".") {
+                    j = m - 1;
+                } else {
+                    // Free call result (`helper().lock()`): identify by the
+                    // callee name, better than nothing.
+                    segs.push(toks[m].text.clone());
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    segs.reverse();
+    segs
+}
+
+/// Index of the opener matching the closer at `close`, scanning backwards.
+fn matching_open(toks: &[Token], close: usize) -> Option<usize> {
+    let (open_txt, close_txt) = match toks.get(close)?.text.as_str() {
+        ")" => ("(", ")"),
+        "]" => ("[", "]"),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for k in (0..=close).rev() {
+        let t = &toks[k];
+        if t.kind == TokKind::Punct {
+            if t.text == close_txt {
+                depth += 1;
+            } else if t.text == open_txt {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Stable identity of an acquisition: `self` becomes the enclosing `impl`
+/// type so same-named fields of different structs stay distinct.
+fn qualify(file: &SourceFile, tok_idx: usize, chain: &[String]) -> String {
+    let mut parts: Vec<&str> = chain.iter().map(String::as_str).collect();
+    if let Some(first) = parts.first_mut() {
+        if *first == "self" {
+            *first = file
+                .scope_tree
+                .enclosing_type_name(tok_idx)
+                .unwrap_or("Self");
+        }
+    }
+    parts.join("::")
+}
+
+/// One past the last token at which the guard from the acquisition at
+/// `tok_idx` is held: a `let`-bound guard runs to the end of the innermost
+/// enclosing block (or an earlier `drop(name)`); a temporary dies at its
+/// statement's `;`.
+fn held_span_end(file: &SourceFile, tok_idx: usize) -> usize {
+    let toks = &file.tokens;
+    // Statement start: nearest `;`, `{` or `}` before the acquisition.
+    let mut start = 0usize;
+    for k in (0..tok_idx).rev() {
+        if toks[k].kind == TokKind::Punct && matches!(toks[k].text.as_str(), ";" | "{" | "}") {
+            start = k + 1;
+            break;
+        }
+    }
+    let bound_name = toks.get(start).filter(|t| t.is_ident("let")).and_then(|_| {
+        let mut n = start + 1;
+        if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+            n += 1;
+        }
+        toks.get(n)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+    });
+    match bound_name {
+        Some(name) => {
+            let scope = file.scope_tree.innermost(tok_idx);
+            let block_end = file.scope_tree.scopes[scope].close;
+            // An explicit early `drop(name)` ends the span there.
+            for k in tok_idx..block_end.min(toks.len()) {
+                if toks[k].is_ident("drop")
+                    && toks.get(k + 1).is_some_and(|t| t.is_punct("("))
+                    && toks.get(k + 2).is_some_and(|t| t.is_ident(&name))
+                    && toks.get(k + 3).is_some_and(|t| t.is_punct(")"))
+                {
+                    return k;
+                }
+            }
+            block_end
+        }
+        None => {
+            // Temporary: held to the end of the statement.
+            let mut depth = 0i32;
+            for k in tok_idx..toks.len() {
+                let t = &toks[k];
+                if t.kind != TokKind::Punct {
+                    continue;
+                }
+                match t.text.as_str() {
+                    "{" | "(" | "[" => depth += 1,
+                    "}" | ")" | "]" => {
+                        depth -= 1;
+                        if depth < 0 {
+                            return k;
+                        }
+                    }
+                    ";" if depth <= 0 => return k,
+                    _ => {}
+                }
+            }
+            toks.len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::from_source("crates/graph/src/x.rs", src)
+    }
+
+    fn edges_of(src: &str) -> Vec<LockEdge> {
+        let f = file(src);
+        let names = declared_lock_names(&f);
+        file_edges(&f, &names)
+    }
+
+    const TWO_LOCKS: &str = "struct S { a: Mutex<()>, b: Mutex<()> }\n";
+
+    #[test]
+    fn declared_names_found_through_wrappers() {
+        let f = file(
+            "struct S { state: Mutex<u8> }\nstatic MAP: OnceLock<Mutex<Vec<u8>>> = OnceLock::new();\nstatic T: RwLock<u8> = RwLock::new(0);\n",
+        );
+        let names = declared_lock_names(&f);
+        assert!(names.contains("state"), "{names:?}");
+        assert!(names.contains("MAP"), "{names:?}");
+        assert!(names.contains("T"), "{names:?}");
+    }
+
+    #[test]
+    fn nested_acquisition_makes_edge() {
+        let src = format!(
+            "{TWO_LOCKS}impl S {{ fn f(&self) {{ let ga = self.a.lock(); let gb = self.b.lock(); }} }}"
+        );
+        let edges = edges_of(&src);
+        assert_eq!(edges.len(), 1, "{edges:?}");
+        assert_eq!(edges[0].held, "S::a");
+        assert_eq!(edges[0].acquired, "S::b");
+    }
+
+    #[test]
+    fn temporaries_do_not_overlap() {
+        let src = format!(
+            "{TWO_LOCKS}impl S {{ fn f(&self) {{ self.a.lock().push(1); self.b.lock().push(2); }} }}"
+        );
+        assert!(edges_of(&src).is_empty());
+    }
+
+    #[test]
+    fn early_drop_ends_held_span() {
+        let src = format!(
+            "{TWO_LOCKS}impl S {{ fn f(&self) {{ let ga = self.a.lock(); drop(ga); let gb = self.b.lock(); }} }}"
+        );
+        assert!(edges_of(&src).is_empty());
+    }
+
+    #[test]
+    fn read_write_only_counts_declared_locks() {
+        let src = "struct S { tbl: RwLock<u8> }\nimpl S { fn f(&self, io: &mut F) { let g = self.tbl.read(); io.read(); } }";
+        let f = file(src);
+        let names = declared_lock_names(&f);
+        // Only the RwLock read is an acquisition; `io.read()` is I/O, so no
+        // overlap edge forms even while `g` is held.
+        let edges = file_edges(&f, &names);
+        assert!(edges.is_empty(), "{edges:?}");
+    }
+
+    #[test]
+    fn cycle_is_reported_consistent_order_is_not() {
+        let src = format!(
+            "{TWO_LOCKS}impl S {{\n fn ab(&self) {{ let ga = self.a.lock(); let gb = self.b.lock(); }}\n fn ba(&self) {{ let gb = self.b.lock(); let ga = self.a.lock(); }}\n}}"
+        );
+        let findings = analyze(&edges_of(&src));
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == LOCK_ORDER));
+
+        let consistent = format!(
+            "{TWO_LOCKS}impl S {{\n fn ab(&self) {{ let ga = self.a.lock(); let gb = self.b.lock(); }}\n fn ab2(&self) {{ let ga = self.a.lock(); let gb = self.b.lock(); }}\n}}"
+        );
+        assert!(analyze(&edges_of(&consistent)).is_empty());
+    }
+
+    #[test]
+    fn same_field_name_in_different_types_does_not_alias() {
+        let src = "struct A { state: Mutex<u8> }\nstruct B { state: Mutex<u8> }\nimpl A { fn f(&self, b: &B) { let g = self.state.lock(); let h = b.state.lock(); } }\nimpl B { fn g(&self, a: &A) { let g = self.state.lock(); let h = a.state.lock(); } }";
+        // A::state → b::state and B::state → a::state: receiver bases differ
+        // (`b`/`a` locals vs impl types), so no false cycle forms.
+        let findings = analyze(&edges_of(src));
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn call_results_identify_by_base() {
+        let src = "static MAP: OnceLock<Mutex<u8>> = OnceLock::new();\nstatic AUX: OnceLock<Mutex<u8>> = OnceLock::new();\nfn f() { let g = MAP.get_or_init(init).lock(); let h = AUX.get_or_init(init).lock(); }";
+        let edges = edges_of(src);
+        assert_eq!(edges.len(), 1, "{edges:?}");
+        assert_eq!(edges[0].held, "MAP");
+        assert_eq!(edges[0].acquired, "AUX");
+    }
+}

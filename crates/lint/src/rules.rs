@@ -12,6 +12,9 @@
 //! | `error-hygiene` | public unit-returning fns must not panic on bad input |
 //! | `cast-truncation` | no lossy `as` numeric casts in result-affecting crates |
 //! | `pub-doc` | every public item in result-affecting crates carries a doc comment |
+//! | `unsafe-safety` | every `unsafe` block/fn/impl carries an adjacent `// SAFETY:` rationale |
+//! | `lock-order` | the workspace lock graph stays acyclic (see [`crate::locks`]) |
+//! | `nondeterminism` | no hash iteration / clock reads / thread-count branching in result paths |
 
 use crate::lexer::{TokKind, Token};
 use crate::report::Finding;
@@ -27,6 +30,9 @@ pub const RULE_NAMES: &[&str] = &[
     ERROR_HYGIENE,
     CAST_TRUNCATION,
     PUB_DOC,
+    UNSAFE_SAFETY,
+    LOCK_ORDER,
+    NONDETERMINISM,
     WAIVER_SYNTAX,
 ];
 
@@ -44,6 +50,13 @@ pub const ERROR_HYGIENE: &str = "error-hygiene";
 pub const CAST_TRUNCATION: &str = "cast-truncation";
 /// Rule id: undocumented public items in result-affecting crates.
 pub const PUB_DOC: &str = "pub-doc";
+/// Rule id: `unsafe` without an adjacent `// SAFETY:` rationale.
+pub const UNSAFE_SAFETY: &str = "unsafe-safety";
+/// Rule id: cyclic lock-acquisition order across the workspace.
+pub const LOCK_ORDER: &str = "lock-order";
+/// Rule id: run-to-run-variable behavior (hash iteration, clock reads,
+/// thread-count branching) in result-affecting crates.
+pub const NONDETERMINISM: &str = "nondeterminism";
 /// Rule id: malformed waiver annotations (always unwaivable).
 pub const WAIVER_SYNTAX: &str = "waiver-syntax";
 
@@ -94,10 +107,13 @@ pub fn run_all(file: &SourceFile, ctx: &WorkspaceCtx, out: &mut Vec<Finding>) {
     // Feature hygiene also applies to bin sources: a binary unconditionally
     // touching rayon would break the `--no-default-features` serial build.
     feature_hygiene(file, out);
+    // Unsafe code needs its rationale everywhere, binaries included.
+    unsafe_safety(file, out);
     if RESULT_AFFECTING.contains(&file.crate_name.as_str()) && file.kind == FileKind::Lib {
         determinism(file, out);
         cast_truncation(file, out);
         pub_doc(file, out);
+        nondeterminism(file, out);
     }
 }
 
@@ -596,6 +612,358 @@ fn pub_doc(file: &SourceFile, out: &mut Vec<Finding>) {
         }
         i = j + 1;
     }
+}
+
+/// `unsafe-safety`: every `unsafe` block, fn, impl or trait must carry an
+/// adjacent `// SAFETY:` comment with a non-empty rationale — same line, or
+/// in the contiguous comment block directly above (attribute lines are
+/// skipped, like `pub-doc` does). A doc comment with a `# Safety` section
+/// also satisfies the rule for `unsafe fn` declarations. An empty rationale
+/// (`// SAFETY:` with nothing after it) is its own finding.
+fn unsafe_safety(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let mut attr_lines = std::collections::BTreeSet::new();
+    for t in toks {
+        if t.kind == TokKind::Attr {
+            for l in t.line..=t.line + t.text.matches('\n').count() {
+                attr_lines.insert(l);
+            }
+        }
+    }
+    // Per-line comment coverage (block comments span several lines).
+    let mut comment_at = std::collections::BTreeMap::new();
+    for (ci, c) in file.comments.iter().enumerate() {
+        for l in c.line..=c.line + c.text.matches('\n').count() {
+            comment_at.insert(l, ci);
+        }
+    }
+    for (i, tok) in toks.iter().enumerate() {
+        if file.in_test_region(i) || !tok.is_ident("unsafe") {
+            continue;
+        }
+        let what = match toks.get(i + 1) {
+            Some(t) if t.is_punct("{") => "unsafe block",
+            Some(t) if t.is_ident("fn") => "unsafe fn",
+            Some(t) if t.is_ident("impl") => "unsafe impl",
+            Some(t) if t.is_ident("trait") => "unsafe trait",
+            Some(t) if t.is_ident("extern") => "unsafe extern",
+            _ => continue,
+        };
+        match safety_rationale(file, tok.line, &attr_lines, &comment_at) {
+            None => out.push(finding(
+                file,
+                UNSAFE_SAFETY,
+                tok.line,
+                format!(
+                    "{what} has no adjacent `// SAFETY:` comment; state the invariant that \
+                     makes it sound (same line or the comment block directly above)"
+                ),
+            )),
+            Some(rationale) if rationale.is_empty() => out.push(finding(
+                file,
+                UNSAFE_SAFETY,
+                tok.line,
+                format!(
+                    "{what} has a `// SAFETY:` comment with an empty rationale; say *why* \
+                     the invariant holds, not just that someone thought about it"
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+}
+
+/// The rationale text of the `SAFETY:` comment adjacent to `line`, if one
+/// exists: the text after `SAFETY:` plus any continuation comment lines
+/// between it and the `unsafe` itself. `None` when no adjacent comment
+/// mentions `SAFETY:` (or a doc `# Safety` section).
+fn safety_rationale(
+    file: &SourceFile,
+    line: usize,
+    attr_lines: &std::collections::BTreeSet<usize>,
+    comment_at: &std::collections::BTreeMap<usize, usize>,
+) -> Option<String> {
+    // Comment indices of the adjacent block, nearest-to-`unsafe` first:
+    // a trailing comment on the same line, then contiguous lines above.
+    let mut block: Vec<usize> = Vec::new();
+    if let Some(&ci) = comment_at.get(&line) {
+        block.push(ci);
+    }
+    let mut l = line.saturating_sub(1);
+    while l > 0 {
+        if attr_lines.contains(&l) {
+            l -= 1;
+            continue;
+        }
+        if let Some(&ci) = comment_at.get(&l) {
+            if block.last() != Some(&ci) {
+                block.push(ci);
+            }
+            l = file.comments[ci].line.saturating_sub(1);
+            continue;
+        }
+        break;
+    }
+    for (bi, &ci) in block.iter().enumerate() {
+        let c = &file.comments[ci];
+        if let Some(pos) = c.text.find("SAFETY:") {
+            let mut rationale = c.text[pos + "SAFETY:".len()..].trim().to_string();
+            // Continuation lines sit between the `SAFETY:` line and the
+            // `unsafe` itself — the earlier entries of `block`.
+            for &prior in block[..bi].iter().rev() {
+                let t = file.comments[prior].text.trim();
+                if !t.is_empty() {
+                    if !rationale.is_empty() {
+                        rationale.push(' ');
+                    }
+                    rationale.push_str(t);
+                }
+            }
+            return Some(rationale);
+        }
+        if c.doc && c.text.contains("# Safety") {
+            return Some("# Safety doc section".to_string());
+        }
+    }
+    None
+}
+
+/// Methods whose call on a hash container exposes its randomized order.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// `nondeterminism`: flags run-to-run-variable behavior in result-affecting
+/// library code that the coarser `determinism` rule cannot see — iteration
+/// over bindings *declared* as `HashMap`/`HashSet` (a keyed lookup is fine,
+/// walking the table is not), wall-clock reads (`Instant::now`,
+/// `.elapsed()`), thread identity (`ThreadId`, `thread::current`), and
+/// thread-count reads inside `if`/`while`/`match` conditions (a branch on
+/// pool width is exactly how "bit-identical at any thread count" breaks).
+/// `SystemTime` stays the `determinism` rule's finding to avoid doubles.
+fn nondeterminism(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let cond_spans = condition_spans(toks);
+    let in_cond = |i: usize| cond_spans.iter().any(|&(s, e)| i >= s && i < e);
+    let hash_bound = hash_container_names(toks);
+    for (i, tok) in toks.iter().enumerate() {
+        if file.in_test_region(i) || tok.kind != TokKind::Ident {
+            continue;
+        }
+        match tok.text.as_str() {
+            "Instant"
+                if next_is(toks, i, "::") && toks.get(i + 2).is_some_and(|t| t.is_ident("now")) =>
+            {
+                out.push(finding(
+                    file,
+                    NONDETERMINISM,
+                    tok.line,
+                    "`Instant::now()` reads the wall clock; results must not depend on time \
+                     (waive when the reading is diagnostics-only)"
+                        .to_string(),
+                ));
+            }
+            "elapsed" if prev_is(toks, i, ".") && next_is(toks, i, "(") => {
+                out.push(finding(
+                    file,
+                    NONDETERMINISM,
+                    tok.line,
+                    "`.elapsed()` is a wall-clock read; results must not depend on time \
+                     (waive when the reading is diagnostics-only)"
+                        .to_string(),
+                ));
+            }
+            "current_num_threads" | "available_parallelism" if in_cond(i) => {
+                out.push(finding(
+                    file,
+                    NONDETERMINISM,
+                    tok.line,
+                    format!(
+                        "branching on `{}` makes control flow depend on pool width; both \
+                         branches must stay bit-identical (waive with that proof)",
+                        tok.text
+                    ),
+                ));
+            }
+            "ThreadId" => {
+                out.push(finding(
+                    file,
+                    NONDETERMINISM,
+                    tok.line,
+                    "`ThreadId` values differ run to run; results keyed or ordered by \
+                     them are irreproducible"
+                        .to_string(),
+                ));
+            }
+            "current"
+                if prev_is(toks, i, "::")
+                    && toks
+                        .get(i.wrapping_sub(2))
+                        .is_some_and(|t| t.is_ident("thread")) =>
+            {
+                out.push(finding(
+                    file,
+                    NONDETERMINISM,
+                    tok.line,
+                    "`thread::current()` exposes thread identity; results must not depend \
+                     on which worker ran the task"
+                        .to_string(),
+                ));
+            }
+            m if HASH_ITER_METHODS.contains(&m)
+                && prev_is(toks, i, ".")
+                && next_is(toks, i, "(")
+                && toks
+                    .get(i.wrapping_sub(2))
+                    .is_some_and(|t| t.kind == TokKind::Ident && hash_bound.contains(&t.text)) =>
+            {
+                out.push(finding(
+                    file,
+                    NONDETERMINISM,
+                    tok.line,
+                    format!(
+                        "`.{m}()` on `{}` iterates a hash container in randomized order; \
+                         collect into a sorted structure first, or switch to `BTreeMap`",
+                        toks[i - 2].text
+                    ),
+                ));
+            }
+            "in" => {
+                // `for x in [&[mut]] NAME { .. }` over a hash binding.
+                let mut j = i + 1;
+                while toks
+                    .get(j)
+                    .is_some_and(|t| t.is_punct("&") || t.is_punct("&&") || t.is_ident("mut"))
+                {
+                    j += 1;
+                }
+                if let Some(name) = toks
+                    .get(j)
+                    .filter(|t| t.kind == TokKind::Ident && hash_bound.contains(&t.text))
+                {
+                    // Only a bare binding (next token opens the loop body);
+                    // `name.keys()` etc. is the method arm's job.
+                    if toks.get(j + 1).is_some_and(|t| t.is_punct("{")) {
+                        out.push(finding(
+                            file,
+                            NONDETERMINISM,
+                            tok.line,
+                            format!(
+                                "`for .. in {}` iterates a hash container in randomized \
+                                 order; iterate a sorted view instead",
+                                name.text
+                            ),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Token spans of `if`/`while`/`match` condition heads: from the keyword to
+/// the `{` opening the body (nesting-aware, so closure braces inside call
+/// arguments do not end the span early).
+fn condition_spans(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if !(tok.is_ident("if") || tok.is_ident("while") || tok.is_ident("match")) {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while let Some(t) = toks.get(j) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "{" => {
+                        if depth <= 0 {
+                            spans.push((i + 1, j));
+                            break;
+                        }
+                        depth += 1;
+                    }
+                    ";" if depth <= 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+    }
+    spans
+}
+
+/// Names *declared* as hash containers in this file: `let [mut] name =
+/// HashMap::..` bindings and `name: [Wrapper<..>]Hash{Map,Set}<..>` type
+/// ascriptions (fields, statics, params).
+fn hash_container_names(toks: &[Token]) -> std::collections::BTreeSet<String> {
+    let mut names = std::collections::BTreeSet::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if !(tok.is_ident("HashMap") || tok.is_ident("HashSet")) {
+            continue;
+        }
+        // Ascription: walk outward through path segments and wrapper
+        // generics to a `name :` introducer.
+        let mut j = i;
+        let mut ascribed = false;
+        loop {
+            while j >= 2 && toks[j - 1].is_punct("::") && toks[j - 2].kind == TokKind::Ident {
+                j -= 2;
+            }
+            let Some(k) = j.checked_sub(1) else { break };
+            if toks[k].is_punct(":") {
+                if let Some(name) = k
+                    .checked_sub(1)
+                    .and_then(|n| toks.get(n))
+                    .filter(|t| t.kind == TokKind::Ident)
+                {
+                    names.insert(name.text.clone());
+                    ascribed = true;
+                }
+                break;
+            } else if toks[k].is_punct("<")
+                && k >= 1
+                && toks.get(k - 1).is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                j = k - 1;
+            } else {
+                break;
+            }
+        }
+        if ascribed {
+            continue;
+        }
+        // Inferred binding: `let [mut] name = HashMap::new()` — scan back to
+        // the `let` within this statement.
+        for k in (0..i).rev() {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+                break;
+            }
+            if t.is_ident("let") {
+                let mut n = k + 1;
+                if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+                    n += 1;
+                }
+                if let Some(name) = toks.get(n).filter(|t| t.kind == TokKind::Ident) {
+                    names.insert(name.text.clone());
+                }
+                break;
+            }
+        }
+    }
+    names
 }
 
 /// `true` when the token before `i` is punctuation `p`.

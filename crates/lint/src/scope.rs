@@ -1,0 +1,543 @@
+//! A lexical brace/scope tree built over the token stream.
+//!
+//! The scope tree is the syntactic front-end the dataflow-aware rules
+//! (`unsafe-safety`, `lock-order`, `nondeterminism`) sit on: it resolves
+//! every balanced `{ … }` region into a typed node — function bodies with
+//! their names and `unsafe` qualifier, `impl` blocks with the implementing
+//! type, traits, structs, modules, `match` expressions, closures and plain
+//! blocks — without ever leaving the lexical world (no `syn`, fully
+//! offline, total on malformed input).
+//!
+//! Classification is *pending-keyword* based: while streaming tokens the
+//! builder remembers the most recent item keyword (`fn foo`, `impl Store`,
+//! `match`, a closure's closing `|`, a bare `unsafe`) and attaches it to the
+//! next `{`; a `;` discards the pending classification (`struct S;`,
+//! trait-method signatures). Stray closing braces are ignored rather than
+//! panicking, and an unterminated scope simply runs to the end of the
+//! token stream.
+//!
+//! Known approximations (documented so rule authors can trust the edges):
+//! a closure whose `{` is separated from its parameter pipes by an explicit
+//! return type (`|x| -> f64 { … }`) classifies as [`ScopeKind::Block`], and
+//! struct-literal braces (`Foo { x: 1 }`) also classify as `Block`. Neither
+//! affects the rules, which only rely on `Fn`/`Impl`/`Struct`/`Unsafe`
+//! nodes and on span containment.
+
+use crate::lexer::{TokKind, Token};
+use std::fmt::Write as _;
+
+/// What a `{ … }` region is, resolved lexically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// The whole file (token span `[0, len)`), parent of every top scope.
+    Root,
+    /// `mod name { … }` (inline module).
+    Mod(String),
+    /// `fn name(...) { … }`, with the `unsafe` qualifier recorded.
+    Fn {
+        /// Function name.
+        name: String,
+        /// `true` for `unsafe fn`.
+        is_unsafe: bool,
+    },
+    /// `impl [Trait for] Type { … }` with the implementing type's name.
+    Impl(String),
+    /// `trait Name { … }`.
+    Trait(String),
+    /// `struct Name { … }` (braced struct declarations only).
+    Struct(String),
+    /// `enum Name { … }`.
+    Enum(String),
+    /// `union Name { … }`.
+    Union(String),
+    /// `match scrutinee { … }`.
+    Match,
+    /// Closure body `|args| { … }` (including `move` closures).
+    Closure,
+    /// Bare `unsafe { … }` block.
+    Unsafe,
+    /// Any other brace region: `if`/`else`/loop bodies, plain blocks,
+    /// struct literals, match arms.
+    Block,
+}
+
+impl ScopeKind {
+    /// Short tag used by [`ScopeTree::dump`] golden files.
+    fn tag(&self) -> String {
+        match self {
+            ScopeKind::Root => "root".to_string(),
+            ScopeKind::Mod(n) => format!("mod {n}"),
+            ScopeKind::Fn { name, is_unsafe } => {
+                if *is_unsafe {
+                    format!("unsafe-fn {name}")
+                } else {
+                    format!("fn {name}")
+                }
+            }
+            ScopeKind::Impl(n) => format!("impl {n}"),
+            ScopeKind::Trait(n) => format!("trait {n}"),
+            ScopeKind::Struct(n) => format!("struct {n}"),
+            ScopeKind::Enum(n) => format!("enum {n}"),
+            ScopeKind::Union(n) => format!("union {n}"),
+            ScopeKind::Match => "match".to_string(),
+            ScopeKind::Closure => "closure".to_string(),
+            ScopeKind::Unsafe => "unsafe".to_string(),
+            ScopeKind::Block => "block".to_string(),
+        }
+    }
+}
+
+/// One node of the scope tree: a typed token span `[open, close]`.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    /// What this brace region is.
+    pub kind: ScopeKind,
+    /// Parent scope index (`None` only for the root).
+    pub parent: Option<usize>,
+    /// Token index of the opening `{` (0 for the root).
+    pub open: usize,
+    /// Token index of the matching `}`, or `tokens.len()` when the scope is
+    /// unterminated (runs to end of file).
+    pub close: usize,
+    /// 1-based line of the opening `{` (1 for the root).
+    pub start_line: usize,
+    /// 1-based line of the closing `}` (last token's line when
+    /// unterminated).
+    pub end_line: usize,
+}
+
+impl Scope {
+    /// `true` when token index `i` lies strictly inside the braces.
+    pub fn contains(&self, i: usize) -> bool {
+        i > self.open && i < self.close
+    }
+}
+
+/// The resolved scope tree of one file. `scopes[0]` is always the root.
+#[derive(Debug, Default)]
+pub struct ScopeTree {
+    /// Arena of scopes in opening order (pre-order).
+    pub scopes: Vec<Scope>,
+}
+
+impl ScopeTree {
+    /// Builds the tree from a token stream. Total: malformed input (stray
+    /// or missing braces) degrades to wider `Block` spans, never panics.
+    pub fn build(tokens: &[Token]) -> ScopeTree {
+        Builder::new(tokens).run()
+    }
+
+    /// Index of the innermost scope containing token `i` (the root when no
+    /// braced scope does).
+    pub fn innermost(&self, i: usize) -> usize {
+        // Pre-order means later matches are deeper; take the last hit.
+        let mut best = 0;
+        for (idx, s) in self.scopes.iter().enumerate().skip(1) {
+            if s.contains(i) {
+                best = idx;
+            }
+        }
+        best
+    }
+
+    /// The innermost enclosing `Fn` scope of token `i`, if any.
+    pub fn enclosing_fn(&self, i: usize) -> Option<usize> {
+        self.ancestor_matching(i, |k| matches!(k, ScopeKind::Fn { .. }))
+    }
+
+    /// The name of the innermost enclosing `impl` (or, failing that,
+    /// `struct`/`trait`) of token `i`, if any — used to qualify `self.…`
+    /// lock receivers.
+    pub fn enclosing_type_name(&self, i: usize) -> Option<&str> {
+        let idx = self.ancestor_matching(i, |k| {
+            matches!(
+                k,
+                ScopeKind::Impl(_) | ScopeKind::Struct(_) | ScopeKind::Trait(_)
+            )
+        })?;
+        match &self.scopes[idx].kind {
+            ScopeKind::Impl(n) | ScopeKind::Struct(n) | ScopeKind::Trait(n) => Some(n.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The innermost scope at or above token `i` whose kind matches `pred`.
+    pub fn ancestor_matching<F: Fn(&ScopeKind) -> bool>(&self, i: usize, pred: F) -> Option<usize> {
+        let mut cur = self.innermost(i);
+        loop {
+            if pred(&self.scopes[cur].kind) {
+                return Some(cur);
+            }
+            cur = self.scopes[cur].parent?;
+        }
+    }
+
+    /// Indices of every `Fn` scope, in source order.
+    pub fn functions(&self) -> impl Iterator<Item = usize> + '_ {
+        self.scopes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.kind, ScopeKind::Fn { .. }))
+            .map(|(i, _)| i)
+    }
+
+    /// Renders the tree as indented text for golden-file tests:
+    /// one `<tag> [open..close] L<start>-<end>` line per scope.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.dump_node(0, 0, &mut out);
+        out
+    }
+
+    fn dump_node(&self, idx: usize, depth: usize, out: &mut String) {
+        let s = &self.scopes[idx];
+        let _ = writeln!(
+            out,
+            "{:indent$}{} [{}..{}] L{}-{}",
+            "",
+            s.kind.tag(),
+            s.open,
+            s.close,
+            s.start_line,
+            s.end_line,
+            indent = depth * 2
+        );
+        for (child, c) in self.scopes.iter().enumerate() {
+            if c.parent == Some(idx) {
+                self.dump_node(child, depth + 1, out);
+            }
+        }
+    }
+}
+
+/// Keywords that never name an impl'd type in an `impl` header.
+fn is_header_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "for" | "where" | "dyn" | "unsafe" | "const" | "mut" | "ref" | "as" | "impl"
+    )
+}
+
+struct Builder<'a> {
+    tokens: &'a [Token],
+    scopes: Vec<Scope>,
+    stack: Vec<usize>,
+    /// Classification awaiting its `{`.
+    pending: Option<ScopeKind>,
+    /// A bare `unsafe` qualifier seen but not yet attached.
+    saw_unsafe: bool,
+    /// Inside closure parameter pipes (`|here|`).
+    in_closure_params: bool,
+}
+
+impl<'a> Builder<'a> {
+    fn new(tokens: &'a [Token]) -> Self {
+        let root = Scope {
+            kind: ScopeKind::Root,
+            parent: None,
+            open: 0,
+            close: tokens.len(),
+            start_line: 1,
+            end_line: tokens.last().map_or(1, |t| t.line),
+        };
+        Builder {
+            tokens,
+            scopes: vec![root],
+            stack: vec![0],
+            pending: None,
+            saw_unsafe: false,
+            in_closure_params: false,
+        }
+    }
+
+    fn run(mut self) -> ScopeTree {
+        for i in 0..self.tokens.len() {
+            let tok = &self.tokens[i];
+            match tok.kind {
+                TokKind::Ident => self.on_ident(i),
+                TokKind::Punct => self.on_punct(i),
+                _ => {}
+            }
+        }
+        // Unterminated scopes run to end of stream (root already does).
+        ScopeTree {
+            scopes: self.scopes,
+        }
+    }
+
+    fn next_ident(&self, i: usize) -> Option<String> {
+        self.tokens
+            .get(i + 1)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+    }
+
+    fn on_ident(&mut self, i: usize) {
+        let text = self.tokens[i].text.as_str();
+        // An item keyword only classifies at item position: once a
+        // classification is pending, later keywords in the same header
+        // (`for` in `impl Trait for Type`, `impl` in `fn f() -> impl
+        // Iterator`, `fn` in a `fn(..)`-pointer parameter) must not
+        // reclassify the upcoming brace. `unsafe` is exempt — it both
+        // qualifies (`unsafe fn`) and opens blocks of its own.
+        if self.pending.is_some() && text != "unsafe" {
+            return;
+        }
+        match text {
+            "fn" => {
+                self.pending = Some(ScopeKind::Fn {
+                    name: self.next_ident(i).unwrap_or_else(|| "<anon>".to_string()),
+                    is_unsafe: std::mem::take(&mut self.saw_unsafe),
+                });
+            }
+            "impl" => {
+                self.saw_unsafe = false;
+                self.pending = Some(ScopeKind::Impl(self.impl_type_name(i)));
+            }
+            "trait" => {
+                self.saw_unsafe = false;
+                self.pending = Some(ScopeKind::Trait(
+                    self.next_ident(i).unwrap_or_else(|| "<anon>".to_string()),
+                ));
+            }
+            "struct" => {
+                self.pending = Some(ScopeKind::Struct(
+                    self.next_ident(i).unwrap_or_else(|| "<anon>".to_string()),
+                ));
+            }
+            "enum" => {
+                self.pending = Some(ScopeKind::Enum(
+                    self.next_ident(i).unwrap_or_else(|| "<anon>".to_string()),
+                ));
+            }
+            // `union` is contextual: only a declaration when followed by a
+            // name and then `{` or generics.
+            "union"
+                if self.next_ident(i).is_some()
+                    && self
+                        .tokens
+                        .get(i + 2)
+                        .is_some_and(|t| t.is_punct("{") || t.is_punct("<")) =>
+            {
+                self.pending = Some(ScopeKind::Union(
+                    self.next_ident(i).unwrap_or_else(|| "<anon>".to_string()),
+                ));
+            }
+            "mod" => {
+                self.pending = Some(ScopeKind::Mod(
+                    self.next_ident(i).unwrap_or_else(|| "<anon>".to_string()),
+                ));
+            }
+            "match" => self.pending = Some(ScopeKind::Match),
+            "unsafe" => {
+                self.saw_unsafe = true;
+                if self.pending.is_none() && self.tokens.get(i + 1).is_some_and(|t| t.is_punct("{"))
+                {
+                    self.pending = Some(ScopeKind::Unsafe);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_punct(&mut self, i: usize) {
+        let text = self.tokens[i].text.as_str();
+        match text {
+            "{" => {
+                let kind = self.pending.take().unwrap_or(ScopeKind::Block);
+                self.saw_unsafe = false;
+                self.in_closure_params = false;
+                let parent = self.stack.last().copied().unwrap_or(0);
+                let line = self.tokens[i].line;
+                self.scopes.push(Scope {
+                    kind,
+                    parent: Some(parent),
+                    open: i,
+                    close: self.tokens.len(),
+                    start_line: line,
+                    end_line: self.tokens.last().map_or(line, |t| t.line),
+                });
+                self.stack.push(self.scopes.len() - 1);
+            }
+            // Never pop the root: stray closers are ignored.
+            "}" if self.stack.len() > 1 => {
+                let idx = self.stack.pop().unwrap_or(0);
+                self.scopes[idx].close = i;
+                self.scopes[idx].end_line = self.tokens[i].line;
+            }
+            ";" => {
+                self.pending = None;
+                self.saw_unsafe = false;
+                self.in_closure_params = false;
+            }
+            "|" => {
+                if self.in_closure_params {
+                    self.in_closure_params = false;
+                    self.pending = Some(ScopeKind::Closure);
+                } else if self.closure_opener(i) {
+                    self.in_closure_params = true;
+                }
+            }
+            // Zero-argument closure `|| { … }` lexes as one `||` token.
+            "||" if self.closure_opener(i) => {
+                self.pending = Some(ScopeKind::Closure);
+            }
+            _ => {}
+        }
+    }
+
+    /// `true` when a `|` at token `i` starts closure parameters rather than
+    /// acting as binary/bitwise or: it follows an expression *opener*.
+    fn closure_opener(&self, i: usize) -> bool {
+        let Some(prev) = i.checked_sub(1).and_then(|p| self.tokens.get(p)) else {
+            return true; // file starts with a closure
+        };
+        match prev.kind {
+            TokKind::Punct => matches!(
+                prev.text.as_str(),
+                "(" | "," | "=" | "{" | ";" | "=>" | ":" | "&" | "&&" | "[" | "|" | "||"
+            ),
+            TokKind::Ident => matches!(prev.text.as_str(), "move" | "return" | "else" | "in"),
+            _ => false,
+        }
+    }
+
+    /// Resolves the implementing type of an `impl` header starting at token
+    /// `i`: the first depth-0 identifier after `for` when present
+    /// (`impl Trait for Type`), else the first depth-0 identifier
+    /// (`impl<T> Type<T>`). Angle-bracket depth is tracked so generic
+    /// parameters never masquerade as the type.
+    fn impl_type_name(&self, i: usize) -> String {
+        let mut depth = 0i32;
+        let mut first: Option<&str> = None;
+        let mut after_for: Option<&str> = None;
+        let mut saw_for = false;
+        let mut j = i + 1;
+        while let Some(t) = self.tokens.get(j) {
+            match t.kind {
+                TokKind::Punct => match t.text.as_str() {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    "{" | ";" => break,
+                    _ => {}
+                },
+                TokKind::Ident if depth == 0 => {
+                    if t.text == "for" {
+                        saw_for = true;
+                    } else if t.text == "where" {
+                        break;
+                    } else if !is_header_keyword(&t.text) {
+                        if saw_for {
+                            if after_for.is_none() {
+                                after_for = Some(&t.text);
+                            }
+                        } else {
+                            // Keep the *last* pre-`for` ident so trait paths
+                            // (`fmt::Display`) resolve to their final
+                            // segment before `for` overrides them anyway.
+                            first = Some(&t.text);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        after_for.or(first).unwrap_or("<anon>").to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> ScopeTree {
+        ScopeTree::build(&lex(src).tokens)
+    }
+
+    fn kinds(src: &str) -> Vec<String> {
+        tree(src).scopes.iter().map(|s| s.kind.tag()).collect()
+    }
+
+    #[test]
+    fn fn_and_nested_blocks() {
+        let t = kinds("fn f() { if x { g(); } }");
+        assert_eq!(t, vec!["root", "fn f", "block"]);
+    }
+
+    #[test]
+    fn unsafe_fn_and_unsafe_block() {
+        let t = kinds("unsafe fn f() { unsafe { ptr.read() } }");
+        assert_eq!(t, vec!["root", "unsafe-fn f", "unsafe"]);
+    }
+
+    #[test]
+    fn impl_with_trait_for() {
+        let t = kinds("impl fmt::Display for Store { fn fmt(&self) {} }");
+        assert_eq!(t, vec!["root", "impl Store", "fn fmt"]);
+    }
+
+    #[test]
+    fn impl_with_generics() {
+        let t = kinds("impl<T: Clone> Queue<T> { fn pop(&mut self) -> T { loop {} } }");
+        assert_eq!(t, vec!["root", "impl Queue", "fn pop", "block"]);
+    }
+
+    #[test]
+    fn closures_classified() {
+        let t = kinds("fn f() { let g = |x| { x + 1 }; v.map(|| { 0 }); }");
+        assert_eq!(t, vec!["root", "fn f", "closure", "closure"]);
+    }
+
+    #[test]
+    fn match_and_arms() {
+        let t = kinds("fn f(x: u8) { match x { 0 => { a() } _ => b(), } }");
+        assert_eq!(t, vec!["root", "fn f", "match", "block"]);
+    }
+
+    #[test]
+    fn struct_enum_mod_trait() {
+        let t = kinds("mod m { struct S { x: u8 } enum E { A } trait T { fn f(&self); } }");
+        assert_eq!(t, vec!["root", "mod m", "struct S", "enum E", "trait T"]);
+    }
+
+    #[test]
+    fn unit_struct_does_not_leak_onto_next_brace() {
+        let t = kinds("struct S;\nfn f() {}");
+        assert_eq!(t, vec!["root", "fn f"]);
+    }
+
+    #[test]
+    fn enclosing_lookups() {
+        let src = "impl Store { fn get(&self) { let x = self.state; } }";
+        let t = tree(src);
+        let lexed = lex(src);
+        let state_idx = lexed
+            .tokens
+            .iter()
+            .position(|tk| tk.is_ident("state"))
+            .expect("tokenized");
+        let f = t.enclosing_fn(state_idx).expect("inside fn");
+        assert!(matches!(&t.scopes[f].kind, ScopeKind::Fn { name, .. } if name == "get"));
+        assert_eq!(t.enclosing_type_name(state_idx), Some("Store"));
+    }
+
+    #[test]
+    fn stray_and_missing_braces_are_total() {
+        tree("} } fn f() { {");
+        tree("{ { {");
+        let t = tree("fn f() { unterminated");
+        assert_eq!(t.scopes.len(), 2);
+        assert_eq!(t.scopes[1].close, lex("fn f() { unterminated").tokens.len());
+    }
+
+    #[test]
+    fn dump_is_stable() {
+        let d = tree("fn f() { if x { } }").dump();
+        assert!(d.starts_with("root [0.."), "{d}");
+        assert!(d.contains("\n  fn f ["), "{d}");
+        assert!(d.contains("\n    block ["), "{d}");
+    }
+}

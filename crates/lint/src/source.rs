@@ -8,6 +8,7 @@
 //! balanced `{ ... }` block.
 
 use crate::lexer::{self, Comment, TokKind, Token};
+use crate::scope::ScopeTree;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -64,6 +65,9 @@ pub struct SourceFile {
     /// Token spans governed by `#[cfg(...)]` attributes that mention a
     /// feature, with the attribute text.
     pub cfg_regions: Vec<CfgRegion>,
+    /// The brace/scope tree (functions, impls, unsafe blocks, …) the
+    /// dataflow-aware rules walk.
+    pub scope_tree: ScopeTree,
 }
 
 impl SourceFile {
@@ -101,6 +105,7 @@ impl SourceFile {
                 span,
             })
             .collect();
+        let scope_tree = ScopeTree::build(&tokens);
         SourceFile {
             rel_path: rel_path.to_string(),
             crate_name,
@@ -110,6 +115,7 @@ impl SourceFile {
             lines: source.lines().map(str::to_string).collect(),
             test_regions,
             cfg_regions,
+            scope_tree,
         }
     }
 
@@ -136,10 +142,14 @@ impl SourceFile {
     }
 }
 
-/// `#[cfg(test)]` (with arbitrary spacing), but not `#[cfg(feature = ...)]`.
+/// `#[cfg(test)]` (with arbitrary spacing), including compound forms like
+/// `#[cfg(any(test, ..))]` and `#[cfg(all(test, feature = ".."))]`, but not
+/// `#[cfg(feature = ...)]`.
 fn attr_is_cfg_test(attr: &str) -> bool {
     let squeezed: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
-    squeezed.contains("cfg(test)") || squeezed.contains("cfg(any(test")
+    squeezed.contains("cfg(test)")
+        || squeezed.contains("cfg(any(test")
+        || squeezed.contains("cfg(all(test")
 }
 
 /// Crate name from a workspace-relative path (`crates/graph/src/... →

@@ -105,6 +105,14 @@ impl WaiverSet {
             .find(|w| w.rules.iter().any(|r| r == rule))
     }
 
+    /// Iterates every valid waiver with the line it applies to, so the
+    /// driver can report waivers that suppress nothing (stale waivers).
+    pub fn entries(&self) -> impl Iterator<Item = (usize, &Waiver)> {
+        self.by_line
+            .iter()
+            .flat_map(|(&line, ws)| ws.iter().map(move |w| (line, w)))
+    }
+
     /// Total number of parsed (valid) waivers.
     pub fn len(&self) -> usize {
         self.by_line.values().map(Vec::len).sum()
@@ -223,5 +231,52 @@ mod tests {
         let w = WaiverSet::collect(&f);
         assert!(w.lookup("no-panic-in-lib", 1).is_some());
         assert!(w.lookup("determinism", 1).is_some());
+    }
+
+    #[test]
+    fn block_comment_waiver_with_multiline_reason() {
+        let f = file(
+            "x.unwrap(); /* cirstag-lint: allow(no-panic-in-lib) -- reason line one\n   and line two */\n",
+        );
+        let w = WaiverSet::collect(&f);
+        assert!(w.errors.is_empty(), "{:?}", w.errors);
+        let waiver = w.lookup("no-panic-in-lib", 1).expect("waiver parsed");
+        assert!(waiver.reason.contains("line one"));
+        assert!(waiver.reason.contains("line two"));
+    }
+
+    #[test]
+    fn trailing_whitespace_around_annotation_is_tolerated() {
+        let f = file(
+            "x.unwrap(); // cirstag-lint: allow( no-panic-in-lib , determinism ) -- reason text   \n",
+        );
+        let w = WaiverSet::collect(&f);
+        assert!(w.errors.is_empty(), "{:?}", w.errors);
+        assert!(w.lookup("no-panic-in-lib", 1).is_some());
+        assert!(w.lookup("determinism", 1).is_some());
+        let reason = &w.lookup("determinism", 1).expect("waiver").reason;
+        assert_eq!(reason, "reason text", "reason must be trimmed");
+    }
+
+    #[test]
+    fn standalone_waiver_on_last_line_applies_to_its_own_line() {
+        // No code follows, so the waiver can suppress nothing; attaching it
+        // to its own line lets the stale-waiver pass report it there.
+        let f = file("fn f() {}\n// cirstag-lint: allow(no-panic-in-lib) -- dangling\n");
+        let w = WaiverSet::collect(&f);
+        assert!(w.errors.is_empty(), "{:?}", w.errors);
+        assert!(w.lookup("no-panic-in-lib", 2).is_some());
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_error_names_the_rule_and_the_known_set() {
+        let f = file("x.unwrap(); // cirstag-lint: allow(no-panics) -- typo'd rule name\n");
+        let w = WaiverSet::collect(&f);
+        assert!(w.is_empty());
+        assert_eq!(w.errors.len(), 1);
+        let msg = &w.errors[0].message;
+        assert!(msg.contains("unknown rule `no-panics`"), "{msg}");
+        assert!(msg.contains("no-panic-in-lib"), "{msg}");
     }
 }

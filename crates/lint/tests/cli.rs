@@ -1,0 +1,115 @@
+//! End-to-end parity test for the `cirstag-lint` binary: the human and
+//! `--json` output modes must agree on the finding set and the exit code.
+//!
+//! The binary is exercised against synthetic workspaces assembled in the
+//! test's temp directory from the fixture corpus, so the test never depends
+//! on the state of the real repository.
+
+use cirstag_lint::report::LintReport;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Builds `<tmp>/cirstag-lint-cli-<pid>-<tag>/crates/graph/src/lib.rs`
+/// holding `contents` and returns the workspace root. `crates/graph` keeps
+/// every rule applicable (result-affecting, Lib classification).
+fn temp_workspace(tag: &str, contents: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("cirstag-lint-cli-{}-{tag}", std::process::id()));
+    let src = root.join("crates/graph/src");
+    fs::create_dir_all(&src).expect("create temp workspace");
+    fs::write(src.join("lib.rs"), contents).expect("write temp lib.rs");
+    root
+}
+
+fn fixture(dir: &str, name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(dir)
+        .join(name);
+    fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+fn run_binary(root: &Path, json: bool) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_cirstag-lint"));
+    cmd.arg("--no-report").arg("--root").arg(root);
+    if json {
+        cmd.arg("--json");
+    }
+    cmd.output().expect("spawn cirstag-lint")
+}
+
+/// Active findings as `(file, line, rule)` keys from the `--json` report.
+fn json_keys(stdout: &[u8]) -> BTreeSet<(String, usize, String)> {
+    let text = String::from_utf8(stdout.to_vec()).expect("json output is UTF-8");
+    let report: LintReport = serde_json::from_str(&text).expect("stdout parses as a LintReport");
+    report
+        .active_findings()
+        .map(|f| (f.file.clone(), f.line, f.rule.clone()))
+        .collect()
+}
+
+/// Active findings as `(file, line, rule)` keys from the human output, whose
+/// finding lines read `path:line: [rule] message` (snippet and summary lines
+/// are indented or prefixed with `cirstag-lint:`).
+fn human_keys(stdout: &[u8]) -> BTreeSet<(String, usize, String)> {
+    let text = String::from_utf8(stdout.to_vec()).expect("human output is UTF-8");
+    let mut keys = BTreeSet::new();
+    for line in text.lines() {
+        if line.starts_with(char::is_whitespace) || line.starts_with("cirstag-lint:") {
+            continue;
+        }
+        let (loc, rest) = line.split_once(": [").expect("finding line shape");
+        let (file, line_no) = loc.rsplit_once(':').expect("path:line prefix");
+        let (rule, _msg) = rest.split_once(']').expect("[rule] tag");
+        keys.insert((
+            file.to_string(),
+            line_no.parse().expect("numeric line"),
+            rule.to_string(),
+        ));
+    }
+    keys
+}
+
+#[test]
+fn json_and_human_modes_agree_on_findings_and_exit_code() {
+    let root = temp_workspace("violations", &fixture("violations", "no_panic.rs"));
+    let human = run_binary(&root, false);
+    let json = run_binary(&root, true);
+    let _ = fs::remove_dir_all(&root);
+
+    assert_eq!(human.status.code(), Some(1), "human mode fails on findings");
+    assert_eq!(json.status.code(), Some(1), "json mode fails on findings");
+
+    let hk = human_keys(&human.stdout);
+    let jk = json_keys(&json.stdout);
+    assert!(!jk.is_empty(), "violation workspace produces findings");
+    assert_eq!(hk, jk, "both modes report the same (file, line, rule) set");
+}
+
+#[test]
+fn clean_workspace_exits_zero_in_both_modes() {
+    let root = temp_workspace("clean", &fixture("clean", "no_panic.rs"));
+    let human = run_binary(&root, false);
+    let json = run_binary(&root, true);
+    let _ = fs::remove_dir_all(&root);
+
+    assert_eq!(human.status.code(), Some(0), "{human:?}");
+    assert_eq!(json.status.code(), Some(0), "{json:?}");
+    assert!(human_keys(&human.stdout).is_empty());
+    assert!(json_keys(&json.stdout).is_empty());
+    // The human summary line is still printed on a clean run.
+    let text = String::from_utf8(human.stdout).expect("UTF-8");
+    assert!(text.contains("0 active finding(s)"), "{text}");
+}
+
+#[test]
+fn missing_root_is_a_usage_error() {
+    let root = std::env::temp_dir().join(format!(
+        "cirstag-lint-cli-{}-does-not-exist",
+        std::process::id()
+    ));
+    let out = run_binary(&root, false);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

@@ -173,6 +173,90 @@ fn pub_doc_clean_is_silent() {
 }
 
 #[test]
+fn unsafe_safety_violations_fire() {
+    let findings = lint_fixture("violations", "unsafe_safety.rs");
+    // Unjustified block, unsafe fn without `# Safety`, unsafe impl, and an
+    // empty rationale: four sites.
+    assert_eq!(
+        active(&findings, rules::UNSAFE_SAFETY).len(),
+        4,
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn unsafe_safety_clean_is_silent() {
+    let findings = lint_fixture("clean", "unsafe_safety.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn lock_order_violations_fire() {
+    let findings = lint_fixture("violations", "lock_order.rs");
+    // Both reversed acquisition sites of the lo/hi cycle are reported.
+    assert_eq!(
+        active(&findings, rules::LOCK_ORDER).len(),
+        2,
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn lock_order_clean_is_silent() {
+    let findings = lint_fixture("clean", "lock_order.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn nondeterminism_violations_fire() {
+    let findings = lint_fixture("violations", "nondeterminism.rs");
+    // Instant::now, .elapsed(), pool-width branch, ThreadId,
+    // thread::current, .keys() on a HashMap, `for .. in` a HashSet: seven.
+    assert_eq!(
+        active(&findings, rules::NONDETERMINISM).len(),
+        7,
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn nondeterminism_clean_is_silent() {
+    let findings = lint_fixture("clean", "nondeterminism.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn nondeterminism_only_applies_to_result_affecting_crates() {
+    // The same sources under cirstag-gnn (not result-affecting) must not
+    // trip the rule.
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/violations/nondeterminism.rs");
+    let src = fs::read_to_string(path).unwrap();
+    let file = SourceFile::from_source("crates/gnn/src/nondeterminism.rs", &src);
+    let findings = cirstag_lint::lint_file(&file, &WorkspaceCtx::default());
+    assert!(
+        active(&findings, rules::NONDETERMINISM).is_empty(),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn unsafe_safety_applies_even_outside_result_affecting_crates() {
+    // Unsafe hygiene is workspace-wide: the same sources under cirstag-gnn
+    // still fire.
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/violations/unsafe_safety.rs");
+    let src = fs::read_to_string(path).unwrap();
+    let file = SourceFile::from_source("crates/gnn/src/unsafe_safety.rs", &src);
+    let findings = cirstag_lint::lint_file(&file, &WorkspaceCtx::default());
+    assert_eq!(
+        active(&findings, rules::UNSAFE_SAFETY).len(),
+        4,
+        "{findings:#?}"
+    );
+}
+
+#[test]
 fn waiver_with_reason_is_honored() {
     let findings = lint_fixture("clean", "waived.rs");
     // The violation is still *reported* — waived, never silently dropped.

@@ -1,0 +1,30 @@
+//! Fixture: consistent acquisition order and an early `drop` keep the lock
+//! graph acyclic — textually reversed acquisitions are fine once the first
+//! guard is released.
+
+use std::sync::Mutex;
+
+/// A pair of counters guarded by separate locks.
+pub struct Pair {
+    lo: Mutex<u64>,
+    hi: Mutex<u64>,
+}
+
+impl Pair {
+    /// Sums under the canonical lo-then-hi order.
+    pub fn sum(&self) -> u64 {
+        let glo = self.lo.lock();
+        let ghi = self.hi.lock();
+        combine(&glo, &ghi)
+    }
+
+    /// Reads hi first but releases it before touching lo, so no hi→lo
+    /// hold-while-acquiring edge exists.
+    pub fn staged(&self) -> u64 {
+        let ghi = self.hi.lock();
+        let h = peek(&ghi);
+        drop(ghi);
+        let glo = self.lo.lock();
+        h + peek(&glo)
+    }
+}

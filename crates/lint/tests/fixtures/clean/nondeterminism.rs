@@ -1,0 +1,27 @@
+//! Fixture: the deterministic counterparts — sorted containers for
+//! iteration, pool width read outside any branch condition, and timing
+//! threaded in as data rather than read from the clock.
+
+use std::collections::BTreeMap;
+
+/// Iterating a `BTreeMap` is ordered; no finding.
+pub fn ordered_sum(scores: &BTreeMap<u64, u64>) -> u64 {
+    let mut acc = 0;
+    for (_k, v) in scores {
+        acc += v;
+    }
+    acc
+}
+
+/// Reading the pool width into data (not a branch condition) is allowed;
+/// chunk geometry is pinned by the caller-visible constant instead.
+pub fn plan_chunks(len: usize) -> usize {
+    let width = par::current_num_threads();
+    let _ = width;
+    len.div_ceil(64)
+}
+
+/// Durations arrive as data; nothing reads the clock here.
+pub fn throughput(items: u64, elapsed_secs: f64) -> f64 {
+    items as f64 / elapsed_secs.max(1e-9)
+}

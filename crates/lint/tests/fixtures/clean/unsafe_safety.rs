@@ -1,0 +1,38 @@
+//! Fixture: every `unsafe` construct carries its SAFETY rationale, in each
+//! accepted position — `# Safety` doc section, preceding comment block
+//! (skipping attribute lines), and trailing same-line comment.
+
+/// Reads the first byte behind `p`.
+///
+/// # Safety
+///
+/// `p` must be non-null, aligned, and valid for reads of one byte.
+pub unsafe fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: the caller upholds the validity contract documented above.
+    unsafe { *p }
+}
+
+/// Safe wrapper around a reference-derived pointer.
+pub fn read_checked(x: &u8) -> u8 {
+    let p: *const u8 = x;
+    // SAFETY: `p` was just derived from a live shared reference, so it is
+    // valid, aligned, and initialized for the duration of this read.
+    unsafe { *p }
+}
+
+/// Reads with the rationale trailing on the same line.
+pub fn read_trailing(x: &u8) -> u8 {
+    let p: *const u8 = x;
+    unsafe { *p } // SAFETY: derived from a live reference one line up.
+}
+
+/// Types whose all-zero byte pattern is a valid value.
+///
+/// # Safety
+///
+/// Implementors guarantee zeroed memory is a valid instance.
+pub unsafe trait Zeroable {}
+
+// SAFETY: all-zero bits are a valid u8 (the value 0).
+#[allow(dead_code)]
+unsafe impl Zeroable for u8 {}

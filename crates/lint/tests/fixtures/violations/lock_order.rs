@@ -1,0 +1,27 @@
+//! Fixture: two methods acquire the same two mutexes in opposite orders,
+//! closing a cycle in the lock graph — both reversed acquisition sites are
+//! reported.
+
+use std::sync::Mutex;
+
+/// A pair of counters guarded by separate locks.
+pub struct Pair {
+    lo: Mutex<u64>,
+    hi: Mutex<u64>,
+}
+
+impl Pair {
+    /// Sums under lo-then-hi.
+    pub fn sum_forward(&self) -> u64 {
+        let glo = self.lo.lock();
+        let ghi = self.hi.lock();
+        combine(&glo, &ghi)
+    }
+
+    /// Sums under hi-then-lo — the reversed order that closes the cycle.
+    pub fn sum_reverse(&self) -> u64 {
+        let ghi = self.hi.lock();
+        let glo = self.lo.lock();
+        combine(&glo, &ghi)
+    }
+}

@@ -1,0 +1,46 @@
+//! Fixture: nondeterministic constructs in result-affecting code — seven
+//! `nondeterminism` sites (the hash containers also trip the coarser
+//! `determinism` rule; this file pins only the dataflow-aware rule's count).
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Wall-clock readings flowing into a returned value.
+pub fn timed_sum(xs: &[u64]) -> (u64, f64) {
+    let t0 = Instant::now();
+    let total = xs.iter().sum();
+    let secs = t0.elapsed().as_secs_f64();
+    (total, secs)
+}
+
+/// Control flow branching on pool width.
+pub fn chunked_len(xs: &[u64]) -> usize {
+    if rayon::current_num_threads() > 1 {
+        xs.len() / 2
+    } else {
+        xs.len()
+    }
+}
+
+/// Results keyed by thread identity.
+pub fn worker_key() -> std::thread::ThreadId {
+    std::thread::current().id()
+}
+
+/// Hash-order iteration, method form.
+pub fn first_key() -> Option<u64> {
+    let mut scores: HashMap<u64, u64> = HashMap::new();
+    scores.insert(1, 2);
+    scores.keys().next().copied()
+}
+
+/// Hash-order iteration, `for` form.
+pub fn total() -> u64 {
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(3);
+    let mut acc = 0;
+    for v in seen {
+        acc += v;
+    }
+    acc
+}

@@ -1,0 +1,23 @@
+//! Fixture: `unsafe` without a SAFETY rationale — four sites.
+
+/// Reads through a raw pointer with no stated justification.
+pub fn read_unjustified(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// Documented, but without the section stating the caller contract, and
+/// the signature carries no rationale comment either.
+pub unsafe fn advance(p: *const u8) -> *const u8 {
+    p.wrapping_add(1)
+}
+
+/// Marker for byte-reinterpretable types.
+pub trait Pod {}
+
+unsafe impl Pod for u8 {}
+
+/// The annotation is present but the rationale after the colon is empty.
+pub fn read_empty_rationale(p: *const u8) -> u8 {
+    // SAFETY:
+    unsafe { *p }
+}

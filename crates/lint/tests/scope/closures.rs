@@ -1,0 +1,23 @@
+// Scope-tree fixture: closures in every position the builder's pipe-opener
+// heuristic must classify — assignment, argument, nested, and `move`.
+
+fn apply(f: impl Fn(usize) -> usize) -> usize {
+    f(1)
+}
+
+fn closures_everywhere(xs: &[usize]) -> usize {
+    let double = |x: usize| -> usize { x * 2 };
+    let captured = move |y: usize| {
+        let inner = |z: usize| -> usize { z + 1 };
+        inner(y) + double(y)
+    };
+    let folded = xs.iter().fold(0usize, |acc, &v| {
+        let bumped = captured(v);
+        acc + bumped
+    });
+    let braceless = xs.iter().map(|v| v + 1).count();
+    apply(|n| {
+        let m = n | folded;
+        m | braceless
+    })
+}

@@ -1,0 +1,36 @@
+// Scope-tree fixture: inherent impls, trait impls (`for` segment wins),
+// generic impls, and a path-qualified trait impl.
+
+pub struct Store {
+    items: Vec<usize>,
+}
+
+pub struct Wrapper<T> {
+    inner: T,
+}
+
+pub trait Describe {
+    fn describe(&self) -> String;
+}
+
+impl Store {
+    pub fn new() -> Store {
+        Store { items: Vec::new() }
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+impl<T> Describe for Wrapper<T> {
+    fn describe(&self) -> String {
+        String::from("wrapper")
+    }
+}
+
+impl core::fmt::Debug for Store {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Store").finish()
+    }
+}

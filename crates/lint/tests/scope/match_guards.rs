@@ -1,0 +1,32 @@
+// Scope-tree fixture: match scopes with guards, braced arms, and a nested
+// match in an arm body. Guards (`if` before `=>`) must not open scopes.
+
+fn classify(x: i64, flag: bool) -> &'static str {
+    match x {
+        0 if flag => "zero-flagged",
+        0 => "zero",
+        n if n < 0 => {
+            let m = -n;
+            if m > 10 {
+                "very negative"
+            } else {
+                "negative"
+            }
+        }
+        _ => match flag {
+            true => "positive-flagged",
+            false => "positive",
+        },
+    }
+}
+
+fn guard_with_method(x: Option<usize>) -> usize {
+    match x {
+        Some(v) if v.is_power_of_two() => v,
+        Some(v) => {
+            let doubled = v * 2;
+            doubled
+        }
+        None => 0,
+    }
+}

@@ -1,0 +1,26 @@
+// Scope-tree fixture: unsafe fns, unsafe traits/impls, and unsafe blocks —
+// including one nested inside a closure inside an unsafe block.
+
+pub unsafe trait Zeroable {}
+
+unsafe impl Zeroable for u64 {}
+
+pub unsafe fn read_first(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+fn wraps(p: *const u64) -> u64 {
+    let run = || {
+        unsafe {
+            let v = unsafe { read_first(p) };
+            v
+        }
+    };
+    run()
+}
+
+mod inner {
+    pub fn in_module(p: *const u8) -> u8 {
+        unsafe { *p }
+    }
+}

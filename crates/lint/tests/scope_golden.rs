@@ -1,0 +1,58 @@
+//! Golden-file pins for the scope-tree builder.
+//!
+//! Each fixture under `tests/scope/` is lexed and scope-resolved, and the
+//! indented [`ScopeTree::dump`] text is compared byte-for-byte against the
+//! committed `.golden` file next to it. Any change to the builder's
+//! classification (closure detection, impl-type resolution, match/unsafe
+//! handling) shows up as a readable tree diff here rather than as a silent
+//! behavior shift in the dataflow rules built on top.
+//!
+//! To regenerate after an intentional change:
+//! `BLESS_SCOPE_GOLDEN=1 cargo test -p cirstag-lint --test scope_golden`
+//! then review the `.golden` diff before committing.
+
+use cirstag_lint::lexer;
+use cirstag_lint::scope::ScopeTree;
+use std::path::PathBuf;
+
+fn check(name: &str) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/scope");
+    let src = std::fs::read_to_string(dir.join(format!("{name}.rs"))).expect("read fixture source");
+    let dump = ScopeTree::build(&lexer::lex(&src).tokens).dump();
+    let golden_path = dir.join(format!("{name}.golden"));
+    if std::env::var_os("BLESS_SCOPE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &dump).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e}; regenerate with BLESS_SCOPE_GOLDEN=1",
+            golden_path.display()
+        )
+    });
+    assert_eq!(
+        dump, golden,
+        "scope dump drifted for `{name}`; if intentional, regenerate with \
+         BLESS_SCOPE_GOLDEN=1 and review the .golden diff"
+    );
+}
+
+#[test]
+fn closures() {
+    check("closures");
+}
+
+#[test]
+fn impls() {
+    check("impls");
+}
+
+#[test]
+fn match_guards() {
+    check("match_guards");
+}
+
+#[test]
+fn nested_unsafe() {
+    check("nested_unsafe");
+}

@@ -171,6 +171,7 @@ fn run_client(cfg: &LoadConfig, client: usize, count: usize) -> ClientOutcome {
             continue;
         };
         outcome.sent += 1;
+        // cirstag-lint: allow(nondeterminism) -- load-generator latency measurement; client-side diagnostics only
         let t0 = Instant::now();
         let wrote = writer
             .write_all(line.as_bytes())
@@ -196,6 +197,7 @@ fn run_client(cfg: &LoadConfig, client: usize, count: usize) -> ClientOutcome {
             if resp.id != id {
                 continue; // stale line from a previous aborted exchange
             }
+            // cirstag-lint: allow(nondeterminism) -- load-generator latency measurement; client-side diagnostics only
             let elapsed = t0.elapsed().as_secs_f64() * 1e3;
             outcome.latencies_ms.push(elapsed);
             match resp.code {
@@ -234,6 +236,7 @@ fn percentile(sorted: &[f64], p: usize) -> f64 {
 pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ServeError> {
     let clients = cfg.clients.max(1);
     let total = cfg.requests;
+    // cirstag-lint: allow(nondeterminism) -- load-generator latency measurement; client-side diagnostics only
     let started = Instant::now();
     let mut handles = Vec::with_capacity(clients);
     for client in 0..clients {
@@ -260,6 +263,7 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ServeError> {
     report.p50_ms = percentile(&latencies, 50);
     report.p99_ms = percentile(&latencies, 99);
     report.max_ms = latencies.last().copied().unwrap_or(0.0);
+    // cirstag-lint: allow(nondeterminism) -- load-generator latency measurement; client-side diagnostics only
     report.wall_ms = started.elapsed().as_secs_f64() * 1e3;
     if cfg.shutdown {
         shutdown_daemon(&cfg.addr)?;

@@ -171,6 +171,7 @@ impl Server {
             workers: config.workers.max(1),
             base_best_effort: config.best_effort,
             default_deadline_ms: config.default_deadline_ms,
+            // cirstag-lint: allow(nondeterminism) -- request timing/deadline bookkeeping; responses carry it as diagnostics only
             started: Instant::now(),
         });
         Ok(Server { listener, shared })
@@ -250,6 +251,7 @@ impl Server {
             out,
             "cirstag serve drained after {}ms: {} received, {} completed, {} shed, \
              {} timeouts, {} failed, {} panics caught, {} workers respawned",
+            // cirstag-lint: allow(nondeterminism) -- request timing/deadline bookkeeping; responses carry it as diagnostics only
             millis(shared.started.elapsed()),
             read(&st.received),
             read(&st.completed),
@@ -412,6 +414,7 @@ fn dispatch(shared: &Arc<Shared>, req: Request, tx: &mpsc::Sender<Response>) {
                 request: req,
                 cancel,
                 responder: tx.clone(),
+                // cirstag-lint: allow(nondeterminism) -- request timing/deadline bookkeeping; responses carry it as diagnostics only
                 enqueued: Instant::now(),
             };
             match shared.queue.try_push(job) {
@@ -458,6 +461,7 @@ fn health_body(shared: &Shared) -> Value {
         ),
         (
             "uptime_ms".to_string(),
+            // cirstag-lint: allow(nondeterminism) -- request timing/deadline bookkeeping; responses carry it as diagnostics only
             Value::UInt(millis(shared.started.elapsed())),
         ),
     ])
@@ -466,6 +470,7 @@ fn health_body(shared: &Shared) -> Value {
 /// Executes one admitted job end to end and builds its response.
 fn handle_job(shared: &Shared, job: &Job) -> Response {
     let req = &job.request;
+    // cirstag-lint: allow(nondeterminism) -- request timing/deadline bookkeeping; responses carry it as diagnostics only
     let queue_wait = job.enqueued.elapsed();
     // Failpoint `serve/worker-panic`: drive the panic-isolation boundary
     // from chaos tests without corrupting real numeric state.
@@ -493,6 +498,7 @@ fn handle_job(shared: &Shared, job: &Job) -> Response {
     }
     let best_effort = forced || req.best_effort.unwrap_or(shared.base_best_effort);
     let config = analysis_config(&design, best_effort, &job.cancel);
+    // cirstag-lint: allow(nondeterminism) -- request timing/deadline bookkeeping; responses carry it as diagnostics only
     let started = Instant::now();
     match req.verb {
         Verb::Sweep => {
@@ -542,6 +548,7 @@ fn handle_job(shared: &Shared, job: &Job) -> Response {
                     ("queue_wait_ms".to_string(), Value::UInt(millis(queue_wait))),
                     (
                         "elapsed_ms".to_string(),
+                        // cirstag-lint: allow(nondeterminism) -- request timing/deadline bookkeeping; responses carry it as diagnostics only
                         Value::UInt(millis(started.elapsed())),
                     ),
                 ]),
@@ -687,6 +694,7 @@ fn analyze_body(
         ("queue_wait_ms".to_string(), Value::UInt(millis(queue_wait))),
         (
             "elapsed_ms".to_string(),
+            // cirstag-lint: allow(nondeterminism) -- request timing/deadline bookkeeping; responses carry it as diagnostics only
             Value::UInt(millis(started.elapsed())),
         ),
     ];

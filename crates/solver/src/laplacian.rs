@@ -395,6 +395,7 @@ impl LaplacianSolver {
     ) -> Result<(), SolverError> {
         loop {
             let rung = self.current_rung();
+            // cirstag-lint: allow(nondeterminism) -- solver wall-clock diagnostics only; recorded in FallbackEvent, not results
             let started = Instant::now();
             let attempt = match rung {
                 LadderRung::Dense => self.dense_solve_into(rhs, x),
@@ -437,6 +438,7 @@ impl LaplacianSolver {
             to: next,
             cause: err.to_string(),
             residual,
+            // cirstag-lint: allow(nondeterminism) -- solver wall-clock diagnostics only; recorded in FallbackEvent, not results
             elapsed_ms: u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
         });
         state.rung = next;
@@ -507,6 +509,7 @@ impl LaplacianSolver {
         let mut stats: Vec<CgStats> = Vec::with_capacity(k);
         let outcome = loop {
             let rung = self.current_rung();
+            // cirstag-lint: allow(nondeterminism) -- solver wall-clock diagnostics only; recorded in FallbackEvent, not results
             let started = Instant::now();
             let attempt = self.block_rung_attempt(
                 rung,
