@@ -49,6 +49,8 @@ echo "==> test suite"
 cargo test -q
 
 echo "==> test suite (validate + failpoints: engine audits and fault injection)"
+# Also re-runs the HNSW recall-vs-exact parity and determinism suite
+# (tests/knn_hnsw.rs) with the engine's self-audits enabled.
 cargo test -q --features validate,failpoints
 
 echo "==> simd feature (AVX2 kernels: clippy clean, bit-identical to scalar)"

@@ -10,6 +10,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use cirstag_embed::{HnswIndex, HnswParams};
 use cirstag_graph::Graph;
 use cirstag_linalg::{par, DenseMatrix};
 use cirstag_solver::{
@@ -139,6 +140,44 @@ fn warm_solver_iterations_are_allocation_free() {
         after - before,
         0,
         "warm conjugate_gradient_block_into allocated {} times",
+        after - before
+    );
+
+    // ---- HNSW search: HnswIndex::knn_into ---------------------------------
+    // One warm pass over every query grows the scratch arena (visited marks,
+    // both heaps) and the output vectors to their high-water marks; replaying
+    // the same queries must then be allocation-free.
+    let points = {
+        let mut data = Vec::with_capacity(400 * 4);
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..400 * 4 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            data.push((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5);
+        }
+        DenseMatrix::from_vec(400, 4, data).expect("points")
+    };
+    let params = HnswParams {
+        m: 8,
+        ef_construction: 48,
+        ef_search: 32,
+    };
+    let index = HnswIndex::build(&points, &params, 7).expect("hnsw build");
+    let mut scratch = index.scratch();
+    let mut outs: Vec<Vec<(usize, f64)>> = (0..400).map(|_| Vec::with_capacity(16)).collect();
+    for (q, out) in outs.iter_mut().enumerate() {
+        index.knn_into(&points, q, 8, params.ef_search, &mut scratch, out);
+    }
+    let before = allocations();
+    for (q, out) in outs.iter_mut().enumerate() {
+        index.knn_into(&points, q, 8, params.ef_search, &mut scratch, out);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "warm HnswIndex::knn_into allocated {} times",
         after - before
     );
 }

@@ -213,6 +213,29 @@ pub fn benchmark_suite() -> Vec<BenchmarkSpec> {
     ]
 }
 
+/// Stress designs beyond the paper's nine-benchmark ladder, sized for the
+/// neighbor-index benchmarks: pin counts run roughly 3× the gate count, so
+/// the largest entry crosses one million pins.
+pub fn stress_suite() -> Vec<BenchmarkSpec> {
+    vec![
+        BenchmarkSpec {
+            name: "syn_axi85k",
+            num_gates: 85_000,
+            seed: 110,
+        },
+        BenchmarkSpec {
+            name: "syn_gpu170k",
+            num_gates: 170_000,
+            seed: 111,
+        },
+        BenchmarkSpec {
+            name: "syn_chip340k",
+            num_gates: 340_000,
+            seed: 112,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +327,31 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn stress_suite_largest_crosses_a_million_pins() {
+        let suite = stress_suite();
+        assert!(suite.windows(2).all(|w| w[0].num_gates < w[1].num_gates));
+        let largest = suite.last().unwrap();
+        // Generating the full design is too slow for unit tests; instead pin
+        // down the pins-per-gate ratio on a scaled instance (the generator's
+        // fanin distribution is size-independent) and extrapolate.
+        let lib = CellLibrary::standard();
+        let cfg = GeneratorConfig {
+            num_gates: 4000,
+            ..Default::default()
+        };
+        let n = generate_circuit(&lib, &cfg, largest.seed).unwrap();
+        let tg = TimingGraph::new(&n, &lib).unwrap();
+        let ratio = tg.num_pins() as f64 / cfg.num_gates as f64;
+        assert!(ratio >= 3.0, "pins-per-gate ratio collapsed: {ratio}");
+        assert!(
+            largest.num_gates as f64 * ratio >= 1.0e6,
+            "largest stress design must reach one million pins \
+             ({} gates × {ratio:.2} pins/gate)",
+            largest.num_gates
+        );
     }
 
     #[test]

@@ -42,7 +42,9 @@ mod timing_graph;
 pub use cell::{Cell, CellId, CellKind, CellLibrary};
 pub use error::CircuitError;
 pub use features::{extract_features, FeatureConfig};
-pub use generator::{benchmark_suite, generate_circuit, BenchmarkSpec, GeneratorConfig};
+pub use generator::{
+    benchmark_suite, generate_circuit, stress_suite, BenchmarkSpec, GeneratorConfig,
+};
 pub use netlist::{CellInstance, Net, NetId, Netlist};
 pub use parser::{parse_netlist, write_netlist};
 pub use perturb::{perturb_pin_caps, CapPerturbation};

@@ -2,6 +2,38 @@
 
 use crate::CliError;
 
+/// Neighbor-search backend selected on the command line.
+///
+/// `Auto` keeps the size-based heuristic (exact below a few thousand pins,
+/// rp-forest above); the other variants force one backend with its default
+/// parameters regardless of circuit size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KnnChoice {
+    /// Pick per circuit size (default).
+    #[default]
+    Auto,
+    /// Exhaustive O(n²) search.
+    Exact,
+    /// Random-projection forest.
+    RpForest,
+    /// Hierarchical navigable small-world index.
+    Hnsw,
+}
+
+impl KnnChoice {
+    fn parse(s: &str) -> Result<KnnChoice, CliError> {
+        match s {
+            "auto" => Ok(KnnChoice::Auto),
+            "exact" => Ok(KnnChoice::Exact),
+            "rp-forest" => Ok(KnnChoice::RpForest),
+            "hnsw" => Ok(KnnChoice::Hnsw),
+            _ => Err(CliError::new(
+                "--knn expects one of auto, exact, rp-forest, hnsw",
+            )),
+        }
+    }
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -39,9 +71,12 @@ pub enum Command {
         /// Optional on-disk artifact-cache directory; repeated runs with the
         /// same inputs and config replay cached stage artifacts from here.
         cache_dir: Option<String>,
+        /// Neighbor-search backend for the Phase-2 manifold graphs.
+        knn: KnnChoice,
     },
     /// `cirstag sweep <netlist> [--dmd-s LIST] [--out reports.json]
-    /// [--epochs N] [--threads T] [--strict|--best-effort] [--cache-dir DIR]`
+    /// [--epochs N] [--threads T] [--strict|--best-effort] [--cache-dir DIR]
+    /// [--knn METHOD]`
     Sweep {
         /// Netlist path.
         netlist: String,
@@ -57,6 +92,8 @@ pub enum Command {
         best_effort: bool,
         /// Optional on-disk artifact-cache directory shared across the sweep.
         cache_dir: Option<String>,
+        /// Neighbor-search backend for the Phase-2 manifold graphs.
+        knn: KnnChoice,
     },
     /// `cirstag dot <netlist> [--scores report.json]`
     Dot {
@@ -127,11 +164,14 @@ USAGE:
                                                      exits 2 when degraded
                             [--cache-dir DIR]       persist stage artifacts and
                                                      replay them on re-runs
+                            [--knn METHOD]          Phase-2 neighbor search:
+                                                     auto (default), exact,
+                                                     rp-forest, or hnsw
   cirstag sweep <netlist> [--dmd-s 5,10,15,20,25]   analyze once per DMD
                           [--out reports.json]      subspace size s, replaying
                           [--epochs N] [--threads T] cached Phase-1/2 artifacts
                           [--strict|--best-effort]  across configs
-                          [--cache-dir DIR]
+                          [--cache-dir DIR] [--knn METHOD]
   cirstag dot <netlist> [--scores report.json]      Graphviz DOT of the pin graph
   cirstag serve [--addr 127.0.0.1:0] [--workers N]  resident analysis daemon
                 [--queue N] [--deadline-ms MS]      speaking NDJSON over TCP
@@ -212,6 +252,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut threads = 0usize;
             let mut best_effort = false;
             let mut cache_dir = None;
+            let mut knn = KnnChoice::Auto;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
@@ -221,6 +262,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--cache-dir" => {
                         cache_dir = Some(value(&rest, &mut i, "--cache-dir")?.to_string());
                     }
+                    "--knn" => knn = KnnChoice::parse(value(&rest, &mut i, "--knn")?)?,
                     "--threads" => {
                         threads = value(&rest, &mut i, "--threads")?
                             .parse()
@@ -253,6 +295,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 threads,
                 best_effort,
                 cache_dir,
+                knn,
             })
         }
         "sweep" => {
@@ -262,6 +305,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut threads = 0usize;
             let mut best_effort = false;
             let mut cache_dir = None;
+            let mut knn = KnnChoice::Auto;
             let mut dmd_s: Vec<usize> = vec![5, 10, 15, 20, 25];
             let mut i = 0;
             while i < rest.len() {
@@ -272,6 +316,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--cache-dir" => {
                         cache_dir = Some(value(&rest, &mut i, "--cache-dir")?.to_string());
                     }
+                    "--knn" => knn = KnnChoice::parse(value(&rest, &mut i, "--knn")?)?,
                     "--threads" => {
                         threads = value(&rest, &mut i, "--threads")?
                             .parse()
@@ -310,6 +355,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 threads,
                 best_effort,
                 cache_dir,
+                knn,
             })
         }
         "dot" => {
@@ -499,6 +545,7 @@ mod tests {
                 threads,
                 best_effort,
                 cache_dir,
+                knn,
             } => {
                 assert_eq!(netlist, "d.cir");
                 assert!(out.is_none());
@@ -507,6 +554,7 @@ mod tests {
                 assert_eq!(threads, 0);
                 assert!(!best_effort, "strict is the default policy");
                 assert!(cache_dir.is_none(), "caching is opt-in");
+                assert_eq!(knn, KnnChoice::Auto, "backend heuristic is the default");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -536,6 +584,7 @@ mod tests {
                 threads,
                 best_effort,
                 cache_dir,
+                knn,
             } => {
                 assert_eq!(netlist, "d.cir");
                 assert_eq!(dmd_s, vec![5, 10, 15, 20, 25]);
@@ -544,6 +593,7 @@ mod tests {
                 assert_eq!(threads, 0);
                 assert!(!best_effort);
                 assert!(cache_dir.is_none());
+                assert_eq!(knn, KnnChoice::Auto);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -560,6 +610,29 @@ mod tests {
         assert!(parse_args(&strs(&["sweep", "d.cir", "--dmd-s", "4,0"])).is_err());
         assert!(parse_args(&strs(&["sweep", "d.cir", "--dmd-s", ""])).is_err());
         assert!(parse_args(&strs(&["sweep", "d.cir", "--dmd-s"])).is_err());
+    }
+
+    #[test]
+    fn parses_knn_backend() {
+        for (token, want) in [
+            ("auto", KnnChoice::Auto),
+            ("exact", KnnChoice::Exact),
+            ("rp-forest", KnnChoice::RpForest),
+            ("hnsw", KnnChoice::Hnsw),
+        ] {
+            let cmd = parse_args(&strs(&["analyze", "d.cir", "--knn", token])).unwrap();
+            match cmd {
+                Command::Analyze { knn, .. } => assert_eq!(knn, want),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let cmd = parse_args(&strs(&["sweep", "d.cir", "--knn", "hnsw"])).unwrap();
+        match cmd {
+            Command::Sweep { knn, .. } => assert_eq!(knn, KnnChoice::Hnsw),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&strs(&["analyze", "d.cir", "--knn", "kdtree"])).is_err());
+        assert!(parse_args(&strs(&["analyze", "d.cir", "--knn"])).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Subcommand implementations.
 
-use crate::args::USAGE;
+use crate::args::{KnnChoice, USAGE};
 use crate::{CliError, Command};
 use cirstag::{analyze_sweep, ArtifactCache, CirStag, CirStagConfig, FailurePolicy, ReportExport};
 use cirstag_circuit::{
@@ -50,6 +50,7 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<RunStatus,
             threads,
             best_effort,
             cache_dir,
+            knn,
         } => analyze(
             netlist,
             report_path.as_deref(),
@@ -58,6 +59,7 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<RunStatus,
             *threads,
             *best_effort,
             cache_dir.as_deref(),
+            *knn,
             out,
         ),
         Command::Sweep {
@@ -68,6 +70,7 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<RunStatus,
             threads,
             best_effort,
             cache_dir,
+            knn,
         } => sweep(
             netlist,
             dmd_s,
@@ -76,6 +79,7 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<RunStatus,
             *threads,
             *best_effort,
             cache_dir.as_deref(),
+            *knn,
             out,
         ),
         Command::Dot { netlist, scores } => {
@@ -266,7 +270,7 @@ fn train_gnn(
 }
 
 /// The CLI's pipeline configuration for a given design size and policy.
-fn base_config(graph: &Graph, threads: usize, best_effort: bool) -> CirStagConfig {
+fn base_config(graph: &Graph, threads: usize, best_effort: bool, knn: KnnChoice) -> CirStagConfig {
     let mut config = CirStagConfig {
         embedding_dim: 16,
         num_eigenpairs: 25,
@@ -279,12 +283,21 @@ fn base_config(graph: &Graph, threads: usize, best_effort: bool) -> CirStagConfi
         },
         ..Default::default()
     };
-    if graph.num_nodes() > 3000 {
-        config.knn.method = KnnMethod::RpForest {
+    config.knn.method = match knn {
+        KnnChoice::Exact => KnnMethod::Exact,
+        KnnChoice::RpForest => KnnMethod::RpForest {
             num_trees: 6,
             leaf_size: 48,
-        };
-    }
+        },
+        KnnChoice::Hnsw => KnnMethod::hnsw_default(),
+        // Size heuristic: exhaustive search is cheap below a few thousand
+        // pins; larger designs default to the rp-forest backend.
+        KnnChoice::Auto if graph.num_nodes() > 3000 => KnnMethod::RpForest {
+            num_trees: 6,
+            leaf_size: 48,
+        },
+        KnnChoice::Auto => KnnMethod::Exact,
+    };
     config
 }
 
@@ -297,13 +310,14 @@ fn analyze(
     threads: usize,
     best_effort: bool,
     cache_dir: Option<&str>,
+    knn: KnnChoice,
     out: &mut dyn std::io::Write,
 ) -> Result<RunStatus, CliError> {
     let (library, netlist) = load(path)?;
     let timing = TimingGraph::new(&netlist, &library)?;
     let graph = timing.to_undirected_graph()?;
     let (features, embedding) = train_gnn(&timing, &netlist, &library, &graph, epochs, out)?;
-    let config = base_config(&graph, threads, best_effort);
+    let config = base_config(&graph, threads, best_effort, knn);
     let report = match cache_dir {
         None => CirStag::new(config).analyze(&graph, Some(&features), &embedding)?,
         Some(dir) => {
@@ -361,6 +375,7 @@ fn sweep(
     threads: usize,
     best_effort: bool,
     cache_dir: Option<&str>,
+    knn: KnnChoice,
     out: &mut dyn std::io::Write,
 ) -> Result<RunStatus, CliError> {
     let (library, netlist) = load(path)?;
@@ -371,7 +386,7 @@ fn sweep(
         .iter()
         .map(|&s| CirStagConfig {
             num_eigenpairs: s,
-            ..base_config(&graph, threads, best_effort)
+            ..base_config(&graph, threads, best_effort, knn)
         })
         .collect();
     let mut cache = ArtifactCache::new();
@@ -608,6 +623,7 @@ mod tests {
             threads: 2,
             best_effort: false,
             cache_dir: None,
+            knn: KnnChoice::Auto,
         })
         .unwrap();
         assert!(text.contains("most unstable"));
@@ -700,6 +716,7 @@ mod tests {
             threads: 1,
             best_effort: false,
             cache_dir: Some(cache.to_str().unwrap().to_string()),
+            knn: KnnChoice::Auto,
         })
         .unwrap();
         assert!(text.contains("sweep over DMD subspace size"));

@@ -18,7 +18,7 @@
 mod args;
 mod commands;
 
-pub use args::{parse_args, Command};
+pub use args::{parse_args, Command, KnnChoice};
 pub use commands::{run, RunStatus};
 
 /// Maps a completed run's status to the process exit code: `0` for

@@ -24,7 +24,7 @@
 //! yield exactly one compute and one replay.
 
 use crate::engine::fingerprint::{Fingerprint, Fingerprinter};
-use crate::FallbackEvent;
+use crate::{ApproxKnnRecord, FallbackEvent};
 use cirstag_graph::Graph;
 use cirstag_linalg::{fail, DenseMatrix};
 use cirstag_solver::GeneralizedEigen;
@@ -36,7 +36,7 @@ use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Schema tag written into every on-disk entry; bumped whenever the
 /// payload layout changes so stale files read as misses, not garbage.
-const DISK_SCHEMA: &str = "cirstag-artifact/v1";
+const DISK_SCHEMA: &str = "cirstag-artifact/v2";
 
 /// Suffix appended to a corrupt entry's file name when it is quarantined.
 const QUARANTINE_SUFFIX: &str = ".quarantined";
@@ -100,6 +100,8 @@ pub struct CachedArtifact {
     pub events: Vec<FallbackEvent>,
     /// Warnings the stage recorded when it was computed.
     pub warnings: Vec<String>,
+    /// Approximate-kNN records the stage emitted when it was computed.
+    pub knn: Vec<ApproxKnnRecord>,
 }
 
 /// An in-memory entry plus its LRU clock reading.
@@ -560,11 +562,13 @@ impl Serialize for CachedArtifact {
         let kind = self.payload.kind().to_value();
         let events = self.events.to_value();
         let warnings = self.warnings.to_value();
+        let knn = self.knn.to_value();
         let checksum = content_checksum(&[
             ("kind", &kind),
             ("payload", &payload),
             ("events", &events),
             ("warnings", &warnings),
+            ("knn", &knn),
         ]);
         Value::Object(vec![
             ("schema".to_string(), DISK_SCHEMA.to_value()),
@@ -573,6 +577,7 @@ impl Serialize for CachedArtifact {
             ("payload".to_string(), payload),
             ("events".to_string(), events),
             ("warnings".to_string(), warnings),
+            ("knn".to_string(), knn),
         ])
     }
 }
@@ -593,8 +598,8 @@ impl Deserialize for CachedArtifact {
         // write that truncated the JSON fails the parse above, but a flipped
         // byte inside a number would otherwise deserialize cleanly.
         let stored_checksum: String = v.field("checksum")?;
-        let mut checked = Vec::with_capacity(4);
-        for name in ["kind", "payload", "events", "warnings"] {
+        let mut checked = Vec::with_capacity(5);
+        for name in ["kind", "payload", "events", "warnings", "knn"] {
             let field = v
                 .get(name)
                 .ok_or_else(|| DeError::new(format!("cache entry missing `{name}`")))?;
@@ -632,6 +637,7 @@ impl Deserialize for CachedArtifact {
             payload,
             events: v.field("events")?,
             warnings: v.field("warnings")?,
+            knn: v.field("knn")?,
         })
     }
 }
@@ -660,6 +666,13 @@ mod tests {
                 elapsed_ms: 3,
             }],
             warnings: vec!["w".to_string()],
+            knn: vec![ApproxKnnRecord {
+                stage: "phase2/manifold-input".to_string(),
+                method: "hnsw".to_string(),
+                requested_k: 10,
+                min_candidates: 37,
+                mean_candidates: 52.5,
+            }],
         }
     }
 
@@ -697,6 +710,9 @@ mod tests {
         }
         assert_eq!(hit.events.len(), 1);
         assert_eq!(hit.warnings, vec!["w".to_string()]);
+        assert_eq!(hit.knn.len(), 1);
+        assert_eq!(hit.knn[0].method, "hnsw");
+        assert_eq!(hit.knn[0].mean_candidates.to_bits(), 52.5f64.to_bits());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -714,6 +730,7 @@ mod tests {
             }),
             events: vec![],
             warnings: vec![],
+            knn: vec![],
         };
         cache.store(key(9), entry);
         // Memory hit works; no disk file was produced.

@@ -223,6 +223,7 @@ impl<'c> Executor<'c> {
                     if let Some(hit) = hit {
                         ctx.diag.events.extend(hit.events);
                         ctx.diag.warnings.extend(hit.warnings);
+                        ctx.diag.approx_knn.extend(hit.knn);
                         self.hits += 1;
                         self.record(stage, STATUS_REPLAYED);
                         return Ok((Artifact::from_payload(hit.payload), key));
@@ -233,6 +234,7 @@ impl<'c> Executor<'c> {
                         ctx.diag.events.extend(disk_events);
                         ctx.diag.events.extend(hit.events);
                         ctx.diag.warnings.extend(hit.warnings);
+                        ctx.diag.approx_knn.extend(hit.knn);
                         self.hits += 1;
                         self.record(stage, STATUS_REPLAYED);
                         return Ok((Artifact::from_payload(hit.payload), key));
@@ -246,6 +248,7 @@ impl<'c> Executor<'c> {
         }
         let ev_mark = ctx.diag.events.len();
         let warn_mark = ctx.diag.warnings.len();
+        let knn_mark = ctx.diag.approx_knn.len();
         let artifact = stage.run(ctx, inputs)?;
         if !matches!(self.cache, CacheRef::None) {
             if cacheable {
@@ -254,6 +257,7 @@ impl<'c> Executor<'c> {
                         payload,
                         events: ctx.diag.events.get(ev_mark..).unwrap_or(&[]).to_vec(),
                         warnings: ctx.diag.warnings.get(warn_mark..).unwrap_or(&[]).to_vec(),
+                        knn: ctx.diag.approx_knn.get(knn_mark..).unwrap_or(&[]).to_vec(),
                     };
                     match (&mut self.cache, lead.take()) {
                         (CacheRef::Exclusive(cache), _) => cache.store(key, entry),

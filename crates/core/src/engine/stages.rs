@@ -13,10 +13,12 @@ use crate::audit;
 use crate::engine::cache::ScoreSet;
 use crate::engine::fingerprint::Fingerprinter;
 use crate::engine::{millis_u64, Artifact, PencilArtifact, Stage, StageCtx};
-use crate::{CirStagConfig, CirStagError, FailurePolicy, FallbackEvent, RunDiagnostics};
+use crate::{
+    ApproxKnnRecord, CirStagConfig, CirStagError, FailurePolicy, FallbackEvent, RunDiagnostics,
+};
 use cirstag_embed::{
-    augment_with_features, dense_spectral_embedding, knn_graph, spectral_embedding_ws, EmbedError,
-    KnnConfig, KnnMethod, SpectralConfig,
+    augment_with_features, dense_spectral_embedding, knn_graph_with_stats, spectral_embedding_ws,
+    EmbedError, KnnConfig, KnnMethod, KnnStats, SpectralConfig,
 };
 use cirstag_graph::Graph;
 use cirstag_linalg::{fail, par, DenseMatrix};
@@ -73,10 +75,35 @@ fn write_knn_cfg(knn: &KnnConfig, fp: &mut Fingerprinter) {
             fp.write_usize(num_trees);
             fp.write_usize(leaf_size);
         }
+        KnnMethod::Hnsw {
+            m,
+            ef_construction,
+            ef_search,
+        } => {
+            fp.write_byte(2);
+            fp.write_usize(m);
+            fp.write_usize(ef_construction);
+            fp.write_usize(ef_search);
+        }
     }
     fp.write_u64(knn.seed);
     fp.write_f64(knn.weight_epsilon);
     fp.write_bool(knn.ensure_connected);
+}
+
+/// Records an approximate-kNN diagnostic for `stage` when the search
+/// reported one (exact searches report `None`). The record lands in the
+/// stage's captured diagnostics segment, so cache hits replay it verbatim.
+fn record_knn_stats(stage: &'static str, stats: Option<KnnStats>, diag: &mut RunDiagnostics) {
+    if let Some(stats) = stats {
+        diag.approx_knn.push(ApproxKnnRecord {
+            stage: stage.to_string(),
+            method: stats.method.to_string(),
+            requested_k: stats.requested_k,
+            min_candidates: stats.min_candidates,
+            mean_candidates: stats.mean_candidates,
+        });
+    }
 }
 
 /// Folds the PGM sparsification options into `fp`.
@@ -212,7 +239,8 @@ impl Stage for InputManifoldStage {
         let manifold = match embedding {
             None => ctx.graph.clone(),
             Some(u) => {
-                let dense = knn_graph(u, k, &cfg.knn)?;
+                let (dense, stats) = knn_graph_with_stats(u, k, &cfg.knn)?;
+                record_knn_stats("phase2/manifold-input", stats, ctx.diag);
                 sparsify_with_ladder(&dense, cfg, "phase2/pgm-input", ctx.diag)?
             }
         };
@@ -246,7 +274,8 @@ impl Stage for OutputManifoldStage {
             _ => return Err(artifact_mismatch("phase2/manifold-output")),
         };
         let k = cfg.knn_k.min(ctx.n - 1).max(1);
-        let dense_y = knn_graph(ctx.output_embedding, k, &cfg.knn)?;
+        let (dense_y, stats) = knn_graph_with_stats(ctx.output_embedding, k, &cfg.knn)?;
+        record_knn_stats("phase2/manifold-output", stats, ctx.diag);
         let output_manifold = sparsify_with_ladder(&dense_y, cfg, "phase2/pgm-output", ctx.diag)?;
         // Invariant audit: both manifolds must carry finite positive weights
         // before their Laplacians seed the Phase-3 eigenproblem (Eq. 8 treats

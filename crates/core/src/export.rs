@@ -1,6 +1,8 @@
 //! JSON export of stability reports for downstream tooling.
 
-use crate::{CirStagError, FallbackEvent, RunDiagnostics, StabilityReport, StageCacheRecord};
+use crate::{
+    ApproxKnnRecord, CirStagError, FallbackEvent, RunDiagnostics, StabilityReport, StageCacheRecord,
+};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Serializable form of a [`StabilityReport`] (scores, rankings and run
@@ -32,6 +34,9 @@ pub struct ReportExport {
     pub cache_misses: usize,
     /// Per-stage cache status in execution order (empty for uncached runs).
     pub stage_cache: Vec<StageCacheRecord>,
+    /// Approximate-kNN diagnostics, one per manifold stage that used an
+    /// approximate method (empty for exact runs).
+    pub approx_knn: Vec<ApproxKnnRecord>,
 }
 
 // Manual impls (rather than `impl_serde_struct!`) so fields added after the
@@ -55,6 +60,7 @@ impl Serialize for ReportExport {
             ("cache_hits".to_string(), self.cache_hits.to_value()),
             ("cache_misses".to_string(), self.cache_misses.to_value()),
             ("stage_cache".to_string(), self.stage_cache.to_value()),
+            ("approx_knn".to_string(), self.approx_knn.to_value()),
         ])
     }
 }
@@ -77,6 +83,7 @@ impl Deserialize for ReportExport {
             cache_hits: v.field_or("cache_hits", 0)?,
             cache_misses: v.field_or("cache_misses", 0)?,
             stage_cache: v.field_or("stage_cache", Vec::new())?,
+            approx_knn: v.field_or("approx_knn", Vec::new())?,
         })
     }
 }
@@ -101,6 +108,7 @@ impl ReportExport {
             cache_hits: report.timings.cache_hits,
             cache_misses: report.timings.cache_misses,
             stage_cache: report.diagnostics.cache.clone(),
+            approx_knn: report.diagnostics.approx_knn.clone(),
         }
     }
 
@@ -110,6 +118,7 @@ impl ReportExport {
             events: self.fallback_events.clone(),
             warnings: self.warnings.clone(),
             cache: self.stage_cache.clone(),
+            approx_knn: self.approx_knn.clone(),
         }
     }
 

@@ -61,7 +61,8 @@ pub use error::CirStagError;
 pub use export::ReportExport;
 pub use pipeline::{analyze_sweep, CirStag, CirStagConfig, PhaseTimings, StabilityReport};
 pub use resilience::{
-    CancelToken, FailurePolicy, FallbackEvent, RunDiagnostics, StageBudget, StageCacheRecord,
+    ApproxKnnRecord, CancelToken, FailurePolicy, FallbackEvent, RunDiagnostics, StageBudget,
+    StageCacheRecord,
 };
 pub use selection::{bottom_fraction, rank_descending, top_fraction};
 

@@ -163,6 +163,39 @@ pub struct StageCacheRecord {
 
 impl_serde_struct!(StageCacheRecord { stage, status });
 
+/// One manifold stage's approximate-neighbor-search diagnostics: which
+/// method built the kNN graph and how much candidate headroom each point
+/// had. Recorded only for approximate methods ([`KnnMethod::RpForest`] /
+/// [`KnnMethod::Hnsw`]), so a report that carries any of these is
+/// distinguishable from an exact run. Like [`StageCacheRecord`] this is
+/// bookkeeping, not a degradation: it never flips `report.degraded`.
+///
+/// [`KnnMethod::RpForest`]: cirstag_embed::KnnMethod::RpForest
+/// [`KnnMethod::Hnsw`]: cirstag_embed::KnnMethod::Hnsw
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxKnnRecord {
+    /// Engine stage that ran the search (`"phase2/manifold-input"` or
+    /// `"phase2/manifold-output"`).
+    pub stage: String,
+    /// Method label: `"rp-forest"` or `"hnsw"`.
+    pub method: String,
+    /// Neighbors requested per point.
+    pub requested_k: usize,
+    /// Smallest candidate pool any point saw before truncation to `k` —
+    /// the recall-critical worst case.
+    pub min_candidates: usize,
+    /// Mean candidate-pool size across points.
+    pub mean_candidates: f64,
+}
+
+impl_serde_struct!(ApproxKnnRecord {
+    stage,
+    method,
+    requested_k,
+    min_candidates,
+    mean_candidates,
+});
+
 /// Diagnostics accumulated over one analysis run: every fallback escalation
 /// plus non-fatal warnings (e.g. clamped preconditioner diagonals).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -175,16 +208,21 @@ pub struct RunDiagnostics {
     /// uncached runs ([`crate::CirStag::analyze`]); populated by
     /// [`crate::CirStag::analyze_cached`] and [`crate::analyze_sweep`].
     pub cache: Vec<StageCacheRecord>,
+    /// Approximate-kNN diagnostics, one per manifold stage that used an
+    /// approximate method; empty when Phase 2 searched exactly.
+    pub approx_knn: Vec<ApproxKnnRecord>,
 }
 
 // Manual impls (rather than `impl_serde_struct!`) so diagnostics written
-// before the `cache` field existed keep parsing, with the field defaulted.
+// before the `cache`/`approx_knn` fields existed keep parsing, with the
+// fields defaulted.
 impl Serialize for RunDiagnostics {
     fn to_value(&self) -> Value {
         Value::Object(vec![
             ("events".to_string(), self.events.to_value()),
             ("warnings".to_string(), self.warnings.to_value()),
             ("cache".to_string(), self.cache.to_value()),
+            ("approx_knn".to_string(), self.approx_knn.to_value()),
         ])
     }
 }
@@ -198,13 +236,17 @@ impl Deserialize for RunDiagnostics {
             events: v.field("events")?,
             warnings: v.field("warnings")?,
             cache: v.field_or("cache", Vec::new())?,
+            approx_knn: v.field_or("approx_knn", Vec::new())?,
         })
     }
 }
 
 impl RunDiagnostics {
-    /// `true` when no fallback fired and no warning was recorded. Cache
-    /// records are bookkeeping, not degradations, and do not count.
+    /// `true` when no fallback fired and no warning was recorded. Cache and
+    /// approximate-kNN records are bookkeeping, not degradations, and do
+    /// not count (an approximate method is a configuration choice, not a
+    /// failure — flipping `degraded` for every HNSW run would turn the
+    /// intended production configuration into a permanent exit code 2).
     pub fn is_empty(&self) -> bool {
         self.events.is_empty() && self.warnings.is_empty()
     }
@@ -213,11 +255,11 @@ impl RunDiagnostics {
     /// `2 fallback events (phase1/eigs→retry, phase3/geig→dense), 1 warning`.
     pub fn summary(&self) -> String {
         let replayed = self.cache.iter().filter(|r| r.status == "replayed").count();
-        if self.is_empty() && replayed == 0 {
+        if self.is_empty() && replayed == 0 && self.approx_knn.is_empty() {
             return "clean run".to_string();
         }
         let mut parts = Vec::new();
-        if self.is_empty() && replayed > 0 {
+        if self.is_empty() && (replayed > 0 || !self.approx_knn.is_empty()) {
             parts.push("clean run".to_string());
         }
         if !self.events.is_empty() {
@@ -244,6 +286,15 @@ impl RunDiagnostics {
             parts.push(format!(
                 "{replayed} stage{} replayed from cache",
                 if replayed == 1 { "" } else { "s" }
+            ));
+        }
+        if !self.approx_knn.is_empty() {
+            let methods: Vec<&str> = self.approx_knn.iter().map(|r| r.method.as_str()).collect();
+            parts.push(format!(
+                "{} approximate-kNN stage{} ({})",
+                self.approx_knn.len(),
+                if self.approx_knn.len() == 1 { "" } else { "s" },
+                methods.join(", ")
             ));
         }
         parts.join(", ")

@@ -1,0 +1,772 @@
+//! Deterministic HNSW (hierarchical navigable small world) neighbor index.
+//!
+//! The exact kNN search in [`crate::knn_graph`] is `O(n²·d)` — the scaling
+//! wall between ~50k-pin benchmarks and million-pin netlists. This module
+//! provides the sub-quadratic replacement: a from-scratch HNSW index whose
+//! construction is **order-deterministic** and whose search is bit-identical
+//! at any thread count, per the workspace determinism contract.
+//!
+//! # Layer structure
+//!
+//! Every node is assigned a level `ℓ ≥ 0` from a geometric-ish distribution
+//! (`ℓ = ⌊−ln(u) / ln(m)⌋` with `u` drawn from a seeded xorshift stream in
+//! node order), so roughly a `1/m` fraction of nodes appears on each higher
+//! layer. Layer 0 holds every node with up to `2m` links; each layer above
+//! holds the subsample with up to `m` links. A query greedily descends from
+//! the top-layer entry point, then runs an `ef`-bounded best-first search on
+//! layer 0.
+//!
+//! # Determinism strategy
+//!
+//! - Level assignment consumes the seeded RNG in fixed node order.
+//! - Nodes are inserted serially in index order `0..n`; search fan-out never
+//!   mutates the index, so any parallelism is confined to independent
+//!   queries whose results land in per-query slots.
+//! - All candidate orderings — heap priority, neighbor selection, result
+//!   ranking — compare `(distance, node id)` via `f64::total_cmp` with the
+//!   id as tie-break, so equal distances cannot introduce platform or
+//!   schedule dependence.
+//!
+//! # Allocation discipline
+//!
+//! [`HnswScratch`] owns every buffer the search touches (epoch-stamped
+//! visited array, binary-heap vectors, result pool). Buffers warm up to
+//! their steady-state capacity on first use and are reused afterwards, so a
+//! warmed search performs **zero** heap allocations — pinned by the
+//! counting-allocator test in `cirstag-bench`.
+
+use crate::knn::Splitter;
+use crate::EmbedError;
+use cirstag_linalg::{par, vecops, DenseMatrix};
+
+/// Hard cap on assigned levels; `⌊−ln(u)/ln(2)⌋` exceeds this only with
+/// probability ~2⁻²⁴ per node, and capping keeps the descent loop bounded.
+const MAX_LEVEL: usize = 24;
+
+/// `2⁻⁵³`, the unit scaling that maps 53 random mantissa bits into `(0, 1]`.
+const UNIT_53: f64 = 1.0 / 9_007_199_254_740_992.0;
+
+/// A scored candidate: `(squared distance, node id)`.
+type Cand = (f64, u32);
+
+/// Construction and search parameters for [`HnswIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HnswParams {
+    /// Maximum links per node on layers ≥ 1 (layer 0 allows `2m`).
+    /// Clamped to `2..=64` at build time.
+    pub m: usize,
+    /// Beam width of the best-first search used while inserting nodes;
+    /// larger values build a higher-recall graph, slower. Clamped to at
+    /// least `2m`.
+    pub ef_construction: usize,
+    /// Default beam width for queries; the effective beam is
+    /// `max(ef_search, k + 1)`.
+    pub ef_search: usize,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        HnswParams {
+            m: 12,
+            ef_construction: 100,
+            ef_search: 64,
+        }
+    }
+}
+
+/// Reusable per-worker search state; create with [`HnswIndex::scratch`].
+///
+/// One scratch serves any number of sequential searches against the index
+/// it was sized for. After the first search over a given workload the
+/// buffers have reached steady-state capacity and subsequent searches
+/// allocate nothing.
+#[derive(Debug)]
+pub struct HnswScratch {
+    /// Epoch-stamped visited marks (`visited[i] == epoch` ⇔ seen this query).
+    visited: Vec<u32>,
+    /// Current query epoch; bumping it resets all marks in O(1).
+    epoch: u32,
+    /// Min-heap of frontier candidates, closest first.
+    cand: Vec<Cand>,
+    /// Max-heap of the best `ef` results, farthest first.
+    result: Vec<Cand>,
+    /// Drained results, closest first; doubles as the heuristic input pool.
+    pool: Vec<Cand>,
+    /// Neighbors chosen by the selection heuristic.
+    selected: Vec<Cand>,
+    /// Candidates the heuristic passed over (refilled from, nearest first).
+    spill: Vec<Cand>,
+}
+
+impl HnswScratch {
+    fn with_nodes(n: usize) -> Self {
+        HnswScratch {
+            visited: vec![0u32; n],
+            epoch: 0,
+            cand: Vec::new(),
+            result: Vec::new(),
+            pool: Vec::new(),
+            selected: Vec::new(),
+            spill: Vec::new(),
+        }
+    }
+
+    /// Starts a fresh query: invalidates every visited mark in O(1).
+    fn bump_epoch(&mut self) {
+        if self.epoch == u32::MAX {
+            self.visited.iter_mut().for_each(|v| *v = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Marks `node` visited; returns `true` when it already was (or when the
+    /// id is out of range for the index this scratch was sized for, which
+    /// conservatively skips the node instead of panicking).
+    fn mark(&mut self, node: u32) -> bool {
+        match self.visited.get_mut(ix(node)) {
+            Some(slot) if *slot == self.epoch => true,
+            Some(slot) => {
+                *slot = self.epoch;
+                false
+            }
+            None => true,
+        }
+    }
+}
+
+/// Widening `u32 → usize` node-id conversion (this workspace targets 64-bit
+/// hosts, where the conversion is lossless).
+#[inline]
+fn ix(node: u32) -> usize {
+    // cirstag-lint: allow(cast-truncation) -- u32 -> usize widens on the 64-bit hosts this workspace targets; no value can be lost
+    node as usize
+}
+
+/// Strict total order on candidates: nearer distance first, node id as the
+/// tie-break so equal distances stay deterministic.
+#[inline]
+fn closer(a: Cand, b: Cand) -> bool {
+    match a.0.total_cmp(&b.0) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a.1 < b.1,
+    }
+}
+
+/// Binary-heap push on a plain `Vec`, priority given by [`closer`]
+/// (`min == true`: nearest at the root; `min == false`: farthest).
+fn heap_push(heap: &mut Vec<Cand>, item: Cand, min: bool) {
+    heap.push(item);
+    let mut i = heap.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        let up = if min {
+            closer(heap[i], heap[parent])
+        } else {
+            closer(heap[parent], heap[i])
+        };
+        if !up {
+            break;
+        }
+        heap.swap(i, parent);
+        i = parent;
+    }
+}
+
+/// Pops the root of a [`heap_push`]-maintained heap.
+fn heap_pop(heap: &mut Vec<Cand>, min: bool) -> Option<Cand> {
+    let last = heap.len().checked_sub(1)?;
+    heap.swap(0, last);
+    let top = heap.pop();
+    let n = heap.len();
+    let mut i = 0usize;
+    loop {
+        let l = 2 * i + 1;
+        if l >= n {
+            break;
+        }
+        let r = l + 1;
+        let mut pick = l;
+        if r < n {
+            let r_first = if min {
+                closer(heap[r], heap[l])
+            } else {
+                closer(heap[l], heap[r])
+            };
+            if r_first {
+                pick = r;
+            }
+        }
+        let down = if min {
+            closer(heap[pick], heap[i])
+        } else {
+            closer(heap[i], heap[pick])
+        };
+        if !down {
+            break;
+        }
+        heap.swap(i, pick);
+        i = pick;
+    }
+    top
+}
+
+/// A built HNSW index over the rows of one embedding matrix.
+///
+/// The index stores adjacency and cached squared row norms but not the
+/// points themselves; every search takes the **same** matrix that was passed
+/// to [`HnswIndex::build`]. Construction is serial and deterministic; any
+/// number of searches may then run concurrently (each with its own
+/// [`HnswScratch`]) without affecting results.
+#[derive(Debug)]
+pub struct HnswIndex {
+    /// Number of indexed rows.
+    n: usize,
+    /// Max links per node on layers ≥ 1.
+    m: usize,
+    /// Max links per node on layer 0 (`2m`).
+    m0: usize,
+    /// Entry node for the greedy descent (a node on the top layer).
+    entry: u32,
+    /// Highest populated layer.
+    top_level: usize,
+    /// Assigned level per node.
+    levels: Vec<u8>,
+    /// Flat layer-0 adjacency: node `i`'s links occupy
+    /// `graph0[i·m0 .. i·m0 + deg0[i]]`.
+    graph0: Vec<u32>,
+    /// Layer-0 out-degrees.
+    deg0: Vec<u32>,
+    /// Per-node offset into `upper` (`u32::MAX` for level-0-only nodes).
+    upper_idx: Vec<u32>,
+    /// Upper-layer adjacency for nodes with level ≥ 1: entry `j` holds the
+    /// link lists for layers `1..=levels[node]` of the `j`-th such node.
+    upper: Vec<Vec<Vec<u32>>>,
+    /// Cached squared row norms, so each pairwise distance is one dot
+    /// product via `‖p − q‖² = ‖p‖² + ‖q‖² − 2·p·q` (clamped at zero
+    /// against cancellation), exactly as the exact-search path computes it.
+    norms: Vec<f64>,
+}
+
+impl HnswIndex {
+    /// Builds the index over the rows of `points`, deterministically:
+    /// the same `(points, params, seed)` always produces the same index,
+    /// at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::InvalidArgument`] when `points` contains
+    /// non-finite values or has more rows than a `u32` node id can address.
+    pub fn build(
+        points: &DenseMatrix,
+        params: &HnswParams,
+        seed: u64,
+    ) -> Result<HnswIndex, EmbedError> {
+        let n = points.nrows();
+        if u32::try_from(n).is_err() {
+            return Err(EmbedError::InvalidArgument {
+                reason: format!("hnsw index limited to u32 node ids, got n = {n}"),
+            });
+        }
+        if !points.all_finite() {
+            return Err(EmbedError::InvalidArgument {
+                reason: "points contain non-finite values".to_string(),
+            });
+        }
+        let m = params.m.clamp(2, 64);
+        let m0 = m * 2;
+        let efc = params.ef_construction.max(m0);
+
+        // Level assignment: one seeded draw per node, in node order, so the
+        // layer structure is a pure function of (seed, n, m).
+        let mult = 1.0 / (m as f64).ln();
+        let mut rng = Splitter::new(seed ^ 0x484E_5357); // "HNSW"
+        let levels: Vec<u8> = (0..n)
+            .map(|_| {
+                let u = ((rng.next_u64() >> 11) + 1) as f64 * UNIT_53; // in (0, 1]
+                let raw = -u.ln() * mult; // ≥ 0, finite
+                                          // cirstag-lint: allow(cast-truncation) -- raw is a non-negative finite float; the saturating cast is immediately clamped to MAX_LEVEL = 24, well inside u8
+                let lvl = (raw as usize).min(MAX_LEVEL);
+                u8::try_from(lvl).unwrap_or(0)
+            })
+            .collect();
+
+        // Squared norms fan out across the pool; slot p always holds row p's
+        // norm, so the result is thread-count-invariant.
+        let norms: Vec<f64> = par::map_indexed(n, |p| vecops::dot(points.row(p), points.row(p)));
+
+        let mut upper_idx = vec![u32::MAX; n];
+        let mut upper: Vec<Vec<Vec<u32>>> = Vec::new();
+        for (i, &lvl) in levels.iter().enumerate() {
+            let lvl = usize::from(lvl);
+            if lvl >= 1 {
+                upper_idx[i] = u32::try_from(upper.len()).unwrap_or(u32::MAX);
+                upper.push((1..=lvl).map(|_| Vec::with_capacity(m + 1)).collect());
+            }
+        }
+
+        let mut idx = HnswIndex {
+            n,
+            m,
+            m0,
+            entry: 0,
+            top_level: levels.first().map_or(0, |&l| usize::from(l)),
+            levels,
+            graph0: vec![0u32; n * m0],
+            deg0: vec![0u32; n],
+            upper_idx,
+            upper,
+            norms,
+        };
+        if n == 0 {
+            return Ok(idx);
+        }
+
+        // Serial insertion in node order 0..n — the determinism anchor.
+        let mut scratch = idx.scratch();
+        let mut entries: Vec<Cand> = Vec::with_capacity(efc);
+        let mut links: Vec<u32> = Vec::with_capacity(m0 + 1);
+        for q in 1..n {
+            let qid = u32::try_from(q).unwrap_or(u32::MAX);
+            let lq = usize::from(idx.levels[q]);
+            let qrow = points.row(q);
+            let qnorm = idx.norms[q];
+            let mut e = (idx.dist_to(points, qnorm, qrow, ix(idx.entry)), idx.entry);
+            let top = idx.top_level;
+            let mut level = top;
+            while level > lq {
+                e = idx.greedy(points, qnorm, qrow, e, level);
+                level -= 1;
+            }
+            entries.clear();
+            entries.push(e);
+            let mut l = lq.min(top);
+            loop {
+                idx.search_layer(points, qnorm, qrow, &entries, efc, l, &mut scratch);
+                drain_results(&mut scratch);
+                // The full result set seeds the next (lower) layer's search.
+                entries.clear();
+                entries.extend_from_slice(&scratch.pool);
+                idx.select_neighbors(points, idx.m, &mut scratch);
+                links.clear();
+                links.extend(scratch.selected.iter().map(|&(_, c)| c));
+                idx.set_links(qid, l, &links);
+                let cap = if l == 0 { idx.m0 } else { idx.m };
+                for &s in &links {
+                    idx.add_link(points, s, qid, l, cap, &mut scratch);
+                }
+                if l == 0 {
+                    break;
+                }
+                l -= 1;
+            }
+            if lq > top {
+                idx.entry = qid;
+                idx.top_level = lq;
+            }
+        }
+        Ok(idx)
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the index holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Highest populated layer (0 for a single-layer index).
+    pub fn top_level(&self) -> usize {
+        self.top_level
+    }
+
+    /// Allocates a search scratch sized for this index.
+    pub fn scratch(&self) -> HnswScratch {
+        HnswScratch::with_nodes(self.n)
+    }
+
+    /// Finds the `k` nearest indexed rows to indexed row `query` (excluding
+    /// the query itself), appending `(neighbor, squared distance)` pairs to
+    /// `out` in ascending `(distance, id)` order. `points` must be the
+    /// matrix the index was built over. Returns the achieved candidate-pool
+    /// size — the number of distinct neighbors the `ef`-bounded search
+    /// surfaced before truncation to `k` — which callers report as the
+    /// recall diagnostic for approximate runs.
+    ///
+    /// `out` is cleared first; a warmed `(scratch, out)` pair makes this
+    /// call allocation-free.
+    pub fn knn_into(
+        &self,
+        points: &DenseMatrix,
+        query: usize,
+        k: usize,
+        ef: usize,
+        scratch: &mut HnswScratch,
+        out: &mut Vec<(usize, f64)>,
+    ) -> usize {
+        out.clear();
+        if self.n == 0 || query >= self.n || k == 0 {
+            return 0;
+        }
+        let qrow = points.row(query);
+        let qnorm = self.norms[query];
+        let beam = ef.max(k + 1);
+        let mut e = (
+            self.dist_to(points, qnorm, qrow, ix(self.entry)),
+            self.entry,
+        );
+        let mut level = self.top_level;
+        while level > 0 {
+            e = self.greedy(points, qnorm, qrow, e, level);
+            level -= 1;
+        }
+        self.search_layer(points, qnorm, qrow, &[e], beam, 0, scratch);
+        drain_results(scratch);
+        scratch.pool.retain(|&(_, id)| ix(id) != query);
+        let pool_size = scratch.pool.len();
+        for &(d, id) in scratch.pool.iter().take(k) {
+            out.push((ix(id), d));
+        }
+        pool_size
+    }
+
+    /// Squared distance from a cached query `(norm, row)` to indexed row
+    /// `b`, via the same norm identity (and zero clamp) as the exact search.
+    #[inline]
+    fn dist_to(&self, points: &DenseMatrix, qnorm: f64, qrow: &[f64], b: usize) -> f64 {
+        (qnorm + self.norms[b] - 2.0 * vecops::dot(qrow, points.row(b))).max(0.0)
+    }
+
+    /// Squared distance between two indexed rows.
+    #[inline]
+    fn dist2(&self, points: &DenseMatrix, a: usize, b: usize) -> f64 {
+        self.dist_to(points, self.norms[a], points.row(a), b)
+    }
+
+    /// Link list of `node` at `level`.
+    fn neighbors(&self, node: u32, level: usize) -> &[u32] {
+        let i = ix(node);
+        if level == 0 {
+            let base = i * self.m0;
+            &self.graph0[base..base + ix(self.deg0[i])]
+        } else {
+            &self.upper[ix(self.upper_idx[i])][level - 1]
+        }
+    }
+
+    /// Greedy descent step at `level`: repeatedly move to the best neighbor
+    /// (by `(distance, id)`) until no neighbor improves on the current node.
+    fn greedy(
+        &self,
+        points: &DenseMatrix,
+        qnorm: f64,
+        qrow: &[f64],
+        start: Cand,
+        level: usize,
+    ) -> Cand {
+        let mut cur = start;
+        loop {
+            let mut best = cur;
+            for &nb in self.neighbors(cur.1, level) {
+                let d = self.dist_to(points, qnorm, qrow, ix(nb));
+                if closer((d, nb), best) {
+                    best = (d, nb);
+                }
+            }
+            if best.1 == cur.1 {
+                return cur;
+            }
+            cur = best;
+        }
+    }
+
+    /// `ef`-bounded best-first search at `level`, leaving the up-to-`ef`
+    /// nearest visited nodes in `scratch.result` (a farthest-first heap).
+    #[allow(clippy::too_many_arguments)] // hot path: threading a context struct through would obscure the query tuple
+    fn search_layer(
+        &self,
+        points: &DenseMatrix,
+        qnorm: f64,
+        qrow: &[f64],
+        entries: &[Cand],
+        ef: usize,
+        level: usize,
+        scratch: &mut HnswScratch,
+    ) {
+        scratch.bump_epoch();
+        scratch.cand.clear();
+        scratch.result.clear();
+        for &e in entries {
+            if scratch.mark(e.1) {
+                continue;
+            }
+            heap_push(&mut scratch.cand, e, true);
+            heap_push(&mut scratch.result, e, false);
+            if scratch.result.len() > ef {
+                heap_pop(&mut scratch.result, false);
+            }
+        }
+        while let Some(c) = heap_pop(&mut scratch.cand, true) {
+            // cirstag-lint: allow(no-panic-in-lib) -- result is non-empty here: len() >= ef and ef >= 1
+            if scratch.result.len() >= ef && closer(scratch.result[0], c) {
+                break; // every frontier candidate is farther than the worst kept result
+            }
+            for &nb in self.neighbors(c.1, level) {
+                if scratch.mark(nb) {
+                    continue;
+                }
+                let d = self.dist_to(points, qnorm, qrow, ix(nb));
+                let item = (d, nb);
+                // cirstag-lint: allow(no-panic-in-lib) -- short-circuit: result[0] is read only when len() >= ef >= 1
+                if scratch.result.len() < ef || closer(item, scratch.result[0]) {
+                    heap_push(&mut scratch.cand, item, true);
+                    heap_push(&mut scratch.result, item, false);
+                    if scratch.result.len() > ef {
+                        heap_pop(&mut scratch.result, false);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The Malkov–Yashunin selection heuristic over `scratch.pool`
+    /// (closest-first): keep a candidate only when it is nearer to the query
+    /// than to every neighbor already kept — this preserves bridges between
+    /// clusters that plain nearest-`m` selection would prune — then refill
+    /// any spare capacity with the nearest passed-over candidates so the
+    /// graph never under-links (keep-pruned-connections).
+    fn select_neighbors(&self, points: &DenseMatrix, cap: usize, scratch: &mut HnswScratch) {
+        scratch.selected.clear();
+        scratch.spill.clear();
+        for &(d, c) in &scratch.pool {
+            if scratch.selected.len() >= cap {
+                break;
+            }
+            let keep = scratch
+                .selected
+                .iter()
+                .all(|&(_, s)| d < self.dist2(points, ix(c), ix(s)));
+            if keep {
+                scratch.selected.push((d, c));
+            } else {
+                scratch.spill.push((d, c));
+            }
+        }
+        let mut si = 0usize;
+        while scratch.selected.len() < cap && si < scratch.spill.len() {
+            scratch.selected.push(scratch.spill[si]);
+            si += 1;
+        }
+    }
+
+    /// Overwrites `node`'s link list at `level` with `ids`.
+    fn set_links(&mut self, node: u32, level: usize, ids: &[u32]) {
+        let i = ix(node);
+        if level == 0 {
+            let take = ids.len().min(self.m0);
+            let base = i * self.m0;
+            self.graph0[base..base + take].copy_from_slice(&ids[..take]);
+            self.deg0[i] = u32::try_from(take).unwrap_or(0);
+        } else {
+            let slot = &mut self.upper[ix(self.upper_idx[i])][level - 1];
+            slot.clear();
+            slot.extend_from_slice(ids);
+        }
+    }
+
+    /// Adds the back-link `s → q` at `level`; when `s`'s list would exceed
+    /// `cap`, re-selects `s`'s links with the same heuristic over the old
+    /// list plus `q`.
+    fn add_link(
+        &mut self,
+        points: &DenseMatrix,
+        s: u32,
+        q: u32,
+        level: usize,
+        cap: usize,
+        scratch: &mut HnswScratch,
+    ) {
+        let deg = self.neighbors(s, level).len();
+        if deg < cap {
+            let i = ix(s);
+            if level == 0 {
+                let base = i * self.m0;
+                self.graph0[base + deg] = q;
+                self.deg0[i] += 1;
+            } else {
+                self.upper[ix(self.upper_idx[i])][level - 1].push(q);
+            }
+            return;
+        }
+        // Re-rank the overfull list around `s` and keep the heuristic's cap.
+        let snorm = self.norms[ix(s)];
+        let srow = points.row(ix(s));
+        scratch.pool.clear();
+        for &nb in self.neighbors(s, level) {
+            scratch
+                .pool
+                .push((self.dist_to(points, snorm, srow, ix(nb)), nb));
+        }
+        scratch
+            .pool
+            .push((self.dist_to(points, snorm, srow, ix(q)), q));
+        scratch
+            .pool
+            .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        self.select_neighbors(points, cap, scratch);
+        let mut kept: [u32; 128] = [0; 128]; // cap ≤ m0 ≤ 128 by the clamp in build
+        let klen = scratch.selected.len().min(128);
+        for (slot, &(_, c)) in kept.iter_mut().zip(scratch.selected.iter().take(klen)) {
+            *slot = c;
+        }
+        self.set_links(s, level, &kept[..klen]);
+    }
+}
+
+/// Drains `scratch.result` (farthest-first heap) into `scratch.pool` in
+/// ascending `(distance, id)` order.
+fn drain_results(scratch: &mut HnswScratch) {
+    scratch.pool.clear();
+    while let Some(item) = heap_pop(&mut scratch.result, false) {
+        scratch.pool.push(item);
+    }
+    scratch.pool.reverse();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(side: usize) -> DenseMatrix {
+        let mut rows = Vec::new();
+        for i in 0..side {
+            for j in 0..side {
+                rows.push(vec![i as f64, j as f64]);
+            }
+        }
+        DenseMatrix::from_rows(&rows).unwrap()
+    }
+
+    fn exact_neighbors(points: &DenseMatrix, p: usize, k: usize) -> Vec<usize> {
+        let n = points.nrows();
+        let mut d: Vec<(f64, usize)> = (0..n)
+            .filter(|&q| q != p)
+            .map(|q| (vecops::dist2_sq(points.row(p), points.row(q)), q))
+            .collect();
+        d.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        d.truncate(k);
+        d.into_iter().map(|(_, q)| q).collect()
+    }
+
+    #[test]
+    fn heap_orders_by_distance_then_id() {
+        let mut h = Vec::new();
+        for item in [(2.0, 7), (1.0, 3), (1.0, 1), (3.0, 0)] {
+            heap_push(&mut h, item, true);
+        }
+        assert_eq!(heap_pop(&mut h, true), Some((1.0, 1)));
+        assert_eq!(heap_pop(&mut h, true), Some((1.0, 3)));
+        assert_eq!(heap_pop(&mut h, true), Some((2.0, 7)));
+        assert_eq!(heap_pop(&mut h, true), Some((3.0, 0)));
+        assert_eq!(heap_pop(&mut h, true), None);
+    }
+
+    #[test]
+    fn recall_on_grid_is_high() {
+        let pts = grid_points(18); // 324 points
+        let idx = HnswIndex::build(&pts, &HnswParams::default(), 7).unwrap();
+        let mut scratch = idx.scratch();
+        let mut out = Vec::new();
+        let k = 6;
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for p in 0..pts.nrows() {
+            idx.knn_into(&pts, p, k, 64, &mut scratch, &mut out);
+            let exact = exact_neighbors(&pts, p, k);
+            for (q, _) in &out {
+                // Grid distances tie heavily; count a hit when the found
+                // neighbor's distance matches an exact neighbor's rank set.
+                if exact.contains(q)
+                    || vecops::dist2_sq(pts.row(p), pts.row(*q))
+                        <= vecops::dist2_sq(pts.row(p), pts.row(exact[k - 1]))
+                {
+                    hits += 1;
+                }
+            }
+            total += k;
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall >= 0.95, "recall {recall}");
+    }
+
+    #[test]
+    fn rebuild_is_bit_identical() {
+        let pts = grid_points(10);
+        let a = HnswIndex::build(&pts, &HnswParams::default(), 42).unwrap();
+        let b = HnswIndex::build(&pts, &HnswParams::default(), 42).unwrap();
+        assert_eq!(a.graph0, b.graph0);
+        assert_eq!(a.deg0, b.deg0);
+        assert_eq!(a.levels, b.levels);
+        assert_eq!(a.entry, b.entry);
+        let mut sa = a.scratch();
+        let mut sb = b.scratch();
+        let (mut oa, mut ob) = (Vec::new(), Vec::new());
+        for p in 0..pts.nrows() {
+            a.knn_into(&pts, p, 4, 32, &mut sa, &mut oa);
+            b.knn_into(&pts, p, 4, 32, &mut sb, &mut ob);
+            assert_eq!(oa, ob);
+            for ((qa, da), (qb, db)) in oa.iter().zip(&ob) {
+                assert_eq!(qa, qb);
+                assert_eq!(da.to_bits(), db.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn different_seed_changes_layer_assignment() {
+        let pts = grid_points(12);
+        let a = HnswIndex::build(&pts, &HnswParams::default(), 1).unwrap();
+        let b = HnswIndex::build(&pts, &HnswParams::default(), 2).unwrap();
+        assert_ne!(a.levels, b.levels);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty = DenseMatrix::zeros(0, 0);
+        let idx = HnswIndex::build(&empty, &HnswParams::default(), 0).unwrap();
+        assert!(idx.is_empty());
+        let one = DenseMatrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let idx = HnswIndex::build(&one, &HnswParams::default(), 0).unwrap();
+        assert_eq!(idx.len(), 1);
+        let mut scratch = idx.scratch();
+        let mut out = vec![(9usize, 9.0f64)];
+        let pool = idx.knn_into(&one, 0, 3, 16, &mut scratch, &mut out);
+        assert_eq!(pool, 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn non_finite_points_rejected() {
+        let pts = DenseMatrix::from_rows(&[vec![0.0], vec![f64::NAN]]).unwrap();
+        assert!(HnswIndex::build(&pts, &HnswParams::default(), 0).is_err());
+    }
+
+    #[test]
+    fn duplicate_points_still_link() {
+        let pts = DenseMatrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0], vec![5.0], vec![5.0]])
+            .unwrap();
+        let idx = HnswIndex::build(&pts, &HnswParams::default(), 3).unwrap();
+        let mut scratch = idx.scratch();
+        let mut out = Vec::new();
+        for p in 0..5 {
+            let pool = idx.knn_into(&pts, p, 2, 16, &mut scratch, &mut out);
+            assert!(pool >= 2, "point {p} pool {pool}");
+            assert_eq!(out.len(), 2);
+            assert!(out.iter().all(|&(q, _)| q != p));
+        }
+    }
+}

@@ -19,6 +19,63 @@ pub enum KnnMethod {
         /// Maximum leaf size; candidates are leaf co-members.
         leaf_size: usize,
     },
+    /// Approximate search through a deterministic HNSW index
+    /// ([`crate::HnswIndex`]): `O(n log n)` construction, per-query search
+    /// parallelized over the pool. The method of choice at ≥ ~50k points.
+    Hnsw {
+        /// Max links per node on layers ≥ 1 (layer 0 allows `2m`).
+        m: usize,
+        /// Beam width while inserting; higher = better graph, slower build.
+        ef_construction: usize,
+        /// Query beam width; the effective beam is `max(ef_search, k + 1)`.
+        ef_search: usize,
+    },
+}
+
+impl KnnMethod {
+    /// The default HNSW configuration ([`crate::HnswParams::default`]),
+    /// balancing ≥ 0.95 recall@k against build cost for circuit embeddings.
+    pub fn hnsw_default() -> KnnMethod {
+        let p = crate::HnswParams::default();
+        KnnMethod::Hnsw {
+            m: p.m,
+            ef_construction: p.ef_construction,
+            ef_search: p.ef_search,
+        }
+    }
+}
+
+/// Diagnostics from an approximate neighbor search: which method ran and
+/// how large the achieved per-point candidate pools were, so downstream
+/// reports can distinguish approximate runs from exact ones and judge their
+/// recall headroom. `None` is returned for the exact method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnStats {
+    /// Method label: `"rp-forest"` or `"hnsw"`.
+    pub method: &'static str,
+    /// Neighbors requested per point.
+    pub requested_k: usize,
+    /// Smallest candidate pool any point saw before truncation to `k`.
+    pub min_candidates: usize,
+    /// Mean candidate-pool size across points.
+    pub mean_candidates: f64,
+}
+
+impl KnnStats {
+    fn from_pools(method: &'static str, requested_k: usize, pools: &[usize]) -> KnnStats {
+        let min_candidates = pools.iter().copied().min().unwrap_or(0);
+        let mean_candidates = if pools.is_empty() {
+            0.0
+        } else {
+            pools.iter().sum::<usize>() as f64 / pools.len() as f64
+        };
+        KnnStats {
+            method,
+            requested_k,
+            min_candidates,
+            mean_candidates,
+        }
+    }
 }
 
 /// Options for [`knn_graph`].
@@ -66,9 +123,24 @@ impl Default for KnnConfig {
 /// Returns [`EmbedError::InvalidArgument`] when `k == 0`, `k ≥ n`, or the
 /// input contains non-finite values.
 pub fn knn_graph(points: &DenseMatrix, k: usize, config: &KnnConfig) -> Result<Graph, EmbedError> {
+    knn_graph_with_stats(points, k, config).map(|(g, _)| g)
+}
+
+/// [`knn_graph`] plus the approximate-search diagnostics ([`KnnStats`],
+/// `None` for [`KnnMethod::Exact`]) so callers can record that a run was
+/// approximate and how much candidate headroom it had.
+///
+/// # Errors
+///
+/// Same contract as [`knn_graph`].
+pub fn knn_graph_with_stats(
+    points: &DenseMatrix,
+    k: usize,
+    config: &KnnConfig,
+) -> Result<(Graph, Option<KnnStats>), EmbedError> {
     let n = points.nrows();
     if n == 0 {
-        return Ok(Graph::new(0));
+        return Ok((Graph::new(0), None));
     }
     if k == 0 || k >= n {
         return Err(EmbedError::InvalidArgument {
@@ -80,18 +152,31 @@ pub fn knn_graph(points: &DenseMatrix, k: usize, config: &KnnConfig) -> Result<G
             reason: "points contain non-finite values".to_string(),
         });
     }
-    let neighbor_lists = match config.method {
-        KnnMethod::Exact => exact_knn(points, k),
+    let (neighbor_lists, stats) = match config.method {
+        KnnMethod::Exact => (exact_knn(points, k), None),
         KnnMethod::RpForest {
             num_trees,
             leaf_size,
-        } => rp_forest_knn(
-            points,
-            k,
-            num_trees.max(1),
-            leaf_size.max(k + 1),
-            config.seed,
-        ),
+        } => {
+            let (lists, pools) = rp_forest_knn(
+                points,
+                k,
+                num_trees.max(1),
+                leaf_size.max(k + 1),
+                config.seed,
+            );
+            let stats = KnnStats::from_pools("rp-forest", k, &pools);
+            (lists, Some(stats))
+        }
+        KnnMethod::Hnsw {
+            m,
+            ef_construction,
+            ef_search,
+        } => {
+            let (lists, pools) = hnsw_knn(points, k, m, ef_construction, ef_search, config.seed)?;
+            let stats = KnnStats::from_pools("hnsw", k, &pools);
+            (lists, Some(stats))
+        }
     };
 
     // Median squared neighbor distance for scale normalization.
@@ -131,7 +216,7 @@ pub fn knn_graph(points: &DenseMatrix, k: usize, config: &KnnConfig) -> Result<G
     if config.ensure_connected && !g.is_connected() {
         connect_components(&mut g, points, med, config.weight_epsilon)?;
     }
-    Ok(g)
+    Ok((g, stats))
 }
 
 /// Points per worker chunk in the exact search; large enough to amortize the
@@ -181,17 +266,17 @@ fn exact_knn(points: &DenseMatrix, k: usize) -> Vec<Vec<(usize, f64)>> {
     lists
 }
 
-struct Splitter {
+pub(crate) struct Splitter {
     state: u64,
 }
 
 impl Splitter {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         Splitter {
             state: seed ^ 0x9e37_79b9_7f4a_7c15 | 1,
         }
     }
-    fn next_u64(&mut self) -> u64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
         self.state ^= self.state >> 12;
         self.state ^= self.state << 25;
         self.state ^= self.state >> 27;
@@ -252,13 +337,58 @@ fn rp_split(
     rp_split(points, &mut right, leaf_size, rng, leaves, depth + 1);
 }
 
+/// Points per worker chunk in the HNSW query fan-out. Sized from `n` alone
+/// (never from the thread count, which would be a determinism hazard even
+/// though chunking only groups scratch reuse): large enough to amortize the
+/// per-chunk scratch, small enough to load-balance.
+fn hnsw_chunk_len(n: usize) -> usize {
+    (n / 64).clamp(16, 4096)
+}
+
+/// Builds a deterministic HNSW index serially, then fans the per-point
+/// queries out across the pool: slot `p` always holds point `p`'s list, and
+/// each worker chunk reuses one [`crate::HnswScratch`], so results are
+/// bit-identical at any thread count and warmed searches allocate nothing.
+/// Returns the neighbor lists and the per-point achieved candidate-pool
+/// sizes.
+#[allow(clippy::type_complexity)]
+fn hnsw_knn(
+    points: &DenseMatrix,
+    k: usize,
+    m: usize,
+    ef_construction: usize,
+    ef_search: usize,
+    seed: u64,
+) -> Result<(Vec<Vec<(usize, f64)>>, Vec<usize>), EmbedError> {
+    let n = points.nrows();
+    let params = crate::HnswParams {
+        m,
+        ef_construction,
+        ef_search,
+    };
+    let index = crate::HnswIndex::build(points, &params, seed)?;
+    let ef = ef_search.max(k + 1);
+    let chunk_len = hnsw_chunk_len(n);
+    let mut slots: Vec<(Vec<(usize, f64)>, usize)> = vec![(Vec::new(), 0); n];
+    par::chunks_mut(&mut slots, chunk_len, |chunk_idx, chunk| {
+        let base = chunk_idx * chunk_len;
+        let mut scratch = index.scratch();
+        for (offset, slot) in chunk.iter_mut().enumerate() {
+            let p = base + offset;
+            slot.0.reserve(k);
+            slot.1 = index.knn_into(points, p, k, ef, &mut scratch, &mut slot.0);
+        }
+    });
+    Ok(slots.into_iter().unzip())
+}
+
 fn rp_forest_knn(
     points: &DenseMatrix,
     k: usize,
     num_trees: usize,
     leaf_size: usize,
     seed: u64,
-) -> Vec<Vec<(usize, f64)>> {
+) -> (Vec<Vec<(usize, f64)>>, Vec<usize>) {
     let n = points.nrows();
     // Trees are seeded independently, so they build in parallel; the leaf
     // sets are then merged serially in tree order. Per-point candidate lists
@@ -284,18 +414,48 @@ fn rp_forest_knn(
             }
         }
     }
-    par::map_indexed(n, |p| {
+    let ranked: Vec<(Vec<(usize, f64)>, usize)> = par::map_indexed(n, |p| {
         let mut cand = candidates[p].clone();
         cand.sort_unstable();
         cand.dedup();
-        let mut dists: Vec<(usize, f64)> = cand
-            .into_iter()
-            .map(|q| (q, vecops::dist2_sq(points.row(p), points.row(q))))
-            .collect();
-        dists.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let pool = cand.len();
+        let mut dists = rank_candidates(points, p, &cand);
         dists.truncate(k);
-        dists
-    })
+        (dists, pool)
+    });
+    ranked.into_iter().unzip()
+}
+
+/// Scores `cand` against point `p` and sorts ascending by
+/// `(squared distance, id)`. Distances go 4-at-a-time through
+/// [`vecops::dist2_sq4`] so the AVX2 kernel (when the `simd` feature is on)
+/// accelerates the inner loop bit-identically.
+fn rank_candidates(points: &DenseMatrix, p: usize, cand: &[usize]) -> Vec<(usize, f64)> {
+    let rp = points.row(p);
+    let mut dists: Vec<(usize, f64)> = Vec::with_capacity(cand.len());
+    let mut quads = cand.chunks_exact(4);
+    for quad in &mut quads {
+        let &[q0, q1, q2, q3] = quad else {
+            continue; // unreachable: chunks_exact(4) yields length-4 slices
+        };
+        let d4 = vecops::dist2_sq4(
+            rp,
+            [
+                points.row(q0),
+                points.row(q1),
+                points.row(q2),
+                points.row(q3),
+            ],
+        );
+        for (&q, &d2) in quad.iter().zip(&d4) {
+            dists.push((q, d2));
+        }
+    }
+    for &q in quads.remainder() {
+        dists.push((q, vecops::dist2_sq(rp, points.row(q))));
+    }
+    dists.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    dists
 }
 
 /// Adds a minimum-spanning backbone over component representatives so the
@@ -510,6 +670,84 @@ mod tests {
         assert_eq!(a.num_edges(), b.num_edges());
         for (ea, eb) in a.edges().iter().zip(b.edges()) {
             assert_eq!((ea.u, ea.v), (eb.u, eb.v));
+        }
+    }
+
+    #[test]
+    fn hnsw_matches_exact_on_small_input() {
+        let pts = line_points(60);
+        let plain = KnnConfig {
+            ensure_connected: false,
+            ..KnnConfig::default()
+        };
+        let exact = knn_graph(&pts, 2, &plain).unwrap();
+        let approx = knn_graph(
+            &pts,
+            2,
+            &KnnConfig {
+                method: KnnMethod::hnsw_default(),
+                ..plain
+            },
+        )
+        .unwrap();
+        let mut hit = 0;
+        for e in exact.edges() {
+            if approx.edge_weight(e.u, e.v).is_some() {
+                hit += 1;
+            }
+        }
+        let recall = hit as f64 / exact.num_edges() as f64;
+        assert!(recall >= 0.95, "recall {recall}");
+    }
+
+    #[test]
+    fn stats_identify_approximate_methods() {
+        let pts = line_points(40);
+        let (_, stats) = knn_graph_with_stats(&pts, 3, &KnnConfig::default()).unwrap();
+        assert!(stats.is_none(), "exact search must report no stats");
+        let (_, stats) = knn_graph_with_stats(
+            &pts,
+            3,
+            &KnnConfig {
+                method: KnnMethod::hnsw_default(),
+                ..KnnConfig::default()
+            },
+        )
+        .unwrap();
+        let stats = stats.unwrap();
+        assert_eq!(stats.method, "hnsw");
+        assert_eq!(stats.requested_k, 3);
+        // ef_search bounds the pool; every point must surface ≥ k candidates.
+        assert!(stats.min_candidates >= 3, "{stats:?}");
+        assert!(stats.mean_candidates >= stats.min_candidates as f64);
+        let (_, stats) = knn_graph_with_stats(
+            &pts,
+            3,
+            &KnnConfig {
+                method: KnnMethod::RpForest {
+                    num_trees: 4,
+                    leaf_size: 8,
+                },
+                ..KnnConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.unwrap().method, "rp-forest");
+    }
+
+    #[test]
+    fn hnsw_deterministic_given_seed() {
+        let pts = line_points(80);
+        let cfg = KnnConfig {
+            method: KnnMethod::hnsw_default(),
+            ..KnnConfig::default()
+        };
+        let a = knn_graph(&pts, 3, &cfg).unwrap();
+        let b = knn_graph(&pts, 3, &cfg).unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+        for (ea, eb) in a.edges().iter().zip(b.edges()) {
+            assert_eq!((ea.u, ea.v), (eb.u, eb.v));
+            assert_eq!(ea.weight.to_bits(), eb.weight.to_bits());
         }
     }
 

@@ -7,8 +7,8 @@
 //! - [`knn_graph`] turns any embedding matrix (rows = nodes) into the initial
 //!   dense graph of Phase 2, with inverse-squared-distance weights so that
 //!   `1/w_pq = ‖Xᵀe_pq‖²` matches the PGM gradient identity of Eq. (7).
-//!   Exact (`O(n²)`) and random-projection-tree approximate flavours are
-//!   provided.
+//!   Exact (`O(n²)`), random-projection-tree, and deterministic HNSW
+//!   (`O(n log n)`, see [`HnswIndex`]) flavours are provided.
 //!
 //! # Example
 //!
@@ -30,11 +30,13 @@
 #![warn(missing_docs)]
 
 mod error;
+mod hnsw;
 mod knn;
 mod spectral;
 
 pub use error::EmbedError;
-pub use knn::{knn_graph, KnnConfig, KnnMethod};
+pub use hnsw::{HnswIndex, HnswParams, HnswScratch};
+pub use knn::{knn_graph, knn_graph_with_stats, KnnConfig, KnnMethod, KnnStats};
 pub use spectral::{
     augment_with_features, dense_spectral_embedding, spectral_embedding, spectral_embedding_ws,
     SpectralConfig,

@@ -5,7 +5,7 @@
 //! multiply-then-add into an FMA, because the η-score rankings downstream
 //! compare floats for exact reproducibility across feature sets.
 //!
-//! Two shapes keep that promise while still vectorizing:
+//! Three shapes keep that promise while still vectorizing:
 //!
 //! - [`axpy`] (spmm panel strips): `dst[j] += v * src[j]` is elementwise —
 //!   lanes never interact — so a 4-wide multiply-then-add performs exactly
@@ -16,6 +16,10 @@
 //!   different lengths are handled with masked gathers plus a blend, so a
 //!   lane that has exhausted its row keeps its accumulator untouched
 //!   (a blend, not `+ 0.0`, which would flip a `-0.0` partial sum).
+//! - [`dist2_sq4`] (kNN distance inner loop): the same lane-per-row trick
+//!   for squared distances — one query against four equal-length candidate
+//!   rows, each lane replaying `dist2_sq`'s scalar subtract → square → add
+//!   sequence left to right.
 //!
 //! This module is the only unsafe code in the workspace: the crate root
 //! relaxes `forbid(unsafe_code)` to `deny(unsafe_code)` only when the
@@ -23,10 +27,10 @@
 //! single functions, and `cirstag-lint`'s `unsafe-safety` rule verifies
 //! that every unsafe block and function carries a SAFETY rationale.
 //!
-//! Dispatch is total: both entry points return `false` when the AVX2 path
-//! is unavailable (non-x86_64 target, or the CPU lacks AVX2 at runtime),
-//! and the caller runs its scalar loop — so enabling the feature on any
-//! host is safe and never changes results.
+//! Dispatch is total: every entry point signals `false`/`None` when the
+//! AVX2 path is unavailable (non-x86_64 target, or the CPU lacks AVX2 at
+//! runtime), and the caller runs its scalar loop — so enabling the feature
+//! on any host is safe and never changes results.
 
 /// `dst[j] += v * src[j]` over the common prefix, 4 lanes at a time.
 ///
@@ -44,6 +48,29 @@ pub(crate) fn axpy(v: f64, src: &[f64], dst: &mut [f64]) -> bool {
     }
     let _ = (v, src, dst);
     false
+}
+
+/// Squared distances from `a` to four candidate rows, one lane per
+/// candidate — the kNN distance inner loop. Each lane replays
+/// `vecops::dist2_sq`'s scalar accumulation exactly: left to right over the
+/// dimensions, `(x − y)·(x − y)` then add, no FMA, so the quad is
+/// bit-identical to four scalar calls.
+///
+/// Returns `None` (having computed nothing) when the AVX2 path is
+/// unavailable or any candidate's length differs from `a`'s; the caller
+/// must then run the scalar loop (which owns the length-mismatch panic
+/// contract).
+#[allow(unsafe_code)]
+pub(crate) fn dist2_sq4(a: &[f64], b: [&[f64]; 4]) -> Option<[f64; 4]> {
+    #[cfg(target_arch = "x86_64")]
+    if b.iter().all(|c| c.len() == a.len()) && x86::avx2_available() {
+        // SAFETY: AVX2 availability was checked on this line's condition,
+        // and all four candidate slices were checked equal in length to
+        // `a`, which is `dist2_sq4_avx2`'s only other precondition.
+        return Some(unsafe { x86::dist2_sq4_avx2(a, b) });
+    }
+    let _ = (a, b);
+    None
 }
 
 /// SpMV over a row window: `y[r] = Σ values[k] · x[col_idx[k]]` for each
@@ -127,8 +154,8 @@ mod x86 {
     use core::arch::x86_64::{
         __m256i, _mm256_add_epi64, _mm256_add_pd, _mm256_blendv_pd, _mm256_castsi256_pd,
         _mm256_cmpgt_epi64, _mm256_loadu_pd, _mm256_mask_i64gather_epi64, _mm256_mask_i64gather_pd,
-        _mm256_mul_pd, _mm256_set1_epi64x, _mm256_set1_pd, _mm256_set_epi64x, _mm256_setzero_pd,
-        _mm256_setzero_si256, _mm256_storeu_pd,
+        _mm256_mul_pd, _mm256_set1_epi64x, _mm256_set1_pd, _mm256_set_epi64x, _mm256_set_pd,
+        _mm256_setzero_pd, _mm256_setzero_si256, _mm256_storeu_pd, _mm256_sub_pd,
     };
 
     /// Runtime AVX2 probe (cached by the standard library).
@@ -170,6 +197,35 @@ mod x86 {
             dst[j] += v * src[j];
             j += 1;
         }
+    }
+
+    /// Four squared distances in lockstep: lane `l` accumulates
+    /// `Σ_j (a[j] − b[l][j])²` left to right, subtract → multiply → add per
+    /// dimension (no FMA) — the exact operation sequence of the scalar
+    /// `dist2_sq` loop, so each lane is bit-identical to its scalar call.
+    /// The four candidate loads per dimension are scalar (`_mm256_set_pd`);
+    /// the win is the 4-wide subtract/multiply/add that follows.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (the caller checks [`avx2_available`]),
+    /// and every `b[l].len()` must equal `a.len()`.
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dist2_sq4_avx2(a: &[f64], b: [&[f64]; 4]) -> [f64; 4] {
+        let mut acc = _mm256_setzero_pd();
+        let [b0, b1, b2, b3] = b;
+        for (j, &x) in a.iter().enumerate() {
+            let xv = _mm256_set1_pd(x);
+            let yv = _mm256_set_pd(b3[j], b2[j], b1[j], b0[j]);
+            let diff = _mm256_sub_pd(xv, yv);
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+        }
+        let mut out = [0.0f64; 4];
+        // SAFETY: `out` is exactly four `f64`s, matching the 256-bit
+        // unaligned store.
+        unsafe { _mm256_storeu_pd(out.as_mut_ptr(), acc) };
+        out
     }
 
     /// Four CSR rows in lockstep: lane `l` accumulates row `l`'s dot

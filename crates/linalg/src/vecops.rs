@@ -65,6 +65,30 @@ pub fn dist2_sq(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
+/// Squared Euclidean distances from `a` to four candidate rows at once —
+/// the kNN distance inner loop. Lane `l` replays [`dist2_sq`]'s scalar
+/// accumulation for `b[l]` exactly (left to right, `(x − y)·(x − y)` then
+/// add, no FMA), so the result is bit-identical to four scalar calls
+/// whether or not the AVX2 fast path (behind the `simd` feature) runs.
+///
+/// # Panics
+///
+/// Panics if any candidate's length differs from `a`'s.
+#[inline]
+pub fn dist2_sq4(a: &[f64], b: [&[f64]; 4]) -> [f64; 4] {
+    #[cfg(feature = "simd")]
+    if let Some(out) = crate::simd::dist2_sq4(a, b) {
+        return out;
+    }
+    let [b0, b1, b2, b3] = b;
+    [
+        dist2_sq(a, b0),
+        dist2_sq(a, b1),
+        dist2_sq(a, b2),
+        dist2_sq(a, b3),
+    ]
+}
+
 /// Euclidean distance between two equal-length slices.
 #[inline]
 pub fn dist2(a: &[f64], b: &[f64]) -> f64 {

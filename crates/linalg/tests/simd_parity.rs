@@ -194,3 +194,58 @@ fn spmm_dense_interface_matches_reference_bitwise() {
         "mul_dense",
     );
 }
+
+#[test]
+fn dist2_sq4_matches_scalar_reference_bitwise() {
+    use cirstag_linalg::vecops;
+
+    // Scalar reference replaying the documented accumulation: per lane,
+    // left to right, `(x − y)·(x − y)` then add — no FMA, no reassociation.
+    fn reference(a: &[f64], b: [&[f64]; 4]) -> [f64; 4] {
+        let mut out = [0.0f64; 4];
+        for (lane, c) in b.iter().enumerate() {
+            let mut acc = 0.0f64;
+            for (x, y) in a.iter().zip(c.iter()) {
+                let d = x - y;
+                acc += d * d;
+            }
+            out[lane] = acc;
+        }
+        out
+    }
+
+    // Lengths straddle any unrolling and include the empty slice; the
+    // fixture mixes in exact signed zeros.
+    for &len in &[0usize, 1, 2, 3, 4, 5, 7, 8, 15, 16, 33, 100] {
+        let mut rng = XorShift(0xD157 + len as u64);
+        let a: Vec<f64> = (0..len).map(|_| rng.next_f64()).collect();
+        let rows: Vec<Vec<f64>> = (0..4)
+            .map(|_| (0..len).map(|_| rng.next_f64()).collect())
+            .collect();
+        let b = [
+            rows[0].as_slice(),
+            rows[1].as_slice(),
+            rows[2].as_slice(),
+            rows[3].as_slice(),
+        ];
+        let got = vecops::dist2_sq4(&a, b);
+        let want = reference(&a, b);
+        for lane in 0..4 {
+            assert_eq!(
+                got[lane].to_bits(),
+                want[lane].to_bits(),
+                "dist2_sq4 lane {lane} diverged at len {len}: {} vs {}",
+                got[lane],
+                want[lane]
+            );
+        }
+    }
+
+    // A lane identical to the query must come back exactly +0.0.
+    let mut rng = XorShift(99);
+    let a: Vec<f64> = (0..12).map(|_| rng.next_f64()).collect();
+    let got = vecops::dist2_sq4(&a, [&a, &a, &a, &a]);
+    for lane in 0..4 {
+        assert_eq!(got[lane].to_bits(), 0.0f64.to_bits());
+    }
+}

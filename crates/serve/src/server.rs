@@ -602,7 +602,12 @@ fn analysis_config(
         },
         ..Default::default()
     };
-    if design.graph.num_nodes() > 3000 {
+    // Neighbor-search tiering mirrors the CLI's `--knn auto` heuristic, with
+    // one extra rung: beyond ~50k pins the rp-forest candidate pools thin out
+    // and the HNSW index is both faster to query and holds its recall.
+    if design.graph.num_nodes() > 50_000 {
+        config.knn.method = KnnMethod::hnsw_default();
+    } else if design.graph.num_nodes() > 3000 {
         config.knn.method = KnnMethod::RpForest {
             num_trees: 6,
             leaf_size: 48,

@@ -1,7 +1,7 @@
 //! CLI exit-code contract: `0` for a clean run, `2` for a degraded
 //! best-effort run, `1` (an `Err` from `run`/`parse_args`) for hard errors.
 
-use cirstag_cli::{exit_code, parse_args, run, Command, RunStatus};
+use cirstag_cli::{exit_code, parse_args, run, Command, KnnChoice, RunStatus};
 
 fn temp_dir(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("cirstag_exit_codes_{name}"));
@@ -38,6 +38,7 @@ fn analyze_cmd(netlist: String, best_effort: bool) -> Command {
         threads: 2,
         best_effort,
         cache_dir: None,
+        knn: KnnChoice::Auto,
     }
 }
 
