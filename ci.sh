@@ -88,6 +88,54 @@ done
     --epochs 10 --shutdown
 wait "$SERVE_PID"
 
+echo "==> incremental ECO smoke test (cirstag diff on a ~50k-pin design)"
+# An ephemeral workspace: partitioned analyze writes the ECO manifest plus
+# the segmented artifact cache, one edge rescale re-scores through `diff`
+# (warm: only the dirty partition recomputes), and `diff --cold` recomputes
+# every partition as the bit-identity reference. The warm report must match
+# the cold one byte for byte and come back at least 5x faster on one core.
+# Pins 2832--2833 are a generator-deterministic edge interior to one BFS
+# region of this design (both endpoints two hops from any other partition);
+# if the generator or partitioner ever changes shape, apply_delta rejects
+# the missing edge or the recompute-count greps below fail loudly.
+ECO_DIR="$CI_TMP/eco"
+mkdir -p "$ECO_DIR"
+./target/release/cirstag generate --gates 16000 --seed 9 "$ECO_DIR/base.cir"
+./target/release/cirstag analyze "$ECO_DIR/base.cir" \
+    --partitions 8 --threads 1 --epochs 6 --cache-dir "$ECO_DIR/ws"
+cat >"$ECO_DIR/ops.json" <<'EOF'
+{
+  "schema": "cirstag-delta/v1",
+  "ops": [{ "op": "rescale_edge", "u": 2832, "v": 2833, "factor": 1.3 }]
+}
+EOF
+./target/release/cirstag diff --workspace "$ECO_DIR/ws" --delta "$ECO_DIR/ops.json" \
+    --threads 1 --out "$ECO_DIR/warm.json" | tee "$ECO_DIR/warm.log"
+./target/release/cirstag diff --workspace "$ECO_DIR/ws" --delta "$ECO_DIR/ops.json" \
+    --threads 1 --cold --out "$ECO_DIR/cold.json" | tee "$ECO_DIR/cold.log"
+if ! cmp -s "$ECO_DIR/warm.json" "$ECO_DIR/cold.json"; then
+    echo "ci.sh: warm diff report is not bit-identical to the cold reference" >&2
+    exit 1
+fi
+grep -q "^recomputed 1 of 8 partitions" "$ECO_DIR/warm.log" || {
+    echo "ci.sh: warm diff did not recompute exactly the one dirty partition" >&2
+    exit 1
+}
+grep -q "^recomputed 8 of 8 partitions" "$ECO_DIR/cold.log" || {
+    echo "ci.sh: cold diff did not recompute every partition" >&2
+    exit 1
+}
+WARM_MS=$(sed -n 's/^diff wall: \([0-9]*\) ms$/\1/p' "$ECO_DIR/warm.log")
+COLD_MS=$(sed -n 's/^diff wall: \([0-9]*\) ms$/\1/p' "$ECO_DIR/cold.log")
+echo "eco diff: warm ${WARM_MS}ms vs cold ${COLD_MS}ms"
+awk -v warm="$WARM_MS" -v cold="$COLD_MS" 'BEGIN {
+    if (warm == "" || cold == "") { print "ci.sh: missing diff wall lines"; exit 1 }
+    if (warm * 5 > cold) {
+        printf "ci.sh: warm diff (%sms) is not 5x faster than cold (%sms)\n", warm, cold
+        exit 1
+    }
+}'
+
 if [ "$BENCH_GATE" -eq 1 ]; then
     echo "==> bench gate (fresh run vs committed BENCH_parallel.json)"
     cargo run -q -p cirstag-bench --release --bin bench_parallel -- --gate

@@ -433,6 +433,100 @@ fn main() {
         });
     }
 
+    // ECO incremental re-analysis: a 10k-node design partitioned into 8
+    // regions, one edge rescaled deep inside one partition. The cold row
+    // re-runs every partition of the edited design from scratch; the warm
+    // row replays the untouched partitions from a cache primed on the base
+    // design and recomputes only the dirty region (plus halo viewers). Both
+    // rows run on one core — the speedup is cache locality, not threads.
+    {
+        use cirstag::{analyze_partitioned_cached, analyze_partitioned_cold};
+        use cirstag_circuit::{apply_delta, partition_graph, DeltaOp, NetlistDelta};
+
+        let geco = grid(100);
+        let eco_n = geco.num_nodes();
+        let eco_emb = random_dense(eco_n, 6, 31);
+        let eco_cfg = CirStagConfig {
+            embedding_dim: 6,
+            knn_k: 8,
+            num_eigenpairs: 4,
+            num_threads: 1,
+            ..CirStagConfig::default()
+        };
+        let partitioning = partition_graph(&geco, &cirstag_circuit::PartitionConfig::default())
+            .expect("partition bench grid");
+        let num_partitions = partitioning.num_partitions;
+        let halo_depth = partitioning.halo_depth;
+        let delta = NetlistDelta {
+            ops: vec![DeltaOp::RescaleEdge {
+                u: 0,
+                v: 1,
+                factor: 1.3,
+            }],
+        };
+        let outcome = apply_delta(&geco, None, &delta, &partitioning).expect("apply bench delta");
+        let mut eco_cache = ArtifactCache::new();
+        std::hint::black_box(
+            analyze_partitioned_cached(
+                &eco_cfg,
+                &geco,
+                None,
+                &eco_emb,
+                &partitioning.assignment,
+                num_partitions,
+                halo_depth,
+                &mut eco_cache,
+            )
+            .expect("prime eco cache"),
+        );
+        let eco_cold_ms = time_ms(1, || {
+            std::hint::black_box(
+                analyze_partitioned_cold(
+                    &eco_cfg,
+                    &outcome.graph,
+                    None,
+                    &eco_emb,
+                    &partitioning.assignment,
+                    num_partitions,
+                    halo_depth,
+                )
+                .expect("cold eco run"),
+            );
+        });
+        let mut eco_recomputed = 0;
+        let eco_warm_ms = time_ms(1, || {
+            let report = analyze_partitioned_cached(
+                &eco_cfg,
+                &outcome.graph,
+                None,
+                &eco_emb,
+                &partitioning.assignment,
+                num_partitions,
+                halo_depth,
+                &mut eco_cache,
+            )
+            .expect("warm eco delta run");
+            eco_recomputed = report.recomputed().len();
+            std::hint::black_box(report);
+        });
+        println!(
+            "{:>28} {:>8} {:>10.2}ms {:>10.2}ms {:>8.2}x  (cold vs delta, {eco_recomputed}/{num_partitions} partitions recomputed)",
+            "eco_delta", eco_n, eco_cold_ms, eco_warm_ms, eco_cold_ms / eco_warm_ms
+        );
+        assert!(
+            eco_recomputed < num_partitions,
+            "a one-edge delta recomputed every partition"
+        );
+        for wall_ms in [eco_cold_ms, eco_warm_ms] {
+            records.push(BenchRecord {
+                stage: "eco_delta".to_string(),
+                n: eco_n,
+                threads: 1,
+                wall_ms,
+            });
+        }
+    }
+
     // Resident-daemon answer latency: an in-process `cirstag serve` driven
     // by the load generator at full client concurrency, all tenants sharing
     // one artifact cache and one prepared design. The records capture the

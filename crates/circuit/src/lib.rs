@@ -34,6 +34,7 @@ mod features;
 mod generator;
 mod netlist;
 mod parser;
+mod partition;
 mod perturb;
 mod simulate;
 mod sta;
@@ -47,6 +48,10 @@ pub use generator::{
 };
 pub use netlist::{CellInstance, Net, NetId, Netlist};
 pub use parser::{parse_netlist, write_netlist};
+pub use partition::{
+    apply_delta, partition_graph, DeltaOp, DeltaOutcome, NetlistDelta, PartitionConfig,
+    Partitioning, MIN_PARTITION_NODES,
+};
 pub use perturb::{perturb_pin_caps, CapPerturbation};
 pub use simulate::{functional_agreement, simulate, simulate_outputs};
 pub use sta::StaEngine;

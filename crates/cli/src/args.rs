@@ -21,7 +21,19 @@ pub enum KnnChoice {
 }
 
 impl KnnChoice {
-    fn parse(s: &str) -> Result<KnnChoice, CliError> {
+    /// The command-line token for this backend; `parse(token())` round-trips.
+    /// The ECO workspace manifest persists this so `cirstag diff` rebuilds
+    /// the exact analyze-time configuration.
+    pub fn token(self) -> &'static str {
+        match self {
+            KnnChoice::Auto => "auto",
+            KnnChoice::Exact => "exact",
+            KnnChoice::RpForest => "rp-forest",
+            KnnChoice::Hnsw => "hnsw",
+        }
+    }
+
+    pub(crate) fn parse(s: &str) -> Result<KnnChoice, CliError> {
         match s {
             "auto" => Ok(KnnChoice::Auto),
             "exact" => Ok(KnnChoice::Exact),
@@ -52,7 +64,8 @@ pub enum Command {
         netlist: String,
     },
     /// `cirstag analyze <netlist> [--out report.json] [--epochs N] [--top F]
-    /// [--threads T] [--strict|--best-effort] [--cache-dir DIR]`
+    /// [--threads T] [--strict|--best-effort] [--cache-dir DIR]
+    /// [--partitions N]`
     Analyze {
         /// Netlist path.
         netlist: String,
@@ -73,6 +86,30 @@ pub enum Command {
         cache_dir: Option<String>,
         /// Neighbor-search backend for the Phase-2 manifold graphs.
         knn: KnnChoice,
+        /// Partition the design into this many regions and run the
+        /// partition-scoped pipeline, writing an ECO workspace (manifest +
+        /// segmented artifact cache) that `cirstag diff` replays. Requires
+        /// `--cache-dir`; the count is validated against the design size.
+        partitions: Option<usize>,
+    },
+    /// `cirstag diff --workspace DIR (--edited edited.cir | --delta ops.json)
+    /// [--out report.json] [--threads T] [--strict|--best-effort] [--cold]`
+    Diff {
+        /// ECO workspace directory written by `analyze --partitions`.
+        workspace: String,
+        /// Edited netlist path (must preserve the pin count).
+        edited: Option<String>,
+        /// Netlist-delta ops file (`cirstag-delta/v1` JSON).
+        delta: Option<String>,
+        /// Optional JSON destination for the deterministic ECO report.
+        out: Option<String>,
+        /// Worker threads for the analysis pipeline (`0` = all cores).
+        threads: usize,
+        /// Failure-policy override; `None` inherits the workspace policy.
+        best_effort: Option<bool>,
+        /// Ignore the segmented disk cache and recompute every partition
+        /// (reference run for bit-identity and speedup checks).
+        cold: bool,
     },
     /// `cirstag sweep <netlist> [--dmd-s LIST] [--out reports.json]
     /// [--epochs N] [--threads T] [--strict|--best-effort] [--cache-dir DIR]
@@ -167,6 +204,16 @@ USAGE:
                             [--knn METHOD]          Phase-2 neighbor search:
                                                      auto (default), exact,
                                                      rp-forest, or hnsw
+                            [--partitions N]        partition-scoped run; writes
+                                                     an ECO workspace (requires
+                                                     --cache-dir) for diff
+  cirstag diff --workspace DIR                      incremental ECO re-analysis:
+               (--edited e.cir | --delta ops.json)  re-score an edited design,
+               [--out report.json] [--threads T]    recomputing only dirty
+               [--strict|--best-effort] [--cold]    partitions (+halo) against
+                                                    the workspace cache; --cold
+                                                    recomputes everything as a
+                                                    bit-identity reference
   cirstag sweep <netlist> [--dmd-s 5,10,15,20,25]   analyze once per DMD
                           [--out reports.json]      subspace size s, replaying
                           [--epochs N] [--threads T] cached Phase-1/2 artifacts
@@ -175,7 +222,7 @@ USAGE:
   cirstag dot <netlist> [--scores report.json]      Graphviz DOT of the pin graph
   cirstag serve [--addr 127.0.0.1:0] [--workers N]  resident analysis daemon
                 [--queue N] [--deadline-ms MS]      speaking NDJSON over TCP
-                [--strict|--best-effort]            (verbs: analyze, sweep,
+                [--strict|--best-effort]            (verbs: analyze, sweep, delta,
                 [--cache-dir DIR]                   health, stats, shutdown);
                 [--port-file PATH]                  sheds load past the queue
                                                     bound, respawns panicked
@@ -253,6 +300,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut best_effort = false;
             let mut cache_dir = None;
             let mut knn = KnnChoice::Auto;
+            let mut partitions = None;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
@@ -272,6 +320,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         epochs = value(&rest, &mut i, "--epochs")?
                             .parse()
                             .map_err(|_| CliError::new("--epochs expects an integer"))?;
+                    }
+                    "--partitions" => {
+                        // `0` and absurd counts pass the parser; the command
+                        // layer validates them against the design size so the
+                        // error can be typed by the partitioner itself.
+                        partitions = Some(
+                            value(&rest, &mut i, "--partitions")?
+                                .parse()
+                                .map_err(|_| CliError::new("--partitions expects an integer"))?,
+                        );
                     }
                     "--top" => {
                         top = value(&rest, &mut i, "--top")?
@@ -296,6 +354,52 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 best_effort,
                 cache_dir,
                 knn,
+                partitions,
+            })
+        }
+        "diff" => {
+            let mut workspace = None;
+            let mut edited = None;
+            let mut delta = None;
+            let mut out = None;
+            let mut threads = 0usize;
+            let mut best_effort = None;
+            let mut cold = false;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--workspace" => {
+                        workspace = Some(value(&rest, &mut i, "--workspace")?.to_string());
+                    }
+                    "--edited" => edited = Some(value(&rest, &mut i, "--edited")?.to_string()),
+                    "--delta" => delta = Some(value(&rest, &mut i, "--delta")?.to_string()),
+                    "--out" => out = Some(value(&rest, &mut i, "--out")?.to_string()),
+                    "--strict" => best_effort = Some(false),
+                    "--best-effort" => best_effort = Some(true),
+                    "--cold" => cold = true,
+                    "--threads" => {
+                        threads = value(&rest, &mut i, "--threads")?
+                            .parse()
+                            .map_err(|_| CliError::new("--threads expects an integer"))?;
+                    }
+                    other => return Err(CliError::new(format!("unknown flag {other}\n{USAGE}"))),
+                }
+                i += 1;
+            }
+            if edited.is_some() == delta.is_some() {
+                return Err(CliError::new(format!(
+                    "diff needs exactly one edit source: --edited <netlist> or --delta <ops.json>\n{USAGE}"
+                )));
+            }
+            Ok(Command::Diff {
+                workspace: workspace
+                    .ok_or_else(|| CliError::new(format!("--workspace is required\n{USAGE}")))?,
+                edited,
+                delta,
+                out,
+                threads,
+                best_effort,
+                cold,
             })
         }
         "sweep" => {
@@ -546,6 +650,7 @@ mod tests {
                 best_effort,
                 cache_dir,
                 knn,
+                partitions,
             } => {
                 assert_eq!(netlist, "d.cir");
                 assert!(out.is_none());
@@ -555,6 +660,7 @@ mod tests {
                 assert!(!best_effort, "strict is the default policy");
                 assert!(cache_dir.is_none(), "caching is opt-in");
                 assert_eq!(knn, KnnChoice::Auto, "backend heuristic is the default");
+                assert!(partitions.is_none(), "whole-design analysis is the default");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -633,6 +739,102 @@ mod tests {
         }
         assert!(parse_args(&strs(&["analyze", "d.cir", "--knn", "kdtree"])).is_err());
         assert!(parse_args(&strs(&["analyze", "d.cir", "--knn"])).is_err());
+    }
+
+    #[test]
+    fn analyze_parses_partitions() {
+        let cmd = parse_args(&strs(&["analyze", "d.cir", "--partitions", "8"])).unwrap();
+        match cmd {
+            Command::Analyze { partitions, .. } => assert_eq!(partitions, Some(8)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // `0` parses; the command layer rejects it with the partitioner's
+        // typed error once the design size is known.
+        let cmd = parse_args(&strs(&["analyze", "d.cir", "--partitions", "0"])).unwrap();
+        match cmd {
+            Command::Analyze { partitions, .. } => assert_eq!(partitions, Some(0)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&strs(&["analyze", "d.cir", "--partitions", "x"])).is_err());
+        assert!(parse_args(&strs(&["analyze", "d.cir", "--partitions"])).is_err());
+    }
+
+    #[test]
+    fn parses_diff() {
+        let cmd = parse_args(&strs(&[
+            "diff",
+            "--workspace",
+            "/tmp/ws",
+            "--delta",
+            "ops.json",
+            "--out",
+            "r.json",
+            "--threads",
+            "1",
+            "--cold",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Diff {
+                workspace: "/tmp/ws".to_string(),
+                edited: None,
+                delta: Some("ops.json".to_string()),
+                out: Some("r.json".to_string()),
+                threads: 1,
+                best_effort: None,
+                cold: true,
+            }
+        );
+        let cmd = parse_args(&strs(&[
+            "diff",
+            "--workspace",
+            "/tmp/ws",
+            "--edited",
+            "e.cir",
+            "--best-effort",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Diff {
+                workspace: "/tmp/ws".to_string(),
+                edited: Some("e.cir".to_string()),
+                delta: None,
+                out: None,
+                threads: 0,
+                best_effort: Some(true),
+                cold: false,
+            }
+        );
+    }
+
+    #[test]
+    fn diff_requires_workspace_and_one_edit_source() {
+        assert!(parse_args(&strs(&["diff", "--edited", "e.cir"])).is_err());
+        assert!(parse_args(&strs(&["diff", "--workspace", "/tmp/ws"])).is_err());
+        assert!(parse_args(&strs(&[
+            "diff",
+            "--workspace",
+            "/tmp/ws",
+            "--edited",
+            "e.cir",
+            "--delta",
+            "d.json",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn knn_tokens_roundtrip() {
+        for choice in [
+            KnnChoice::Auto,
+            KnnChoice::Exact,
+            KnnChoice::RpForest,
+            KnnChoice::Hnsw,
+        ] {
+            assert_eq!(KnnChoice::parse(choice.token()).unwrap(), choice);
+        }
     }
 
     #[test]

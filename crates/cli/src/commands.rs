@@ -2,10 +2,14 @@
 
 use crate::args::{KnnChoice, USAGE};
 use crate::{CliError, Command};
-use cirstag::{analyze_sweep, ArtifactCache, CirStag, CirStagConfig, FailurePolicy, ReportExport};
+use cirstag::{
+    analyze_partitioned_cached, analyze_partitioned_cold, analyze_sweep, ArtifactCache, CirStag,
+    CirStagConfig, EcoReportExport, FailurePolicy, PartitionedReport, ReportExport,
+};
 use cirstag_circuit::{
-    extract_features, generate_circuit, parse_netlist, write_netlist, CellLibrary, FeatureConfig,
-    GeneratorConfig, Netlist, PinRole, StaEngine, TimingGraph,
+    apply_delta, extract_features, generate_circuit, parse_netlist, partition_graph, write_netlist,
+    CellLibrary, FeatureConfig, GeneratorConfig, Netlist, NetlistDelta, PartitionConfig, PinRole,
+    StaEngine, TimingGraph,
 };
 use cirstag_embed::KnnMethod;
 use cirstag_gnn::{r2_score, Activation, GnnModel, GraphContext, LayerSpec, TrainConfig};
@@ -51,6 +55,7 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<RunStatus,
             best_effort,
             cache_dir,
             knn,
+            partitions,
         } => analyze(
             netlist,
             report_path.as_deref(),
@@ -60,6 +65,25 @@ pub fn run(command: &Command, out: &mut dyn std::io::Write) -> Result<RunStatus,
             *best_effort,
             cache_dir.as_deref(),
             *knn,
+            *partitions,
+            out,
+        ),
+        Command::Diff {
+            workspace,
+            edited,
+            delta,
+            out: report_path,
+            threads,
+            best_effort,
+            cold,
+        } => diff(
+            workspace,
+            edited.as_deref(),
+            delta.as_deref(),
+            report_path.as_deref(),
+            *threads,
+            *best_effort,
+            *cold,
             out,
         ),
         Command::Sweep {
@@ -311,11 +335,82 @@ fn analyze(
     best_effort: bool,
     cache_dir: Option<&str>,
     knn: KnnChoice,
+    partitions: Option<usize>,
     out: &mut dyn std::io::Write,
 ) -> Result<RunStatus, CliError> {
     let (library, netlist) = load(path)?;
     let timing = TimingGraph::new(&netlist, &library)?;
     let graph = timing.to_undirected_graph()?;
+    if let Some(num_partitions) = partitions {
+        let workspace = cache_dir.ok_or_else(|| {
+            CliError::new(
+                "--partitions needs --cache-dir DIR: the directory becomes the \
+                 ECO workspace that `cirstag diff` replays",
+            )
+        })?;
+        let pconfig = PartitionConfig {
+            num_partitions,
+            ..PartitionConfig::default()
+        };
+        pconfig.validate(graph.num_nodes())?;
+        let (features, embedding) = train_gnn(&timing, &netlist, &library, &graph, epochs, out)?;
+        let config = base_config(&graph, threads, best_effort, knn);
+        let partitioning = partition_graph(&graph, &pconfig)?;
+        let mut cache = ArtifactCache::new().with_disk_dir(workspace);
+        let report = analyze_partitioned_cached(
+            &config,
+            &graph,
+            Some(&features),
+            &embedding,
+            &partitioning.assignment,
+            partitioning.num_partitions,
+            partitioning.halo_depth,
+            &mut cache,
+        )?;
+        writeln!(
+            out,
+            "partitioned into {} regions (halo depth {}), root {}",
+            report.num_partitions,
+            report.halo_depth,
+            report.root.hex()
+        )?;
+        write_partition_table(&report, out)?;
+        let manifest = EcoManifest {
+            schema: ECO_MANIFEST_SCHEMA.to_string(),
+            num_partitions: partitioning.num_partitions,
+            halo_depth: partitioning.halo_depth,
+            seed: partitioning.seed,
+            epochs,
+            knn: knn.token().to_string(),
+            best_effort,
+            assignment: partitioning
+                .assignment
+                .iter()
+                .map(|&p| p as usize)
+                .collect(),
+            netlist: write_netlist(&netlist, &library),
+            feature_cols: features.ncols(),
+            features: features.as_slice().to_vec(),
+            embedding_cols: embedding.ncols(),
+            embedding: embedding.as_slice().to_vec(),
+        };
+        let manifest_path = std::path::Path::new(workspace).join(ECO_MANIFEST_FILE);
+        std::fs::write(&manifest_path, manifest.to_json()?)
+            .map_err(|e| CliError::new(format!("cannot write {}: {e}", manifest_path.display())))?;
+        writeln!(out, "eco workspace written to {workspace}")?;
+        write_unstable_pins(&timing, &netlist, &report.node_scores, top, out)?;
+        if let Some(rp) = report_path {
+            std::fs::write(rp, EcoReportExport::from_report(&report).to_json()?)
+                .map_err(|e| CliError::new(format!("cannot write {rp}: {e}")))?;
+            writeln!(out, "\neco report written to {rp}")?;
+        }
+        return if report.degraded {
+            writeln!(out, "\nanalysis completed DEGRADED (see partition table)")?;
+            Ok(RunStatus::Degraded)
+        } else {
+            Ok(RunStatus::Clean)
+        };
+    }
     let (features, embedding) = train_gnn(&timing, &netlist, &library, &graph, epochs, out)?;
     let config = base_config(&graph, threads, best_effort, knn);
     let report = match cache_dir {
@@ -332,10 +427,33 @@ fn analyze(
             writeln!(out, "  warning: {w}")?;
         }
     }
+    write_unstable_pins(&timing, &netlist, &report.node_scores, top, out)?;
+    if let Some(rp) = report_path {
+        std::fs::write(rp, report.to_json()?)
+            .map_err(|e| CliError::new(format!("cannot write {rp}: {e}")))?;
+        writeln!(out, "\nfull report written to {rp}")?;
+    }
+    if report.degraded {
+        writeln!(out, "\nanalysis completed DEGRADED (see diagnostics above)")?;
+        Ok(RunStatus::Degraded)
+    } else {
+        Ok(RunStatus::Clean)
+    }
+}
+
+/// Lists the `top` fraction of unstable pins (capacitive, non-output) with
+/// their driving nets.
+fn write_unstable_pins(
+    timing: &TimingGraph,
+    netlist: &Netlist,
+    node_scores: &[f64],
+    top: f64,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
     let eligible: Vec<bool> = (0..timing.num_pins())
         .map(|p| timing.pin(p).capacitance > 0.0 && timing.pin(p).role != PinRole::PrimaryOutput)
         .collect();
-    let unstable = cirstag::top_fraction(&report.node_scores, top, Some(&eligible));
+    let unstable = cirstag::top_fraction(node_scores, top, Some(&eligible));
     writeln!(
         out,
         "\nmost unstable {:.0}% of pins ({} pins):",
@@ -347,19 +465,276 @@ fn analyze(
         writeln!(
             out,
             "  pin {:<7} net {:<16} score {:.4e}",
-            p, netlist.nets[info.net].name, report.node_scores[p]
+            p, netlist.nets[info.net].name, node_scores[p]
         )?;
     }
     if unstable.len() > 15 {
         writeln!(out, "  … ({} more)", unstable.len() - 15)?;
     }
+    Ok(())
+}
+
+/// Per-partition recompute table for partitioned runs: which regions
+/// replayed from the segmented cache and which were recomputed.
+fn write_partition_table(
+    report: &PartitionedReport,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    writeln!(out, "  part  owned   halo   hits  miss  wall")?;
+    for r in &report.partitions {
+        writeln!(
+            out,
+            "  {:<5} {:<7} {:<6} {:<5} {:<5} {:.1} ms{}",
+            r.id,
+            r.owned,
+            r.halo,
+            r.cache_hits,
+            r.cache_misses,
+            r.wall.as_secs_f64() * 1e3,
+            if r.degraded { "  [degraded]" } else { "" }
+        )?;
+    }
+    writeln!(
+        out,
+        "  total: {} stage hits, {} recomputed, wall {:.1} ms",
+        report.cache_hits(),
+        report.cache_misses(),
+        report.wall.as_secs_f64() * 1e3
+    )?;
+    Ok(())
+}
+
+/// File name of the ECO workspace manifest inside the cache directory.
+const ECO_MANIFEST_FILE: &str = "eco_manifest.json";
+/// Schema tag of the ECO workspace manifest.
+const ECO_MANIFEST_SCHEMA: &str = "cirstag-eco/v1";
+
+/// Everything `cirstag diff` needs to re-score an edited design against an
+/// ECO workspace: the partitioning inputs, the analyze-time configuration
+/// knobs that feed stage fingerprints, and the bit-exact base feature and
+/// embedding matrices. The GNN is trained once, when the workspace is
+/// created; delta runs reuse its stored output so untouched partitions
+/// replay from the segmented cache.
+struct EcoManifest {
+    schema: String,
+    num_partitions: usize,
+    halo_depth: usize,
+    seed: u64,
+    epochs: usize,
+    knn: String,
+    best_effort: bool,
+    assignment: Vec<usize>,
+    netlist: String,
+    feature_cols: usize,
+    features: Vec<f64>,
+    embedding_cols: usize,
+    embedding: Vec<f64>,
+}
+
+serde::impl_serde_struct!(EcoManifest {
+    schema,
+    num_partitions,
+    halo_depth,
+    seed,
+    epochs,
+    knn,
+    best_effort,
+    assignment,
+    netlist,
+    feature_cols,
+    features,
+    embedding_cols,
+    embedding,
+});
+
+impl EcoManifest {
+    fn to_json(&self) -> Result<String, CliError> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| CliError::new(format!("manifest serialization failed: {e}")))
+    }
+
+    fn from_json(text: &str) -> Result<Self, CliError> {
+        let manifest: EcoManifest = serde_json::from_str(text)
+            .map_err(|e| CliError::new(format!("malformed eco manifest: {e}")))?;
+        if manifest.schema != ECO_MANIFEST_SCHEMA {
+            return Err(CliError::new(format!(
+                "unsupported eco manifest schema {:?} (expected {ECO_MANIFEST_SCHEMA:?})",
+                manifest.schema
+            )));
+        }
+        Ok(manifest)
+    }
+}
+
+/// Rebuilds a row-major matrix persisted in the manifest.
+fn matrix_from_flat(cols: usize, data: &[f64], what: &str) -> Result<DenseMatrix, CliError> {
+    if cols == 0 || !data.len().is_multiple_of(cols) {
+        return Err(CliError::new(format!(
+            "eco manifest {what} matrix is malformed ({} values over {cols} columns)",
+            data.len()
+        )));
+    }
+    Ok(DenseMatrix::from_vec(
+        data.len() / cols,
+        cols,
+        data.to_vec(),
+    )?)
+}
+
+/// Incremental ECO re-analysis: re-scores an edited design against the
+/// workspace written by `analyze --partitions`, recomputing only partitions
+/// whose Merkle leaves changed (plus halo invalidation) and replaying the
+/// rest from the segmented artifact cache. `--cold` recomputes everything
+/// instead and must produce a byte-identical report file.
+#[allow(clippy::too_many_arguments)]
+fn diff(
+    workspace: &str,
+    edited: Option<&str>,
+    delta: Option<&str>,
+    report_path: Option<&str>,
+    threads: usize,
+    best_effort: Option<bool>,
+    cold: bool,
+    out: &mut dyn std::io::Write,
+) -> Result<RunStatus, CliError> {
+    let manifest_path = std::path::Path::new(workspace).join(ECO_MANIFEST_FILE);
+    let text = std::fs::read_to_string(&manifest_path).map_err(|e| {
+        CliError::new(format!(
+            "{workspace} is not an ECO workspace ({}: {e}); run \
+             `cirstag analyze <netlist> --partitions N --cache-dir {workspace}` first",
+            manifest_path.display()
+        ))
+    })?;
+    let manifest = EcoManifest::from_json(&text)?;
+    let library = CellLibrary::standard();
+    let base_netlist = parse_netlist(&manifest.netlist, &library)?;
+    let base_timing = TimingGraph::new(&base_netlist, &library)?;
+    let base_graph = base_timing.to_undirected_graph()?;
+    let n = base_graph.num_nodes();
+    let base_features = matrix_from_flat(manifest.feature_cols, &manifest.features, "feature")?;
+    let embedding = matrix_from_flat(manifest.embedding_cols, &manifest.embedding, "embedding")?;
+    if base_features.nrows() != n || embedding.nrows() != n || manifest.assignment.len() != n {
+        return Err(CliError::new(format!(
+            "eco manifest is inconsistent: {n} pins vs {} feature rows, {} embedding rows, \
+             {} assignments",
+            base_features.nrows(),
+            embedding.nrows(),
+            manifest.assignment.len()
+        )));
+    }
+    // Re-derive the partitioning from the recorded config; a mismatch with
+    // the stored assignment means the workspace was built from a different
+    // base design than the manifest claims.
+    let pconfig = PartitionConfig {
+        num_partitions: manifest.num_partitions,
+        seed: manifest.seed,
+        halo_depth: manifest.halo_depth,
+    };
+    pconfig.validate(n)?;
+    let partitioning = partition_graph(&base_graph, &pconfig)?;
+    let stored: Vec<u32> = manifest.assignment.iter().map(|&p| p as u32).collect();
+    if partitioning.assignment != stored {
+        return Err(CliError::new(
+            "eco manifest is inconsistent: the stored partition assignment does not match \
+             the recorded base design",
+        ));
+    }
+    let (graph, features) = match (edited, delta) {
+        (Some(path), None) => {
+            let (_, netlist) = load(path)?;
+            let timing = TimingGraph::new(&netlist, &library)?;
+            let graph = timing.to_undirected_graph()?;
+            if graph.num_nodes() != n {
+                return Err(CliError::new(format!(
+                    "edited design has {} pins but the workspace base has {n}; incremental \
+                     re-analysis needs node-count-preserving edits (re-run analyze --partitions \
+                     for structural changes)",
+                    graph.num_nodes()
+                )));
+            }
+            let features = extract_features(
+                &timing,
+                &netlist,
+                &library,
+                &timing.pin_caps(),
+                &FeatureConfig::default(),
+            )?;
+            writeln!(out, "edited netlist {path}: fingerprints decide dirtiness")?;
+            (graph, features)
+        }
+        (None, Some(path)) => {
+            let ops_text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
+            let netlist_delta = NetlistDelta::from_json(&ops_text)?;
+            let outcome = apply_delta(
+                &base_graph,
+                Some(&base_features),
+                &netlist_delta,
+                &partitioning,
+            )?;
+            writeln!(
+                out,
+                "delta {path}: {} ops touch {} pins in partitions {:?}",
+                netlist_delta.ops.len(),
+                outcome.touched_nodes.len(),
+                outcome.touched_partitions
+            )?;
+            let features = outcome
+                .features
+                .ok_or_else(|| CliError::new("delta application dropped the feature matrix"))?;
+            (outcome.graph, features)
+        }
+        // The parser enforces exactly one edit source.
+        _ => unreachable!("diff needs exactly one of --edited/--delta"),
+    };
+    let knn = KnnChoice::parse(&manifest.knn)?;
+    let config = base_config(
+        &graph,
+        threads,
+        best_effort.unwrap_or(manifest.best_effort),
+        knn,
+    );
+    let report = if cold {
+        analyze_partitioned_cold(
+            &config,
+            &graph,
+            Some(&features),
+            &embedding,
+            &partitioning.assignment,
+            partitioning.num_partitions,
+            partitioning.halo_depth,
+        )?
+    } else {
+        let mut cache = ArtifactCache::new().with_disk_dir(workspace);
+        analyze_partitioned_cached(
+            &config,
+            &graph,
+            Some(&features),
+            &embedding,
+            &partitioning.assignment,
+            partitioning.num_partitions,
+            partitioning.halo_depth,
+            &mut cache,
+        )?
+    };
+    writeln!(out, "root {}", report.root.hex())?;
+    write_partition_table(&report, out)?;
+    let recomputed = report.recomputed();
+    writeln!(
+        out,
+        "recomputed {} of {} partitions: {recomputed:?}",
+        recomputed.len(),
+        report.num_partitions
+    )?;
+    // Parseable by scripts (ci.sh computes the warm/cold speedup from it).
+    writeln!(out, "diff wall: {} ms", report.wall.as_millis())?;
     if let Some(rp) = report_path {
-        std::fs::write(rp, report.to_json()?)
+        std::fs::write(rp, EcoReportExport::from_report(&report).to_json()?)
             .map_err(|e| CliError::new(format!("cannot write {rp}: {e}")))?;
-        writeln!(out, "\nfull report written to {rp}")?;
+        writeln!(out, "eco report written to {rp}")?;
     }
     if report.degraded {
-        writeln!(out, "\nanalysis completed DEGRADED (see diagnostics above)")?;
+        writeln!(out, "re-analysis completed DEGRADED (see partition table)")?;
         Ok(RunStatus::Degraded)
     } else {
         Ok(RunStatus::Clean)
@@ -624,6 +999,7 @@ mod tests {
             best_effort: false,
             cache_dir: None,
             knn: KnnChoice::Auto,
+            partitions: None,
         })
         .unwrap();
         assert!(text.contains("most unstable"));
@@ -691,6 +1067,155 @@ mod tests {
         let serve_out = daemon.join().unwrap().unwrap();
         assert!(serve_out.contains("listening on"), "{serve_out}");
         assert!(serve_out.contains("drained"), "{serve_out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partitioned_analyze_and_diff_roundtrip() {
+        use cirstag_circuit::DeltaOp;
+        let dir = std::env::temp_dir().join("cirstag_cli_eco");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let cir = dir.join("e.cir");
+        let ws = dir.join("ws");
+        run_to_string(&Command::Generate {
+            gates: 60,
+            seed: 5,
+            out: cir.to_str().unwrap().to_string(),
+        })
+        .unwrap();
+        let text = run_to_string(&Command::Analyze {
+            netlist: cir.to_str().unwrap().to_string(),
+            out: None,
+            epochs: 40,
+            top: 0.10,
+            threads: 1,
+            best_effort: false,
+            cache_dir: Some(ws.to_str().unwrap().to_string()),
+            knn: KnnChoice::Auto,
+            partitions: Some(4),
+        })
+        .unwrap();
+        assert!(text.contains("partitioned into 4 regions"), "{text}");
+        assert!(text.contains("eco workspace written"), "{text}");
+        assert!(ws.join(ECO_MANIFEST_FILE).is_file());
+
+        // A capacitance drift on one pin: a one-partition edit (plus halo).
+        let delta = NetlistDelta {
+            ops: vec![DeltaOp::FeatureDrift {
+                node: 0,
+                scale: 1.02,
+            }],
+        };
+        let delta_path = dir.join("drift.json");
+        std::fs::write(&delta_path, delta.to_json().unwrap()).unwrap();
+
+        let warm_json = dir.join("warm.json");
+        let warm = run_to_string(&Command::Diff {
+            workspace: ws.to_str().unwrap().to_string(),
+            edited: None,
+            delta: Some(delta_path.to_str().unwrap().to_string()),
+            out: Some(warm_json.to_str().unwrap().to_string()),
+            threads: 1,
+            best_effort: None,
+            cold: false,
+        })
+        .unwrap();
+        assert!(warm.contains("diff wall:"), "{warm}");
+        assert!(warm.contains(" of 4 partitions"), "{warm}");
+        assert!(
+            !warm.contains("recomputed 4 of 4"),
+            "a one-pin drift must replay at least one partition from cache:\n{warm}"
+        );
+
+        // The cold reference recomputes everything yet must serialize the
+        // exact same deterministic payload.
+        let cold_json = dir.join("cold.json");
+        let cold = run_to_string(&Command::Diff {
+            workspace: ws.to_str().unwrap().to_string(),
+            edited: None,
+            delta: Some(delta_path.to_str().unwrap().to_string()),
+            out: Some(cold_json.to_str().unwrap().to_string()),
+            threads: 1,
+            best_effort: None,
+            cold: true,
+        })
+        .unwrap();
+        assert!(cold.contains("recomputed 4 of 4"), "{cold}");
+        assert_eq!(
+            std::fs::read(&warm_json).unwrap(),
+            std::fs::read(&cold_json).unwrap(),
+            "warm delta payload must be byte-identical to the cold reference"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partitioned_analyze_validates_inputs() {
+        let dir = std::env::temp_dir().join("cirstag_cli_eco_validate");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let cir = dir.join("v.cir");
+        run_to_string(&Command::Generate {
+            gates: 40,
+            seed: 11,
+            out: cir.to_str().unwrap().to_string(),
+        })
+        .unwrap();
+        let base = Command::Analyze {
+            netlist: cir.to_str().unwrap().to_string(),
+            out: None,
+            epochs: 10,
+            top: 0.10,
+            threads: 1,
+            best_effort: false,
+            cache_dir: Some(dir.join("ws").to_str().unwrap().to_string()),
+            knn: KnnChoice::Auto,
+            partitions: Some(0),
+        };
+        let err = run_to_string(&base).unwrap_err();
+        assert!(err.message.contains("at least 1"), "{}", err.message);
+        let absurd = match &base {
+            Command::Analyze { .. } => {
+                let mut cmd = base.clone();
+                if let Command::Analyze { partitions, .. } = &mut cmd {
+                    *partitions = Some(1_000_000);
+                }
+                cmd
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        let err = run_to_string(&absurd).unwrap_err();
+        assert!(err.message.contains("absurd"), "{}", err.message);
+        // The workspace is where diff replays from, so it is mandatory.
+        let mut no_ws = base.clone();
+        if let Command::Analyze {
+            cache_dir,
+            partitions,
+            ..
+        } = &mut no_ws
+        {
+            *cache_dir = None;
+            *partitions = Some(2);
+        }
+        let err = run_to_string(&no_ws).unwrap_err();
+        assert!(err.message.contains("--cache-dir"), "{}", err.message);
+        // And a directory without a manifest is not a workspace.
+        let err = run_to_string(&Command::Diff {
+            workspace: dir.join("nowhere").to_str().unwrap().to_string(),
+            edited: None,
+            delta: Some("unused.json".to_string()),
+            out: None,
+            threads: 1,
+            best_effort: None,
+            cold: false,
+        })
+        .unwrap_err();
+        assert!(
+            err.message.contains("not an ECO workspace"),
+            "{}",
+            err.message
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

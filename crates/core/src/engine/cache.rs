@@ -36,7 +36,14 @@ use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Schema tag written into every on-disk entry; bumped whenever the
 /// payload layout changes so stale files read as misses, not garbage.
-const DISK_SCHEMA: &str = "cirstag-artifact/v2";
+/// v3 added the `segment` field (the partition label of a
+/// partition-scoped stage artifact).
+const DISK_SCHEMA: &str = "cirstag-artifact/v3";
+
+/// Error-message prefix for a schema mismatch. A stale-but-well-formed
+/// entry written by another version reads as a plain miss (the disk dir may
+/// be shared across versions), unlike genuine corruption, which quarantines.
+const SCHEMA_MISMATCH: &str = "unsupported cache entry schema";
 
 /// Suffix appended to a corrupt entry's file name when it is quarantined.
 const QUARANTINE_SUFFIX: &str = ".quarantined";
@@ -102,6 +109,12 @@ pub struct CachedArtifact {
     pub warnings: Vec<String>,
     /// Approximate-kNN records the stage emitted when it was computed.
     pub knn: Vec<ApproxKnnRecord>,
+    /// Partition label (`"partition/<id>"`) for segmented, partition-scoped
+    /// artifacts; `None` for whole-design stages. Metadata only — the
+    /// fingerprint key already separates segments, since each partition's
+    /// subgraph hashes differently — but recorded so operators can map a
+    /// disk entry back to its region.
+    pub segment: Option<String>,
 }
 
 /// An in-memory entry plus its LRU clock reading.
@@ -241,7 +254,13 @@ impl ArtifactCache {
         match serde_json::from_str(&text) {
             Ok(entry) => Some(entry),
             Err(e) => {
-                self.quarantine(&path, &e.to_string());
+                let reason = e.to_string();
+                if reason.contains(SCHEMA_MISMATCH) {
+                    // Stale version, not corruption: leave the file for the
+                    // version that wrote it and treat it as a miss.
+                    return None;
+                }
+                self.quarantine(&path, &reason);
                 None
             }
         }
@@ -563,12 +582,14 @@ impl Serialize for CachedArtifact {
         let events = self.events.to_value();
         let warnings = self.warnings.to_value();
         let knn = self.knn.to_value();
+        let segment = self.segment.to_value();
         let checksum = content_checksum(&[
             ("kind", &kind),
             ("payload", &payload),
             ("events", &events),
             ("warnings", &warnings),
             ("knn", &knn),
+            ("segment", &segment),
         ]);
         Value::Object(vec![
             ("schema".to_string(), DISK_SCHEMA.to_value()),
@@ -578,6 +599,7 @@ impl Serialize for CachedArtifact {
             ("events".to_string(), events),
             ("warnings".to_string(), warnings),
             ("knn".to_string(), knn),
+            ("segment".to_string(), segment),
         ])
     }
 }
@@ -586,9 +608,7 @@ impl Deserialize for CachedArtifact {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let schema: String = v.field("schema")?;
         if schema != DISK_SCHEMA {
-            return Err(DeError::new(format!(
-                "unsupported cache entry schema `{schema}`"
-            )));
+            return Err(DeError::new(format!("{SCHEMA_MISMATCH} `{schema}`")));
         }
         let kind: String = v.field("kind")?;
         let payload_value = v
@@ -598,8 +618,8 @@ impl Deserialize for CachedArtifact {
         // write that truncated the JSON fails the parse above, but a flipped
         // byte inside a number would otherwise deserialize cleanly.
         let stored_checksum: String = v.field("checksum")?;
-        let mut checked = Vec::with_capacity(5);
-        for name in ["kind", "payload", "events", "warnings", "knn"] {
+        let mut checked = Vec::with_capacity(6);
+        for name in ["kind", "payload", "events", "warnings", "knn", "segment"] {
             let field = v
                 .get(name)
                 .ok_or_else(|| DeError::new(format!("cache entry missing `{name}`")))?;
@@ -638,6 +658,7 @@ impl Deserialize for CachedArtifact {
             events: v.field("events")?,
             warnings: v.field("warnings")?,
             knn: v.field("knn")?,
+            segment: v.field("segment")?,
         })
     }
 }
@@ -673,6 +694,7 @@ mod tests {
                 min_candidates: 37,
                 mean_candidates: 52.5,
             }],
+            segment: Some("partition/3".to_string()),
         }
     }
 
@@ -713,6 +735,33 @@ mod tests {
         assert_eq!(hit.knn.len(), 1);
         assert_eq!(hit.knn[0].method, "hnsw");
         assert_eq!(hit.knn[0].mean_candidates.to_bits(), 52.5f64.to_bits());
+        assert_eq!(hit.segment.as_deref(), Some("partition/3"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_schema_entry_is_a_plain_miss_not_quarantine() {
+        let dir =
+            std::env::temp_dir().join(format!("cirstag-cache-stale-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let k = key(15);
+        let path = dir.join(format!("art-{}.json", k.hex()));
+        // A structurally valid entry from an older schema version.
+        std::fs::write(
+            &path,
+            r#"{"schema": "cirstag-artifact/v2", "checksum": "0", "kind": "scores",
+               "payload": {"eigenvalues": [], "edge_scores": [], "node_scores": []},
+               "events": [], "warnings": [], "knn": []}"#,
+        )
+        .unwrap();
+        let mut cache = ArtifactCache::new().with_disk_dir(&dir);
+        assert!(cache.lookup(k).is_none(), "stale schema must miss");
+        assert!(
+            cache.take_pending_events().is_empty(),
+            "stale schema must not raise a quarantine event"
+        );
+        assert!(path.exists(), "stale entry must stay for its own version");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -731,6 +780,7 @@ mod tests {
             events: vec![],
             warnings: vec![],
             knn: vec![],
+            segment: None,
         };
         cache.store(key(9), entry);
         // Memory hit works; no disk file was produced.

@@ -20,6 +20,7 @@
 //! are never cached.
 
 pub mod cache;
+pub mod eco;
 pub mod fingerprint;
 mod stages;
 
@@ -153,16 +154,20 @@ pub(crate) enum CacheRef<'c> {
 struct Executor<'c> {
     cache: CacheRef<'c>,
     cancel: Option<&'c CancelToken>,
+    /// Partition label stamped into stored entries (`None` for whole-design
+    /// runs). Metadata only: the stage key already separates segments.
+    segment: Option<&'c str>,
     hits: usize,
     misses: usize,
     records: Vec<StageCacheRecord>,
 }
 
 impl<'c> Executor<'c> {
-    fn new(cache: CacheRef<'c>, cancel: Option<&'c CancelToken>) -> Self {
+    fn new(cache: CacheRef<'c>, cancel: Option<&'c CancelToken>, segment: Option<&'c str>) -> Self {
         Executor {
             cache,
             cancel,
+            segment,
             hits: 0,
             misses: 0,
             records: Vec::new(),
@@ -258,6 +263,7 @@ impl<'c> Executor<'c> {
                         events: ctx.diag.events.get(ev_mark..).unwrap_or(&[]).to_vec(),
                         warnings: ctx.diag.warnings.get(warn_mark..).unwrap_or(&[]).to_vec(),
                         knn: ctx.diag.approx_knn.get(knn_mark..).unwrap_or(&[]).to_vec(),
+                        segment: self.segment.map(str::to_string),
                     };
                     match (&mut self.cache, lead.take()) {
                         (CacheRef::Exclusive(cache), _) => cache.store(key, entry),
@@ -326,6 +332,30 @@ pub(crate) fn run_pipeline(
     cache: CacheRef<'_>,
     cancel: Option<&CancelToken>,
 ) -> Result<StabilityReport, CirStagError> {
+    run_pipeline_segmented(
+        config,
+        input_graph,
+        node_features,
+        output_embedding,
+        cache,
+        cancel,
+        None,
+    )
+}
+
+/// [`run_pipeline`] with a partition label stamped into every artifact the
+/// run stores (the partition-scoped driver in [`eco`] runs one sub-pipeline
+/// per partition and labels each segment `"partition/<id>"`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_pipeline_segmented(
+    config: &CirStagConfig,
+    input_graph: &Graph,
+    node_features: Option<&DenseMatrix>,
+    output_embedding: &DenseMatrix,
+    cache: CacheRef<'_>,
+    cancel: Option<&CancelToken>,
+    segment: Option<&str>,
+) -> Result<StabilityReport, CirStagError> {
     let n = input_graph.num_nodes();
     if n < 4 {
         return Err(CirStagError::InvalidArgument {
@@ -368,7 +398,7 @@ pub(crate) fn run_pipeline(
     // Phase-3 generalized Lanczos share length-`n` vectors, so buffers
     // warmed in Phase 1 are reused in Phase 3 instead of reallocated.
     let mut ws = SolverWorkspace::new();
-    let mut exec = Executor::new(cache, cancel);
+    let mut exec = Executor::new(cache, cancel, segment);
 
     // ---- Phase 1: input/output embedding matrices -------------------
     // cirstag-lint: allow(nondeterminism) -- phase wall-clock diagnostics only; excluded from fingerprints and artifacts

@@ -56,6 +56,11 @@ mod pipeline;
 mod resilience;
 mod selection;
 
+pub use engine::eco::{
+    analyze_partitioned, analyze_partitioned_cached, analyze_partitioned_cold,
+    analyze_partitioned_shared, EcoCache, EcoReportExport, PartitionExport, PartitionPlan,
+    PartitionRecord, PartitionView, PartitionedReport, SpliceBuffers,
+};
 pub use engine::{ArtifactCache, Fingerprint, Fingerprinter, SharedArtifactCache};
 pub use error::CirStagError;
 pub use export::ReportExport;

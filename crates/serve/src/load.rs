@@ -164,6 +164,8 @@ fn run_client(cfg: &LoadConfig, client: usize, count: usize) -> ClientOutcome {
             deadline_ms: cfg.deadline_ms,
             top: 0.10,
             best_effort: cfg.best_effort,
+            delta: None,
+            partitions: None,
         };
         let Ok(line) = request.to_line() else {
             outcome.transport_errors += 1;
@@ -291,6 +293,8 @@ pub fn shutdown_daemon(addr: &str) -> Result<(), ServeError> {
         deadline_ms: None,
         top: 0.5,
         best_effort: None,
+        delta: None,
+        partitions: None,
     };
     let line = request.to_line()?;
     writer

@@ -44,6 +44,11 @@ pub enum Verb {
     Analyze,
     /// DMD subspace-size sweep over the submitted netlist.
     Sweep,
+    /// Incremental ECO re-analysis: a netlist-delta (`cirstag-delta/v1`
+    /// JSON in the `delta` field) applied to the submitted base netlist,
+    /// scored partition-by-partition so untouched regions replay from the
+    /// shared artifact cache.
+    Delta,
     /// Liveness probe; answered inline, never queued.
     Health,
     /// Counter snapshot; answered inline, never queued.
@@ -58,6 +63,7 @@ impl Verb {
         match self {
             Verb::Analyze => "analyze",
             Verb::Sweep => "sweep",
+            Verb::Delta => "delta",
             Verb::Health => "health",
             Verb::Stats => "stats",
             Verb::Shutdown => "shutdown",
@@ -68,6 +74,7 @@ impl Verb {
         match s {
             "analyze" => Some(Verb::Analyze),
             "sweep" => Some(Verb::Sweep),
+            "delta" => Some(Verb::Delta),
             "health" => Some(Verb::Health),
             "stats" => Some(Verb::Stats),
             "shutdown" => Some(Verb::Shutdown),
@@ -97,6 +104,11 @@ pub struct Request {
     /// Per-request failure-policy override; `None` uses the daemon's base
     /// policy. The overload gate can still force best-effort on top.
     pub best_effort: Option<bool>,
+    /// Netlist-delta ops document (`cirstag-delta/v1` JSON, required for
+    /// `delta`), applied against the base `netlist`.
+    pub delta: Option<String>,
+    /// Partition count for `delta` requests; `None` uses the daemon default.
+    pub partitions: Option<usize>,
 }
 
 impl Request {
@@ -146,10 +158,24 @@ impl Request {
         let best_effort: Option<bool> = v
             .field_or("best_effort", None)
             .map_err(|e| ServeError::bad_request(e.reason))?;
-        if matches!(verb, Verb::Analyze | Verb::Sweep) && netlist.is_none() {
+        let delta: Option<String> = v
+            .field_or("delta", None)
+            .map_err(|e| ServeError::bad_request(e.reason))?;
+        let partitions: Option<usize> = v
+            .field_or("partitions", None)
+            .map_err(|e| ServeError::bad_request(e.reason))?;
+        if matches!(verb, Verb::Analyze | Verb::Sweep | Verb::Delta) && netlist.is_none() {
             return Err(ServeError::bad_request(format!(
                 "verb {verb_name:?} requires a netlist field"
             )));
+        }
+        if verb == Verb::Delta && delta.is_none() {
+            return Err(ServeError::bad_request(
+                "verb \"delta\" requires a delta field (cirstag-delta/v1 JSON)",
+            ));
+        }
+        if partitions == Some(0) {
+            return Err(ServeError::bad_request("partitions must be at least 1"));
         }
         Ok(Request {
             id,
@@ -160,6 +186,8 @@ impl Request {
             deadline_ms,
             top,
             best_effort,
+            delta,
+            partitions,
         })
     }
 
@@ -184,6 +212,12 @@ impl Request {
         }
         if let Some(b) = self.best_effort {
             fields.push(("best_effort".to_string(), Value::Bool(b)));
+        }
+        if let Some(d) = &self.delta {
+            fields.push(("delta".to_string(), Value::Str(d.clone())));
+        }
+        if let Some(p) = self.partitions {
+            fields.push(("partitions".to_string(), p.to_value()));
         }
         value_to_line(Value::Object(fields))
     }
@@ -306,11 +340,46 @@ mod tests {
             deadline_ms: Some(1500),
             top: 0.2,
             best_effort: Some(true),
+            delta: None,
+            partitions: None,
         };
         let line = r.to_line().unwrap();
         assert!(!line.contains('\n'), "netlist newlines must stay escaped");
         let back = Request::parse(&line).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn delta_request_roundtrip_and_validation() {
+        let r = Request {
+            id: 9,
+            verb: Verb::Delta,
+            netlist: Some("design t\ncell inv a y\n".to_string()),
+            epochs: 25,
+            dmd_s: vec![4, 8],
+            deadline_ms: None,
+            top: 0.10,
+            best_effort: None,
+            delta: Some(r#"{"schema":"cirstag-delta/v1","ops":[]}"#.to_string()),
+            partitions: Some(4),
+        };
+        let back = Request::parse(&r.to_line().unwrap()).unwrap();
+        assert_eq!(back, r);
+        assert!(
+            Request::parse(r#"{"id": 1, "verb": "delta", "netlist": "x"}"#).is_err(),
+            "delta requires a delta field"
+        );
+        assert!(
+            Request::parse(r#"{"id": 1, "verb": "delta", "delta": "{}"}"#).is_err(),
+            "delta requires a base netlist"
+        );
+        assert!(
+            Request::parse(
+                r#"{"id": 1, "verb": "delta", "netlist": "x", "delta": "{}", "partitions": 0}"#
+            )
+            .is_err(),
+            "zero partitions is rejected at parse time"
+        );
     }
 
     #[test]

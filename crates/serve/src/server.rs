@@ -8,8 +8,12 @@
 //! - `health`/`stats`/`shutdown` are answered inline by the reader —
 //!   control-plane traffic must keep working exactly when the data plane is
 //!   saturated.
-//! - `analyze`/`sweep` become [`Job`]s on the bounded
+//! - `analyze`/`sweep`/`delta` become [`Job`]s on the bounded
 //!   [`AdmissionQueue`]; past capacity the reader answers `503` directly.
+//!   `delta` is the incremental ECO path: the base netlist resolves through
+//!   the [`DesignStore`] (graph, features, and GNN embedding prepared once),
+//!   the delta ops edit that base, and the partition-scoped pipeline replays
+//!   untouched partitions from the shared segmented artifact cache.
 //! - N **supervisor** threads each babysit one worker thread. A worker that
 //!   panics mid-job is caught at the [`std::panic::catch_unwind`] boundary,
 //!   the client gets a typed `500`, and the supervisor spawns a fresh
@@ -32,9 +36,10 @@ use crate::protocol::{
 use crate::ServeError;
 use cirstag::failpoint as fail;
 use cirstag::{
-    ArtifactCache, CancelToken, CirStag, CirStagConfig, CirStagError, FailurePolicy,
-    SharedArtifactCache, StabilityReport,
+    analyze_partitioned_shared, ArtifactCache, CancelToken, CirStag, CirStagConfig, CirStagError,
+    FailurePolicy, PartitionedReport, SharedArtifactCache, StabilityReport,
 };
+use cirstag_circuit::{apply_delta, partition_graph, NetlistDelta, PartitionConfig};
 use cirstag_embed::KnnMethod;
 use serde::Value;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -404,7 +409,7 @@ fn dispatch(shared: &Arc<Shared>, req: Request, tx: &mpsc::Sender<Response>) {
             ServerStats::bump(&shared.stats.completed);
             shared.begin_shutdown();
         }
-        Verb::Analyze | Verb::Sweep => {
+        Verb::Analyze | Verb::Sweep | Verb::Delta => {
             let deadline_ms = req.deadline_ms.or(shared.default_deadline_ms);
             let cancel = match deadline_ms {
                 Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
@@ -554,6 +559,17 @@ fn handle_job(shared: &Shared, job: &Job) -> Response {
                 ]),
             )
         }
+        Verb::Delta => handle_delta(
+            shared,
+            req,
+            &design,
+            config,
+            best_effort,
+            forced,
+            queue_wait,
+            started,
+            &job.cancel,
+        ),
         _ => {
             let report = CirStag::new(config).analyze_shared(
                 &design.graph,
@@ -578,6 +594,86 @@ fn handle_job(shared: &Shared, job: &Job) -> Response {
                 Err(e) => pipeline_error(req.id, &e),
             }
         }
+    }
+}
+
+/// Partition count used for `delta` requests that do not carry their own.
+const DEFAULT_DELTA_PARTITIONS: usize = 8;
+
+/// Executes one `delta` request: partitions the prepared base design,
+/// applies the netlist-delta ops, and re-scores partition-by-partition
+/// against the shared artifact cache so only dirty partitions (plus halo)
+/// recompute. The partitioning itself is deterministic and cheap relative
+/// to a pipeline stage, so it is rebuilt per request instead of being
+/// cached alongside the design.
+#[allow(clippy::too_many_arguments)]
+fn handle_delta(
+    shared: &Shared,
+    req: &Request,
+    design: &PreparedDesign,
+    config: CirStagConfig,
+    best_effort: bool,
+    forced: bool,
+    queue_wait: Duration,
+    started: Instant,
+    cancel: &CancelToken,
+) -> Response {
+    let Some(delta_text) = req.delta.as_deref() else {
+        return Response::error(req.id, CODE_BAD_REQUEST, "missing delta");
+    };
+    let netlist_delta = match NetlistDelta::from_json(delta_text) {
+        Ok(d) => d,
+        Err(e) => return Response::error(req.id, CODE_BAD_REQUEST, e.to_string()),
+    };
+    let pconfig = PartitionConfig {
+        num_partitions: req.partitions.unwrap_or(DEFAULT_DELTA_PARTITIONS),
+        ..PartitionConfig::default()
+    };
+    if let Err(e) = pconfig.validate(design.graph.num_nodes()) {
+        return Response::error(req.id, CODE_BAD_REQUEST, e.to_string());
+    }
+    let partitioning = match partition_graph(&design.graph, &pconfig) {
+        Ok(p) => p,
+        Err(e) => return Response::error(req.id, CODE_BAD_REQUEST, e.to_string()),
+    };
+    let outcome = match apply_delta(
+        &design.graph,
+        Some(&design.features),
+        &netlist_delta,
+        &partitioning,
+    ) {
+        Ok(o) => o,
+        Err(e) => return Response::error(req.id, CODE_BAD_REQUEST, e.to_string()),
+    };
+    let Some(features) = outcome.features else {
+        return Response::error(req.id, CODE_INTERNAL, "delta lost the feature matrix");
+    };
+    let report = analyze_partitioned_shared(
+        &config,
+        &outcome.graph,
+        Some(&features),
+        &design.embedding,
+        &partitioning.assignment,
+        partitioning.num_partitions,
+        partitioning.halo_depth,
+        &shared.cache,
+        Some(cancel),
+    );
+    match report {
+        Ok(r) => Response::ok(
+            req.id,
+            delta_body(
+                design,
+                &r,
+                &outcome.touched_partitions,
+                req.top,
+                best_effort,
+                forced,
+                queue_wait,
+                started,
+            ),
+        ),
+        Err(e) => pipeline_error(req.id, &e),
     }
 }
 
@@ -709,6 +805,87 @@ fn analyze_body(
     Value::Object(fields)
 }
 
+/// The `delta` payload: ranking head plus the per-partition recompute
+/// breakdown (which regions were invalidated, which replayed from cache).
+#[allow(clippy::too_many_arguments)]
+fn delta_body(
+    design: &PreparedDesign,
+    report: &PartitionedReport,
+    touched_partitions: &[usize],
+    top: f64,
+    best_effort: bool,
+    forced: bool,
+    queue_wait: Duration,
+    started: Instant,
+) -> Value {
+    let unstable = cirstag::top_fraction(&report.node_scores, top, None);
+    let head: Vec<Value> = unstable
+        .iter()
+        .take(20)
+        .map(|&i| {
+            Value::Object(vec![
+                (
+                    "node".to_string(),
+                    Value::UInt(u64::try_from(i).unwrap_or(u64::MAX)),
+                ),
+                (
+                    "score".to_string(),
+                    Value::Float(report.node_scores.get(i).copied().unwrap_or(0.0)),
+                ),
+            ])
+        })
+        .collect();
+    let as_uint_array = |ids: &[u64]| Value::Array(ids.iter().map(|&i| Value::UInt(i)).collect());
+    let touched: Vec<u64> = touched_partitions
+        .iter()
+        .map(|&p| u64::try_from(p).unwrap_or(u64::MAX))
+        .collect();
+    let recomputed: Vec<u64> = report.recomputed().iter().map(|&p| u64::from(p)).collect();
+    Value::Object(vec![
+        ("design".to_string(), Value::Str(design.name.clone())),
+        (
+            "nodes".to_string(),
+            Value::UInt(u64::try_from(design.graph.num_nodes()).unwrap_or(u64::MAX)),
+        ),
+        (
+            "partitions".to_string(),
+            Value::UInt(u64::try_from(report.num_partitions).unwrap_or(u64::MAX)),
+        ),
+        (
+            "halo_depth".to_string(),
+            Value::UInt(u64::try_from(report.halo_depth).unwrap_or(u64::MAX)),
+        ),
+        ("root".to_string(), Value::Str(report.root.hex())),
+        ("touched_partitions".to_string(), as_uint_array(&touched)),
+        (
+            "recomputed_partitions".to_string(),
+            as_uint_array(&recomputed),
+        ),
+        (
+            "cache_hits".to_string(),
+            Value::UInt(u64::try_from(report.cache_hits()).unwrap_or(u64::MAX)),
+        ),
+        (
+            "cache_misses".to_string(),
+            Value::UInt(u64::try_from(report.cache_misses()).unwrap_or(u64::MAX)),
+        ),
+        ("degraded".to_string(), Value::Bool(report.degraded)),
+        ("policy".to_string(), policy_value(best_effort)),
+        ("forced_best_effort".to_string(), Value::Bool(forced)),
+        (
+            "unstable_count".to_string(),
+            Value::UInt(u64::try_from(unstable.len()).unwrap_or(u64::MAX)),
+        ),
+        ("top".to_string(), Value::Array(head)),
+        ("queue_wait_ms".to_string(), Value::UInt(millis(queue_wait))),
+        (
+            "elapsed_ms".to_string(),
+            // cirstag-lint: allow(nondeterminism) -- request timing/deadline bookkeeping; responses carry it as diagnostics only
+            Value::UInt(millis(started.elapsed())),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -812,6 +989,70 @@ mod tests {
         let stop = exchange(r#"{"id": 3, "verb": "shutdown"}"#);
         assert_eq!(stop.code, crate::CODE_OK);
         // Close our end; the daemon's connection threads exit on EOF.
+        drop(writer);
+        drop(reader);
+        drop(daemon.join().unwrap());
+    }
+
+    #[test]
+    fn delta_requests_reuse_the_segmented_cache() {
+        let (addr, daemon) = spawn_daemon(ServeConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        let mut reader = BufReader::new(stream);
+        let mut exchange = |line: &str| -> Response {
+            writeln!(writer, "{line}").unwrap();
+            writer.flush().unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            Response::parse(reply.trim_end()).unwrap()
+        };
+        let delta = cirstag_circuit::NetlistDelta {
+            ops: vec![cirstag_circuit::DeltaOp::FeatureDrift {
+                node: 0,
+                scale: 1.05,
+            }],
+        };
+        let request = |id: u64| Request {
+            id,
+            verb: Verb::Delta,
+            netlist: Some(tiny_netlist()),
+            epochs: 6,
+            dmd_s: vec![4, 8],
+            deadline_ms: None,
+            top: 0.10,
+            best_effort: None,
+            delta: Some(delta.to_json().unwrap()),
+            partitions: Some(4),
+        };
+        // First pass: nothing cached yet, so every partition recomputes.
+        let first = exchange(&request(1).to_line().unwrap());
+        assert_eq!(first.code, crate::CODE_OK, "{:?}", first.error);
+        let body = first.body.as_ref().unwrap();
+        let partitions: u64 = body.field("partitions").unwrap();
+        assert_eq!(partitions, 4);
+        let recomputed: Vec<u64> = body.field("recomputed_partitions").unwrap();
+        assert_eq!(recomputed, vec![0, 1, 2, 3]);
+        let touched: Vec<u64> = body.field("touched_partitions").unwrap();
+        assert!(!touched.is_empty(), "a drift op must touch its partition");
+        // Same delta again: every partition replays from the shared cache.
+        let second = exchange(&request(2).to_line().unwrap());
+        assert_eq!(second.code, crate::CODE_OK, "{:?}", second.error);
+        let body = second.body.as_ref().unwrap();
+        let recomputed: Vec<u64> = body.field("recomputed_partitions").unwrap();
+        assert!(recomputed.is_empty(), "got {recomputed:?}");
+        let hits: u64 = body.field("cache_hits").unwrap();
+        assert!(hits > 0);
+        // Malformed delta ops are a 400, not a worker crash.
+        let mut bad = request(3);
+        bad.delta = Some("not a delta".to_string());
+        let reply = exchange(&bad.to_line().unwrap());
+        assert_eq!(reply.code, CODE_BAD_REQUEST);
+        let stop = exchange(r#"{"id": 9, "verb": "shutdown"}"#);
+        assert_eq!(stop.code, crate::CODE_OK);
         drop(writer);
         drop(reader);
         drop(daemon.join().unwrap());

@@ -39,6 +39,33 @@ fn analyze_cmd(netlist: String, best_effort: bool) -> Command {
         best_effort,
         cache_dir: None,
         knn: KnnChoice::Auto,
+        partitions: None,
+    }
+}
+
+fn partitioned_cmd(netlist: String, partitions: usize, cache_dir: Option<String>) -> Command {
+    match analyze_cmd(netlist, false) {
+        Command::Analyze {
+            netlist,
+            out,
+            epochs,
+            top,
+            threads,
+            best_effort,
+            knn,
+            ..
+        } => Command::Analyze {
+            netlist,
+            out,
+            epochs,
+            top,
+            threads,
+            best_effort,
+            cache_dir,
+            knn,
+            partitions: Some(partitions),
+        },
+        other => panic!("unexpected {other:?}"),
     }
 }
 
@@ -65,6 +92,30 @@ fn hard_errors_surface_as_err() {
     assert!(parse_args(&["analyze".to_string(), "--bogus".to_string()]).is_err());
     let err = run_silent(&analyze_cmd("/nonexistent/x.cir".to_string(), false)).unwrap_err();
     assert!(err.message.contains("cannot read"), "got: {}", err.message);
+}
+
+/// `--partitions` is validated against the design size with the
+/// partitioner's typed error before any GNN work starts; all three
+/// rejections are hard errors (exit code 1).
+#[test]
+fn invalid_partition_counts_are_hard_errors() {
+    let dir = temp_dir("partitions");
+    let netlist = generate(&dir);
+    let ws = dir.join("ws").to_str().unwrap().to_string();
+
+    let err = run_silent(&partitioned_cmd(netlist.clone(), 0, Some(ws.clone()))).unwrap_err();
+    assert!(err.message.contains("at least 1"), "got: {}", err.message);
+
+    // 40 gates is a ~140-pin design; one partition per pin is absurd under
+    // the MIN_PARTITION_NODES floor.
+    let err = run_silent(&partitioned_cmd(netlist.clone(), 10_000, Some(ws))).unwrap_err();
+    assert!(err.message.contains("absurd"), "got: {}", err.message);
+
+    // The workspace directory is mandatory: without it there is nothing for
+    // `cirstag diff` to replay.
+    let err = run_silent(&partitioned_cmd(netlist, 2, None)).unwrap_err();
+    assert!(err.message.contains("--cache-dir"), "got: {}", err.message);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// A best-effort run that climbs a fallback ladder must finish with

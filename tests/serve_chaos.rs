@@ -105,6 +105,8 @@ fn sweep_request(id: u64, netlist: &str, s: usize) -> Request {
         deadline_ms: None,
         top: 0.10,
         best_effort: None,
+        delta: None,
+        partitions: None,
     }
 }
 
@@ -185,6 +187,8 @@ fn chaos_run(best_effort: bool, cache_dir: &std::path::Path, seed: u64) -> Vec<u
             deadline_ms: None,
             top: 0.5,
             best_effort: None,
+            delta: None,
+            partitions: None,
         },
     );
     assert_eq!(health.code, CODE_OK);
@@ -201,6 +205,8 @@ fn chaos_run(best_effort: bool, cache_dir: &std::path::Path, seed: u64) -> Vec<u
             deadline_ms: None,
             top: 0.5,
             best_effort: None,
+            delta: None,
+            partitions: None,
         },
     );
     let panics: u64 = stats.body.as_ref().unwrap().field("panics").unwrap();
@@ -219,6 +225,8 @@ fn chaos_run(best_effort: bool, cache_dir: &std::path::Path, seed: u64) -> Vec<u
             deadline_ms: None,
             top: 0.5,
             best_effort: None,
+            delta: None,
+            partitions: None,
         },
     );
     assert_eq!(stop.code, CODE_OK);
